@@ -1,0 +1,48 @@
+//! Asymptotic Waveform Evaluation (AWE) for the `ams-synth` toolkit.
+//!
+//! AWE \[Pillage & Rohrer 1990\] builds a low-order pole/residue macromodel of
+//! a linear(ized) network from its Taylor-series moments: one LU
+//! factorization plus one back-substitution per moment, instead of one
+//! complex solve per frequency point. The DAC'96 tutorial leans on AWE in
+//! two places this crate serves:
+//!
+//! * the **ASTRX/OBLX** synthesis tool simulates "the linear small-signal
+//!   characteristics … efficiently using AWE" inside its annealing loop
+//!   (`ams-sizing` consumes [`AweModel`]);
+//! * the **RAIL** power-grid tool "uses fast AWE-based linear system
+//!   evaluation to electrically model the entire power grid, package and
+//!   substrate during layout" (`ams-rail` consumes [`Moments`] and
+//!   [`AweModel`]).
+//!
+//! # Example
+//!
+//! ```
+//! use ams_awe::AweModel;
+//! use ams_sim::{dc_operating_point, linearize, output_index};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let ckt = ams_netlist::parse_deck("
+//!     Vin in 0 DC 0 AC 1
+//!     R1 in out 1k
+//!     C1 out 0 1n
+//! ")?;
+//! let op = dc_operating_point(&ckt)?;
+//! let net = linearize(&ckt, &op);
+//! let out = output_index(&ckt, &net.layout, "out").expect("node exists");
+//! let model = AweModel::from_net(&net, out, 1)?;
+//! // Single real pole at −1/RC.
+//! assert!((model.poles[0].re + 1e6).abs() < 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod model;
+mod moments;
+mod roots;
+
+pub use model::{AweError, AweModel};
+pub use moments::{elmore_delay, Moments};
+pub use roots::polynomial_roots;

@@ -1,0 +1,168 @@
+//! Complex polynomial root finding by the Durand–Kerner iteration.
+//!
+//! AWE needs the roots of the characteristic polynomial built from the
+//! moment recurrence; orders are small (q ≤ 10) so the simultaneous
+//! Durand–Kerner iteration is robust and fast.
+
+use ams_sim::Complex;
+
+/// Finds all complex roots of the polynomial
+/// `c\[0\] + c\[1\]·x + … + c[n]·xⁿ`.
+///
+/// Leading zero coefficients are trimmed. Returns an empty vector for
+/// constant polynomials.
+///
+/// # Panics
+///
+/// Panics if the coefficient list is empty.
+pub fn polynomial_roots(coeffs: &[Complex]) -> Vec<Complex> {
+    assert!(!coeffs.is_empty(), "empty polynomial");
+    // Trim (near-)zero leading coefficients relative to the largest.
+    let max_mag = coeffs.iter().map(|c| c.abs()).fold(0.0, f64::max);
+    if max_mag == 0.0 {
+        return Vec::new();
+    }
+    let mut deg = coeffs.len() - 1;
+    while deg > 0 && coeffs[deg].abs() < 1e-14 * max_mag {
+        deg -= 1;
+    }
+    if deg == 0 {
+        return Vec::new();
+    }
+    // Normalize to monic.
+    let lead = coeffs[deg];
+    let a: Vec<Complex> = coeffs[..=deg].iter().map(|&c| c / lead).collect();
+
+    // Initial guesses on a spiral (Aberth's suggestion avoids symmetry traps).
+    let radius = 1.0
+        + a[..deg]
+            .iter()
+            .map(|c| c.abs())
+            .fold(0.0_f64, f64::max);
+    let mut x: Vec<Complex> = (0..deg)
+        .map(|k| {
+            let angle = 2.0 * std::f64::consts::PI * k as f64 / deg as f64 + 0.4;
+            Complex::new(radius * 0.5 * angle.cos(), radius * 0.5 * angle.sin())
+        })
+        .collect();
+
+    let eval = |z: Complex| -> Complex {
+        // Horner on the monic polynomial.
+        let mut acc = Complex::ONE;
+        for k in (0..deg).rev() {
+            acc = acc * z + a[k];
+        }
+        acc
+    };
+
+    for _ in 0..500 {
+        let mut max_step = 0.0_f64;
+        for i in 0..deg {
+            let mut denom = Complex::ONE;
+            for j in 0..deg {
+                if i != j {
+                    denom = denom * (x[i] - x[j]);
+                }
+            }
+            if denom.abs() < 1e-280 {
+                // Perturb coincident guesses.
+                x[i] += Complex::new(1e-6, 1e-6);
+                continue;
+            }
+            let delta = eval(x[i]) / denom;
+            x[i] = x[i] - delta;
+            max_step = max_step.max(delta.abs());
+        }
+        if max_step < 1e-13 * radius.max(1.0) {
+            break;
+        }
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn contains_root(roots: &[Complex], target: Complex, tol: f64) -> bool {
+        roots.iter().any(|r| (*r - target).abs() < tol)
+    }
+
+    #[test]
+    fn quadratic_real_roots() {
+        // (x-1)(x-2) = x² − 3x + 2
+        let roots = polynomial_roots(&[
+            Complex::real(2.0),
+            Complex::real(-3.0),
+            Complex::real(1.0),
+        ]);
+        assert_eq!(roots.len(), 2);
+        assert!(contains_root(&roots, Complex::real(1.0), 1e-9));
+        assert!(contains_root(&roots, Complex::real(2.0), 1e-9));
+    }
+
+    #[test]
+    fn complex_conjugate_pair() {
+        // x² + 1 → ±i
+        let roots = polynomial_roots(&[
+            Complex::real(1.0),
+            Complex::ZERO,
+            Complex::real(1.0),
+        ]);
+        assert!(contains_root(&roots, Complex::I, 1e-9));
+        assert!(contains_root(&roots, -Complex::I, 1e-9));
+    }
+
+    #[test]
+    fn quintic_known_roots() {
+        // Roots 1..5: expand (x-1)...(x-5).
+        let mut c = vec![Complex::ONE];
+        for r in 1..=5 {
+            let mut next = vec![Complex::ZERO; c.len() + 1];
+            for (i, &ci) in c.iter().enumerate() {
+                next[i + 1] += ci;
+                next[i] = next[i] - ci * Complex::real(r as f64);
+            }
+            c = next;
+        }
+        let roots = polynomial_roots(&c);
+        assert_eq!(roots.len(), 5);
+        for r in 1..=5 {
+            assert!(
+                contains_root(&roots, Complex::real(r as f64), 1e-6),
+                "missing root {r}: {roots:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn widely_scaled_roots() {
+        // (x + 1e3)(x + 1e6) — scales typical of circuit poles in rad/s.
+        let roots = polynomial_roots(&[
+            Complex::real(1e9),
+            Complex::real(1e6 + 1e3),
+            Complex::real(1.0),
+        ]);
+        assert!(contains_root(&roots, Complex::real(-1e3), 1.0));
+        assert!(contains_root(&roots, Complex::real(-1e6), 1e3));
+    }
+
+    #[test]
+    fn leading_zeros_trimmed() {
+        // 2 + x plus fake zero high-order terms.
+        let roots = polynomial_roots(&[
+            Complex::real(2.0),
+            Complex::real(1.0),
+            Complex::ZERO,
+            Complex::ZERO,
+        ]);
+        assert_eq!(roots.len(), 1);
+        assert!(contains_root(&roots, Complex::real(-2.0), 1e-9));
+    }
+
+    #[test]
+    fn constant_polynomial_has_no_roots() {
+        assert!(polynomial_roots(&[Complex::real(5.0)]).is_empty());
+        assert!(polynomial_roots(&[Complex::ZERO]).is_empty());
+    }
+}

@@ -1,0 +1,39 @@
+//! E7: AWE macromodel evaluation vs a full AC sweep — the speed ratio that
+//! justifies ASTRX/OBLX's architecture.
+
+use ams_bench::run_awe_vs_ac;
+use ams_netlist::Technology;
+use ams_sim::{ac_sweep, dc_operating_point, linearize, log_frequencies, output_index};
+use ams_sizing::{SimulatedTemplate, TwoStageCircuit};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let r = run_awe_vs_ac();
+    assert!(r.speedup > 2.0, "AWE should beat the sweep: {:.1}x", r.speedup);
+    assert!(r.max_error < 0.25, "in-band error {:.1}%", r.max_error * 100.0);
+
+    let template = TwoStageCircuit::new(Technology::generic_1p2um(), 5e-12);
+    let x = [60e-6, 30e-6, 150e-6, 50e-6, 150e-6, 2e-12, 2.4e-6];
+    let ckt = template.build(&x);
+    let op = dc_operating_point(&ckt).unwrap();
+    let net = linearize(&ckt, &op);
+    let out = output_index(&ckt, &net.layout, "out").unwrap();
+    let freqs = log_frequencies(10.0, 1e10, 100);
+
+    c.bench_function("awe_model_build_and_eval_100pts", |b| {
+        b.iter(|| {
+            let m = ams_awe::AweModel::from_net(&net, out, 3).unwrap();
+            std::hint::black_box(m.frequency_response(&freqs))
+        })
+    });
+    c.bench_function("full_ac_sweep_100pts", |b| {
+        b.iter(|| std::hint::black_box(ac_sweep(&net, out, &freqs).unwrap()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

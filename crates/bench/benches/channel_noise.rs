@@ -1,0 +1,30 @@
+//! E8: segregated channels and shields eliminate analog/digital coupling
+//! at a bounded track cost.
+
+use ams_bench::run_channels;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let study = run_channels();
+    let coupling = |label: &str| {
+        study
+            .rows
+            .iter()
+            .find(|r| r.0 == label)
+            .map(|r| r.3)
+            .expect("row")
+    };
+    assert!(coupling("plain") > 0);
+    assert_eq!(coupling("segregated+shields"), 0);
+
+    c.bench_function("channel_routing_all_modes", |b| {
+        b.iter(|| std::hint::black_box(run_channels()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

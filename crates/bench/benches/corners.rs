@@ -1,0 +1,31 @@
+//! E5: manufacturability corners cost roughly the corner count in CPU —
+//! the paper's "4X-10X" claim.
+
+use ams_netlist::Technology;
+use ams_sizing::{optimize, optimize_worst_case, AnnealConfig, TwoStageModel};
+use ams_topology::{Bound, Spec};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let tech = Technology::generic_1p2um();
+    let model = TwoStageModel::new(tech.clone(), 5e-12);
+    let spec = Spec::new()
+        .require("gain_db", Bound::AtLeast(65.0))
+        .require("ugf_hz", Bound::AtLeast(5e6))
+        .minimizing("power_w");
+    let cfg = AnnealConfig::quick();
+
+    c.bench_function("corners_nominal_sizing", |b| {
+        b.iter(|| std::hint::black_box(optimize(&model, &spec, &cfg)))
+    });
+    c.bench_function("corners_worst_case_sizing_5_corners", |b| {
+        b.iter(|| std::hint::black_box(optimize_worst_case(&model, &tech, &spec, &cfg)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

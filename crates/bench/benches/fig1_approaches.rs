@@ -1,0 +1,36 @@
+//! E2 / Fig. 1: knowledge-based plan execution vs optimization-based
+//! sizing — the speed/generality trade-off at the heart of §2.2.
+
+use ams_netlist::Technology;
+use ams_sizing::{optimize, AnnealConfig, DesignPlan, TwoStageModel, TwoStagePlan};
+use ams_topology::{Bound, Spec};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn spec() -> Spec {
+    Spec::new()
+        .require("ugf_hz", Bound::AtLeast(1e7))
+        .require("slew_v_per_s", Bound::AtLeast(1e7))
+        .require("phase_margin_deg", Bound::AtLeast(60.0))
+        .minimizing("power_w")
+}
+
+fn bench(c: &mut Criterion) {
+    let tech = Technology::generic_1p2um();
+    let plan = TwoStagePlan::new(5e-12);
+    let model = TwoStageModel::new(tech.clone(), 5e-12);
+    let s = spec();
+
+    c.bench_function("fig1a_design_plan_execution", |b| {
+        b.iter(|| std::hint::black_box(plan.execute(&s, &tech).unwrap()))
+    });
+    c.bench_function("fig1b_equation_based_optimization", |b| {
+        b.iter(|| std::hint::black_box(optimize(&model, &s, &AnnealConfig::quick())))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

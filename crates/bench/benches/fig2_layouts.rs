@@ -1,0 +1,33 @@
+//! E3 / Fig. 2: the automatic macrocell layout of the identical opamp —
+//! timing the KOAN/ANAGRAM pipeline and asserting the quality story
+//! (automatic layouts compare favorably to the manual references).
+
+use ams_bench::run_fig2;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    // Quality gate: the best automatic layout must not be worse than the
+    // best manual reference on area.
+    let rows = run_fig2();
+    let best = |prefix: &str| {
+        rows.iter()
+            .filter(|r| r.label.starts_with(prefix) && r.complete)
+            .map(|r| r.area_um2)
+            .fold(f64::INFINITY, f64::min)
+    };
+    let manual = best("manual");
+    let auto = best("auto");
+    assert!(auto.is_finite() && manual.is_finite());
+    assert!(auto <= manual * 1.15, "auto {auto} vs manual {manual}");
+
+    c.bench_function("fig2_opamp_cell_layout", |b| {
+        b.iter(|| std::hint::black_box(run_fig2()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! E4 / Fig. 3: the RAIL power-grid redesign — before/after constraint
+//! satisfaction and synthesis runtime.
+
+use ams_bench::run_fig3;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let f = run_fig3();
+    assert!(f.met, "grid synthesis must meet the dc/ac/transient set");
+    assert!(f.before.0 > f.after.0, "IR drop must improve");
+    assert!(f.before.2 > f.after.2, "droop must improve");
+
+    c.bench_function("fig3_rail_power_grid_synthesis", |b| {
+        b.iter(|| std::hint::black_box(run_fig3()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! E10: high-level RF front-end optimization — tighter signal quality
+//! costs monotonically more power.
+
+use ams_bench::run_rf;
+use ams_sizing::AnnealConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let study = run_rf(&AnnealConfig::default());
+    assert!(study.rows.iter().all(|r| r.2), "all targets feasible");
+    // The hardest target costs more than the easiest.
+    let first = study.rows.first().unwrap().1;
+    let last = study.rows.last().unwrap().1;
+    assert!(last > first, "24 dB {last} should cost more than 6 dB {first}");
+
+    c.bench_function("rf_frontend_power_sndr_sweep", |b| {
+        b.iter(|| std::hint::black_box(run_rf(&AnnealConfig::quick())))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

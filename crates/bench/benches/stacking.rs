@@ -1,0 +1,45 @@
+//! E6: exact stack extraction is exponential; the one-solution algorithm
+//! is linear — benchmarked on dense (complete-graph) connectivity.
+
+use ams_bench::run_stacking;
+use ams_layout::DiffusionGraph;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn complete(k: usize) -> DiffusionGraph {
+    let mut g = DiffusionGraph::new();
+    let mut d = 0;
+    for i in 0..k {
+        for j in i + 1..k {
+            g.add_device(&format!("M{d}"), &format!("n{i}"), &format!("n{j}"), "n");
+            d += 1;
+        }
+    }
+    g
+}
+
+fn bench(c: &mut Criterion) {
+    // Correctness gate: both algorithms find the same merge count.
+    for row in run_stacking(&[3, 4, 5]).rows {
+        assert!(row.3, "merge counts diverged at n = {}", row.0);
+    }
+    let mut group = c.benchmark_group("stacking");
+    for k in [3usize, 4, 5, 6] {
+        let g = complete(k);
+        group.bench_with_input(BenchmarkId::new("linear", k), &g, |b, g| {
+            b.iter(|| std::hint::black_box(g.stack_linear()))
+        });
+        if k <= 5 {
+            group.bench_with_input(BenchmarkId::new("exact", k), &g, |b, g| {
+                b.iter(|| std::hint::black_box(g.stack_exact()))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

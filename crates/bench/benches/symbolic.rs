@@ -1,0 +1,37 @@
+//! E9: symbolic analysis cost grows steeply with circuit size; pruning
+//! trades terms for bounded error.
+
+use ams_bench::run_symbolic;
+use ams_sim::dc_operating_point;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let study = run_symbolic();
+    // Terms must grow with circuit size.
+    let terms: Vec<usize> = study.rows.iter().map(|r| r.2).collect();
+    assert!(terms.windows(2).all(|w| w[1] >= w[0]), "{terms:?}");
+    // Pruning reduces terms monotonically with the threshold.
+    let counts: Vec<usize> = study.simplification.iter().map(|r| r.1).collect();
+    assert!(counts.windows(2).all(|w| w[1] <= w[0]), "{counts:?}");
+
+    let ckt = ams_netlist::parse_deck(
+        ".model nch nmos vt0=0.7 kp=110u lambda=0.04
+         Vdd vdd 0 DC 5
+         Vin in 0 DC 1.0 AC 1
+         RD vdd out 10k
+         M1 out in 0 0 nch W=20u L=2u
+         CL out 0 1p",
+    )
+    .unwrap();
+    let op = dc_operating_point(&ckt).unwrap();
+    c.bench_function("symbolic_tf_cs_amplifier", |b| {
+        b.iter(|| std::hint::black_box(ams_symbolic::transfer_function(&ckt, &op, "out").unwrap()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! E1 / Table 1: time one full pulse-detector synthesis run and assert the
+//! headline result (feasible at a large power reduction vs the expert).
+
+use ams_bench::run_table1;
+use ams_sizing::AnnealConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let budget = AnnealConfig::quick();
+    // Correctness gate once, outside the timing loop.
+    let t = run_table1(&AnnealConfig::default());
+    assert!(t.feasible, "Table 1 synthesis must be feasible");
+    assert!(t.power_reduction > 3.0, "power reduction {}", t.power_reduction);
+
+    c.bench_function("table1_pulse_detector_synthesis", |b| {
+        b.iter(|| std::hint::black_box(run_table1(&budget)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E12: integrated (GA) topology selection tracks the spec boundary
+//! between the single-stage OTA and the two-stage Miller opamp.
+
+use ams_bench::run_topo_select;
+use ams_sizing::GaConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let study = run_topo_select(&GaConfig::default());
+    // Extremes are unambiguous.
+    assert_eq!(study.rows.first().unwrap().2, "symmetrical_ota");
+    assert_eq!(study.rows.last().unwrap().2, "two_stage_miller");
+
+    let quick = GaConfig {
+        generations: 20,
+        population: 30,
+        ..Default::default()
+    };
+    c.bench_function("ga_topology_selection_sweep", |b| {
+        b.iter(|| std::hint::black_box(run_topo_select(&quick)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

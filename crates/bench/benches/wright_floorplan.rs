@@ -1,0 +1,25 @@
+//! E11: substrate-aware floorplanning lowers noise at sensitive blocks.
+
+use ams_bench::run_floorplan;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let f = run_floorplan();
+    assert!(
+        f.aware_noise < f.blind_noise,
+        "aware {} vs blind {}",
+        f.aware_noise,
+        f.blind_noise
+    );
+
+    c.bench_function("wright_floorplan_aware_vs_blind", |b| {
+        b.iter(|| std::hint::black_box(run_floorplan()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

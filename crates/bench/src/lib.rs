@@ -1,0 +1,10 @@
+//! Experiment implementations shared by the `report` binary and the
+//! Criterion benches. One function per experiment of DESIGN.md §4; each
+//! returns a printable, assertable result structure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+pub use experiments::*;

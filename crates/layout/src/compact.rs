@@ -1,0 +1,185 @@
+//! One-dimensional constraint-graph compaction with symmetry constraints.
+//!
+//! "One solution strategy is analog compaction, e.g. \[48,49\], in which we
+//! leave extra space during device placement and then compact" (§3.1).
+//! The compactor squeezes placed rectangles leftward along x subject to
+//! minimum-spacing constraints (a longest-path computation over the
+//! constraint graph), while keeping declared symmetry pairs mirrored about
+//! a common axis — the analog extension of \[Okuda et al. 1989\].
+
+use crate::geom::Rect;
+
+/// A symmetry constraint for the compactor: items `a` and `b` stay
+/// mirrored about the shared axis.
+#[derive(Debug, Clone, Copy)]
+pub struct CompactSymmetry {
+    /// Left item index.
+    pub a: usize,
+    /// Right item index.
+    pub b: usize,
+}
+
+/// Result of a compaction run.
+#[derive(Debug, Clone)]
+pub struct CompactionResult {
+    /// New x-origin of each rectangle (y is untouched).
+    pub x: Vec<i64>,
+    /// Width of the compacted row of shapes.
+    pub width: i64,
+    /// Width before compaction.
+    pub width_before: i64,
+}
+
+/// Compacts rectangles along x with `spacing` between y-overlapping
+/// neighbors, preserving relative order and symmetry pairs.
+///
+/// # Panics
+///
+/// Panics if `rects` is empty or a symmetry index is out of range.
+pub fn compact_x(
+    rects: &[Rect],
+    spacing: i64,
+    symmetry: &[CompactSymmetry],
+    ) -> CompactionResult {
+    assert!(!rects.is_empty(), "nothing to compact");
+    for s in symmetry {
+        assert!(s.a < rects.len() && s.b < rects.len(), "symmetry index");
+    }
+    let n = rects.len();
+    let min_x = rects.iter().map(|r| r.x0).min().expect("non-empty");
+    let width_before = rects.iter().map(|r| r.x1).max().expect("non-empty") - min_x;
+
+    // Order by current x; build left-of constraints between y-overlapping
+    // pairs.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| rects[i].x0);
+
+    // Longest-path positions.
+    let mut x = vec![0i64; n];
+    for (pos, &i) in order.iter().enumerate() {
+        let mut lo = 0i64;
+        for &j in &order[..pos] {
+            let y_overlap = rects[i].y0 < rects[j].y1 && rects[j].y0 < rects[i].y1;
+            if y_overlap {
+                lo = lo.max(x[j] + rects[j].width() + spacing);
+            }
+        }
+        x[i] = lo;
+    }
+
+    // Symmetry repair: align each pair about the common axis at the
+    // farther of the two mirrored lower bounds.
+    if !symmetry.is_empty() {
+        // Axis: far enough right that every pair fits.
+        let mut axis = 0i64;
+        for s in symmetry {
+            let (l, r) = if x[s.a] <= x[s.b] { (s.a, s.b) } else { (s.b, s.a) };
+            // Need axis ≥ x[l] + w_l + spacing/2, and the mirrored right
+            // position ≥ its lower bound.
+            let half = (x[r] + rects[r].width() - x[l]) / 2;
+            axis = axis.max(x[l] + half.max(rects[l].width() + spacing / 2));
+        }
+        for s in symmetry {
+            let (l, r) = if x[s.a] <= x[s.b] { (s.a, s.b) } else { (s.b, s.a) };
+            // Distance of the left item from the axis.
+            let d = (axis - (x[l] + rects[l].width())).max(spacing / 2);
+            x[l] = axis - d - rects[l].width();
+            x[r] = axis + d;
+        }
+    }
+
+    let width = (0..n)
+        .map(|i| x[i] + rects[i].width())
+        .max()
+        .expect("non-empty")
+        - x.iter().copied().min().expect("non-empty");
+
+    CompactionResult {
+        x,
+        width,
+        width_before,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compaction_removes_slack() {
+        // Three 10-wide blocks at x = 0, 50, 120, same row.
+        let rects = vec![
+            Rect::with_size(0, 0, 10, 10),
+            Rect::with_size(50, 0, 10, 10),
+            Rect::with_size(120, 0, 10, 10),
+        ];
+        let r = compact_x(&rects, 2, &[]);
+        assert_eq!(r.width_before, 130);
+        assert_eq!(r.width, 34); // 10+2+10+2+10
+        assert_eq!(r.x, vec![0, 12, 24]);
+    }
+
+    #[test]
+    fn non_overlapping_rows_compact_independently() {
+        let rects = vec![
+            Rect::with_size(0, 0, 10, 10),
+            Rect::with_size(40, 20, 10, 10), // different row
+        ];
+        let r = compact_x(&rects, 2, &[]);
+        // No y-overlap → both slide to 0.
+        assert_eq!(r.x, vec![0, 0]);
+        assert_eq!(r.width, 10);
+    }
+
+    #[test]
+    fn order_is_preserved_within_a_row() {
+        let rects = vec![
+            Rect::with_size(100, 0, 20, 10),
+            Rect::with_size(0, 0, 10, 10),
+        ];
+        let r = compact_x(&rects, 5, &[]);
+        // Item 1 was left of item 0; stays left.
+        assert!(r.x[1] + 10 + 5 <= r.x[0]);
+    }
+
+    #[test]
+    fn symmetry_pair_stays_mirrored() {
+        let rects = vec![
+            Rect::with_size(0, 0, 10, 10),
+            Rect::with_size(80, 0, 10, 10),
+            Rect::with_size(30, 20, 12, 10), // unrelated row
+        ];
+        let sym = [CompactSymmetry { a: 0, b: 1 }];
+        let r = compact_x(&rects, 4, &sym);
+        // Mirror: distance from axis equal on both sides.
+        let axis_left = r.x[0] + 10;
+        let axis_right = r.x[1];
+        let axis = (axis_left + axis_right) / 2;
+        assert_eq!(axis - (r.x[0] + 10), r.x[1] - axis, "asymmetric: {:?}", r.x);
+        // Still compacted vs the original 90-wide span.
+        assert!(r.width < 90);
+    }
+
+    #[test]
+    fn compaction_never_overlaps() {
+        let rects = vec![
+            Rect::with_size(0, 0, 15, 10),
+            Rect::with_size(16, 0, 10, 10),
+            Rect::with_size(27, 5, 8, 10),
+        ];
+        let r = compact_x(&rects, 3, &[]);
+        let placed: Vec<Rect> = rects
+            .iter()
+            .zip(&r.x)
+            .map(|(rect, &nx)| Rect::with_size(nx, rect.y0, rect.width(), rect.height()))
+            .collect();
+        for i in 0..placed.len() {
+            for j in i + 1..placed.len() {
+                assert!(
+                    !placed[i].intersects(&placed[j]),
+                    "{i} and {j} overlap after compaction"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! Procedural device generators.
+//!
+//! "Module generation techniques are used to generate the layouts of the
+//! individual devices" (§3.1). KOAN deliberately used "a very small library
+//! of device generators" and moved the cleverness into the placer; these
+//! generators follow that philosophy: fingered MOS transistors, poly
+//! resistors and plate capacitors with named ports, nothing more.
+
+use crate::geom::{Layer, Point, Rect};
+use crate::rules::DesignRules;
+use std::collections::HashMap;
+
+/// A generated device layout: shapes plus named ports.
+#[derive(Debug, Clone)]
+pub struct DeviceLayout {
+    /// Device instance name.
+    pub name: String,
+    /// Mask shapes.
+    pub shapes: Vec<(Layer, Rect)>,
+    /// Port rectangles (pin landing areas) by terminal name
+    /// ("d", "g", "s", "b", "p", "m"…).
+    pub ports: HashMap<String, Rect>,
+}
+
+impl DeviceLayout {
+    /// Bounding box over all shapes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layout has no shapes.
+    pub fn bbox(&self) -> Rect {
+        let mut it = self.shapes.iter();
+        let first = it.next().expect("device layout has shapes").1;
+        it.fold(first, |acc, (_, r)| acc.union(r))
+    }
+
+    /// Translated copy (shapes and ports).
+    pub fn translated(&self, dx: i64, dy: i64) -> DeviceLayout {
+        DeviceLayout {
+            name: self.name.clone(),
+            shapes: self
+                .shapes
+                .iter()
+                .map(|(l, r)| (*l, r.translated(dx, dy)))
+                .collect(),
+            ports: self
+                .ports
+                .iter()
+                .map(|(k, r)| (k.clone(), r.translated(dx, dy)))
+                .collect(),
+        }
+    }
+
+    /// Port center, if the port exists.
+    pub fn port_center(&self, port: &str) -> Option<Point> {
+        self.ports.get(port).map(Rect::center)
+    }
+}
+
+/// Generates a fingered MOS transistor.
+///
+/// `w`/`l` are electrical width/length in meters; the generator splits `w`
+/// across `fingers` parallel gates over a single diffusion strip, with
+/// contacted source/drain regions alternating between gates. Diffusion
+/// sharing *between devices* is the stacker's job (`crate::stack`), not the
+/// generator's.
+///
+/// Ports: `"g"`, `"d"`, `"s"` (and `"b"` on the well/substrate edge).
+///
+/// # Panics
+///
+/// Panics for non-positive dimensions or zero fingers.
+pub fn mos(name: &str, w: f64, l: f64, fingers: usize, rules: &DesignRules) -> DeviceLayout {
+    assert!(w > 0.0 && l > 0.0 && fingers > 0, "bad MOS parameters");
+    let nm = 1e9;
+    let finger_w = ((w * nm / fingers as f64).round() as i64).max(rules.diff_width);
+    let gate_l = ((l * nm).round() as i64).max(rules.poly_width);
+    // Diffusion pitch: contact region + gate, repeated.
+    let cont_region = rules.contact_size + 2 * rules.contact_to_gate;
+    let mut shapes = Vec::new();
+    let mut ports = HashMap::new();
+
+    // Diffusion strip.
+    let total_w = cont_region * (fingers as i64 + 1) + gate_l * fingers as i64;
+    let diff = Rect::with_size(0, 0, total_w, finger_w);
+    shapes.push((Layer::Diffusion, diff));
+
+    // Gates and contacts.
+    let poly_overhang = 2 * rules.grid;
+    let mut x = 0;
+    for i in 0..=fingers {
+        // Contact column i.
+        let cx = x + rules.contact_to_gate;
+        let cont = Rect::with_size(
+            cx,
+            (finger_w - rules.contact_size) / 2,
+            rules.contact_size,
+            rules.contact_size,
+        );
+        shapes.push((Layer::Contact, cont));
+        let m1 = Rect::with_size(cx - 300, 0, rules.contact_size + 600, finger_w);
+        shapes.push((Layer::Metal1, m1));
+        // Alternate d/s starting with source at column 0.
+        let term = if i % 2 == 0 { "s" } else { "d" };
+        // Keep the first matching port rect (all same-net columns merge in
+        // metal later).
+        ports.entry(term.to_string()).or_insert(m1);
+        x += cont_region;
+        if i < fingers {
+            let gate = Rect::new(x, -poly_overhang, x + gate_l, finger_w + poly_overhang);
+            shapes.push((Layer::Poly, gate));
+            ports
+                .entry("g".to_string())
+                .or_insert(Rect::new(x, finger_w, x + gate_l, finger_w + poly_overhang));
+            x += gate_l;
+        }
+    }
+    // Bulk tap port on the strip's left edge (abstracted).
+    ports.insert(
+        "b".to_string(),
+        Rect::with_size(-rules.contact_size, 0, rules.contact_size, finger_w),
+    );
+
+    DeviceLayout {
+        name: name.to_string(),
+        shapes,
+        ports,
+    }
+}
+
+/// Generates a poly serpentine resistor of `ohms` given a poly sheet
+/// resistance (Ω/sq).
+///
+/// Ports: `"p"`, `"m"`.
+///
+/// # Panics
+///
+/// Panics for non-positive resistance or sheet resistance.
+pub fn resistor(name: &str, ohms: f64, sheet_ohms: f64, rules: &DesignRules) -> DeviceLayout {
+    assert!(ohms > 0.0 && sheet_ohms > 0.0, "bad resistor parameters");
+    let squares = (ohms / sheet_ohms).max(1.0);
+    let width = rules.poly_width;
+    // Serpentine: legs of at most 40 squares.
+    let squares_per_leg = 40.0_f64;
+    let legs = (squares / squares_per_leg).ceil() as i64;
+    let leg_squares = squares / legs as f64;
+    let leg_len = (leg_squares * width as f64).round() as i64;
+    let pitch = width + rules.poly_spacing;
+
+    let mut shapes = Vec::new();
+    for leg in 0..legs {
+        let x = leg * pitch;
+        shapes.push((Layer::Poly, Rect::with_size(x, 0, width, leg_len)));
+        if leg + 1 < legs {
+            // Joining stub alternating top/bottom.
+            let y = if leg % 2 == 0 { leg_len - width } else { 0 };
+            shapes.push((Layer::Poly, Rect::with_size(x, y, pitch + width, width)));
+        }
+    }
+    let mut ports = HashMap::new();
+    ports.insert("p".to_string(), Rect::with_size(0, 0, width, width));
+    let last_x = (legs - 1) * pitch;
+    let last_y = if legs % 2 == 1 { leg_len - width } else { 0 };
+    ports.insert(
+        "m".to_string(),
+        Rect::with_size(last_x, last_y, width, width),
+    );
+    DeviceLayout {
+        name: name.to_string(),
+        shapes,
+        ports,
+    }
+}
+
+/// Generates a poly-poly (or MIM-style) plate capacitor of `farads` given
+/// an areal capacitance (F/m²).
+///
+/// Ports: `"p"` (top plate), `"m"` (bottom plate).
+///
+/// # Panics
+///
+/// Panics for non-positive capacitance or density.
+pub fn capacitor(
+    name: &str,
+    farads: f64,
+    f_per_m2: f64,
+    rules: &DesignRules,
+) -> DeviceLayout {
+    assert!(farads > 0.0 && f_per_m2 > 0.0, "bad capacitor parameters");
+    let area_m2 = farads / f_per_m2;
+    let side_nm = ((area_m2.sqrt() * 1e9).round() as i64).max(rules.diff_width);
+    let bottom = Rect::with_size(0, 0, side_nm + 2 * rules.grid, side_nm + 2 * rules.grid);
+    let top = Rect::with_size(rules.grid, rules.grid, side_nm, side_nm);
+    let mut ports = HashMap::new();
+    // Top-plate contact in the plate center; bottom-plate contact at the
+    // opposite corner — far enough apart that the router's grid never maps
+    // them onto the same cell.
+    ports.insert(
+        "p".to_string(),
+        Rect::with_size(
+            rules.grid + side_nm / 2,
+            rules.grid + side_nm / 2,
+            rules.contact_size,
+            rules.contact_size,
+        ),
+    );
+    ports.insert(
+        "m".to_string(),
+        Rect::with_size(0, 0, rules.contact_size, rules.contact_size),
+    );
+    DeviceLayout {
+        name: name.to_string(),
+        shapes: vec![(Layer::Poly, bottom), (Layer::Metal1, top)],
+        ports,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules() -> DesignRules {
+        DesignRules::default()
+    }
+
+    #[test]
+    fn mos_has_all_ports_and_positive_area() {
+        let d = mos("M1", 10e-6, 1.2e-6, 2, &rules());
+        for p in ["d", "g", "s", "b"] {
+            assert!(d.ports.contains_key(p), "missing port {p}");
+        }
+        assert!(d.bbox().area() > 0);
+    }
+
+    #[test]
+    fn more_fingers_make_wider_shorter_devices() {
+        let r = rules();
+        let one = mos("M1", 40e-6, 1.2e-6, 1, &r);
+        let four = mos("M1", 40e-6, 1.2e-6, 4, &r);
+        // Four fingers: each finger carries W/4 → shorter diffusion height.
+        assert!(four.bbox().height() < one.bbox().height());
+        // But more gates side by side → wider.
+        assert!(four.bbox().width() > one.bbox().width());
+    }
+
+    #[test]
+    fn folding_reduces_area_imbalance() {
+        // The aspect ratio of a wide device improves with folding —
+        // the optimization KOAN exploits dynamically.
+        let r = rules();
+        let flat = mos("M1", 100e-6, 1.2e-6, 1, &r);
+        let folded = mos("M1", 100e-6, 1.2e-6, 5, &r);
+        let ar = |b: Rect| b.width().max(b.height()) as f64 / b.width().min(b.height()) as f64;
+        assert!(ar(folded.bbox()) < ar(flat.bbox()));
+    }
+
+    #[test]
+    fn mos_gate_count_matches_fingers() {
+        let d = mos("M1", 20e-6, 1.2e-6, 3, &rules());
+        let gates = d
+            .shapes
+            .iter()
+            .filter(|(l, _)| *l == Layer::Poly)
+            .count();
+        assert_eq!(gates, 3);
+    }
+
+    #[test]
+    fn resistor_length_scales_with_value() {
+        let r = rules();
+        let small = resistor("R1", 1e3, 50.0, &r);
+        let large = resistor("R2", 50e3, 50.0, &r);
+        assert!(large.bbox().area() > small.bbox().area());
+        assert!(small.ports.contains_key("p") && small.ports.contains_key("m"));
+    }
+
+    #[test]
+    fn capacitor_area_matches_value() {
+        let r = rules();
+        let c = capacitor("C1", 1e-12, 1e-3, &r); // 1 pF at 1 fF/µm² → 1000 µm²
+        let b = c.bbox();
+        let area_um2 = (b.width() as f64 / 1000.0) * (b.height() as f64 / 1000.0);
+        assert!(
+            (area_um2 - 1000.0).abs() / 1000.0 < 0.3,
+            "area = {area_um2} µm²"
+        );
+    }
+
+    #[test]
+    fn translation_moves_ports_with_shapes() {
+        let d = mos("M1", 10e-6, 1.2e-6, 1, &rules());
+        let t = d.translated(5000, -3000);
+        let p0 = d.port_center("g").unwrap();
+        let p1 = t.port_center("g").unwrap();
+        assert_eq!(p1.x - p0.x, 5000);
+        assert_eq!(p1.y - p0.y, -3000);
+        assert_eq!(t.bbox().area(), d.bbox().area());
+    }
+
+    #[test]
+    #[should_panic(expected = "bad MOS")]
+    fn zero_fingers_panics() {
+        mos("M1", 10e-6, 1e-6, 0, &rules());
+    }
+}

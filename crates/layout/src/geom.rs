@@ -1,0 +1,304 @@
+//! Integer (nanometer-grid) layout geometry.
+//!
+//! All coordinates are `i64` nanometers: exact arithmetic, no FP drift in
+//! design-rule math. Mask layers follow a generic 2-metal CMOS stack of the
+//! tutorial's era.
+
+use std::fmt;
+
+/// Mask layers of the generic 2-metal CMOS process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Layer {
+    /// N+ or P+ diffusion (active).
+    Diffusion,
+    /// Polysilicon gate layer.
+    Poly,
+    /// Contact cut between diffusion/poly and metal-1.
+    Contact,
+    /// First metal layer.
+    Metal1,
+    /// Via between metal-1 and metal-2.
+    Via1,
+    /// Second metal layer.
+    Metal2,
+    /// N-well.
+    Well,
+}
+
+impl Layer {
+    /// All drawable layers in stacking order.
+    pub const ALL: [Layer; 7] = [
+        Layer::Well,
+        Layer::Diffusion,
+        Layer::Poly,
+        Layer::Contact,
+        Layer::Metal1,
+        Layer::Via1,
+        Layer::Metal2,
+    ];
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Layer::Diffusion => "diff",
+            Layer::Poly => "poly",
+            Layer::Contact => "cont",
+            Layer::Metal1 => "m1",
+            Layer::Via1 => "via1",
+            Layer::Metal2 => "m2",
+            Layer::Well => "well",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A point on the nanometer grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Point {
+    /// X in nanometers.
+    pub x: i64,
+    /// Y in nanometers.
+    pub y: i64,
+}
+
+impl Point {
+    /// Creates a point.
+    pub fn new(x: i64, y: i64) -> Self {
+        Point { x, y }
+    }
+
+    /// Manhattan distance to another point.
+    pub fn manhattan(&self, other: Point) -> i64 {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+}
+
+/// An axis-aligned rectangle `[x0, x1) × [y0, y1)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rect {
+    /// Left edge.
+    pub x0: i64,
+    /// Bottom edge.
+    pub y0: i64,
+    /// Right edge.
+    pub x1: i64,
+    /// Top edge.
+    pub y1: i64,
+}
+
+impl Rect {
+    /// Creates a rectangle, normalizing corner order.
+    pub fn new(x0: i64, y0: i64, x1: i64, y1: i64) -> Self {
+        Rect {
+            x0: x0.min(x1),
+            y0: y0.min(y1),
+            x1: x0.max(x1),
+            y1: y0.max(y1),
+        }
+    }
+
+    /// Rectangle from origin and size.
+    pub fn with_size(x: i64, y: i64, w: i64, h: i64) -> Self {
+        Rect::new(x, y, x + w, y + h)
+    }
+
+    /// Width.
+    pub fn width(&self) -> i64 {
+        self.x1 - self.x0
+    }
+
+    /// Height.
+    pub fn height(&self) -> i64 {
+        self.y1 - self.y0
+    }
+
+    /// Area in nm².
+    pub fn area(&self) -> i64 {
+        self.width() * self.height()
+    }
+
+    /// Center point (rounded down).
+    pub fn center(&self) -> Point {
+        Point::new((self.x0 + self.x1) / 2, (self.y0 + self.y1) / 2)
+    }
+
+    /// Whether two rectangles overlap with positive area.
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.x0 < other.x1 && other.x0 < self.x1 && self.y0 < other.y1 && other.y0 < self.y1
+    }
+
+    /// Overlap area with another rectangle.
+    pub fn overlap_area(&self, other: &Rect) -> i64 {
+        let w = (self.x1.min(other.x1) - self.x0.max(other.x0)).max(0);
+        let h = (self.y1.min(other.y1) - self.y0.max(other.y0)).max(0);
+        w * h
+    }
+
+    /// Smallest rectangle containing both.
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            x0: self.x0.min(other.x0),
+            y0: self.y0.min(other.y0),
+            x1: self.x1.max(other.x1),
+            y1: self.y1.max(other.y1),
+        }
+    }
+
+    /// Rectangle grown by `margin` on every side.
+    pub fn expanded(&self, margin: i64) -> Rect {
+        Rect::new(
+            self.x0 - margin,
+            self.y0 - margin,
+            self.x1 + margin,
+            self.y1 + margin,
+        )
+    }
+
+    /// Translated copy.
+    pub fn translated(&self, dx: i64, dy: i64) -> Rect {
+        Rect {
+            x0: self.x0 + dx,
+            y0: self.y0 + dy,
+            x1: self.x1 + dx,
+            y1: self.y1 + dy,
+        }
+    }
+
+    /// Whether the rectangle contains a point (half-open).
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.x0 && p.x < self.x1 && p.y >= self.y0 && p.y < self.y1
+    }
+
+    /// Minimum edge-to-edge spacing to another rectangle (0 if touching or
+    /// overlapping).
+    pub fn spacing_to(&self, other: &Rect) -> i64 {
+        let dx = (other.x0 - self.x1).max(self.x0 - other.x1).max(0);
+        let dy = (other.y0 - self.y1).max(self.y0 - other.y1).max(0);
+        if dx > 0 && dy > 0 {
+            // Diagonal separation: use the larger axis gap (conservative
+            // Manhattan rule used by 1990s DRC decks).
+            dx.max(dy)
+        } else {
+            dx.max(dy)
+        }
+    }
+}
+
+/// Device orientation: four rotations and their mirrored forms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Orientation {
+    /// No transformation.
+    #[default]
+    R0,
+    /// 90° counterclockwise.
+    R90,
+    /// 180°.
+    R180,
+    /// 270° counterclockwise.
+    R270,
+    /// Mirror about the Y axis.
+    MirrorX,
+    /// Mirror about the X axis.
+    MirrorY,
+}
+
+impl Orientation {
+    /// All eight… well, six supported orientations.
+    pub const ALL: [Orientation; 6] = [
+        Orientation::R0,
+        Orientation::R90,
+        Orientation::R180,
+        Orientation::R270,
+        Orientation::MirrorX,
+        Orientation::MirrorY,
+    ];
+
+    /// Applies the orientation to a rectangle within a cell of the given
+    /// bounding box (the box itself is re-normalized to the origin).
+    pub fn apply(&self, r: &Rect, bbox: &Rect) -> Rect {
+        let (w, h) = (bbox.width(), bbox.height());
+        // Normalize to bbox-local coordinates.
+        let (x0, y0, x1, y1) = (r.x0 - bbox.x0, r.y0 - bbox.y0, r.x1 - bbox.x0, r.y1 - bbox.y0);
+        match self {
+            Orientation::R0 => Rect::new(x0, y0, x1, y1),
+            Orientation::R90 => Rect::new(h - y1, x0, h - y0, x1),
+            Orientation::R180 => Rect::new(w - x1, h - y1, w - x0, h - y0),
+            Orientation::R270 => Rect::new(y0, w - x1, y1, w - x0),
+            Orientation::MirrorX => Rect::new(w - x1, y0, w - x0, y1),
+            Orientation::MirrorY => Rect::new(x0, h - y1, x1, h - y0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_normalizes_corners() {
+        let r = Rect::new(10, 20, 0, 5);
+        assert_eq!(r, Rect::new(0, 5, 10, 20));
+        assert_eq!(r.width(), 10);
+        assert_eq!(r.height(), 15);
+        assert_eq!(r.area(), 150);
+    }
+
+    #[test]
+    fn intersection_and_overlap() {
+        let a = Rect::new(0, 0, 10, 10);
+        let b = Rect::new(5, 5, 15, 15);
+        assert!(a.intersects(&b));
+        assert_eq!(a.overlap_area(&b), 25);
+        let c = Rect::new(10, 0, 20, 10); // touching edge: no overlap
+        assert!(!a.intersects(&c));
+        assert_eq!(a.overlap_area(&c), 0);
+    }
+
+    #[test]
+    fn union_and_expand() {
+        let a = Rect::new(0, 0, 10, 10);
+        let b = Rect::new(20, -5, 30, 5);
+        let u = a.union(&b);
+        assert_eq!(u, Rect::new(0, -5, 30, 10));
+        assert_eq!(a.expanded(2), Rect::new(-2, -2, 12, 12));
+    }
+
+    #[test]
+    fn spacing_between_rects() {
+        let a = Rect::new(0, 0, 10, 10);
+        let b = Rect::new(15, 0, 25, 10);
+        assert_eq!(a.spacing_to(&b), 5);
+        assert_eq!(b.spacing_to(&a), 5);
+        let c = Rect::new(5, 5, 8, 8); // inside a
+        assert_eq!(a.spacing_to(&c), 0);
+        let d = Rect::new(13, 14, 20, 20); // diagonal
+        assert_eq!(a.spacing_to(&d), 4);
+    }
+
+    #[test]
+    fn orientation_r90_swaps_dimensions() {
+        let bbox = Rect::new(0, 0, 10, 4);
+        let r = Rect::new(0, 0, 2, 4);
+        let rotated = Orientation::R90.apply(&r, &bbox);
+        assert_eq!(rotated.width(), 4);
+        assert_eq!(rotated.height(), 2);
+        // Orientation of the whole bbox keeps area.
+        assert_eq!(rotated.area(), r.area());
+    }
+
+    #[test]
+    fn orientation_mirror_is_involution() {
+        let bbox = Rect::new(0, 0, 10, 6);
+        let r = Rect::new(1, 2, 4, 5);
+        let once = Orientation::MirrorX.apply(&r, &bbox);
+        let twice = Orientation::MirrorX.apply(&once, &bbox);
+        assert_eq!(twice, r);
+    }
+
+    #[test]
+    fn manhattan_distance() {
+        assert_eq!(Point::new(0, 0).manhattan(Point::new(3, 4)), 7);
+        assert_eq!(Point::new(-1, -1).manhattan(Point::new(1, 1)), 4);
+    }
+}

@@ -1,0 +1,142 @@
+//! Design rules for the generic 2-metal CMOS process.
+
+use crate::geom::Layer;
+
+/// Minimum width/spacing rules in nanometers, plus derived pitches.
+///
+/// The defaults describe a generic 1.2 µm process (λ = 600 nm) matching
+/// the [`ams_netlist::Technology::generic_1p2um`] electrical models.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignRules {
+    /// Process name.
+    pub name: &'static str,
+    /// Minimum poly (gate) width = drawn channel length, nm.
+    pub poly_width: i64,
+    /// Minimum poly spacing, nm.
+    pub poly_spacing: i64,
+    /// Minimum diffusion width, nm.
+    pub diff_width: i64,
+    /// Minimum diffusion spacing, nm.
+    pub diff_spacing: i64,
+    /// Contact cut size, nm.
+    pub contact_size: i64,
+    /// Contact-to-gate spacing, nm.
+    pub contact_to_gate: i64,
+    /// Minimum metal-1 width, nm.
+    pub m1_width: i64,
+    /// Minimum metal-1 spacing, nm.
+    pub m1_spacing: i64,
+    /// Minimum metal-2 width, nm.
+    pub m2_width: i64,
+    /// Minimum metal-2 spacing, nm.
+    pub m2_spacing: i64,
+    /// Well enclosure of diffusion, nm.
+    pub well_enclosure: i64,
+    /// Routing grid pitch, nm.
+    pub grid: i64,
+    /// Areal capacitance of metal over substrate, aF/nm² (≈ 0.03 fF/µm²).
+    pub metal_cap_af_per_nm2: f64,
+    /// Sidewall coupling capacitance between parallel adjacent wires,
+    /// aF/nm of shared run length at minimum spacing.
+    pub coupling_af_per_nm: f64,
+    /// Sheet resistance of metal-1, mΩ/sq.
+    pub m1_sheet_mohm: f64,
+    /// Sheet resistance of metal-2, mΩ/sq.
+    pub m2_sheet_mohm: f64,
+}
+
+impl DesignRules {
+    /// Rules for the generic 1.2 µm process.
+    pub fn generic_1p2um() -> Self {
+        DesignRules {
+            name: "generic-1.2um",
+            poly_width: 1200,
+            poly_spacing: 1800,
+            diff_width: 1800,
+            diff_spacing: 2400,
+            contact_size: 1200,
+            contact_to_gate: 1200,
+            m1_width: 1800,
+            m1_spacing: 1800,
+            m2_width: 2400,
+            m2_spacing: 2400,
+            well_enclosure: 3600,
+            grid: 600,
+            metal_cap_af_per_nm2: 3.0e-5,
+            coupling_af_per_nm: 0.05,
+            m1_sheet_mohm: 70.0,
+            m2_sheet_mohm: 40.0,
+        }
+    }
+
+    /// Minimum width for a layer, nm.
+    pub fn min_width(&self, layer: Layer) -> i64 {
+        match layer {
+            Layer::Poly => self.poly_width,
+            Layer::Diffusion => self.diff_width,
+            Layer::Contact | Layer::Via1 => self.contact_size,
+            Layer::Metal1 => self.m1_width,
+            Layer::Metal2 => self.m2_width,
+            Layer::Well => self.diff_width + 2 * self.well_enclosure,
+        }
+    }
+
+    /// Minimum same-layer spacing, nm.
+    pub fn min_spacing(&self, layer: Layer) -> i64 {
+        match layer {
+            Layer::Poly => self.poly_spacing,
+            Layer::Diffusion => self.diff_spacing,
+            Layer::Contact | Layer::Via1 => self.contact_size,
+            Layer::Metal1 => self.m1_spacing,
+            Layer::Metal2 => self.m2_spacing,
+            Layer::Well => self.well_enclosure,
+        }
+    }
+
+    /// Routing pitch (width + spacing) for a metal layer, nm.
+    pub fn pitch(&self, layer: Layer) -> i64 {
+        self.min_width(layer) + self.min_spacing(layer)
+    }
+
+    /// Snaps a coordinate down to the routing grid.
+    pub fn snap(&self, v: i64) -> i64 {
+        v - v.rem_euclid(self.grid)
+    }
+}
+
+impl Default for DesignRules {
+    fn default() -> Self {
+        Self::generic_1p2um()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_rules_are_consistent() {
+        let r = DesignRules::default();
+        for layer in Layer::ALL {
+            assert!(r.min_width(layer) > 0, "{layer}");
+            assert!(r.min_spacing(layer) > 0, "{layer}");
+        }
+        assert!(r.pitch(Layer::Metal1) >= r.m1_width + r.m1_spacing);
+    }
+
+    #[test]
+    fn snap_rounds_down_to_grid() {
+        let r = DesignRules::default();
+        assert_eq!(r.snap(0), 0);
+        assert_eq!(r.snap(599), 0);
+        assert_eq!(r.snap(600), 600);
+        assert_eq!(r.snap(1500), 1200);
+        assert_eq!(r.snap(-1), -600);
+    }
+
+    #[test]
+    fn metal2_is_coarser_than_metal1() {
+        let r = DesignRules::default();
+        assert!(r.pitch(Layer::Metal2) >= r.pitch(Layer::Metal1));
+    }
+}

@@ -1,0 +1,178 @@
+//! Sensitivity-driven parasitic constraint generation.
+//!
+//! "The notion of using sensitivity analysis to quantify the impact on
+//! final circuit performance of low-level layout decisions … has emerged as
+//! the critical glue that links the various approaches being taken for
+//! cell-level layout and system assembly" (§3.1, citing Choudhury &
+//! Sangiovanni-Vincentelli \[46\]).
+//!
+//! Given per-net performance sensitivities `∂P/∂C` and an allowed
+//! degradation per performance metric, [`generate_bounds`] distributes the
+//! margin into per-net parasitic capacitance bounds; [`net_weights`] maps
+//! the bounds into router cost weights (ROAD/ANAGRAM III style
+//! parasitic-bounded routing \[39,40\]).
+
+use std::collections::HashMap;
+
+/// Sensitivity of one performance metric to parasitic capacitance per net.
+#[derive(Debug, Clone)]
+pub struct PerfSensitivity {
+    /// Metric name ("ugf_hz", "phase_margin_deg"…).
+    pub metric: String,
+    /// Allowed degradation of this metric (same unit as the metric).
+    pub margin: f64,
+    /// `∂P/∂C` per net (metric units per farad; sign irrelevant, the
+    /// magnitude is used).
+    pub per_net: HashMap<String, f64>,
+}
+
+/// Per-net parasitic capacitance bounds in farads.
+pub type CapBounds = HashMap<String, f64>;
+
+/// Distributes each metric's degradation margin across its sensitive nets
+/// and returns the tightest resulting bound per net.
+///
+/// The allocation follows the margin-splitting heuristic of \[46\]: a metric
+/// with margin `ΔP` and nets of sensitivity `Sᵢ` grants net `i` a
+/// capacitance budget `ΔP / (n·|Sᵢ|)`, so that even if every net uses its
+/// full budget the metric degrades by at most `ΔP`.
+pub fn generate_bounds(sensitivities: &[PerfSensitivity]) -> CapBounds {
+    let mut bounds: CapBounds = HashMap::new();
+    for s in sensitivities {
+        let n = s.per_net.len().max(1) as f64;
+        for (net, &dp_dc) in &s.per_net {
+            if dp_dc.abs() < 1e-30 {
+                continue; // insensitive net: unconstrained by this metric
+            }
+            let budget = s.margin.abs() / (n * dp_dc.abs());
+            bounds
+                .entry(net.clone())
+                .and_modify(|b| *b = b.min(budget))
+                .or_insert(budget);
+        }
+    }
+    bounds
+}
+
+/// Verifies that measured per-net parasitics respect the bounds; returns
+/// the violations `(net, measured, bound)`.
+pub fn check_bounds(bounds: &CapBounds, measured: &HashMap<String, f64>) -> Vec<(String, f64, f64)> {
+    let mut violations: Vec<(String, f64, f64)> = measured
+        .iter()
+        .filter_map(|(net, &c)| {
+            bounds
+                .get(net)
+                .filter(|&&b| c > b)
+                .map(|&b| (net.clone(), c, b))
+        })
+        .collect();
+    violations.sort_by(|a, b| a.0.cmp(&b.0));
+    violations
+}
+
+/// Predicted degradation of each metric given measured parasitics:
+/// `ΔP = Σᵢ |Sᵢ|·Cᵢ`. Lets callers verify the margin arithmetic end-to-end.
+pub fn predicted_degradation(
+    sensitivities: &[PerfSensitivity],
+    measured: &HashMap<String, f64>,
+) -> HashMap<String, f64> {
+    sensitivities
+        .iter()
+        .map(|s| {
+            let total: f64 = s
+                .per_net
+                .iter()
+                .map(|(net, &dp_dc)| {
+                    dp_dc.abs() * measured.get(net).copied().unwrap_or(0.0)
+                })
+                .sum();
+            (s.metric.clone(), total)
+        })
+        .collect()
+}
+
+/// Maps capacitance bounds into relative router cost weights: nets with
+/// tight bounds get proportionally higher weights so the router buys them
+/// shorter, less-coupled paths.
+pub fn net_weights(bounds: &CapBounds) -> HashMap<String, f64> {
+    let max_b = bounds.values().cloned().fold(0.0, f64::max);
+    if max_b <= 0.0 {
+        return bounds.keys().map(|k| (k.clone(), 1.0)).collect();
+    }
+    bounds
+        .iter()
+        .map(|(net, &b)| (net.clone(), (max_b / b.max(1e-30)).min(1e6)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sens(metric: &str, margin: f64, nets: &[(&str, f64)]) -> PerfSensitivity {
+        PerfSensitivity {
+            metric: metric.to_string(),
+            margin,
+            per_net: nets.iter().map(|(n, s)| (n.to_string(), *s)).collect(),
+        }
+    }
+
+    #[test]
+    fn budgets_guarantee_margin() {
+        // UGF margin 1 MHz; two nets with different sensitivities.
+        let s = sens("ugf_hz", 1e6, &[("out", 2e18), ("d1", 5e17)]);
+        let bounds = generate_bounds(&[s.clone()]);
+        // Full use of every budget degrades by exactly the margin.
+        let measured: HashMap<String, f64> = bounds.clone();
+        let deg = predicted_degradation(&[s], &measured);
+        assert!((deg["ugf_hz"] - 1e6).abs() / 1e6 < 1e-9);
+    }
+
+    #[test]
+    fn sensitive_nets_get_tighter_bounds() {
+        let s = sens("ugf_hz", 1e6, &[("hot", 1e19), ("cold", 1e17)]);
+        let bounds = generate_bounds(&[s]);
+        assert!(bounds["hot"] < bounds["cold"]);
+    }
+
+    #[test]
+    fn multiple_metrics_take_the_minimum() {
+        let a = sens("ugf_hz", 1e6, &[("out", 1e18)]);
+        let b = sens("phase_margin_deg", 5.0, &[("out", 1e16)]);
+        let bounds = generate_bounds(&[a.clone(), b.clone()]);
+        let ba: f64 = 1e6 / 1e18;
+        let bb: f64 = 5.0 / 1e16;
+        assert!((bounds["out"] - ba.min(bb)).abs() / ba.min(bb) < 1e-12);
+    }
+
+    #[test]
+    fn insensitive_nets_are_unconstrained() {
+        let s = sens("ugf_hz", 1e6, &[("out", 1e18), ("bias", 0.0)]);
+        let bounds = generate_bounds(&[s]);
+        assert!(bounds.contains_key("out"));
+        assert!(!bounds.contains_key("bias"));
+    }
+
+    #[test]
+    fn check_bounds_reports_violations() {
+        let mut bounds = CapBounds::new();
+        bounds.insert("out".to_string(), 10e-15);
+        let mut measured = HashMap::new();
+        measured.insert("out".to_string(), 25e-15);
+        measured.insert("other".to_string(), 1e-12); // unbounded net: fine
+        let v = check_bounds(&bounds, &measured);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].0, "out");
+    }
+
+    #[test]
+    fn weights_invert_bounds() {
+        let mut bounds = CapBounds::new();
+        bounds.insert("tight".to_string(), 1e-15);
+        bounds.insert("loose".to_string(), 1e-13);
+        let w = net_weights(&bounds);
+        assert!(w["tight"] > w["loose"]);
+        assert!((w["loose"] - 1.0).abs() < 1e-12);
+        assert!((w["tight"] - 100.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,564 @@
+//! MOS device stacking: merging drains and sources into diffusion stacks.
+//!
+//! "By rendering the circuit as an appropriate graph of connected drains
+//! and sources, it is possible to identify natural clusters of MOS devices
+//! that ought to be merged — called stacks — to minimize parasitic
+//! capacitance. \[43\] gave an exact algorithm to extract all the optimal
+//! stacks … \[45\] offers another variant: instead of extracting all the
+//! stacks (which can be time-consuming since the underlying algorithm is
+//! exponential), this technique extracts one optimal set of stacks very
+//! fast" (§3.1).
+//!
+//! Devices are edges of a multigraph whose vertices are diffusion nets; a
+//! stack is a trail (edge-disjoint walk). Minimizing stack count maximizes
+//! merged junctions. [`DiffusionGraph::stack_linear`] builds one optimal
+//! decomposition in O(n) (Hierholzer with odd-vertex starts, the \[45\]
+//! approach); [`DiffusionGraph::stack_exact`] exhaustively enumerates
+//! decompositions (the \[43\] approach) — exponential, but it certifies
+//! optimality and counts the alternatives a placer could choose from.
+
+use std::collections::HashMap;
+
+/// A chain of devices sharing source/drain diffusions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stack {
+    /// Device names in chain order.
+    pub devices: Vec<String>,
+    /// Net visited at each junction (length = devices + 1).
+    pub nets: Vec<String>,
+}
+
+impl Stack {
+    /// Number of merged (shared) diffusion junctions.
+    pub fn merges(&self) -> usize {
+        self.devices.len().saturating_sub(1)
+    }
+}
+
+/// Result of a stacking run.
+#[derive(Debug, Clone)]
+pub struct Stacking {
+    /// The stacks, grouped across all device classes.
+    pub stacks: Vec<Stack>,
+    /// Total merged junctions (higher = less parasitic diffusion).
+    pub total_merges: usize,
+}
+
+impl Stacking {
+    /// Number of stacks.
+    pub fn len(&self) -> usize {
+        self.stacks.len()
+    }
+
+    /// Whether there are no stacks.
+    pub fn is_empty(&self) -> bool {
+        self.stacks.is_empty()
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Edge {
+    name: String,
+    a: usize,
+    b: usize,
+}
+
+/// The drain/source connectivity multigraph, partitioned by device class
+/// (devices only merge when electrically compatible: same type, same
+/// width).
+#[derive(Debug, Clone, Default)]
+pub struct DiffusionGraph {
+    nets: Vec<String>,
+    net_ids: HashMap<String, usize>,
+    /// class key → edges.
+    classes: HashMap<String, Vec<Edge>>,
+}
+
+impl DiffusionGraph {
+    /// Empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a MOS device: an edge between its drain and source nets, in the
+    /// mergeability class `class` (e.g. `"nmos:w=10u"`).
+    pub fn add_device(&mut self, name: &str, drain: &str, source: &str, class: &str) {
+        let a = self.net_id(drain);
+        let b = self.net_id(source);
+        self.classes.entry(class.to_string()).or_default().push(Edge {
+            name: name.to_string(),
+            a,
+            b,
+        });
+    }
+
+    fn net_id(&mut self, net: &str) -> usize {
+        if let Some(&id) = self.net_ids.get(net) {
+            return id;
+        }
+        let id = self.nets.len();
+        self.nets.push(net.to_string());
+        self.net_ids.insert(net.to_string(), id);
+        id
+    }
+
+    /// Number of devices across all classes.
+    pub fn num_devices(&self) -> usize {
+        self.classes.values().map(Vec::len).sum()
+    }
+
+    /// One optimal stacking, computed per class with Hierholzer trail
+    /// decomposition started at odd-degree vertices — linear in the device
+    /// count (the fast single-solution algorithm of \[45\]).
+    pub fn stack_linear(&self) -> Stacking {
+        let mut stacks: Vec<Stack> = Vec::new();
+        let mut keys: Vec<&String> = self.classes.keys().collect();
+        keys.sort();
+        for key in keys {
+            stacks.extend(self.linear_class(&self.classes[key]));
+        }
+        let total_merges = stacks.iter().map(Stack::merges).sum();
+        Stacking {
+            stacks,
+            total_merges,
+        }
+    }
+
+    fn linear_class(&self, edges: &[Edge]) -> Vec<Stack> {
+        let n = self.nets.len();
+        // adjacency: vertex -> list of (edge index, other vertex)
+        let mut adj: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+        for (i, e) in edges.iter().enumerate() {
+            adj[e.a].push((i, e.b));
+            adj[e.b].push((i, e.a));
+        }
+        let mut used = vec![false; edges.len()];
+        let mut cursor = vec![0usize; n];
+
+        // Walk from a start vertex, consuming unused edges (Hierholzer with
+        // splicing folded in: we walk, and when stuck we close the trail —
+        // starting at odd vertices first guarantees the minimum trail
+        // count).
+        let walk = |start: usize, used: &mut Vec<bool>, cursor: &mut Vec<usize>| -> Option<(Vec<usize>, Vec<usize>)> {
+            // returns (edge sequence, vertex sequence)
+            let mut path_edges = Vec::new();
+            let mut path_verts = vec![start];
+            let mut v = start;
+            loop {
+                let mut advanced = false;
+                while cursor[v] < adj[v].len() {
+                    let (ei, w) = adj[v][cursor[v]];
+                    cursor[v] += 1;
+                    if !used[ei] {
+                        used[ei] = true;
+                        path_edges.push(ei);
+                        path_verts.push(w);
+                        v = w;
+                        advanced = true;
+                        break;
+                    }
+                }
+                if !advanced {
+                    break;
+                }
+            }
+            if path_edges.is_empty() {
+                None
+            } else {
+                Some((path_edges, path_verts))
+            }
+        };
+
+        // Remaining-degree bookkeeping: each walk must start at a vertex of
+        // odd *remaining* degree (if any exists), or the trail count
+        // exceeds the optimum.
+        let mut rem_degree = vec![0usize; n];
+        for e in edges {
+            rem_degree[e.a] += 1;
+            rem_degree[e.b] += 1;
+        }
+        let mut remaining = edges.len();
+        let mut trails: Vec<(Vec<usize>, Vec<usize>)> = Vec::new();
+        while remaining > 0 {
+            let start = (0..n)
+                .find(|&v| rem_degree[v] % 2 == 1)
+                .or_else(|| (0..n).find(|&v| rem_degree[v] > 0))
+                .expect("edges remain");
+            if let Some(t) = walk(start, &mut used, &mut cursor) {
+                remaining -= t.0.len();
+                for &ei in &t.0 {
+                    rem_degree[edges[ei].a] -= 1;
+                    rem_degree[edges[ei].b] -= 1;
+                }
+                trails.push(t);
+            } else {
+                unreachable!("walk from a vertex with remaining edges");
+            }
+        }
+        // Splice closed tours into trails passing through their vertices.
+        // (Keeps the decomposition minimal for graphs mixing open and
+        // closed components.)
+        let mut merged = true;
+        while merged {
+            merged = false;
+            'outer: for i in 0..trails.len() {
+                // Closed tour?
+                if trails[i].1.first() == trails[i].1.last() {
+                    for j in 0..trails.len() {
+                        if i == j {
+                            continue;
+                        }
+                        if let Some(pos) = trails[j]
+                            .1
+                            .iter()
+                            .position(|v| trails[i].1.contains(v))
+                        {
+                            let tour = trails.remove(i);
+                            let host = if j > i { j - 1 } else { j };
+                            splice(&mut trails[host], &tour, pos);
+                            merged = true;
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+
+        trails
+            .into_iter()
+            .map(|(es, vs)| Stack {
+                devices: es.iter().map(|&ei| edges[ei].name.clone()).collect(),
+                nets: vs.iter().map(|&v| self.nets[v].clone()).collect(),
+            })
+            .collect()
+    }
+
+    /// Exhaustive optimal stacking: tries every edge-disjoint trail
+    /// decomposition and returns (one of) the minimum-stack solutions plus
+    /// the number of distinct optimal decompositions found.
+    ///
+    /// Exponential in device count — experiment E6's contrast with
+    /// [`DiffusionGraph::stack_linear`]. Practical up to ~10 devices per
+    /// class.
+    pub fn stack_exact(&self) -> (Stacking, usize) {
+        let mut stacks = Vec::new();
+        let mut optimal_count = 1usize;
+        let mut keys: Vec<&String> = self.classes.keys().collect();
+        keys.sort();
+        for key in keys {
+            let edges = &self.classes[key];
+            let (best, count) = self.exact_class(edges);
+            optimal_count = optimal_count.saturating_mul(count.max(1));
+            stacks.extend(best);
+        }
+        let total_merges = stacks.iter().map(Stack::merges).sum();
+        (
+            Stacking {
+                stacks,
+                total_merges,
+            },
+            optimal_count,
+        )
+    }
+
+    fn exact_class(&self, edges: &[Edge]) -> (Vec<Stack>, usize) {
+        let m = edges.len();
+        if m == 0 {
+            return (Vec::new(), 1);
+        }
+        // DFS over decompositions: state = set of used edges + current
+        // open trail end; canonical move ordering avoids double counting
+        // only loosely (we count "distinct explored optimal solutions").
+        let mut best_stacks: Option<Vec<(Vec<usize>, Vec<usize>)>> = None;
+        let mut best_count = usize::MAX;
+        let mut n_optimal = 0usize;
+
+        #[allow(clippy::too_many_arguments)]
+        fn dfs(
+            edges: &[Edge],
+            used_mask: u32,
+            current: Option<(Vec<usize>, Vec<usize>)>,
+            finished: &mut Vec<(Vec<usize>, Vec<usize>)>,
+            best_count: &mut usize,
+            best_stacks: &mut Option<Vec<(Vec<usize>, Vec<usize>)>>,
+            n_optimal: &mut usize,
+        ) {
+            let m = edges.len();
+            let all = (1u32 << m) - 1;
+            // Prune: can't beat best even if everything chains.
+            let lower_bound = finished.len() + usize::from(current.is_some());
+            if lower_bound > *best_count {
+                return;
+            }
+            if used_mask == all {
+                let mut total = finished.clone();
+                if let Some(c) = current {
+                    total.push(c);
+                }
+                let count = total.len();
+                match count.cmp(best_count) {
+                    std::cmp::Ordering::Less => {
+                        *best_count = count;
+                        *best_stacks = Some(total);
+                        *n_optimal = 1;
+                    }
+                    std::cmp::Ordering::Equal => *n_optimal += 1,
+                    std::cmp::Ordering::Greater => {}
+                }
+                return;
+            }
+            if let Some((trail_e, trail_v)) = &current {
+                // Extend at the back or at the front: the canonical "start
+                // at the lowest unused edge" rule below means that edge may
+                // sit anywhere inside its trail, so both ends must grow.
+                let back = *trail_v.last().expect("non-empty trail");
+                let front = *trail_v.first().expect("non-empty trail");
+                for (i, e) in edges.iter().enumerate() {
+                    if used_mask & (1 << i) != 0 {
+                        continue;
+                    }
+                    let next_back = if e.a == back {
+                        Some(e.b)
+                    } else if e.b == back {
+                        Some(e.a)
+                    } else {
+                        None
+                    };
+                    if let Some(w) = next_back {
+                        let mut te = trail_e.clone();
+                        let mut tv = trail_v.clone();
+                        te.push(i);
+                        tv.push(w);
+                        dfs(
+                            edges,
+                            used_mask | (1 << i),
+                            Some((te, tv)),
+                            finished,
+                            best_count,
+                            best_stacks,
+                            n_optimal,
+                        );
+                    }
+                    let next_front = if e.a == front {
+                        Some(e.b)
+                    } else if e.b == front {
+                        Some(e.a)
+                    } else {
+                        None
+                    };
+                    if let Some(w) = next_front {
+                        let mut te = trail_e.clone();
+                        let mut tv = trail_v.clone();
+                        te.insert(0, i);
+                        tv.insert(0, w);
+                        dfs(
+                            edges,
+                            used_mask | (1 << i),
+                            Some((te, tv)),
+                            finished,
+                            best_count,
+                            best_stacks,
+                            n_optimal,
+                        );
+                    }
+                }
+                // Also consider terminating the trail here.
+                finished.push((trail_e.clone(), trail_v.clone()));
+                dfs(
+                    edges, used_mask, None, finished, best_count, best_stacks, n_optimal,
+                );
+                finished.pop();
+            } else {
+                // Start a new trail at the lowest unused edge (canonical).
+                let i = (0..m).find(|i| used_mask & (1 << i) == 0).expect("unused edge");
+                let e = &edges[i];
+                dfs(
+                    edges,
+                    used_mask | (1 << i),
+                    Some((vec![i], vec![e.a, e.b])),
+                    finished,
+                    best_count,
+                    best_stacks,
+                    n_optimal,
+                );
+            }
+        }
+
+        assert!(m <= 20, "exact stacking limited to 20 devices per class");
+        let mut finished = Vec::new();
+        dfs(
+            edges,
+            0,
+            None,
+            &mut finished,
+            &mut best_count,
+            &mut best_stacks,
+            &mut n_optimal,
+        );
+        let best = best_stacks.unwrap_or_default();
+        (
+            best.into_iter()
+                .map(|(es, vs)| Stack {
+                    devices: es.iter().map(|&ei| edges[ei].name.clone()).collect(),
+                    nets: vs.iter().map(|&v| self.nets[v].clone()).collect(),
+                })
+                .collect(),
+            n_optimal,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_of_three_merges_fully() {
+        // M1: a—b, M2: b—c, M3: c—d → single stack, 2 merges.
+        let mut g = DiffusionGraph::new();
+        g.add_device("M1", "a", "b", "n");
+        g.add_device("M2", "b", "c", "n");
+        g.add_device("M3", "c", "d", "n");
+        let s = g.stack_linear();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.total_merges, 2);
+        let (exact, _) = g.stack_exact();
+        assert_eq!(exact.len(), 1);
+    }
+
+    #[test]
+    fn incompatible_classes_do_not_merge() {
+        let mut g = DiffusionGraph::new();
+        g.add_device("M1", "a", "b", "nmos:w1");
+        g.add_device("M2", "b", "c", "pmos:w1");
+        let s = g.stack_linear();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.total_merges, 0);
+    }
+
+    #[test]
+    fn differential_pair_shares_tail() {
+        // Diff pair: M1 d1—tail, M2 d2—tail → one stack through the tail.
+        let mut g = DiffusionGraph::new();
+        g.add_device("M1", "d1", "tail", "n");
+        g.add_device("M2", "d2", "tail", "n");
+        let s = g.stack_linear();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.total_merges, 1);
+        // The shared net must be the middle junction.
+        assert_eq!(s.stacks[0].nets[1], "tail");
+    }
+
+    #[test]
+    fn star_of_four_needs_two_stacks() {
+        // Four devices all touching net x: degree(x)=4 (even), degree
+        // of each leaf = 1 (odd) → 4 odd vertices → 2 trails minimum.
+        let mut g = DiffusionGraph::new();
+        for (i, leaf) in ["a", "b", "c", "d"].iter().enumerate() {
+            g.add_device(&format!("M{i}"), leaf, "x", "n");
+        }
+        let s = g.stack_linear();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.total_merges, 2);
+        let (exact, _) = g.stack_exact();
+        assert_eq!(exact.len(), 2);
+        assert_eq!(exact.total_merges, 2);
+    }
+
+    #[test]
+    fn linear_matches_exact_merge_count_on_random_graphs() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(42);
+        for trial in 0..20 {
+            let mut g = DiffusionGraph::new();
+            let n_nets = 5;
+            let n_dev = 7;
+            for d in 0..n_dev {
+                let a = rng.gen_range(0..n_nets);
+                let mut b = rng.gen_range(0..n_nets);
+                if a == b {
+                    b = (b + 1) % n_nets;
+                }
+                g.add_device(&format!("M{d}"), &format!("n{a}"), &format!("n{b}"), "n");
+            }
+            let lin = g.stack_linear();
+            let (exact, n_opt) = g.stack_exact();
+            assert_eq!(
+                lin.total_merges, exact.total_merges,
+                "trial {trial}: linear {} vs exact {}",
+                lin.total_merges, exact.total_merges
+            );
+            assert!(n_opt >= 1);
+        }
+    }
+
+    #[test]
+    fn every_device_appears_exactly_once() {
+        let mut g = DiffusionGraph::new();
+        g.add_device("M1", "a", "b", "n");
+        g.add_device("M2", "b", "c", "n");
+        g.add_device("M3", "a", "c", "n");
+        g.add_device("M4", "c", "d", "n");
+        let s = g.stack_linear();
+        let mut all: Vec<&str> = s
+            .stacks
+            .iter()
+            .flat_map(|st| st.devices.iter().map(String::as_str))
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, vec!["M1", "M2", "M3", "M4"]);
+    }
+
+    #[test]
+    fn closed_loop_is_one_stack() {
+        // Triangle: a—b, b—c, c—a: Euler tour exists → 1 stack, 2 merges.
+        let mut g = DiffusionGraph::new();
+        g.add_device("M1", "a", "b", "n");
+        g.add_device("M2", "b", "c", "n");
+        g.add_device("M3", "c", "a", "n");
+        let s = g.stack_linear();
+        assert_eq!(s.len(), 1, "{:?}", s.stacks);
+        assert_eq!(s.total_merges, 2);
+    }
+
+    #[test]
+    fn exact_counts_multiple_optima() {
+        // Square a-b-c-d-a: multiple distinct Euler tours.
+        let mut g = DiffusionGraph::new();
+        g.add_device("M1", "a", "b", "n");
+        g.add_device("M2", "b", "c", "n");
+        g.add_device("M3", "c", "d", "n");
+        g.add_device("M4", "d", "a", "n");
+        let (exact, n_opt) = g.stack_exact();
+        assert_eq!(exact.len(), 1);
+        assert!(n_opt > 1, "expected several optimal tours, got {n_opt}");
+    }
+}
+
+fn splice(host: &mut (Vec<usize>, Vec<usize>), tour: &(Vec<usize>, Vec<usize>), pos: usize) {
+    // Insert the closed tour into the host trail at vertex position `pos`.
+    // Rotate the tour so it starts at the splice vertex.
+    let splice_v = host.1[pos];
+    let start = tour
+        .1
+        .iter()
+        .position(|&v| v == splice_v)
+        .expect("tour passes through splice vertex");
+    let m = tour.0.len();
+    let rotated_edges: Vec<usize> = (0..m).map(|k| tour.0[(start + k) % m]).collect();
+    let mut rotated_verts: Vec<usize> = (0..m).map(|k| tour.1[(start + k) % m]).collect();
+    rotated_verts.push(splice_v);
+    // Host edges: insert rotated tour's edges at edge-position `pos`.
+    let (he, hv) = host;
+    let mut new_edges = Vec::with_capacity(he.len() + m);
+    new_edges.extend_from_slice(&he[..pos]);
+    new_edges.extend_from_slice(&rotated_edges);
+    new_edges.extend_from_slice(&he[pos..]);
+    let mut new_verts = Vec::with_capacity(hv.len() + m);
+    new_verts.extend_from_slice(&hv[..pos]);
+    new_verts.extend_from_slice(&rotated_verts[..m]);
+    new_verts.extend_from_slice(&hv[pos..]);
+    *he = new_edges;
+    *hv = new_verts;
+}

@@ -1,0 +1,348 @@
+//! The flat device-level circuit container.
+
+use crate::device::Device;
+use crate::error::NetlistError;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a circuit node. Node 0 is always ground.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Raw index (0 = ground).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is the ground node.
+    pub fn is_ground(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Handle to a device instance inside a [`Circuit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DeviceRef(pub(crate) u32);
+
+impl DeviceRef {
+    /// Raw index into the circuit's device list.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A flat device-level netlist with named nodes.
+///
+/// Nodes are interned by name; ground is pre-created as `"0"` / [`Circuit::GROUND`].
+/// Devices carry instance names (unique per circuit) so synthesis tools can
+/// address them ("set `M1.w`").
+///
+/// ```
+/// use ams_netlist::{Circuit, Device};
+/// let mut ckt = Circuit::new();
+/// let a = ckt.node("a");
+/// ckt.add("R1", Device::resistor(a, Circuit::GROUND, 50.0));
+/// assert!(ckt.device_named("R1").is_some());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Circuit {
+    node_names: Vec<String>,
+    node_by_name: HashMap<String, NodeId>,
+    devices: Vec<(String, Device)>,
+    device_by_name: HashMap<String, DeviceRef>,
+}
+
+impl Circuit {
+    /// The ground node, present in every circuit.
+    pub const GROUND: NodeId = NodeId(0);
+
+    /// Creates an empty circuit containing only the ground node.
+    pub fn new() -> Self {
+        let mut node_by_name = HashMap::new();
+        node_by_name.insert("0".to_string(), NodeId(0));
+        Circuit {
+            node_names: vec!["0".to_string()],
+            node_by_name,
+            devices: Vec::new(),
+            device_by_name: HashMap::new(),
+        }
+    }
+
+    /// Returns the node with the given name, creating it if necessary.
+    /// The names `"0"`, `"gnd"` and `"GND"` all alias ground.
+    pub fn node(&mut self, name: &str) -> NodeId {
+        if name == "0" || name.eq_ignore_ascii_case("gnd") {
+            return Self::GROUND;
+        }
+        if let Some(&id) = self.node_by_name.get(name) {
+            return id;
+        }
+        let id = NodeId(self.node_names.len() as u32);
+        self.node_names.push(name.to_string());
+        self.node_by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Looks up an existing node by name without creating it.
+    pub fn find_node(&self, name: &str) -> Option<NodeId> {
+        if name == "0" || name.eq_ignore_ascii_case("gnd") {
+            return Some(Self::GROUND);
+        }
+        self.node_by_name.get(name).copied()
+    }
+
+    /// The name of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this circuit.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.node_names[id.index()]
+    }
+
+    /// Number of nodes including ground.
+    pub fn num_nodes(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// Adds a device with the given instance name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instance name is already used; use [`Circuit::try_add`]
+    /// for a fallible variant.
+    pub fn add(&mut self, name: &str, device: Device) -> DeviceRef {
+        self.try_add(name, device)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Adds a device, failing on duplicate instance names.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateInstance`] if `name` is taken.
+    pub fn try_add(&mut self, name: &str, device: Device) -> Result<DeviceRef, NetlistError> {
+        if self.device_by_name.contains_key(name) {
+            return Err(NetlistError::DuplicateInstance(name.to_string()));
+        }
+        let r = DeviceRef(self.devices.len() as u32);
+        self.devices.push((name.to_string(), device));
+        self.device_by_name.insert(name.to_string(), r);
+        Ok(r)
+    }
+
+    /// Number of devices.
+    pub fn num_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Iterates over `(instance name, device)` pairs in insertion order.
+    pub fn devices(&self) -> impl Iterator<Item = (&str, &Device)> {
+        self.devices.iter().map(|(n, d)| (n.as_str(), d))
+    }
+
+    /// The device behind a handle.
+    pub fn device(&self, r: DeviceRef) -> &Device {
+        &self.devices[r.index()].1
+    }
+
+    /// Mutable access to a device (used by sizing loops to update W/L).
+    pub fn device_mut(&mut self, r: DeviceRef) -> &mut Device {
+        &mut self.devices[r.index()].1
+    }
+
+    /// The instance name of a device.
+    pub fn device_name(&self, r: DeviceRef) -> &str {
+        &self.devices[r.index()].0
+    }
+
+    /// Finds a device handle by instance name.
+    pub fn device_named(&self, name: &str) -> Option<DeviceRef> {
+        self.device_by_name.get(name).copied()
+    }
+
+    /// Validates structural sanity: every non-ground node must be reachable
+    /// from ground through device terminals, and element values must be
+    /// finite and physical.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first problem found.
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        for (name, dev) in self.devices() {
+            let bad = |msg: &str| {
+                Err(NetlistError::InvalidValue {
+                    instance: name.to_string(),
+                    message: msg.to_string(),
+                })
+            };
+            match dev {
+                Device::Resistor { ohms, .. } => {
+                    if !ohms.is_finite() || *ohms <= 0.0 {
+                        return bad("resistance must be finite and positive");
+                    }
+                }
+                Device::Capacitor { farads, .. } => {
+                    if !farads.is_finite() || *farads < 0.0 {
+                        return bad("capacitance must be finite and non-negative");
+                    }
+                }
+                Device::Inductor { henries, .. } => {
+                    if !henries.is_finite() || *henries <= 0.0 {
+                        return bad("inductance must be finite and positive");
+                    }
+                }
+                Device::Mos(m) => {
+                    if !(m.w.is_finite() && m.w > 0.0 && m.l.is_finite() && m.l > 0.0) {
+                        return bad("MOS W and L must be finite and positive");
+                    }
+                    if m.m == 0 {
+                        return bad("MOS multiplicity must be at least 1");
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Connectivity: union-find over nodes.
+        let n = self.num_nodes();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+            if parent[x] != x {
+                let root = find(parent, parent[x]);
+                parent[x] = root;
+            }
+            parent[x]
+        }
+        for (_, dev) in self.devices() {
+            let nodes = dev.nodes();
+            if let Some(&first) = nodes.first() {
+                let fr = find(&mut parent, first.index());
+                for nd in &nodes[1..] {
+                    let r = find(&mut parent, nd.index());
+                    parent[r] = fr;
+                }
+            }
+        }
+        let ground_root = find(&mut parent, 0);
+        for i in 1..n {
+            if find(&mut parent, i) != ground_root {
+                return Err(NetlistError::UnknownNode(format!(
+                    "node `{}` is not connected to ground",
+                    self.node_names[i]
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Names of all nodes except ground, in id order.
+    pub fn signal_node_names(&self) -> Vec<&str> {
+        self.node_names[1..].iter().map(String::as_str).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::Device;
+
+    #[test]
+    fn ground_aliases() {
+        let mut ckt = Circuit::new();
+        assert_eq!(ckt.node("0"), Circuit::GROUND);
+        assert_eq!(ckt.node("gnd"), Circuit::GROUND);
+        assert_eq!(ckt.node("GND"), Circuit::GROUND);
+        assert_eq!(ckt.num_nodes(), 1);
+    }
+
+    #[test]
+    fn node_interning() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let a2 = ckt.node("a");
+        assert_eq!(a, a2);
+        assert_eq!(ckt.node_name(a), "a");
+        assert_eq!(ckt.find_node("a"), Some(a));
+        assert_eq!(ckt.find_node("missing"), None);
+    }
+
+    #[test]
+    fn duplicate_instance_rejected() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add("R1", Device::resistor(a, Circuit::GROUND, 1.0));
+        let err = ckt
+            .try_add("R1", Device::resistor(a, Circuit::GROUND, 2.0))
+            .unwrap_err();
+        assert_eq!(err, NetlistError::DuplicateInstance("R1".into()));
+    }
+
+    #[test]
+    fn validate_catches_negative_resistor() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add("R1", Device::resistor(a, Circuit::GROUND, -5.0));
+        assert!(matches!(
+            ckt.validate(),
+            Err(NetlistError::InvalidValue { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_catches_floating_island() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        let c = ckt.node("c");
+        ckt.add("R1", Device::resistor(a, Circuit::GROUND, 1.0));
+        // b—c island not tied to ground.
+        ckt.add("R2", Device::resistor(b, c, 1.0));
+        assert!(ckt.validate().is_err());
+    }
+
+    #[test]
+    fn validate_accepts_connected_circuit() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add("R1", Device::resistor(a, Circuit::GROUND, 1.0));
+        ckt.add("R2", Device::resistor(a, b, 1.0));
+        assert!(ckt.validate().is_ok());
+    }
+
+    #[test]
+    fn device_mut_allows_resizing() {
+        use crate::mos::MosModel;
+        use std::sync::Arc;
+        let mut ckt = Circuit::new();
+        let d = ckt.node("d");
+        let g = ckt.node("g");
+        let r = ckt.add(
+            "M1",
+            Device::mos(
+                d,
+                g,
+                Circuit::GROUND,
+                Circuit::GROUND,
+                Arc::new(MosModel::default_nmos()),
+                10e-6,
+                1e-6,
+            ),
+        );
+        if let Device::Mos(m) = ckt.device_mut(r) {
+            m.w = 20e-6;
+        }
+        if let Device::Mos(m) = ckt.device(r) {
+            assert_eq!(m.w, 20e-6);
+        } else {
+            panic!("expected MOS");
+        }
+    }
+}

@@ -1,0 +1,402 @@
+//! Device element types that populate a [`Circuit`](crate::Circuit).
+
+use crate::circuit::NodeId;
+use crate::mos::MosModel;
+use std::sync::Arc;
+
+/// MOS transistor polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MosType {
+    /// N-channel device.
+    Nmos,
+    /// P-channel device.
+    Pmos,
+}
+
+impl MosType {
+    /// +1.0 for NMOS, −1.0 for PMOS — the sign convention used when folding
+    /// PMOS devices into the NMOS-frame equations.
+    pub fn sign(self) -> f64 {
+        match self {
+            MosType::Nmos => 1.0,
+            MosType::Pmos => -1.0,
+        }
+    }
+}
+
+/// A sized MOS transistor instance.
+#[derive(Debug, Clone)]
+pub struct MosInstance {
+    /// Drain node.
+    pub drain: NodeId,
+    /// Gate node.
+    pub gate: NodeId,
+    /// Source node.
+    pub source: NodeId,
+    /// Bulk node.
+    pub bulk: NodeId,
+    /// Shared model card.
+    pub model: Arc<MosModel>,
+    /// Drawn channel width in meters.
+    pub w: f64,
+    /// Drawn channel length in meters.
+    pub l: f64,
+    /// Parallel multiplicity.
+    pub m: u32,
+}
+
+/// Time-domain waveform of an independent source.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SourceWaveform {
+    /// Constant value.
+    Dc(f64),
+    /// `offset + amplitude·sin(2πf·t + phase)`.
+    Sine {
+        /// DC offset.
+        offset: f64,
+        /// Peak amplitude.
+        amplitude: f64,
+        /// Frequency in hertz.
+        freq: f64,
+        /// Phase in radians.
+        phase: f64,
+    },
+    /// Trapezoidal pulse train (SPICE `PULSE`).
+    Pulse {
+        /// Initial value.
+        v1: f64,
+        /// Pulsed value.
+        v2: f64,
+        /// Delay before the first edge, seconds.
+        delay: f64,
+        /// Rise time, seconds.
+        rise: f64,
+        /// Fall time, seconds.
+        fall: f64,
+        /// Pulse width, seconds.
+        width: f64,
+        /// Period, seconds.
+        period: f64,
+    },
+    /// Piecewise-linear list of `(time, value)` points.
+    Pwl(Vec<(f64, f64)>),
+}
+
+impl SourceWaveform {
+    /// Value of the waveform at time `t` (seconds).
+    pub fn value_at(&self, t: f64) -> f64 {
+        match self {
+            SourceWaveform::Dc(v) => *v,
+            SourceWaveform::Sine {
+                offset,
+                amplitude,
+                freq,
+                phase,
+            } => offset + amplitude * (2.0 * std::f64::consts::PI * freq * t + phase).sin(),
+            SourceWaveform::Pulse {
+                v1,
+                v2,
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+            } => {
+                if t < *delay {
+                    return *v1;
+                }
+                let tp = (t - delay) % period.max(1e-30);
+                if tp < *rise {
+                    v1 + (v2 - v1) * tp / rise.max(1e-30)
+                } else if tp < rise + width {
+                    *v2
+                } else if tp < rise + width + fall {
+                    v2 + (v1 - v2) * (tp - rise - width) / fall.max(1e-30)
+                } else {
+                    *v1
+                }
+            }
+            SourceWaveform::Pwl(points) => {
+                if points.is_empty() {
+                    return 0.0;
+                }
+                if t <= points[0].0 {
+                    return points[0].1;
+                }
+                for pair in points.windows(2) {
+                    let (t0, v0) = pair[0];
+                    let (t1, v1) = pair[1];
+                    if t <= t1 {
+                        if t1 <= t0 {
+                            return v1;
+                        }
+                        return v0 + (v1 - v0) * (t - t0) / (t1 - t0);
+                    }
+                }
+                points[points.len() - 1].1
+            }
+        }
+    }
+
+    /// DC (t = 0⁻) value used for the operating point.
+    pub fn dc_value(&self) -> f64 {
+        match self {
+            SourceWaveform::Dc(v) => *v,
+            SourceWaveform::Sine { offset, .. } => *offset,
+            SourceWaveform::Pulse { v1, .. } => *v1,
+            SourceWaveform::Pwl(points) => points.first().map_or(0.0, |p| p.1),
+        }
+    }
+}
+
+/// A circuit element.
+///
+/// Two-terminal elements use `(a, b)` node pairs with current reckoned from
+/// `a` to `b`. Controlled sources reference a controlling node pair.
+#[derive(Debug, Clone)]
+pub enum Device {
+    /// Linear resistor, value in ohms.
+    Resistor {
+        /// Positive terminal.
+        a: NodeId,
+        /// Negative terminal.
+        b: NodeId,
+        /// Resistance in ohms.
+        ohms: f64,
+    },
+    /// Linear capacitor, value in farads.
+    Capacitor {
+        /// Positive terminal.
+        a: NodeId,
+        /// Negative terminal.
+        b: NodeId,
+        /// Capacitance in farads.
+        farads: f64,
+    },
+    /// Linear inductor, value in henries.
+    Inductor {
+        /// Positive terminal.
+        a: NodeId,
+        /// Negative terminal.
+        b: NodeId,
+        /// Inductance in henries.
+        henries: f64,
+    },
+    /// Independent voltage source with optional AC magnitude.
+    Vsource {
+        /// Positive terminal.
+        plus: NodeId,
+        /// Negative terminal.
+        minus: NodeId,
+        /// Time-domain waveform.
+        waveform: SourceWaveform,
+        /// Small-signal AC magnitude (volts) for AC analysis.
+        ac_mag: f64,
+    },
+    /// Independent current source flowing from `plus` to `minus` internally
+    /// (i.e. it pushes current into `minus`).
+    Isource {
+        /// Terminal current leaves.
+        plus: NodeId,
+        /// Terminal current enters.
+        minus: NodeId,
+        /// Time-domain waveform.
+        waveform: SourceWaveform,
+        /// Small-signal AC magnitude (amperes) for AC analysis.
+        ac_mag: f64,
+    },
+    /// Voltage-controlled voltage source: `V(p,m) = gain · V(cp,cm)`.
+    Vcvs {
+        /// Positive output terminal.
+        plus: NodeId,
+        /// Negative output terminal.
+        minus: NodeId,
+        /// Positive controlling terminal.
+        ctrl_plus: NodeId,
+        /// Negative controlling terminal.
+        ctrl_minus: NodeId,
+        /// Voltage gain.
+        gain: f64,
+    },
+    /// Voltage-controlled current source: `I(p→m) = gm · V(cp,cm)`.
+    Vccs {
+        /// Terminal current leaves.
+        plus: NodeId,
+        /// Terminal current enters.
+        minus: NodeId,
+        /// Positive controlling terminal.
+        ctrl_plus: NodeId,
+        /// Negative controlling terminal.
+        ctrl_minus: NodeId,
+        /// Transconductance in siemens.
+        gm: f64,
+    },
+    /// Level-1 MOSFET.
+    Mos(MosInstance),
+}
+
+impl Device {
+    /// Convenience constructor for a resistor.
+    pub fn resistor(a: NodeId, b: NodeId, ohms: f64) -> Self {
+        Device::Resistor { a, b, ohms }
+    }
+
+    /// Convenience constructor for a capacitor.
+    pub fn capacitor(a: NodeId, b: NodeId, farads: f64) -> Self {
+        Device::Capacitor { a, b, farads }
+    }
+
+    /// Convenience constructor for an inductor.
+    pub fn inductor(a: NodeId, b: NodeId, henries: f64) -> Self {
+        Device::Inductor { a, b, henries }
+    }
+
+    /// Convenience constructor for a DC voltage source.
+    pub fn vdc(plus: NodeId, minus: NodeId, volts: f64) -> Self {
+        Device::Vsource {
+            plus,
+            minus,
+            waveform: SourceWaveform::Dc(volts),
+            ac_mag: 0.0,
+        }
+    }
+
+    /// Convenience constructor for a DC voltage source that is also the AC
+    /// excitation (magnitude 1).
+    pub fn vac(plus: NodeId, minus: NodeId, volts: f64) -> Self {
+        Device::Vsource {
+            plus,
+            minus,
+            waveform: SourceWaveform::Dc(volts),
+            ac_mag: 1.0,
+        }
+    }
+
+    /// Convenience constructor for a DC current source.
+    pub fn idc(plus: NodeId, minus: NodeId, amps: f64) -> Self {
+        Device::Isource {
+            plus,
+            minus,
+            waveform: SourceWaveform::Dc(amps),
+            ac_mag: 0.0,
+        }
+    }
+
+    /// Convenience constructor for a MOS transistor.
+    pub fn mos(
+        drain: NodeId,
+        gate: NodeId,
+        source: NodeId,
+        bulk: NodeId,
+        model: Arc<MosModel>,
+        w: f64,
+        l: f64,
+    ) -> Self {
+        Device::Mos(MosInstance {
+            drain,
+            gate,
+            source,
+            bulk,
+            model,
+            w,
+            l,
+            m: 1,
+        })
+    }
+
+    /// The nodes this device touches, in terminal order.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        match self {
+            Device::Resistor { a, b, .. }
+            | Device::Capacitor { a, b, .. }
+            | Device::Inductor { a, b, .. } => vec![*a, *b],
+            Device::Vsource { plus, minus, .. } | Device::Isource { plus, minus, .. } => {
+                vec![*plus, *minus]
+            }
+            Device::Vcvs {
+                plus,
+                minus,
+                ctrl_plus,
+                ctrl_minus,
+                ..
+            }
+            | Device::Vccs {
+                plus,
+                minus,
+                ctrl_plus,
+                ctrl_minus,
+                ..
+            } => vec![*plus, *minus, *ctrl_plus, *ctrl_minus],
+            Device::Mos(m) => vec![m.drain, m.gate, m.source, m.bulk],
+        }
+    }
+
+    /// Whether MNA needs an auxiliary branch-current unknown for this device.
+    pub fn needs_branch_current(&self) -> bool {
+        matches!(
+            self,
+            Device::Vsource { .. } | Device::Inductor { .. } | Device::Vcvs { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+
+    #[test]
+    fn pulse_waveform_edges() {
+        let w = SourceWaveform::Pulse {
+            v1: 0.0,
+            v2: 1.0,
+            delay: 1e-9,
+            rise: 1e-9,
+            fall: 1e-9,
+            width: 5e-9,
+            period: 20e-9,
+        };
+        assert_eq!(w.value_at(0.0), 0.0);
+        assert!((w.value_at(1.5e-9) - 0.5).abs() < 1e-12);
+        assert_eq!(w.value_at(3e-9), 1.0);
+        assert!((w.value_at(7.5e-9) - 0.5).abs() < 1e-12);
+        assert_eq!(w.value_at(10e-9), 0.0);
+        // Periodicity.
+        assert_eq!(w.value_at(23e-9), 1.0);
+    }
+
+    #[test]
+    fn pwl_interpolates_and_clamps() {
+        let w = SourceWaveform::Pwl(vec![(0.0, 0.0), (1.0, 2.0), (2.0, 2.0)]);
+        assert_eq!(w.value_at(-1.0), 0.0);
+        assert!((w.value_at(0.5) - 1.0).abs() < 1e-12);
+        assert_eq!(w.value_at(5.0), 2.0);
+    }
+
+    #[test]
+    fn sine_dc_value_is_offset() {
+        let w = SourceWaveform::Sine {
+            offset: 0.9,
+            amplitude: 0.1,
+            freq: 1e6,
+            phase: 0.0,
+        };
+        assert_eq!(w.dc_value(), 0.9);
+        assert!((w.value_at(0.25e-6) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn branch_current_devices() {
+        let g = Circuit::GROUND;
+        assert!(Device::vdc(g, g, 1.0).needs_branch_current());
+        assert!(Device::inductor(g, g, 1e-9).needs_branch_current());
+        assert!(!Device::resistor(g, g, 1.0).needs_branch_current());
+        assert!(!Device::idc(g, g, 1.0).needs_branch_current());
+    }
+
+    #[test]
+    fn empty_pwl_is_zero() {
+        assert_eq!(SourceWaveform::Pwl(vec![]).value_at(1.0), 0.0);
+        assert_eq!(SourceWaveform::Pwl(vec![]).dc_value(), 0.0);
+    }
+}

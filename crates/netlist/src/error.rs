@@ -1,0 +1,72 @@
+use std::fmt;
+
+/// Errors produced while constructing or parsing netlists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// An instance name was added twice to the same circuit.
+    DuplicateInstance(String),
+    /// A referenced instance does not exist.
+    UnknownInstance(String),
+    /// A referenced node name does not exist.
+    UnknownNode(String),
+    /// A referenced `.model` name does not exist.
+    UnknownModel(String),
+    /// A deck line could not be parsed.
+    Parse {
+        /// 1-based line number within the deck.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// A device parameter had an invalid (non-finite or non-positive) value.
+    InvalidValue {
+        /// Instance the value belongs to.
+        instance: String,
+        /// Description of the offending parameter.
+        message: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::DuplicateInstance(name) => {
+                write!(f, "duplicate instance name `{name}`")
+            }
+            NetlistError::UnknownInstance(name) => write!(f, "unknown instance `{name}`"),
+            NetlistError::UnknownNode(name) => write!(f, "unknown node `{name}`"),
+            NetlistError::UnknownModel(name) => write!(f, "unknown model `{name}`"),
+            NetlistError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            NetlistError::InvalidValue { instance, message } => {
+                write!(f, "invalid value on `{instance}`: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = NetlistError::DuplicateInstance("M1".into());
+        assert_eq!(e.to_string(), "duplicate instance name `M1`");
+        let e = NetlistError::Parse {
+            line: 3,
+            message: "bad token".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+}

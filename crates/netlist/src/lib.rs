@@ -1,0 +1,50 @@
+//! Analog circuit netlist representation for the `ams-synth` toolkit.
+//!
+//! This crate is the foundation substrate of the mixed-signal synthesis flow
+//! described in the DAC'96 tutorial *"Synthesis Tools for Mixed-Signal ICs"*:
+//! every frontend tool (sizing, topology selection, symbolic analysis) and
+//! every backend tool (cell layout, system assembly, power-grid synthesis)
+//! consumes circuits expressed with these types.
+//!
+//! # Overview
+//!
+//! * [`Circuit`] — a flat device-level netlist with named nodes.
+//! * [`Device`] — resistors, capacitors, inductors, independent and
+//!   controlled sources, and level-1 MOSFETs.
+//! * [`MosModel`] / [`MosOp`] — a SPICE level-1 MOS model with the square-law
+//!   equations and small-signal linearization used throughout the flow.
+//! * [`Technology`] — process description: supply, MOS models, and
+//!   statistical [`Corner`]s for manufacturability-aware sizing.
+//! * [`parse_deck`] — a small SPICE-like deck parser so examples and tests
+//!   can state circuits textually.
+//!
+//! # Example
+//!
+//! ```
+//! use ams_netlist::{Circuit, Device};
+//!
+//! let mut ckt = Circuit::new();
+//! let inp = ckt.node("in");
+//! let out = ckt.node("out");
+//! ckt.add("R1", Device::resistor(inp, out, 1.0e3));
+//! ckt.add("C1", Device::capacitor(out, Circuit::GROUND, 1.0e-12));
+//! assert_eq!(ckt.num_nodes(), 3); // ground + in + out
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod circuit;
+mod device;
+mod error;
+mod mos;
+mod parser;
+mod tech;
+pub mod units;
+
+pub use circuit::{Circuit, DeviceRef, NodeId};
+pub use device::{Device, MosInstance, MosType, SourceWaveform};
+pub use error::NetlistError;
+pub use mos::{MosModel, MosOp, MosRegion};
+pub use parser::parse_deck;
+pub use tech::{Corner, CornerKind, Technology};

@@ -1,0 +1,313 @@
+//! SPICE level-1 MOSFET model.
+//!
+//! The synthesis loops in the tutorial (IDAC/OASYS design plans, OPTIMAN and
+//! FRIDGE optimizers, ASTRX/OBLX cost functions) all rest on a device model
+//! that captures the monotonic size→performance trends of long-channel MOS
+//! devices. The classical square-law level-1 model does exactly that and is
+//! what the 1980s–90s tools used for hand-derivable design equations.
+
+use crate::device::MosType;
+
+/// Level-1 MOS model parameters (per process corner).
+///
+/// All values are in base SI units. The defaults describe a generic 1.2 µm
+/// CMOS process of the paper's era.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MosModel {
+    /// Device polarity this model describes.
+    pub polarity: MosType,
+    /// Zero-bias threshold voltage in volts (positive for NMOS).
+    pub vt0: f64,
+    /// Transconductance parameter `KP = µ·Cox` in A/V².
+    pub kp: f64,
+    /// Channel-length modulation in 1/V.
+    pub lambda: f64,
+    /// Body-effect coefficient in √V.
+    pub gamma: f64,
+    /// Surface potential `2·φF` in volts.
+    pub phi: f64,
+    /// Gate-oxide capacitance per area in F/m².
+    pub cox: f64,
+    /// Gate-drain overlap capacitance per width in F/m.
+    pub cgdo: f64,
+    /// Gate-source overlap capacitance per width in F/m.
+    pub cgso: f64,
+    /// Zero-bias junction capacitance per area in F/m².
+    pub cj: f64,
+    /// Zero-bias sidewall junction capacitance per perimeter in F/m.
+    pub cjsw: f64,
+    /// Flicker-noise coefficient (KF) in the SPICE convention.
+    pub kf: f64,
+}
+
+impl MosModel {
+    /// Generic long-channel NMOS model for a 1.2 µm process.
+    pub fn default_nmos() -> Self {
+        MosModel {
+            polarity: MosType::Nmos,
+            vt0: 0.7,
+            kp: 110e-6,
+            lambda: 0.04,
+            gamma: 0.6,
+            phi: 0.7,
+            cox: 1.73e-3,
+            cgdo: 2.2e-10,
+            cgso: 2.2e-10,
+            cj: 3.0e-4,
+            cjsw: 2.5e-10,
+            kf: 3.0e-28,
+        }
+    }
+
+    /// Generic long-channel PMOS model for a 1.2 µm process.
+    pub fn default_pmos() -> Self {
+        MosModel {
+            polarity: MosType::Pmos,
+            vt0: -0.9,
+            kp: 38e-6,
+            lambda: 0.05,
+            gamma: 0.7,
+            phi: 0.7,
+            cox: 1.73e-3,
+            cgdo: 2.2e-10,
+            cgso: 2.2e-10,
+            cj: 3.0e-4,
+            cjsw: 2.5e-10,
+            kf: 1.0e-28,
+        }
+    }
+
+    /// Evaluates the model at terminal voltages given for an NMOS-oriented
+    /// frame (voltages are sign-flipped internally for PMOS).
+    ///
+    /// `vgs`, `vds`, `vbs` are gate-source, drain-source and bulk-source
+    /// voltages; `w`/`l` are drawn width and length in meters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` or `l` is not strictly positive.
+    pub fn evaluate(&self, vgs: f64, vds: f64, vbs: f64, w: f64, l: f64) -> MosOp {
+        assert!(w > 0.0 && l > 0.0, "MOS W/L must be positive");
+        // Work in the NMOS frame: flip voltage signs for PMOS.
+        let sign = match self.polarity {
+            MosType::Nmos => 1.0,
+            MosType::Pmos => -1.0,
+        };
+        let (vgs, vds, vbs) = (sign * vgs, sign * vds, sign * vbs);
+        let vt0 = self.vt0.abs();
+
+        // Body effect: vt = vt0 + γ(√(φ − vbs) − √φ), clamped to keep the
+        // square roots real under forward bulk bias.
+        let phi_m_vbs = (self.phi - vbs).max(1e-6);
+        let vth = vt0 + self.gamma * (phi_m_vbs.sqrt() - self.phi.sqrt());
+        let vov = vgs - vth;
+        let beta = self.kp * w / l;
+
+        let (region, ids, gm, gds) = if vov <= 0.0 {
+            // Cutoff, with a tiny leakage conductance to keep Newton matrices
+            // nonsingular.
+            (MosRegion::Cutoff, 0.0, 0.0, 1e-12)
+        } else if vds < vov {
+            // Triode.
+            let ids = beta * ((vov - vds / 2.0) * vds) * (1.0 + self.lambda * vds);
+            let gm = beta * vds * (1.0 + self.lambda * vds);
+            let gds = beta * (vov - vds) * (1.0 + self.lambda * vds)
+                + beta * (vov - vds / 2.0) * vds * self.lambda;
+            (MosRegion::Triode, ids, gm, gds.max(1e-12))
+        } else {
+            // Saturation.
+            let ids = 0.5 * beta * vov * vov * (1.0 + self.lambda * vds);
+            let gm = beta * vov * (1.0 + self.lambda * vds);
+            let gds = 0.5 * beta * vov * vov * self.lambda;
+            (MosRegion::Saturation, ids, gm, gds.max(1e-12))
+        };
+
+        // Bulk transconductance via the chain rule on vth(vbs).
+        let dvth_dvbs = -self.gamma / (2.0 * phi_m_vbs.sqrt());
+        let gmbs = -gm * dvth_dvbs;
+
+        // Operating-point capacitances (Meyer-style split in saturation).
+        let cgate_total = self.cox * w * l;
+        let (cgs_i, cgd_i) = match region {
+            MosRegion::Cutoff => (0.0, 0.0),
+            MosRegion::Triode => (0.5 * cgate_total, 0.5 * cgate_total),
+            MosRegion::Saturation => (2.0 / 3.0 * cgate_total, 0.0),
+        };
+        let cgs = cgs_i + self.cgso * w;
+        let cgd = cgd_i + self.cgdo * w;
+        // Junction capacitance for a drain/source diffusion of length ≈ 2.5·Lmin.
+        let diff_len = 2.5 * l;
+        let cdb = self.cj * w * diff_len + self.cjsw * (2.0 * (w + diff_len));
+        let csb = cdb;
+
+        MosOp {
+            region,
+            ids: sign * ids,
+            vth: sign * vth,
+            vov,
+            gm,
+            gds,
+            gmbs,
+            cgs,
+            cgd,
+            cdb,
+            csb,
+        }
+    }
+
+    /// The saturation drain current for a given overdrive, ignoring channel
+    /// length modulation — the form used in hand design equations.
+    ///
+    /// ```
+    /// let m = ams_netlist::MosModel::default_nmos();
+    /// let id = m.ids_sat(10e-6, 1e-6, 0.2);
+    /// assert!((id - 0.5 * 110e-6 * 10.0 * 0.04).abs() < 1e-9);
+    /// ```
+    pub fn ids_sat(&self, w: f64, l: f64, vov: f64) -> f64 {
+        0.5 * self.kp * (w / l) * vov * vov
+    }
+
+    /// Transconductance in saturation for given bias current and overdrive:
+    /// `gm = 2·Id / Vov`.
+    pub fn gm_sat(id: f64, vov: f64) -> f64 {
+        2.0 * id / vov
+    }
+
+    /// Width required to carry `id` in saturation at overdrive `vov` with
+    /// length `l` — the inverse design equation used by design plans.
+    pub fn width_for(&self, id: f64, l: f64, vov: f64) -> f64 {
+        2.0 * id * l / (self.kp * vov * vov)
+    }
+}
+
+/// MOS operating region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MosRegion {
+    /// `Vgs` below threshold; device off.
+    Cutoff,
+    /// Linear/ohmic region.
+    Triode,
+    /// Active/saturation region.
+    Saturation,
+}
+
+/// Operating point of one MOS device: large-signal current plus the
+/// small-signal linearization the simulator and symbolic analyzer consume.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MosOp {
+    /// Operating region.
+    pub region: MosRegion,
+    /// Drain current in amperes (signed; negative for PMOS conduction).
+    pub ids: f64,
+    /// Effective threshold voltage (signed like the polarity).
+    pub vth: f64,
+    /// Overdrive `|Vgs| − |Vth|` in volts (NMOS frame; negative in cutoff).
+    pub vov: f64,
+    /// Gate transconductance in siemens (always ≥ 0).
+    pub gm: f64,
+    /// Output conductance in siemens (always > 0).
+    pub gds: f64,
+    /// Bulk transconductance in siemens.
+    pub gmbs: f64,
+    /// Gate-source capacitance in farads.
+    pub cgs: f64,
+    /// Gate-drain capacitance in farads.
+    pub cgd: f64,
+    /// Drain-bulk junction capacitance in farads.
+    pub cdb: f64,
+    /// Source-bulk junction capacitance in farads.
+    pub csb: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nmos() -> MosModel {
+        MosModel::default_nmos()
+    }
+
+    #[test]
+    fn cutoff_below_threshold() {
+        let op = nmos().evaluate(0.3, 1.0, 0.0, 10e-6, 1e-6);
+        assert_eq!(op.region, MosRegion::Cutoff);
+        assert_eq!(op.ids, 0.0);
+        assert_eq!(op.gm, 0.0);
+    }
+
+    #[test]
+    fn saturation_square_law() {
+        let m = nmos();
+        let op = m.evaluate(1.2, 2.0, 0.0, 10e-6, 1e-6);
+        assert_eq!(op.region, MosRegion::Saturation);
+        let beta = m.kp * 10.0;
+        let expected = 0.5 * beta * 0.5 * 0.5 * (1.0 + m.lambda * 2.0);
+        assert!((op.ids - expected).abs() / expected < 1e-12);
+        assert!(op.gm > 0.0 && op.gds > 0.0);
+    }
+
+    #[test]
+    fn triode_when_vds_below_vov() {
+        let op = nmos().evaluate(1.7, 0.2, 0.0, 10e-6, 1e-6);
+        assert_eq!(op.region, MosRegion::Triode);
+        assert!(op.ids > 0.0);
+    }
+
+    #[test]
+    fn current_increases_with_width() {
+        let m = nmos();
+        let a = m.evaluate(1.2, 2.0, 0.0, 10e-6, 1e-6).ids;
+        let b = m.evaluate(1.2, 2.0, 0.0, 20e-6, 1e-6).ids;
+        assert!((b / a - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn body_effect_raises_threshold() {
+        let m = nmos();
+        let no_body = m.evaluate(1.0, 2.0, 0.0, 10e-6, 1e-6);
+        let with_body = m.evaluate(1.0, 2.0, -1.0, 10e-6, 1e-6);
+        assert!(with_body.vth > no_body.vth);
+        assert!(with_body.ids < no_body.ids);
+    }
+
+    #[test]
+    fn pmos_conducts_with_negative_vgs() {
+        let m = MosModel::default_pmos();
+        let op = m.evaluate(-1.5, -1.8, 0.0, 20e-6, 1e-6);
+        assert_eq!(op.region, MosRegion::Saturation);
+        assert!(op.ids < 0.0, "PMOS drain current flows out of the drain");
+        assert!(op.gm > 0.0);
+    }
+
+    #[test]
+    fn continuity_at_triode_saturation_boundary() {
+        let m = nmos();
+        let vov = 0.5;
+        let below = m.evaluate(0.7 + vov, vov - 1e-9, 0.0, 10e-6, 1e-6);
+        let above = m.evaluate(0.7 + vov, vov + 1e-9, 0.0, 10e-6, 1e-6);
+        assert!((below.ids - above.ids).abs() < 1e-9 * below.ids.abs().max(1e-12));
+    }
+
+    #[test]
+    fn inverse_width_equation_round_trips() {
+        let m = nmos();
+        let w = m.width_for(100e-6, 1e-6, 0.25);
+        let id = m.ids_sat(w, 1e-6, 0.25);
+        assert!((id - 100e-6).abs() / 100e-6 < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_width_panics() {
+        nmos().evaluate(1.0, 1.0, 0.0, 0.0, 1e-6);
+    }
+
+    #[test]
+    fn saturation_caps_follow_meyer_split() {
+        let m = nmos();
+        let op = m.evaluate(1.5, 2.0, 0.0, 10e-6, 1e-6);
+        let cg_total = m.cox * 10e-6 * 1e-6;
+        assert!((op.cgs - (2.0 / 3.0 * cg_total + m.cgso * 10e-6)).abs() < 1e-20);
+        assert!((op.cgd - m.cgdo * 10e-6).abs() < 1e-20);
+    }
+}

@@ -1,0 +1,509 @@
+//! A small SPICE-like deck parser.
+//!
+//! Supports the element cards the toolkit needs for examples and tests:
+//!
+//! ```text
+//! * comment
+//! .model nch nmos vt0=0.7 kp=110u lambda=0.04
+//! Vdd vdd 0 DC 5
+//! Vin in  0 DC 2.5 AC 1
+//! R1  a b 10k
+//! C1  b 0 1p
+//! L1  b c 10n
+//! I1  vdd a 100u
+//! E1  out 0 a b 10        ; VCVS, gain 10
+//! G1  out 0 a b 1m        ; VCCS, gm 1 mS
+//! M1  d g s b nch W=10u L=1u
+//! .end
+//! ```
+//!
+//! Node `0`/`gnd` is ground. Lines starting with `+` continue the previous
+//! card. Everything after `;` is a comment.
+
+use crate::circuit::Circuit;
+use crate::device::{Device, MosType, SourceWaveform};
+use crate::error::NetlistError;
+use crate::mos::MosModel;
+use crate::units::parse_si;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Parses a SPICE-like deck into a [`Circuit`].
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] with a 1-based line number on malformed
+/// cards, and [`NetlistError::UnknownModel`] when a MOS instance references
+/// a model that was never declared.
+///
+/// ```
+/// let ckt = ams_netlist::parse_deck("
+///     Vdd vdd 0 DC 5
+///     R1 vdd out 10k
+///     C1 out 0 1p
+/// ").unwrap();
+/// assert_eq!(ckt.num_devices(), 3);
+/// ```
+pub fn parse_deck(deck: &str) -> Result<Circuit, NetlistError> {
+    let mut ckt = Circuit::new();
+    let mut models: HashMap<String, Arc<MosModel>> = HashMap::new();
+
+    // Join continuation lines while remembering original line numbers.
+    let mut cards: Vec<(usize, String)> = Vec::new();
+    for (i, raw) in deck.lines().enumerate() {
+        let line = raw.split(';').next().unwrap_or("").trim();
+        if line.is_empty() || line.starts_with('*') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('+') {
+            if let Some(last) = cards.last_mut() {
+                last.1.push(' ');
+                last.1.push_str(rest.trim());
+                continue;
+            }
+            return Err(NetlistError::Parse {
+                line: i + 1,
+                message: "continuation line with no preceding card".to_string(),
+            });
+        }
+        cards.push((i + 1, line.to_string()));
+    }
+
+    // First pass: model cards (so instances can reference models declared
+    // later in the deck, as real decks often do).
+    for (line_no, card) in &cards {
+        let lower = card.to_ascii_lowercase();
+        if lower.starts_with(".model") {
+            let (name, model) = parse_model(*line_no, card)?;
+            models.insert(name.to_ascii_lowercase(), Arc::new(model));
+        }
+    }
+
+    for (line_no, card) in &cards {
+        let toks: Vec<&str> = card.split_whitespace().collect();
+        let head = toks[0];
+        let lower_head = head.to_ascii_lowercase();
+        if lower_head.starts_with(".model") {
+            continue;
+        }
+        if lower_head.starts_with(".end") || lower_head.starts_with(".") {
+            continue; // ignore other dot cards
+        }
+        let err = |message: String| NetlistError::Parse {
+            line: *line_no,
+            message,
+        };
+        let need = |n: usize| -> Result<(), NetlistError> {
+            if toks.len() < n {
+                Err(err(format!("expected at least {n} tokens, got {}", toks.len())))
+            } else {
+                Ok(())
+            }
+        };
+        let value = |tok: &str| -> Result<f64, NetlistError> {
+            parse_si(tok).ok_or_else(|| err(format!("cannot parse value `{tok}`")))
+        };
+
+        match lower_head.chars().next().unwrap() {
+            'r' => {
+                need(4)?;
+                let a = ckt.node(toks[1]);
+                let b = ckt.node(toks[2]);
+                let v = value(toks[3])?;
+                ckt.try_add(head, Device::resistor(a, b, v))?;
+            }
+            'c' => {
+                need(4)?;
+                let a = ckt.node(toks[1]);
+                let b = ckt.node(toks[2]);
+                let v = value(toks[3])?;
+                ckt.try_add(head, Device::capacitor(a, b, v))?;
+            }
+            'l' => {
+                need(4)?;
+                let a = ckt.node(toks[1]);
+                let b = ckt.node(toks[2]);
+                let v = value(toks[3])?;
+                ckt.try_add(head, Device::inductor(a, b, v))?;
+            }
+            'v' | 'i' => {
+                need(4)?;
+                let plus = ckt.node(toks[1]);
+                let minus = ckt.node(toks[2]);
+                let (waveform, ac_mag) = parse_source(&toks[3..], *line_no)?;
+                let dev = if lower_head.starts_with('v') {
+                    Device::Vsource {
+                        plus,
+                        minus,
+                        waveform,
+                        ac_mag,
+                    }
+                } else {
+                    Device::Isource {
+                        plus,
+                        minus,
+                        waveform,
+                        ac_mag,
+                    }
+                };
+                ckt.try_add(head, dev)?;
+            }
+            'e' => {
+                need(6)?;
+                let plus = ckt.node(toks[1]);
+                let minus = ckt.node(toks[2]);
+                let cp = ckt.node(toks[3]);
+                let cm = ckt.node(toks[4]);
+                let gain = value(toks[5])?;
+                ckt.try_add(
+                    head,
+                    Device::Vcvs {
+                        plus,
+                        minus,
+                        ctrl_plus: cp,
+                        ctrl_minus: cm,
+                        gain,
+                    },
+                )?;
+            }
+            'g' => {
+                need(6)?;
+                let plus = ckt.node(toks[1]);
+                let minus = ckt.node(toks[2]);
+                let cp = ckt.node(toks[3]);
+                let cm = ckt.node(toks[4]);
+                let gm = value(toks[5])?;
+                ckt.try_add(
+                    head,
+                    Device::Vccs {
+                        plus,
+                        minus,
+                        ctrl_plus: cp,
+                        ctrl_minus: cm,
+                        gm,
+                    },
+                )?;
+            }
+            'm' => {
+                need(6)?;
+                let d = ckt.node(toks[1]);
+                let g = ckt.node(toks[2]);
+                let s = ckt.node(toks[3]);
+                let b = ckt.node(toks[4]);
+                let model_name = toks[5].to_ascii_lowercase();
+                let model = models
+                    .get(&model_name)
+                    .cloned()
+                    .ok_or_else(|| NetlistError::UnknownModel(toks[5].to_string()))?;
+                let mut w = 10e-6;
+                let mut l = 1e-6;
+                let mut mult = 1u32;
+                for tok in &toks[6..] {
+                    let (key, val) = tok
+                        .split_once('=')
+                        .ok_or_else(|| err(format!("expected key=value, got `{tok}`")))?;
+                    let v = value(val)?;
+                    match key.to_ascii_lowercase().as_str() {
+                        "w" => w = v,
+                        "l" => l = v,
+                        "m" => mult = v as u32,
+                        other => return Err(err(format!("unknown MOS parameter `{other}`"))),
+                    }
+                }
+                let mut dev = Device::mos(d, g, s, b, model, w, l);
+                if let Device::Mos(m) = &mut dev {
+                    m.m = mult.max(1);
+                }
+                ckt.try_add(head, dev)?;
+            }
+            other => {
+                return Err(err(format!("unknown element type `{other}`")));
+            }
+        }
+    }
+
+    Ok(ckt)
+}
+
+fn parse_source(
+    toks: &[&str],
+    line_no: usize,
+) -> Result<(SourceWaveform, f64), NetlistError> {
+    let err = |message: String| NetlistError::Parse {
+        line: line_no,
+        message,
+    };
+    let mut dc = 0.0;
+    let mut ac_mag = 0.0;
+    let mut waveform: Option<SourceWaveform> = None;
+    let mut i = 0;
+    while i < toks.len() {
+        let t = toks[i].to_ascii_lowercase();
+        match t.as_str() {
+            "dc" => {
+                dc = parse_si(toks.get(i + 1).copied().unwrap_or(""))
+                    .ok_or_else(|| err("DC needs a value".into()))?;
+                i += 2;
+            }
+            "ac" => {
+                ac_mag = parse_si(toks.get(i + 1).copied().unwrap_or(""))
+                    .ok_or_else(|| err("AC needs a magnitude".into()))?;
+                i += 2;
+            }
+            _ if t.starts_with("sin") => {
+                let args = collect_args(&toks[i..]);
+                if args.len() < 3 {
+                    return Err(err("SIN needs offset, amplitude, freq".into()));
+                }
+                waveform = Some(SourceWaveform::Sine {
+                    offset: args[0],
+                    amplitude: args[1],
+                    freq: args[2],
+                    phase: args.get(3).copied().unwrap_or(0.0),
+                });
+                break;
+            }
+            _ if t.starts_with("pulse") => {
+                let args = collect_args(&toks[i..]);
+                if args.len() < 7 {
+                    return Err(err("PULSE needs v1 v2 delay rise fall width period".into()));
+                }
+                waveform = Some(SourceWaveform::Pulse {
+                    v1: args[0],
+                    v2: args[1],
+                    delay: args[2],
+                    rise: args[3],
+                    fall: args[4],
+                    width: args[5],
+                    period: args[6],
+                });
+                break;
+            }
+            _ if t.starts_with("pwl") => {
+                let args = collect_args(&toks[i..]);
+                if args.len() % 2 != 0 {
+                    return Err(err("PWL needs an even number of values".into()));
+                }
+                let points = args.chunks(2).map(|p| (p[0], p[1])).collect();
+                waveform = Some(SourceWaveform::Pwl(points));
+                break;
+            }
+            _ => {
+                // A bare number is a DC value.
+                dc = parse_si(toks[i]).ok_or_else(|| err(format!("unexpected token `{}`", toks[i])))?;
+                i += 1;
+            }
+        }
+    }
+    Ok((waveform.unwrap_or(SourceWaveform::Dc(dc)), ac_mag))
+}
+
+/// Collects numeric arguments from `SIN(0 1 1k)`-style token runs, tolerating
+/// parentheses attached to the keyword or standing alone.
+fn collect_args(toks: &[&str]) -> Vec<f64> {
+    let joined = toks.join(" ");
+    let open = joined.find('(');
+    let close = joined.rfind(')');
+    let inner = match (open, close) {
+        (Some(o), Some(c)) if c > o => &joined[o + 1..c],
+        _ => {
+            // No parens: everything after the keyword.
+            let after = joined.split_whitespace().skip(1).collect::<Vec<_>>();
+            return after.iter().filter_map(|t| parse_si(t)).collect();
+        }
+    };
+    inner
+        .split_whitespace()
+        .filter_map(parse_si)
+        .collect()
+}
+
+fn parse_model(line_no: usize, card: &str) -> Result<(String, MosModel), NetlistError> {
+    let err = |message: String| NetlistError::Parse {
+        line: line_no,
+        message,
+    };
+    let toks: Vec<&str> = card.split_whitespace().collect();
+    if toks.len() < 3 {
+        return Err(err(".model needs a name and a type".into()));
+    }
+    let name = toks[1].to_string();
+    let kind = toks[2].to_ascii_lowercase();
+    let mut model = match kind.as_str() {
+        "nmos" => MosModel::default_nmos(),
+        "pmos" => MosModel::default_pmos(),
+        other => return Err(err(format!("unknown model type `{other}`"))),
+    };
+    for tok in &toks[3..] {
+        let (key, val) = tok
+            .split_once('=')
+            .ok_or_else(|| err(format!("expected key=value, got `{tok}`")))?;
+        let v = parse_si(val).ok_or_else(|| err(format!("cannot parse value `{val}`")))?;
+        match key.to_ascii_lowercase().as_str() {
+            "vt0" | "vto" => {
+                model.vt0 = if matches!(model.polarity, MosType::Pmos) && v > 0.0 {
+                    -v
+                } else {
+                    v
+                }
+            }
+            "kp" => model.kp = v,
+            "lambda" => model.lambda = v,
+            "gamma" => model.gamma = v,
+            "phi" => model.phi = v,
+            "cox" => model.cox = v,
+            "cgdo" => model.cgdo = v,
+            "cgso" => model.cgso = v,
+            "cj" => model.cj = v,
+            "cjsw" => model.cjsw = v,
+            "kf" => model.kf = v,
+            other => return Err(err(format!("unknown model parameter `{other}`"))),
+        }
+    }
+    Ok((name, model))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::Device;
+
+    #[test]
+    fn parses_rc_divider() {
+        let ckt = parse_deck(
+            "* divider
+             Vin in 0 DC 1 AC 1
+             R1 in out 1k
+             C1 out 0 1u",
+        )
+        .unwrap();
+        assert_eq!(ckt.num_devices(), 3);
+        assert_eq!(ckt.num_nodes(), 3);
+        match ckt.device(ckt.device_named("R1").unwrap()) {
+            Device::Resistor { ohms, .. } => assert_eq!(*ohms, 1e3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_mos_with_model() {
+        let ckt = parse_deck(
+            ".model nch nmos vt0=0.6 kp=120u
+             Vdd vdd 0 DC 5
+             Vg  g   0 DC 2
+             M1 vdd g 0 0 nch W=20u L=2u",
+        )
+        .unwrap();
+        match ckt.device(ckt.device_named("M1").unwrap()) {
+            Device::Mos(m) => {
+                assert!((m.w - 20e-6).abs() < 1e-18);
+                assert!((m.l - 2e-6).abs() < 1e-18);
+                assert_eq!(m.model.vt0, 0.6);
+                assert!((m.model.kp - 120e-6).abs() < 1e-12);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn model_can_be_declared_after_instance() {
+        let ckt = parse_deck(
+            "M1 d g 0 0 nch W=10u L=1u
+             Vd d 0 DC 5
+             Vg g 0 DC 2
+             .model nch nmos",
+        )
+        .unwrap();
+        assert_eq!(ckt.num_devices(), 3);
+    }
+
+    #[test]
+    fn unknown_model_is_an_error() {
+        let e = parse_deck("M1 d g 0 0 missing W=1u L=1u").unwrap_err();
+        assert!(matches!(e, NetlistError::UnknownModel(_)));
+    }
+
+    #[test]
+    fn parse_error_carries_line_number() {
+        let e = parse_deck("R1 a 0 1k\nX9 bogus").unwrap_err();
+        match e {
+            NetlistError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn continuation_lines_join() {
+        let ckt = parse_deck(
+            "M1 d g 0 0 nch
+             + W=10u L=1u
+             .model nch nmos
+             Vd d 0 DC 1
+             Vg g 0 DC 1",
+        )
+        .unwrap();
+        match ckt.device(ckt.device_named("M1").unwrap()) {
+            Device::Mos(m) => assert!((m.w - 10e-6).abs() < 1e-18),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_sine_and_pulse_sources() {
+        let ckt = parse_deck(
+            "V1 a 0 SIN(0 1 1k)
+             V2 b 0 PULSE(0 5 1n 1n 1n 5n 20n)
+             R1 a b 1k
+             R2 b 0 1k",
+        )
+        .unwrap();
+        match ckt.device(ckt.device_named("V1").unwrap()) {
+            Device::Vsource { waveform, .. } => {
+                assert!(matches!(waveform, SourceWaveform::Sine { .. }))
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match ckt.device(ckt.device_named("V2").unwrap()) {
+            Device::Vsource { waveform, .. } => {
+                assert!(matches!(waveform, SourceWaveform::Pulse { .. }))
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_controlled_sources() {
+        let ckt = parse_deck(
+            "E1 out 0 a b 10
+             G1 out 0 a b 1m
+             R1 a 0 1k
+             R2 b 0 1k
+             R3 out 0 1k
+             R4 a out 1k",
+        )
+        .unwrap();
+        assert!(matches!(
+            ckt.device(ckt.device_named("E1").unwrap()),
+            Device::Vcvs { gain, .. } if *gain == 10.0
+        ));
+        assert!(matches!(
+            ckt.device(ckt.device_named("G1").unwrap()),
+            Device::Vccs { gm, .. } if *gm == 1e-3
+        ));
+    }
+
+    #[test]
+    fn pmos_vt0_sign_is_normalized() {
+        let ckt = parse_deck(
+            ".model pch pmos vt0=0.8
+             Vd d 0 DC -1
+             Vg g 0 DC -2
+             M1 d g 0 0 pch W=10u L=1u",
+        )
+        .unwrap();
+        match ckt.device(ckt.device_named("M1").unwrap()) {
+            Device::Mos(m) => assert_eq!(m.model.vt0, -0.8),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Technology (process) description and statistical corners.
+//!
+//! Industrial sizing must hold up across supply, temperature and process
+//! variation (§2.2 of the tutorial, and the ASTRX/OBLX manufacturability
+//! extension \[31\]). A [`Technology`] carries the nominal MOS model cards and
+//! a set of worst-case [`Corner`]s that the corner-aware optimizer in
+//! `ams-sizing` sweeps.
+
+use crate::mos::MosModel;
+use std::sync::Arc;
+
+/// Named process corner kinds in the classical five-corner scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CornerKind {
+    /// Typical NMOS, typical PMOS.
+    Typical,
+    /// Fast NMOS, fast PMOS.
+    FastFast,
+    /// Slow NMOS, slow PMOS.
+    SlowSlow,
+    /// Fast NMOS, slow PMOS.
+    FastSlow,
+    /// Slow NMOS, fast PMOS.
+    SlowFast,
+}
+
+impl CornerKind {
+    /// All five classical corners.
+    pub const ALL: [CornerKind; 5] = [
+        CornerKind::Typical,
+        CornerKind::FastFast,
+        CornerKind::SlowSlow,
+        CornerKind::FastSlow,
+        CornerKind::SlowFast,
+    ];
+
+    /// Short conventional label (TT, FF, SS, FS, SF).
+    pub fn label(self) -> &'static str {
+        match self {
+            CornerKind::Typical => "TT",
+            CornerKind::FastFast => "FF",
+            CornerKind::SlowSlow => "SS",
+            CornerKind::FastSlow => "FS",
+            CornerKind::SlowFast => "SF",
+        }
+    }
+
+    fn speed_factors(self) -> (f64, f64) {
+        // (nmos speed, pmos speed): >1 = fast (higher kp, lower |vt|).
+        match self {
+            CornerKind::Typical => (1.0, 1.0),
+            CornerKind::FastFast => (1.15, 1.15),
+            CornerKind::SlowSlow => (0.85, 0.85),
+            CornerKind::FastSlow => (1.15, 0.85),
+            CornerKind::SlowFast => (0.85, 1.15),
+        }
+    }
+}
+
+/// One evaluation corner: process-shifted models plus environment.
+#[derive(Debug, Clone)]
+pub struct Corner {
+    /// Which classical corner this is.
+    pub kind: CornerKind,
+    /// NMOS model at this corner.
+    pub nmos: Arc<MosModel>,
+    /// PMOS model at this corner.
+    pub pmos: Arc<MosModel>,
+    /// Supply voltage at this corner (volts).
+    pub vdd: f64,
+    /// Junction temperature (kelvin).
+    pub temp_k: f64,
+}
+
+/// A process technology: nominal models, supply, and derived corners.
+///
+/// ```
+/// let tech = ams_netlist::Technology::generic_1p2um();
+/// assert_eq!(tech.corners().len(), 5);
+/// assert!(tech.vdd > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Technology {
+    /// Process name for reports.
+    pub name: String,
+    /// Nominal supply voltage in volts.
+    pub vdd: f64,
+    /// Nominal temperature in kelvin.
+    pub temp_k: f64,
+    /// Minimum drawn channel length in meters.
+    pub lmin: f64,
+    /// Minimum drawn channel width in meters.
+    pub wmin: f64,
+    /// Nominal NMOS model.
+    pub nmos: Arc<MosModel>,
+    /// Nominal PMOS model.
+    pub pmos: Arc<MosModel>,
+    /// Supply variation used when building corners (fraction, e.g. 0.1).
+    pub vdd_tolerance: f64,
+    /// Temperature range for corners (kelvin, min..max).
+    pub temp_range_k: (f64, f64),
+}
+
+impl Technology {
+    /// Generic 1.2 µm CMOS technology resembling the processes of the
+    /// paper's test cases (5 V supply).
+    pub fn generic_1p2um() -> Self {
+        Technology {
+            name: "generic-1.2um".to_string(),
+            vdd: 5.0,
+            temp_k: 300.15,
+            lmin: 1.2e-6,
+            wmin: 1.8e-6,
+            nmos: Arc::new(MosModel::default_nmos()),
+            pmos: Arc::new(MosModel::default_pmos()),
+            vdd_tolerance: 0.1,
+            temp_range_k: (233.15, 398.15),
+        }
+    }
+
+    /// Generic 0.7 µm CMOS technology (3.3 V supply) for faster designs.
+    pub fn generic_0p7um() -> Self {
+        let mut nmos = MosModel::default_nmos();
+        nmos.kp = 160e-6;
+        nmos.vt0 = 0.6;
+        nmos.lambda = 0.06;
+        let mut pmos = MosModel::default_pmos();
+        pmos.kp = 55e-6;
+        pmos.vt0 = -0.75;
+        pmos.lambda = 0.07;
+        Technology {
+            name: "generic-0.7um".to_string(),
+            vdd: 3.3,
+            temp_k: 300.15,
+            lmin: 0.7e-6,
+            wmin: 1.0e-6,
+            nmos: Arc::new(nmos),
+            pmos: Arc::new(pmos),
+            vdd_tolerance: 0.1,
+            temp_range_k: (233.15, 398.15),
+        }
+    }
+
+    /// Builds the classical five corners. Fast corners pair with high supply
+    /// and low temperature; slow corners with low supply and high temperature
+    /// (the conventional worst-case pessimism pairing).
+    pub fn corners(&self) -> Vec<Corner> {
+        CornerKind::ALL
+            .iter()
+            .map(|&kind| self.corner(kind))
+            .collect()
+    }
+
+    /// Builds one specific corner.
+    pub fn corner(&self, kind: CornerKind) -> Corner {
+        let (nf, pf) = kind.speed_factors();
+        let shift = |model: &MosModel, factor: f64| -> MosModel {
+            let mut m = model.clone();
+            m.kp *= factor;
+            // Fast devices have lower threshold magnitude.
+            let dvt = 0.1 * (factor - 1.0).signum() * (factor - 1.0).abs().min(0.3) / 0.15;
+            m.vt0 -= m.vt0.signum() * dvt * 0.1;
+            m
+        };
+        let (vdd, temp) = match kind {
+            CornerKind::Typical => (self.vdd, self.temp_k),
+            CornerKind::FastFast => (self.vdd * (1.0 + self.vdd_tolerance), self.temp_range_k.0),
+            _ => (self.vdd * (1.0 - self.vdd_tolerance), self.temp_range_k.1),
+        };
+        Corner {
+            kind,
+            nmos: Arc::new(shift(&self.nmos, nf)),
+            pmos: Arc::new(shift(&self.pmos, pf)),
+            vdd,
+            temp_k: temp,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_corners_exist_with_labels() {
+        let tech = Technology::generic_1p2um();
+        let corners = tech.corners();
+        assert_eq!(corners.len(), 5);
+        let labels: Vec<_> = corners.iter().map(|c| c.kind.label()).collect();
+        assert_eq!(labels, ["TT", "FF", "SS", "FS", "SF"]);
+    }
+
+    #[test]
+    fn fast_corner_is_faster_than_slow() {
+        let tech = Technology::generic_1p2um();
+        let ff = tech.corner(CornerKind::FastFast);
+        let ss = tech.corner(CornerKind::SlowSlow);
+        assert!(ff.nmos.kp > ss.nmos.kp);
+        assert!(ff.vdd > ss.vdd);
+        assert!(ff.temp_k < ss.temp_k);
+        // Fast corner threshold magnitude is reduced.
+        assert!(ff.nmos.vt0.abs() < ss.nmos.vt0.abs());
+    }
+
+    #[test]
+    fn typical_corner_matches_nominal() {
+        let tech = Technology::generic_1p2um();
+        let tt = tech.corner(CornerKind::Typical);
+        assert_eq!(tt.vdd, tech.vdd);
+        assert!((tt.nmos.kp - tech.nmos.kp).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skewed_corners_skew_opposite_ways() {
+        let tech = Technology::generic_0p7um();
+        let fs = tech.corner(CornerKind::FastSlow);
+        let sf = tech.corner(CornerKind::SlowFast);
+        assert!(fs.nmos.kp > tech.nmos.kp && fs.pmos.kp < tech.pmos.kp);
+        assert!(sf.nmos.kp < tech.nmos.kp && sf.pmos.kp > tech.pmos.kp);
+    }
+}

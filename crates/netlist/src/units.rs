@@ -1,0 +1,175 @@
+//! SI-unit helpers and physical constants.
+//!
+//! All electrical quantities in the toolkit are plain `f64` in base SI units
+//! (volts, amperes, ohms, farads, henries, seconds, meters). This module
+//! provides the physical constants the device models need and a parser for
+//! SPICE-style magnitude suffixes (`1.5u`, `2k`, `10meg`).
+
+/// Boltzmann constant in J/K.
+pub const BOLTZMANN: f64 = 1.380_649e-23;
+
+/// Elementary charge in coulombs.
+pub const ELEMENTARY_CHARGE: f64 = 1.602_176_634e-19;
+
+/// Thermal voltage kT/q at temperature `temp_k` (kelvin).
+///
+/// ```
+/// let vt = ams_netlist::units::thermal_voltage(300.15);
+/// assert!((vt - 0.02587).abs() < 1e-4);
+/// ```
+pub fn thermal_voltage(temp_k: f64) -> f64 {
+    BOLTZMANN * temp_k / ELEMENTARY_CHARGE
+}
+
+/// Parses a number with an optional SPICE magnitude suffix.
+///
+/// Recognized suffixes (case-insensitive): `t`, `g`, `meg`, `k`, `m`, `u`,
+/// `n`, `p`, `f`, `a`. Trailing unit letters after the suffix are ignored,
+/// as in SPICE (`10pF` parses as `10e-12`).
+///
+/// Returns `None` when the numeric part is malformed.
+///
+/// ```
+/// use ams_netlist::units::parse_si;
+/// assert_eq!(parse_si("1.5u"), Some(1.5e-6));
+/// assert_eq!(parse_si("10meg"), Some(1.0e7));
+/// assert_eq!(parse_si("2k"), Some(2.0e3));
+/// assert_eq!(parse_si("abc"), None);
+/// ```
+pub fn parse_si(text: &str) -> Option<f64> {
+    let lower = text.trim().to_ascii_lowercase();
+    let numeric_end = lower
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '+' || c == '-' || c == 'e'))
+        .unwrap_or(lower.len());
+    // Guard against an exponent `e` swallowing the suffix: "2e3k" is weird
+    // but "1e-9" must parse. Try the longest numeric prefix that parses.
+    let (num, suffix) = split_numeric(&lower, numeric_end)?;
+    let scale = if suffix.starts_with("meg") {
+        1e6
+    } else {
+        match suffix.chars().next() {
+            None => 1.0,
+            Some('t') => 1e12,
+            Some('g') => 1e9,
+            Some('k') => 1e3,
+            Some('m') => 1e-3,
+            Some('u') => 1e-6,
+            Some('n') => 1e-9,
+            Some('p') => 1e-12,
+            Some('f') => 1e-15,
+            Some('a') => 1e-18,
+            // Any other trailing letters are a unit tail ("1.8V", "3Hz");
+            // SPICE ignores them and so do we.
+            Some(_) => 1.0,
+        }
+    };
+    Some(num * scale)
+}
+
+fn split_numeric(lower: &str, hint: usize) -> Option<(f64, &str)> {
+    if let Ok(v) = lower[..hint].parse::<f64>() {
+        return Some((v, &lower[hint..]));
+    }
+    // The hint may have cut inside an exponent ("1e" + "-9"); fall back to
+    // scanning for the longest parsable prefix.
+    for end in (1..=lower.len()).rev() {
+        if !lower.is_char_boundary(end) {
+            continue;
+        }
+        if let Ok(v) = lower[..end].parse::<f64>() {
+            return Some((v, &lower[end..]));
+        }
+    }
+    None
+}
+
+/// Formats a value with an engineering magnitude suffix for reports.
+///
+/// ```
+/// use ams_netlist::units::format_eng;
+/// assert_eq!(format_eng(1.5e-6, "s"), "1.500 us");
+/// assert_eq!(format_eng(2.0e3, "Hz"), "2.000 kHz");
+/// ```
+pub fn format_eng(value: f64, unit: &str) -> String {
+    if value == 0.0 || !value.is_finite() {
+        return format!("{value:.3} {unit}");
+    }
+    const SCALES: [(f64, &str); 9] = [
+        (1e12, "T"),
+        (1e9, "G"),
+        (1e6, "M"),
+        (1e3, "k"),
+        (1.0, ""),
+        (1e-3, "m"),
+        (1e-6, "u"),
+        (1e-9, "n"),
+        (1e-12, "p"),
+    ];
+    let mag = value.abs();
+    for (scale, prefix) in SCALES {
+        if mag >= scale {
+            return format!("{:.3} {}{}", value / scale, prefix, unit);
+        }
+    }
+    format!("{:.3} f{}", value / 1e-15, unit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_plain_numbers() {
+        assert_eq!(parse_si("42"), Some(42.0));
+        assert_eq!(parse_si("-3.5"), Some(-3.5));
+        assert_eq!(parse_si("1e-9"), Some(1e-9));
+        assert_eq!(parse_si("2.5e3"), Some(2.5e3));
+    }
+
+    #[test]
+    fn parse_suffixes() {
+        assert_eq!(parse_si("1k"), Some(1e3));
+        assert_eq!(parse_si("1K"), Some(1e3));
+        assert_eq!(parse_si("3m"), Some(3e-3));
+        assert_eq!(parse_si("3MEG"), Some(3e6));
+        assert_eq!(parse_si("7p"), Some(7e-12));
+        assert_eq!(parse_si("2f"), Some(2e-15));
+        assert_eq!(parse_si("1t"), Some(1e12));
+        assert_eq!(parse_si("4g"), Some(4e9));
+        assert!((parse_si("9a").unwrap() - 9e-18).abs() < 1e-30);
+    }
+
+    #[test]
+    fn parse_with_unit_tail() {
+        assert_eq!(parse_si("10pF"), Some(10e-12));
+        assert_eq!(parse_si("1.8v"), Some(1.8));
+        assert!((parse_si("100nH").unwrap() - 100e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(parse_si(""), None);
+        assert_eq!(parse_si("xyz"), None);
+        assert_eq!(parse_si("--3"), None);
+    }
+
+    #[test]
+    fn unit_tails_are_ignored() {
+        assert_eq!(parse_si("1.8v"), Some(1.8));
+        assert_eq!(parse_si("3Hz"), Some(3.0));
+    }
+
+    #[test]
+    fn format_round_trip_magnitudes() {
+        assert_eq!(format_eng(1.0e-3, "A"), "1.000 mA");
+        assert_eq!(format_eng(4.7e-12, "F"), "4.700 pF");
+        assert_eq!(format_eng(0.0, "V"), "0.000 V");
+        assert_eq!(format_eng(1.0e-15, "F"), "1.000 fF");
+    }
+
+    #[test]
+    fn thermal_voltage_at_room_temperature() {
+        let vt = thermal_voltage(300.0);
+        assert!(vt > 0.0258 && vt < 0.0259, "vt = {vt}");
+    }
+}

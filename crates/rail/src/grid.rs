@@ -1,0 +1,372 @@
+//! Power-grid modeling: mesh topology → electrical network.
+//!
+//! "The need to mitigate unwanted substrate interactions, the need to
+//! handle arbitrary (non-tree) grid topologies, and the need to design for
+//! transient effects such as current spikes are serious problems in
+//! mixed-signal power grids" (§3.2). A [`GridSpec`] describes a non-tree
+//! mesh with supply pads (behind package parasitics) and block taps
+//! (dc draw, switching spikes, analog sensitivity); [`PowerGrid`] holds
+//! per-segment wire widths and compiles everything to an
+//! [`ams_netlist::Circuit`] for electrical evaluation.
+
+use ams_netlist::{Circuit, Device, SourceWaveform};
+
+/// What kind of block connects at a tap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TapKind {
+    /// Digital block: draws spikes, tolerant of its own noise.
+    Digital,
+    /// Analog block: quiet draw, strict supply-cleanliness limits.
+    Analog,
+}
+
+/// One block connection to the grid.
+#[derive(Debug, Clone)]
+pub struct Tap {
+    /// Block name.
+    pub name: String,
+    /// Grid node column.
+    pub x: usize,
+    /// Grid node row.
+    pub y: usize,
+    /// Static current draw in amperes.
+    pub dc_amps: f64,
+    /// Switching spike: `(peak amperes, rise/fall seconds, width seconds,
+    /// period seconds)`, or `None` for quiet blocks.
+    pub spike: Option<(f64, f64, f64, f64)>,
+    /// Block kind.
+    pub kind: TapKind,
+}
+
+/// The grid topology and environment.
+#[derive(Debug, Clone)]
+pub struct GridSpec {
+    /// Grid columns (nodes).
+    pub nx: usize,
+    /// Grid rows (nodes).
+    pub ny: usize,
+    /// Node pitch in meters.
+    pub pitch_m: f64,
+    /// Supply voltage.
+    pub vdd: f64,
+    /// Pad locations `(x, y)` on the grid.
+    pub pads: Vec<(usize, usize)>,
+    /// Package inductance per pad, henries.
+    pub pad_l: f64,
+    /// Package + pad resistance, ohms.
+    pub pad_r: f64,
+    /// Metal sheet resistance, ohms/square.
+    pub sheet_ohms: f64,
+    /// Grid wire capacitance per square meter of wire, F/m².
+    pub cap_per_m2: f64,
+    /// Decoupling capacitance at every grid node, farads.
+    pub node_decap: f64,
+    /// Block taps.
+    pub taps: Vec<Tap>,
+}
+
+impl GridSpec {
+    /// Number of segments in the mesh (horizontal + vertical).
+    pub fn num_segments(&self) -> usize {
+        (self.nx - 1) * self.ny + self.nx * (self.ny - 1)
+    }
+
+    /// Segment index of the horizontal segment right of node `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of range.
+    pub fn h_segment(&self, x: usize, y: usize) -> usize {
+        assert!(x + 1 < self.nx && y < self.ny, "h segment out of range");
+        y * (self.nx - 1) + x
+    }
+
+    /// Segment index of the vertical segment above node `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of range.
+    pub fn v_segment(&self, x: usize, y: usize) -> usize {
+        assert!(x < self.nx && y + 1 < self.ny, "v segment out of range");
+        (self.nx - 1) * self.ny + y * self.nx + x
+    }
+
+    /// The two node coordinates of a segment.
+    pub fn segment_nodes(&self, seg: usize) -> ((usize, usize), (usize, usize)) {
+        let h_count = (self.nx - 1) * self.ny;
+        if seg < h_count {
+            let y = seg / (self.nx - 1);
+            let x = seg % (self.nx - 1);
+            ((x, y), (x + 1, y))
+        } else {
+            let rest = seg - h_count;
+            let y = rest / self.nx;
+            let x = rest % self.nx;
+            ((x, y), (x, y + 1))
+        }
+    }
+
+    /// A small synthetic data-channel-style chip: digital DSP / clock
+    /// blocks on one side, analog read-channel blocks on the other —
+    /// the shape of the Fig. 3 IBM redesign.
+    pub fn data_channel_demo() -> GridSpec {
+        GridSpec {
+            nx: 6,
+            ny: 4,
+            pitch_m: 500e-6,
+            vdd: 5.0,
+            pads: vec![(0, 0), (5, 0), (0, 3), (5, 3)],
+            pad_l: 2e-9,
+            pad_r: 0.05,
+            sheet_ohms: 0.04,
+            cap_per_m2: 1e-4,
+            node_decap: 2e-12,
+            taps: vec![
+                Tap {
+                    name: "dsp".into(),
+                    x: 1,
+                    y: 1,
+                    dc_amps: 0.12,
+                    spike: Some((0.35, 0.4e-9, 1.5e-9, 10e-9)),
+                    kind: TapKind::Digital,
+                },
+                Tap {
+                    name: "clkgen".into(),
+                    x: 2,
+                    y: 2,
+                    dc_amps: 0.05,
+                    spike: Some((0.2, 0.3e-9, 1.0e-9, 5e-9)),
+                    kind: TapKind::Digital,
+                },
+                Tap {
+                    name: "vga".into(),
+                    x: 4,
+                    y: 1,
+                    dc_amps: 0.03,
+                    spike: None,
+                    kind: TapKind::Analog,
+                },
+                Tap {
+                    name: "adc_frontend".into(),
+                    x: 4,
+                    y: 2,
+                    dc_amps: 0.04,
+                    spike: None,
+                    kind: TapKind::Analog,
+                },
+            ],
+        }
+    }
+}
+
+/// A sized power grid: widths (meters) per segment of a [`GridSpec`],
+/// plus synthesized decoupling capacitors per node.
+#[derive(Debug, Clone)]
+pub struct PowerGrid {
+    /// The topology.
+    pub spec: GridSpec,
+    /// Wire width per segment in meters.
+    pub widths: Vec<f64>,
+    /// Extra synthesized decap per node (row-major `y*nx + x`), farads.
+    pub extra_decap: Vec<f64>,
+}
+
+impl PowerGrid {
+    /// Uniform-width grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-positive width.
+    pub fn uniform(spec: GridSpec, width_m: f64) -> Self {
+        assert!(width_m > 0.0, "width must be positive");
+        let n = spec.num_segments();
+        let nodes = spec.nx * spec.ny;
+        PowerGrid {
+            spec,
+            widths: vec![width_m; n],
+            extra_decap: vec![0.0; nodes],
+        }
+    }
+
+    /// Adds synthesized decoupling capacitance at a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the node is outside the grid.
+    pub fn add_decap(&mut self, x: usize, y: usize, farads: f64) {
+        assert!(x < self.spec.nx && y < self.spec.ny, "node outside grid");
+        self.extra_decap[y * self.spec.nx + x] += farads;
+    }
+
+    /// Total synthesized decap, farads.
+    pub fn total_decap(&self) -> f64 {
+        self.extra_decap.iter().sum()
+    }
+
+    /// Total metal area of the grid in m².
+    pub fn metal_area(&self) -> f64 {
+        self.widths.iter().map(|w| w * self.spec.pitch_m).sum()
+    }
+
+    /// Resistance of one segment at its current width.
+    pub fn segment_resistance(&self, seg: usize) -> f64 {
+        let squares = self.spec.pitch_m / self.widths[seg].max(1e-9);
+        self.spec.sheet_ohms * squares
+    }
+
+    /// Grid node net name.
+    pub fn node_name(x: usize, y: usize) -> String {
+        format!("g{x}_{y}")
+    }
+
+    /// Compiles the grid, package and block loads into a circuit.
+    ///
+    /// Pads connect an ideal `vdd` source through `pad_r` + `pad_l` to
+    /// their grid node; every node gets wire + decap capacitance; each tap
+    /// draws its dc current, plus a pulse-train spike when present.
+    pub fn to_circuit(&self) -> Circuit {
+        let spec = &self.spec;
+        let mut ckt = Circuit::new();
+        let vdd_ideal = ckt.node("vdd_ideal");
+        ckt.add("Vdd", Device::vdc(vdd_ideal, Circuit::GROUND, spec.vdd));
+
+        // Pads: Vdd — Rpkg — Lpkg — grid node.
+        for (k, &(px, py)) in spec.pads.iter().enumerate() {
+            let mid = ckt.node(&format!("pad{k}_mid"));
+            let gnode = ckt.node(&Self::node_name(px, py));
+            ckt.add(
+                &format!("Rpad{k}"),
+                Device::resistor(vdd_ideal, mid, spec.pad_r),
+            );
+            ckt.add(
+                &format!("Lpad{k}"),
+                Device::inductor(mid, gnode, spec.pad_l),
+            );
+        }
+
+        // Mesh segments.
+        for seg in 0..spec.num_segments() {
+            let ((x0, y0), (x1, y1)) = spec.segment_nodes(seg);
+            let a = ckt.node(&Self::node_name(x0, y0));
+            let b = ckt.node(&Self::node_name(x1, y1));
+            ckt.add(
+                &format!("Rseg{seg}"),
+                Device::resistor(a, b, self.segment_resistance(seg)),
+            );
+        }
+
+        // Node capacitance: wire area share + decap.
+        for y in 0..spec.ny {
+            for x in 0..spec.nx {
+                let n = ckt.node(&Self::node_name(x, y));
+                // Wire cap: half of each adjacent segment's area.
+                let mut wire_area = 0.0;
+                if x + 1 < spec.nx {
+                    wire_area += 0.5 * self.widths[spec.h_segment(x, y)] * spec.pitch_m;
+                }
+                if x > 0 {
+                    wire_area += 0.5 * self.widths[spec.h_segment(x - 1, y)] * spec.pitch_m;
+                }
+                if y + 1 < spec.ny {
+                    wire_area += 0.5 * self.widths[spec.v_segment(x, y)] * spec.pitch_m;
+                }
+                if y > 0 {
+                    wire_area += 0.5 * self.widths[spec.v_segment(x, y - 1)] * spec.pitch_m;
+                }
+                let c = spec.node_decap
+                    + self.extra_decap[y * spec.nx + x]
+                    + spec.cap_per_m2 * wire_area;
+                ckt.add(
+                    &format!("Cn{x}_{y}"),
+                    Device::capacitor(n, Circuit::GROUND, c),
+                );
+            }
+        }
+
+        // Tap loads.
+        for tap in &spec.taps {
+            let n = ckt.node(&Self::node_name(tap.x, tap.y));
+            ckt.add(
+                &format!("Idc_{}", tap.name),
+                Device::idc(n, Circuit::GROUND, tap.dc_amps),
+            );
+            if let Some((peak, edge, width, period)) = tap.spike {
+                ckt.add(
+                    &format!("Ispk_{}", tap.name),
+                    Device::Isource {
+                        plus: n,
+                        minus: Circuit::GROUND,
+                        waveform: SourceWaveform::Pulse {
+                            v1: 0.0,
+                            v2: peak,
+                            delay: 1e-9,
+                            rise: edge,
+                            fall: edge,
+                            width,
+                            period,
+                        },
+                        ac_mag: 0.0,
+                    },
+                );
+            }
+        }
+
+        ckt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_indexing_round_trips() {
+        let spec = GridSpec::data_channel_demo();
+        for seg in 0..spec.num_segments() {
+            let ((x0, y0), (x1, y1)) = spec.segment_nodes(seg);
+            if y0 == y1 {
+                assert_eq!(spec.h_segment(x0, y0), seg);
+                assert_eq!(x1, x0 + 1);
+            } else {
+                assert_eq!(spec.v_segment(x0, y0), seg);
+                assert_eq!(y1, y0 + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn segment_count_matches_mesh() {
+        let spec = GridSpec::data_channel_demo();
+        // 6×4: horizontal 5×4 = 20, vertical 6×3 = 18.
+        assert_eq!(spec.num_segments(), 38);
+    }
+
+    #[test]
+    fn wider_wire_has_lower_resistance() {
+        let spec = GridSpec::data_channel_demo();
+        let thin = PowerGrid::uniform(spec.clone(), 2e-6);
+        let wide = PowerGrid::uniform(spec, 20e-6);
+        assert!(thin.segment_resistance(0) > wide.segment_resistance(0));
+        assert!(wide.metal_area() > thin.metal_area());
+    }
+
+    #[test]
+    fn circuit_compiles_and_validates() {
+        let grid = PowerGrid::uniform(GridSpec::data_channel_demo(), 5e-6);
+        let ckt = grid.to_circuit();
+        ckt.validate().unwrap();
+        // 1 source + 4 pads×2 + 38 segments + 24 node caps + 4 dc taps +
+        // 2 spike sources.
+        assert_eq!(ckt.num_devices(), 1 + 8 + 38 + 24 + 4 + 2);
+    }
+
+    #[test]
+    fn dc_drop_appears_at_taps() {
+        let grid = PowerGrid::uniform(GridSpec::data_channel_demo(), 5e-6);
+        let ckt = grid.to_circuit();
+        let op = ams_sim::dc_operating_point(&ckt).unwrap();
+        let v_dsp = op.voltage(&ckt, &PowerGrid::node_name(1, 1)).unwrap();
+        assert!(v_dsp < 5.0, "IR drop must lower the tap voltage");
+        assert!(v_dsp > 4.0, "drop should be sane: {v_dsp}");
+    }
+}

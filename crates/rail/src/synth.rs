@@ -1,0 +1,419 @@
+//! RAIL-style power-grid synthesis: constraint evaluation and width
+//! optimization.
+//!
+//! "The RAIL system from CMU addresses these concerns by casting
+//! mixed-signal power grid synthesis as a routing problem that uses fast
+//! AWE-based linear system evaluation to electrically model the entire
+//! power grid, package and substrate during layout. Figure 3 shows an
+//! example RAIL redesign … in which a demanding set of dc, ac and
+//! transient performance constraints were met automatically" (§3.2).
+//!
+//! [`evaluate`] checks the three constraint classes (dc IR drop, ac supply
+//! impedance via AWE, transient droop under current spikes);
+//! [`synthesize`] iteratively widens the segments feeding the worst
+//! violating tap until every constraint holds.
+
+use crate::grid::{PowerGrid, TapKind};
+use ams_awe::AweModel;
+use ams_netlist::{Circuit, Device};
+use ams_sim::{dc_operating_point, linearize, transient, SimError};
+use std::collections::HashMap;
+
+/// The dc/ac/transient constraint set of a RAIL run.
+#[derive(Debug, Clone)]
+pub struct RailConstraints {
+    /// Maximum static IR drop at any tap, volts.
+    pub max_dc_drop: f64,
+    /// Maximum supply impedance magnitude at analog taps, ohms, checked up
+    /// to `ac_freq_hz`.
+    pub max_ac_impedance: f64,
+    /// Frequency at which the ac impedance is checked.
+    pub ac_freq_hz: f64,
+    /// Maximum transient droop (peak deviation from the dc level) at any
+    /// tap during switching, volts.
+    pub max_droop: f64,
+}
+
+impl Default for RailConstraints {
+    fn default() -> Self {
+        RailConstraints {
+            max_dc_drop: 0.10,
+            max_ac_impedance: 2.0,
+            ac_freq_hz: 200e6,
+            max_droop: 0.25,
+        }
+    }
+}
+
+/// Per-tap evaluation results.
+#[derive(Debug, Clone)]
+pub struct TapReport {
+    /// Tap name.
+    pub name: String,
+    /// Static IR drop, volts.
+    pub dc_drop: f64,
+    /// Supply impedance magnitude at the check frequency (analog taps),
+    /// ohms.
+    pub ac_impedance: Option<f64>,
+    /// Transient droop, volts.
+    pub droop: f64,
+}
+
+/// Full grid evaluation.
+#[derive(Debug, Clone)]
+pub struct GridEval {
+    /// Per-tap numbers.
+    pub taps: Vec<TapReport>,
+    /// Worst dc drop.
+    pub worst_dc_drop: f64,
+    /// Worst analog ac impedance.
+    pub worst_ac_impedance: f64,
+    /// Worst transient droop.
+    pub worst_droop: f64,
+    /// Metal area of the grid, m².
+    pub metal_area: f64,
+}
+
+impl GridEval {
+    /// Whether every constraint holds.
+    pub fn meets(&self, c: &RailConstraints) -> bool {
+        self.worst_dc_drop <= c.max_dc_drop
+            && self.worst_ac_impedance <= c.max_ac_impedance
+            && self.worst_droop <= c.max_droop
+    }
+}
+
+/// Evaluates a grid against the constraint classes.
+///
+/// * **dc**: Newton operating point, drop at each tap.
+/// * **ac**: AWE macromodel of the supply impedance at analog taps
+///   (unit AC current injection), evaluated at `c.ac_freq_hz`.
+/// * **transient**: full trapezoidal simulation over two spike periods,
+///   peak droop at each tap.
+///
+/// # Errors
+///
+/// Propagates simulator failures.
+pub fn evaluate(grid: &PowerGrid, c: &RailConstraints) -> Result<GridEval, SimError> {
+    let ckt = grid.to_circuit();
+    let op = dc_operating_point(&ckt)?;
+    let vdd = grid.spec.vdd;
+
+    let mut taps = Vec::new();
+    // Transient: simulate two periods of the slowest spike train.
+    let max_period = grid
+        .spec
+        .taps
+        .iter()
+        .filter_map(|t| t.spike.map(|s| s.3))
+        .fold(0.0f64, f64::max);
+    let tran = if max_period > 0.0 {
+        Some(transient(&ckt, 2.0 * max_period + 2e-9, max_period / 150.0)?)
+    } else {
+        None
+    };
+
+    for tap in &grid.spec.taps {
+        let node = PowerGrid::node_name(tap.x, tap.y);
+        let v_dc = op.voltage(&ckt, &node)?;
+        let dc_drop = vdd - v_dc;
+
+        // AC impedance via AWE: rebuild the circuit with a unit AC current
+        // injected at this tap.
+        let ac_impedance = if tap.kind == TapKind::Analog {
+            Some(supply_impedance(grid, tap.x, tap.y, c.ac_freq_hz)?)
+        } else {
+            None
+        };
+
+        let droop = match &tran {
+            Some(t) => {
+                let wave = t.voltage(&ckt, &node)?;
+                let min = wave.iter().cloned().fold(f64::INFINITY, f64::min);
+                (v_dc - min).max(0.0)
+            }
+            None => 0.0,
+        };
+
+        taps.push(TapReport {
+            name: tap.name.clone(),
+            dc_drop,
+            ac_impedance,
+            droop,
+        });
+    }
+
+    let worst_dc_drop = taps.iter().map(|t| t.dc_drop).fold(0.0, f64::max);
+    let worst_ac_impedance = taps
+        .iter()
+        .filter_map(|t| t.ac_impedance)
+        .fold(0.0, f64::max);
+    let worst_droop = taps.iter().map(|t| t.droop).fold(0.0, f64::max);
+
+    Ok(GridEval {
+        taps,
+        worst_dc_drop,
+        worst_ac_impedance,
+        worst_droop,
+        metal_area: grid.metal_area(),
+    })
+}
+
+/// Supply impedance magnitude at a grid node and frequency, computed from
+/// an AWE macromodel of the grid + package network (the "fast AWE-based
+/// linear system evaluation" of RAIL).
+///
+/// # Errors
+///
+/// Propagates simulator/AWE failures.
+pub fn supply_impedance(
+    grid: &PowerGrid,
+    x: usize,
+    y: usize,
+    freq_hz: f64,
+) -> Result<f64, SimError> {
+    let mut ckt = grid.to_circuit();
+    let node = ckt.node(&PowerGrid::node_name(x, y));
+    ckt.add(
+        "Iprobe",
+        Device::Isource {
+            plus: node,
+            minus: Circuit::GROUND,
+            waveform: ams_netlist::SourceWaveform::Dc(0.0),
+            ac_mag: 1.0,
+        },
+    );
+    let op = dc_operating_point(&ckt)?;
+    let net = linearize(&ckt, &op);
+    let out = ams_sim::output_index(&ckt, &net.layout, &PowerGrid::node_name(x, y))
+        .ok_or_else(|| SimError::UnknownNode(PowerGrid::node_name(x, y)))?;
+    // AWE macromodel of the impedance response; fall back to lower orders
+    // when the Padé system is degenerate for this grid.
+    for order in [4usize, 3, 2, 1] {
+        if let Ok(model) = AweModel::from_net(&net, out, order) {
+            return Ok(model.response_at(freq_hz).abs());
+        }
+    }
+    // Last resort: one exact complex solve.
+    let sweep = ams_sim::ac_sweep(&net, out, &[freq_hz])?;
+    Ok(sweep.values[0].abs())
+}
+
+/// Result of a synthesis run.
+#[derive(Debug, Clone)]
+pub struct RailResult {
+    /// The sized grid.
+    pub grid: PowerGrid,
+    /// Final evaluation.
+    pub eval: GridEval,
+    /// Widening iterations used.
+    pub iterations: usize,
+    /// Whether all constraints are met.
+    pub met: bool,
+}
+
+/// Synthesizes segment widths so the constraints hold: starting from the
+/// minimum width everywhere, repeatedly widen the segments on the path
+/// from the worst-violating tap to its nearest pad (RAIL's
+/// routing-problem formulation: widths are "routed" along supply paths).
+///
+/// # Errors
+///
+/// Propagates simulator failures.
+pub fn synthesize(
+    mut grid: PowerGrid,
+    constraints: &RailConstraints,
+    max_iterations: usize,
+    widen_factor: f64,
+    max_width: f64,
+) -> Result<RailResult, SimError> {
+    let mut iterations = 0;
+    loop {
+        let eval = evaluate(&grid, constraints)?;
+        if eval.meets(constraints) || iterations >= max_iterations {
+            let met = eval.meets(constraints);
+            return Ok(RailResult {
+                grid,
+                eval,
+                iterations,
+                met,
+            });
+        }
+        // Worst offender: largest normalized violation.
+        let mut worst: Option<(usize, f64)> = None; // (tap index, severity)
+        for (i, t) in eval.taps.iter().enumerate() {
+            let mut sev = t.dc_drop / constraints.max_dc_drop;
+            sev = sev.max(t.droop / constraints.max_droop);
+            if let Some(z) = t.ac_impedance {
+                sev = sev.max(z / constraints.max_ac_impedance);
+            }
+            if worst.is_none_or(|(_, s)| sev > s) {
+                worst = Some((i, sev));
+            }
+        }
+        let (tap_idx, _) = worst.expect("at least one tap");
+        let tap = grid.spec.taps[tap_idx].clone();
+        let report = &eval.taps[tap_idx];
+        // Transient droop is dominated by package L·di/dt, which wire
+        // widths cannot fix: synthesize decap at the offending tap. IR
+        // drop and impedance respond to widening the supply path.
+        if report.droop > constraints.max_droop
+            && report.droop / constraints.max_droop
+                >= report.dc_drop / constraints.max_dc_drop
+        {
+            // Charge budget of one spike, sized to keep droop in spec.
+            let extra = match tap.spike {
+                Some((peak, _edge, width, _period)) => {
+                    2.0 * peak * width / constraints.max_droop
+                }
+                None => 1e-9,
+            };
+            grid.add_decap(tap.x, tap.y, extra.min(10e-9));
+        } else {
+            // Widen segments on the shortest path tap → nearest pad.
+            let path = shortest_path_to_pad(&grid, tap.x, tap.y);
+            for seg in path {
+                grid.widths[seg] = (grid.widths[seg] * widen_factor).min(max_width);
+            }
+        }
+        iterations += 1;
+    }
+}
+
+/// BFS over grid nodes from `(x, y)` to the nearest pad; returns the
+/// segment indices along the path.
+fn shortest_path_to_pad(grid: &PowerGrid, x: usize, y: usize) -> Vec<usize> {
+    let spec = &grid.spec;
+    let idx = |x: usize, y: usize| y * spec.nx + x;
+    let mut prev: HashMap<usize, (usize, usize)> = HashMap::new(); // node -> (prev node, segment)
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(idx(x, y));
+    let mut seen = vec![false; spec.nx * spec.ny];
+    seen[idx(x, y)] = true;
+    let pad_set: Vec<usize> = spec.pads.iter().map(|&(px, py)| idx(px, py)).collect();
+    let mut found = None;
+    'bfs: while let Some(v) = queue.pop_front() {
+        let (vx, vy) = (v % spec.nx, v / spec.nx);
+        let mut neighbors = Vec::new();
+        if vx + 1 < spec.nx {
+            neighbors.push((idx(vx + 1, vy), spec.h_segment(vx, vy)));
+        }
+        if vx > 0 {
+            neighbors.push((idx(vx - 1, vy), spec.h_segment(vx - 1, vy)));
+        }
+        if vy + 1 < spec.ny {
+            neighbors.push((idx(vx, vy + 1), spec.v_segment(vx, vy)));
+        }
+        if vy > 0 {
+            neighbors.push((idx(vx, vy - 1), spec.v_segment(vx, vy - 1)));
+        }
+        for (w, seg) in neighbors {
+            if !seen[w] {
+                seen[w] = true;
+                prev.insert(w, (v, seg));
+                if pad_set.contains(&w) {
+                    found = Some(w);
+                    break 'bfs;
+                }
+                queue.push_back(w);
+            }
+        }
+    }
+    let mut segments = Vec::new();
+    if let Some(mut v) = found {
+        while let Some(&(p, seg)) = prev.get(&v) {
+            segments.push(seg);
+            v = p;
+        }
+    }
+    segments
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::GridSpec;
+
+    fn thin_grid() -> PowerGrid {
+        PowerGrid::uniform(GridSpec::data_channel_demo(), 2e-6)
+    }
+
+    #[test]
+    fn evaluation_reports_all_constraint_classes() {
+        let eval = evaluate(&thin_grid(), &RailConstraints::default()).unwrap();
+        assert_eq!(eval.taps.len(), 4);
+        assert!(eval.worst_dc_drop > 0.0);
+        assert!(eval.worst_droop > 0.0);
+        assert!(eval.worst_ac_impedance > 0.0);
+        // Analog taps carry impedance numbers, digital taps don't.
+        for t in &eval.taps {
+            match t.name.as_str() {
+                "vga" | "adc_frontend" => assert!(t.ac_impedance.is_some()),
+                _ => assert!(t.ac_impedance.is_none()),
+            }
+        }
+    }
+
+    #[test]
+    fn thin_grid_violates_wide_grid_meets() {
+        let constraints = RailConstraints::default();
+        let thin_eval = evaluate(&thin_grid(), &constraints).unwrap();
+        assert!(
+            !thin_eval.meets(&constraints),
+            "2 µm grid should violate: {thin_eval:?}"
+        );
+        let wide = PowerGrid::uniform(GridSpec::data_channel_demo(), 60e-6);
+        let wide_eval = evaluate(&wide, &constraints).unwrap();
+        assert!(
+            wide_eval.worst_dc_drop < thin_eval.worst_dc_drop,
+            "wider metal must reduce IR drop"
+        );
+    }
+
+    #[test]
+    fn awe_impedance_matches_exact_ac() {
+        let grid = thin_grid();
+        let freq = 100e6;
+        let z_awe = supply_impedance(&grid, 4, 1, freq).unwrap();
+        // Exact reference.
+        let mut ckt = grid.to_circuit();
+        let node = ckt.node(&PowerGrid::node_name(4, 1));
+        ckt.add(
+            "Iprobe",
+            Device::Isource {
+                plus: node,
+                minus: Circuit::GROUND,
+                waveform: ams_netlist::SourceWaveform::Dc(0.0),
+                ac_mag: 1.0,
+            },
+        );
+        let op = dc_operating_point(&ckt).unwrap();
+        let net = linearize(&ckt, &op);
+        let out = ams_sim::output_index(&ckt, &net.layout, &PowerGrid::node_name(4, 1)).unwrap();
+        let exact = ams_sim::ac_sweep(&net, out, &[freq]).unwrap().values[0].abs();
+        let err = (z_awe - exact).abs() / exact.max(1e-12);
+        assert!(err < 0.2, "AWE {z_awe} vs exact {exact}");
+    }
+
+    #[test]
+    fn synthesis_meets_constraints_and_grows_metal() {
+        let constraints = RailConstraints::default();
+        let start = thin_grid();
+        let start_area = start.metal_area();
+        let result = synthesize(start, &constraints, 60, 1.5, 200e-6).unwrap();
+        assert!(result.met, "constraints unmet: {:?}", result.eval);
+        assert!(result.iterations > 0);
+        assert!(result.eval.metal_area > start_area);
+        assert!(result.grid.total_decap() > 0.0, "spike droop needs decap");
+    }
+
+    #[test]
+    fn path_to_pad_reaches_a_pad() {
+        let grid = thin_grid();
+        let path = shortest_path_to_pad(&grid, 2, 2);
+        assert!(!path.is_empty());
+        // Path length: Manhattan distance from (2,2) to nearest pad (0,3)
+        // or (5,3) or (0,0) or (5,0) is 3; BFS must not exceed that.
+        assert!(path.len() <= 4, "path {path:?}");
+    }
+}

@@ -1,0 +1,686 @@
+//! DC operating-point analysis: Newton–Raphson with homotopy fallbacks.
+//!
+//! The solver first tries plain Newton from a zero start, then gmin
+//! stepping, then source stepping — the classic SPICE convergence ladder.
+
+use ams_netlist::{Circuit, Device, MosOp};
+use std::collections::HashMap;
+
+use crate::error::SimError;
+use crate::mna::{indexed_devices, LinearNet, MnaLayout, Stamper};
+use crate::linalg::Matrix;
+
+/// Maximum Newton iterations per homotopy stage.
+const MAX_ITER: usize = 150;
+/// Absolute voltage tolerance (volts).
+const VNTOL: f64 = 1e-9;
+/// Relative tolerance.
+const RELTOL: f64 = 1e-6;
+/// Per-iteration clamp on any voltage update (volts), for damping.
+const MAX_STEP: f64 = 0.5;
+
+/// Converged DC operating point.
+#[derive(Debug, Clone)]
+pub struct OpPoint {
+    /// Solution vector (node voltages then branch currents).
+    pub x: Vec<f64>,
+    /// Per-MOS operating data, keyed by instance name.
+    pub mos_ops: HashMap<String, MosOp>,
+    layout: MnaLayout,
+}
+
+impl OpPoint {
+    /// The MNA layout this solution uses.
+    pub fn layout(&self) -> &MnaLayout {
+        &self.layout
+    }
+
+    /// Voltage of a named node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownNode`] when the name is not in the circuit.
+    pub fn voltage(&self, ckt: &Circuit, node: &str) -> Result<f64, SimError> {
+        let id = ckt
+            .find_node(node)
+            .ok_or_else(|| SimError::UnknownNode(node.to_string()))?;
+        Ok(match self.layout.node(id) {
+            Some(i) => self.x[i],
+            None => 0.0,
+        })
+    }
+
+    /// Branch current through the `i`-th device (voltage sources and
+    /// inductors), if it has a branch unknown.
+    pub fn branch_current(&self, device_list_index: usize) -> Option<f64> {
+        self.layout.branch(device_list_index).map(|i| self.x[i])
+    }
+
+    /// Total current drawn from a supply device named `name`
+    /// (positive = current flowing out of its positive terminal into the
+    /// circuit). Returns `None` for devices without a branch current.
+    pub fn supply_current(&self, ckt: &Circuit, name: &str) -> Option<f64> {
+        let r = ckt.device_named(name)?;
+        self.branch_current(r.index()).map(|i| -i)
+    }
+}
+
+/// Computes the DC operating point of a circuit.
+///
+/// # Errors
+///
+/// * [`SimError::Singular`] — structurally singular system (floating node).
+/// * [`SimError::NoConvergence`] — all homotopy ladders failed.
+///
+/// ```
+/// let ckt = ams_netlist::parse_deck("
+///     V1 in 0 DC 2
+///     R1 in out 1k
+///     R2 out 0 1k
+/// ").unwrap();
+/// let op = ams_sim::dc_operating_point(&ckt).unwrap();
+/// assert!((op.voltage(&ckt, "out").unwrap() - 1.0).abs() < 1e-9);
+/// ```
+pub fn dc_operating_point(ckt: &Circuit) -> Result<OpPoint, SimError> {
+    let layout = MnaLayout::new(ckt);
+    let devices = indexed_devices(ckt);
+    let mut x = vec![0.0; layout.dim()];
+
+    // Plain Newton, then gmin ladder, then source stepping.
+    if newton(ckt, &layout, &devices, &mut x, 0.0, 1.0).is_ok() {
+        return Ok(finish(ckt, layout, x));
+    }
+    // gmin stepping: 1e-2 → 1e-12, warm-started.
+    let mut gx = vec![0.0; layout.dim()];
+    let mut ok = true;
+    for k in 2..=12 {
+        let gmin = 10f64.powi(-k);
+        if newton(ckt, &layout, &devices, &mut gx, gmin, 1.0).is_err() {
+            ok = false;
+            break;
+        }
+    }
+    if ok && newton(ckt, &layout, &devices, &mut gx, 0.0, 1.0).is_ok() {
+        return Ok(finish(ckt, layout, gx));
+    }
+
+    // Source stepping: ramp all independent sources from 10% to 100%.
+    let mut sx = vec![0.0; layout.dim()];
+    let mut ok = true;
+    for k in 1..=10 {
+        let alpha = k as f64 / 10.0;
+        if newton(ckt, &layout, &devices, &mut sx, 1e-9, alpha).is_err() {
+            ok = false;
+            break;
+        }
+    }
+    if ok && newton(ckt, &layout, &devices, &mut sx, 0.0, 1.0).is_ok() {
+        return Ok(finish(ckt, layout, sx));
+    }
+
+    Err(SimError::NoConvergence {
+        analysis: "dc",
+        iterations: MAX_ITER,
+    })
+}
+
+fn finish(ckt: &Circuit, layout: MnaLayout, x: Vec<f64>) -> OpPoint {
+    let mos_ops = evaluate_mos_ops(ckt, &layout, &x);
+    OpPoint {
+        x,
+        mos_ops,
+        layout,
+    }
+}
+
+fn evaluate_mos_ops(ckt: &Circuit, layout: &MnaLayout, x: &[f64]) -> HashMap<String, MosOp> {
+    let v = |id: ams_netlist::NodeId| layout.node(id).map_or(0.0, |i| x[i]);
+    let mut map = HashMap::new();
+    for (name, dev) in ckt.devices() {
+        if let Device::Mos(m) = dev {
+            let (d, s, flipped) = orient(m, v(m.drain), v(m.source));
+            let vgs = v(m.gate) - s.1;
+            let vds = d.1 - s.1;
+            let vbs = v(m.bulk) - s.1;
+            let mut op = m
+                .model
+                .evaluate(vgs, vds, vbs, m.w * m.m as f64, m.l);
+            if flipped {
+                op.ids = -op.ids;
+            }
+            map.insert(name.to_string(), op);
+        }
+    }
+    map
+}
+
+/// Orients a MOS so the model sees a forward-biased channel: returns
+/// ((drain node, vd), (source node, vs), flipped?).
+fn orient(
+    m: &ams_netlist::MosInstance,
+    vd: f64,
+    vs: f64,
+) -> ((ams_netlist::NodeId, f64), (ams_netlist::NodeId, f64), bool) {
+    let sign = m.model.polarity.sign();
+    if sign * (vd - vs) >= 0.0 {
+        ((m.drain, vd), (m.source, vs), false)
+    } else {
+        ((m.source, vs), (m.drain, vd), true)
+    }
+}
+
+/// One Newton solve at a fixed (gmin, source-scale) homotopy point.
+fn newton(
+    _ckt: &Circuit,
+    layout: &MnaLayout,
+    devices: &[(usize, String, Device)],
+    x: &mut [f64],
+    gmin: f64,
+    source_scale: f64,
+) -> Result<(), SimError> {
+    for _iter in 0..MAX_ITER {
+        let mut st = Stamper::new(layout.dim());
+        stamp_dc(layout, devices, x, gmin, source_scale, &mut st);
+        let lu = st.a.lu().map_err(SimError::Singular)?;
+        let new_x = lu.solve(&st.z);
+        // Damped update and convergence check.
+        let mut converged = true;
+        for i in 0..x.len() {
+            let mut dx = new_x[i] - x[i];
+            if i < layout.n_signal_nodes() {
+                dx = dx.clamp(-MAX_STEP, MAX_STEP);
+            }
+            if dx.abs() > VNTOL + RELTOL * x[i].abs().max(new_x[i].abs()) {
+                converged = false;
+            }
+            x[i] += dx;
+        }
+        if x.iter().any(|v| !v.is_finite()) {
+            return Err(SimError::NoConvergence {
+                analysis: "dc",
+                iterations: MAX_ITER,
+            });
+        }
+        if converged {
+            return Ok(());
+        }
+    }
+    Err(SimError::NoConvergence {
+        analysis: "dc",
+        iterations: MAX_ITER,
+    })
+}
+
+/// Stamps all devices for a DC Newton iteration linearized at `x`.
+fn stamp_dc(
+    layout: &MnaLayout,
+    devices: &[(usize, String, Device)],
+    x: &[f64],
+    gmin: f64,
+    source_scale: f64,
+    st: &mut Stamper,
+) {
+    let v = |idx: Option<usize>| idx.map_or(0.0, |i| x[i]);
+    // gmin to ground on every signal node.
+    if gmin > 0.0 {
+        for i in 0..layout.n_signal_nodes() {
+            st.conductance(Some(i), None, gmin);
+        }
+    }
+    for (list_idx, _name, dev) in devices {
+        match dev {
+            Device::Resistor { a, b, ohms } => {
+                st.conductance(layout.node(*a), layout.node(*b), 1.0 / ohms);
+            }
+            Device::Capacitor { .. } => {} // open at DC
+            Device::Inductor { a, b, .. } => {
+                // Short: branch row forces V(a)-V(b) = 0.
+                let br = layout.branch(*list_idx).expect("inductor branch");
+                st.voltage_branch(br, layout.node(*a), layout.node(*b), 0.0);
+            }
+            Device::Vsource {
+                plus,
+                minus,
+                waveform,
+                ..
+            } => {
+                let br = layout.branch(*list_idx).expect("vsource branch");
+                st.voltage_branch(
+                    br,
+                    layout.node(*plus),
+                    layout.node(*minus),
+                    waveform.dc_value() * source_scale,
+                );
+            }
+            Device::Isource {
+                plus,
+                minus,
+                waveform,
+                ..
+            } => {
+                let i = waveform.dc_value() * source_scale;
+                st.current_into(layout.node(*plus), -i);
+                st.current_into(layout.node(*minus), i);
+            }
+            Device::Vcvs {
+                plus,
+                minus,
+                ctrl_plus,
+                ctrl_minus,
+                gain,
+            } => {
+                let br = layout.branch(*list_idx).expect("vcvs branch");
+                st.voltage_branch(br, layout.node(*plus), layout.node(*minus), 0.0);
+                // KVL row gains: V(p)−V(m) − gain·(V(cp)−V(cm)) = 0.
+                if let Some(cp) = layout.node(*ctrl_plus) {
+                    st.a[(br, cp)] -= gain;
+                }
+                if let Some(cm) = layout.node(*ctrl_minus) {
+                    st.a[(br, cm)] += gain;
+                }
+            }
+            Device::Vccs {
+                plus,
+                minus,
+                ctrl_plus,
+                ctrl_minus,
+                gm,
+            } => {
+                st.transconductance(
+                    layout.node(*plus),
+                    layout.node(*minus),
+                    layout.node(*ctrl_plus),
+                    layout.node(*ctrl_minus),
+                    *gm,
+                );
+            }
+            Device::Mos(m) => {
+                let vd = v(layout.node(m.drain));
+                let vs = v(layout.node(m.source));
+                let ((dnode, vdx), (snode, vsx), _flip) = orient(m, vd, vs);
+                let vg = v(layout.node(m.gate));
+                let vb = v(layout.node(m.bulk));
+                let vgs = vg - vsx;
+                let vds = vdx - vsx;
+                let vbs = vb - vsx;
+                let op = m.model.evaluate(vgs, vds, vbs, m.w * m.m as f64, m.l);
+                // In the model's own frame (NMOS-like after polarity fold),
+                // drain current leaves `dnode`. Work with signed values:
+                let sign = m.model.polarity.sign();
+                let ids = op.ids; // already signed for polarity
+                let (gm_, gds, gmbs) = (op.gm, op.gds, op.gmbs);
+                let d = layout.node(dnode);
+                let s = layout.node(snode);
+                let g = layout.node(m.gate);
+                let b = layout.node(m.bulk);
+                // Conductances (same stamps for both polarities: gm etc. are
+                // derivatives in the NMOS frame; under polarity folding both
+                // voltage and current flip so the conductance stays positive).
+                st.conductance(d, s, gds);
+                st.transconductance(d, s, g, s, gm_);
+                st.transconductance(d, s, b, s, gmbs);
+                // Equivalent current source: the nonlinear residue.
+                // I_lin(v) = ids + gm·Δvgs + gds·Δvds + gmbs·Δvbs, so the
+                // constant term to inject is ids − (gm·vgs + gds·vds + gmbs·vbs)
+                // in the NMOS frame; map back with `sign` for PMOS.
+                let vgs_n = sign * vgs;
+                let vds_n = sign * vds;
+                let vbs_n = sign * vbs;
+                let ieq_n = sign * ids - (gm_ * vgs_n + gds * vds_n + gmbs * vbs_n);
+                let ieq = sign * ieq_n;
+                st.current_into(d, -ieq);
+                st.current_into(s, ieq);
+            }
+        }
+    }
+}
+
+/// Linearizes at an *assumed* (not necessarily converged) solution vector,
+/// returning the linear net together with the DC KCL residual norm — the
+/// primitive behind the "dc-free biasing formulation" of ASTRX/OBLX, where
+/// bias voltages are optimization variables and the dc constraints are
+/// "solved by relaxation throughout the optimization run".
+///
+/// # Panics
+///
+/// Panics if `x.len()` does not match the circuit's MNA dimension.
+pub fn linearize_at(ckt: &Circuit, x: &[f64]) -> (LinearNet, f64) {
+    let layout = MnaLayout::new(ckt);
+    assert_eq!(x.len(), layout.dim(), "solution vector dimension mismatch");
+    let devices = indexed_devices(ckt);
+    // Residual of the nonlinear KCL at x: stamp the companion system and
+    // measure A·x − z.
+    let mut st = Stamper::new(layout.dim());
+    stamp_dc(&layout, &devices, x, 0.0, 1.0, &mut st);
+    let ax = st.a.mul_vec(x);
+    let residual = ax
+        .iter()
+        .zip(&st.z)
+        .map(|(a, z)| (a - z) * (a - z))
+        .sum::<f64>()
+        .sqrt();
+    let op = finish(ckt, layout, x.to_vec());
+    (linearize(ckt, &op), residual)
+}
+
+/// Linearizes a circuit at an operating point into `(G + sC)x = b` form for
+/// AC, noise and AWE analyses. The excitation `b` collects every source's
+/// `ac_mag`.
+pub fn linearize(ckt: &Circuit, op: &OpPoint) -> LinearNet {
+    let layout = MnaLayout::new(ckt);
+    let dim = layout.dim();
+    let mut g = Stamper::new(dim);
+    let mut c = Matrix::zeros(dim, dim);
+    let devices = indexed_devices(ckt);
+    let xv = |idx: Option<usize>| idx.map_or(0.0, |i| op.x[i]);
+
+    for (list_idx, name, dev) in &devices {
+        match dev {
+            Device::Resistor { a, b, ohms } => {
+                g.conductance(layout.node(*a), layout.node(*b), 1.0 / ohms);
+            }
+            Device::Capacitor { a, b, farads } => {
+                stamp_cap(&mut c, layout.node(*a), layout.node(*b), *farads);
+            }
+            Device::Inductor { a, b, henries } => {
+                let br = layout.branch(*list_idx).expect("inductor branch");
+                g.voltage_branch(br, layout.node(*a), layout.node(*b), 0.0);
+                // KVL row: V(a) − V(b) − s·L·I = 0 → C[br][br] = −L.
+                c[(br, br)] -= henries;
+            }
+            Device::Vsource {
+                plus,
+                minus,
+                ac_mag,
+                ..
+            } => {
+                let br = layout.branch(*list_idx).expect("vsource branch");
+                g.voltage_branch(br, layout.node(*plus), layout.node(*minus), *ac_mag);
+            }
+            Device::Isource {
+                plus,
+                minus,
+                ac_mag,
+                ..
+            } => {
+                g.current_into(layout.node(*plus), -*ac_mag);
+                g.current_into(layout.node(*minus), *ac_mag);
+            }
+            Device::Vcvs {
+                plus,
+                minus,
+                ctrl_plus,
+                ctrl_minus,
+                gain,
+            } => {
+                let br = layout.branch(*list_idx).expect("vcvs branch");
+                g.voltage_branch(br, layout.node(*plus), layout.node(*minus), 0.0);
+                if let Some(cp) = layout.node(*ctrl_plus) {
+                    g.a[(br, cp)] -= gain;
+                }
+                if let Some(cm) = layout.node(*ctrl_minus) {
+                    g.a[(br, cm)] += gain;
+                }
+            }
+            Device::Vccs {
+                plus,
+                minus,
+                ctrl_plus,
+                ctrl_minus,
+                gm,
+            } => {
+                g.transconductance(
+                    layout.node(*plus),
+                    layout.node(*minus),
+                    layout.node(*ctrl_plus),
+                    layout.node(*ctrl_minus),
+                    *gm,
+                );
+            }
+            Device::Mos(m) => {
+                let op_data = op
+                    .mos_ops
+                    .get(name)
+                    .copied()
+                    .unwrap_or_else(|| panic!("missing MOS op for `{name}`"));
+                // Re-orient exactly as the DC stamp did.
+                let vd = xv(layout.node(m.drain));
+                let vs = xv(layout.node(m.source));
+                let ((dnode, _), (snode, _), _f) = orient(m, vd, vs);
+                let d = layout.node(dnode);
+                let s = layout.node(snode);
+                let gt = layout.node(m.gate);
+                let b = layout.node(m.bulk);
+                g.conductance(d, s, op_data.gds);
+                g.transconductance(d, s, gt, s, op_data.gm);
+                g.transconductance(d, s, b, s, op_data.gmbs);
+                stamp_cap(&mut c, gt, s, op_data.cgs);
+                stamp_cap(&mut c, gt, d, op_data.cgd);
+                stamp_cap(&mut c, d, b, op_data.cdb);
+                stamp_cap(&mut c, s, b, op_data.csb);
+            }
+        }
+    }
+
+    LinearNet {
+        g: g.a,
+        c,
+        b: g.z,
+        layout,
+    }
+}
+
+fn stamp_cap(c: &mut Matrix, i: Option<usize>, j: Option<usize>, farads: f64) {
+    if let Some(i) = i {
+        c[(i, i)] += farads;
+    }
+    if let Some(j) = j {
+        c[(j, j)] += farads;
+    }
+    if let (Some(i), Some(j)) = (i, j) {
+        c[(i, j)] -= farads;
+        c[(j, i)] -= farads;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ams_netlist::parse_deck;
+
+    #[test]
+    fn resistive_divider() {
+        let ckt = parse_deck(
+            "V1 in 0 DC 10
+             R1 in out 9k
+             R2 out 0 1k",
+        )
+        .unwrap();
+        let op = dc_operating_point(&ckt).unwrap();
+        assert!((op.voltage(&ckt, "out").unwrap() - 1.0).abs() < 1e-9);
+        // Supply current = 10 V / 10 kΩ = 1 mA out of the + terminal.
+        let i = op.supply_current(&ckt, "V1").unwrap();
+        assert!((i - 1e-3).abs() < 1e-9, "i = {i}");
+    }
+
+    #[test]
+    fn current_source_into_resistor() {
+        let ckt = parse_deck(
+            "I1 0 out 1m
+             R1 out 0 1k",
+        )
+        .unwrap();
+        let op = dc_operating_point(&ckt).unwrap();
+        // 1 mA into 1 kΩ = 1 V.
+        assert!((op.voltage(&ckt, "out").unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inductor_is_dc_short() {
+        let ckt = parse_deck(
+            "V1 in 0 DC 2
+             R1 in mid 1k
+             L1 mid out 1u
+             R2 out 0 1k",
+        )
+        .unwrap();
+        let op = dc_operating_point(&ckt).unwrap();
+        let vm = op.voltage(&ckt, "mid").unwrap();
+        let vo = op.voltage(&ckt, "out").unwrap();
+        assert!((vm - vo).abs() < 1e-9);
+        assert!((vo - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacitor_is_dc_open() {
+        let ckt = parse_deck(
+            "V1 in 0 DC 5
+             R1 in out 1k
+             C1 out 0 1p",
+        )
+        .unwrap();
+        let op = dc_operating_point(&ckt).unwrap();
+        assert!((op.voltage(&ckt, "out").unwrap() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn vcvs_amplifies() {
+        let ckt = parse_deck(
+            "V1 a 0 DC 0.1
+             R0 a 0 1k
+             E1 out 0 a 0 10
+             RL out 0 1k",
+        )
+        .unwrap();
+        let op = dc_operating_point(&ckt).unwrap();
+        assert!((op.voltage(&ckt, "out").unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vccs_injects_current() {
+        let ckt = parse_deck(
+            "V1 a 0 DC 1
+             R0 a 0 1k
+             G1 0 out a 0 1m
+             RL out 0 2k",
+        )
+        .unwrap();
+        let op = dc_operating_point(&ckt).unwrap();
+        // 1 mS × 1 V into 2 kΩ = 2 V.
+        assert!((op.voltage(&ckt, "out").unwrap() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nmos_diode_connected_bias() {
+        // Diode-connected NMOS pulled up through a resistor: V(d) settles
+        // above Vt and below supply.
+        let ckt = parse_deck(
+            ".model nch nmos vt0=0.7 kp=110u
+             Vdd vdd 0 DC 5
+             R1 vdd d 100k
+             M1 d d 0 0 nch W=10u L=1u",
+        )
+        .unwrap();
+        let op = dc_operating_point(&ckt).unwrap();
+        let vd = op.voltage(&ckt, "d").unwrap();
+        assert!(vd > 0.7 && vd < 1.5, "vd = {vd}");
+        let m_op = &op.mos_ops["M1"];
+        assert!(m_op.ids > 0.0);
+        // KCL: resistor current equals drain current.
+        let ir = (5.0 - vd) / 100e3;
+        assert!((ir - m_op.ids).abs() / ir < 1e-4, "ir={ir} id={}", m_op.ids);
+    }
+
+    #[test]
+    fn common_source_amplifier_bias() {
+        let ckt = parse_deck(
+            ".model nch nmos vt0=0.7 kp=110u lambda=0.04
+             Vdd vdd 0 DC 5
+             Vg  g   0 DC 1.0
+             RD  vdd d 10k
+             M1  d g 0 0 nch W=20u L=2u",
+        )
+        .unwrap();
+        let op = dc_operating_point(&ckt).unwrap();
+        let vd = op.voltage(&ckt, "d").unwrap();
+        // Id ≈ 0.5·110µ·10·0.09 ≈ 49.5 µA → Vd ≈ 5 − 0.495 ≈ 4.5 V.
+        assert!(vd > 4.0 && vd < 4.8, "vd = {vd}");
+        assert_eq!(
+            op.mos_ops["M1"].region,
+            ams_netlist::MosRegion::Saturation
+        );
+    }
+
+    #[test]
+    fn pmos_source_follower_bias() {
+        let ckt = parse_deck(
+            ".model pch pmos vt0=0.9 kp=38u
+             Vdd vdd 0 DC 5
+             Vg  g   0 DC 2.5
+             I1  0 out 50u
+             M1  0 g out vdd pch W=50u L=2u",
+        )
+        .unwrap();
+        let op = dc_operating_point(&ckt).unwrap();
+        let vout = op.voltage(&ckt, "out").unwrap();
+        // Source sits roughly |Vtp| + Vov above the gate.
+        assert!(vout > 3.2 && vout < 4.5, "vout = {vout}");
+    }
+
+    #[test]
+    fn cmos_inverter_transfer_endpoints() {
+        let deck = |vin: f64| {
+            format!(
+                ".model nch nmos vt0=0.7 kp=110u
+                 .model pch pmos vt0=0.9 kp=38u
+                 Vdd vdd 0 DC 5
+                 Vin in 0 DC {vin}
+                 M1 out in 0 0 nch W=10u L=1u
+                 M2 out in vdd vdd pch W=30u L=1u",
+            )
+        };
+        let low = parse_deck(&deck(0.0)).unwrap();
+        let op = dc_operating_point(&low).unwrap();
+        assert!(op.voltage(&low, "out").unwrap() > 4.9);
+        let high = parse_deck(&deck(5.0)).unwrap();
+        let op = dc_operating_point(&high).unwrap();
+        assert!(op.voltage(&high, "out").unwrap() < 0.1);
+    }
+
+    #[test]
+    fn reversed_mos_conducts_backwards() {
+        // Source at higher potential than drain for an NMOS: the device
+        // must conduct with the terminals logically swapped.
+        let ckt = parse_deck(
+            ".model nch nmos vt0=0.7 kp=110u
+             Vdd s 0 DC 3
+             Vg  g 0 DC 3
+             R1  d 0 10k
+             M1  d g s 0 nch W=10u L=1u",
+        )
+        .unwrap();
+        let op = dc_operating_point(&ckt).unwrap();
+        let vd = op.voltage(&ckt, "d").unwrap();
+        assert!(vd > 0.5, "follower output should rise, vd = {vd}");
+    }
+
+    #[test]
+    fn linearize_produces_consistent_dims() {
+        let ckt = parse_deck(
+            ".model nch nmos vt0=0.7 kp=110u
+             Vdd vdd 0 DC 5
+             Vin in 0 DC 1 AC 1
+             RD vdd out 10k
+             M1 out in 0 0 nch W=20u L=2u
+             CL out 0 1p",
+        )
+        .unwrap();
+        let op = dc_operating_point(&ckt).unwrap();
+        let net = linearize(&ckt, &op);
+        assert_eq!(net.g.n_rows(), net.dim());
+        assert_eq!(net.c.n_rows(), net.dim());
+        assert_eq!(net.b.len(), net.dim());
+        // The AC source magnitude must appear in b.
+        assert!(net.b.iter().any(|&v| v != 0.0));
+    }
+}

@@ -1,0 +1,81 @@
+use crate::linalg::SingularMatrix;
+use ams_netlist::NetlistError;
+use std::fmt;
+
+/// Errors produced by circuit analyses.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The netlist itself is malformed.
+    Netlist(NetlistError),
+    /// The MNA matrix was singular (floating node, loop of voltage sources…).
+    Singular(SingularMatrix),
+    /// Newton–Raphson failed to converge after all homotopy fallbacks.
+    NoConvergence {
+        /// Analysis that failed ("dc", "tran"…).
+        analysis: &'static str,
+        /// Iterations spent in the final attempt.
+        iterations: usize,
+    },
+    /// An analysis was asked for a node that does not exist.
+    UnknownNode(String),
+    /// Invalid analysis parameters (empty sweep, non-positive timestep…).
+    BadParameter(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Netlist(e) => write!(f, "netlist error: {e}"),
+            SimError::Singular(e) => write!(f, "singular MNA system: {e}"),
+            SimError::NoConvergence {
+                analysis,
+                iterations,
+            } => write!(f, "{analysis} analysis failed to converge after {iterations} iterations"),
+            SimError::UnknownNode(n) => write!(f, "unknown node `{n}`"),
+            SimError::BadParameter(m) => write!(f, "bad analysis parameter: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Netlist(e) => Some(e),
+            SimError::Singular(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for SimError {
+    fn from(e: NetlistError) -> Self {
+        SimError::Netlist(e)
+    }
+}
+
+impl From<SingularMatrix> for SimError {
+    fn from(e: SingularMatrix) -> Self {
+        SimError::Singular(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_analysis() {
+        let e = SimError::NoConvergence {
+            analysis: "dc",
+            iterations: 100,
+        };
+        assert!(e.to_string().contains("dc"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

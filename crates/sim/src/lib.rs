@@ -1,0 +1,54 @@
+//! MNA circuit simulator for the `ams-synth` toolkit.
+//!
+//! "Circuit synthesis is the inverse operation of circuit analysis, where
+//! the subblock parameters … are given and the resulting performance of the
+//! overall block is calculated, as is done in SPICE" (§2.2 of the DAC'96
+//! tutorial). This crate is that analysis engine: the simulation-based
+//! sizing tools (FRIDGE-style annealing, ASTRX/OBLX-style cost functions)
+//! call into it at every optimization iteration.
+//!
+//! # Analyses
+//!
+//! * [`dc_operating_point`] — Newton–Raphson with gmin and source stepping.
+//! * [`ac_sweep`] — small-signal frequency response from a [`LinearNet`].
+//! * [`transient`] — trapezoidal integration with local step halving.
+//! * [`noise_analysis`] — output-referred noise PSD and integrated rms.
+//!
+//! # Example
+//!
+//! ```
+//! use ams_sim::{dc_operating_point, linearize, ac_sweep, log_frequencies, output_index};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let ckt = ams_netlist::parse_deck("
+//!     Vin in 0 DC 0 AC 1
+//!     R1 in out 1k
+//!     C1 out 0 1n
+//! ")?;
+//! let op = dc_operating_point(&ckt)?;
+//! let net = linearize(&ckt, &op);
+//! let out = output_index(&ckt, &net.layout, "out").expect("node exists");
+//! let sweep = ac_sweep(&net, out, &log_frequencies(1.0, 1e9, 61))?;
+//! assert!(sweep.bandwidth_3db().is_some());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ac;
+mod dc;
+mod error;
+pub mod linalg;
+mod mna;
+mod noise;
+mod tran;
+
+pub use ac::{ac_sweep, log_frequencies, AcSweep};
+pub use dc::{dc_operating_point, linearize, linearize_at, OpPoint};
+pub use error::SimError;
+pub use linalg::{CMatrix, Complex, Lu, Matrix, SingularMatrix};
+pub use mna::{output_index, LinearNet, MnaLayout, Stamper};
+pub use noise::{noise_analysis, noise_sources, NoiseKind, NoiseResult, NoiseSource};
+pub use tran::{transient, TranResult};

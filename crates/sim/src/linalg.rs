@@ -1,0 +1,524 @@
+//! Dense linear algebra: real and complex matrices with partial-pivot LU.
+//!
+//! Analog cells are 10–100 devices (§3.1 of the tutorial), so the MNA
+//! systems the flow solves are small; dense LU with partial pivoting is both
+//! simpler and faster than sparse machinery at this scale.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+/// A complex number, used by AC analysis, AWE and symbolic evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Zero.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from rectangular parts.
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// A purely real value.
+    pub fn real(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// Magnitude `|z|`.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude, cheaper than [`Complex::abs`] when comparing.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Phase angle in radians.
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when inverting an exact zero.
+    pub fn inv(self) -> Self {
+        let d = self.norm_sqr();
+        debug_assert!(d > 0.0, "inverting zero complex number");
+        Complex {
+            re: self.re / d,
+            im: -self.im / d,
+        }
+    }
+
+    /// Principal square root.
+    pub fn sqrt(self) -> Self {
+        let r = self.abs();
+        let re = ((r + self.re) / 2.0).max(0.0).sqrt();
+        let im = ((r - self.re) / 2.0).max(0.0).sqrt();
+        Complex {
+            re,
+            im: if self.im < 0.0 { -im } else { im },
+        }
+    }
+
+    /// True when either part is NaN or infinite.
+    pub fn is_bad(self) -> bool {
+        !(self.re.is_finite() && self.im.is_finite())
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Self {
+        Complex::real(re)
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex {
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: f64) -> Complex {
+        Complex::new(self.re * rhs, self.im * rhs)
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    fn div(self, rhs: Complex) -> Complex {
+        self * rhs.inv()
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+/// Dense row-major real matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    n_rows: usize,
+    n_cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix of the given shape.
+    pub fn zeros(n_rows: usize, n_cols: usize) -> Self {
+        Matrix {
+            n_rows,
+            n_cols,
+            data: vec![0.0; n_rows * n_cols],
+        }
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Matrix-vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != n_cols`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n_cols, "dimension mismatch");
+        let mut y = vec![0.0; self.n_rows];
+        for i in 0..self.n_rows {
+            let row = &self.data[i * self.n_cols..(i + 1) * self.n_cols];
+            y[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+        y
+    }
+
+    /// In-place LU factorization with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrix`] when a pivot underflows.
+    pub fn lu(mut self) -> Result<Lu, SingularMatrix> {
+        assert_eq!(self.n_rows, self.n_cols, "LU needs a square matrix");
+        let n = self.n_rows;
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        for k in 0..n {
+            // Partial pivot.
+            let mut p = k;
+            let mut pmax = self[(k, k)].abs();
+            for i in k + 1..n {
+                let v = self[(i, k)].abs();
+                if v > pmax {
+                    pmax = v;
+                    p = i;
+                }
+            }
+            if pmax < 1e-300 || !pmax.is_finite() {
+                return Err(SingularMatrix { pivot: k });
+            }
+            if p != k {
+                for j in 0..n {
+                    self.data.swap(k * n + j, p * n + j);
+                }
+                perm.swap(k, p);
+                sign = -sign;
+            }
+            let pivot = self[(k, k)];
+            for i in k + 1..n {
+                let f = self[(i, k)] / pivot;
+                self[(i, k)] = f;
+                for j in k + 1..n {
+                    let v = self[(k, j)];
+                    self[(i, j)] -= f * v;
+                }
+            }
+        }
+        Ok(Lu {
+            lu: self,
+            perm,
+            sign,
+        })
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.n_cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.n_cols + j]
+    }
+}
+
+/// Error returned when LU factorization meets a (numerically) singular matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SingularMatrix {
+    /// Pivot column at which elimination failed.
+    pub pivot: usize,
+}
+
+impl fmt::Display for SingularMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "matrix is singular at pivot {}", self.pivot)
+    }
+}
+
+impl std::error::Error for SingularMatrix {}
+
+/// LU factorization of a real matrix, reusable for many right-hand sides.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    lu: Matrix,
+    perm: Vec<usize>,
+    sign: f64,
+}
+
+impl Lu {
+    /// Solves `A x = b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` does not match the matrix dimension.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.lu.n_rows;
+        assert_eq!(b.len(), n, "dimension mismatch");
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        // Forward substitution (L has unit diagonal).
+        for i in 1..n {
+            let mut s = x[i];
+            for j in 0..i {
+                s -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = s;
+        }
+        // Back substitution.
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for j in i + 1..n {
+                s -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = s / self.lu[(i, i)];
+        }
+        x
+    }
+
+    /// Determinant of the original matrix.
+    pub fn det(&self) -> f64 {
+        let n = self.lu.n_rows;
+        let mut d = self.sign;
+        for i in 0..n {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+}
+
+/// Dense row-major complex matrix with its own LU solver.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CMatrix {
+    n: usize,
+    data: Vec<Complex>,
+}
+
+impl CMatrix {
+    /// Zero square matrix.
+    pub fn zeros(n: usize) -> Self {
+        CMatrix {
+            n,
+            data: vec![Complex::ZERO; n * n],
+        }
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Solves `A x = b` by LU with partial pivoting, consuming the matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrix`] when a pivot underflows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` does not match the dimension.
+    pub fn solve(mut self, b: &[Complex]) -> Result<Vec<Complex>, SingularMatrix> {
+        let n = self.n;
+        assert_eq!(b.len(), n, "dimension mismatch");
+        let mut x: Vec<Complex> = b.to_vec();
+        for k in 0..n {
+            let mut p = k;
+            let mut pmax = self[(k, k)].norm_sqr();
+            for i in k + 1..n {
+                let v = self[(i, k)].norm_sqr();
+                if v > pmax {
+                    pmax = v;
+                    p = i;
+                }
+            }
+            if pmax < 1e-300 || !pmax.is_finite() {
+                return Err(SingularMatrix { pivot: k });
+            }
+            if p != k {
+                for j in 0..n {
+                    self.data.swap(k * n + j, p * n + j);
+                }
+                x.swap(k, p);
+            }
+            let pivot_inv = self[(k, k)].inv();
+            for i in k + 1..n {
+                let f = self[(i, k)] * pivot_inv;
+                for j in k + 1..n {
+                    let v = self[(k, j)];
+                    self[(i, j)] = self[(i, j)] - f * v;
+                }
+                let xk = x[k];
+                x[i] = x[i] - f * xk;
+            }
+        }
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for j in i + 1..n {
+                s = s - self[(i, j)] * x[j];
+            }
+            x[i] = s * self[(i, i)].inv();
+        }
+        Ok(x)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for CMatrix {
+    type Output = Complex;
+    fn index(&self, (i, j): (usize, usize)) -> &Complex {
+        &self.data[i * self.n + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for CMatrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut Complex {
+        &mut self.data[i * self.n + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complex_arithmetic() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        assert_eq!(a + b, Complex::new(4.0, 1.0));
+        assert_eq!(a * b, Complex::new(5.0, 5.0));
+        let q = a / b;
+        let back = q * b;
+        assert!((back - a).abs() < 1e-12);
+        assert!((Complex::I * Complex::I + Complex::ONE).abs() < 1e-15);
+    }
+
+    #[test]
+    fn complex_sqrt_squares_back() {
+        for z in [
+            Complex::new(4.0, 0.0),
+            Complex::new(-4.0, 0.0),
+            Complex::new(3.0, 4.0),
+            Complex::new(-3.0, -4.0),
+        ] {
+            let r = z.sqrt();
+            assert!((r * r - z).abs() < 1e-12, "sqrt({z}) = {r}");
+        }
+    }
+
+    #[test]
+    fn lu_solves_small_system() {
+        let mut a = Matrix::zeros(3, 3);
+        let vals = [[2.0, 1.0, 1.0], [4.0, -6.0, 0.0], [-2.0, 7.0, 2.0]];
+        for i in 0..3 {
+            for j in 0..3 {
+                a[(i, j)] = vals[i][j];
+            }
+        }
+        let lu = a.clone().lu().unwrap();
+        let b = [5.0, -2.0, 9.0];
+        let x = lu.solve(&b);
+        let back = a.mul_vec(&x);
+        for (u, v) in back.iter().zip(b.iter()) {
+            assert!((u - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn lu_determinant() {
+        let mut a = Matrix::zeros(2, 2);
+        a[(0, 0)] = 1.0;
+        a[(0, 1)] = 2.0;
+        a[(1, 0)] = 3.0;
+        a[(1, 1)] = 4.0;
+        assert!((a.lu().unwrap().det() + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_reports_error() {
+        let a = Matrix::zeros(2, 2);
+        assert!(a.lu().is_err());
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        let mut a = Matrix::zeros(2, 2);
+        a[(0, 1)] = 1.0;
+        a[(1, 0)] = 1.0;
+        let x = a.lu().unwrap().solve(&[3.0, 7.0]);
+        assert!((x[0] - 7.0).abs() < 1e-12 && (x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complex_solve_round_trips() {
+        let n = 4;
+        let mut a = CMatrix::zeros(n);
+        // Diagonally dominant complex matrix.
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = Complex::new((i + j) as f64 * 0.1, (i as f64 - j as f64) * 0.2);
+            }
+            a[(i, i)] = Complex::new(5.0 + i as f64, 1.0);
+        }
+        let b: Vec<Complex> = (0..n).map(|i| Complex::new(i as f64, 1.0)).collect();
+        let x = a.clone().solve(&b).unwrap();
+        // Verify A·x = b.
+        for i in 0..n {
+            let mut s = Complex::ZERO;
+            for j in 0..n {
+                s += a[(i, j)] * x[j];
+            }
+            assert!((s - b[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn identity_solve_is_identity() {
+        let x = Matrix::identity(3).lu().unwrap().solve(&[1.0, 2.0, 3.0]);
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,301 @@
+//! Generic simulated annealing over bounded parameter vectors.
+//!
+//! Annealing is the workhorse of the optimization-based synthesis tools the
+//! tutorial surveys — OPTIMAN ("a global simulated annealing algorithm"),
+//! FRIDGE ("calls the SPICE simulator throughout a simulated annealing
+//! optimization loop") and OBLX ("numerically searches for a good minimum
+//! of this function via annealing") all share this engine shape.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One optimization parameter: bounds and scale.
+#[derive(Debug, Clone)]
+pub struct ParamDef {
+    /// Parameter name (e.g. `"w_m1"`).
+    pub name: String,
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+    /// Explore in log space (appropriate for W/L, currents, capacitors).
+    pub log: bool,
+}
+
+impl ParamDef {
+    /// Linear-scale parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lo < hi`.
+    pub fn linear(name: &str, lo: f64, hi: f64) -> Self {
+        assert!(lo < hi, "bad bounds for {name}");
+        ParamDef {
+            name: name.to_string(),
+            lo,
+            hi,
+            log: false,
+        }
+    }
+
+    /// Log-scale parameter (both bounds must be positive).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < lo < hi`.
+    pub fn log(name: &str, lo: f64, hi: f64) -> Self {
+        assert!(lo > 0.0 && lo < hi, "bad log bounds for {name}");
+        ParamDef {
+            name: name.to_string(),
+            lo,
+            hi,
+            log: true,
+        }
+    }
+
+    fn clamp(&self, v: f64) -> f64 {
+        v.clamp(self.lo, self.hi)
+    }
+
+    fn perturb(&self, v: f64, scale: f64, rng: &mut SmallRng) -> f64 {
+        if self.log {
+            let span = (self.hi / self.lo).ln();
+            let step = span * scale * (rng.gen::<f64>() - 0.5);
+            self.clamp((v.max(self.lo).ln() + step).exp())
+        } else {
+            let span = self.hi - self.lo;
+            self.clamp(v + span * scale * (rng.gen::<f64>() - 0.5))
+        }
+    }
+
+    /// A uniform random sample within bounds.
+    pub fn sample(&self, rng: &mut SmallRng) -> f64 {
+        if self.log {
+            let u = rng.gen::<f64>();
+            (self.lo.ln() + u * (self.hi / self.lo).ln()).exp()
+        } else {
+            rng.gen_range(self.lo..self.hi)
+        }
+    }
+}
+
+/// Annealing schedule and budget.
+#[derive(Debug, Clone)]
+pub struct AnnealConfig {
+    /// Moves attempted per temperature stage.
+    pub moves_per_stage: usize,
+    /// Number of temperature stages.
+    pub stages: usize,
+    /// Initial temperature as a multiple of the initial cost spread.
+    pub t_initial_factor: f64,
+    /// Geometric cooling rate per stage (0 < α < 1).
+    pub cooling: f64,
+    /// RNG seed for reproducibility.
+    pub seed: u64,
+}
+
+impl Default for AnnealConfig {
+    fn default() -> Self {
+        AnnealConfig {
+            moves_per_stage: 200,
+            stages: 60,
+            t_initial_factor: 1.0,
+            cooling: 0.85,
+            seed: 1,
+        }
+    }
+}
+
+impl AnnealConfig {
+    /// A reduced-budget configuration for fast unit tests.
+    pub fn quick() -> Self {
+        AnnealConfig {
+            moves_per_stage: 60,
+            stages: 30,
+            ..Self::default()
+        }
+    }
+}
+
+/// Result of an annealing run.
+#[derive(Debug, Clone)]
+pub struct AnnealResult {
+    /// Best parameter vector found.
+    pub x: Vec<f64>,
+    /// Cost of the best vector.
+    pub cost: f64,
+    /// Total cost-function evaluations performed.
+    pub evaluations: usize,
+    /// Number of accepted moves.
+    pub accepted: usize,
+}
+
+/// Minimizes `cost` over the box defined by `params` with simulated
+/// annealing (Metropolis acceptance, geometric cooling, shrinking moves).
+///
+/// The cost function receives the full parameter vector in the order of
+/// `params`. Lower cost is better; `f64::INFINITY` marks invalid points.
+///
+/// # Panics
+///
+/// Panics if `params` is empty.
+pub fn anneal<F>(params: &[ParamDef], config: &AnnealConfig, mut cost: F) -> AnnealResult
+where
+    F: FnMut(&[f64]) -> f64,
+{
+    assert!(!params.is_empty(), "no parameters to optimize");
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+
+    // Multi-start initialization: best of a handful of random samples.
+    let mut evaluations = 0;
+    let mut x: Vec<f64> = params.iter().map(|p| p.sample(&mut rng)).collect();
+    let mut c = cost(&x);
+    evaluations += 1;
+    let mut spread = 0.0f64;
+    for _ in 0..20 {
+        let cand: Vec<f64> = params.iter().map(|p| p.sample(&mut rng)).collect();
+        let cc = cost(&cand);
+        evaluations += 1;
+        if cc.is_finite() && c.is_finite() {
+            spread = spread.max((cc - c).abs());
+        }
+        if cc < c {
+            x = cand;
+            c = cc;
+        }
+    }
+
+    let mut best_x = x.clone();
+    let mut best_c = c;
+    let mut t = (spread.max(c.abs()).max(1e-9)) * config.t_initial_factor;
+    let mut accepted = 0;
+
+    for stage in 0..config.stages {
+        // Move scale shrinks from coarse to fine over the schedule.
+        let progress = stage as f64 / config.stages.max(1) as f64;
+        let scale = 0.5 * (1.0 - progress) + 0.02;
+        for _ in 0..config.moves_per_stage {
+            let k = rng.gen_range(0..params.len());
+            let mut cand = x.clone();
+            cand[k] = params[k].perturb(cand[k], scale, &mut rng);
+            let cc = cost(&cand);
+            evaluations += 1;
+            let accept = cc < c || {
+                let d = cc - c;
+                d.is_finite() && rng.gen::<f64>() < (-d / t.max(1e-300)).exp()
+            };
+            if accept {
+                x = cand;
+                c = cc;
+                accepted += 1;
+                if c < best_c {
+                    best_c = c;
+                    best_x = x.clone();
+                }
+            }
+        }
+        t *= config.cooling;
+    }
+
+    AnnealResult {
+        x: best_x,
+        cost: best_c,
+        evaluations,
+        accepted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_quadratic_bowl() {
+        let params = vec![
+            ParamDef::linear("x", -10.0, 10.0),
+            ParamDef::linear("y", -10.0, 10.0),
+        ];
+        let r = anneal(&params, &AnnealConfig::default(), |v| {
+            (v[0] - 3.0).powi(2) + (v[1] + 2.0).powi(2)
+        });
+        assert!(r.cost < 1e-2, "cost = {}", r.cost);
+        assert!((r.x[0] - 3.0).abs() < 0.2);
+        assert!((r.x[1] + 2.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn escapes_local_minima_of_rastrigin() {
+        // 2-D Rastrigin: many local minima, global at origin.
+        let params = vec![
+            ParamDef::linear("x", -5.12, 5.12),
+            ParamDef::linear("y", -5.12, 5.12),
+        ];
+        let r = anneal(
+            &params,
+            &AnnealConfig {
+                moves_per_stage: 400,
+                stages: 80,
+                ..Default::default()
+            },
+            |v| {
+                20.0 + v
+                    .iter()
+                    .map(|&x| x * x - 10.0 * (2.0 * std::f64::consts::PI * x).cos())
+                    .sum::<f64>()
+            },
+        );
+        // Accept any of the deepest few basins (global is 0).
+        assert!(r.cost < 2.0, "cost = {}", r.cost);
+    }
+
+    #[test]
+    fn log_parameters_stay_in_bounds() {
+        let params = vec![ParamDef::log("w", 1e-6, 1e-3)];
+        let r = anneal(&params, &AnnealConfig::quick(), |v| (v[0].ln() + 10.0).abs());
+        assert!(r.x[0] >= 1e-6 && r.x[0] <= 1e-3);
+        // Optimum at w = e^-10 ≈ 4.5e-5.
+        assert!((r.x[0].ln() + 10.0).abs() < 0.5, "w = {}", r.x[0]);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let params = vec![ParamDef::linear("x", 0.0, 1.0)];
+        let cfg = AnnealConfig::quick();
+        let a = anneal(&params, &cfg, |v| (v[0] - 0.5).abs());
+        let b = anneal(&params, &cfg, |v| (v[0] - 0.5).abs());
+        assert_eq!(a.x, b.x);
+        assert_eq!(a.cost, b.cost);
+    }
+
+    #[test]
+    fn infinite_cost_points_are_avoided() {
+        let params = vec![ParamDef::linear("x", -1.0, 1.0)];
+        let r = anneal(&params, &AnnealConfig::quick(), |v| {
+            if v[0] < 0.0 {
+                f64::INFINITY
+            } else {
+                v[0]
+            }
+        });
+        assert!(r.x[0] >= 0.0);
+        assert!(r.cost < 0.1);
+    }
+
+    #[test]
+    fn evaluation_count_matches_budget() {
+        let params = vec![ParamDef::linear("x", 0.0, 1.0)];
+        let cfg = AnnealConfig {
+            moves_per_stage: 10,
+            stages: 5,
+            ..Default::default()
+        };
+        let r = anneal(&params, &cfg, |v| v[0]);
+        assert_eq!(r.evaluations, 21 + 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad bounds")]
+    fn bad_bounds_panic() {
+        ParamDef::linear("x", 1.0, 0.0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Specification → scalar cost compilation (the ASTRX step).
+//!
+//! "ASTRX compiles the initial synthesis specification into an executable
+//! cost function whose minimum represents a good solution" (§2.2). The
+//! [`CostCompiler`] turns an [`ams_topology::Spec`] into a weighted sum of
+//! normalized constraint violations plus scalarized objectives, evaluated
+//! on performance vectors.
+
+use ams_topology::{Bound, Spec};
+use std::collections::HashMap;
+
+/// Performance vector: metric name → measured value.
+pub type Perf = HashMap<String, f64>;
+
+/// Per-metric report produced by [`CostCompiler::report`].
+#[derive(Debug, Clone)]
+pub struct MetricReport {
+    /// Metric name.
+    pub metric: String,
+    /// Measured value.
+    pub value: f64,
+    /// The bound, if one applies.
+    pub bound: Option<Bound>,
+    /// Whether the bound is met (true when no bound applies).
+    pub satisfied: bool,
+}
+
+/// Compiled cost function over performance vectors.
+#[derive(Debug, Clone)]
+pub struct CostCompiler {
+    spec: Spec,
+    /// Weight applied to each unit of normalized constraint violation.
+    pub constraint_weight: f64,
+    /// Weight applied to the (normalized) minimization objective.
+    pub objective_weight: f64,
+}
+
+impl CostCompiler {
+    /// Compiles a specification with default weights.
+    pub fn new(spec: Spec) -> Self {
+        CostCompiler {
+            spec,
+            constraint_weight: 100.0,
+            objective_weight: 1.0,
+        }
+    }
+
+    /// The underlying specification.
+    pub fn spec(&self) -> &Spec {
+        &self.spec
+    }
+
+    /// Normalized violation of one bound at a value (0 when satisfied).
+    pub fn violation(bound: &Bound, value: f64) -> f64 {
+        match *bound {
+            Bound::AtLeast(v) => {
+                if value >= v {
+                    0.0
+                } else {
+                    (v - value) / v.abs().max(1e-12)
+                }
+            }
+            Bound::AtMost(v) => {
+                if value <= v {
+                    0.0
+                } else {
+                    (value - v) / v.abs().max(1e-12)
+                }
+            }
+            Bound::Range(lo, hi) => {
+                if value < lo {
+                    (lo - value) / lo.abs().max(1e-12)
+                } else if value > hi {
+                    (value - hi) / hi.abs().max(1e-12)
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Scalar cost of a performance vector. Missing metrics are treated as
+    /// hard violations (cost contribution 10) so incomplete evaluations
+    /// cannot look attractive.
+    pub fn cost(&self, perf: &Perf) -> f64 {
+        let mut total = 0.0;
+        for (metric, bound) in self.spec.bounds() {
+            match perf.get(metric) {
+                Some(&v) if v.is_finite() => {
+                    let viol = Self::violation(bound, v);
+                    total += self.constraint_weight * viol * (1.0 + viol);
+                }
+                _ => total += self.constraint_weight * 10.0,
+            }
+        }
+        if let Some(obj) = &self.spec.minimize {
+            match perf.get(obj) {
+                Some(&v) if v.is_finite() && v > 0.0 => {
+                    // log-scaled so decades of improvement matter equally.
+                    total += self.objective_weight * v.ln();
+                }
+                Some(&v) if v.is_finite() => total += self.objective_weight * v,
+                _ => total += self.constraint_weight * 10.0,
+            }
+        }
+        total
+    }
+
+    /// Whether every bound is satisfied.
+    pub fn feasible(&self, perf: &Perf) -> bool {
+        self.spec.satisfied_by(perf)
+    }
+
+    /// Per-metric pass/fail report for result tables.
+    pub fn report(&self, perf: &Perf) -> Vec<MetricReport> {
+        let mut out: Vec<MetricReport> = Vec::new();
+        for (metric, bound) in self.spec.bounds() {
+            let value = perf.get(metric).copied().unwrap_or(f64::NAN);
+            out.push(MetricReport {
+                metric: metric.to_string(),
+                value,
+                bound: Some(*bound),
+                satisfied: value.is_finite() && Self::violation(bound, value) == 0.0,
+            });
+        }
+        out.sort_by(|a, b| a.metric.cmp(&b.metric));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn perf(pairs: &[(&str, f64)]) -> Perf {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn satisfied_bounds_cost_only_objective() {
+        let spec = Spec::new()
+            .require("gain_db", Bound::AtLeast(60.0))
+            .minimizing("power_w");
+        let cc = CostCompiler::new(spec);
+        let a = cc.cost(&perf(&[("gain_db", 70.0), ("power_w", 1e-3)]));
+        let b = cc.cost(&perf(&[("gain_db", 70.0), ("power_w", 1e-4)]));
+        assert!(b < a, "lower power must cost less: {b} vs {a}");
+        assert!(cc.feasible(&perf(&[("gain_db", 70.0), ("power_w", 1e-3)])));
+    }
+
+    #[test]
+    fn violations_dominate_objective() {
+        let spec = Spec::new()
+            .require("gain_db", Bound::AtLeast(60.0))
+            .minimizing("power_w");
+        let cc = CostCompiler::new(spec);
+        // Violating gain with tiny power must cost more than meeting gain
+        // with large power.
+        let violating = cc.cost(&perf(&[("gain_db", 30.0), ("power_w", 1e-9)]));
+        let meeting = cc.cost(&perf(&[("gain_db", 65.0), ("power_w", 1e-1)]));
+        assert!(violating > meeting);
+    }
+
+    #[test]
+    fn missing_metric_is_heavily_penalized() {
+        let spec = Spec::new().require("gain_db", Bound::AtLeast(60.0));
+        let cc = CostCompiler::new(spec);
+        assert!(cc.cost(&perf(&[])) >= 100.0 * 10.0);
+        assert!(!cc.feasible(&perf(&[])));
+    }
+
+    #[test]
+    fn violation_math() {
+        assert_eq!(CostCompiler::violation(&Bound::AtLeast(10.0), 12.0), 0.0);
+        assert!((CostCompiler::violation(&Bound::AtLeast(10.0), 5.0) - 0.5).abs() < 1e-12);
+        assert_eq!(CostCompiler::violation(&Bound::AtMost(1.0), 0.5), 0.0);
+        assert!((CostCompiler::violation(&Bound::AtMost(1.0), 2.0) - 1.0).abs() < 1e-12);
+        assert_eq!(CostCompiler::violation(&Bound::Range(1.0, 2.0), 1.5), 0.0);
+        assert!(CostCompiler::violation(&Bound::Range(1.0, 2.0), 0.5) > 0.0);
+    }
+
+    #[test]
+    fn report_lists_every_bound() {
+        let spec = Spec::new()
+            .require("gain_db", Bound::AtLeast(60.0))
+            .require("power_w", Bound::AtMost(1e-3));
+        let cc = CostCompiler::new(spec);
+        let rep = cc.report(&perf(&[("gain_db", 55.0), ("power_w", 5e-4)]));
+        assert_eq!(rep.len(), 2);
+        let gain = rep.iter().find(|r| r.metric == "gain_db").unwrap();
+        assert!(!gain.satisfied);
+        let power = rep.iter().find(|r| r.metric == "power_w").unwrap();
+        assert!(power.satisfied);
+    }
+}

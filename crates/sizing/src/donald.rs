@@ -1,0 +1,426 @@
+//! DONALD-style constraint programming: ordering declarative design
+//! equations into an executable computational plan.
+//!
+//! "The second problem of ordering the design equations into an
+//! application-specific design or evaluation plan was then tackled using
+//! constraint programming techniques in the DONALD program" (§2.2).
+//!
+//! A [`DeclarativeModel`] holds *undirected* design equations — each knows
+//! how to solve for any of its variables. Given which variables are known
+//! (the spec inputs), [`DeclarativeModel::plan`] orders the equations by
+//! constraint propagation into a [`ComputationalPlan`]. The same model thus
+//! executes "forward" (specs → sizes) or "backward" (sizes → performance)
+//! without rewriting equations — the flexibility hand-written design plans
+//! lack.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Variable environment during plan execution.
+pub type Env = HashMap<String, f64>;
+
+type Solver = Box<dyn Fn(&Env) -> f64>;
+
+/// One undirected design equation.
+pub struct Equation {
+    /// Equation name for traces ("gm1 = 2*pi*ugf*cc").
+    pub name: String,
+    vars: Vec<String>,
+    solvers: HashMap<String, Solver>,
+}
+
+impl fmt::Debug for Equation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Equation")
+            .field("name", &self.name)
+            .field("vars", &self.vars)
+            .field("solvable_for", &self.solvers.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl Equation {
+    /// Creates an equation over `vars`.
+    pub fn new(name: &str, vars: &[&str]) -> Self {
+        Equation {
+            name: name.to_string(),
+            vars: vars.iter().map(|s| s.to_string()).collect(),
+            solvers: HashMap::new(),
+        }
+    }
+
+    /// Registers a closed-form solver for one of the variables
+    /// (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is not among the equation's variables.
+    pub fn solve_for<F>(mut self, var: &str, f: F) -> Self
+    where
+        F: Fn(&Env) -> f64 + 'static,
+    {
+        assert!(
+            self.vars.iter().any(|v| v == var),
+            "`{var}` is not a variable of `{}`",
+            self.name
+        );
+        self.solvers.insert(var.to_string(), Box::new(f));
+        self
+    }
+}
+
+/// Errors from planning or executing a declarative model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DonaldError {
+    /// Propagation stalled: these variables cannot be computed from the
+    /// given inputs (the model is under-constrained for this direction).
+    UnderConstrained {
+        /// Variables left unknown.
+        unknown: Vec<String>,
+    },
+    /// An equation whose variables were all already known disagreed with
+    /// the computed values (over-constrained / inconsistent inputs).
+    Inconsistent {
+        /// The violated equation.
+        equation: String,
+        /// Relative residual magnitude.
+        residual: f64,
+    },
+    /// Execution referenced a variable with no value (internal misuse).
+    MissingInput(String),
+}
+
+impl fmt::Display for DonaldError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DonaldError::UnderConstrained { unknown } => {
+                write!(f, "under-constrained: cannot derive {}", unknown.join(", "))
+            }
+            DonaldError::Inconsistent {
+                equation,
+                residual,
+            } => write!(f, "equation `{equation}` inconsistent (residual {residual:.3e})"),
+            DonaldError::MissingInput(v) => write!(f, "missing input `{v}`"),
+        }
+    }
+}
+
+impl std::error::Error for DonaldError {}
+
+/// One step of a computational plan: solve `equation` for `variable`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanStep {
+    /// Equation index in the model.
+    pub equation_index: usize,
+    /// Equation name (for display).
+    pub equation: String,
+    /// Variable the step computes.
+    pub variable: String,
+}
+
+/// An ordered, executable sequence of solved equations.
+#[derive(Debug, Clone)]
+pub struct ComputationalPlan {
+    /// Ordered steps.
+    pub steps: Vec<PlanStep>,
+    /// Equations used as consistency checks (all variables known).
+    pub checks: Vec<usize>,
+}
+
+/// A set of undirected design equations over named variables.
+#[derive(Debug, Default)]
+pub struct DeclarativeModel {
+    equations: Vec<Equation>,
+}
+
+impl DeclarativeModel {
+    /// Empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an equation (builder style).
+    pub fn with(mut self, eq: Equation) -> Self {
+        self.equations.push(eq);
+        self
+    }
+
+    /// All variables mentioned by any equation.
+    pub fn variables(&self) -> HashSet<String> {
+        self.equations
+            .iter()
+            .flat_map(|e| e.vars.iter().cloned())
+            .collect()
+    }
+
+    /// Orders the equations into a plan that derives every variable from
+    /// the `inputs`, by constraint propagation: repeatedly pick an equation
+    /// with exactly one unknown variable it can solve for.
+    ///
+    /// # Errors
+    ///
+    /// [`DonaldError::UnderConstrained`] when propagation stalls.
+    pub fn plan(&self, inputs: &[&str]) -> Result<ComputationalPlan, DonaldError> {
+        let mut known: HashSet<String> = inputs.iter().map(|s| s.to_string()).collect();
+        let mut used = vec![false; self.equations.len()];
+        let mut steps = Vec::new();
+        let mut checks = Vec::new();
+
+        loop {
+            let mut progressed = false;
+            for (i, eq) in self.equations.iter().enumerate() {
+                if used[i] {
+                    continue;
+                }
+                let unknown: Vec<&String> =
+                    eq.vars.iter().filter(|v| !known.contains(*v)).collect();
+                match unknown.len() {
+                    0 => {
+                        used[i] = true;
+                        checks.push(i);
+                        progressed = true;
+                    }
+                    1 => {
+                        let var = unknown[0].clone();
+                        if eq.solvers.contains_key(&var) {
+                            used[i] = true;
+                            known.insert(var.clone());
+                            steps.push(PlanStep {
+                                equation_index: i,
+                                equation: eq.name.clone(),
+                                variable: var,
+                            });
+                            progressed = true;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+
+        let all_vars = self.variables();
+        let unknown: Vec<String> = {
+            let mut u: Vec<String> = all_vars.difference(&known).cloned().collect();
+            u.sort();
+            u
+        };
+        if !unknown.is_empty() {
+            return Err(DonaldError::UnderConstrained { unknown });
+        }
+        Ok(ComputationalPlan { steps, checks })
+    }
+
+    /// Executes a plan against concrete input values, returning the full
+    /// variable environment.
+    ///
+    /// # Errors
+    ///
+    /// * [`DonaldError::MissingInput`] — an input named by the plan is absent.
+    /// * [`DonaldError::Inconsistent`] — a check equation's recomputed value
+    ///   disagrees with the environment by more than 0.1% (over-constrained
+    ///   inputs).
+    pub fn execute(
+        &self,
+        plan: &ComputationalPlan,
+        inputs: &Env,
+    ) -> Result<Env, DonaldError> {
+        let mut env = inputs.clone();
+        for step in &plan.steps {
+            let eq = &self.equations[step.equation_index];
+            for v in &eq.vars {
+                if v != &step.variable && !env.contains_key(v) {
+                    return Err(DonaldError::MissingInput(v.clone()));
+                }
+            }
+            let value = (eq.solvers[&step.variable])(&env);
+            env.insert(step.variable.clone(), value);
+        }
+        // Consistency checks: recompute any solvable variable of each check
+        // equation and compare.
+        for &i in &plan.checks {
+            let eq = &self.equations[i];
+            if let Some((var, solver)) = eq.solvers.iter().next() {
+                let expected = env
+                    .get(var)
+                    .copied()
+                    .ok_or_else(|| DonaldError::MissingInput(var.clone()))?;
+                let got = solver(&env);
+                let residual = (got - expected).abs() / expected.abs().max(1e-30);
+                if residual > 1e-3 {
+                    return Err(DonaldError::Inconsistent {
+                        equation: eq.name.clone(),
+                        residual,
+                    });
+                }
+            }
+        }
+        Ok(env)
+    }
+}
+
+/// The two-stage opamp design equations as a declarative model — the same
+/// physics as [`crate::TwoStagePlan`], but direction-free.
+pub fn two_stage_equations() -> DeclarativeModel {
+    let pi2 = 2.0 * std::f64::consts::PI;
+    DeclarativeModel::new()
+        .with(
+            Equation::new("cc = 0.22*cl", &["cc", "cl"])
+                .solve_for("cc", |e| 0.22 * e["cl"])
+                .solve_for("cl", |e| e["cc"] / 0.22),
+        )
+        .with(
+            Equation::new("sr = itail/cc", &["sr", "itail", "cc"])
+                .solve_for("sr", |e| e["itail"] / e["cc"])
+                .solve_for("itail", |e| e["sr"] * e["cc"])
+                .solve_for("cc", |e| e["itail"] / e["sr"]),
+        )
+        .with(
+            Equation::new("gm1 = 2*pi*ugf*cc", &["gm1", "ugf", "cc"])
+                .solve_for("gm1", move |e| pi2 * e["ugf"] * e["cc"])
+                .solve_for("ugf", move |e| e["gm1"] / (pi2 * e["cc"]))
+                .solve_for("cc", move |e| e["gm1"] / (pi2 * e["ugf"])),
+        )
+        .with(
+            Equation::new("vov1 = itail/gm1", &["vov1", "itail", "gm1"])
+                .solve_for("vov1", |e| e["itail"] / e["gm1"])
+                .solve_for("itail", |e| e["vov1"] * e["gm1"])
+                .solve_for("gm1", |e| e["itail"] / e["vov1"]),
+        )
+        .with(
+            Equation::new("gm6 = 2.2*gm1*cl/cc", &["gm6", "gm1", "cl", "cc"])
+                .solve_for("gm6", |e| 2.2 * e["gm1"] * e["cl"] / e["cc"])
+                .solve_for("gm1", |e| e["gm6"] * e["cc"] / (2.2 * e["cl"])),
+        )
+        .with(
+            Equation::new("i2 = gm6*vov6/2", &["i2", "gm6", "vov6"])
+                .solve_for("i2", |e| e["gm6"] * e["vov6"] / 2.0)
+                .solve_for("gm6", |e| 2.0 * e["i2"] / e["vov6"])
+                .solve_for("vov6", |e| 2.0 * e["i2"] / e["gm6"]),
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(pairs: &[(&str, f64)]) -> Env {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn forward_direction_specs_to_sizes() {
+        let model = two_stage_equations();
+        let plan = model.plan(&["cl", "sr", "ugf", "vov6"]).unwrap();
+        let out = model
+            .execute(
+                &plan,
+                &env(&[("cl", 5e-12), ("sr", 1e7), ("ugf", 1e7), ("vov6", 0.25)]),
+            )
+            .unwrap();
+        let cc = 0.22 * 5e-12;
+        assert!((out["cc"] - cc).abs() / cc < 1e-12);
+        assert!((out["itail"] - 1e7 * cc).abs() / (1e7 * cc) < 1e-12);
+        let gm1 = 2.0 * std::f64::consts::PI * 1e7 * cc;
+        assert!((out["gm1"] - gm1).abs() / gm1 < 1e-12);
+        assert!(out["i2"] > 0.0);
+    }
+
+    #[test]
+    fn backward_direction_sizes_to_performance() {
+        // Same declarative model, opposite direction: given sizes, derive
+        // performance. A hand-written plan cannot do this.
+        let model = two_stage_equations();
+        let plan = model
+            .plan(&["cc", "itail", "gm1", "gm6", "vov6"])
+            .unwrap();
+        let out = model
+            .execute(
+                &plan,
+                &env(&[
+                    ("cc", 1e-12),
+                    ("itail", 50e-6),
+                    ("gm1", 3e-4),
+                    ("gm6", 3e-3), // = 2.2*gm1*cl/cc with cl = cc/0.22
+                    ("vov6", 0.25),
+                ]),
+            )
+            .unwrap();
+        assert!((out["sr"] - 5e7).abs() / 5e7 < 1e-12);
+        let ugf = 3e-4 / (2.0 * std::f64::consts::PI * 1e-12);
+        assert!((out["ugf"] - ugf).abs() / ugf < 1e-12);
+        assert!(out.contains_key("cl"));
+        assert!(out.contains_key("vov1"));
+    }
+
+    #[test]
+    fn under_constrained_reports_missing_variables() {
+        let model = two_stage_equations();
+        let err = model.plan(&["cl"]).unwrap_err();
+        match err {
+            DonaldError::UnderConstrained { unknown } => {
+                assert!(unknown.contains(&"itail".to_string()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn over_constrained_consistent_inputs_pass() {
+        let model = two_stage_equations();
+        // Give both cl and cc, consistently (cc = 0.22·cl): the cc equation
+        // becomes a check and passes.
+        let plan = model.plan(&["cl", "cc", "sr", "ugf", "vov6"]).unwrap();
+        assert!(!plan.checks.is_empty());
+        let out = model.execute(
+            &plan,
+            &env(&[
+                ("cl", 5e-12),
+                ("cc", 0.22 * 5e-12),
+                ("sr", 1e7),
+                ("ugf", 1e7),
+                ("vov6", 0.25),
+            ]),
+        );
+        assert!(out.is_ok());
+    }
+
+    #[test]
+    fn over_constrained_inconsistent_inputs_fail() {
+        let model = two_stage_equations();
+        let plan = model.plan(&["cl", "cc", "sr", "ugf", "vov6"]).unwrap();
+        let err = model
+            .execute(
+                &plan,
+                &env(&[
+                    ("cl", 5e-12),
+                    ("cc", 9e-12), // violates cc = 0.22·cl
+                    ("sr", 1e7),
+                    ("ugf", 1e7),
+                    ("vov6", 0.25),
+                ]),
+            )
+            .unwrap_err();
+        assert!(matches!(err, DonaldError::Inconsistent { .. }));
+    }
+
+    #[test]
+    fn plan_respects_dependency_order() {
+        let model = two_stage_equations();
+        let plan = model.plan(&["cl", "sr", "ugf", "vov6"]).unwrap();
+        let pos = |v: &str| plan.steps.iter().position(|s| s.variable == v);
+        // cc must be derived before itail and gm1 (both depend on it).
+        assert!(pos("cc").unwrap() < pos("itail").unwrap());
+        assert!(pos("cc").unwrap() < pos("gm1").unwrap());
+        assert!(pos("gm6").unwrap() < pos("i2").unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a variable")]
+    fn solver_for_foreign_variable_panics() {
+        let _ = Equation::new("x = y", &["x", "y"]).solve_for("z", |_| 0.0);
+    }
+}

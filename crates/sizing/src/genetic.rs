@@ -1,0 +1,303 @@
+//! DARWIN-style genetic synthesis: topology selection inside the
+//! optimization loop.
+//!
+//! "Other tools have attempted to integrate the topology selection step as
+//! part of the optimization loop. This was done … by using a genetic
+//! algorithm to find the best topology choice" (§2.2, citing DARWIN \[28\]
+//! and SEAS \[27\]). A chromosome pairs a topology gene with that topology's
+//! parameter vector; crossover mixes parameters within a topology species
+//! and mutation occasionally jumps species.
+
+use crate::anneal::ParamDef;
+use crate::cost::CostCompiler;
+use crate::eqopt::{PerfModel, SizingResult};
+use ams_topology::Spec;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// GA configuration.
+#[derive(Debug, Clone)]
+pub struct GaConfig {
+    /// Population size.
+    pub population: usize,
+    /// Number of generations.
+    pub generations: usize,
+    /// Probability of per-gene mutation.
+    pub mutation_rate: f64,
+    /// Probability a mutation switches topology instead of a parameter.
+    pub species_jump_rate: f64,
+    /// Tournament size for selection.
+    pub tournament: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GaConfig {
+    fn default() -> Self {
+        GaConfig {
+            population: 60,
+            generations: 80,
+            mutation_rate: 0.15,
+            species_jump_rate: 0.08,
+            tournament: 3,
+            seed: 1,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Chromosome {
+    topology: usize,
+    genes: Vec<f64>,
+    cost: f64,
+}
+
+/// Result of a genetic synthesis run.
+#[derive(Debug, Clone)]
+pub struct GaResult {
+    /// Name of the winning topology.
+    pub topology: String,
+    /// Sizing result for the winner.
+    pub sizing: SizingResult,
+    /// Fraction of the final population carrying the winning topology —
+    /// a measure of selection confidence.
+    pub consensus: f64,
+}
+
+/// Runs genetic topology selection + sizing over a set of candidate
+/// performance models.
+///
+/// # Panics
+///
+/// Panics if `models` is empty.
+pub fn evolve(models: &[&dyn PerfModel], spec: &Spec, config: &GaConfig) -> GaResult {
+    assert!(!models.is_empty(), "no candidate topologies");
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let compiler = CostCompiler::new(spec.clone());
+    let param_defs: Vec<Vec<ParamDef>> = models.iter().map(|m| m.params()).collect();
+
+    let eval = |topology: usize, genes: &[f64]| -> f64 {
+        compiler.cost(&models[topology].evaluate(genes))
+    };
+
+    // Seed the population uniformly across species.
+    let mut pop: Vec<Chromosome> = (0..config.population)
+        .map(|i| {
+            let topology = i % models.len();
+            let genes: Vec<f64> = param_defs[topology]
+                .iter()
+                .map(|p| p.sample(&mut rng))
+                .collect();
+            let cost = eval(topology, &genes);
+            Chromosome {
+                topology,
+                genes,
+                cost,
+            }
+        })
+        .collect();
+
+    let mut best = pop
+        .iter()
+        .min_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap_or(std::cmp::Ordering::Equal))
+        .expect("non-empty population")
+        .clone();
+
+    for _gen in 0..config.generations {
+        let mut next = Vec::with_capacity(pop.len());
+        // Elitism: carry the best forward.
+        next.push(best.clone());
+        while next.len() < pop.len() {
+            let a = tournament(&pop, config.tournament, &mut rng);
+            let b = tournament(&pop, config.tournament, &mut rng);
+            let mut child = crossover(a, b, &mut rng);
+            mutate(
+                &mut child,
+                models.len(),
+                &param_defs,
+                config,
+                &mut rng,
+            );
+            child.cost = eval(child.topology, &child.genes);
+            if child.cost < best.cost {
+                best = child.clone();
+            }
+            next.push(child);
+        }
+        pop = next;
+    }
+
+    let consensus = pop
+        .iter()
+        .filter(|c| c.topology == best.topology)
+        .count() as f64
+        / pop.len() as f64;
+    let model = models[best.topology];
+    let perf = model.evaluate(&best.genes);
+    GaResult {
+        topology: model.name().to_string(),
+        consensus,
+        sizing: SizingResult {
+            params: param_defs[best.topology]
+                .iter()
+                .zip(&best.genes)
+                .map(|(p, &v)| (p.name.clone(), v))
+                .collect(),
+            feasible: compiler.feasible(&perf),
+            perf,
+            cost: best.cost,
+            evaluations: config.population * (config.generations + 1),
+        },
+    }
+}
+
+fn tournament<'a>(pop: &'a [Chromosome], k: usize, rng: &mut SmallRng) -> &'a Chromosome {
+    let mut best: Option<&Chromosome> = None;
+    for _ in 0..k.max(1) {
+        let c = &pop[rng.gen_range(0..pop.len())];
+        if best.is_none_or(|b| c.cost < b.cost) {
+            best = Some(c);
+        }
+    }
+    best.expect("non-empty population")
+}
+
+fn crossover(a: &Chromosome, b: &Chromosome, rng: &mut SmallRng) -> Chromosome {
+    if a.topology == b.topology {
+        // Uniform crossover within a species.
+        let genes = a
+            .genes
+            .iter()
+            .zip(&b.genes)
+            .map(|(&x, &y)| if rng.gen::<bool>() { x } else { y })
+            .collect();
+        Chromosome {
+            topology: a.topology,
+            genes,
+            cost: f64::INFINITY,
+        }
+    } else {
+        // Cross-species: inherit the fitter parent wholesale.
+        let parent = if a.cost <= b.cost { a } else { b };
+        Chromosome {
+            topology: parent.topology,
+            genes: parent.genes.clone(),
+            cost: f64::INFINITY,
+        }
+    }
+}
+
+fn mutate(
+    c: &mut Chromosome,
+    n_models: usize,
+    param_defs: &[Vec<ParamDef>],
+    config: &GaConfig,
+    rng: &mut SmallRng,
+) {
+    if n_models > 1 && rng.gen::<f64>() < config.species_jump_rate {
+        // Species jump: new topology, fresh genes.
+        let mut t = rng.gen_range(0..n_models);
+        if t == c.topology {
+            t = (t + 1) % n_models;
+        }
+        c.topology = t;
+        c.genes = param_defs[t].iter().map(|p| p.sample(rng)).collect();
+        return;
+    }
+    for (gene, def) in c.genes.iter_mut().zip(&param_defs[c.topology]) {
+        if rng.gen::<f64>() < config.mutation_rate {
+            // Gaussian-ish perturbation via two uniforms, clamped by resample.
+            let scale = 0.2;
+            let step = scale * (rng.gen::<f64>() + rng.gen::<f64>() - 1.0);
+            let v = if def.log {
+                (gene.ln() + step * (def.hi / def.lo).ln()).exp()
+            } else {
+                *gene + step * (def.hi - def.lo)
+            };
+            *gene = v.clamp(def.lo, def.hi);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eqopt::{SymmetricalOtaModel, TwoStageModel};
+    use ams_netlist::Technology;
+    use ams_topology::Bound;
+
+    fn models() -> (TwoStageModel, SymmetricalOtaModel) {
+        let tech = Technology::generic_1p2um();
+        (
+            TwoStageModel::new(tech.clone(), 5e-12),
+            SymmetricalOtaModel::new(tech, 5e-12),
+        )
+    }
+
+    #[test]
+    fn high_gain_spec_selects_two_stage() {
+        let (two, ota) = models();
+        let spec = Spec::new()
+            .require("gain_db", Bound::AtLeast(75.0))
+            .require("ugf_hz", Bound::AtLeast(1e6))
+            .minimizing("power_w");
+        let r = evolve(&[&two, &ota], &spec, &GaConfig::default());
+        assert_eq!(r.topology, "two_stage_miller", "consensus {}", r.consensus);
+        assert!(r.sizing.feasible, "perf {:?}", r.sizing.perf);
+    }
+
+    #[test]
+    fn low_gain_low_power_spec_selects_ota() {
+        let (two, ota) = models();
+        // Modest gain, minimal power: the single-stage OTA wins on its
+        // smaller bias budget (no second-stage current).
+        let spec = Spec::new()
+            .require("gain_db", Bound::AtLeast(40.0))
+            .require("gain_db", Bound::AtLeast(40.0))
+            .require("phase_margin_deg", Bound::AtLeast(80.0))
+            .minimizing("power_w");
+        let r = evolve(&[&two, &ota], &spec, &GaConfig::default());
+        assert_eq!(r.topology, "symmetrical_ota");
+        assert!(r.sizing.feasible);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let (two, ota) = models();
+        let spec = Spec::new()
+            .require("gain_db", Bound::AtLeast(60.0))
+            .minimizing("power_w");
+        let cfg = GaConfig {
+            generations: 20,
+            ..Default::default()
+        };
+        let a = evolve(&[&two, &ota], &spec, &cfg);
+        let b = evolve(&[&two, &ota], &spec, &cfg);
+        assert_eq!(a.topology, b.topology);
+        assert_eq!(a.sizing.cost, b.sizing.cost);
+    }
+
+    #[test]
+    fn single_model_degenerates_to_plain_ga_sizing() {
+        let (two, _) = models();
+        let spec = Spec::new()
+            .require("gain_db", Bound::AtLeast(65.0))
+            .require("ugf_hz", Bound::AtLeast(5e6))
+            .minimizing("power_w");
+        let r = evolve(&[&two], &spec, &GaConfig::default());
+        assert_eq!(r.topology, "two_stage_miller");
+        assert!((r.consensus - 1.0).abs() < 1e-12);
+        assert!(r.sizing.feasible);
+    }
+
+    #[test]
+    fn consensus_reflects_population_agreement() {
+        let (two, ota) = models();
+        let spec = Spec::new()
+            .require("gain_db", Bound::AtLeast(75.0))
+            .minimizing("power_w");
+        let r = evolve(&[&two, &ota], &spec, &GaConfig::default());
+        // With a decisive spec the population should largely agree.
+        assert!(r.consensus > 0.5, "consensus = {}", r.consensus);
+    }
+}

@@ -1,0 +1,420 @@
+//! Knowledge-based design plans (the IDAC / OASYS approach).
+//!
+//! "The IDAC tool used manually derived and prearranged design plans or
+//! design scripts to carry out the circuit sizing. The design equations
+//! specific for a particular circuit topology had to be derived and the
+//! degrees of freedom … solved explicitly during the development of the
+//! design plan using simplifications and design heuristics" (§2.2).
+//!
+//! A [`DesignPlan`] is exactly that: a fixed sequence of solved design
+//! equations. Execution is microseconds — the approach's great advantage —
+//! but each plan is welded to one topology, the disadvantage that pushed
+//! the field toward optimization (experiment E2 quantifies both sides).
+
+use crate::cost::Perf;
+use ams_netlist::Technology;
+use ams_topology::{Bound, Spec};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors from design-plan execution.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PlanError {
+    /// The spec lacks a bound the plan's equations need as an input.
+    MissingSpec {
+        /// Plan that failed.
+        plan: String,
+        /// Metric whose bound is required.
+        metric: String,
+    },
+    /// A heuristic produced an unphysical value; the plan cannot proceed.
+    Unachievable {
+        /// Plan that failed.
+        plan: String,
+        /// Which step failed and why.
+        reason: String,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::MissingSpec { plan, metric } => {
+                write!(f, "plan `{plan}` needs a bound on `{metric}`")
+            }
+            PlanError::Unachievable { plan, reason } => {
+                write!(f, "plan `{plan}` cannot meet the spec: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// One recorded step of a plan execution, for designer inspection.
+#[derive(Debug, Clone)]
+pub struct PlanStep {
+    /// Variable assigned by this step.
+    pub variable: String,
+    /// Computed value.
+    pub value: f64,
+    /// The design equation or heuristic used, as text.
+    pub equation: String,
+}
+
+/// Output of a plan: sized parameters, predicted performance, and the
+/// step-by-step trace.
+#[derive(Debug, Clone)]
+pub struct PlanResult {
+    /// Sized design variables keyed by name.
+    pub params: HashMap<String, f64>,
+    /// Predicted performance.
+    pub perf: Perf,
+    /// Execution trace in order.
+    pub steps: Vec<PlanStep>,
+}
+
+/// A knowledge-based sizing plan for one circuit topology.
+pub trait DesignPlan {
+    /// Topology this plan sizes.
+    fn topology(&self) -> &str;
+    /// Executes the prearranged equation sequence against a spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError`] when required spec bounds are missing or a
+    /// heuristic step produces an unphysical intermediate value.
+    fn execute(&self, spec: &Spec, tech: &Technology) -> Result<PlanResult, PlanError>;
+}
+
+/// Extracts the numeric target from a bound (the value a design plan
+/// designs *to*).
+fn target(bound: &Bound) -> f64 {
+    match *bound {
+        Bound::AtLeast(v) | Bound::AtMost(v) => v,
+        Bound::Range(lo, hi) => 0.5 * (lo + hi),
+    }
+}
+
+/// The classical OASYS-style two-stage Miller opamp design plan.
+///
+/// Inputs (spec bounds): `ugf_hz`, `slew_v_per_s`, `phase_margin_deg`
+/// (optional, default 60°). The load capacitance is a constructor
+/// parameter, mirroring how OASYS treated the load as part of the design
+/// context.
+#[derive(Debug, Clone)]
+pub struct TwoStagePlan {
+    /// Load capacitance in farads.
+    pub cl: f64,
+}
+
+impl TwoStagePlan {
+    /// Creates the plan for a given load.
+    pub fn new(cl: f64) -> Self {
+        TwoStagePlan { cl }
+    }
+}
+
+impl DesignPlan for TwoStagePlan {
+    fn topology(&self) -> &str {
+        "two_stage_miller"
+    }
+
+    fn execute(&self, spec: &Spec, tech: &Technology) -> Result<PlanResult, PlanError> {
+        let plan = "two_stage_miller".to_string();
+        let need = |metric: &str| -> Result<f64, PlanError> {
+            spec.bound_for(metric)
+                .map(target)
+                .ok_or_else(|| PlanError::MissingSpec {
+                    plan: plan.clone(),
+                    metric: metric.to_string(),
+                })
+        };
+        let ugf = need("ugf_hz")?;
+        let slew = need("slew_v_per_s")?;
+        let pm = spec.bound_for("phase_margin_deg").map(target).unwrap_or(60.0);
+
+        let mut steps = Vec::new();
+        let mut record = |variable: &str, value: f64, equation: &str| {
+            steps.push(PlanStep {
+                variable: variable.to_string(),
+                value,
+                equation: equation.to_string(),
+            });
+            value
+        };
+
+        // Step 1: Miller capacitor from the phase-margin heuristic.
+        // Cc = 0.22·CL holds for PM = 60°; scale with the tangent for
+        // other margins.
+        let pm_factor = (60f64.to_radians().tan() / (pm.to_radians().tan())).clamp(0.4, 2.5);
+        let cc = record(
+            "cc",
+            0.22 * self.cl * pm_factor,
+            "Cc = 0.22*CL (PM=60 heuristic)",
+        );
+        // Step 2: tail current from slew rate.
+        let itail = record("itail", (slew * cc).max(1e-6), "Itail = SR*Cc");
+        // Step 3: input gm from UGF.
+        let gm1 = record(
+            "gm1",
+            2.0 * std::f64::consts::PI * ugf * cc,
+            "gm1 = 2*pi*UGF*Cc",
+        );
+        // Step 4: input pair overdrive and width.
+        let id1 = itail / 2.0;
+        let vov1 = 2.0 * id1 / gm1;
+        record("vov1", vov1, "Vov1 = 2*Id1/gm1");
+        if vov1 < 0.05 {
+            return Err(PlanError::Unachievable {
+                plan,
+                reason: format!("input overdrive {vov1:.3} V below weak-inversion limit"),
+            });
+        }
+        if vov1 > 1.0 {
+            return Err(PlanError::Unachievable {
+                plan,
+                reason: format!("input overdrive {vov1:.3} V exceeds supply headroom"),
+            });
+        }
+        let l = record("l", 2.0 * tech.lmin, "L = 2*Lmin (gain heuristic)");
+        let w1 = record("w1", tech.nmos.width_for(id1, l, vov1), "W1 = 2*Id*L/(KPn*Vov1^2)");
+
+        // Step 5: second stage for the non-dominant pole: gm6 = 2.2·gm1·CL/Cc.
+        let gm6 = record("gm6", 2.2 * gm1 * self.cl / cc, "gm6 = 2.2*gm1*CL/Cc");
+        let vov6 = 0.25;
+        let i2 = record("i2", gm6 * vov6 / 2.0, "I2 = gm6*Vov6/2");
+        let w6 = record("w6", tech.pmos.width_for(i2, l, vov6), "W6 from KPp");
+        let w7 = record("w7", tech.nmos.width_for(i2, l, vov6), "W7 from KPn");
+        // Mirror/load/tail devices at a moderate overdrive.
+        let vov3 = 0.3;
+        let w3 = record("w3", tech.pmos.width_for(id1, l, vov3), "W3 from KPp");
+        let w5 = record("w5", tech.nmos.width_for(itail, l, vov3), "W5 from KPn");
+
+        // Predicted performance via the same first-order equations the
+        // equation-based model uses (shared physics, independent code path).
+        let gds1 = tech.nmos.lambda * id1;
+        let gds3 = tech.pmos.lambda * id1;
+        let gds6 = tech.pmos.lambda * i2;
+        let gds7 = tech.nmos.lambda * i2;
+        let gain = (gm1 / (gds1 + gds3)) * (gm6 / (gds6 + gds7));
+        let p2 = gm6 / (2.0 * std::f64::consts::PI * self.cl);
+        let phase_margin = 90.0 - (ugf / p2).atan().to_degrees();
+        let ibias = 10e-6;
+
+        let mut perf: Perf = HashMap::new();
+        perf.insert("gain_db".into(), 20.0 * gain.max(1e-12).log10());
+        perf.insert("ugf_hz".into(), gm1 / (2.0 * std::f64::consts::PI * cc));
+        perf.insert("phase_margin_deg".into(), phase_margin);
+        perf.insert("slew_v_per_s".into(), itail / cc);
+        perf.insert("power_w".into(), (itail + i2 + ibias) * tech.vdd);
+        let gate_area = 2.0 * w1 * l + 2.0 * w3 * l + w5 * l + w6 * l + w7 * l;
+        perf.insert("area_m2".into(), 3.0 * gate_area + cc / 1e-3);
+        perf.insert("swing_v".into(), (tech.vdd - vov6 - vov3).max(0.0));
+
+        let params: HashMap<String, f64> = steps
+            .iter()
+            .map(|s| (s.variable.clone(), s.value))
+            .collect();
+
+        Ok(PlanResult {
+            params,
+            perf,
+            steps,
+        })
+    }
+}
+
+/// A hierarchical plan that composes subplans — the OASYS innovation:
+/// "hierarchy allowed to reuse design plans of lower-level cells while
+/// building up higher-level cell design plans".
+///
+/// The composite translates its own spec into per-subplan specs through a
+/// caller-provided translation function, runs each subplan, and merges the
+/// results under `<subplan>.` prefixes.
+pub struct HierarchicalPlan {
+    name: String,
+    children: Vec<(String, Box<dyn DesignPlan>)>,
+    #[allow(clippy::type_complexity)]
+    translate: Box<dyn Fn(&Spec, &str) -> Spec>,
+}
+
+impl fmt::Debug for HierarchicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HierarchicalPlan")
+            .field("name", &self.name)
+            .field("children", &self.children.iter().map(|(n, _)| n).collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl HierarchicalPlan {
+    /// Creates a composite plan. `translate(spec, child_name)` derives each
+    /// child's spec from the parent spec (the "specification translation"
+    /// step of §2.1).
+    pub fn new<F>(name: &str, translate: F) -> Self
+    where
+        F: Fn(&Spec, &str) -> Spec + 'static,
+    {
+        HierarchicalPlan {
+            name: name.to_string(),
+            children: Vec::new(),
+            translate: Box::new(translate),
+        }
+    }
+
+    /// Adds a named child plan (builder style).
+    pub fn with_child(mut self, name: &str, plan: Box<dyn DesignPlan>) -> Self {
+        self.children.push((name.to_string(), plan));
+        self
+    }
+}
+
+impl DesignPlan for HierarchicalPlan {
+    fn topology(&self) -> &str {
+        &self.name
+    }
+
+    fn execute(&self, spec: &Spec, tech: &Technology) -> Result<PlanResult, PlanError> {
+        let mut params = HashMap::new();
+        let mut perf: Perf = HashMap::new();
+        let mut steps = Vec::new();
+        let mut total_power = 0.0;
+        let mut total_area = 0.0;
+        for (child_name, child) in &self.children {
+            let child_spec = (self.translate)(spec, child_name);
+            let r = child.execute(&child_spec, tech)?;
+            for (k, v) in r.params {
+                params.insert(format!("{child_name}.{k}"), v);
+            }
+            total_power += r.perf.get("power_w").copied().unwrap_or(0.0);
+            total_area += r.perf.get("area_m2").copied().unwrap_or(0.0);
+            for (k, v) in r.perf {
+                perf.insert(format!("{child_name}.{k}"), v);
+            }
+            for s in r.steps {
+                steps.push(PlanStep {
+                    variable: format!("{child_name}.{}", s.variable),
+                    ..s
+                });
+            }
+        }
+        perf.insert("power_w".into(), total_power);
+        perf.insert("area_m2".into(), total_area);
+        Ok(PlanResult {
+            params,
+            perf,
+            steps,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> Spec {
+        Spec::new()
+            .require("ugf_hz", Bound::AtLeast(1e7))
+            .require("slew_v_per_s", Bound::AtLeast(1e7))
+            .require("phase_margin_deg", Bound::AtLeast(60.0))
+    }
+
+    #[test]
+    fn plan_meets_its_design_targets() {
+        let plan = TwoStagePlan::new(5e-12);
+        let r = plan.execute(&spec(), &Technology::generic_1p2um()).unwrap();
+        // The plan designs *to* the targets, so predicted UGF and slew meet
+        // the spec by construction.
+        assert!(r.perf["ugf_hz"] >= 1e7 * 0.99, "ugf = {}", r.perf["ugf_hz"]);
+        assert!(r.perf["slew_v_per_s"] >= 1e7 * 0.99);
+        assert!(r.perf["phase_margin_deg"] >= 55.0);
+        assert!(r.perf["gain_db"] > 55.0);
+    }
+
+    #[test]
+    fn trace_records_every_equation() {
+        let plan = TwoStagePlan::new(5e-12);
+        let r = plan.execute(&spec(), &Technology::generic_1p2um()).unwrap();
+        assert!(r.steps.len() >= 8);
+        let cc_step = r.steps.iter().find(|s| s.variable == "cc").unwrap();
+        assert!(cc_step.equation.contains("0.22"));
+        // Steps appear in dependency order: cc before itail before gm1.
+        let idx = |v: &str| r.steps.iter().position(|s| s.variable == v).unwrap();
+        assert!(idx("cc") < idx("itail"));
+        assert!(idx("itail") < idx("gm1"));
+    }
+
+    #[test]
+    fn missing_spec_input_is_reported() {
+        let plan = TwoStagePlan::new(5e-12);
+        let incomplete = Spec::new().require("ugf_hz", Bound::AtLeast(1e7));
+        let err = plan
+            .execute(&incomplete, &Technology::generic_1p2um())
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            PlanError::MissingSpec { ref metric, .. } if metric == "slew_v_per_s"
+        ));
+    }
+
+    #[test]
+    fn extreme_spec_is_unachievable() {
+        let plan = TwoStagePlan::new(5e-12);
+        // Very high slew with very low UGF → absurd overdrive.
+        let bad = Spec::new()
+            .require("ugf_hz", Bound::AtLeast(1e5))
+            .require("slew_v_per_s", Bound::AtLeast(1e9));
+        assert!(matches!(
+            plan.execute(&bad, &Technology::generic_1p2um()),
+            Err(PlanError::Unachievable { .. })
+        ));
+    }
+
+    #[test]
+    fn plan_is_fast() {
+        // The knowledge-based advantage: thousands of executions in well
+        // under a second (E2's headline contrast with optimization).
+        let plan = TwoStagePlan::new(5e-12);
+        let tech = Technology::generic_1p2um();
+        let s = spec();
+        let t0 = std::time::Instant::now();
+        for _ in 0..1000 {
+            let _ = plan.execute(&s, &tech).unwrap();
+        }
+        assert!(t0.elapsed().as_millis() < 1000);
+    }
+
+    #[test]
+    fn hierarchical_plan_translates_and_merges() {
+        let composite = HierarchicalPlan::new("pulse_frontend", |spec, child| {
+            // Toy translation: the shaper gets 2× the UGF of the CSA.
+            let base = spec
+                .bound_for("ugf_hz")
+                .map(|b| match *b {
+                    Bound::AtLeast(v) => v,
+                    _ => 1e7,
+                })
+                .unwrap_or(1e7);
+            let mult = if child == "shaper" { 2.0 } else { 1.0 };
+            Spec::new()
+                .require("ugf_hz", Bound::AtLeast(base * mult))
+                .require("slew_v_per_s", Bound::AtLeast(1e7))
+        })
+        .with_child("csa", Box::new(TwoStagePlan::new(2e-12)))
+        .with_child("shaper", Box::new(TwoStagePlan::new(1e-12)));
+
+        let spec = Spec::new().require("ugf_hz", Bound::AtLeast(1e7));
+        let r = composite
+            .execute(&spec, &Technology::generic_1p2um())
+            .unwrap();
+        assert!(r.params.contains_key("csa.cc"));
+        assert!(r.params.contains_key("shaper.cc"));
+        // Shaper designed to 2× the UGF.
+        assert!(r.perf["shaper.ugf_hz"] > 1.9 * r.perf["csa.ugf_hz"]);
+        // Power totals across children.
+        let sum = r.perf["csa.power_w"] + r.perf["shaper.power_w"];
+        assert!((r.perf["power_w"] - sum).abs() < 1e-12);
+    }
+}

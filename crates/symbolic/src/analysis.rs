@@ -1,0 +1,499 @@
+//! Circuit → symbolic transfer function (the ISAAC flow).
+//!
+//! Builds the symbolic MNA matrix of a circuit linearized at a DC operating
+//! point, then extracts `H(s) = N(s)/D(s)` by Cramer's rule. Every
+//! small-signal parameter becomes a named symbol (`gm_M1`, `gds_M1`,
+//! `g_R1`, `c_CL`, …) whose nominal value is taken from the operating
+//! point, enabling numeric verification and magnitude-based simplification.
+
+use ams_netlist::{Circuit, Device};
+use ams_sim::{Complex, MnaLayout, OpPoint};
+use std::fmt;
+
+use crate::matrix::{SEntry, SMatrix};
+use crate::poly::{SymPoly, SymbolTable};
+
+/// Errors from symbolic analysis.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SymbolicError {
+    /// The requested output node does not exist or is ground.
+    UnknownOutput(String),
+    /// No AC excitation (`AC` magnitude on a source) was found.
+    NoExcitation,
+    /// The circuit is too large for symbolic analysis (> 64 unknowns).
+    TooLarge {
+        /// Number of MNA unknowns in the circuit.
+        unknowns: usize,
+    },
+}
+
+impl fmt::Display for SymbolicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SymbolicError::UnknownOutput(n) => write!(f, "unknown output node `{n}`"),
+            SymbolicError::NoExcitation => {
+                write!(f, "no AC excitation found (set an `AC` magnitude on a source)")
+            }
+            SymbolicError::TooLarge { unknowns } => {
+                write!(f, "circuit has {unknowns} unknowns; symbolic limit is 64")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SymbolicError {}
+
+/// A symbolic rational transfer function `H(s) = N(s)/D(s)`.
+#[derive(Debug, Clone)]
+pub struct SymbolicTf {
+    /// Numerator coefficients by power of `s`.
+    pub num: Vec<SymPoly>,
+    /// Denominator coefficients by power of `s`.
+    pub den: Vec<SymPoly>,
+    /// Symbol table with nominal values from the operating point.
+    pub table: SymbolTable,
+}
+
+impl SymbolicTf {
+    /// Numeric transfer-function value at frequency `f` hertz using the
+    /// nominal symbol values.
+    pub fn evaluate_at(&self, f: f64) -> Complex {
+        let s = Complex::new(0.0, 2.0 * std::f64::consts::PI * f);
+        let eval = |coeffs: &[SymPoly]| -> Complex {
+            let mut acc = Complex::ZERO;
+            let mut sp = Complex::ONE;
+            for c in coeffs {
+                acc += sp * c.evaluate(&self.table);
+                sp = sp * s;
+            }
+            acc
+        };
+        let d = eval(&self.den);
+        if d.abs() < 1e-300 {
+            return Complex::ZERO;
+        }
+        eval(&self.num) / d
+    }
+
+    /// DC gain `N(0)/D(0)` at nominal values.
+    pub fn dc_gain(&self) -> f64 {
+        let n0 = self.num.first().map_or(0.0, |p| p.evaluate(&self.table));
+        let d0 = self.den.first().map_or(0.0, |p| p.evaluate(&self.table));
+        if d0 == 0.0 {
+            0.0
+        } else {
+            n0 / d0
+        }
+    }
+
+    /// Total number of symbolic product terms in numerator + denominator —
+    /// the "expression complexity" metric of experiment E9.
+    pub fn num_terms(&self) -> usize {
+        self.num.iter().map(SymPoly::num_terms).sum::<usize>()
+            + self.den.iter().map(SymPoly::num_terms).sum::<usize>()
+    }
+
+    /// Magnitude-pruned copy: each coefficient keeps only terms within
+    /// `rel_tol` of its largest term (ISAAC's simplification).
+    pub fn simplified(&self, rel_tol: f64) -> SymbolicTf {
+        SymbolicTf {
+            num: self
+                .num
+                .iter()
+                .map(|p| p.pruned(&self.table, rel_tol))
+                .collect(),
+            den: self
+                .den
+                .iter()
+                .map(|p| p.pruned(&self.table, rel_tol))
+                .collect(),
+            table: self.table.clone(),
+        }
+    }
+
+    /// Maximum relative magnitude error of this transfer function against
+    /// `reference` over the given frequencies (used to quantify the
+    /// simplification/accuracy trade-off).
+    pub fn max_relative_error(&self, reference: &SymbolicTf, freqs: &[f64]) -> f64 {
+        freqs
+            .iter()
+            .map(|&f| {
+                let a = self.evaluate_at(f).abs();
+                let b = reference.evaluate_at(f).abs();
+                if b < 1e-300 {
+                    0.0
+                } else {
+                    (a - b).abs() / b
+                }
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Human-readable rendering of the dominant terms.
+    pub fn render(&self) -> String {
+        let fmt_side = |coeffs: &[SymPoly]| -> String {
+            let mut parts = Vec::new();
+            for (k, c) in coeffs.iter().enumerate() {
+                if c.is_zero() {
+                    continue;
+                }
+                let body = c.render(&self.table);
+                match k {
+                    0 => parts.push(format!("({body})")),
+                    1 => parts.push(format!("({body})*s")),
+                    _ => parts.push(format!("({body})*s^{k}")),
+                }
+            }
+            if parts.is_empty() {
+                "0".to_string()
+            } else {
+                parts.join(" + ")
+            }
+        };
+        format!("H(s) = [{}] / [{}]", fmt_side(&self.num), fmt_side(&self.den))
+    }
+}
+
+/// Derives the symbolic transfer function from the circuit's AC excitation
+/// to the named output node.
+///
+/// # Errors
+///
+/// * [`SymbolicError::UnknownOutput`] — output node missing or ground.
+/// * [`SymbolicError::NoExcitation`] — no source carries an `AC` magnitude.
+/// * [`SymbolicError::TooLarge`] — more than 64 MNA unknowns.
+pub fn transfer_function(
+    ckt: &Circuit,
+    op: &OpPoint,
+    output: &str,
+) -> Result<SymbolicTf, SymbolicError> {
+    let layout = MnaLayout::new(ckt);
+    let dim = layout.dim();
+    if dim > 64 {
+        return Err(SymbolicError::TooLarge { unknowns: dim });
+    }
+    let out_idx = ckt
+        .find_node(output)
+        .and_then(|n| layout.node(n))
+        .ok_or_else(|| SymbolicError::UnknownOutput(output.to_string()))?;
+
+    let mut table = SymbolTable::new();
+    let mut a = SMatrix::zeros(dim);
+    let mut b = vec![0.0; dim];
+    let mut has_excitation = false;
+
+    for (list_idx, (name, dev)) in ckt.devices().enumerate() {
+        match dev {
+            Device::Resistor { a: na, b: nb, ohms } => {
+                let g = table.intern(&format!("g_{name}"), 1.0 / ohms);
+                a.stamp_pair(
+                    layout.node(*na),
+                    layout.node(*nb),
+                    0,
+                    &SymPoly::scaled_symbol(g, 1.0),
+                );
+            }
+            Device::Capacitor {
+                a: na,
+                b: nb,
+                farads,
+            } => {
+                if *farads == 0.0 {
+                    continue;
+                }
+                let c = table.intern(&format!("c_{name}"), *farads);
+                a.stamp_pair(
+                    layout.node(*na),
+                    layout.node(*nb),
+                    1,
+                    &SymPoly::scaled_symbol(c, 1.0),
+                );
+            }
+            Device::Inductor {
+                a: na,
+                b: nb,
+                henries,
+            } => {
+                let br = layout.branch(list_idx).expect("inductor branch");
+                stamp_branch_incidence(&mut a, br, layout.node(*na), layout.node(*nb));
+                let l = table.intern(&format!("l_{name}"), *henries);
+                a.add_at(br, br, 1, &SymPoly::scaled_symbol(l, -1.0));
+            }
+            Device::Vsource {
+                plus,
+                minus,
+                ac_mag,
+                ..
+            } => {
+                let br = layout.branch(list_idx).expect("vsource branch");
+                stamp_branch_incidence(&mut a, br, layout.node(*plus), layout.node(*minus));
+                if *ac_mag != 0.0 {
+                    b[br] = *ac_mag;
+                    has_excitation = true;
+                }
+            }
+            Device::Isource {
+                plus,
+                minus,
+                ac_mag,
+                ..
+            } => {
+                if *ac_mag != 0.0 {
+                    if let Some(p) = layout.node(*plus) {
+                        b[p] -= ac_mag;
+                    }
+                    if let Some(m) = layout.node(*minus) {
+                        b[m] += ac_mag;
+                    }
+                    has_excitation = true;
+                }
+            }
+            Device::Vcvs {
+                plus,
+                minus,
+                ctrl_plus,
+                ctrl_minus,
+                gain,
+            } => {
+                let br = layout.branch(list_idx).expect("vcvs branch");
+                stamp_branch_incidence(&mut a, br, layout.node(*plus), layout.node(*minus));
+                let e = table.intern(&format!("e_{name}"), *gain);
+                if let Some(cp) = layout.node(*ctrl_plus) {
+                    a.add_at(br, cp, 0, &SymPoly::scaled_symbol(e, -1.0));
+                }
+                if let Some(cm) = layout.node(*ctrl_minus) {
+                    a.add_at(br, cm, 0, &SymPoly::scaled_symbol(e, 1.0));
+                }
+            }
+            Device::Vccs {
+                plus,
+                minus,
+                ctrl_plus,
+                ctrl_minus,
+                gm,
+            } => {
+                let s = table.intern(&format!("gm_{name}"), *gm);
+                a.stamp_transconductance(
+                    layout.node(*plus),
+                    layout.node(*minus),
+                    layout.node(*ctrl_plus),
+                    layout.node(*ctrl_minus),
+                    0,
+                    &SymPoly::scaled_symbol(s, 1.0),
+                );
+            }
+            Device::Mos(m) => {
+                let Some(mos_op) = op.mos_ops.get(name) else {
+                    continue;
+                };
+                // Orient drain/source the way the DC solution did.
+                let xv = |id: ams_netlist::NodeId| {
+                    op.layout().node(id).map_or(0.0, |i| op.x[i])
+                };
+                let sign = m.model.polarity.sign();
+                let (dnode, snode) = if sign * (xv(m.drain) - xv(m.source)) >= 0.0 {
+                    (m.drain, m.source)
+                } else {
+                    (m.source, m.drain)
+                };
+                let d = layout.node(dnode);
+                let s = layout.node(snode);
+                let g = layout.node(m.gate);
+                let bk = layout.node(m.bulk);
+
+                let gm = table.intern(&format!("gm_{name}"), mos_op.gm);
+                let gds = table.intern(&format!("gds_{name}"), mos_op.gds);
+                a.stamp_pair(d, s, 0, &SymPoly::scaled_symbol(gds, 1.0));
+                a.stamp_transconductance(d, s, g, s, 0, &SymPoly::scaled_symbol(gm, 1.0));
+                if mos_op.gmbs > 0.0 {
+                    let gmb = table.intern(&format!("gmb_{name}"), mos_op.gmbs);
+                    a.stamp_transconductance(d, s, bk, s, 0, &SymPoly::scaled_symbol(gmb, 1.0));
+                }
+                let caps = [
+                    ("cgs", g, s, mos_op.cgs),
+                    ("cgd", g, d, mos_op.cgd),
+                    ("cdb", d, bk, mos_op.cdb),
+                    ("csb", s, bk, mos_op.csb),
+                ];
+                for (label, na, nb, val) in caps {
+                    if val > 0.0 && na != nb {
+                        let c = table.intern(&format!("{label}_{name}"), val);
+                        a.stamp_pair(na, nb, 1, &SymPoly::scaled_symbol(c, 1.0));
+                    }
+                }
+            }
+        }
+    }
+
+    if !has_excitation {
+        return Err(SymbolicError::NoExcitation);
+    }
+
+    // Cramer's rule: D(s) = det(A), N(s) = det(A with column out ← b).
+    let den_entry = a.determinant();
+    let mut a_num = a.clone();
+    for i in 0..dim {
+        *a_num.entry_mut(i, out_idx) = {
+            let mut e = SEntry::zero();
+            if b[i] != 0.0 {
+                e.add_at(0, &SymPoly::constant(b[i]));
+            }
+            e
+        };
+    }
+    let num_entry = a_num.determinant();
+
+    Ok(SymbolicTf {
+        num: num_entry.coeffs,
+        den: den_entry.coeffs,
+        table,
+    })
+}
+
+fn stamp_branch_incidence(a: &mut SMatrix, br: usize, p: Option<usize>, m: Option<usize>) {
+    let one = SymPoly::constant(1.0);
+    let neg_one = SymPoly::constant(-1.0);
+    if let Some(p) = p {
+        a.add_at(p, br, 0, &one);
+        a.add_at(br, p, 0, &one);
+    }
+    if let Some(m) = m {
+        a.add_at(m, br, 0, &neg_one);
+        a.add_at(br, m, 0, &neg_one);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ams_netlist::parse_deck;
+    use ams_sim::{ac_sweep, dc_operating_point, linearize, log_frequencies, output_index};
+
+    #[test]
+    fn rc_lowpass_symbolic_form() {
+        let ckt = parse_deck(
+            "Vin in 0 DC 0 AC 1
+             R1 in out 1k
+             C1 out 0 1n",
+        )
+        .unwrap();
+        let op = dc_operating_point(&ckt).unwrap();
+        let tf = transfer_function(&ckt, &op, "out").unwrap();
+        // H = g_R1 / (g_R1 + s·c_C1) up to a shared constant factor.
+        assert!((tf.dc_gain() - 1.0).abs() < 1e-9);
+        let f3 = 1.0 / (2.0 * std::f64::consts::PI * 1e3 * 1e-9);
+        let h = tf.evaluate_at(f3).abs();
+        assert!((h - 1.0 / 2f64.sqrt()).abs() < 1e-6, "h = {h}");
+    }
+
+    #[test]
+    fn symbolic_matches_numeric_ac_for_cs_amp() {
+        let ckt = parse_deck(
+            ".model nch nmos vt0=0.7 kp=110u lambda=0.04
+             Vdd vdd 0 DC 5
+             Vin in 0 DC 1.0 AC 1
+             RD vdd out 10k
+             M1 out in 0 0 nch W=20u L=2u
+             CL out 0 1p",
+        )
+        .unwrap();
+        let op = dc_operating_point(&ckt).unwrap();
+        let tf = transfer_function(&ckt, &op, "out").unwrap();
+        let net = linearize(&ckt, &op);
+        let out = output_index(&ckt, &net.layout, "out").unwrap();
+        let freqs = log_frequencies(10.0, 1e9, 31);
+        let sweep = ac_sweep(&net, out, &freqs).unwrap();
+        for (f, exact) in freqs.iter().zip(&sweep.values) {
+            let sym = tf.evaluate_at(*f);
+            let err = (sym - *exact).abs() / exact.abs().max(1e-12);
+            assert!(err < 1e-6, "f={f}: sym {sym} vs exact {exact}");
+        }
+    }
+
+    #[test]
+    fn cs_amp_gain_formula_visible_in_symbols() {
+        let ckt = parse_deck(
+            ".model nch nmos vt0=0.7 kp=110u lambda=0.04
+             Vdd vdd 0 DC 5
+             Vin in 0 DC 1.0 AC 1
+             RD vdd out 10k
+             M1 out in 0 0 nch W=20u L=2u",
+        )
+        .unwrap();
+        let op = dc_operating_point(&ckt).unwrap();
+        let tf = transfer_function(&ckt, &op, "out").unwrap();
+        // DC gain must equal −gm/(gds + g_RD).
+        let mop = op.mos_ops["M1"];
+        let expected = -mop.gm / (mop.gds + 1e-4);
+        assert!(
+            (tf.dc_gain() - expected).abs() / expected.abs() < 1e-9,
+            "gain {} vs {expected}",
+            tf.dc_gain()
+        );
+        let rendered = tf.render();
+        assert!(rendered.contains("gm_M1"), "{rendered}");
+    }
+
+    #[test]
+    fn simplification_reduces_terms_with_bounded_error() {
+        let ckt = parse_deck(
+            ".model nch nmos vt0=0.7 kp=110u lambda=0.04
+             Vdd vdd 0 DC 5
+             Vin in 0 DC 1.0 AC 1
+             RD vdd out 10k
+             M1 out in 0 0 nch W=20u L=2u
+             CL out 0 1p",
+        )
+        .unwrap();
+        let op = dc_operating_point(&ckt).unwrap();
+        let tf = transfer_function(&ckt, &op, "out").unwrap();
+        let simple = tf.simplified(0.05);
+        assert!(simple.num_terms() <= tf.num_terms());
+        let freqs = log_frequencies(10.0, 1e8, 21);
+        let err = simple.max_relative_error(&tf, &freqs);
+        assert!(err < 0.25, "simplification error too large: {err}");
+    }
+
+    #[test]
+    fn missing_output_is_reported() {
+        let ckt = parse_deck("Vin in 0 DC 0 AC 1\nR1 in 0 1k").unwrap();
+        let op = dc_operating_point(&ckt).unwrap();
+        assert!(matches!(
+            transfer_function(&ckt, &op, "nope"),
+            Err(SymbolicError::UnknownOutput(_))
+        ));
+    }
+
+    #[test]
+    fn missing_excitation_is_reported() {
+        let ckt = parse_deck(
+            "V1 in 0 DC 1
+             R1 in out 1k
+             R2 out 0 1k",
+        )
+        .unwrap();
+        let op = dc_operating_point(&ckt).unwrap();
+        assert!(matches!(
+            transfer_function(&ckt, &op, "out"),
+            Err(SymbolicError::NoExcitation)
+        ));
+    }
+
+    #[test]
+    fn two_stage_rc_has_second_order_denominator() {
+        let ckt = parse_deck(
+            "Vin in 0 DC 0 AC 1
+             R1 in a 1k
+             C1 a 0 1p
+             R2 a out 1k
+             C2 out 0 1p",
+        )
+        .unwrap();
+        let op = dc_operating_point(&ckt).unwrap();
+        let tf = transfer_function(&ckt, &op, "out").unwrap();
+        // Denominator reaches s².
+        let deg = tf.den.iter().rposition(|p| !p.is_zero()).unwrap();
+        assert_eq!(deg, 2);
+    }
+}

@@ -1,0 +1,46 @@
+//! ISAAC-style symbolic small-signal analysis.
+//!
+//! "The symbolic simulator ISAAC was developed to automatically generate
+//! the (simplified) design equations needed to evaluate the circuit
+//! performance" (§2.2 of the DAC'96 tutorial). This crate reproduces that
+//! capability: it derives transfer functions of a linearized circuit as
+//! *symbolic rational functions* of the small-signal parameters, then
+//! simplifies them by magnitude-based term pruning against a nominal
+//! operating point.
+//!
+//! The symbolic expressions serve two purposes in the flow:
+//!
+//! 1. **Design-equation generation** for the equation-based optimizers in
+//!    `ams-sizing` (OPTIMAN-style), removing the manual derivation
+//!    bottleneck that doomed IDAC-class tools.
+//! 2. **Designer insight**: [`SymbolicTf::render`] prints the dominant-term
+//!    expression a designer would derive by hand (e.g. the classic
+//!    `−gm_M1/(gds_M1 + g_RD)` gain of a common-source stage).
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let ckt = ams_netlist::parse_deck("
+//!     Vin in 0 DC 0 AC 1
+//!     R1 in out 1k
+//!     C1 out 0 1n
+//! ")?;
+//! let op = ams_sim::dc_operating_point(&ckt)?;
+//! let tf = ams_symbolic::transfer_function(&ckt, &op, "out")?;
+//! assert!((tf.dc_gain() - 1.0).abs() < 1e-9);
+//! println!("{}", tf.render()); // H(s) = [(g_R1)] / [(g_R1) + (c_C1)*s]
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analysis;
+mod matrix;
+mod poly;
+
+pub use analysis::{transfer_function, SymbolicError, SymbolicTf};
+pub use matrix::{SEntry, SMatrix};
+pub use poly::{SymPoly, SymTerm, SymbolId, SymbolTable};

@@ -1,0 +1,317 @@
+//! Symbolic MNA matrices and determinant expansion.
+
+use crate::poly::SymPoly;
+use std::collections::HashMap;
+
+/// A polynomial in the Laplace variable `s` whose coefficients are
+/// symbolic polynomials: `entry = Σₖ coeffs[k]·sᵏ`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SEntry {
+    /// Coefficient of `sᵏ` at index `k`.
+    pub coeffs: Vec<SymPoly>,
+}
+
+impl SEntry {
+    /// The zero entry.
+    pub fn zero() -> Self {
+        SEntry { coeffs: Vec::new() }
+    }
+
+    /// Whether every coefficient is zero.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.iter().all(SymPoly::is_zero)
+    }
+
+    /// Adds `poly·s^power` into this entry.
+    pub fn add_at(&mut self, power: usize, poly: &SymPoly) {
+        while self.coeffs.len() <= power {
+            self.coeffs.push(SymPoly::zero());
+        }
+        self.coeffs[power] = self.coeffs[power].add(poly);
+    }
+
+    /// Entry addition.
+    pub fn add(&self, other: &SEntry) -> SEntry {
+        let n = self.coeffs.len().max(other.coeffs.len());
+        let mut out = SEntry {
+            coeffs: Vec::with_capacity(n),
+        };
+        for k in 0..n {
+            let a = self.coeffs.get(k).cloned().unwrap_or_else(SymPoly::zero);
+            let b = other.coeffs.get(k).cloned().unwrap_or_else(SymPoly::zero);
+            out.coeffs.push(a.add(&b));
+        }
+        out
+    }
+
+    /// Entry multiplication (convolution in `s`).
+    pub fn mul(&self, other: &SEntry) -> SEntry {
+        if self.is_zero() || other.is_zero() {
+            return SEntry::zero();
+        }
+        let mut out = SEntry {
+            coeffs: vec![SymPoly::zero(); self.coeffs.len() + other.coeffs.len() - 1],
+        };
+        for (i, a) in self.coeffs.iter().enumerate() {
+            if a.is_zero() {
+                continue;
+            }
+            for (j, b) in other.coeffs.iter().enumerate() {
+                if b.is_zero() {
+                    continue;
+                }
+                out.coeffs[i + j] = out.coeffs[i + j].add(&a.mul(b));
+            }
+        }
+        out
+    }
+
+    /// Entry negation.
+    pub fn neg(&self) -> SEntry {
+        SEntry {
+            coeffs: self.coeffs.iter().map(SymPoly::neg).collect(),
+        }
+    }
+
+    /// Total number of product terms across all powers of `s`.
+    pub fn num_terms(&self) -> usize {
+        self.coeffs.iter().map(SymPoly::num_terms).sum()
+    }
+}
+
+/// A dense square symbolic matrix.
+#[derive(Debug, Clone)]
+pub struct SMatrix {
+    n: usize,
+    entries: Vec<SEntry>,
+}
+
+impl SMatrix {
+    /// Zero matrix of dimension `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 64` — the determinant memoization uses a 64-bit
+    /// column mask (circuit cells are far smaller than this bound).
+    pub fn zeros(n: usize) -> Self {
+        assert!(n <= 64, "symbolic analysis limited to 64 unknowns");
+        SMatrix {
+            n,
+            entries: vec![SEntry::zero(); n * n],
+        }
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Immutable entry access.
+    pub fn entry(&self, i: usize, j: usize) -> &SEntry {
+        &self.entries[i * self.n + j]
+    }
+
+    /// Mutable entry access.
+    pub fn entry_mut(&mut self, i: usize, j: usize) -> &mut SEntry {
+        &mut self.entries[i * self.n + j]
+    }
+
+    /// Adds `poly·s^power` at `(i, j)`.
+    pub fn add_at(&mut self, i: usize, j: usize, power: usize, poly: &SymPoly) {
+        self.entry_mut(i, j).add_at(power, poly);
+    }
+
+    /// Stamps a conductance-like symbol between two optional unknowns
+    /// (`None` = ground) at the given power of `s`.
+    pub fn stamp_pair(
+        &mut self,
+        i: Option<usize>,
+        j: Option<usize>,
+        power: usize,
+        poly: &SymPoly,
+    ) {
+        if let Some(i) = i {
+            self.add_at(i, i, power, poly);
+        }
+        if let Some(j) = j {
+            self.add_at(j, j, power, poly);
+        }
+        if let (Some(i), Some(j)) = (i, j) {
+            let neg = poly.neg();
+            self.add_at(i, j, power, &neg);
+            self.add_at(j, i, power, &neg);
+        }
+    }
+
+    /// Stamps a transconductance: current `poly·(V(cp)−V(cm))` out of `p`
+    /// into `m`, at the given power of `s`.
+    pub fn stamp_transconductance(
+        &mut self,
+        p: Option<usize>,
+        m: Option<usize>,
+        cp: Option<usize>,
+        cm: Option<usize>,
+        power: usize,
+        poly: &SymPoly,
+    ) {
+        let neg = poly.neg();
+        for (out, positive) in [(p, true), (m, false)] {
+            let Some(row) = out else { continue };
+            for (ctrl, ctrl_pos) in [(cp, true), (cm, false)] {
+                if let Some(col) = ctrl {
+                    let val = if positive == ctrl_pos { poly } else { &neg };
+                    self.add_at(row, col, power, val);
+                }
+            }
+        }
+    }
+
+    /// Symbolic determinant by Laplace expansion along rows, memoized on
+    /// the remaining-column bitmask. Zero entries are skipped, which prunes
+    /// most of the 2ⁿ subproblems for sparse MNA matrices.
+    pub fn determinant(&self) -> SEntry {
+        let full: u64 = if self.n == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.n) - 1
+        };
+        let mut memo: HashMap<u64, SEntry> = HashMap::new();
+        self.det_rec(0, full, &mut memo)
+    }
+
+    fn det_rec(&self, row: usize, cols: u64, memo: &mut HashMap<u64, SEntry>) -> SEntry {
+        if cols == 0 {
+            let mut one = SEntry::zero();
+            one.add_at(0, &SymPoly::constant(1.0));
+            return one;
+        }
+        if let Some(hit) = memo.get(&cols) {
+            return hit.clone();
+        }
+        let mut acc = SEntry::zero();
+        let mut sign_positive = true;
+        let mut rest = cols;
+        while rest != 0 {
+            let j = rest.trailing_zeros() as usize;
+            rest &= rest - 1;
+            let e = self.entry(row, j);
+            if !e.is_zero() {
+                let minor = self.det_rec(row + 1, cols & !(1u64 << j), memo);
+                let prod = e.mul(&minor);
+                acc = if sign_positive {
+                    acc.add(&prod)
+                } else {
+                    acc.add(&prod.neg())
+                };
+            }
+            sign_positive = !sign_positive;
+        }
+        memo.insert(cols, acc.clone());
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poly::SymbolTable;
+
+    #[test]
+    fn entry_convolution_in_s() {
+        // (1 + s)·(2 + s) = 2 + 3s + s².
+        let mut a = SEntry::zero();
+        a.add_at(0, &SymPoly::constant(1.0));
+        a.add_at(1, &SymPoly::constant(1.0));
+        let mut b = SEntry::zero();
+        b.add_at(0, &SymPoly::constant(2.0));
+        b.add_at(1, &SymPoly::constant(1.0));
+        let c = a.mul(&b);
+        let t = SymbolTable::new();
+        assert_eq!(c.coeffs.len(), 3);
+        assert!((c.coeffs[0].evaluate(&t) - 2.0).abs() < 1e-12);
+        assert!((c.coeffs[1].evaluate(&t) - 3.0).abs() < 1e-12);
+        assert!((c.coeffs[2].evaluate(&t) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn numeric_determinant_2x2() {
+        // [[1, 2], [3, 4]] → det = −2.
+        let mut m = SMatrix::zeros(2);
+        m.add_at(0, 0, 0, &SymPoly::constant(1.0));
+        m.add_at(0, 1, 0, &SymPoly::constant(2.0));
+        m.add_at(1, 0, 0, &SymPoly::constant(3.0));
+        m.add_at(1, 1, 0, &SymPoly::constant(4.0));
+        let d = m.determinant();
+        let t = SymbolTable::new();
+        assert!((d.coeffs[0].evaluate(&t) + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symbolic_determinant_keeps_structure() {
+        // [[a, 0], [0, b]] → det = a·b symbolically.
+        let mut t = SymbolTable::new();
+        let a = t.intern("a", 2.0);
+        let b = t.intern("b", 5.0);
+        let mut m = SMatrix::zeros(2);
+        m.add_at(0, 0, 0, &SymPoly::scaled_symbol(a, 1.0));
+        m.add_at(1, 1, 0, &SymPoly::scaled_symbol(b, 1.0));
+        let d = m.determinant();
+        assert_eq!(d.coeffs[0].num_terms(), 1);
+        assert!((d.coeffs[0].evaluate(&t) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinant_with_s_powers() {
+        // [[g + s·c, 0], [0, 1]] → det = g + s·c.
+        let mut t = SymbolTable::new();
+        let g = t.intern("g", 1e-3);
+        let c = t.intern("c", 1e-12);
+        let mut m = SMatrix::zeros(2);
+        m.add_at(0, 0, 0, &SymPoly::scaled_symbol(g, 1.0));
+        m.add_at(0, 0, 1, &SymPoly::scaled_symbol(c, 1.0));
+        m.add_at(1, 1, 0, &SymPoly::constant(1.0));
+        let d = m.determinant();
+        assert_eq!(d.coeffs.len(), 2);
+        assert!((d.coeffs[0].evaluate(&t) - 1e-3).abs() < 1e-15);
+        assert!((d.coeffs[1].evaluate(&t) - 1e-12).abs() < 1e-24);
+    }
+
+    #[test]
+    fn singular_symbolic_matrix_is_zero() {
+        // Two identical rows cancel exactly.
+        let mut t = SymbolTable::new();
+        let a = t.intern("a", 3.0);
+        let mut m = SMatrix::zeros(2);
+        for i in 0..2 {
+            m.add_at(i, 0, 0, &SymPoly::scaled_symbol(a, 1.0));
+            m.add_at(i, 1, 0, &SymPoly::constant(1.0));
+        }
+        let d = m.determinant();
+        assert!(d.is_zero());
+    }
+
+    #[test]
+    fn four_by_four_matches_numeric_lu() {
+        use ams_sim::Matrix;
+        let vals = [
+            [4.0, 1.0, 0.0, 2.0],
+            [1.0, 5.0, 1.0, 0.0],
+            [0.0, 1.0, 6.0, 1.0],
+            [2.0, 0.0, 1.0, 7.0],
+        ];
+        let mut sm = SMatrix::zeros(4);
+        let mut nm = Matrix::zeros(4, 4);
+        for i in 0..4 {
+            for j in 0..4 {
+                if vals[i][j] != 0.0 {
+                    sm.add_at(i, j, 0, &SymPoly::constant(vals[i][j]));
+                }
+                nm[(i, j)] = vals[i][j];
+            }
+        }
+        let t = SymbolTable::new();
+        let sym_det = sm.determinant().coeffs[0].evaluate(&t);
+        let num_det = nm.lu().unwrap().det();
+        assert!((sym_det - num_det).abs() / num_det.abs() < 1e-12);
+    }
+}

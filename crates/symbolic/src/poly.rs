@@ -1,0 +1,379 @@
+//! Multivariate symbolic polynomials (sums of products of circuit symbols).
+//!
+//! ISAAC represents every transfer-function coefficient as a sum of
+//! products of small-signal parameters (`gm_M1·c_CL`, `gds_M2·g_R1`, …).
+//! [`SymPoly`] is that canonical sum-of-products form; terms carry numeric
+//! coefficients so cancellations (`+x − x`) collapse exactly.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Interned symbol identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SymbolId(pub(crate) u32);
+
+/// Table interning symbol names and their nominal numeric values.
+///
+/// The nominal values come from a DC operating point and drive both
+/// numeric verification and magnitude-based term pruning.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable {
+    names: Vec<String>,
+    values: Vec<f64>,
+    by_name: HashMap<String, SymbolId>,
+}
+
+impl SymbolTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name` with a nominal `value`, or updates the value if the
+    /// symbol already exists.
+    pub fn intern(&mut self, name: &str, value: f64) -> SymbolId {
+        if let Some(&id) = self.by_name.get(name) {
+            self.values[id.0 as usize] = value;
+            return id;
+        }
+        let id = SymbolId(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.values.push(value);
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Looks up a symbol by name.
+    pub fn find(&self, name: &str) -> Option<SymbolId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name of a symbol.
+    pub fn name(&self, id: SymbolId) -> &str {
+        &self.names[id.0 as usize]
+    }
+
+    /// The nominal value of a symbol.
+    pub fn value(&self, id: SymbolId) -> f64 {
+        self.values[id.0 as usize]
+    }
+
+    /// Number of interned symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// One product term: `coeff · Π symbolᵖᵒʷᵉʳ`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymTerm {
+    /// Numeric coefficient.
+    pub coeff: f64,
+    /// Sorted `(symbol, power)` factors with power ≥ 1.
+    pub factors: Vec<(SymbolId, u8)>,
+}
+
+impl SymTerm {
+    /// The constant term `coeff`.
+    pub fn constant(coeff: f64) -> Self {
+        SymTerm {
+            coeff,
+            factors: Vec::new(),
+        }
+    }
+
+    /// A single symbol to the first power.
+    pub fn symbol(id: SymbolId) -> Self {
+        SymTerm {
+            coeff: 1.0,
+            factors: vec![(id, 1)],
+        }
+    }
+
+    /// Numeric value at the table's nominal point.
+    pub fn evaluate(&self, table: &SymbolTable) -> f64 {
+        let mut v = self.coeff;
+        for &(id, pow) in &self.factors {
+            v *= table.value(id).powi(pow as i32);
+        }
+        v
+    }
+
+    fn mul(&self, other: &SymTerm) -> SymTerm {
+        let mut factors = self.factors.clone();
+        for &(id, pow) in &other.factors {
+            match factors.binary_search_by_key(&id, |&(i, _)| i) {
+                Ok(pos) => factors[pos].1 += pow,
+                Err(pos) => factors.insert(pos, (id, pow)),
+            }
+        }
+        SymTerm {
+            coeff: self.coeff * other.coeff,
+            factors,
+        }
+    }
+}
+
+/// A canonical sum of [`SymTerm`]s.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SymPoly {
+    terms: Vec<SymTerm>,
+}
+
+impl SymPoly {
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        SymPoly { terms: Vec::new() }
+    }
+
+    /// A constant polynomial.
+    pub fn constant(c: f64) -> Self {
+        if c == 0.0 {
+            return SymPoly::zero();
+        }
+        SymPoly {
+            terms: vec![SymTerm::constant(c)],
+        }
+    }
+
+    /// A polynomial of a single symbol scaled by `coeff`.
+    pub fn scaled_symbol(id: SymbolId, coeff: f64) -> Self {
+        if coeff == 0.0 {
+            return SymPoly::zero();
+        }
+        SymPoly {
+            terms: vec![SymTerm {
+                coeff,
+                factors: vec![(id, 1)],
+            }],
+        }
+    }
+
+    /// Whether this is identically zero.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Number of product terms.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Iterates over the terms.
+    pub fn terms(&self) -> impl Iterator<Item = &SymTerm> {
+        self.terms.iter()
+    }
+
+    /// Adds two polynomials, collecting like terms.
+    pub fn add(&self, other: &SymPoly) -> SymPoly {
+        let mut map: HashMap<Vec<(SymbolId, u8)>, f64> = HashMap::new();
+        for t in self.terms.iter().chain(other.terms.iter()) {
+            *map.entry(t.factors.clone()).or_insert(0.0) += t.coeff;
+        }
+        Self::from_map(map)
+    }
+
+    /// Multiplies two polynomials, collecting like terms.
+    pub fn mul(&self, other: &SymPoly) -> SymPoly {
+        if self.is_zero() || other.is_zero() {
+            return SymPoly::zero();
+        }
+        let mut map: HashMap<Vec<(SymbolId, u8)>, f64> = HashMap::new();
+        for a in &self.terms {
+            for b in &other.terms {
+                let t = a.mul(b);
+                *map.entry(t.factors).or_insert(0.0) += t.coeff;
+            }
+        }
+        Self::from_map(map)
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> SymPoly {
+        SymPoly {
+            terms: self
+                .terms
+                .iter()
+                .map(|t| SymTerm {
+                    coeff: -t.coeff,
+                    factors: t.factors.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Numeric value at the table's nominal point.
+    pub fn evaluate(&self, table: &SymbolTable) -> f64 {
+        self.terms.iter().map(|t| t.evaluate(table)).sum()
+    }
+
+    /// Magnitude-based pruning: drops terms whose nominal magnitude is below
+    /// `rel_tol` times the largest term magnitude. This is ISAAC's
+    /// simplification step: the surviving expression is the dominant-term
+    /// approximation a designer would write by hand.
+    pub fn pruned(&self, table: &SymbolTable, rel_tol: f64) -> SymPoly {
+        let mags: Vec<f64> = self.terms.iter().map(|t| t.evaluate(table).abs()).collect();
+        let max = mags.iter().cloned().fold(0.0, f64::max);
+        if max == 0.0 {
+            return self.clone();
+        }
+        SymPoly {
+            terms: self
+                .terms
+                .iter()
+                .zip(&mags)
+                .filter(|(_, &m)| m >= rel_tol * max)
+                .map(|(t, _)| t.clone())
+                .collect(),
+        }
+    }
+
+    /// Renders with symbol names, largest nominal term first.
+    pub fn render(&self, table: &SymbolTable) -> String {
+        if self.terms.is_empty() {
+            return "0".to_string();
+        }
+        let mut terms: Vec<&SymTerm> = self.terms.iter().collect();
+        terms.sort_by(|a, b| {
+            b.evaluate(table)
+                .abs()
+                .partial_cmp(&a.evaluate(table).abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut out = String::new();
+        for (i, t) in terms.iter().enumerate() {
+            let sign = if t.coeff >= 0.0 { "+" } else { "-" };
+            if i > 0 || t.coeff < 0.0 {
+                out.push_str(sign);
+            }
+            let mag = t.coeff.abs();
+            let mut pieces: Vec<String> = Vec::new();
+            if (mag - 1.0).abs() > 1e-12 || t.factors.is_empty() {
+                pieces.push(format!("{mag}"));
+            }
+            for &(id, pow) in &t.factors {
+                if pow == 1 {
+                    pieces.push(table.name(id).to_string());
+                } else {
+                    pieces.push(format!("{}^{}", table.name(id), pow));
+                }
+            }
+            out.push_str(&pieces.join("*"));
+        }
+        out
+    }
+
+    fn from_map(map: HashMap<Vec<(SymbolId, u8)>, f64>) -> SymPoly {
+        let mut terms: Vec<SymTerm> = map
+            .into_iter()
+            .filter(|(_, c)| c.abs() > 0.0)
+            .map(|(factors, coeff)| SymTerm { coeff, factors })
+            .collect();
+        terms.sort_by(|a, b| a.factors.cmp(&b.factors));
+        SymPoly { terms }
+    }
+}
+
+impl fmt::Display for SymPoly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "0");
+        }
+        write!(f, "<{} terms>", self.terms.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (SymbolTable, SymbolId, SymbolId) {
+        let mut t = SymbolTable::new();
+        let gm = t.intern("gm", 1e-3);
+        let gds = t.intern("gds", 1e-5);
+        (t, gm, gds)
+    }
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("x", 1.0);
+        let b = t.intern("x", 2.0);
+        assert_eq!(a, b);
+        assert_eq!(t.value(a), 2.0);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn addition_collects_like_terms() {
+        let (_t, gm, _) = setup();
+        let p = SymPoly::scaled_symbol(gm, 2.0).add(&SymPoly::scaled_symbol(gm, 3.0));
+        assert_eq!(p.num_terms(), 1);
+        assert_eq!(p.terms().next().unwrap().coeff, 5.0);
+    }
+
+    #[test]
+    fn exact_cancellation_yields_zero() {
+        let (_t, gm, _) = setup();
+        let p = SymPoly::scaled_symbol(gm, 1.0).add(&SymPoly::scaled_symbol(gm, -1.0));
+        assert!(p.is_zero());
+    }
+
+    #[test]
+    fn multiplication_merges_powers() {
+        let (t, gm, _) = setup();
+        let p = SymPoly::scaled_symbol(gm, 2.0).mul(&SymPoly::scaled_symbol(gm, 3.0));
+        assert_eq!(p.num_terms(), 1);
+        let term = p.terms().next().unwrap();
+        assert_eq!(term.coeff, 6.0);
+        assert_eq!(term.factors, vec![(gm, 2)]);
+        // gm² at nominal = 1e-6.
+        assert!((p.evaluate(&t) - 6e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn evaluation_matches_hand_computation() {
+        let (t, gm, gds) = setup();
+        // 2·gm + 10·gds = 2e-3 + 1e-4
+        let p = SymPoly::scaled_symbol(gm, 2.0).add(&SymPoly::scaled_symbol(gds, 10.0));
+        assert!((p.evaluate(&t) - 2.1e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pruning_drops_small_terms() {
+        let (t, gm, gds) = setup();
+        // gm (1e-3) dominates gds (1e-5): 1% pruning keeps both (gds/gm = 1%),
+        // 5% drops gds.
+        let p = SymPoly::scaled_symbol(gm, 1.0).add(&SymPoly::scaled_symbol(gds, 1.0));
+        assert_eq!(p.pruned(&t, 0.005).num_terms(), 2);
+        assert_eq!(p.pruned(&t, 0.05).num_terms(), 1);
+    }
+
+    #[test]
+    fn render_names_symbols() {
+        let (t, gm, gds) = setup();
+        let p = SymPoly::scaled_symbol(gm, 1.0).add(&SymPoly::scaled_symbol(gds, -2.0));
+        let s = p.render(&t);
+        assert!(s.contains("gm"), "{s}");
+        assert!(s.contains("gds"), "{s}");
+        assert!(s.contains('-'), "{s}");
+    }
+
+    #[test]
+    fn distributive_law() {
+        let (t, gm, gds) = setup();
+        let a = SymPoly::scaled_symbol(gm, 1.0).add(&SymPoly::constant(2.0));
+        let b = SymPoly::scaled_symbol(gds, 3.0);
+        let left = a.mul(&b);
+        let right = SymPoly::scaled_symbol(gm, 1.0)
+            .mul(&b)
+            .add(&SymPoly::constant(2.0).mul(&b));
+        assert!((left.evaluate(&t) - right.evaluate(&t)).abs() < 1e-24);
+        assert_eq!(left.num_terms(), right.num_terms());
+    }
+}

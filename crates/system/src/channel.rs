@@ -1,0 +1,412 @@
+//! Analog/mixed-signal channel routing.
+//!
+//! "An early elegant solution to the coupling problem was the segregated
+//! channels idea of \[53\] to alternate noisy digital and sensitive analog
+//! wiring channels … For large designs, analog channel routers were
+//! developed. In \[54\] it was observed that a well-known digital channel
+//! routing algorithm could be easily extended to handle critical analog
+//! problems that involve varying wire widths and wire separations …
+//! Work at Berkeley substantially extended this strategy to handle complex
+//! analog symmetries, and the insertion of shields between incompatible
+//! signals \[55\]" (§3.2).
+//!
+//! The router is the classic left-edge algorithm over a vertical
+//! constraint graph, extended with: per-net track widths, class
+//! segregation, and grounded shield-track insertion between incompatible
+//! neighbors.
+
+use ams_layout::NetClass;
+use std::collections::HashSet;
+
+/// One net crossing the channel.
+#[derive(Debug, Clone)]
+pub struct ChannelNet {
+    /// Net name.
+    pub name: String,
+    /// Compatibility class.
+    pub class: NetClass,
+    /// Columns of pins on the top edge.
+    pub top_pins: Vec<u32>,
+    /// Columns of pins on the bottom edge.
+    pub bottom_pins: Vec<u32>,
+    /// Wire width in tracks (≥ 1; analog nets may need wider wires).
+    pub width: u32,
+}
+
+impl ChannelNet {
+    /// Two-pin net spanning `left..right` with unit width.
+    pub fn simple(name: &str, class: NetClass, top: u32, bottom: u32) -> Self {
+        ChannelNet {
+            name: name.to_string(),
+            class,
+            top_pins: vec![top],
+            bottom_pins: vec![bottom],
+            width: 1,
+        }
+    }
+
+    /// Horizontal interval `[lo, hi]` the net occupies.
+    pub fn interval(&self) -> (u32, u32) {
+        let all = self.top_pins.iter().chain(self.bottom_pins.iter());
+        let lo = all.clone().min().copied().unwrap_or(0);
+        let hi = all.max().copied().unwrap_or(0);
+        (lo, hi)
+    }
+}
+
+/// Channel routing options.
+#[derive(Debug, Clone, Default)]
+pub struct ChannelOptions {
+    /// Segregate: sensitive nets in the upper track region, noisy in the
+    /// lower, with a shield between the regions (\[53\]).
+    pub segregate: bool,
+    /// Insert a grounded shield track between incompatible adjacent
+    /// tracks (\[55\]).
+    pub shields: bool,
+}
+
+/// One horizontal track with its assigned nets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Track {
+    /// Signal track holding net indices (non-overlapping intervals).
+    Signal(Vec<usize>),
+    /// Grounded shield track.
+    Shield,
+}
+
+/// Result of channel routing.
+#[derive(Debug, Clone)]
+pub struct ChannelResult {
+    /// Tracks from bottom (index 0) to top.
+    pub tracks: Vec<Track>,
+    /// `track_of[net]` = index of the net's track.
+    pub track_of: Vec<usize>,
+    /// Total channel height in tracks (including widths and shields).
+    pub height: u32,
+    /// Shield tracks inserted.
+    pub shields: usize,
+    /// Coupling exposure: summed column overlap between incompatible nets
+    /// on adjacent unshielded tracks.
+    pub coupling: u64,
+    /// Vertical constraint violations (cyclic constraints broken).
+    pub vcg_violations: usize,
+}
+
+/// Routes a channel.
+///
+/// # Panics
+///
+/// Panics if `nets` is empty.
+pub fn route_channel(nets: &[ChannelNet], options: &ChannelOptions) -> ChannelResult {
+    assert!(!nets.is_empty(), "empty channel");
+    let n = nets.len();
+
+    // Vertical constraint graph: at a shared column, the net with the TOP
+    // pin must be on a HIGHER track than the net with the BOTTOM pin.
+    // Edge u → v means u must be ABOVE v.
+    let mut above: Vec<HashSet<usize>> = vec![HashSet::new(); n]; // u -> set of v it must be above
+    for (i, ni) in nets.iter().enumerate() {
+        for (j, nj) in nets.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            for &c in &ni.top_pins {
+                if nj.bottom_pins.contains(&c) {
+                    above[i].insert(j);
+                }
+            }
+        }
+    }
+
+    // Partition into regions when segregating.
+    let region_of = |class: NetClass| -> usize {
+        if !options.segregate {
+            return 0;
+        }
+        match class {
+            NetClass::Noisy => 0,          // lower region
+            NetClass::Neutral => 0,        // lower region with the noisy
+            NetClass::Sensitive => 1,      // upper region
+        }
+    };
+
+    // Left-edge with VCG, region by region (lower region first).
+    let mut track_of = vec![usize::MAX; n];
+    let mut tracks: Vec<Track> = Vec::new();
+    let mut vcg_violations = 0usize;
+
+    let max_region = if options.segregate { 1 } else { 0 };
+    for region in 0..=max_region {
+        let members: Vec<usize> = (0..n)
+            .filter(|&i| region_of(nets[i].class) == region)
+            .collect();
+        if members.is_empty() {
+            continue;
+        }
+        if options.segregate && region == 1 && !tracks.is_empty() {
+            tracks.push(Track::Shield);
+        }
+        let mut unassigned: HashSet<usize> = members.iter().copied().collect();
+        while !unassigned.is_empty() {
+            // Nets assignable now: no unassigned net must sit below them.
+            // (We fill tracks bottom-up, so a net may only be placed when
+            // every net it must be ABOVE is already placed.)
+            let mut ready: Vec<usize> = unassigned
+                .iter()
+                .copied()
+                .filter(|&u| above[u].iter().all(|v| !unassigned.contains(v)))
+                .collect();
+            if ready.is_empty() {
+                // VCG cycle: break it by force-placing the leftmost net.
+                let &victim = unassigned
+                    .iter()
+                    .min_by_key(|&&u| nets[u].interval().0)
+                    .expect("non-empty");
+                ready.push(victim);
+                vcg_violations += 1;
+            }
+            ready.sort_by_key(|&u| nets[u].interval().0);
+            // Greedy left-edge fill of one track (width grouping: only nets
+            // of equal width share a track).
+            let mut track_nets: Vec<usize> = Vec::new();
+            let mut last_end: i64 = -2;
+            let mut track_width = 0u32;
+            for &u in &ready {
+                let (lo, hi) = nets[u].interval();
+                if track_nets.is_empty() {
+                    track_width = nets[u].width;
+                }
+                if lo as i64 > last_end + 1 && nets[u].width == track_width {
+                    track_nets.push(u);
+                    last_end = hi as i64;
+                }
+            }
+            for &u in &track_nets {
+                track_of[u] = tracks.len();
+                unassigned.remove(&u);
+            }
+            tracks.push(Track::Signal(track_nets));
+        }
+    }
+
+    // Shield insertion between incompatible adjacent signal tracks.
+    if options.shields {
+        let mut i = 0;
+        while i + 1 < tracks.len() {
+            let incompatible = match (&tracks[i], &tracks[i + 1]) {
+                (Track::Signal(a), Track::Signal(b)) => a.iter().any(|&u| {
+                    b.iter().any(|&v| {
+                        nets[u].class.incompatible(nets[v].class)
+                            && intervals_overlap(nets[u].interval(), nets[v].interval())
+                    })
+                }),
+                _ => false,
+            };
+            if incompatible {
+                tracks.insert(i + 1, Track::Shield);
+                // Fix track_of for everything above the insertion point.
+                for t in track_of.iter_mut() {
+                    if *t > i {
+                        *t += 1;
+                    }
+                }
+                i += 2;
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    // Metrics.
+    let shields = tracks.iter().filter(|t| **t == Track::Shield).count();
+    let height: u32 = tracks
+        .iter()
+        .map(|t| match t {
+            Track::Signal(members) => members
+                .iter()
+                .map(|&u| nets[u].width)
+                .max()
+                .unwrap_or(1),
+            Track::Shield => 1,
+        })
+        .sum();
+    let mut coupling = 0u64;
+    for w in tracks.windows(2) {
+        if let (Track::Signal(a), Track::Signal(b)) = (&w[0], &w[1]) {
+            for &u in a {
+                for &v in b {
+                    if nets[u].class.incompatible(nets[v].class) {
+                        coupling += overlap_len(nets[u].interval(), nets[v].interval());
+                    }
+                }
+            }
+        }
+    }
+
+    ChannelResult {
+        tracks,
+        track_of,
+        height,
+        shields,
+        coupling,
+        vcg_violations,
+    }
+}
+
+fn intervals_overlap(a: (u32, u32), b: (u32, u32)) -> bool {
+    a.0 <= b.1 && b.0 <= a.1
+}
+
+fn overlap_len(a: (u32, u32), b: (u32, u32)) -> u64 {
+    let lo = a.0.max(b.0);
+    let hi = a.1.min(b.1);
+    if hi >= lo {
+        (hi - lo + 1) as u64
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_nets_share_a_track() {
+        let nets = vec![
+            ChannelNet::simple("a", NetClass::Neutral, 0, 3),
+            ChannelNet::simple("b", NetClass::Neutral, 10, 14),
+        ];
+        let r = route_channel(&nets, &ChannelOptions::default());
+        assert_eq!(r.track_of[0], r.track_of[1]);
+        assert_eq!(r.height, 1);
+        assert_eq!(r.vcg_violations, 0);
+    }
+
+    #[test]
+    fn overlapping_nets_need_two_tracks() {
+        let nets = vec![
+            ChannelNet::simple("a", NetClass::Neutral, 0, 8),
+            ChannelNet::simple("b", NetClass::Neutral, 4, 14),
+        ];
+        let r = route_channel(&nets, &ChannelOptions::default());
+        assert_ne!(r.track_of[0], r.track_of[1]);
+        assert_eq!(r.height, 2);
+    }
+
+    #[test]
+    fn vertical_constraints_are_honored() {
+        // Net "t" has a top pin at column 5; net "b" has a bottom pin at
+        // column 5: "t" must be on a higher track.
+        let nets = vec![
+            ChannelNet {
+                name: "t".into(),
+                class: NetClass::Neutral,
+                top_pins: vec![5],
+                bottom_pins: vec![9],
+                width: 1,
+            },
+            ChannelNet {
+                name: "b".into(),
+                class: NetClass::Neutral,
+                top_pins: vec![1],
+                bottom_pins: vec![5],
+                width: 1,
+            },
+        ];
+        let r = route_channel(&nets, &ChannelOptions::default());
+        assert!(r.track_of[0] > r.track_of[1], "tracks {:?}", r.track_of);
+        assert_eq!(r.vcg_violations, 0);
+    }
+
+    #[test]
+    fn vcg_cycle_is_broken_with_report() {
+        // Mutual constraint: a above b at column 2, b above a at column 7.
+        let nets = vec![
+            ChannelNet {
+                name: "a".into(),
+                class: NetClass::Neutral,
+                top_pins: vec![2],
+                bottom_pins: vec![7],
+                width: 1,
+            },
+            ChannelNet {
+                name: "b".into(),
+                class: NetClass::Neutral,
+                top_pins: vec![7],
+                bottom_pins: vec![2],
+                width: 1,
+            },
+        ];
+        let r = route_channel(&nets, &ChannelOptions::default());
+        assert_eq!(r.vcg_violations, 1);
+        // Both nets still placed.
+        assert!(r.track_of.iter().all(|&t| t != usize::MAX));
+    }
+
+    #[test]
+    fn segregation_separates_classes_with_shield() {
+        let nets = vec![
+            ChannelNet::simple("clk", NetClass::Noisy, 0, 10),
+            ChannelNet::simple("d0", NetClass::Noisy, 2, 12),
+            ChannelNet::simple("vin", NetClass::Sensitive, 1, 11),
+            ChannelNet::simple("vref", NetClass::Sensitive, 3, 13),
+        ];
+        let r = route_channel(
+            &nets,
+            &ChannelOptions {
+                segregate: true,
+                shields: false,
+            },
+        );
+        // All sensitive tracks above all noisy tracks.
+        let max_noisy = r.track_of[0].max(r.track_of[1]);
+        let min_sensitive = r.track_of[2].min(r.track_of[3]);
+        assert!(min_sensitive > max_noisy);
+        assert!(r.shields >= 1, "region shield expected");
+        assert_eq!(r.coupling, 0, "shielded regions must not couple");
+    }
+
+    #[test]
+    fn shields_eliminate_coupling() {
+        let nets = vec![
+            ChannelNet::simple("clk", NetClass::Noisy, 0, 10),
+            ChannelNet::simple("vin", NetClass::Sensitive, 2, 12),
+        ];
+        let base = route_channel(&nets, &ChannelOptions::default());
+        assert!(base.coupling > 0, "expected raw coupling");
+        let shielded = route_channel(
+            &nets,
+            &ChannelOptions {
+                segregate: false,
+                shields: true,
+            },
+        );
+        assert_eq!(shielded.coupling, 0);
+        assert_eq!(shielded.shields, 1);
+        assert!(shielded.height > base.height, "shield costs one track");
+    }
+
+    #[test]
+    fn wide_analog_nets_increase_height() {
+        let narrow = vec![ChannelNet::simple("a", NetClass::Neutral, 0, 9)];
+        let mut wide = narrow.clone();
+        wide[0].width = 3;
+        let rn = route_channel(&narrow, &ChannelOptions::default());
+        let rw = route_channel(&wide, &ChannelOptions::default());
+        assert_eq!(rn.height, 1);
+        assert_eq!(rw.height, 3);
+    }
+
+    #[test]
+    fn multipin_net_interval_spans_all_pins() {
+        let net = ChannelNet {
+            name: "x".into(),
+            class: NetClass::Neutral,
+            top_pins: vec![3, 9],
+            bottom_pins: vec![6],
+            width: 1,
+        };
+        assert_eq!(net.interval(), (3, 9));
+    }
+}

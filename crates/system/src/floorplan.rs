@@ -1,0 +1,525 @@
+//! Mixed-signal floorplanning: slicing trees (ILAC-style) and
+//! substrate-aware annealing (WRIGHT-style).
+//!
+//! "ILAC borrowed heavily from the best ideas from digital layout:
+//! efficient slicing tree floorplanning with flexible blocks …" while
+//! "WRIGHT uses a KOAN-style annealer to floorplan the blocks, but with a
+//! fast substrate noise coupling evaluator" (§3.1–3.2). Both are here:
+//! [`slicing_floorplan`] anneals a normalized Polish expression;
+//! [`wright_floorplan`] anneals flat block positions with the
+//! [`FastCoupling`] substrate model in the cost.
+
+use crate::substrate::FastCoupling;
+use ams_layout::geom::Rect;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// How strongly a block interacts with the substrate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BlockKind {
+    /// Digital switching block: injects noise with the given strength.
+    Noisy(f64),
+    /// Analog block: noise it receives is penalized with the given weight.
+    Sensitive(f64),
+    /// Neither injector nor victim.
+    Quiet,
+}
+
+/// A floorplan block: fixed area, flexible aspect ratio.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// Block name.
+    pub name: String,
+    /// Area in nm².
+    pub area: i64,
+    /// Minimum width/height aspect ratio (w/h ≥ this).
+    pub aspect_min: f64,
+    /// Maximum aspect ratio (w/h ≤ this).
+    pub aspect_max: f64,
+    /// Substrate behaviour.
+    pub kind: BlockKind,
+}
+
+impl Block {
+    /// Creates a block with aspect freedom `\[0.5, 2.0\]`.
+    pub fn new(name: &str, area: i64, kind: BlockKind) -> Self {
+        Block {
+            name: name.to_string(),
+            area,
+            aspect_min: 0.5,
+            aspect_max: 2.0,
+            kind,
+        }
+    }
+
+    /// Width/height for a given aspect ratio.
+    fn shape(&self, aspect: f64) -> (i64, i64) {
+        let a = aspect.clamp(self.aspect_min, self.aspect_max);
+        let h = ((self.area as f64) / a).sqrt();
+        let w = a * h;
+        (w.round().max(1.0) as i64, h.round().max(1.0) as i64)
+    }
+}
+
+/// A finished floorplan.
+#[derive(Debug, Clone)]
+pub struct Floorplan {
+    /// Block placements, same order as the input.
+    pub rects: Vec<Rect>,
+    /// Chip bounding box.
+    pub bbox: Rect,
+    /// Total substrate noise at sensitive blocks (weighted).
+    pub substrate_noise: f64,
+    /// Whitespace fraction (0 = perfect packing).
+    pub whitespace: f64,
+}
+
+fn evaluate_noise(blocks: &[Block], rects: &[Rect], coupling: &FastCoupling) -> f64 {
+    let aggressors: Vec<(Rect, f64)> = blocks
+        .iter()
+        .zip(rects)
+        .filter_map(|(b, r)| match b.kind {
+            BlockKind::Noisy(s) => Some((*r, s)),
+            _ => None,
+        })
+        .collect();
+    blocks
+        .iter()
+        .zip(rects)
+        .map(|(b, r)| match b.kind {
+            BlockKind::Sensitive(w) => w * coupling.noise_at(r, &aggressors),
+            _ => 0.0,
+        })
+        .sum()
+}
+
+fn summarize(blocks: &[Block], rects: Vec<Rect>, coupling: &FastCoupling) -> Floorplan {
+    let bbox = rects
+        .iter()
+        .skip(1)
+        .fold(rects[0], |a, r| a.union(r));
+    let used: i64 = blocks.iter().map(|b| b.area).sum();
+    let whitespace = 1.0 - used as f64 / bbox.area().max(1) as f64;
+    let substrate_noise = evaluate_noise(blocks, &rects, coupling);
+    Floorplan {
+        rects,
+        bbox,
+        substrate_noise,
+        whitespace,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Slicing-tree floorplanning (normalized Polish expressions).
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum PolishOp {
+    /// Operand: block index.
+    Block(usize),
+    /// Horizontal cut (stack vertically).
+    H,
+    /// Vertical cut (side by side).
+    V,
+}
+
+fn polish_is_valid(expr: &[PolishOp]) -> bool {
+    let mut depth = 0i32;
+    for (i, op) in expr.iter().enumerate() {
+        match op {
+            PolishOp::Block(_) => depth += 1,
+            _ => {
+                depth -= 1;
+                if depth < 1 {
+                    return false;
+                }
+                // Normalized: no identical adjacent operators.
+                if i > 0 && expr[i - 1] == *op {
+                    return false;
+                }
+            }
+        }
+    }
+    depth == 1
+}
+
+fn polish_shape(expr: &[PolishOp], blocks: &[Block]) -> Option<(i64, i64, Vec<Rect>)> {
+    // Evaluate bottom-up: stack of (w, h, relative placements).
+    let mut stack: Vec<(i64, i64, Vec<(usize, Rect)>)> = Vec::new();
+    for op in expr {
+        match op {
+            PolishOp::Block(i) => {
+                let (w, h) = blocks[*i].shape(1.0);
+                stack.push((w, h, vec![(*i, Rect::with_size(0, 0, w, h))]));
+            }
+            PolishOp::V => {
+                let (wr, hr, right) = stack.pop()?;
+                let (wl, hl, left) = stack.pop()?;
+                let mut all = left;
+                for (i, r) in right {
+                    all.push((i, r.translated(wl, 0)));
+                }
+                stack.push((wl + wr, hl.max(hr), all));
+            }
+            PolishOp::H => {
+                let (wt, ht, top) = stack.pop()?;
+                let (wb, hb, bottom) = stack.pop()?;
+                let mut all = bottom;
+                for (i, r) in top {
+                    all.push((i, r.translated(0, hb)));
+                }
+                stack.push((wb.max(wt), hb + ht, all));
+            }
+        }
+    }
+    let (w, h, placed) = stack.pop()?;
+    if !stack.is_empty() {
+        return None;
+    }
+    let mut rects = vec![Rect::with_size(0, 0, 1, 1); blocks.len()];
+    for (i, r) in placed {
+        rects[i] = r;
+    }
+    Some((w, h, rects))
+}
+
+/// Floorplanning configuration shared by both algorithms.
+#[derive(Debug, Clone)]
+pub struct FloorplanConfig {
+    /// Annealing moves per stage.
+    pub moves_per_stage: usize,
+    /// Annealing stages.
+    pub stages: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Weight of substrate noise in the cost (0 disables — the ablation
+    /// knob of experiment E11).
+    pub w_noise: f64,
+    /// Weight of chip area.
+    pub w_area: f64,
+    /// Substrate kernel.
+    pub coupling: FastCoupling,
+}
+
+impl Default for FloorplanConfig {
+    fn default() -> Self {
+        FloorplanConfig {
+            moves_per_stage: 250,
+            stages: 60,
+            seed: 1,
+            w_noise: 1.0,
+            w_area: 1.0,
+            coupling: FastCoupling::default(),
+        }
+    }
+}
+
+/// Slicing-tree floorplanning by annealing normalized Polish expressions
+/// (the ILAC-era digital technique, §3.1).
+///
+/// # Panics
+///
+/// Panics with fewer than two blocks.
+pub fn slicing_floorplan(blocks: &[Block], config: &FloorplanConfig) -> Floorplan {
+    assert!(blocks.len() >= 2, "need at least two blocks");
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let n = blocks.len();
+
+    // Initial expression: B0 B1 V B2 V … (a row).
+    let mut expr: Vec<PolishOp> = vec![PolishOp::Block(0)];
+    for i in 1..n {
+        expr.push(PolishOp::Block(i));
+        expr.push(if i % 2 == 0 { PolishOp::H } else { PolishOp::V });
+    }
+    debug_assert!(polish_is_valid(&expr));
+
+    let cost_of = |expr: &[PolishOp]| -> f64 {
+        match polish_shape(expr, blocks) {
+            Some((w, h, rects)) => {
+                let area = (w as f64) * (h as f64);
+                let noise = evaluate_noise(blocks, &rects, &config.coupling);
+                config.w_area * area / 1e12 + config.w_noise * noise
+            }
+            None => f64::INFINITY,
+        }
+    };
+
+    let mut cost = cost_of(&expr);
+    let mut best = expr.clone();
+    let mut best_cost = cost;
+    let mut t = cost.max(1.0);
+
+    for _stage in 0..config.stages {
+        for _ in 0..config.moves_per_stage {
+            let mut cand = expr.clone();
+            match rng.gen_range(0..3) {
+                0 => {
+                    // M1: swap two adjacent operands.
+                    let operand_pos: Vec<usize> = cand
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, op)| matches!(op, PolishOp::Block(_)))
+                        .map(|(i, _)| i)
+                        .collect();
+                    if operand_pos.len() >= 2 {
+                        let k = rng.gen_range(0..operand_pos.len() - 1);
+                        cand.swap(operand_pos[k], operand_pos[k + 1]);
+                    }
+                }
+                1 => {
+                    // M2: complement an operator.
+                    let op_pos: Vec<usize> = cand
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, op)| !matches!(op, PolishOp::Block(_)))
+                        .map(|(i, _)| i)
+                        .collect();
+                    if !op_pos.is_empty() {
+                        let k = op_pos[rng.gen_range(0..op_pos.len())];
+                        cand[k] = if cand[k] == PolishOp::H {
+                            PolishOp::V
+                        } else {
+                            PolishOp::H
+                        };
+                    }
+                }
+                _ => {
+                    // M3: swap adjacent operand/operator.
+                    let k = rng.gen_range(0..cand.len() - 1);
+                    cand.swap(k, k + 1);
+                }
+            }
+            if !polish_is_valid(&cand) {
+                continue;
+            }
+            let c = cost_of(&cand);
+            let d = c - cost;
+            if d < 0.0 || rng.gen::<f64>() < (-d / t).exp() {
+                expr = cand;
+                cost = c;
+                if cost < best_cost {
+                    best_cost = cost;
+                    best = expr.clone();
+                }
+            }
+        }
+        t *= 0.9;
+    }
+
+    let (_, _, rects) = polish_shape(&best, blocks).expect("best expression is valid");
+    summarize(blocks, rects, &config.coupling)
+}
+
+/// WRIGHT-style flat annealing floorplanner: block positions move freely,
+/// and the fast substrate evaluator shapes the result so noisy and
+/// sensitive blocks separate.
+///
+/// # Panics
+///
+/// Panics with fewer than two blocks.
+pub fn wright_floorplan(blocks: &[Block], config: &FloorplanConfig) -> Floorplan {
+    assert!(blocks.len() >= 2, "need at least two blocks");
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let shapes: Vec<(i64, i64)> = blocks.iter().map(|b| b.shape(1.0)).collect();
+    let span: i64 = shapes.iter().map(|(w, h)| w.max(h)).sum();
+
+    let mut pos: Vec<(i64, i64)> = (0..blocks.len())
+        .map(|_| (rng.gen_range(0..span), rng.gen_range(0..span)))
+        .collect();
+
+    let rects_of = |pos: &[(i64, i64)]| -> Vec<Rect> {
+        pos.iter()
+            .zip(&shapes)
+            .map(|(&(x, y), &(w, h))| Rect::with_size(x, y, w, h))
+            .collect()
+    };
+    let cost_of = |pos: &[(i64, i64)]| -> f64 {
+        let rects = rects_of(pos);
+        let bbox = rects.iter().skip(1).fold(rects[0], |a, r| a.union(r));
+        let mut overlap = 0.0;
+        for i in 0..rects.len() {
+            for j in i + 1..rects.len() {
+                overlap += rects[i].overlap_area(&rects[j]) as f64;
+            }
+        }
+        let noise = evaluate_noise(blocks, &rects, &config.coupling);
+        config.w_area * bbox.area() as f64 / 1e12
+            + 50.0 * overlap / 1e10
+            + config.w_noise * noise
+    };
+
+    let mut cost = cost_of(&pos);
+    let mut best = pos.clone();
+    let mut best_cost = cost;
+    let mut t = cost.max(1.0);
+    for stage in 0..config.stages {
+        let reach = ((span as f64) * (1.0 - stage as f64 / config.stages as f64) * 0.4)
+            .max(1000.0) as i64;
+        for _ in 0..config.moves_per_stage {
+            let i = rng.gen_range(0..pos.len());
+            let saved = pos[i];
+            pos[i].0 += rng.gen_range(-reach..=reach);
+            pos[i].1 += rng.gen_range(-reach..=reach);
+            let c = cost_of(&pos);
+            let d = c - cost;
+            if d < 0.0 || rng.gen::<f64>() < (-d / t).exp() {
+                cost = c;
+                if cost < best_cost {
+                    best_cost = cost;
+                    best = pos.clone();
+                }
+            } else {
+                pos[i] = saved;
+            }
+        }
+        t *= 0.88;
+    }
+
+    // Legalize overlaps with minimum-penetration pushes so the annealed
+    // arrangement (and its noise separation) survives.
+    let mut rects = rects_of(&best);
+    for _ in 0..500 {
+        let mut moved = false;
+        for i in 0..rects.len() {
+            for j in i + 1..rects.len() {
+                if rects[i].intersects(&rects[j]) {
+                    let (mv, anchor) = if rects[i].area() <= rects[j].area() {
+                        (i, j)
+                    } else {
+                        (j, i)
+                    };
+                    let pen_right = rects[anchor].x1 - rects[mv].x0;
+                    let pen_left = rects[mv].x1 - rects[anchor].x0;
+                    let pen_up = rects[anchor].y1 - rects[mv].y0;
+                    let pen_down = rects[mv].y1 - rects[anchor].y0;
+                    let min_pen = pen_right.min(pen_left).min(pen_up).min(pen_down);
+                    let (dx, dy) = if min_pen == pen_right {
+                        (pen_right + 1000, 0)
+                    } else if min_pen == pen_left {
+                        (-(pen_left + 1000), 0)
+                    } else if min_pen == pen_up {
+                        (0, pen_up + 1000)
+                    } else {
+                        (0, -(pen_down + 1000))
+                    };
+                    rects[mv] = rects[mv].translated(dx, dy);
+                    moved = true;
+                }
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+
+    summarize(blocks, rects, &config.coupling)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blocks() -> Vec<Block> {
+        vec![
+            Block::new("dsp", 400_000_000_000, BlockKind::Noisy(1.0)),
+            Block::new("clkgen", 100_000_000_000, BlockKind::Noisy(2.0)),
+            Block::new("adc", 200_000_000_000, BlockKind::Sensitive(1.0)),
+            Block::new("pll_vco", 100_000_000_000, BlockKind::Sensitive(2.0)),
+            Block::new("bias", 50_000_000_000, BlockKind::Quiet),
+            Block::new("sram", 300_000_000_000, BlockKind::Quiet),
+        ]
+    }
+
+    fn quick() -> FloorplanConfig {
+        FloorplanConfig {
+            moves_per_stage: 150,
+            stages: 40,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn slicing_floorplan_has_no_overlaps() {
+        let fp = slicing_floorplan(&blocks(), &quick());
+        for i in 0..fp.rects.len() {
+            for j in i + 1..fp.rects.len() {
+                assert!(
+                    !fp.rects[i].intersects(&fp.rects[j]),
+                    "blocks {i} and {j} overlap"
+                );
+            }
+        }
+        // Slicing structures are fairly tight.
+        assert!(fp.whitespace < 0.5, "whitespace {}", fp.whitespace);
+    }
+
+    #[test]
+    fn wright_floorplan_has_no_overlaps() {
+        let fp = wright_floorplan(&blocks(), &quick());
+        for i in 0..fp.rects.len() {
+            for j in i + 1..fp.rects.len() {
+                assert!(!fp.rects[i].intersects(&fp.rects[j]));
+            }
+        }
+    }
+
+    #[test]
+    fn substrate_awareness_reduces_noise() {
+        // E11: same seed/budget, noise weight on vs off.
+        let mut aware = quick();
+        aware.w_noise = 500.0;
+        let mut blind = quick();
+        blind.w_noise = 0.0;
+        let fp_aware = wright_floorplan(&blocks(), &aware);
+        let fp_blind = wright_floorplan(&blocks(), &blind);
+        assert!(
+            fp_aware.substrate_noise < fp_blind.substrate_noise,
+            "aware {} vs blind {}",
+            fp_aware.substrate_noise,
+            fp_blind.substrate_noise
+        );
+    }
+
+    #[test]
+    fn polish_validity_checker() {
+        use PolishOp as P;
+        assert!(polish_is_valid(&[P::Block(0), P::Block(1), P::V]));
+        assert!(!polish_is_valid(&[P::Block(0), P::V, P::Block(1)]));
+        assert!(!polish_is_valid(&[P::Block(0), P::Block(1)]));
+        // Normalization: adjacent same operators rejected.
+        assert!(!polish_is_valid(&[
+            P::Block(0),
+            P::Block(1),
+            P::V,
+            P::Block(2),
+            P::V,
+            P::Block(3),
+            P::V,
+            P::V
+        ]));
+    }
+
+    #[test]
+    fn polish_shape_composes_areas() {
+        let b = vec![
+            Block::new("a", 100 * 200, BlockKind::Quiet),
+            Block::new("b", 100 * 200, BlockKind::Quiet),
+        ];
+        // Side by side.
+        let (w, h, rects) =
+            polish_shape(&[PolishOp::Block(0), PolishOp::Block(1), PolishOp::V], &b).unwrap();
+        assert!(w > h);
+        assert!(!rects[0].intersects(&rects[1]));
+        // Stacked.
+        let (w2, h2, _) =
+            polish_shape(&[PolishOp::Block(0), PolishOp::Block(1), PolishOp::H], &b).unwrap();
+        assert!(h2 > w2);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = wright_floorplan(&blocks(), &quick());
+        let b = wright_floorplan(&blocks(), &quick());
+        assert_eq!(a.rects, b.rects);
+    }
+}

@@ -1,0 +1,377 @@
+//! WREN-style mixed-signal global routing with SNR constraints.
+//!
+//! "WREN introduced the notion of SNR-style (signal-to-noise ratio)
+//! constraints for incompatible signals, and both the global and detailed
+//! routers strive to comply with designer-specified noise rejection limits
+//! on critical signals. WREN incorporates a constraint mapper … that
+//! transforms input noise rejection constraints from the
+//! across-the-whole-chip form used by the global router into the
+//! per-channel per-segment form necessary for the channel router" (§3.2).
+
+use ams_layout::NetClass;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One channel segment of the chip-level routing graph.
+#[derive(Debug, Clone)]
+pub struct ChannelEdge {
+    /// Endpoint junction indices.
+    pub a: usize,
+    /// Endpoint junction indices.
+    pub b: usize,
+    /// Physical length (arbitrary units, e.g. µm).
+    pub length: f64,
+    /// Wiring capacity (number of nets).
+    pub capacity: usize,
+    /// Ambient noise already present (from blocks bordering the channel).
+    pub noise: f64,
+}
+
+/// The channel intersection graph of a floorplan.
+#[derive(Debug, Clone, Default)]
+pub struct ChannelGraph {
+    /// Number of junction nodes.
+    pub nodes: usize,
+    /// Channel segments.
+    pub edges: Vec<ChannelEdge>,
+}
+
+impl ChannelGraph {
+    /// Creates a graph with `nodes` junctions and no segments.
+    pub fn new(nodes: usize) -> Self {
+        ChannelGraph {
+            nodes,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Adds a segment (builder style). Returns the edge index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range.
+    pub fn add_edge(&mut self, a: usize, b: usize, length: f64, capacity: usize) -> usize {
+        assert!(a < self.nodes && b < self.nodes, "junction out of range");
+        self.edges.push(ChannelEdge {
+            a,
+            b,
+            length,
+            capacity,
+            noise: 0.0,
+        });
+        self.edges.len() - 1
+    }
+
+    fn neighbors(&self) -> Vec<Vec<(usize, usize)>> {
+        // node -> (edge index, other node)
+        let mut adj = vec![Vec::new(); self.nodes];
+        for (i, e) in self.edges.iter().enumerate() {
+            adj[e.a].push((i, e.b));
+            adj[e.b].push((i, e.a));
+        }
+        adj
+    }
+}
+
+/// A net to route at chip level.
+#[derive(Debug, Clone)]
+pub struct GlobalNet {
+    /// Net name.
+    pub name: String,
+    /// Class: noisy nets deposit noise in channels they traverse;
+    /// sensitive nets must bound accumulated noise.
+    pub class: NetClass,
+    /// Source junction.
+    pub from: usize,
+    /// Sink junction.
+    pub to: usize,
+    /// For noisy nets: noise injected per unit length of channel.
+    pub injection: f64,
+    /// For sensitive nets: maximum total noise allowed along the path
+    /// (the chip-level SNR constraint).
+    pub noise_budget: f64,
+}
+
+/// Result of global routing.
+#[derive(Debug, Clone)]
+pub struct GlobalResult {
+    /// Per net: edge-index path, or `None` when unroutable.
+    pub paths: Vec<Option<Vec<usize>>>,
+    /// Final per-edge accumulated noise.
+    pub edge_noise: Vec<f64>,
+    /// Per-edge usage after routing.
+    pub edge_usage: Vec<usize>,
+    /// Sensitive nets whose noise budget could not be met.
+    pub snr_violations: Vec<String>,
+    /// Per-channel per-net noise allowances for the detailed router
+    /// (the WREN constraint-mapper output): `(net, edge, allowance)`.
+    pub segment_allowances: Vec<(String, usize, f64)>,
+}
+
+/// Routes nets over the channel graph: noisy nets first (so their noise
+/// field is known), then sensitive nets with noise-aware shortest paths
+/// and budget enforcement.
+pub fn global_route(graph: &ChannelGraph, nets: &[GlobalNet]) -> GlobalResult {
+    let adj = graph.neighbors();
+    let mut edge_noise: Vec<f64> = graph.edges.iter().map(|e| e.noise).collect();
+    let mut edge_usage = vec![0usize; graph.edges.len()];
+    let mut paths: Vec<Option<Vec<usize>>> = vec![None; nets.len()];
+    let mut snr_violations = Vec::new();
+    let mut segment_allowances = Vec::new();
+
+    // Route order: noisy, neutral, then sensitive.
+    let mut order: Vec<usize> = (0..nets.len()).collect();
+    order.sort_by_key(|&i| match nets[i].class {
+        NetClass::Noisy => 0,
+        NetClass::Neutral => 1,
+        NetClass::Sensitive => 2,
+    });
+
+    for &ni in &order {
+        let net = &nets[ni];
+        // Cost: length + (for sensitive nets) a noise-proportional term
+        // that steers the search away from loud channels.
+        let noise_weight = if net.class == NetClass::Sensitive {
+            if net.noise_budget > 0.0 {
+                // Normalize so "budget used up" ≈ "one full detour".
+                1.0 / net.noise_budget
+            } else {
+                1e6
+            }
+        } else {
+            0.0
+        };
+        let path = dijkstra(
+            graph,
+            &adj,
+            &edge_usage,
+            &edge_noise,
+            net.from,
+            net.to,
+            noise_weight,
+        );
+        let Some(path) = path else {
+            paths[ni] = None;
+            if net.class == NetClass::Sensitive {
+                snr_violations.push(net.name.clone());
+            }
+            continue;
+        };
+
+        if net.class == NetClass::Sensitive {
+            let total_noise: f64 = path.iter().map(|&e| edge_noise[e]).sum();
+            if total_noise > net.noise_budget {
+                snr_violations.push(net.name.clone());
+            }
+            // Constraint mapping: split the remaining budget across the
+            // path's segments proportionally to their length — the
+            // per-channel per-segment form the channel router consumes.
+            let total_len: f64 = path.iter().map(|&e| graph.edges[e].length).sum();
+            for &e in &path {
+                let share = if total_len > 0.0 {
+                    graph.edges[e].length / total_len
+                } else {
+                    1.0 / path.len() as f64
+                };
+                segment_allowances.push((net.name.clone(), e, net.noise_budget * share));
+            }
+        }
+        if net.class == NetClass::Noisy {
+            for &e in &path {
+                edge_noise[e] += net.injection * graph.edges[e].length;
+            }
+        }
+        for &e in &path {
+            edge_usage[e] += 1;
+        }
+        paths[ni] = Some(path);
+    }
+
+    GlobalResult {
+        paths,
+        edge_noise,
+        edge_usage,
+        snr_violations,
+        segment_allowances,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dijkstra(
+    graph: &ChannelGraph,
+    adj: &[Vec<(usize, usize)>],
+    usage: &[usize],
+    noise: &[f64],
+    from: usize,
+    to: usize,
+    noise_weight: f64,
+) -> Option<Vec<usize>> {
+    const SCALE: f64 = 1_000.0;
+    let mut dist = vec![u64::MAX; graph.nodes];
+    let mut prev: Vec<Option<(usize, usize)>> = vec![None; graph.nodes]; // (edge, node)
+    let mut heap = BinaryHeap::new();
+    dist[from] = 0;
+    heap.push(Reverse((0u64, from)));
+    while let Some(Reverse((d, v))) = heap.pop() {
+        if d > dist[v] {
+            continue;
+        }
+        if v == to {
+            let mut path = Vec::new();
+            let mut cur = v;
+            while let Some((e, p)) = prev[cur] {
+                path.push(e);
+                cur = p;
+            }
+            path.reverse();
+            return Some(path);
+        }
+        for &(ei, w) in &adj[v] {
+            let e = &graph.edges[ei];
+            if usage[ei] >= e.capacity {
+                continue;
+            }
+            let cost = e.length * (1.0 + noise_weight * noise[ei]);
+            let nd = d + (cost * SCALE) as u64;
+            if nd < dist[w] {
+                dist[w] = nd;
+                prev[w] = Some((ei, v));
+                heap.push(Reverse((nd, w)));
+            }
+        }
+    }
+    None
+}
+
+/// Builds a simple ladder-shaped channel graph for tests and demos:
+/// `cols × 2` junctions, horizontal segments along each row and vertical
+/// rungs between rows.
+pub fn ladder_graph(cols: usize, seg_length: f64, capacity: usize) -> ChannelGraph {
+    let mut g = ChannelGraph::new(cols * 2);
+    for c in 0..cols - 1 {
+        g.add_edge(c, c + 1, seg_length, capacity); // bottom row
+        g.add_edge(cols + c, cols + c + 1, seg_length, capacity); // top row
+    }
+    for c in 0..cols {
+        g.add_edge(c, cols + c, seg_length, capacity); // rungs
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy(name: &str, from: usize, to: usize, injection: f64) -> GlobalNet {
+        GlobalNet {
+            name: name.into(),
+            class: NetClass::Noisy,
+            from,
+            to,
+            injection,
+            noise_budget: 0.0,
+        }
+    }
+
+    fn sensitive(name: &str, from: usize, to: usize, budget: f64) -> GlobalNet {
+        GlobalNet {
+            name: name.into(),
+            class: NetClass::Sensitive,
+            from,
+            to,
+            injection: 0.0,
+            noise_budget: budget,
+        }
+    }
+
+    #[test]
+    fn routes_shortest_path_when_unconstrained() {
+        let g = ladder_graph(5, 10.0, 8);
+        let nets = vec![noisy("d", 0, 4, 0.0)];
+        let r = global_route(&g, &nets);
+        let path = r.paths[0].as_ref().unwrap();
+        // Straight along the bottom row: 4 segments.
+        assert_eq!(path.len(), 4);
+    }
+
+    #[test]
+    fn sensitive_net_detours_around_noise() {
+        let g = ladder_graph(5, 10.0, 8);
+        // Noisy net occupies the bottom row 0→4.
+        let nets = vec![
+            noisy("clk", 0, 4, 5.0),
+            sensitive("vin", 0, 4, 1.0),
+        ];
+        let r = global_route(&g, &nets);
+        let clk = r.paths[0].as_ref().unwrap();
+        let vin = r.paths[1].as_ref().unwrap();
+        // The sensitive path must avoid the noisy edges.
+        let clk_noise: f64 = vin
+            .iter()
+            .filter(|e| clk.contains(e))
+            .map(|&e| r.edge_noise[e])
+            .sum();
+        assert_eq!(clk_noise, 0.0, "vin shares loud segments with clk");
+        assert!(r.snr_violations.is_empty());
+        // The detour is longer.
+        assert!(vin.len() > clk.len());
+    }
+
+    #[test]
+    fn impossible_budget_is_reported() {
+        // One-row graph (no detour possible): 2 junctions, 1 segment.
+        let mut g = ChannelGraph::new(2);
+        g.add_edge(0, 1, 10.0, 4);
+        let nets = vec![noisy("clk", 0, 1, 5.0), sensitive("vin", 0, 1, 1.0)];
+        let r = global_route(&g, &nets);
+        assert_eq!(r.snr_violations, vec!["vin".to_string()]);
+        // Still routed (best effort), but flagged.
+        assert!(r.paths[1].is_some());
+    }
+
+    #[test]
+    fn capacity_forces_alternate_paths_or_failure() {
+        let mut g = ChannelGraph::new(2);
+        g.add_edge(0, 1, 10.0, 1);
+        let nets = vec![noisy("a", 0, 1, 0.0), noisy("b", 0, 1, 0.0)];
+        let r = global_route(&g, &nets);
+        let routed = r.paths.iter().filter(|p| p.is_some()).count();
+        assert_eq!(routed, 1, "capacity 1 admits only one net");
+    }
+
+    #[test]
+    fn constraint_mapper_splits_budget_by_length() {
+        let mut g = ChannelGraph::new(3);
+        g.add_edge(0, 1, 30.0, 4);
+        g.add_edge(1, 2, 10.0, 4);
+        let nets = vec![sensitive("vin", 0, 2, 4.0)];
+        let r = global_route(&g, &nets);
+        assert_eq!(r.segment_allowances.len(), 2);
+        let a0 = r
+            .segment_allowances
+            .iter()
+            .find(|(_, e, _)| *e == 0)
+            .unwrap()
+            .2;
+        let a1 = r
+            .segment_allowances
+            .iter()
+            .find(|(_, e, _)| *e == 1)
+            .unwrap()
+            .2;
+        assert!((a0 - 3.0).abs() < 1e-12);
+        assert!((a1 - 1.0).abs() < 1e-12);
+        // Budgets sum to the chip-level constraint.
+        assert!((a0 + a1 - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ambient_noise_counts_against_budget() {
+        let mut g = ChannelGraph::new(2);
+        let e = g.add_edge(0, 1, 10.0, 4);
+        g.edges[e].noise = 3.0; // a loud block borders this channel
+        let nets = vec![sensitive("vin", 0, 1, 1.0)];
+        let r = global_route(&g, &nets);
+        assert_eq!(r.snr_violations, vec!["vin".to_string()]);
+    }
+}

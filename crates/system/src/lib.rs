@@ -1,0 +1,51 @@
+//! Mixed-signal system assembly: the §3.2 backend of the DAC'96 tutorial.
+//!
+//! "A mixed-signal system is a set of custom analog and digital functional
+//! blocks. Assembly means floorplanning, placement, global and detailed
+//! routing (including the power grid). As well as parasitic sensitivities,
+//! the new problem at the chip level is coupling between digital switching
+//! noise and sensitive analog circuits."
+//!
+//! | Paper tool / idea | Module |
+//! |---|---|
+//! | ILAC slicing-tree floorplanning \[33\] | [`floorplan::slicing_floorplan`] |
+//! | WRIGHT substrate-aware floorplanning \[57\] | [`floorplan::wright_floorplan`] |
+//! | Fast substrate evaluator + detailed mesh \[58,59\] | [`substrate`] |
+//! | WREN global routing with SNR constraints \[56\] | [`global`] |
+//! | Segregated channels \[53\], analog channel routing \[54,55\] | [`channel`] |
+//!
+//! (The power grid, the remaining piece of assembly, lives in `ams-rail`.)
+//!
+//! # Example: substrate-aware floorplanning
+//!
+//! ```
+//! use ams_system::{wright_floorplan, Block, BlockKind, FloorplanConfig};
+//!
+//! let blocks = vec![
+//!     Block::new("dsp", 400_000_000_000, BlockKind::Noisy(1.0)),
+//!     Block::new("adc", 200_000_000_000, BlockKind::Sensitive(1.0)),
+//!     Block::new("sram", 300_000_000_000, BlockKind::Quiet),
+//! ];
+//! let fp = wright_floorplan(&blocks, &FloorplanConfig::default());
+//! assert!(fp.whitespace < 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod floorplan;
+pub mod global;
+pub mod substrate;
+
+pub use channel::{route_channel, ChannelNet, ChannelOptions, ChannelResult, Track};
+pub use floorplan::{
+    slicing_floorplan, wright_floorplan, Block, BlockKind, Floorplan, FloorplanConfig,
+};
+pub use global::{
+    global_route, ladder_graph, ChannelEdge, ChannelGraph, GlobalNet, GlobalResult,
+};
+pub use substrate::{FastCoupling, MeshModel};
+
+// Re-export the shared net-class vocabulary.
+pub use ams_layout::NetClass;

@@ -1,0 +1,201 @@
+//! Substrate coupling models for mixed-signal floorplanning.
+//!
+//! "WRIGHT uses a KOAN-style annealer to floorplan the blocks, but with a
+//! fast substrate noise coupling evaluator so that a simplified view of
+//! substrate noise influences the floorplan" (§3.2). Two models live here:
+//!
+//! * [`FastCoupling`] — the closed-form kernel WRIGHT-style annealing needs
+//!   in its inner loop (thousands of evaluations per second);
+//! * [`MeshModel`] — a resistive-mesh reference model solved exactly with
+//!   dense LU, used to validate the kernel and for sign-off evaluation
+//!   (the "detailed treatments on substrate coupling" of \[58,59\]).
+
+use ams_layout::geom::Rect;
+use ams_sim::Matrix;
+
+/// Fast closed-form substrate coupling kernel.
+///
+/// Coupling between an injector and a sensor decays with edge-to-edge
+/// distance `d` as `1/(1 + d/d0)²` — the empirical far-field behaviour of
+/// a uniform lightly-doped substrate. Each block's injection scales with
+/// its perimeter (substrate contacts ring the block).
+#[derive(Debug, Clone)]
+pub struct FastCoupling {
+    /// Decay length `d0` in nanometers.
+    pub decay_nm: f64,
+}
+
+impl Default for FastCoupling {
+    fn default() -> Self {
+        FastCoupling { decay_nm: 100_000.0 }
+    }
+}
+
+impl FastCoupling {
+    /// Normalized coupling factor between two block footprints (1 at zero
+    /// separation, decaying with distance).
+    pub fn factor(&self, a: &Rect, b: &Rect) -> f64 {
+        let d = a.spacing_to(b) as f64;
+        1.0 / (1.0 + d / self.decay_nm).powi(2)
+    }
+
+    /// Total noise seen at `victim` from `aggressors`, each with an
+    /// injection strength (e.g. switching current × contact perimeter).
+    pub fn noise_at(&self, victim: &Rect, aggressors: &[(Rect, f64)]) -> f64 {
+        aggressors
+            .iter()
+            .map(|(r, strength)| strength * self.factor(victim, r))
+            .sum()
+    }
+}
+
+/// Exact resistive-mesh substrate model: a uniform grid of substrate
+/// resistors with injector/sensor contacts, solved by dense LU.
+#[derive(Debug, Clone)]
+pub struct MeshModel {
+    /// Grid columns.
+    pub nx: usize,
+    /// Grid rows.
+    pub ny: usize,
+    /// Sheet resistance between adjacent mesh nodes, ohms.
+    pub r_mesh: f64,
+    /// Resistance from every node to the backplane (ground), ohms.
+    pub r_back: f64,
+}
+
+impl MeshModel {
+    /// Creates a mesh of `nx × ny` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a degenerate grid or non-positive resistances.
+    pub fn new(nx: usize, ny: usize, r_mesh: f64, r_back: f64) -> Self {
+        assert!(nx >= 2 && ny >= 2, "mesh must be at least 2×2");
+        assert!(r_mesh > 0.0 && r_back > 0.0, "resistances must be positive");
+        MeshModel {
+            nx,
+            ny,
+            r_mesh,
+            r_back,
+        }
+    }
+
+    fn node(&self, x: usize, y: usize) -> usize {
+        y * self.nx + x
+    }
+
+    /// Transfer impedance: voltage at node `(sx, sy)` per ampere injected
+    /// at `(ix, iy)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either node is outside the mesh.
+    pub fn transfer_impedance(
+        &self,
+        ix: usize,
+        iy: usize,
+        sx: usize,
+        sy: usize,
+    ) -> f64 {
+        assert!(ix < self.nx && iy < self.ny, "injector outside mesh");
+        assert!(sx < self.nx && sy < self.ny, "sensor outside mesh");
+        let n = self.nx * self.ny;
+        let g_mesh = 1.0 / self.r_mesh;
+        let g_back = 1.0 / self.r_back;
+        let mut g = Matrix::zeros(n, n);
+        for y in 0..self.ny {
+            for x in 0..self.nx {
+                let i = self.node(x, y);
+                g[(i, i)] += g_back;
+                if x + 1 < self.nx {
+                    let j = self.node(x + 1, y);
+                    g[(i, i)] += g_mesh;
+                    g[(j, j)] += g_mesh;
+                    g[(i, j)] -= g_mesh;
+                    g[(j, i)] -= g_mesh;
+                }
+                if y + 1 < self.ny {
+                    let j = self.node(x, y + 1);
+                    g[(i, i)] += g_mesh;
+                    g[(j, j)] += g_mesh;
+                    g[(i, j)] -= g_mesh;
+                    g[(j, i)] -= g_mesh;
+                }
+            }
+        }
+        let mut b = vec![0.0; n];
+        b[self.node(ix, iy)] = 1.0;
+        let x = g.lu().expect("mesh is grounded, never singular").solve(&b);
+        x[self.node(sx, sy)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_coupling_decays_with_distance() {
+        let k = FastCoupling::default();
+        let a = Rect::with_size(0, 0, 10_000, 10_000);
+        let near = Rect::with_size(20_000, 0, 10_000, 10_000);
+        let far = Rect::with_size(500_000, 0, 10_000, 10_000);
+        assert!(k.factor(&a, &near) > k.factor(&a, &far));
+        assert!(k.factor(&a, &a) == 1.0);
+    }
+
+    #[test]
+    fn noise_sums_over_aggressors() {
+        let k = FastCoupling::default();
+        let victim = Rect::with_size(0, 0, 10_000, 10_000);
+        let agg1 = (Rect::with_size(50_000, 0, 10_000, 10_000), 1.0);
+        let agg2 = (Rect::with_size(0, 50_000, 10_000, 10_000), 2.0);
+        let solo = k.noise_at(&victim, &[agg1]);
+        let both = k.noise_at(&victim, &[agg1, agg2]);
+        assert!(both > solo);
+    }
+
+    #[test]
+    fn mesh_impedance_is_symmetric_and_decaying() {
+        let mesh = MeshModel::new(8, 8, 100.0, 2000.0);
+        let z_self = mesh.transfer_impedance(1, 1, 1, 1);
+        let z_near = mesh.transfer_impedance(1, 1, 2, 1);
+        let z_far = mesh.transfer_impedance(1, 1, 6, 6);
+        assert!(z_self > z_near, "self {z_self} near {z_near}");
+        assert!(z_near > z_far, "near {z_near} far {z_far}");
+        // Reciprocity.
+        let z_ab = mesh.transfer_impedance(0, 0, 5, 3);
+        let z_ba = mesh.transfer_impedance(5, 3, 0, 0);
+        assert!((z_ab - z_ba).abs() / z_ab < 1e-9);
+    }
+
+    #[test]
+    fn fast_kernel_tracks_mesh_ordering() {
+        // The fast kernel need not match magnitudes, but its distance
+        // ordering must agree with the exact mesh (that's what makes it a
+        // valid annealing surrogate).
+        let mesh = MeshModel::new(10, 10, 100.0, 2000.0);
+        let k = FastCoupling {
+            decay_nm: 30_000.0,
+        };
+        let cell = 10_000i64; // 10 µm mesh pitch
+        let victim = Rect::with_size(0, 0, cell, cell);
+        let mut mesh_z = Vec::new();
+        let mut fast_f = Vec::new();
+        for dist in [1usize, 3, 6, 9] {
+            mesh_z.push(mesh.transfer_impedance(0, 0, dist, 0));
+            let agg = Rect::with_size(dist as i64 * cell, 0, cell, cell);
+            fast_f.push(k.factor(&victim, &agg));
+        }
+        for i in 1..mesh_z.len() {
+            assert!(mesh_z[i] < mesh_z[i - 1]);
+            assert!(fast_f[i] < fast_f[i - 1]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn tiny_mesh_panics() {
+        MeshModel::new(1, 5, 1.0, 1.0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Closed-interval arithmetic for topology feasibility checking.
+//!
+//! The topology-selection approach of \[Veselinovic et al., ED&TC'95\] —
+//! cited in §2.2 of the tutorial — screens candidate topologies by
+//! *boundary checking*: each topology carries feasible performance
+//! intervals, and a specification is achievable only if it intersects them.
+
+use std::fmt;
+
+/// A closed interval `[lo, hi]` on the real line.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+}
+
+impl Interval {
+    /// Creates `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is NaN.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(!lo.is_nan() && !hi.is_nan(), "NaN interval bound");
+        assert!(lo <= hi, "interval bounds out of order: [{lo}, {hi}]");
+        Interval { lo, hi }
+    }
+
+    /// A degenerate point interval.
+    pub fn point(v: f64) -> Self {
+        Interval::new(v, v)
+    }
+
+    /// The interval `[lo, +∞)`.
+    pub fn at_least(lo: f64) -> Self {
+        Interval::new(lo, f64::INFINITY)
+    }
+
+    /// The interval `(−∞, hi]`.
+    pub fn at_most(hi: f64) -> Self {
+        Interval::new(f64::NEG_INFINITY, hi)
+    }
+
+    /// Whether `v` lies inside the interval.
+    pub fn contains(&self, v: f64) -> bool {
+        v >= self.lo && v <= self.hi
+    }
+
+    /// Whether two intervals overlap.
+    pub fn intersects(&self, other: &Interval) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+
+    /// Intersection, or `None` when disjoint.
+    pub fn intersection(&self, other: &Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        if lo <= hi {
+            Some(Interval::new(lo, hi))
+        } else {
+            None
+        }
+    }
+
+    /// Interval width (may be infinite).
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Interval addition.
+    pub fn add(&self, other: &Interval) -> Interval {
+        Interval::new(self.lo + other.lo, self.hi + other.hi)
+    }
+
+    /// Interval multiplication.
+    pub fn mul(&self, other: &Interval) -> Interval {
+        let candidates = [
+            self.lo * other.lo,
+            self.lo * other.hi,
+            self.hi * other.lo,
+            self.hi * other.hi,
+        ];
+        let lo = candidates.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = candidates
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        Interval::new(lo, hi)
+    }
+
+    /// Scales by a constant.
+    pub fn scale(&self, k: f64) -> Interval {
+        if k >= 0.0 {
+            Interval::new(self.lo * k, self.hi * k)
+        } else {
+            Interval::new(self.hi * k, self.lo * k)
+        }
+    }
+
+    /// Normalized margin by which `v` sits inside the interval: 0 at a
+    /// boundary, growing toward the interior; negative when outside.
+    /// Infinite bounds contribute a large fixed margin.
+    pub fn margin(&self, v: f64) -> f64 {
+        let lo_m = if self.lo.is_finite() {
+            v - self.lo
+        } else {
+            f64::MAX / 4.0
+        };
+        let hi_m = if self.hi.is_finite() {
+            self.hi - v
+        } else {
+            f64::MAX / 4.0
+        };
+        let scale = if self.width().is_finite() && self.width() > 0.0 {
+            self.width()
+        } else {
+            v.abs().max(1.0)
+        };
+        lo_m.min(hi_m) / scale
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn containment_and_intersection() {
+        let a = Interval::new(1.0, 5.0);
+        assert!(a.contains(3.0));
+        assert!(a.contains(1.0) && a.contains(5.0));
+        assert!(!a.contains(0.5));
+        let b = Interval::new(4.0, 10.0);
+        assert!(a.intersects(&b));
+        assert_eq!(a.intersection(&b), Some(Interval::new(4.0, 5.0)));
+        let c = Interval::new(6.0, 7.0);
+        assert!(!a.intersects(&c));
+        assert_eq!(a.intersection(&c), None);
+    }
+
+    #[test]
+    fn half_infinite_intervals() {
+        let min = Interval::at_least(60.0);
+        assert!(min.contains(80.0));
+        assert!(!min.contains(59.9));
+        let max = Interval::at_most(1e-3);
+        assert!(max.contains(0.0));
+        assert!(!max.contains(2e-3));
+        assert!(min.intersects(&Interval::new(0.0, 100.0)));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Interval::new(1.0, 2.0);
+        let b = Interval::new(-3.0, 4.0);
+        assert_eq!(a.add(&b), Interval::new(-2.0, 6.0));
+        let m = a.mul(&b);
+        assert_eq!(m, Interval::new(-6.0, 8.0));
+        assert_eq!(a.scale(-2.0), Interval::new(-4.0, -2.0));
+    }
+
+    #[test]
+    fn margin_sign_tells_feasibility() {
+        let a = Interval::new(0.0, 10.0);
+        assert!(a.margin(5.0) > 0.0);
+        assert_eq!(a.margin(0.0), 0.0);
+        assert!(a.margin(12.0) < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn reversed_bounds_panic() {
+        Interval::new(2.0, 1.0);
+    }
+}

@@ -1,0 +1,39 @@
+//! Analog topology library and selection.
+//!
+//! "Topology selection is the step of selecting the most appropriate
+//! circuit topology out of a set of alternatives, that can best meet the
+//! given specifications" (§2.1 of the DAC'96 tutorial). This crate provides
+//!
+//! * [`TopologyLibrary`] — hierarchical topology templates with feasible
+//!   performance intervals ([`TopologyLibrary::standard`] ships the
+//!   tutorial's examples: four opamps, the four ADC architectures of §2.1,
+//!   a comparator, and the Table 1 pulse-detector frontend);
+//! * [`Interval`] arithmetic and [`select`] — boundary-checking selection in
+//!   the style of the flexible selection tool of \[Veselinovic et al. 1995\],
+//!   with margin-based ranking and rejection diagnostics;
+//! * [`Spec`]/[`Bound`] — the specification vocabulary shared with the
+//!   sizing tools.
+//!
+//! # Example
+//!
+//! ```
+//! use ams_topology::{select, BlockClass, Bound, Spec, TopologyLibrary, metric};
+//!
+//! let lib = TopologyLibrary::standard();
+//! let spec = Spec::new()
+//!     .require(metric::GAIN_DB, Bound::AtLeast(95.0))
+//!     .require(metric::SWING_V, Bound::AtLeast(1.0));
+//! let sel = select(&lib, BlockClass::Opamp, &spec);
+//! assert_eq!(sel.best().expect("feasible").name, "telescopic_cascode");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod interval;
+mod library;
+mod select;
+
+pub use interval::Interval;
+pub use library::{metric, BlockClass, Topology, TopologyLibrary};
+pub use select::{select, Bound, Candidate, Rejection, Selection, Spec};

@@ -1,0 +1,313 @@
+//! The topology library: hierarchical circuit templates with feasible
+//! performance ranges.
+//!
+//! "A topology can be defined hierarchically in terms of lower-level
+//! subblocks" (§2.1). Each [`Topology`] names its subblocks and carries
+//! the feasibility intervals the selector screens against.
+
+use crate::interval::Interval;
+use std::collections::HashMap;
+
+/// Well-known performance metric keys used across the toolkit.
+///
+/// Metrics are string-keyed so user-defined blocks can add their own; these
+/// constants cover the tutorial's examples.
+pub mod metric {
+    /// Low-frequency gain in dB.
+    pub const GAIN_DB: &str = "gain_db";
+    /// Unity-gain frequency in Hz.
+    pub const UGF_HZ: &str = "ugf_hz";
+    /// Phase margin in degrees.
+    pub const PHASE_MARGIN_DEG: &str = "phase_margin_deg";
+    /// Static power in watts.
+    pub const POWER_W: &str = "power_w";
+    /// Estimated active area in m².
+    pub const AREA_M2: &str = "area_m2";
+    /// Slew rate in V/s.
+    pub const SLEW_V_PER_S: &str = "slew_v_per_s";
+    /// Output swing in volts (peak-to-peak).
+    pub const SWING_V: &str = "swing_v";
+    /// Input-referred noise in V rms.
+    pub const NOISE_V_RMS: &str = "noise_v_rms";
+    /// Converter resolution in bits.
+    pub const RESOLUTION_BITS: &str = "resolution_bits";
+    /// Converter sample rate in samples/s.
+    pub const SAMPLE_RATE_HZ: &str = "sample_rate_hz";
+    /// Converter latency in seconds.
+    pub const LATENCY_S: &str = "latency_s";
+}
+
+/// Functional class of a topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum BlockClass {
+    /// Operational amplifier / OTA.
+    Opamp,
+    /// Voltage comparator.
+    Comparator,
+    /// Analog-to-digital converter.
+    Adc,
+    /// Continuous-time or SC filter.
+    Filter,
+    /// Charge-sensitive / pulse-shaping frontend.
+    PulseFrontend,
+}
+
+/// One circuit topology template.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    /// Unique name ("two_stage_miller", "flash_adc"…).
+    pub name: String,
+    /// Functional class.
+    pub class: BlockClass,
+    /// Feasible performance intervals keyed by metric name.
+    pub capability: HashMap<String, Interval>,
+    /// Names of lower-level subblocks (hierarchical definition).
+    pub subblocks: Vec<String>,
+    /// Approximate device count (complexity/area heuristic).
+    pub device_count: usize,
+}
+
+impl Topology {
+    /// Creates a topology with no capabilities; use the builder methods.
+    pub fn new(name: &str, class: BlockClass) -> Self {
+        Topology {
+            name: name.to_string(),
+            class,
+            capability: HashMap::new(),
+            subblocks: Vec::new(),
+            device_count: 0,
+        }
+    }
+
+    /// Adds a feasible interval for a metric (builder style).
+    pub fn with_capability(mut self, metric: &str, range: Interval) -> Self {
+        self.capability.insert(metric.to_string(), range);
+        self
+    }
+
+    /// Declares a subblock (builder style).
+    pub fn with_subblock(mut self, name: &str) -> Self {
+        self.subblocks.push(name.to_string());
+        self
+    }
+
+    /// Sets the device count (builder style).
+    pub fn with_devices(mut self, n: usize) -> Self {
+        self.device_count = n;
+        self
+    }
+
+    /// The feasible interval for a metric, if declared.
+    pub fn capability_for(&self, metric: &str) -> Option<&Interval> {
+        self.capability.get(metric)
+    }
+}
+
+/// A library of candidate topologies.
+#[derive(Debug, Clone, Default)]
+pub struct TopologyLibrary {
+    topologies: Vec<Topology>,
+}
+
+impl TopologyLibrary {
+    /// Empty library.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a topology.
+    pub fn add(&mut self, t: Topology) {
+        self.topologies.push(t);
+    }
+
+    /// All topologies of a class.
+    pub fn of_class(&self, class: BlockClass) -> Vec<&Topology> {
+        self.topologies
+            .iter()
+            .filter(|t| t.class == class)
+            .collect()
+    }
+
+    /// Looks up a topology by name.
+    pub fn find(&self, name: &str) -> Option<&Topology> {
+        self.topologies.iter().find(|t| t.name == name)
+    }
+
+    /// Number of topologies.
+    pub fn len(&self) -> usize {
+        self.topologies.len()
+    }
+
+    /// Whether the library is empty.
+    pub fn is_empty(&self) -> bool {
+        self.topologies.is_empty()
+    }
+
+    /// The built-in library covering the tutorial's examples: four opamp
+    /// topologies and the four ADC architectures named in §2.1, plus a
+    /// comparator and the pulse-detector frontend of Table 1.
+    ///
+    /// The intervals are classical capability envelopes for a 1990s CMOS
+    /// process (5 V, ~1 µm): e.g. a telescopic cascode reaches higher gain
+    /// and speed than a two-stage Miller but with far less output swing.
+    pub fn standard() -> Self {
+        use metric::*;
+        let mut lib = TopologyLibrary::new();
+
+        lib.add(
+            Topology::new("two_stage_miller", BlockClass::Opamp)
+                .with_capability(GAIN_DB, Interval::new(55.0, 90.0))
+                .with_capability(UGF_HZ, Interval::new(1e4, 5e7))
+                .with_capability(SWING_V, Interval::new(0.5, 4.5))
+                .with_capability(POWER_W, Interval::new(5e-5, 5e-2))
+                .with_capability(PHASE_MARGIN_DEG, Interval::new(45.0, 80.0))
+                .with_subblock("diff_pair")
+                .with_subblock("cs_stage")
+                .with_subblock("miller_comp")
+                .with_devices(8),
+        );
+        lib.add(
+            Topology::new("telescopic_cascode", BlockClass::Opamp)
+                .with_capability(GAIN_DB, Interval::new(70.0, 110.0))
+                .with_capability(UGF_HZ, Interval::new(1e5, 3e8))
+                .with_capability(SWING_V, Interval::new(0.3, 1.5))
+                .with_capability(POWER_W, Interval::new(2e-5, 2e-2))
+                .with_capability(PHASE_MARGIN_DEG, Interval::new(60.0, 89.0))
+                .with_subblock("cascode_pair")
+                .with_subblock("cascode_load")
+                .with_devices(9),
+        );
+        lib.add(
+            Topology::new("folded_cascode", BlockClass::Opamp)
+                .with_capability(GAIN_DB, Interval::new(60.0, 100.0))
+                .with_capability(UGF_HZ, Interval::new(1e5, 2e8))
+                .with_capability(SWING_V, Interval::new(0.5, 3.0))
+                .with_capability(POWER_W, Interval::new(5e-5, 3e-2))
+                .with_capability(PHASE_MARGIN_DEG, Interval::new(55.0, 88.0))
+                .with_subblock("diff_pair")
+                .with_subblock("folded_branch")
+                .with_subblock("cascode_load")
+                .with_devices(12),
+        );
+        lib.add(
+            Topology::new("symmetrical_ota", BlockClass::Opamp)
+                .with_capability(GAIN_DB, Interval::new(40.0, 50.0))
+                .with_capability(UGF_HZ, Interval::new(1e5, 1e8))
+                .with_capability(SWING_V, Interval::new(1.0, 4.0))
+                .with_capability(POWER_W, Interval::new(2e-5, 1e-2))
+                .with_capability(PHASE_MARGIN_DEG, Interval::new(50.0, 88.0))
+                .with_subblock("diff_pair")
+                .with_subblock("current_mirrors")
+                .with_devices(8),
+        );
+
+        // ADC architectures from §2.1's example.
+        lib.add(
+            Topology::new("flash_adc", BlockClass::Adc)
+                .with_capability(RESOLUTION_BITS, Interval::new(4.0, 8.0))
+                .with_capability(SAMPLE_RATE_HZ, Interval::new(1e7, 2e9))
+                .with_capability(POWER_W, Interval::new(5e-2, 5.0))
+                .with_capability(LATENCY_S, Interval::new(1e-10, 1e-8))
+                .with_subblock("comparator_bank")
+                .with_subblock("thermometer_decoder")
+                .with_devices(2000),
+        );
+        lib.add(
+            Topology::new("sar_adc", BlockClass::Adc)
+                .with_capability(RESOLUTION_BITS, Interval::new(8.0, 16.0))
+                .with_capability(SAMPLE_RATE_HZ, Interval::new(1e3, 5e6))
+                .with_capability(POWER_W, Interval::new(1e-5, 1e-2))
+                .with_capability(LATENCY_S, Interval::new(1e-7, 1e-4))
+                .with_subblock("comparator")
+                .with_subblock("cap_dac")
+                .with_subblock("sar_logic")
+                .with_devices(300),
+        );
+        lib.add(
+            Topology::new("sigma_delta_adc", BlockClass::Adc)
+                .with_capability(RESOLUTION_BITS, Interval::new(12.0, 22.0))
+                .with_capability(SAMPLE_RATE_HZ, Interval::new(1e1, 1e6))
+                .with_capability(POWER_W, Interval::new(1e-4, 5e-2))
+                .with_capability(LATENCY_S, Interval::new(1e-5, 1e-2))
+                .with_subblock("integrator")
+                .with_subblock("comparator")
+                .with_subblock("decimator")
+                .with_devices(500),
+        );
+        lib.add(
+            Topology::new("pipeline_adc", BlockClass::Adc)
+                .with_capability(RESOLUTION_BITS, Interval::new(8.0, 14.0))
+                .with_capability(SAMPLE_RATE_HZ, Interval::new(1e6, 2e8))
+                .with_capability(POWER_W, Interval::new(1e-2, 1.0))
+                .with_capability(LATENCY_S, Interval::new(1e-8, 1e-6))
+                .with_subblock("mdac_stage")
+                .with_subblock("opamp")
+                .with_subblock("comparator")
+                .with_devices(1500),
+        );
+
+        lib.add(
+            Topology::new("latched_comparator", BlockClass::Comparator)
+                .with_capability(UGF_HZ, Interval::new(1e6, 1e9))
+                .with_capability(POWER_W, Interval::new(1e-5, 1e-2))
+                .with_subblock("preamp")
+                .with_subblock("latch")
+                .with_devices(10),
+        );
+        lib.add(
+            Topology::new("pulse_detector_frontend", BlockClass::PulseFrontend)
+                .with_capability(GAIN_DB, Interval::new(20.0, 60.0))
+                .with_capability(POWER_W, Interval::new(1e-3, 5e-2))
+                .with_subblock("charge_sensitive_amp")
+                .with_subblock("pulse_shaper")
+                .with_devices(30),
+        );
+
+        lib
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_library_has_all_classes() {
+        let lib = TopologyLibrary::standard();
+        assert_eq!(lib.of_class(BlockClass::Opamp).len(), 4);
+        assert_eq!(lib.of_class(BlockClass::Adc).len(), 4);
+        assert_eq!(lib.of_class(BlockClass::Comparator).len(), 1);
+        assert!(!lib.is_empty());
+    }
+
+    #[test]
+    fn find_by_name() {
+        let lib = TopologyLibrary::standard();
+        let t = lib.find("telescopic_cascode").unwrap();
+        assert_eq!(t.class, BlockClass::Opamp);
+        assert!(t.capability_for(metric::GAIN_DB).unwrap().contains(90.0));
+        assert!(lib.find("warp_drive").is_none());
+    }
+
+    #[test]
+    fn hierarchy_is_recorded() {
+        let lib = TopologyLibrary::standard();
+        let t = lib.find("sar_adc").unwrap();
+        assert!(t.subblocks.iter().any(|s| s == "comparator"));
+    }
+
+    #[test]
+    fn telescopic_trades_swing_for_gain() {
+        // The classic capability trade-off must be visible in the library.
+        let lib = TopologyLibrary::standard();
+        let tele = lib.find("telescopic_cascode").unwrap();
+        let two = lib.find("two_stage_miller").unwrap();
+        let tele_gain = tele.capability_for(metric::GAIN_DB).unwrap();
+        let two_gain = two.capability_for(metric::GAIN_DB).unwrap();
+        assert!(tele_gain.hi > two_gain.hi);
+        let tele_swing = tele.capability_for(metric::SWING_V).unwrap();
+        let two_swing = two.capability_for(metric::SWING_V).unwrap();
+        assert!(tele_swing.hi < two_swing.hi);
+    }
+}

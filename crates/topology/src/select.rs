@@ -1,0 +1,324 @@
+//! Topology selection: boundary checking, interval feasibility, and rules.
+//!
+//! Reproduces the selection step of §2.1/§2.2: given a specification, screen
+//! the library by interval analysis (infeasible topologies are pruned
+//! outright), then rank survivors by spec margin and estimated cost.
+
+use crate::interval::Interval;
+use crate::library::{BlockClass, Topology, TopologyLibrary};
+use std::collections::HashMap;
+use std::fmt;
+
+/// One specification bound on a metric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Bound {
+    /// Metric must be at least this value.
+    AtLeast(f64),
+    /// Metric must be at most this value.
+    AtMost(f64),
+    /// Metric must lie in the closed range.
+    Range(f64, f64),
+}
+
+impl Bound {
+    /// The interval of acceptable values.
+    pub fn interval(&self) -> Interval {
+        match *self {
+            Bound::AtLeast(v) => Interval::at_least(v),
+            Bound::AtMost(v) => Interval::at_most(v),
+            Bound::Range(lo, hi) => Interval::new(lo, hi),
+        }
+    }
+
+    /// Whether a value satisfies the bound.
+    pub fn satisfied_by(&self, v: f64) -> bool {
+        self.interval().contains(v)
+    }
+}
+
+impl fmt::Display for Bound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Bound::AtLeast(v) => write!(f, ">= {v}"),
+            Bound::AtMost(v) => write!(f, "<= {v}"),
+            Bound::Range(lo, hi) => write!(f, "in [{lo}, {hi}]"),
+        }
+    }
+}
+
+/// A specification: named metric bounds plus an optional optimization goal.
+#[derive(Debug, Clone, Default)]
+pub struct Spec {
+    bounds: HashMap<String, Bound>,
+    /// Metric to minimize among feasible candidates (e.g. `power_w`).
+    pub minimize: Option<String>,
+}
+
+impl Spec {
+    /// Empty specification.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a bound (builder style).
+    pub fn require(mut self, metric: &str, bound: Bound) -> Self {
+        self.bounds.insert(metric.to_string(), bound);
+        self
+    }
+
+    /// Sets the minimization objective (builder style).
+    pub fn minimizing(mut self, metric: &str) -> Self {
+        self.minimize = Some(metric.to_string());
+        self
+    }
+
+    /// Iterates over `(metric, bound)` pairs.
+    pub fn bounds(&self) -> impl Iterator<Item = (&str, &Bound)> {
+        self.bounds.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// The bound on one metric, if any.
+    pub fn bound_for(&self, metric: &str) -> Option<&Bound> {
+        self.bounds.get(metric)
+    }
+
+    /// Whether a measured performance point satisfies every bound.
+    /// Metrics without a bound are ignored.
+    pub fn satisfied_by(&self, perf: &HashMap<String, f64>) -> bool {
+        self.bounds.iter().all(|(metric, bound)| {
+            perf.get(metric)
+                .is_some_and(|&v| bound.satisfied_by(v))
+        })
+    }
+}
+
+/// Why a topology was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rejection {
+    /// Topology name.
+    pub topology: String,
+    /// Metric whose feasible interval misses the spec.
+    pub metric: String,
+    /// The topology's feasible interval.
+    pub feasible: Interval,
+    /// The spec's acceptable interval.
+    pub required: Interval,
+}
+
+/// A ranked feasible candidate.
+#[derive(Debug, Clone)]
+pub struct Candidate<'a> {
+    /// The topology.
+    pub topology: &'a Topology,
+    /// Worst-case normalized margin across all bounded metrics (larger =
+    /// more comfortably feasible).
+    pub margin: f64,
+    /// Value of the minimization objective's best case, if one was set.
+    pub objective_best_case: Option<f64>,
+}
+
+/// Result of a selection run.
+#[derive(Debug)]
+pub struct Selection<'a> {
+    /// Feasible candidates, best first.
+    pub candidates: Vec<Candidate<'a>>,
+    /// Rejected topologies with the violated metric.
+    pub rejections: Vec<Rejection>,
+}
+
+impl<'a> Selection<'a> {
+    /// The winning topology, if any candidate survived.
+    pub fn best(&self) -> Option<&'a Topology> {
+        self.candidates.first().map(|c| c.topology)
+    }
+}
+
+/// Screens and ranks the topologies of `class` in `lib` against `spec`.
+///
+/// Feasibility is boundary checking: every bounded metric's required
+/// interval must intersect the topology's capability interval. Topologies
+/// that do not declare a bounded metric are assumed feasible for it
+/// (optimistic screening, as in \[15\]). Ranking is by minimization objective
+/// best case when set, then by worst-case margin.
+pub fn select<'a>(lib: &'a TopologyLibrary, class: BlockClass, spec: &Spec) -> Selection<'a> {
+    let mut candidates = Vec::new();
+    let mut rejections = Vec::new();
+
+    'topo: for topo in lib.of_class(class) {
+        let mut worst_margin = f64::INFINITY;
+        for (metric, bound) in spec.bounds() {
+            let required = bound.interval();
+            if let Some(feasible) = topo.capability_for(metric) {
+                if !feasible.intersects(&required) {
+                    rejections.push(Rejection {
+                        topology: topo.name.clone(),
+                        metric: metric.to_string(),
+                        feasible: *feasible,
+                        required,
+                    });
+                    continue 'topo;
+                }
+                // Margin: how deep the best achievable point sits in the
+                // required region.
+                let best_point = match bound {
+                    Bound::AtLeast(v) => feasible.hi.min(f64::MAX).max(*v),
+                    Bound::AtMost(v) => feasible.lo.max(f64::MIN).min(*v),
+                    Bound::Range(lo, hi) => 0.5 * (lo + hi),
+                };
+                let m = required.margin(best_point.clamp(feasible.lo, feasible.hi));
+                worst_margin = worst_margin.min(m);
+            }
+        }
+        let objective_best_case = spec
+            .minimize
+            .as_ref()
+            .and_then(|metric| topo.capability_for(metric))
+            .map(|iv| iv.lo);
+        candidates.push(Candidate {
+            topology: topo,
+            margin: if worst_margin.is_finite() {
+                worst_margin
+            } else {
+                0.0
+            },
+            objective_best_case,
+        });
+    }
+
+    candidates.sort_by(|a, b| {
+        match (a.objective_best_case, b.objective_best_case) {
+            (Some(x), Some(y)) => x
+                .partial_cmp(&y)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| {
+                    b.margin
+                        .partial_cmp(&a.margin)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                }),
+            _ => b
+                .margin
+                .partial_cmp(&a.margin)
+                .unwrap_or(std::cmp::Ordering::Equal),
+        }
+    });
+
+    Selection {
+        candidates,
+        rejections,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::metric::*;
+
+    fn lib() -> TopologyLibrary {
+        TopologyLibrary::standard()
+    }
+
+    #[test]
+    fn high_gain_low_swing_picks_telescopic() {
+        let lib = lib();
+        let spec = Spec::new()
+            .require(GAIN_DB, Bound::AtLeast(95.0))
+            .require(SWING_V, Bound::AtLeast(1.0));
+        let sel = select(&lib, BlockClass::Opamp, &spec);
+        assert_eq!(sel.best().unwrap().name, "telescopic_cascode");
+        // Two-stage (max 90 dB) and symmetrical OTA (max 70 dB) rejected.
+        assert!(sel
+            .rejections
+            .iter()
+            .any(|r| r.topology == "two_stage_miller" && r.metric == GAIN_DB));
+    }
+
+    #[test]
+    fn large_swing_excludes_telescopic() {
+        let lib = lib();
+        let spec = Spec::new()
+            .require(GAIN_DB, Bound::AtLeast(65.0))
+            .require(SWING_V, Bound::AtLeast(2.5));
+        let sel = select(&lib, BlockClass::Opamp, &spec);
+        assert!(sel
+            .rejections
+            .iter()
+            .any(|r| r.topology == "telescopic_cascode" && r.metric == SWING_V));
+        let names: Vec<&str> = sel
+            .candidates
+            .iter()
+            .map(|c| c.topology.name.as_str())
+            .collect();
+        assert!(names.contains(&"two_stage_miller"));
+        assert!(names.contains(&"folded_cascode"));
+    }
+
+    #[test]
+    fn adc_selection_follows_resolution_speed_tradeoff() {
+        let lib = lib();
+        // 14-bit, 100 kS/s, low power → sigma-delta or SAR; flash rejected.
+        let spec = Spec::new()
+            .require(RESOLUTION_BITS, Bound::AtLeast(14.0))
+            .require(SAMPLE_RATE_HZ, Bound::AtLeast(1e5))
+            .minimizing(POWER_W);
+        let sel = select(&lib, BlockClass::Adc, &spec);
+        assert!(sel.best().is_some());
+        let best = sel.best().unwrap().name.clone();
+        assert!(
+            best == "sar_adc" || best == "sigma_delta_adc",
+            "best = {best}"
+        );
+        assert!(sel.rejections.iter().any(|r| r.topology == "flash_adc"));
+        // 8-bit 500 MS/s → flash (or pipeline reaching 2e8; flash must be feasible).
+        let fast = Spec::new()
+            .require(RESOLUTION_BITS, Bound::AtLeast(6.0))
+            .require(SAMPLE_RATE_HZ, Bound::AtLeast(5e8));
+        let sel = select(&lib, BlockClass::Adc, &fast);
+        assert_eq!(sel.best().unwrap().name, "flash_adc");
+    }
+
+    #[test]
+    fn infeasible_spec_rejects_everything() {
+        let lib = lib();
+        let spec = Spec::new().require(GAIN_DB, Bound::AtLeast(200.0));
+        let sel = select(&lib, BlockClass::Opamp, &spec);
+        assert!(sel.best().is_none());
+        assert_eq!(sel.rejections.len(), 4);
+    }
+
+    #[test]
+    fn unbounded_spec_accepts_everything() {
+        let lib = lib();
+        let sel = select(&lib, BlockClass::Opamp, &Spec::new());
+        assert_eq!(sel.candidates.len(), 4);
+        assert!(sel.rejections.is_empty());
+    }
+
+    #[test]
+    fn spec_satisfaction_on_measured_performance() {
+        let spec = Spec::new()
+            .require(GAIN_DB, Bound::AtLeast(60.0))
+            .require(POWER_W, Bound::AtMost(1e-3));
+        let mut perf = HashMap::new();
+        perf.insert(GAIN_DB.to_string(), 72.0);
+        perf.insert(POWER_W.to_string(), 5e-4);
+        assert!(spec.satisfied_by(&perf));
+        perf.insert(POWER_W.to_string(), 2e-3);
+        assert!(!spec.satisfied_by(&perf));
+        // Missing metric fails closed.
+        let empty = HashMap::new();
+        assert!(!spec.satisfied_by(&empty));
+    }
+
+    #[test]
+    fn minimize_power_prefers_lower_floor() {
+        let lib = lib();
+        let spec = Spec::new()
+            .require(GAIN_DB, Bound::AtLeast(60.0))
+            .minimizing(POWER_W);
+        let sel = select(&lib, BlockClass::Opamp, &spec);
+        let best = sel.best().unwrap();
+        // Telescopic has the lowest declared power floor (2e-5 W) among
+        // candidates that reach 60 dB.
+        assert_eq!(best.name, "telescopic_cascode");
+    }
+}

@@ -1,0 +1,107 @@
+//! Mixed-signal system assembly (§3.2): floorplan a chip with noisy
+//! digital and sensitive analog blocks, globally route the critical nets
+//! with SNR constraints, and detail-route a channel with segregation and
+//! shielding.
+//!
+//! Run with: `cargo run --release --example mixed_signal_chip`
+
+use ams_layout::NetClass;
+use ams_system::{
+    global_route, ladder_graph, route_channel, slicing_floorplan, wright_floorplan, Block,
+    BlockKind, ChannelNet, ChannelOptions, FloorplanConfig, GlobalNet,
+};
+
+fn main() {
+    // --- Floorplanning: substrate-blind vs substrate-aware. ---------------
+    let blocks = vec![
+        Block::new("dsp", 400_000_000_000, BlockKind::Noisy(1.0)),
+        Block::new("clkgen", 100_000_000_000, BlockKind::Noisy(2.0)),
+        Block::new("sram", 300_000_000_000, BlockKind::Quiet),
+        Block::new("adc", 200_000_000_000, BlockKind::Sensitive(1.0)),
+        Block::new("pll_vco", 100_000_000_000, BlockKind::Sensitive(2.0)),
+        Block::new("bias", 50_000_000_000, BlockKind::Quiet),
+    ];
+    println!("== floorplanning (WRIGHT vs ILAC-style slicing) ==");
+    let mut aware = FloorplanConfig::default();
+    aware.w_noise = 500.0;
+    let mut blind = FloorplanConfig::default();
+    blind.w_noise = 0.0;
+    let fp_blind = wright_floorplan(&blocks, &blind);
+    let fp_aware = wright_floorplan(&blocks, &aware);
+    let fp_slice = slicing_floorplan(&blocks, &aware);
+    println!(
+        "substrate-blind annealing: noise {:.3}, whitespace {:.0}%",
+        fp_blind.substrate_noise,
+        fp_blind.whitespace * 100.0
+    );
+    println!(
+        "substrate-aware annealing: noise {:.3}, whitespace {:.0}%",
+        fp_aware.substrate_noise,
+        fp_aware.whitespace * 100.0
+    );
+    println!(
+        "slicing-tree floorplan:    noise {:.3}, whitespace {:.0}%",
+        fp_slice.substrate_noise,
+        fp_slice.whitespace * 100.0
+    );
+
+    // --- WREN global routing with SNR budgets. -----------------------------
+    println!("\n== global routing (WREN-style SNR constraints) ==");
+    let graph = ladder_graph(6, 100.0, 6);
+    let nets = vec![
+        GlobalNet {
+            name: "clk".into(),
+            class: NetClass::Noisy,
+            from: 0,
+            to: 5,
+            injection: 4.0,
+            noise_budget: 0.0,
+        },
+        GlobalNet {
+            name: "adc_in".into(),
+            class: NetClass::Sensitive,
+            from: 0,
+            to: 5,
+            injection: 0.0,
+            noise_budget: 10.0,
+        },
+    ];
+    let gr = global_route(&graph, &nets);
+    for (net, path) in nets.iter().zip(&gr.paths) {
+        match path {
+            Some(p) => println!("{}: routed through {} segments", net.name, p.len()),
+            None => println!("{}: UNROUTED", net.name),
+        }
+    }
+    println!("SNR violations: {:?}", gr.snr_violations);
+    println!(
+        "constraint mapper emitted {} per-segment allowances",
+        gr.segment_allowances.len()
+    );
+
+    // --- Channel routing with segregation + shields. ------------------------
+    println!("\n== channel routing (segregated + shielded) ==");
+    let ch_nets = vec![
+        ChannelNet::simple("clk", NetClass::Noisy, 0, 18),
+        ChannelNet::simple("data0", NetClass::Noisy, 3, 15),
+        ChannelNet::simple("vin_p", NetClass::Sensitive, 1, 17),
+        ChannelNet::simple("vin_n", NetClass::Sensitive, 4, 14),
+        ChannelNet::simple("vbias", NetClass::Neutral, 7, 10),
+    ];
+    for (label, opts) in [
+        ("plain", ChannelOptions::default()),
+        (
+            "segregated+shielded",
+            ChannelOptions {
+                segregate: true,
+                shields: true,
+            },
+        ),
+    ] {
+        let r = route_channel(&ch_nets, &opts);
+        println!(
+            "{label:<22}: height {} tracks, {} shields, coupling exposure {}",
+            r.height, r.shields, r.coupling
+        );
+    }
+}

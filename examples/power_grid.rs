@@ -1,0 +1,55 @@
+//! RAIL-style power-grid synthesis (the Fig. 3 story): take a thin,
+//! failing grid for a mixed-signal data-channel chip and automatically
+//! size it until the dc, ac and transient constraints all hold.
+//!
+//! Run with: `cargo run --release --example power_grid`
+
+use ams_rail::{evaluate, synthesize, GridSpec, PowerGrid, RailConstraints};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let constraints = RailConstraints::default();
+    let initial = PowerGrid::uniform(GridSpec::data_channel_demo(), 2e-6);
+
+    println!("== RAIL power-grid synthesis (data-channel chip) ==");
+    println!(
+        "constraints: IR drop < {} mV, Z(supply) < {} ohm @ {} MHz, droop < {} mV",
+        constraints.max_dc_drop * 1e3,
+        constraints.max_ac_impedance,
+        constraints.ac_freq_hz / 1e6,
+        constraints.max_droop * 1e3,
+    );
+
+    let before = evaluate(&initial, &constraints)?;
+    println!("\n-- initial 2 um grid --");
+    print_eval(&before);
+    println!("meets constraints: {}", before.meets(&constraints));
+
+    let result = synthesize(initial, &constraints, 60, 1.5, 200e-6)?;
+    println!("\n-- after synthesis ({} iterations) --", result.iterations);
+    print_eval(&result.eval);
+    println!("meets constraints: {}", result.met);
+    println!(
+        "metal area: {:.2} mm2 of wiring, {:.1} nF of synthesized decap",
+        result.eval.metal_area * 1e6,
+        result.grid.total_decap() * 1e9
+    );
+    assert!(result.met);
+    Ok(())
+}
+
+fn print_eval(eval: &ams_rail::GridEval) {
+    println!(
+        "{:<14} {:>10} {:>12} {:>10}",
+        "tap", "IR drop", "Z @ 200MHz", "droop"
+    );
+    for t in &eval.taps {
+        println!(
+            "{:<14} {:>8.1} mV {:>12} {:>8.1} mV",
+            t.name,
+            t.dc_drop * 1e3,
+            t.ac_impedance
+                .map_or("-".to_string(), |z| format!("{z:.2} ohm")),
+            t.droop * 1e3,
+        );
+    }
+}

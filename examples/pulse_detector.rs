@@ -1,0 +1,71 @@
+//! The Table 1 experiment: synthesize the pulse-detector frontend and
+//! print the spec / manual / synthesis comparison exactly like the paper.
+//!
+//! Run with: `cargo run --release --example pulse_detector`
+
+use ams::prelude::*;
+use ams_core::table1_spec;
+use ams_sizing::PerfModel;
+
+fn main() {
+    let model = PulseDetectorModel::new(Technology::generic_1p2um());
+    let spec = table1_spec();
+
+    let manual = model.evaluate(&model.manual_design());
+    let synth = optimize(&model, &spec, &AnnealConfig::default());
+
+    println!("Table 1. Example of synthesis experiment (reproduced).");
+    println!("{:<16} {:>14} {:>12} {:>12}", "performance", "specification", "manual", "synthesis");
+    println!("{}", "-".repeat(58));
+    let row = |name: &str, spec: &str, m: String, s: String| {
+        println!("{name:<16} {spec:>14} {m:>12} {s:>12}");
+    };
+    row(
+        "peaking time",
+        "< 1.5 us",
+        format!("{:.2} us", manual["peaking_time_s"] * 1e6),
+        format!("{:.2} us", synth.perf["peaking_time_s"] * 1e6),
+    );
+    row(
+        "counting rate",
+        "> 200 kHz",
+        format!("{:.0} kHz", manual["counting_rate_hz"] / 1e3),
+        format!("{:.0} kHz", synth.perf["counting_rate_hz"] / 1e3),
+    );
+    row(
+        "noise",
+        "< 1000 rms e-",
+        format!("{:.0} e-", manual["noise_rms_e"]),
+        format!("{:.0} e-", synth.perf["noise_rms_e"]),
+    );
+    row(
+        "gain",
+        "20 V/fC",
+        format!("{:.1} V/fC", manual["gain_v_per_fc"]),
+        format!("{:.1} V/fC", synth.perf["gain_v_per_fc"]),
+    );
+    row(
+        "output range",
+        "> -1..1 V",
+        format!("±{:.1} V", manual["output_range_v"]),
+        format!("±{:.1} V", synth.perf["output_range_v"]),
+    );
+    row(
+        "power",
+        "minimal",
+        format!("{:.1} mW", manual["power_w"] * 1e3),
+        format!("{:.2} mW", synth.perf["power_w"] * 1e3),
+    );
+    row(
+        "area",
+        "minimal",
+        format!("{:.2} mm2", manual["area_m2"] * 1e6),
+        format!("{:.2} mm2", synth.perf["area_m2"] * 1e6),
+    );
+    println!("{}", "-".repeat(58));
+    println!(
+        "power reduction vs expert design: {:.1}x (paper reports 6x)",
+        manual["power_w"] / synth.perf["power_w"]
+    );
+    assert!(synth.feasible, "synthesis must meet the Table 1 spec");
+}

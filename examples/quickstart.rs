@@ -1,0 +1,54 @@
+//! Quickstart: simulate a circuit, derive its symbolic gain, and size an
+//! opamp — the three layers of the toolkit in one file.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use ams::prelude::*;
+use ams_netlist::units::format_eng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 1. Parse and simulate a SPICE-like deck. ------------------------
+    let ckt = parse_deck(
+        ".model nch nmos vt0=0.7 kp=110u lambda=0.04
+         Vdd vdd 0 DC 5
+         Vin in  0 DC 1.0 AC 1
+         RD  vdd out 10k
+         M1  out in 0 0 nch W=20u L=2u
+         CL  out 0 1p",
+    )?;
+    let op = dc_operating_point(&ckt)?;
+    println!("== common-source amplifier ==");
+    println!("  V(out) operating point: {:.3} V", op.voltage(&ckt, "out")?);
+
+    let net = linearize(&ckt, &op);
+    let out = ams_sim::output_index(&ckt, &net.layout, "out").expect("node exists");
+    let sweep = ac_sweep(&net, out, &ams_sim::log_frequencies(10.0, 1e9, 121))?;
+    println!("  dc gain: {:.1} dB", 20.0 * sweep.dc_gain().log10());
+    if let Some(bw) = sweep.bandwidth_3db() {
+        println!("  bandwidth: {}", format_eng(bw, "Hz"));
+    }
+
+    // --- 2. The same circuit, symbolically (ISAAC-style). -----------------
+    let tf = ams_symbolic::transfer_function(&ckt, &op, "out")?;
+    println!("  symbolic: {}", tf.simplified(0.01).render());
+
+    // --- 3. Size a two-stage opamp against a spec (OPTIMAN-style). --------
+    let spec = Spec::new()
+        .require("gain_db", Bound::AtLeast(70.0))
+        .require("ugf_hz", Bound::AtLeast(10e6))
+        .require("phase_margin_deg", Bound::AtLeast(60.0))
+        .require("slew_v_per_s", Bound::AtLeast(10e6))
+        .minimizing("power_w");
+    let model = TwoStageModel::new(Technology::generic_1p2um(), 5e-12);
+    let result = optimize(&model, &spec, &AnnealConfig::default());
+    println!("\n== two-stage opamp synthesis ==");
+    println!("  feasible: {}", result.feasible);
+    println!(
+        "  gain {:.1} dB | UGF {} | PM {:.0} deg | power {}",
+        result.perf["gain_db"],
+        format_eng(result.perf["ugf_hz"], "Hz"),
+        result.perf["phase_margin_deg"],
+        format_eng(result.perf["power_w"], "W"),
+    );
+    Ok(())
+}

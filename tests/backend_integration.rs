@@ -1,0 +1,114 @@
+//! Cross-crate backend integration: cell layout, system assembly and
+//! power-grid synthesis working from synthesized frontend results.
+
+use ams::prelude::*;
+use ams_layout::{
+    check_bounds, generate_bounds, two_stage_opamp_cell, NetClass, PerfSensitivity,
+};
+use ams_rail::{evaluate, GridSpec, PowerGrid, RailConstraints};
+use ams_system::{wright_floorplan, Block, BlockKind, FloorplanConfig};
+use std::collections::HashMap;
+
+/// Frontend sizes flow into the backend: synthesize an opamp, lay it out,
+/// and check the extracted parasitics against sensitivity-derived bounds.
+#[test]
+fn sized_opamp_layout_respects_parasitic_bounds() {
+    let tech = Technology::generic_1p2um();
+    let spec = Spec::new()
+        .require("gain_db", Bound::AtLeast(65.0))
+        .require("ugf_hz", Bound::AtLeast(5e6))
+        .require("phase_margin_deg", Bound::AtLeast(55.0))
+        .minimizing("power_w");
+    let model = TwoStageModel::new(tech, 5e-12);
+    let sized = optimize(&model, &spec, &AnnealConfig::default());
+    assert!(sized.feasible);
+
+    // Sensitivity of UGF to output-node capacitance: dUGF/dC ≈ UGF/CL for
+    // the Miller pole structure (finite-difference on the model).
+    let params = model.params();
+    let x: Vec<f64> = params.iter().map(|p| sized.params[&p.name]).collect();
+    let ugf0 = model.evaluate(&x)["ugf_hz"];
+    let cc_idx = params.iter().position(|p| p.name == "cc").unwrap();
+    let mut x2 = x.clone();
+    let dc = 0.1e-12;
+    x2[cc_idx] += dc;
+    let ugf1 = model.evaluate(&x2)["ugf_hz"];
+    let sens_d2 = ((ugf0 - ugf1) / dc).abs();
+
+    let mut per_net = HashMap::new();
+    per_net.insert("d2".to_string(), sens_d2);
+    let bounds = generate_bounds(&[PerfSensitivity {
+        metric: "ugf_hz".to_string(),
+        margin: 0.2 * ugf0, // allow 20% UGF degradation
+        per_net,
+    }]);
+
+    // Lay the cell out and extract.
+    let devices = two_stage_opamp_cell(
+        sized.perf["w1_m"].max(2e-6),
+        sized.perf["w3_m"].max(2e-6),
+        sized.perf["w5_m"].max(2e-6),
+        sized.perf["w6_m"].max(2e-6),
+        sized.perf["w7_m"].max(2e-6),
+        sized.params["l"],
+        sized.params["cc"],
+    );
+    let cell = layout_cell(&devices, &DesignRules::default(), &CellOptions::default()).unwrap();
+    assert!(cell.is_complete(), "{:?}", cell.failed_nets);
+
+    let violations = check_bounds(&bounds, &cell.net_caps);
+    assert!(
+        violations.is_empty(),
+        "layout parasitics break sensitivity bounds: {violations:?}"
+    );
+}
+
+/// Floorplan a chip whose analog blocks host the synthesized opamp, then
+/// size its power grid — the full backend stack in one scenario.
+#[test]
+fn floorplan_and_power_grid_complete_the_chip() {
+    // Floorplan.
+    let blocks = vec![
+        Block::new("dsp", 400_000_000_000, BlockKind::Noisy(1.0)),
+        Block::new("opamp_array", 150_000_000_000, BlockKind::Sensitive(1.0)),
+        Block::new("adc", 200_000_000_000, BlockKind::Sensitive(1.5)),
+        Block::new("sram", 250_000_000_000, BlockKind::Quiet),
+    ];
+    let mut cfg = FloorplanConfig::default();
+    cfg.w_noise = 100.0;
+    let fp = wright_floorplan(&blocks, &cfg);
+    for i in 0..fp.rects.len() {
+        for j in i + 1..fp.rects.len() {
+            assert!(!fp.rects[i].intersects(&fp.rects[j]));
+        }
+    }
+
+    // Power grid for the same chip class.
+    let grid = PowerGrid::uniform(GridSpec::data_channel_demo(), 40e-6);
+    let eval = evaluate(&grid, &RailConstraints::default()).unwrap();
+    assert!(eval.worst_dc_drop < 0.5);
+    assert_eq!(eval.taps.len(), 4);
+}
+
+/// The layout's crosstalk machinery must respond to net classes end to end
+/// through the cell flow.
+#[test]
+fn cell_flow_honors_net_classes() {
+    let devices = two_stage_opamp_cell(60e-6, 30e-6, 40e-6, 150e-6, 60e-6, 2.4e-6, 2e-12);
+    let mut classes = HashMap::new();
+    classes.insert("inp".to_string(), NetClass::Sensitive);
+    classes.insert("inn".to_string(), NetClass::Sensitive);
+    classes.insert("out".to_string(), NetClass::Noisy);
+    let options = CellOptions {
+        net_classes: classes,
+        ..Default::default()
+    };
+    let cell = layout_cell(&devices, &DesignRules::default(), &options).unwrap();
+    assert!(cell.is_complete(), "{:?}", cell.failed_nets);
+    // The router's crosstalk penalty keeps sensitive/noisy adjacency low.
+    assert!(
+        cell.crosstalk_adjacencies < 40,
+        "adjacency {}",
+        cell.crosstalk_adjacencies
+    );
+}

@@ -1,0 +1,166 @@
+//! Cross-crate frontend integration: the sizing strategies, the symbolic
+//! analyzer and the circuit simulator must agree with each other on the
+//! same designs.
+
+use ams::prelude::*;
+use ams_sizing::{evolve, AcEvaluator, GaConfig, SymmetricalOtaModel, TwoStageCircuit};
+use ams_topology::Spec;
+
+fn opamp_spec() -> Spec {
+    Spec::new()
+        .require("gain_db", Bound::AtLeast(65.0))
+        .require("ugf_hz", Bound::AtLeast(5e6))
+        .require("phase_margin_deg", Bound::AtLeast(55.0))
+        .require("slew_v_per_s", Bound::AtLeast(5e6))
+        .minimizing("power_w")
+}
+
+/// The knowledge-based plan and the equation-based optimizer embody the
+/// same first-order physics: on the plan's own design targets their
+/// predictions must be within a factor of ~2 on power and area.
+#[test]
+fn plan_and_optimizer_agree_on_physics() {
+    let tech = Technology::generic_1p2um();
+    let spec = Spec::new()
+        .require("ugf_hz", Bound::AtLeast(1e7))
+        .require("slew_v_per_s", Bound::AtLeast(1e7))
+        .require("phase_margin_deg", Bound::AtLeast(60.0))
+        .minimizing("power_w");
+    let plan = TwoStagePlan::new(5e-12);
+    let plan_result = ams_sizing::DesignPlan::execute(&plan, &spec, &tech).unwrap();
+
+    let model = TwoStageModel::new(tech, 5e-12);
+    let opt = optimize(&model, &spec, &AnnealConfig::default());
+    assert!(opt.feasible);
+
+    // The optimizer, free to explore, must not be worse than the fixed
+    // heuristic plan on the minimized objective.
+    assert!(
+        opt.perf["power_w"] <= plan_result.perf["power_w"] * 1.05,
+        "optimizer {} vs plan {}",
+        opt.perf["power_w"],
+        plan_result.perf["power_w"]
+    );
+}
+
+/// Equation-based sizing result, re-verified by full circuit simulation:
+/// the analytic model's gain/UGF predictions must hold within simulation
+/// tolerances when the sized netlist is actually simulated.
+#[test]
+fn sized_opamp_survives_simulation() {
+    let tech = Technology::generic_1p2um();
+    let template = TwoStageCircuit::new(tech.clone(), 5e-12);
+    let spec = opamp_spec();
+    let cfg = AnnealConfig {
+        moves_per_stage: 60,
+        stages: 30,
+        seed: 11,
+        ..Default::default()
+    };
+    let result = synthesize(&template, &spec, AcEvaluator::Awe { order: 4 }, &cfg);
+    assert!(result.feasible, "{:?}", result.perf);
+
+    // Re-measure with the full sweep: AWE-based synthesis must not have
+    // cheated.
+    let x: Vec<f64> = ams_sizing::SimulatedTemplate::params(&template)
+        .iter()
+        .map(|p| result.params[&p.name])
+        .collect();
+    let ckt = ams_sizing::SimulatedTemplate::build(&template, &x);
+    let full = ams_sizing::SimulatedTemplate::measure(
+        &template,
+        &ckt,
+        AcEvaluator::FullSweep { points: 181 },
+    )
+    .unwrap();
+    // AWE is a reduced-order model: the annealer can land on points where
+    // it is a little optimistic — exactly why the §2.1 flow re-verifies
+    // with full simulation before layout. Allow that modeling slack here.
+    assert!(full["gain_db"] >= 60.0, "full-sim gain {}", full["gain_db"]);
+    assert!(full["ugf_hz"] >= 0.7 * 5e6, "full-sim ugf {}", full["ugf_hz"]);
+}
+
+/// The symbolic transfer function evaluated at the nominal point matches a
+/// numeric AC sweep of the same linearized circuit for the simulation-based
+/// template's netlist.
+#[test]
+fn symbolic_matches_simulation_on_synthesized_netlist() {
+    let tech = Technology::generic_1p2um();
+    let template = TwoStageCircuit::new(tech, 5e-12);
+    let x = [60e-6, 30e-6, 150e-6, 50e-6, 150e-6, 2e-12, 2.4e-6];
+    let ckt = ams_sizing::SimulatedTemplate::build(&template, &x);
+    let op = dc_operating_point(&ckt).unwrap();
+    let tf = ams_symbolic::transfer_function(&ckt, &op, "out").unwrap();
+    let net = linearize(&ckt, &op);
+    let out = ams_sim::output_index(&ckt, &net.layout, "out").unwrap();
+    let freqs = ams_sim::log_frequencies(100.0, 1e8, 17);
+    let sweep = ac_sweep(&net, out, &freqs).unwrap();
+    for (f, exact) in freqs.iter().zip(&sweep.values) {
+        let sym = tf.evaluate_at(*f);
+        let err = (sym - *exact).abs() / exact.abs().max(1e-12);
+        assert!(err < 1e-6, "f = {f}: symbolic {sym} vs numeric {exact}");
+    }
+}
+
+/// Genetic topology selection and interval-based screening point the same
+/// way on a decisive spec.
+#[test]
+fn ga_and_boundary_checking_agree() {
+    let tech = Technology::generic_1p2um();
+    let spec = Spec::new()
+        .require("gain_db", Bound::AtLeast(75.0))
+        .require("ugf_hz", Bound::AtLeast(1e6))
+        .minimizing("power_w");
+    // Interval screening.
+    let lib = TopologyLibrary::standard();
+    let scr = select(&lib, BlockClass::Opamp, &spec);
+    let screened_names: Vec<&str> = scr
+        .candidates
+        .iter()
+        .map(|c| c.topology.name.as_str())
+        .collect();
+    assert!(!screened_names.contains(&"symmetrical_ota"));
+    // GA over the two models we can size.
+    let two = TwoStageModel::new(tech.clone(), 5e-12);
+    let ota = SymmetricalOtaModel::new(tech, 5e-12);
+    let ga = evolve(&[&two, &ota], &spec, &GaConfig::default());
+    assert_eq!(ga.topology, "two_stage_miller");
+}
+
+/// AWE macromodels track the full AC solver across the synthesized design
+/// space, not just at one point.
+#[test]
+fn awe_tracks_full_ac_across_designs() {
+    let tech = Technology::generic_1p2um();
+    let template = TwoStageCircuit::new(tech, 5e-12);
+    let candidates = [
+        [60e-6, 30e-6, 150e-6, 50e-6, 150e-6, 2e-12, 2.4e-6],
+        [30e-6, 20e-6, 100e-6, 20e-6, 80e-6, 1e-12, 2.4e-6],
+        [120e-6, 60e-6, 300e-6, 100e-6, 300e-6, 4e-12, 2.4e-6],
+    ];
+    for x in candidates {
+        let ckt = ams_sizing::SimulatedTemplate::build(&template, &x);
+        let full = ams_sizing::SimulatedTemplate::measure(
+            &template,
+            &ckt,
+            AcEvaluator::FullSweep { points: 181 },
+        )
+        .unwrap();
+        let awe = ams_sizing::SimulatedTemplate::measure(
+            &template,
+            &ckt,
+            AcEvaluator::Awe { order: 3 },
+        )
+        .unwrap();
+        assert!(
+            (full["gain_db"] - awe["gain_db"]).abs() < 1.5,
+            "gain: full {} vs awe {}",
+            full["gain_db"],
+            awe["gain_db"]
+        );
+        if full["ugf_hz"] > 0.0 {
+            let err = (full["ugf_hz"] - awe["ugf_hz"]).abs() / full["ugf_hz"];
+            assert!(err < 0.15, "ugf err {err}");
+        }
+    }
+}
