@@ -167,9 +167,7 @@ impl AweModel {
         // Stability: discard right-half-plane poles (the classical AWE
         // fix for Padé instability), then restore the exact DC value by
         // rescaling the surviving residues.
-        let keep: Vec<usize> = (0..poles.len())
-            .filter(|&j| poles[j].re < 0.0)
-            .collect();
+        let keep: Vec<usize> = (0..poles.len()).filter(|&j| poles[j].re < 0.0).collect();
         if keep.len() < poles.len() && !keep.is_empty() {
             let poles2: Vec<Complex> = keep.iter().map(|&j| poles[j]).collect();
             let residues2: Vec<Complex> = keep.iter().map(|&j| residues[j]).collect();
@@ -373,7 +371,10 @@ mod tests {
     #[test]
     fn insufficient_moments_error() {
         let err = AweModel::from_moments(&[1.0, -1e-6], 2).unwrap_err();
-        assert!(matches!(err, AweError::NotEnoughMoments { needed: 4, got: 2 }));
+        assert!(matches!(
+            err,
+            AweError::NotEnoughMoments { needed: 4, got: 2 }
+        ));
     }
 
     #[test]

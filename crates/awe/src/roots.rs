@@ -34,11 +34,7 @@ pub fn polynomial_roots(coeffs: &[Complex]) -> Vec<Complex> {
     let a: Vec<Complex> = coeffs[..=deg].iter().map(|&c| c / lead).collect();
 
     // Initial guesses on a spiral (Aberth's suggestion avoids symmetry traps).
-    let radius = 1.0
-        + a[..deg]
-            .iter()
-            .map(|c| c.abs())
-            .fold(0.0_f64, f64::max);
+    let radius = 1.0 + a[..deg].iter().map(|c| c.abs()).fold(0.0_f64, f64::max);
     let mut x: Vec<Complex> = (0..deg)
         .map(|k| {
             let angle = 2.0 * std::f64::consts::PI * k as f64 / deg as f64 + 0.4;
@@ -91,11 +87,8 @@ mod tests {
     #[test]
     fn quadratic_real_roots() {
         // (x-1)(x-2) = x² − 3x + 2
-        let roots = polynomial_roots(&[
-            Complex::real(2.0),
-            Complex::real(-3.0),
-            Complex::real(1.0),
-        ]);
+        let roots =
+            polynomial_roots(&[Complex::real(2.0), Complex::real(-3.0), Complex::real(1.0)]);
         assert_eq!(roots.len(), 2);
         assert!(contains_root(&roots, Complex::real(1.0), 1e-9));
         assert!(contains_root(&roots, Complex::real(2.0), 1e-9));
@@ -104,11 +97,7 @@ mod tests {
     #[test]
     fn complex_conjugate_pair() {
         // x² + 1 → ±i
-        let roots = polynomial_roots(&[
-            Complex::real(1.0),
-            Complex::ZERO,
-            Complex::real(1.0),
-        ]);
+        let roots = polynomial_roots(&[Complex::real(1.0), Complex::ZERO, Complex::real(1.0)]);
         assert!(contains_root(&roots, Complex::I, 1e-9));
         assert!(contains_root(&roots, -Complex::I, 1e-9));
     }

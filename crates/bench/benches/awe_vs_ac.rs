@@ -9,8 +9,16 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
     let r = run_awe_vs_ac();
-    assert!(r.speedup > 2.0, "AWE should beat the sweep: {:.1}x", r.speedup);
-    assert!(r.max_error < 0.25, "in-band error {:.1}%", r.max_error * 100.0);
+    assert!(
+        r.speedup > 2.0,
+        "AWE should beat the sweep: {:.1}x",
+        r.speedup
+    );
+    assert!(
+        r.max_error < 0.25,
+        "in-band error {:.1}%",
+        r.max_error * 100.0
+    );
 
     let template = TwoStageCircuit::new(Technology::generic_1p2um(), 5e-12);
     let x = [60e-6, 30e-6, 150e-6, 50e-6, 150e-6, 2e-12, 2.4e-6];

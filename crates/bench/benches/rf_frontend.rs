@@ -11,7 +11,10 @@ fn bench(c: &mut Criterion) {
     // The hardest target costs more than the easiest.
     let first = study.rows.first().unwrap().1;
     let last = study.rows.last().unwrap().1;
-    assert!(last > first, "24 dB {last} should cost more than 6 dB {first}");
+    assert!(
+        last > first,
+        "24 dB {last} should cost more than 6 dB {first}"
+    );
 
     c.bench_function("rf_frontend_power_sndr_sweep", |b| {
         b.iter(|| std::hint::black_box(run_rf(&AnnealConfig::quick())))

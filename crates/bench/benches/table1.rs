@@ -10,7 +10,11 @@ fn bench(c: &mut Criterion) {
     // Correctness gate once, outside the timing loop.
     let t = run_table1(&AnnealConfig::default());
     assert!(t.feasible, "Table 1 synthesis must be feasible");
-    assert!(t.power_reduction > 3.0, "power reduction {}", t.power_reduction);
+    assert!(
+        t.power_reduction > 3.0,
+        "power reduction {}",
+        t.power_reduction
+    );
 
     c.bench_function("table1_pulse_detector_synthesis", |b| {
         b.iter(|| std::hint::black_box(run_table1(&budget)))

@@ -16,39 +16,91 @@ fn main() {
     if want("--table1") {
         let t = exp::run_table1(&budget);
         println!("== E1 / Table 1: pulse-detector synthesis ==");
-        println!("{:<18} {:>14} {:>12} {:>12}", "performance", "spec", "manual", "synthesis");
+        println!(
+            "{:<18} {:>14} {:>12} {:>12}",
+            "performance", "spec", "manual", "synthesis"
+        );
         let g = |p: &ams_sizing::Perf, k: &str| p.get(k).copied().unwrap_or(f64::NAN);
-        println!("{:<18} {:>14} {:>9.2} us {:>9.2} us", "peaking time", "< 1.5 us",
-            g(&t.manual, "peaking_time_s") * 1e6, g(&t.synthesis, "peaking_time_s") * 1e6);
-        println!("{:<18} {:>14} {:>8.0} kHz {:>8.0} kHz", "counting rate", "> 200 kHz",
-            g(&t.manual, "counting_rate_hz") / 1e3, g(&t.synthesis, "counting_rate_hz") / 1e3);
-        println!("{:<18} {:>14} {:>9.0} e- {:>9.0} e-", "noise", "< 1000 rms e-",
-            g(&t.manual, "noise_rms_e"), g(&t.synthesis, "noise_rms_e"));
-        println!("{:<18} {:>14} {:>7.1} V/fC {:>6.1} V/fC", "gain", "20 V/fC",
-            g(&t.manual, "gain_v_per_fc"), g(&t.synthesis, "gain_v_per_fc"));
-        println!("{:<18} {:>14} {:>9.2} mW {:>9.2} mW", "power", "minimal",
-            g(&t.manual, "power_w") * 1e3, g(&t.synthesis, "power_w") * 1e3);
-        println!("{:<18} {:>14} {:>8.2} mm2 {:>8.2} mm2", "area", "minimal",
-            g(&t.manual, "area_m2") * 1e6, g(&t.synthesis, "area_m2") * 1e6);
-        println!("feasible: {} | power reduction: {:.1}x (paper: 6x)\n", t.feasible, t.power_reduction);
+        println!(
+            "{:<18} {:>14} {:>9.2} us {:>9.2} us",
+            "peaking time",
+            "< 1.5 us",
+            g(&t.manual, "peaking_time_s") * 1e6,
+            g(&t.synthesis, "peaking_time_s") * 1e6
+        );
+        println!(
+            "{:<18} {:>14} {:>8.0} kHz {:>8.0} kHz",
+            "counting rate",
+            "> 200 kHz",
+            g(&t.manual, "counting_rate_hz") / 1e3,
+            g(&t.synthesis, "counting_rate_hz") / 1e3
+        );
+        println!(
+            "{:<18} {:>14} {:>9.0} e- {:>9.0} e-",
+            "noise",
+            "< 1000 rms e-",
+            g(&t.manual, "noise_rms_e"),
+            g(&t.synthesis, "noise_rms_e")
+        );
+        println!(
+            "{:<18} {:>14} {:>7.1} V/fC {:>6.1} V/fC",
+            "gain",
+            "20 V/fC",
+            g(&t.manual, "gain_v_per_fc"),
+            g(&t.synthesis, "gain_v_per_fc")
+        );
+        println!(
+            "{:<18} {:>14} {:>9.2} mW {:>9.2} mW",
+            "power",
+            "minimal",
+            g(&t.manual, "power_w") * 1e3,
+            g(&t.synthesis, "power_w") * 1e3
+        );
+        println!(
+            "{:<18} {:>14} {:>8.2} mm2 {:>8.2} mm2",
+            "area",
+            "minimal",
+            g(&t.manual, "area_m2") * 1e6,
+            g(&t.synthesis, "area_m2") * 1e6
+        );
+        println!(
+            "feasible: {} | power reduction: {:.1}x (paper: 6x)\n",
+            t.feasible, t.power_reduction
+        );
     }
 
     if want("--fig1") {
         let f = exp::run_fig1(&budget);
         println!("== E2 / Fig. 1: knowledge-based vs optimization-based ==");
-        println!("design plan (IDAC/OASYS):   {:>10.6} s per sizing", f.plan_seconds);
-        println!("equation-based (OPTIMAN):   {:>10.3} s per sizing", f.eqopt_seconds);
-        println!("simulation-based (OBLX):    {:>10.3} s per sizing", f.simopt_seconds);
-        println!("generality over {} spec corners: plan {}/{} vs optimizer {}/{}\n",
-            f.trials, f.plan_success, f.trials, f.opt_success, f.trials);
+        println!(
+            "design plan (IDAC/OASYS):   {:>10.6} s per sizing",
+            f.plan_seconds
+        );
+        println!(
+            "equation-based (OPTIMAN):   {:>10.3} s per sizing",
+            f.eqopt_seconds
+        );
+        println!(
+            "simulation-based (OBLX):    {:>10.3} s per sizing",
+            f.simopt_seconds
+        );
+        println!(
+            "generality over {} spec corners: plan {}/{} vs optimizer {}/{}\n",
+            f.trials, f.plan_success, f.trials, f.opt_success, f.trials
+        );
     }
 
     if want("--fig2") {
         println!("== E3 / Fig. 2: six layouts of the identical CMOS opamp ==");
-        println!("{:<10} {:>11} {:>13} {:>7} {:>9}", "layout", "area um2", "wire um", "merges", "complete");
+        println!(
+            "{:<10} {:>11} {:>13} {:>7} {:>9}",
+            "layout", "area um2", "wire um", "merges", "complete"
+        );
         for r in exp::run_fig2() {
-            println!("{:<10} {:>11.0} {:>13.0} {:>7} {:>9}",
-                r.label, r.area_um2, r.wirelength_um, r.merges, r.complete);
+            println!(
+                "{:<10} {:>11.0} {:>13.0} {:>7} {:>9}",
+                r.label, r.area_um2, r.wirelength_um, r.merges, r.complete
+            );
         }
         println!();
     }
@@ -56,22 +108,43 @@ fn main() {
     if want("--fig3") {
         let f = exp::run_fig3();
         println!("== E4 / Fig. 3: RAIL power-grid redesign ==");
-        println!("{:<10} {:>12} {:>12} {:>12}", "", "IR drop V", "Z ohm", "droop V");
-        println!("{:<10} {:>12.3} {:>12.2} {:>12.3}", "before", f.before.0, f.before.1, f.before.2);
-        println!("{:<10} {:>12.3} {:>12.2} {:>12.3}", "after", f.after.0, f.after.1, f.after.2);
-        println!("constraints met: {} in {} iterations, metal x{:.1}\n", f.met, f.iterations, f.metal_growth);
+        println!(
+            "{:<10} {:>12} {:>12} {:>12}",
+            "", "IR drop V", "Z ohm", "droop V"
+        );
+        println!(
+            "{:<10} {:>12.3} {:>12.2} {:>12.3}",
+            "before", f.before.0, f.before.1, f.before.2
+        );
+        println!(
+            "{:<10} {:>12.3} {:>12.2} {:>12.3}",
+            "after", f.after.0, f.after.1, f.after.2
+        );
+        println!(
+            "constraints met: {} in {} iterations, metal x{:.1}\n",
+            f.met, f.iterations, f.metal_growth
+        );
     }
 
     if want("--corners") {
         let c = exp::run_corners(&budget);
         println!("== E5: manufacturability corners CPU factor ==");
-        println!("nominal sizing: {:.3} s | 5-corner worst-case: {:.3} s", c.nominal_seconds, c.corner_seconds);
-        println!("CPU factor: {:.1}x (paper: roughly 4x-10x) | both feasible: {}\n", c.factor, c.feasible);
+        println!(
+            "nominal sizing: {:.3} s | 5-corner worst-case: {:.3} s",
+            c.nominal_seconds, c.corner_seconds
+        );
+        println!(
+            "CPU factor: {:.1}x (paper: roughly 4x-10x) | both feasible: {}\n",
+            c.factor, c.feasible
+        );
     }
 
     if want("--stacks") {
         println!("== E6: stack extraction, exact vs O(n) ==");
-        println!("{:>4} {:>14} {:>14} {:>8}", "n", "linear s", "exact s", "optimal");
+        println!(
+            "{:>4} {:>14} {:>14} {:>8}",
+            "n", "linear s", "exact s", "optimal"
+        );
         for (n, lin, ex, eq) in exp::run_stacking(&[3, 4, 5]).rows {
             println!("{n:>4} {lin:>14.6} {ex:>14.6} {eq:>8}");
         }
@@ -81,13 +154,21 @@ fn main() {
     if want("--awe") {
         let a = exp::run_awe_vs_ac();
         println!("== E7: AWE macromodel vs full AC sweep (100 points) ==");
-        println!("full sweep: {:.6} s | AWE: {:.6} s | speedup {:.0}x | max |H| error {:.2}%\n",
-            a.full_seconds, a.awe_seconds, a.speedup, a.max_error * 100.0);
+        println!(
+            "full sweep: {:.6} s | AWE: {:.6} s | speedup {:.0}x | max |H| error {:.2}%\n",
+            a.full_seconds,
+            a.awe_seconds,
+            a.speedup,
+            a.max_error * 100.0
+        );
     }
 
     if want("--channels") {
         println!("== E8: channel segregation and shielding ==");
-        println!("{:<22} {:>7} {:>8} {:>9}", "mode", "tracks", "shields", "coupling");
+        println!(
+            "{:<22} {:>7} {:>8} {:>9}",
+            "mode", "tracks", "shields", "coupling"
+        );
         for (label, h, sh, c) in exp::run_channels().rows {
             println!("{label:<22} {h:>7} {sh:>8} {c:>9}");
         }
@@ -97,7 +178,10 @@ fn main() {
     if want("--symbolic") {
         let s = exp::run_symbolic();
         println!("== E9: ISAAC symbolic analysis scaling ==");
-        println!("{:<18} {:>9} {:>8} {:>10}", "circuit", "unknowns", "terms", "seconds");
+        println!(
+            "{:<18} {:>9} {:>8} {:>10}",
+            "circuit", "unknowns", "terms", "seconds"
+        );
         for (name, dim, terms, secs) in &s.rows {
             println!("{name:<18} {dim:>9} {terms:>8} {secs:>10.4}");
         }
@@ -121,14 +205,23 @@ fn main() {
     if want("--floorplan") {
         let f = exp::run_floorplan();
         println!("== E11: substrate-aware floorplanning (WRIGHT) ==");
-        println!("substrate-blind noise: {:.4} | substrate-aware noise: {:.4}", f.blind_noise, f.aware_noise);
-        println!("noise reduction: {:.1}x at {:.2}x area\n",
-            f.blind_noise / f.aware_noise.max(1e-12), f.area_factor);
+        println!(
+            "substrate-blind noise: {:.4} | substrate-aware noise: {:.4}",
+            f.blind_noise, f.aware_noise
+        );
+        println!(
+            "noise reduction: {:.1}x at {:.2}x area\n",
+            f.blind_noise / f.aware_noise.max(1e-12),
+            f.area_factor
+        );
     }
 
     if want("--topology") {
         println!("== E12: integrated topology selection ==");
-        println!("{:>8} {:>18} {:>18} {:>7}", "gain dB", "screening", "genetic", "agree");
+        println!(
+            "{:>8} {:>18} {:>18} {:>7}",
+            "gain dB", "screening", "genetic", "agree"
+        );
         for (g, s, ga, agree) in exp::run_topo_select(&GaConfig::default()).rows {
             println!("{g:>8.0} {s:>18} {ga:>18} {agree:>7}");
         }

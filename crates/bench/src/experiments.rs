@@ -6,12 +6,14 @@ use ams_layout::{
     PlacerConfig,
 };
 use ams_netlist::Technology;
-use ams_rail::{evaluate as rail_evaluate, synthesize as rail_synthesize, GridSpec, PowerGrid, RailConstraints};
+use ams_rail::{
+    evaluate as rail_evaluate, synthesize as rail_synthesize, GridSpec, PowerGrid, RailConstraints,
+};
 use ams_sim::{ac_sweep, dc_operating_point, linearize, log_frequencies, output_index};
 use ams_sizing::{
-    evolve, optimize, optimize_worst_case, synthesize as sim_synthesize, AcEvaluator,
-    AnnealConfig, DesignPlan, GaConfig, Perf, PerfModel, SymmetricalOtaModel, TwoStageCircuit,
-    TwoStageModel, TwoStagePlan,
+    evolve, optimize, optimize_worst_case, synthesize as sim_synthesize, AcEvaluator, AnnealConfig,
+    DesignPlan, GaConfig, Perf, PerfModel, SymmetricalOtaModel, TwoStageCircuit, TwoStageModel,
+    TwoStagePlan,
 };
 use ams_topology::{select, BlockClass, Bound, Spec, TopologyLibrary};
 use std::time::Instant;
@@ -158,8 +160,12 @@ pub fn run_fig2() -> Vec<LayoutRow> {
     // seeding the placer differently but with orientation moves disabled
     // and very low effort — emulating fixed hand arrangements of varying
     // quality (the four manual layouts of Fig. 2 differ among themselves).
-    for (label, seed) in [("manual-A", 101), ("manual-B", 202), ("manual-C", 303), ("manual-D", 404)]
-    {
+    for (label, seed) in [
+        ("manual-A", 101),
+        ("manual-B", 202),
+        ("manual-C", 303),
+        ("manual-D", 404),
+    ] {
         let options = CellOptions {
             symmetry_pairs: vec![("M1".into(), "M2".into()), ("M3".into(), "M4".into())],
             placer: PlacerConfig {
@@ -555,10 +561,14 @@ pub fn run_floorplan() -> FloorplanStudy {
         Block::new("bias", 50_000_000_000, BlockKind::Quiet),
         Block::new("sram", 300_000_000_000, BlockKind::Quiet),
     ];
-    let mut aware = FloorplanConfig::default();
-    aware.w_noise = 50.0;
-    let mut blind = FloorplanConfig::default();
-    blind.w_noise = 0.0;
+    let aware = FloorplanConfig {
+        w_noise: 50.0,
+        ..Default::default()
+    };
+    let blind = FloorplanConfig {
+        w_noise: 0.0,
+        ..Default::default()
+    };
     let fa = wright_floorplan(&blocks, &aware);
     let fb = wright_floorplan(&blocks, &blind);
     FloorplanStudy {

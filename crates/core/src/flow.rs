@@ -42,6 +42,14 @@ pub enum FlowEvent {
         /// Power of the sized design.
         power_w: f64,
     },
+    /// Static electrical-rule check ran over the sized device-level circuit
+    /// before any simulation or layout was attempted.
+    LintChecked {
+        /// Error-severity ERC diagnostics (0 for a clean gate).
+        errors: usize,
+        /// Warning-severity ERC diagnostics.
+        warnings: usize,
+    },
     /// Layout was generated.
     LayoutDone {
         /// Cell area in µm².
@@ -73,6 +81,9 @@ pub enum FlowError {
     },
     /// Layout failed structurally.
     Layout(String),
+    /// The sized circuit failed the static electrical-rule check; the
+    /// message carries the first error diagnostic (rule code included).
+    Erc(String),
 }
 
 impl fmt::Display for FlowError {
@@ -80,9 +91,13 @@ impl fmt::Display for FlowError {
         match self {
             FlowError::NoFeasibleTopology => write!(f, "no feasible topology in the library"),
             FlowError::SizingInfeasible { iterations } => {
-                write!(f, "sizing infeasible after {iterations} redesign iterations")
+                write!(
+                    f,
+                    "sizing infeasible after {iterations} redesign iterations"
+                )
             }
             FlowError::Layout(m) => write!(f, "layout failed: {m}"),
+            FlowError::Erc(m) => write!(f, "electrical rule check failed: {m}"),
         }
     }
 }
@@ -199,6 +214,28 @@ pub fn synthesize_opamp(
             return Err(FlowError::SizingInfeasible { iterations });
         }
 
+        // --- Top-down: design verification, static part (ERC). ------------
+        // Before spending simulation or layout effort, the sized device-
+        // level circuit passes through the ams-lint gate: a structurally
+        // broken netlist (floating node, voltage loop, current cutset)
+        // would otherwise surface much later as an opaque singular-matrix
+        // failure inside verification.
+        if !use_ota {
+            let report = erc_check_two_stage(tech, load_f, &sizing.params);
+            events.push(FlowEvent::LintChecked {
+                errors: report.errors().count(),
+                warnings: report.warnings().count(),
+            });
+            let first_error = report
+                .errors()
+                .next()
+                .map(|diag| format!("[{}] {}", diag.code, diag.message));
+            if let Some(msg) = first_error {
+                events.push(FlowEvent::Failed(msg.clone()));
+                return Err(FlowError::Erc(msg));
+            }
+        }
+
         // --- Bottom-up: layout generation. --------------------------------
         let p = &sizing.perf;
         let get = |k: &str| p.get(k).copied().unwrap_or(20e-6);
@@ -291,6 +328,32 @@ pub fn synthesize_opamp(
     }
 }
 
+/// Instantiates the two-stage device-level template at the sized parameter
+/// point and runs the full ERC rule set over it.
+fn erc_check_two_stage(
+    tech: &Technology,
+    load_f: f64,
+    params: &std::collections::HashMap<String, f64>,
+) -> ams_lint::Report {
+    use ams_sizing::{SimulatedTemplate, TwoStageCircuit};
+    let template = TwoStageCircuit::new(tech.clone(), load_f);
+    // Equation-model parameters that the circuit template also uses are
+    // taken from the sizing result; anything missing falls back to the
+    // geometric middle of its range.
+    let x: Vec<f64> = template
+        .params()
+        .iter()
+        .map(|pd| {
+            params
+                .get(&pd.name)
+                .copied()
+                .unwrap_or_else(|| (pd.lo * pd.hi).sqrt())
+        })
+        .collect();
+    let ckt = template.build(&x);
+    ams_lint::lint_circuit(&ckt)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -306,11 +369,13 @@ mod tests {
     }
 
     fn quick_config() -> FlowConfig {
-        let mut c = FlowConfig::default();
-        c.sizing = AnnealConfig {
-            moves_per_stage: 150,
-            stages: 40,
-            seed: 3,
+        let mut c = FlowConfig {
+            sizing: AnnealConfig {
+                moves_per_stage: 150,
+                stages: 40,
+                seed: 3,
+                ..Default::default()
+            },
             ..Default::default()
         };
         c.layout.placer.moves_per_stage = 80;
@@ -346,15 +411,44 @@ mod tests {
     }
 
     #[test]
-    fn impossible_spec_fails_at_topology_selection() {
-        let spec = Spec::new().require("gain_db", Bound::AtLeast(500.0));
-        let err = synthesize_opamp(
-            &spec,
+    fn erc_gate_is_clean_on_sized_two_stage() {
+        // Any parameter point inside the template's ranges must produce an
+        // ERC-clean circuit: the template is structurally sound by
+        // construction, so an error here would mean the gate misfires.
+        let report = erc_check_two_stage(
+            &Technology::generic_1p2um(),
+            5e-12,
+            &std::collections::HashMap::new(),
+        );
+        assert_eq!(report.errors().count(), 0, "{}", report.render_human());
+    }
+
+    #[test]
+    fn flow_logs_lint_stage_for_two_stage_path() {
+        let report = synthesize_opamp(
+            &opamp_spec(),
             &Technology::generic_1p2um(),
             5e-12,
             &quick_config(),
         )
-        .unwrap_err();
+        .unwrap();
+        if report.topology == "two_stage_miller" {
+            assert!(
+                report
+                    .events
+                    .iter()
+                    .any(|e| matches!(e, FlowEvent::LintChecked { errors: 0, .. })),
+                "events: {:?}",
+                report.events
+            );
+        }
+    }
+
+    #[test]
+    fn impossible_spec_fails_at_topology_selection() {
+        let spec = Spec::new().require("gain_db", Bound::AtLeast(500.0));
+        let err = synthesize_opamp(&spec, &Technology::generic_1p2um(), 5e-12, &quick_config())
+            .unwrap_err();
         assert_eq!(err, FlowError::NoFeasibleTopology);
     }
 
@@ -367,13 +461,8 @@ mod tests {
             .require("ugf_hz", Bound::AtLeast(4.9e7))
             .require("power_w", Bound::AtMost(6e-5))
             .minimizing("power_w");
-        let err = synthesize_opamp(
-            &spec,
-            &Technology::generic_1p2um(),
-            5e-12,
-            &quick_config(),
-        )
-        .unwrap_err();
+        let err = synthesize_opamp(&spec, &Technology::generic_1p2um(), 5e-12, &quick_config())
+            .unwrap_err();
         assert!(matches!(err, FlowError::SizingInfeasible { .. }));
     }
 

@@ -33,8 +33,6 @@ mod flow;
 mod pulse_detector;
 mod rf;
 
-pub use flow::{
-    synthesize_opamp, FlowConfig, FlowError, FlowEvent, FlowReport,
-};
+pub use flow::{synthesize_opamp, FlowConfig, FlowError, FlowEvent, FlowReport};
 pub use pulse_detector::{table1_spec, PulseDetectorModel};
 pub use rf::{rf_spec, RfFrontEndModel};

@@ -98,18 +98,17 @@ impl PerfModel for RfFrontEndModel {
         let quant_dbm = adc_fullscale_dbm - sqnr - total_gain;
 
         // Total SNDR.
-        let total_unwanted_dbm =
-            10.0 * (db(noise_dbm) + db(im3_dbm) + db(quant_dbm)).log10();
+        let total_unwanted_dbm = 10.0 * (db(noise_dbm) + db(im3_dbm) + db(quant_dbm)).log10();
         let sndr_db = self.signal_dbm - total_unwanted_dbm;
 
         // Power models: the standard analog scaling laws — LNA power rises
         // with gain and drops with NF headroom and linearity demands; ADC
         // power doubles per bit.
-        let lna_power = 2e-3 * db(lna_g) / 10.0 * (4.0 / (db(lna_nf) - 1.0).max(0.1))
+        let lna_power = 2e-3 * db(lna_g) / 10.0
+            * (4.0 / (db(lna_nf) - 1.0).max(0.1))
             * db(lna_iip3).max(0.05).powf(0.5);
         let mixer_power = 1.5e-3 * db(mix_g).max(1.0) / (db(mix_nf) - 1.0).max(0.3);
-        let adc_power =
-            0.3e-12 * 2f64.powf(adc_bits) * self.sample_rate_hz.max(1.0);
+        let adc_power = 0.3e-12 * 2f64.powf(adc_bits) * self.sample_rate_hz.max(1.0);
         let filter_power = 0.8e-3;
         let power = lna_power + mixer_power + adc_power + filter_power;
 

@@ -186,11 +186,13 @@ pub fn layout_cell(
         .iter()
         .map(|d| match d {
             CellDevice::Mos {
-                name, w, l, fingers, ..
+                name,
+                w,
+                l,
+                fingers,
+                ..
             } => devgen::mos(name, *w, *l, (*fingers).max(1), rules),
-            CellDevice::Cap { name, farads, .. } => {
-                devgen::capacitor(name, *farads, 1e-3, rules)
-            }
+            CellDevice::Cap { name, farads, .. } => devgen::capacitor(name, *farads, 1e-3, rules),
             CellDevice::Res { name, ohms, .. } => devgen::resistor(name, *ohms, 50.0, rules),
         })
         .collect();
@@ -198,15 +200,16 @@ pub fn layout_cell(
     // Net name interning.
     let mut net_ids: HashMap<String, usize> = HashMap::new();
     let mut net_names: Vec<String> = Vec::new();
-    let intern = |name: &str, net_ids: &mut HashMap<String, usize>, net_names: &mut Vec<String>| -> usize {
-        if let Some(&id) = net_ids.get(name) {
-            return id;
-        }
-        let id = net_names.len();
-        net_names.push(name.to_string());
-        net_ids.insert(name.to_string(), id);
-        id
-    };
+    let intern =
+        |name: &str, net_ids: &mut HashMap<String, usize>, net_names: &mut Vec<String>| -> usize {
+            if let Some(&id) = net_ids.get(name) {
+                return id;
+            }
+            let id = net_names.len();
+            net_names.push(name.to_string());
+            net_ids.insert(name.to_string(), id);
+            id
+        };
 
     // --- Stage 3: placement. ---------------------------------------------
     let items: Vec<PlaceItem> = devices
@@ -216,7 +219,11 @@ pub fn layout_cell(
             let b = g.bbox();
             let port_nets: Vec<(&str, &str)> = match d {
                 CellDevice::Mos { nets, .. } => {
-                    vec![("d", nets[0].as_str()), ("g", nets[1].as_str()), ("s", nets[2].as_str())]
+                    vec![
+                        ("d", nets[0].as_str()),
+                        ("g", nets[1].as_str()),
+                        ("s", nets[2].as_str()),
+                    ]
                 }
                 CellDevice::Cap { nets, .. } | CellDevice::Res { nets, .. } => {
                     vec![("p", nets[0].as_str()), ("m", nets[1].as_str())]
@@ -368,15 +375,13 @@ pub fn two_stage_opamp_cell(
     l: f64,
     cc: f64,
 ) -> Vec<CellDevice> {
-    let mos = |name: &str, pol: &str, w: f64, d: &str, g: &str, s: &str, b: &str| {
-        CellDevice::Mos {
-            name: name.to_string(),
-            polarity: pol.to_string(),
-            w,
-            l,
-            fingers: if w > 50e-6 { 4 } else { 2 },
-            nets: [d.to_string(), g.to_string(), s.to_string(), b.to_string()],
-        }
+    let mos = |name: &str, pol: &str, w: f64, d: &str, g: &str, s: &str, b: &str| CellDevice::Mos {
+        name: name.to_string(),
+        polarity: pol.to_string(),
+        w,
+        l,
+        fingers: if w > 50e-6 { 4 } else { 2 },
+        nets: [d.to_string(), g.to_string(), s.to_string(), b.to_string()],
     };
     vec![
         mos("M1", "nmos", w1, "d1", "inp", "tail", "gnd"),

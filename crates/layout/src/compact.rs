@@ -36,11 +36,7 @@ pub struct CompactionResult {
 /// # Panics
 ///
 /// Panics if `rects` is empty or a symmetry index is out of range.
-pub fn compact_x(
-    rects: &[Rect],
-    spacing: i64,
-    symmetry: &[CompactSymmetry],
-    ) -> CompactionResult {
+pub fn compact_x(rects: &[Rect], spacing: i64, symmetry: &[CompactSymmetry]) -> CompactionResult {
     assert!(!rects.is_empty(), "nothing to compact");
     for s in symmetry {
         assert!(s.a < rects.len() && s.b < rects.len(), "symmetry index");
@@ -73,14 +69,22 @@ pub fn compact_x(
         // Axis: far enough right that every pair fits.
         let mut axis = 0i64;
         for s in symmetry {
-            let (l, r) = if x[s.a] <= x[s.b] { (s.a, s.b) } else { (s.b, s.a) };
+            let (l, r) = if x[s.a] <= x[s.b] {
+                (s.a, s.b)
+            } else {
+                (s.b, s.a)
+            };
             // Need axis ≥ x[l] + w_l + spacing/2, and the mirrored right
             // position ≥ its lower bound.
             let half = (x[r] + rects[r].width() - x[l]) / 2;
             axis = axis.max(x[l] + half.max(rects[l].width() + spacing / 2));
         }
         for s in symmetry {
-            let (l, r) = if x[s.a] <= x[s.b] { (s.a, s.b) } else { (s.b, s.a) };
+            let (l, r) = if x[s.a] <= x[s.b] {
+                (s.a, s.b)
+            } else {
+                (s.b, s.a)
+            };
             // Distance of the left item from the axis.
             let d = (axis - (x[l] + rects[l].width())).max(spacing / 2);
             x[l] = axis - d - rects[l].width();

@@ -109,9 +109,12 @@ pub fn mos(name: &str, w: f64, l: f64, fingers: usize, rules: &DesignRules) -> D
         if i < fingers {
             let gate = Rect::new(x, -poly_overhang, x + gate_l, finger_w + poly_overhang);
             shapes.push((Layer::Poly, gate));
-            ports
-                .entry("g".to_string())
-                .or_insert(Rect::new(x, finger_w, x + gate_l, finger_w + poly_overhang));
+            ports.entry("g".to_string()).or_insert(Rect::new(
+                x,
+                finger_w,
+                x + gate_l,
+                finger_w + poly_overhang,
+            ));
             x += gate_l;
         }
     }
@@ -180,12 +183,7 @@ pub fn resistor(name: &str, ohms: f64, sheet_ohms: f64, rules: &DesignRules) -> 
 /// # Panics
 ///
 /// Panics for non-positive capacitance or density.
-pub fn capacitor(
-    name: &str,
-    farads: f64,
-    f_per_m2: f64,
-    rules: &DesignRules,
-) -> DeviceLayout {
+pub fn capacitor(name: &str, farads: f64, f_per_m2: f64, rules: &DesignRules) -> DeviceLayout {
     assert!(farads > 0.0 && f_per_m2 > 0.0, "bad capacitor parameters");
     let area_m2 = farads / f_per_m2;
     let side_nm = ((area_m2.sqrt() * 1e9).round() as i64).max(rules.diff_width);
@@ -257,11 +255,7 @@ mod tests {
     #[test]
     fn mos_gate_count_matches_fingers() {
         let d = mos("M1", 20e-6, 1.2e-6, 3, &rules());
-        let gates = d
-            .shapes
-            .iter()
-            .filter(|(l, _)| *l == Layer::Poly)
-            .count();
+        let gates = d.shapes.iter().filter(|(l, _)| *l == Layer::Poly).count();
         assert_eq!(gates, 3);
     }
 

@@ -219,7 +219,12 @@ impl Orientation {
     pub fn apply(&self, r: &Rect, bbox: &Rect) -> Rect {
         let (w, h) = (bbox.width(), bbox.height());
         // Normalize to bbox-local coordinates.
-        let (x0, y0, x1, y1) = (r.x0 - bbox.x0, r.y0 - bbox.y0, r.x1 - bbox.x0, r.y1 - bbox.y0);
+        let (x0, y0, x1, y1) = (
+            r.x0 - bbox.x0,
+            r.y0 - bbox.y0,
+            r.x1 - bbox.x0,
+            r.y1 - bbox.y0,
+        );
         match self {
             Orientation::R0 => Rect::new(x0, y0, x1, y1),
             Orientation::R90 => Rect::new(h - y1, x0, h - y0, x1),

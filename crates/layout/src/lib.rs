@@ -44,7 +44,6 @@ pub use place::{place, AbutPair, PlaceItem, Placed, PlacementResult, PlacerConfi
 pub use route::{Cell, NetClass, RouteNet, RouteResult, RoutedNet, Router, RouterConfig};
 pub use rules::DesignRules;
 pub use sensitivity::{
-    check_bounds, generate_bounds, net_weights, predicted_degradation, CapBounds,
-    PerfSensitivity,
+    check_bounds, generate_bounds, net_weights, predicted_degradation, CapBounds, PerfSensitivity,
 };
 pub use stack::{DiffusionGraph, Stack, Stacking};

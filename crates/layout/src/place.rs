@@ -11,8 +11,7 @@
 //! bonuses for stack neighbors (the merge optimization).
 
 use crate::geom::{Orientation, Point, Rect};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use ams_prng::{Rng, SeedableRng, SmallRng};
 
 /// One placeable device.
 #[derive(Debug, Clone)]
@@ -34,7 +33,10 @@ impl PlaceItem {
             name: name.to_string(),
             w,
             h,
-            pins: nets.iter().map(|&n| (n, Point::new(w / 2, h / 2))).collect(),
+            pins: nets
+                .iter()
+                .map(|&n| (n, Point::new(w / 2, h / 2)))
+                .collect(),
         }
     }
 }
@@ -163,10 +165,7 @@ impl Evaluator<'_> {
             .collect();
 
         // Bounding-box area.
-        let bbox = rects
-            .iter()
-            .skip(1)
-            .fold(rects[0], |acc, r| acc.union(r));
+        let bbox = rects.iter().skip(1).fold(rects[0], |acc, r| acc.union(r));
         let area = bbox.area() as f64;
 
         // Overlap with spacing margin.
@@ -278,12 +277,8 @@ pub fn place(
     let span: i64 = items.iter().map(|i| i.w.max(i.h) + config.spacing).sum();
     let mut placed: Vec<Placed> = items
         .iter()
-        .enumerate()
-        .map(|(_i, _)| Placed {
-            at: Point::new(
-                rng.gen_range(0..span.max(1)),
-                rng.gen_range(0..span.max(1)),
-            ),
+        .map(|_| Placed {
+            at: Point::new(rng.gen_range(0..span.max(1)), rng.gen_range(0..span.max(1))),
             orient: Orientation::R0,
         })
         .collect();
@@ -305,8 +300,7 @@ pub fn place(
                     placed[i].at.y += rng.gen_range(-reach as i64..=reach as i64);
                 }
                 6 | 7 if config.orientation_moves => {
-                    placed[i].orient =
-                        Orientation::ALL[rng.gen_range(0..Orientation::ALL.len())];
+                    placed[i].orient = Orientation::ALL[rng.gen_range(0..Orientation::ALL.len())];
                 }
                 _ => {
                     // Swap positions with another item.
@@ -403,8 +397,8 @@ fn legalize(ev: &Evaluator<'_>, placed: &mut [Placed]) {
                     } else {
                         (i, j)
                     };
-                    let shift = rects[anchor].x1 + ev.config.spacing
-                        - ev.oriented_rect(mv, &placed[mv]).x0;
+                    let shift =
+                        rects[anchor].x1 + ev.config.spacing - ev.oriented_rect(mv, &placed[mv]).x0;
                     placed[mv].at.x += shift.max(ev.config.spacing);
                     moved = true;
                     break;
@@ -468,10 +462,7 @@ mod tests {
         let (items, nets) = four_items();
         let r = place(&items, nets, &[], &[], &quick_config(3));
         // Wirelength should be far below the scattered-start worst case.
-        let span: i64 = items
-            .iter()
-            .map(|i| i.w + 2400)
-            .sum::<i64>();
+        let span: i64 = items.iter().map(|i| i.w + 2400).sum::<i64>();
         assert!(
             r.wirelength < 3 * span,
             "wirelength {} vs span {span}",
@@ -493,7 +484,11 @@ mod tests {
         let rb = r.placed[1];
         let ya = ra.at.y + 4_000;
         let yb = rb.at.y + 4_000;
-        assert!((ya - yb).abs() < 2_000, "vertical misalignment {}", (ya - yb).abs());
+        assert!(
+            (ya - yb).abs() < 2_000,
+            "vertical misalignment {}",
+            (ya - yb).abs()
+        );
     }
 
     #[test]

@@ -214,8 +214,7 @@ impl Router {
                 // Mirrored attempt first.
                 if let Some((ref_net, axis)) = mirrored[ni] {
                     if let Some(reference) = &paths[ref_net] {
-                        if let Some(m) = self.try_mirror(ni as u16, reference, axis, nets, config)
-                        {
+                        if let Some(m) = self.try_mirror(ni as u16, reference, axis, nets, config) {
                             paths[ni] = Some(m);
                             continue;
                         }
@@ -552,18 +551,18 @@ mod tests {
         assert!(res.failed.is_empty());
         assert_eq!(res.routed.len(), 1);
         // Straight horizontal run on layer 0: 15 cells.
-        assert!(res.wirelength >= 15 && res.wirelength <= 18, "{}", res.wirelength);
+        assert!(
+            res.wirelength >= 15 && res.wirelength <= 18,
+            "{}",
+            res.wirelength
+        );
         assert_eq!(res.vias, 0);
     }
 
     #[test]
     fn routes_multi_terminal_net_as_tree() {
         let mut r = Router::new(20, 20);
-        let nets = vec![net(
-            "t",
-            NetClass::Neutral,
-            &[(2, 2), (12, 2), (7, 9)],
-        )];
+        let nets = vec![net("t", NetClass::Neutral, &[(2, 2), (12, 2), (7, 9)])];
         let res = r.route(&nets, &[], &RouterConfig::default());
         assert!(res.failed.is_empty());
         // Tree length beats three separate point-to-point routes.

@@ -56,7 +56,10 @@ pub fn generate_bounds(sensitivities: &[PerfSensitivity]) -> CapBounds {
 
 /// Verifies that measured per-net parasitics respect the bounds; returns
 /// the violations `(net, measured, bound)`.
-pub fn check_bounds(bounds: &CapBounds, measured: &HashMap<String, f64>) -> Vec<(String, f64, f64)> {
+pub fn check_bounds(
+    bounds: &CapBounds,
+    measured: &HashMap<String, f64>,
+) -> Vec<(String, f64, f64)> {
     let mut violations: Vec<(String, f64, f64)> = measured
         .iter()
         .filter_map(|(net, &c)| {
@@ -82,9 +85,7 @@ pub fn predicted_degradation(
             let total: f64 = s
                 .per_net
                 .iter()
-                .map(|(net, &dp_dc)| {
-                    dp_dc.abs() * measured.get(net).copied().unwrap_or(0.0)
-                })
+                .map(|(net, &dp_dc)| dp_dc.abs() * measured.get(net).copied().unwrap_or(0.0))
                 .sum();
             (s.metric.clone(), total)
         })
@@ -121,7 +122,7 @@ mod tests {
     fn budgets_guarantee_margin() {
         // UGF margin 1 MHz; two nets with different sensitivities.
         let s = sens("ugf_hz", 1e6, &[("out", 2e18), ("d1", 5e17)]);
-        let bounds = generate_bounds(&[s.clone()]);
+        let bounds = generate_bounds(std::slice::from_ref(&s));
         // Full use of every budget degrades by exactly the margin.
         let measured: HashMap<String, f64> = bounds.clone();
         let deg = predicted_degradation(&[s], &measured);

@@ -85,11 +85,14 @@ impl DiffusionGraph {
     pub fn add_device(&mut self, name: &str, drain: &str, source: &str, class: &str) {
         let a = self.net_id(drain);
         let b = self.net_id(source);
-        self.classes.entry(class.to_string()).or_default().push(Edge {
-            name: name.to_string(),
-            a,
-            b,
-        });
+        self.classes
+            .entry(class.to_string())
+            .or_default()
+            .push(Edge {
+                name: name.to_string(),
+                a,
+                b,
+            });
     }
 
     fn net_id(&mut self, net: &str) -> usize {
@@ -139,7 +142,10 @@ impl DiffusionGraph {
         // splicing folded in: we walk, and when stuck we close the trail —
         // starting at odd vertices first guarantees the minimum trail
         // count).
-        let walk = |start: usize, used: &mut Vec<bool>, cursor: &mut Vec<usize>| -> Option<(Vec<usize>, Vec<usize>)> {
+        let walk = |start: usize,
+                    used: &mut Vec<bool>,
+                    cursor: &mut Vec<usize>|
+         -> Option<(Vec<usize>, Vec<usize>)> {
             // returns (edge sequence, vertex sequence)
             let mut path_edges = Vec::new();
             let mut path_verts = vec![start];
@@ -208,10 +214,7 @@ impl DiffusionGraph {
                         if i == j {
                             continue;
                         }
-                        if let Some(pos) = trails[j]
-                            .1
-                            .iter()
-                            .position(|v| trails[i].1.contains(v))
+                        if let Some(pos) = trails[j].1.iter().position(|v| trails[i].1.contains(v))
                         {
                             let tour = trails.remove(i);
                             let host = if j > i { j - 1 } else { j };
@@ -365,12 +368,20 @@ impl DiffusionGraph {
                 // Also consider terminating the trail here.
                 finished.push((trail_e.clone(), trail_v.clone()));
                 dfs(
-                    edges, used_mask, None, finished, best_count, best_stacks, n_optimal,
+                    edges,
+                    used_mask,
+                    None,
+                    finished,
+                    best_count,
+                    best_stacks,
+                    n_optimal,
                 );
                 finished.pop();
             } else {
                 // Start a new trail at the lowest unused edge (canonical).
-                let i = (0..m).find(|i| used_mask & (1 << i) == 0).expect("unused edge");
+                let i = (0..m)
+                    .find(|i| used_mask & (1 << i) == 0)
+                    .expect("unused edge");
                 let e = &edges[i];
                 dfs(
                     edges,
@@ -406,6 +417,33 @@ impl DiffusionGraph {
             n_optimal,
         )
     }
+}
+
+fn splice(host: &mut (Vec<usize>, Vec<usize>), tour: &(Vec<usize>, Vec<usize>), pos: usize) {
+    // Insert the closed tour into the host trail at vertex position `pos`.
+    // Rotate the tour so it starts at the splice vertex.
+    let splice_v = host.1[pos];
+    let start = tour
+        .1
+        .iter()
+        .position(|&v| v == splice_v)
+        .expect("tour passes through splice vertex");
+    let m = tour.0.len();
+    let rotated_edges: Vec<usize> = (0..m).map(|k| tour.0[(start + k) % m]).collect();
+    let mut rotated_verts: Vec<usize> = (0..m).map(|k| tour.1[(start + k) % m]).collect();
+    rotated_verts.push(splice_v);
+    // Host edges: insert rotated tour's edges at edge-position `pos`.
+    let (he, hv) = host;
+    let mut new_edges = Vec::with_capacity(he.len() + m);
+    new_edges.extend_from_slice(&he[..pos]);
+    new_edges.extend_from_slice(&rotated_edges);
+    new_edges.extend_from_slice(&he[pos..]);
+    let mut new_verts = Vec::with_capacity(hv.len() + m);
+    new_verts.extend_from_slice(&hv[..pos]);
+    new_verts.extend_from_slice(&rotated_verts[..m]);
+    new_verts.extend_from_slice(&hv[pos..]);
+    *he = new_edges;
+    *hv = new_verts;
 }
 
 #[cfg(test)]
@@ -467,8 +505,7 @@ mod tests {
 
     #[test]
     fn linear_matches_exact_merge_count_on_random_graphs() {
-        use rand::rngs::SmallRng;
-        use rand::{Rng, SeedableRng};
+        use ams_prng::{Rng, SeedableRng, SmallRng};
         let mut rng = SmallRng::seed_from_u64(42);
         for trial in 0..20 {
             let mut g = DiffusionGraph::new();
@@ -534,31 +571,4 @@ mod tests {
         assert_eq!(exact.len(), 1);
         assert!(n_opt > 1, "expected several optimal tours, got {n_opt}");
     }
-}
-
-fn splice(host: &mut (Vec<usize>, Vec<usize>), tour: &(Vec<usize>, Vec<usize>), pos: usize) {
-    // Insert the closed tour into the host trail at vertex position `pos`.
-    // Rotate the tour so it starts at the splice vertex.
-    let splice_v = host.1[pos];
-    let start = tour
-        .1
-        .iter()
-        .position(|&v| v == splice_v)
-        .expect("tour passes through splice vertex");
-    let m = tour.0.len();
-    let rotated_edges: Vec<usize> = (0..m).map(|k| tour.0[(start + k) % m]).collect();
-    let mut rotated_verts: Vec<usize> = (0..m).map(|k| tour.1[(start + k) % m]).collect();
-    rotated_verts.push(splice_v);
-    // Host edges: insert rotated tour's edges at edge-position `pos`.
-    let (he, hv) = host;
-    let mut new_edges = Vec::with_capacity(he.len() + m);
-    new_edges.extend_from_slice(&he[..pos]);
-    new_edges.extend_from_slice(&rotated_edges);
-    new_edges.extend_from_slice(&he[pos..]);
-    let mut new_verts = Vec::with_capacity(hv.len() + m);
-    new_verts.extend_from_slice(&hv[..pos]);
-    new_verts.extend_from_slice(&rotated_verts[..m]);
-    new_verts.extend_from_slice(&hv[pos..]);
-    *he = new_edges;
-    *hv = new_verts;
 }

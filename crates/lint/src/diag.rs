@@ -1,0 +1,406 @@
+//! Diagnostic types: stable rule codes, severities, and report rendering.
+
+use ams_netlist::Span;
+use std::fmt;
+
+/// Stable identifier of one ERC rule. Codes never change meaning across
+/// releases; new rules get new codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum RuleCode {
+    /// Node island with no connection to ground through any device terminal.
+    E001FloatingIsland,
+    /// Node connected to ground only through non-DC-conducting elements
+    /// (capacitors, current sources, MOS gates/bulks): no DC path to ground.
+    E002NoDcPath,
+    /// Loop of voltage-defined branches (voltage sources, inductors, VCVS
+    /// outputs), including a short-circuited source.
+    E003VoltageLoop,
+    /// Current source driving into a cutset with no DC return path
+    /// (e.g. a current source in series with a capacitor).
+    E004CurrentCutset,
+    /// Zero, negative, or non-finite element value that the MNA stamps
+    /// cannot represent.
+    E005BadValue,
+    /// MOS transistor with drain, gate, and source all shorted to one node.
+    E006MosShorted,
+    /// Device with every terminal on the same node: it contributes nothing.
+    E007DanglingDevice,
+    /// `.model` card that no instance references.
+    W001UnusedModel,
+    /// Element value far outside physically plausible bounds.
+    W002ImplausibleValue,
+    /// MOS bulk tied to a node that is neither the source, ground, nor a
+    /// supply rail (an independent voltage-source terminal).
+    W003BulkSanity,
+    /// MOS with drain and source on the same node (zero Vds forever).
+    W004MosDrainSourceShort,
+}
+
+impl RuleCode {
+    /// Every rule, in code order. Handy for building documentation tables.
+    pub const ALL: [RuleCode; 11] = [
+        RuleCode::E001FloatingIsland,
+        RuleCode::E002NoDcPath,
+        RuleCode::E003VoltageLoop,
+        RuleCode::E004CurrentCutset,
+        RuleCode::E005BadValue,
+        RuleCode::E006MosShorted,
+        RuleCode::E007DanglingDevice,
+        RuleCode::W001UnusedModel,
+        RuleCode::W002ImplausibleValue,
+        RuleCode::W003BulkSanity,
+        RuleCode::W004MosDrainSourceShort,
+    ];
+
+    /// Looks a rule up by its stable textual code (`"E001"`…).
+    pub fn from_code(code: &str) -> Option<RuleCode> {
+        RuleCode::ALL.into_iter().find(|r| r.as_str() == code)
+    }
+
+    /// The stable textual code, e.g. `"E001"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RuleCode::E001FloatingIsland => "E001",
+            RuleCode::E002NoDcPath => "E002",
+            RuleCode::E003VoltageLoop => "E003",
+            RuleCode::E004CurrentCutset => "E004",
+            RuleCode::E005BadValue => "E005",
+            RuleCode::E006MosShorted => "E006",
+            RuleCode::E007DanglingDevice => "E007",
+            RuleCode::W001UnusedModel => "W001",
+            RuleCode::W002ImplausibleValue => "W002",
+            RuleCode::W003BulkSanity => "W003",
+            RuleCode::W004MosDrainSourceShort => "W004",
+        }
+    }
+
+    /// The severity this rule always reports at.
+    pub fn severity(self) -> Severity {
+        if self.as_str().starts_with('E') {
+            Severity::Error
+        } else {
+            Severity::Warning
+        }
+    }
+
+    /// One-line description of what the rule checks.
+    pub fn description(self) -> &'static str {
+        match self {
+            RuleCode::E001FloatingIsland => "node island not connected to ground",
+            RuleCode::E002NoDcPath => "node has no DC path to ground",
+            RuleCode::E003VoltageLoop => "loop of voltage-defined branches",
+            RuleCode::E004CurrentCutset => "current source drives a cutset with no DC return",
+            RuleCode::E005BadValue => "zero, negative, or non-finite element value",
+            RuleCode::E006MosShorted => "MOS drain, gate, and source all shorted",
+            RuleCode::E007DanglingDevice => "device with all terminals on one node",
+            RuleCode::W001UnusedModel => "unreferenced .model card",
+            RuleCode::W002ImplausibleValue => "element value outside plausible bounds",
+            RuleCode::W003BulkSanity => "MOS bulk not tied to source, ground, or a rail",
+            RuleCode::W004MosDrainSourceShort => "MOS drain and source on the same node",
+        }
+    }
+
+    /// A generic fix hint for the rule.
+    pub fn hint(self) -> &'static str {
+        match self {
+            RuleCode::E001FloatingIsland => {
+                "add a device path tying these nodes to the rest of the circuit"
+            }
+            RuleCode::E002NoDcPath => {
+                "add a DC-conducting path (resistor, inductor, or source) to ground"
+            }
+            RuleCode::E003VoltageLoop => {
+                "break the loop with a series resistance or remove one source"
+            }
+            RuleCode::E004CurrentCutset => {
+                "give the current a DC return path, e.g. a parallel resistor"
+            }
+            RuleCode::E005BadValue => "use a finite, physical element value",
+            RuleCode::E006MosShorted => "check the terminal order: drain gate source bulk",
+            RuleCode::E007DanglingDevice => "remove the device or rewire its terminals",
+            RuleCode::W001UnusedModel => "remove the model card or reference it",
+            RuleCode::W002ImplausibleValue => "check the SI suffix (e.g. `m` vs `meg`)",
+            RuleCode::W003BulkSanity => "tie NMOS bulks to ground/VSS and PMOS bulks to VDD",
+            RuleCode::W004MosDrainSourceShort => "check the terminal order: drain gate source bulk",
+        }
+    }
+}
+
+impl fmt::Display for RuleCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Severity {
+    /// Will not simulate correctly (typically a singular MNA matrix).
+    Error,
+    /// Suspicious but simulable.
+    Warning,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Error => f.write_str("error"),
+            Severity::Warning => f.write_str("warning"),
+        }
+    }
+}
+
+/// One finding of the ERC engine.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Which rule fired.
+    pub code: RuleCode,
+    /// Error or warning (always `code.severity()`).
+    pub severity: Severity,
+    /// Specific human-readable message naming instances/nodes.
+    pub message: String,
+    /// Primary offending instance, when the rule is instance-scoped.
+    pub instance: Option<String>,
+    /// Node names involved (e.g. the floating island members).
+    pub nodes: Vec<String>,
+    /// Deck span of the offending card, when the circuit came from a deck.
+    pub span: Option<Span>,
+    /// Fix hint.
+    pub hint: String,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic for `code` with the given message; severity and
+    /// hint default from the rule.
+    pub fn new(code: RuleCode, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            message: message.into(),
+            instance: None,
+            nodes: Vec::new(),
+            span: None,
+            hint: code.hint().to_string(),
+        }
+    }
+
+    /// Attaches the offending instance name (builder style).
+    pub fn with_instance(mut self, instance: impl Into<String>) -> Self {
+        self.instance = Some(instance.into());
+        self
+    }
+
+    /// Attaches involved node names (builder style).
+    pub fn with_nodes(mut self, nodes: Vec<String>) -> Self {
+        self.nodes = nodes;
+        self
+    }
+
+    /// Attaches a deck span (builder style).
+    pub fn with_span(mut self, span: Option<Span>) -> Self {
+        self.span = span;
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {}", self.severity, self.code, self.message)
+    }
+}
+
+/// The full result of a lint run: every diagnostic in rule-code order.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// Builds a report, sorting diagnostics by (severity, code, span, instance)
+    /// so output is deterministic regardless of rule evaluation order.
+    pub fn new(mut diagnostics: Vec<Diagnostic>) -> Self {
+        diagnostics.sort_by(|a, b| {
+            (a.severity, a.code, a.span.map(|s| s.start), &a.instance).cmp(&(
+                b.severity,
+                b.code,
+                b.span.map(|s| s.start),
+                &b.instance,
+            ))
+        });
+        Report { diagnostics }
+    }
+
+    /// All diagnostics, errors first.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Only the error-severity diagnostics.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+    }
+
+    /// Only the warning-severity diagnostics.
+    pub fn warnings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+    }
+
+    /// Whether the report contains any errors.
+    pub fn has_errors(&self) -> bool {
+        self.errors().next().is_some()
+    }
+
+    /// Whether the report is completely clean.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Whether any diagnostic carries the given code.
+    pub fn has_code(&self, code: RuleCode) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    /// The first diagnostic with the given code, if any.
+    pub fn find(&self, code: RuleCode) -> Option<&Diagnostic> {
+        self.diagnostics.iter().find(|d| d.code == code)
+    }
+
+    /// Renders the report in a rustc-like human-readable style:
+    ///
+    /// ```text
+    /// error[E002]: node `x` has no DC path to ground
+    ///   --> lines 3-4: `C1 x 0 1p`
+    ///   = help: add a DC-conducting path (resistor, inductor, or source) to ground
+    /// ```
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&format!("{d}\n"));
+            if let Some(span) = d.span {
+                out.push_str(&format!("  --> {span}\n"));
+            }
+            if !d.hint.is_empty() {
+                out.push_str(&format!("  = help: {}\n", d.hint));
+            }
+        }
+        let ne = self.errors().count();
+        let nw = self.warnings().count();
+        out.push_str(&format!(
+            "{} error{}, {} warning{}\n",
+            ne,
+            if ne == 1 { "" } else { "s" },
+            nw,
+            if nw == 1 { "" } else { "s" },
+        ));
+        out
+    }
+
+    /// Renders the report as a JSON array of diagnostic objects for machine
+    /// consumption (fields: `code`, `severity`, `message`, `instance`,
+    /// `nodes`, `span`, `hint`).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"code\":");
+            json_str(&mut out, d.code.as_str());
+            out.push_str(",\"severity\":");
+            json_str(&mut out, &d.severity.to_string());
+            out.push_str(",\"message\":");
+            json_str(&mut out, &d.message);
+            out.push_str(",\"instance\":");
+            match &d.instance {
+                Some(inst) => json_str(&mut out, inst),
+                None => out.push_str("null"),
+            }
+            out.push_str(",\"nodes\":[");
+            for (j, n) in d.nodes.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                json_str(&mut out, n);
+            }
+            out.push_str("],\"span\":");
+            match d.span {
+                Some(s) => out.push_str(&format!("{{\"start\":{},\"end\":{}}}", s.start, s.end)),
+                None => out.push_str("null"),
+            }
+            out.push_str(",\"hint\":");
+            json_str(&mut out, &d.hint);
+            out.push('}');
+        }
+        out.push(']');
+        out
+    }
+}
+
+/// Appends a JSON string literal with the escapes the diagnostics can need.
+fn json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_strings() {
+        assert_eq!(RuleCode::E001FloatingIsland.as_str(), "E001");
+        assert_eq!(RuleCode::W004MosDrainSourceShort.as_str(), "W004");
+        assert_eq!(RuleCode::E003VoltageLoop.severity(), Severity::Error);
+        assert_eq!(RuleCode::W001UnusedModel.severity(), Severity::Warning);
+    }
+
+    #[test]
+    fn report_sorts_errors_first() {
+        let r = Report::new(vec![
+            Diagnostic::new(RuleCode::W002ImplausibleValue, "w"),
+            Diagnostic::new(RuleCode::E005BadValue, "e"),
+        ]);
+        assert_eq!(r.diagnostics()[0].code, RuleCode::E005BadValue);
+        assert!(r.has_errors());
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn human_rendering_has_code_span_and_hint() {
+        let d = Diagnostic::new(RuleCode::E002NoDcPath, "node `x` has no DC path to ground")
+            .with_span(Some(ams_netlist::Span { start: 3, end: 4 }));
+        let text = Report::new(vec![d]).render_human();
+        assert!(text.contains("error[E002]"), "{text}");
+        assert!(text.contains("lines 3-4"), "{text}");
+        assert!(text.contains("= help:"), "{text}");
+        assert!(text.contains("1 error, 0 warnings"), "{text}");
+    }
+
+    #[test]
+    fn json_rendering_escapes_and_structures() {
+        let d = Diagnostic::new(RuleCode::E005BadValue, "bad \"value\"")
+            .with_instance("R1")
+            .with_nodes(vec!["a".into()]);
+        let json = Report::new(vec![d]).render_json();
+        assert!(json.starts_with('['), "{json}");
+        assert!(json.contains("\"code\":\"E005\""), "{json}");
+        assert!(json.contains("\\\"value\\\""), "{json}");
+        assert!(json.contains("\"instance\":\"R1\""), "{json}");
+        assert!(json.contains("\"span\":null"), "{json}");
+    }
+}

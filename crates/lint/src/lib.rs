@@ -1,0 +1,303 @@
+//! Static electrical-rule checking (ERC) for analog netlists.
+//!
+//! In the mixed-signal synthesis flow this crate is the gate between
+//! netlist construction and everything downstream: a cheap, simulation-free
+//! analysis pass that catches the structural defects which would otherwise
+//! surface as an opaque `SingularMatrix` failure deep inside the MNA solver
+//! — floating nodes, voltage-source loops, current-source cutsets — plus a
+//! set of plausibility warnings (implausible element values, suspicious MOS
+//! bulk connections, unreferenced `.model` cards).
+//!
+//! Every rule has a stable code (`E001`…`E007`, `W001`…`W004`); diagnostics
+//! carry the offending instance and node names, and — when the circuit came
+//! from a deck via [`ams_netlist::parse_deck_full`] — 1-based line spans
+//! that cover `+` continuation lines. Reports render both human-readable
+//! (rustc-style) and machine-readable (JSON) output.
+//!
+//! # Entry points
+//!
+//! * [`lint_deck`] — parse a SPICE-like deck and lint it (spans attached).
+//! * [`lint_parsed`] — lint an already-parsed [`ams_netlist::ParsedDeck`].
+//! * [`lint_circuit`] — lint an in-memory [`ams_netlist::Circuit`].
+//! * [`lint_structural`] — only the singularity-predicting subset
+//!   (E001–E005); this is what `ams-sim` runs before matrix assembly.
+//!
+//! # Example
+//!
+//! ```
+//! use ams_lint::{lint_deck, RuleCode};
+//!
+//! // `x` hangs off a capacitor only: no DC path to ground.
+//! let report = lint_deck("
+//!     Vdd vdd 0 DC 5
+//!     R1 vdd out 10k
+//!     C1 out x 1p
+//! ").unwrap();
+//! let diag = report.find(RuleCode::E002NoDcPath).unwrap();
+//! assert!(diag.message.contains("`x`"));
+//! assert!(report.has_errors());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod diag;
+mod rules;
+
+pub use diag::{Diagnostic, Report, RuleCode, Severity};
+pub use rules::{lint_circuit, lint_deck, lint_parsed, lint_structural};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ams_netlist::{parse_deck, parse_deck_full, Circuit, Device};
+
+    fn codes(report: &Report) -> Vec<&'static str> {
+        report
+            .diagnostics()
+            .iter()
+            .map(|d| d.code.as_str())
+            .collect()
+    }
+
+    #[test]
+    fn clean_rc_divider_is_clean() {
+        let report = lint_deck(
+            "Vin in 0 DC 1
+             R1 in out 1k
+             R2 out 0 1k
+             C1 out 0 1p",
+        )
+        .unwrap();
+        assert!(report.is_clean(), "{}", report.render_human());
+    }
+
+    #[test]
+    fn floating_island_is_e001() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        let c = ckt.node("c");
+        ckt.add("R1", Device::resistor(a, Circuit::GROUND, 1e3));
+        ckt.add("V1", Device::vdc(a, Circuit::GROUND, 1.0));
+        ckt.add("R2", Device::resistor(b, c, 1e3));
+        let report = lint_circuit(&ckt);
+        let d = report.find(RuleCode::E001FloatingIsland).unwrap();
+        assert!(d.nodes.contains(&"b".to_string()) && d.nodes.contains(&"c".to_string()));
+        // The island is not double-reported as E002.
+        assert!(
+            !report.has_code(RuleCode::E002NoDcPath),
+            "{}",
+            report.render_human()
+        );
+    }
+
+    #[test]
+    fn cap_only_node_is_e002_with_span() {
+        let report = lint_deck(
+            "Vdd vdd 0 DC 5
+             R1 vdd out 10k
+             C1 out x 1p",
+        )
+        .unwrap();
+        let d = report.find(RuleCode::E002NoDcPath).unwrap();
+        assert_eq!(d.nodes, vec!["x".to_string()]);
+        let span = d.span.expect("deck lint must carry spans");
+        assert_eq!(span.start, 3);
+    }
+
+    #[test]
+    fn mos_gate_only_node_is_e002() {
+        let report = lint_deck(
+            ".model nch nmos
+             Vdd d 0 DC 5
+             M1 d g 0 0 nch W=10u L=1u",
+        )
+        .unwrap();
+        let d = report.find(RuleCode::E002NoDcPath).unwrap();
+        assert_eq!(d.nodes, vec!["g".to_string()]);
+    }
+
+    #[test]
+    fn voltage_source_loop_is_e003() {
+        let report = lint_deck(
+            "V1 a 0 DC 1
+             V2 a 0 DC 2
+             R1 a 0 1k",
+        )
+        .unwrap();
+        let d = report.find(RuleCode::E003VoltageLoop).unwrap();
+        assert_eq!(d.instance.as_deref(), Some("V2"));
+    }
+
+    #[test]
+    fn inductor_across_source_is_e003() {
+        let report = lint_deck(
+            "V1 a 0 DC 1
+             L1 a 0 1u
+             R1 a 0 1k",
+        )
+        .unwrap();
+        assert!(report.has_code(RuleCode::E003VoltageLoop));
+    }
+
+    #[test]
+    fn shorted_source_is_e003() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add("R1", Device::resistor(a, Circuit::GROUND, 1e3));
+        ckt.add("V1", Device::vdc(a, a, 1.0));
+        let report = lint_circuit(&ckt);
+        let d = report.find(RuleCode::E003VoltageLoop).unwrap();
+        assert!(d.message.contains("short-circuited"), "{}", d.message);
+        // The E003 short suppresses the generic E007 dangling report.
+        assert!(!report.has_code(RuleCode::E007DanglingDevice));
+    }
+
+    #[test]
+    fn current_source_into_cap_is_e004_not_e002() {
+        let report = lint_deck(
+            "I1 0 x 1u
+             C1 x 0 1p
+             R1 y 0 1k
+             V1 y 0 DC 1",
+        )
+        .unwrap();
+        let d = report.find(RuleCode::E004CurrentCutset).unwrap();
+        assert_eq!(d.instance.as_deref(), Some("I1"));
+        assert_eq!(d.nodes, vec!["x".to_string()]);
+        assert!(!report.has_code(RuleCode::E002NoDcPath));
+    }
+
+    #[test]
+    fn zero_resistor_is_e005() {
+        let report = lint_deck("V1 a 0 DC 1\nR1 a 0 0").unwrap();
+        let d = report.find(RuleCode::E005BadValue).unwrap();
+        assert_eq!(d.instance.as_deref(), Some("R1"));
+        assert_eq!(d.span.unwrap().start, 2);
+    }
+
+    #[test]
+    fn shorted_mos_is_e006() {
+        let report = lint_deck(
+            ".model nch nmos
+             V1 a 0 DC 1
+             M1 a a a 0 nch W=10u L=1u",
+        )
+        .unwrap();
+        assert!(report.has_code(RuleCode::E006MosShorted));
+        assert!(!report.has_code(RuleCode::W004MosDrainSourceShort));
+    }
+
+    #[test]
+    fn drain_source_short_is_w004() {
+        let report = lint_deck(
+            ".model nch nmos
+             V1 a 0 DC 1
+             Vg g 0 DC 1
+             M1 a g a 0 nch W=10u L=1u",
+        )
+        .unwrap();
+        assert!(report.has_code(RuleCode::W004MosDrainSourceShort));
+        assert!(!report.has_code(RuleCode::E006MosShorted));
+    }
+
+    #[test]
+    fn dangling_resistor_is_e007() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add("V1", Device::vdc(a, Circuit::GROUND, 1.0));
+        ckt.add("R1", Device::resistor(a, Circuit::GROUND, 1e3));
+        ckt.add("R2", Device::resistor(a, a, 1e3));
+        let report = lint_circuit(&ckt);
+        let d = report.find(RuleCode::E007DanglingDevice).unwrap();
+        assert_eq!(d.instance.as_deref(), Some("R2"));
+    }
+
+    #[test]
+    fn unreferenced_model_is_w001() {
+        let report = lint_deck(
+            ".model nch nmos
+             .model pch pmos
+             V1 d 0 DC 1
+             Vg g 0 DC 1
+             M1 d g 0 0 nch W=10u L=1u",
+        )
+        .unwrap();
+        let d = report.find(RuleCode::W001UnusedModel).unwrap();
+        assert!(d.message.contains("pch"), "{}", d.message);
+        assert_eq!(d.span.unwrap().start, 2);
+    }
+
+    #[test]
+    fn implausible_resistance_is_w002() {
+        let report = lint_deck("V1 a 0 DC 1\nR1 a 0 1e15").unwrap();
+        assert!(report.has_code(RuleCode::W002ImplausibleValue));
+        assert!(!report.has_errors());
+    }
+
+    #[test]
+    fn bad_bulk_is_w003() {
+        let report = lint_deck(
+            ".model nch nmos
+             Vd d 0 DC 5
+             Vg g 0 DC 2
+             R1 b 0 1k
+             M1 d g 0 b nch W=10u L=1u",
+        )
+        .unwrap();
+        let d = report.find(RuleCode::W003BulkSanity).unwrap();
+        assert_eq!(d.nodes, vec!["b".to_string()]);
+    }
+
+    #[test]
+    fn bulk_on_rail_is_fine() {
+        let report = lint_deck(
+            ".model pch pmos
+             Vdd vdd 0 DC 5
+             Vg g 0 DC 2
+             R1 d 0 10k
+             M1 d g vdd vdd pch W=10u L=1u",
+        )
+        .unwrap();
+        assert!(!report.has_code(RuleCode::W003BulkSanity));
+    }
+
+    #[test]
+    fn structural_subset_skips_warnings() {
+        let deck = "V1 a 0 DC 1\nR1 a 0 1e15";
+        let ckt = parse_deck(deck).unwrap();
+        let report = lint_structural(&ckt);
+        assert!(report.is_clean(), "{}", report.render_human());
+        assert!(lint_deck(deck)
+            .unwrap()
+            .has_code(RuleCode::W002ImplausibleValue));
+    }
+
+    #[test]
+    fn span_covers_continuation_lines() {
+        let parsed =
+            parse_deck_full("Vdd d 0 DC 5\n.model nch nmos\nM1 d g 0 0 nch\n+ W=10u L=1u").unwrap();
+        let report = lint_parsed(&parsed);
+        let d = report.find(RuleCode::E002NoDcPath).unwrap();
+        let span = d.span.unwrap();
+        assert_eq!((span.start, span.end), (3, 4));
+    }
+
+    #[test]
+    fn report_orders_and_counts_multiple_findings() {
+        let report = lint_deck(
+            "I1 0 x 1u
+             C1 x 0 1p
+             R1 y 0 0
+             V1 y 0 DC 1
+             .model unused nmos",
+        )
+        .unwrap();
+        assert_eq!(codes(&report), vec!["E004", "E005", "W001"]);
+        let human = report.render_human();
+        assert!(human.contains("2 errors, 1 warning"), "{human}");
+        let json = report.render_json();
+        assert!(json.contains("\"code\":\"E004\""), "{json}");
+    }
+}

@@ -1,0 +1,532 @@
+//! The ERC rule implementations.
+//!
+//! All rules are purely structural: they inspect the circuit graph and
+//! element values, never running a simulation. The connectivity rules are
+//! built on two union-find passes:
+//!
+//! * an **all-edges** graph (every device unions all of its terminals) that
+//!   detects islands with no connection to ground at all (E001), and
+//! * a **DC-conductive** graph containing only edges the MNA matrix gives a
+//!   DC conductance or voltage constraint — resistors, inductors, voltage
+//!   sources, VCVS outputs, and the MOS drain–source channel — that detects
+//!   nodes whose KCL row would be structurally zero (E002/E004).
+//!
+//! A third union-find over only the voltage-defined branches (V, L, VCVS
+//! output) detects loops that make the MNA branch rows linearly dependent
+//! (E003). Each of these conditions predicts an exact `SingularMatrix`
+//! failure class in `ams-sim`, which is why `ams-sim` runs this subset
+//! before assembling the matrix.
+
+use crate::diag::{Diagnostic, Report, RuleCode};
+use ams_netlist::{Circuit, DeckMeta, Device, NodeId, ParsedDeck, Span};
+
+/// Plausibility bounds for W002, chosen wide enough that every circuit in
+/// the toolkit's examples and topology library passes.
+mod bounds {
+    /// Resistance sanity range, ohms.
+    pub const R: (f64, f64) = (1e-3, 1e12);
+    /// Largest plausible capacitance, farads.
+    pub const C_MAX: f64 = 0.1;
+    /// Largest plausible inductance, henries.
+    pub const L_MAX: f64 = 1e3;
+    /// MOS drawn dimension sanity range, meters.
+    pub const MOS_DIM: (f64, f64) = (1e-9, 1.0);
+    /// Largest plausible independent-source voltage, volts.
+    pub const V_MAX: f64 = 1e4;
+    /// Largest plausible independent-source current, amperes.
+    pub const I_MAX: f64 = 1e3;
+}
+
+/// Union-find over node indices with path halving.
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+
+    fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+/// Runs **every** ERC rule over a circuit built in memory (no deck spans).
+pub fn lint_circuit(ckt: &Circuit) -> Report {
+    Linter::new(ckt, None).run(true)
+}
+
+/// Runs every ERC rule over a parsed deck, attaching line spans and the
+/// deck-only rules (unreferenced `.model`s).
+pub fn lint_parsed(parsed: &ParsedDeck) -> Report {
+    Linter::new(&parsed.circuit, Some(&parsed.meta)).run(true)
+}
+
+/// Parses a deck and lints it.
+///
+/// # Errors
+///
+/// Returns the parse error when the deck itself is malformed — lint runs
+/// only on decks that parse.
+pub fn lint_deck(deck: &str) -> Result<Report, ams_netlist::NetlistError> {
+    Ok(lint_parsed(&ams_netlist::parse_deck_full(deck)?))
+}
+
+/// Runs only the cheap structural subset that predicts MNA singularities
+/// (E001–E005). `ams-sim` calls this before matrix assembly so a singular
+/// system is reported as "node `x` has no DC path to ground" instead of a
+/// bare pivot index.
+pub fn lint_structural(ckt: &Circuit) -> Report {
+    Linter::new(ckt, None).run(false)
+}
+
+struct Linter<'a> {
+    ckt: &'a Circuit,
+    meta: Option<&'a DeckMeta>,
+    diags: Vec<Diagnostic>,
+}
+
+impl<'a> Linter<'a> {
+    fn new(ckt: &'a Circuit, meta: Option<&'a DeckMeta>) -> Self {
+        Linter {
+            ckt,
+            meta,
+            diags: Vec::new(),
+        }
+    }
+
+    fn run(mut self, full: bool) -> Report {
+        self.connectivity();
+        self.voltage_loops();
+        self.values(full);
+        if full {
+            self.mos_rules();
+            self.dangling();
+            self.unused_models();
+        }
+        Report::new(self.diags)
+    }
+
+    fn span_of(&self, instance: &str) -> Option<Span> {
+        self.meta.and_then(|m| m.span_of(instance))
+    }
+
+    fn name(&self, n: NodeId) -> String {
+        self.ckt.node_name(n).to_string()
+    }
+
+    /// First device (in insertion order) touching any node of `component`,
+    /// used to anchor component-level diagnostics to a deck line.
+    fn anchor_device(&self, component: &[NodeId]) -> Option<&str> {
+        self.ckt
+            .devices()
+            .find(|(_, d)| d.nodes().iter().any(|n| component.contains(n)))
+            .map(|(name, _)| name)
+    }
+
+    /// E001 / E002 / E004: island and DC-path analysis.
+    fn connectivity(&mut self) {
+        let n = self.ckt.num_nodes();
+        if n <= 1 {
+            return;
+        }
+        let mut all = UnionFind::new(n);
+        let mut dc = UnionFind::new(n);
+        for (_, dev) in self.ckt.devices() {
+            let nodes = dev.nodes();
+            for pair in nodes.windows(2) {
+                all.union(pair[0].index(), pair[1].index());
+            }
+            if let Some((a, b)) = dc_edge(dev) {
+                dc.union(a.index(), b.index());
+            }
+        }
+
+        // Group non-ground nodes by their all-edges component and flag the
+        // components that never reach ground (E001).
+        let mut island_of_root: std::collections::HashMap<usize, Vec<NodeId>> = Default::default();
+        for i in 1..n {
+            if !all.connected(i, 0) {
+                island_of_root
+                    .entry(all.find(i))
+                    .or_default()
+                    .push(NodeId::from_index(i));
+            }
+        }
+        let mut island_members: Vec<NodeId> = Vec::new();
+        let mut islands: Vec<Vec<NodeId>> = island_of_root.into_values().collect();
+        islands.sort_by_key(|c| c[0]);
+        for comp in islands {
+            island_members.extend(comp.iter().copied());
+            self.emit_component(RuleCode::E001FloatingIsland, &comp, |names| {
+                format!("{names} not connected to ground through any device")
+            });
+        }
+
+        // Among ground-connected nodes, flag the DC-disconnected components:
+        // E004 when a current source feeds the component, E002 otherwise.
+        let mut dc_comp_of_root: std::collections::HashMap<usize, Vec<NodeId>> = Default::default();
+        for i in 1..n {
+            let node = NodeId::from_index(i);
+            if island_members.contains(&node) {
+                continue; // already reported as E001
+            }
+            if !dc.connected(i, 0) {
+                dc_comp_of_root.entry(dc.find(i)).or_default().push(node);
+            }
+        }
+        let mut comps: Vec<Vec<NodeId>> = dc_comp_of_root.into_values().collect();
+        comps.sort_by_key(|c| c[0]);
+        for comp in comps {
+            let feeding_isource = self.ckt.devices().find(|(_, d)| {
+                matches!(d, Device::Isource { .. }) && d.nodes().iter().any(|t| comp.contains(t))
+            });
+            if let Some((iname, _)) = feeding_isource {
+                let iname = iname.to_string();
+                let names = node_list(self.ckt, &comp);
+                self.diags.push(
+                    Diagnostic::new(
+                        RuleCode::E004CurrentCutset,
+                        format!("current source `{iname}` drives {names} with no DC return path"),
+                    )
+                    .with_instance(iname.clone())
+                    .with_nodes(comp.iter().map(|&x| self.name(x)).collect())
+                    .with_span(self.span_of(&iname)),
+                );
+            } else {
+                self.emit_component(RuleCode::E002NoDcPath, &comp, |names| {
+                    format!("{names} has no DC path to ground")
+                });
+            }
+        }
+    }
+
+    fn emit_component(&mut self, code: RuleCode, comp: &[NodeId], msg: impl Fn(&str) -> String) {
+        let names = node_list(self.ckt, comp);
+        let anchor = self.anchor_device(comp).map(str::to_string);
+        let span = anchor.as_deref().and_then(|a| self.span_of(a));
+        let mut d = Diagnostic::new(code, msg(&names))
+            .with_nodes(comp.iter().map(|&x| self.name(x)).collect())
+            .with_span(span);
+        if let Some(a) = anchor {
+            d = d.with_instance(a);
+        }
+        self.diags.push(d);
+    }
+
+    /// E003: loops of voltage-defined branches.
+    fn voltage_loops(&mut self) {
+        let mut uf = UnionFind::new(self.ckt.num_nodes());
+        for (name, dev) in self.ckt.devices() {
+            let Some((a, b)) = voltage_edge(dev) else {
+                continue;
+            };
+            let (ai, bi) = (a.index(), b.index());
+            let kind = match dev {
+                Device::Vsource { .. } => "voltage source",
+                Device::Inductor { .. } => "inductor",
+                _ => "VCVS output",
+            };
+            if ai == bi {
+                self.diags.push(
+                    Diagnostic::new(
+                        RuleCode::E003VoltageLoop,
+                        format!(
+                            "{kind} `{name}` is short-circuited (both terminals on `{}`)",
+                            self.name(a)
+                        ),
+                    )
+                    .with_instance(name)
+                    .with_nodes(vec![self.name(a)])
+                    .with_span(self.span_of(name)),
+                );
+            } else if uf.connected(ai, bi) {
+                self.diags.push(
+                    Diagnostic::new(
+                        RuleCode::E003VoltageLoop,
+                        format!(
+                            "{kind} `{name}` closes a loop of voltage-defined branches \
+                             between `{}` and `{}`",
+                            self.name(a),
+                            self.name(b)
+                        ),
+                    )
+                    .with_instance(name)
+                    .with_nodes(vec![self.name(a), self.name(b)])
+                    .with_span(self.span_of(name)),
+                );
+            } else {
+                uf.union(ai, bi);
+            }
+        }
+    }
+
+    /// E005 always; W002 plausibility only on a `full` run.
+    fn values(&mut self, full: bool) {
+        for (name, dev) in self.ckt.devices() {
+            let mut bad: Option<String> = None;
+            let mut implausible: Option<String> = None;
+            match dev {
+                Device::Resistor { ohms, .. } => {
+                    if !ohms.is_finite() || *ohms <= 0.0 {
+                        bad = Some(format!(
+                            "resistance must be positive and finite, got {ohms}"
+                        ));
+                    } else if *ohms < bounds::R.0 || *ohms > bounds::R.1 {
+                        implausible = Some(format!("resistance {ohms} ohm is implausible"));
+                    }
+                }
+                Device::Capacitor { farads, .. } => {
+                    if !farads.is_finite() || *farads < 0.0 {
+                        bad = Some(format!(
+                            "capacitance must be non-negative and finite, got {farads}"
+                        ));
+                    } else if *farads > bounds::C_MAX {
+                        implausible = Some(format!("capacitance {farads} F is implausible"));
+                    }
+                }
+                Device::Inductor { henries, .. } => {
+                    if !henries.is_finite() || *henries <= 0.0 {
+                        bad = Some(format!(
+                            "inductance must be positive and finite, got {henries}"
+                        ));
+                    } else if *henries > bounds::L_MAX {
+                        implausible = Some(format!("inductance {henries} H is implausible"));
+                    }
+                }
+                Device::Vsource {
+                    waveform, ac_mag, ..
+                } => {
+                    let v = waveform.dc_value();
+                    if !v.is_finite() || !ac_mag.is_finite() {
+                        bad = Some("source value must be finite".to_string());
+                    } else if v.abs() > bounds::V_MAX {
+                        implausible = Some(format!("source voltage {v} V is implausible"));
+                    }
+                }
+                Device::Isource {
+                    waveform, ac_mag, ..
+                } => {
+                    let i = waveform.dc_value();
+                    if !i.is_finite() || !ac_mag.is_finite() {
+                        bad = Some("source value must be finite".to_string());
+                    } else if i.abs() > bounds::I_MAX {
+                        implausible = Some(format!("source current {i} A is implausible"));
+                    }
+                }
+                Device::Vcvs { gain, .. } => {
+                    if !gain.is_finite() {
+                        bad = Some(format!("VCVS gain must be finite, got {gain}"));
+                    }
+                }
+                Device::Vccs { gm, .. } => {
+                    if !gm.is_finite() {
+                        bad = Some(format!("VCCS transconductance must be finite, got {gm}"));
+                    }
+                }
+                Device::Mos(m) => {
+                    if !(m.w.is_finite() && m.w > 0.0 && m.l.is_finite() && m.l > 0.0) {
+                        bad = Some(format!(
+                            "MOS W and L must be positive and finite, got W={} L={}",
+                            m.w, m.l
+                        ));
+                    } else if m.m == 0 {
+                        bad = Some("MOS multiplicity must be at least 1".to_string());
+                    } else if m.w < bounds::MOS_DIM.0
+                        || m.w > bounds::MOS_DIM.1
+                        || m.l < bounds::MOS_DIM.0
+                        || m.l > bounds::MOS_DIM.1
+                    {
+                        implausible = Some(format!(
+                            "MOS dimensions W={} L={} m are implausible",
+                            m.w, m.l
+                        ));
+                    }
+                }
+            }
+            if let Some(msg) = bad {
+                self.diags.push(
+                    Diagnostic::new(RuleCode::E005BadValue, format!("`{name}`: {msg}"))
+                        .with_instance(name)
+                        .with_span(self.span_of(name)),
+                );
+            } else if full {
+                if let Some(msg) = implausible {
+                    self.diags.push(
+                        Diagnostic::new(RuleCode::W002ImplausibleValue, format!("`{name}`: {msg}"))
+                            .with_instance(name)
+                            .with_span(self.span_of(name)),
+                    );
+                }
+            }
+        }
+    }
+
+    /// E006 / W003 / W004: MOS terminal sanity.
+    fn mos_rules(&mut self) {
+        // A bulk tied to any independent voltage-source terminal counts as
+        // tied to a rail.
+        let rail_nodes: Vec<NodeId> = self
+            .ckt
+            .devices()
+            .filter_map(|(_, d)| match d {
+                Device::Vsource { plus, minus, .. } => Some([*plus, *minus]),
+                _ => None,
+            })
+            .flatten()
+            .collect();
+        for (name, dev) in self.ckt.devices() {
+            let Device::Mos(m) = dev else { continue };
+            if m.drain == m.source && m.source == m.gate {
+                self.diags.push(
+                    Diagnostic::new(
+                        RuleCode::E006MosShorted,
+                        format!(
+                            "MOS `{name}` has drain, gate, and source all on `{}`",
+                            self.name(m.drain)
+                        ),
+                    )
+                    .with_instance(name)
+                    .with_nodes(vec![self.name(m.drain)])
+                    .with_span(self.span_of(name)),
+                );
+            } else if m.drain == m.source {
+                self.diags.push(
+                    Diagnostic::new(
+                        RuleCode::W004MosDrainSourceShort,
+                        format!(
+                            "MOS `{name}` has drain and source both on `{}`",
+                            self.name(m.drain)
+                        ),
+                    )
+                    .with_instance(name)
+                    .with_nodes(vec![self.name(m.drain)])
+                    .with_span(self.span_of(name)),
+                );
+            }
+            let bulk_ok = m.bulk == m.source || m.bulk.is_ground() || rail_nodes.contains(&m.bulk);
+            if !bulk_ok {
+                self.diags.push(
+                    Diagnostic::new(
+                        RuleCode::W003BulkSanity,
+                        format!(
+                            "MOS `{name}` bulk is `{}`, which is neither its source, \
+                             ground, nor a supply rail",
+                            self.name(m.bulk)
+                        ),
+                    )
+                    .with_instance(name)
+                    .with_nodes(vec![self.name(m.bulk)])
+                    .with_span(self.span_of(name)),
+                );
+            }
+        }
+    }
+
+    /// E007: devices whose terminals are all one node.
+    fn dangling(&mut self) {
+        for (name, dev) in self.ckt.devices() {
+            // Voltage-defined self-loops are already the E003 short case.
+            if voltage_edge(dev).is_some_and(|(a, b)| a == b) {
+                continue;
+            }
+            let nodes = dev.nodes();
+            if nodes.windows(2).all(|p| p[0] == p[1]) {
+                self.diags.push(
+                    Diagnostic::new(
+                        RuleCode::E007DanglingDevice,
+                        format!(
+                            "device `{name}` has every terminal on `{}` and contributes nothing",
+                            self.name(nodes[0])
+                        ),
+                    )
+                    .with_instance(name)
+                    .with_nodes(vec![self.name(nodes[0])])
+                    .with_span(self.span_of(name)),
+                );
+            }
+        }
+    }
+
+    /// W001: `.model` cards nothing references (deck-level only).
+    fn unused_models(&mut self) {
+        let Some(meta) = self.meta else { return };
+        for model in &meta.models {
+            if model.references == 0 {
+                self.diags.push(
+                    Diagnostic::new(
+                        RuleCode::W001UnusedModel,
+                        format!("model `{}` is never referenced", model.name),
+                    )
+                    .with_span(Some(model.span)),
+                );
+            }
+        }
+    }
+}
+
+/// The edge a device contributes to the **DC-conductive** graph, if any.
+///
+/// Capacitors, current sources, VCCS outputs, and MOS gate/bulk terminals
+/// contribute nothing: the DC MNA matrix has no entry coupling those node
+/// rows to the rest of the circuit.
+fn dc_edge(dev: &Device) -> Option<(NodeId, NodeId)> {
+    match dev {
+        Device::Resistor { a, b, .. } | Device::Inductor { a, b, .. } => Some((*a, *b)),
+        Device::Vsource { plus, minus, .. } | Device::Vcvs { plus, minus, .. } => {
+            Some((*plus, *minus))
+        }
+        Device::Mos(m) => Some((m.drain, m.source)),
+        Device::Capacitor { .. } | Device::Isource { .. } | Device::Vccs { .. } => None,
+    }
+}
+
+/// The edge a device contributes to the **voltage-defined** graph, if any.
+fn voltage_edge(dev: &Device) -> Option<(NodeId, NodeId)> {
+    match dev {
+        Device::Vsource { plus, minus, .. }
+        | Device::Vcvs { plus, minus, .. }
+        | Device::Inductor {
+            a: plus, b: minus, ..
+        } => Some((*plus, *minus)),
+        _ => None,
+    }
+}
+
+/// Formats a component's node names for a message: ``node `x` `` or
+/// ``nodes `x`, `y` ``.
+fn node_list(ckt: &Circuit, comp: &[NodeId]) -> String {
+    let mut names: Vec<&str> = comp.iter().map(|&n| ckt.node_name(n)).collect();
+    names.sort_unstable();
+    if names.len() == 1 {
+        format!("node `{}`", names[0])
+    } else {
+        format!(
+            "nodes {}",
+            names
+                .iter()
+                .map(|n| format!("`{n}`"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    }
+}

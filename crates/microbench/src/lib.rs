@@ -1,0 +1,268 @@
+//! A tiny, dependency-free benchmark harness that is API-compatible with the
+//! subset of [criterion](https://docs.rs/criterion) the `ams-bench` suite
+//! uses: `Criterion::default().sample_size(n)`, `bench_function`,
+//! `benchmark_group` / `bench_with_input` / `finish`, `Bencher::iter`,
+//! `BenchmarkId::new`, and the `criterion_group!` / `criterion_main!`
+//! macros.
+//!
+//! Each benchmark is warmed up once, then timed over up to `sample_size`
+//! samples (bounded by a wall-clock budget so `cargo test` stays fast), and
+//! the mean, min and max per-iteration times are printed. When the binary is
+//! invoked by `cargo test` (libtest passes `--test` or benches run under
+//! `--format terse`), each benchmark body still runs once so the correctness
+//! gates inside the bench functions execute.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Wall-clock budget per benchmark id; sampling stops early once exceeded.
+const TIME_BUDGET: Duration = Duration::from_millis(500);
+
+/// Top-level harness state: configuration plus result printing.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    /// In test mode each benchmark runs a single sample, so `cargo test`
+    /// exercises correctness gates without paying for measurement.
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 20,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark (builder style).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Times `f` under the benchmark id `id` and prints a summary line.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, self.effective_samples(), &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    fn effective_samples(&self) -> usize {
+        if self.test_mode {
+            1
+        } else {
+            self.sample_size
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Times `f` with `input` under `<group>/<id>`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        run_one(&full, self.criterion.effective_samples(), &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Times `f` under `<group>/<id>`.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.criterion.effective_samples(), &mut f);
+        self
+    }
+
+    /// Ends the group (printing happens per benchmark; this is a no-op kept
+    /// for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group: a function name plus a
+/// parameter rendered with `Display`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("algo", 5)` renders as `algo/5`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] does the timing.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget_samples: usize,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly, recording one timing sample per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up call, untimed.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.budget_samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+            if start.elapsed() > TIME_BUDGET {
+                break;
+            }
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, samples: usize, f: &mut F) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        budget_samples: samples,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("bench {id:<44} (no iter() call)");
+        return;
+    }
+    let total: Duration = b.samples.iter().sum();
+    let mean = total / b.samples.len() as u32;
+    let min = b.samples.iter().min().copied().unwrap_or_default();
+    let max = b.samples.iter().max().copied().unwrap_or_default();
+    println!(
+        "bench {id:<44} mean {} (min {}, max {}, n={})",
+        fmt_duration(mean),
+        fmt_duration(min),
+        fmt_duration(max),
+        b.samples.len()
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+///
+/// Both forms are supported:
+///
+/// ```ignore
+/// criterion_group!(benches, bench_a, bench_b);
+/// criterion_group! {
+///     name = benches;
+///     config = Criterion::default().sample_size(10);
+///     targets = bench_a, bench_b
+/// }
+/// ```
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)*) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)*) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)*) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_samples() {
+        let mut c = Criterion::default().sample_size(3);
+        c.test_mode = false;
+        let mut calls = 0usize;
+        c.bench_function("counter", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        // One warm-up + up to three timed samples.
+        assert!(calls >= 2, "calls = {calls}");
+    }
+
+    #[test]
+    fn group_ids_compose() {
+        let id = BenchmarkId::new("linear", 5);
+        assert_eq!(id.0, "linear/5");
+    }
+
+    #[test]
+    fn test_mode_runs_single_sample() {
+        let mut c = Criterion::default().sample_size(50);
+        c.test_mode = true;
+        let mut calls = 0usize;
+        let mut g = c.benchmark_group("g");
+        g.bench_with_input(BenchmarkId::new("f", 1), &(), |b, ()| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        g.finish();
+        assert_eq!(calls, 2); // warm-up + one sample
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50 ms");
+    }
+}

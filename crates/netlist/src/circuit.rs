@@ -15,6 +15,12 @@ impl NodeId {
         self.0 as usize
     }
 
+    /// Reconstructs a node id from a raw index previously obtained via
+    /// [`NodeId::index`] on the same circuit. Index 0 is always ground.
+    pub fn from_index(i: usize) -> Self {
+        NodeId(i as u32)
+    }
+
     /// Whether this is the ground node.
     pub fn is_ground(self) -> bool {
         self.0 == 0
@@ -119,8 +125,7 @@ impl Circuit {
     /// Panics if the instance name is already used; use [`Circuit::try_add`]
     /// for a fallible variant.
     pub fn add(&mut self, name: &str, device: Device) -> DeviceRef {
-        self.try_add(name, device)
-            .unwrap_or_else(|e| panic!("{e}"))
+        self.try_add(name, device).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Adds a device, failing on duplicate instance names.
@@ -184,20 +189,14 @@ impl Circuit {
                 })
             };
             match dev {
-                Device::Resistor { ohms, .. } => {
-                    if !ohms.is_finite() || *ohms <= 0.0 {
-                        return bad("resistance must be finite and positive");
-                    }
+                Device::Resistor { ohms, .. } if !ohms.is_finite() || *ohms <= 0.0 => {
+                    return bad("resistance must be finite and positive");
                 }
-                Device::Capacitor { farads, .. } => {
-                    if !farads.is_finite() || *farads < 0.0 {
-                        return bad("capacitance must be finite and non-negative");
-                    }
+                Device::Capacitor { farads, .. } if !farads.is_finite() || *farads < 0.0 => {
+                    return bad("capacitance must be finite and non-negative");
                 }
-                Device::Inductor { henries, .. } => {
-                    if !henries.is_finite() || *henries <= 0.0 {
-                        return bad("inductance must be finite and positive");
-                    }
+                Device::Inductor { henries, .. } if !henries.is_finite() || *henries <= 0.0 => {
+                    return bad("inductance must be finite and positive");
                 }
                 Device::Mos(m) => {
                     if !(m.w.is_finite() && m.w > 0.0 && m.l.is_finite() && m.l > 0.0) {

@@ -14,10 +14,14 @@ pub enum NetlistError {
     UnknownModel(String),
     /// A deck line could not be parsed.
     Parse {
-        /// 1-based line number within the deck.
+        /// 1-based line number within the deck. For a card with `+`
+        /// continuation lines this is the line of the opening card.
         line: usize,
         /// Human-readable description of the problem.
         message: String,
+        /// The offending card text (continuation lines joined), empty when
+        /// the error is not tied to a specific card.
+        card: String,
     },
     /// A device parameter had an invalid (non-finite or non-positive) value.
     InvalidValue {
@@ -37,8 +41,16 @@ impl fmt::Display for NetlistError {
             NetlistError::UnknownInstance(name) => write!(f, "unknown instance `{name}`"),
             NetlistError::UnknownNode(name) => write!(f, "unknown node `{name}`"),
             NetlistError::UnknownModel(name) => write!(f, "unknown model `{name}`"),
-            NetlistError::Parse { line, message } => {
-                write!(f, "parse error on line {line}: {message}")
+            NetlistError::Parse {
+                line,
+                message,
+                card,
+            } => {
+                write!(f, "parse error on line {line}: {message}")?;
+                if !card.is_empty() {
+                    write!(f, " in `{card}`")?;
+                }
+                Ok(())
             }
             NetlistError::InvalidValue { instance, message } => {
                 write!(f, "invalid value on `{instance}`: {message}")
@@ -60,8 +72,13 @@ mod tests {
         let e = NetlistError::Parse {
             line: 3,
             message: "bad token".into(),
+            card: "X9 bogus".into(),
         };
         assert!(e.to_string().contains("line 3"));
+        assert!(
+            e.to_string().contains("X9 bogus"),
+            "message must quote the offending card: {e}"
+        );
     }
 
     #[test]

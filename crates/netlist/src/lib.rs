@@ -46,5 +46,5 @@ pub use circuit::{Circuit, DeviceRef, NodeId};
 pub use device::{Device, MosInstance, MosType, SourceWaveform};
 pub use error::NetlistError;
 pub use mos::{MosModel, MosOp, MosRegion};
-pub use parser::parse_deck;
+pub use parser::{parse_deck, parse_deck_full, DeckMeta, ModelDecl, ParsedDeck, Span};
 pub use tech::{Corner, CornerKind, Technology};

@@ -19,6 +19,10 @@
 //!
 //! Node `0`/`gnd` is ground. Lines starting with `+` continue the previous
 //! card. Everything after `;` is a comment.
+//!
+//! [`parse_deck_full`] additionally returns [`DeckMeta`]: per-instance line
+//! spans (continuation-aware) and `.model` declaration/reference data, which
+//! the `ams-lint` ERC engine threads into its diagnostics.
 
 use crate::circuit::Circuit;
 use crate::device::{Device, MosType, SourceWaveform};
@@ -28,13 +32,94 @@ use crate::units::parse_si;
 use std::collections::HashMap;
 use std::sync::Arc;
 
+/// A 1-based, inclusive range of deck lines occupied by one card
+/// (the opening line through its last `+` continuation line).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// First line of the card.
+    pub start: usize,
+    /// Last line of the card (equal to `start` without continuations).
+    pub end: usize,
+}
+
+impl Span {
+    /// Single-line span.
+    pub fn line(line: usize) -> Self {
+        Span {
+            start: line,
+            end: line,
+        }
+    }
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.start == self.end {
+            write!(f, "line {}", self.start)
+        } else {
+            write!(f, "lines {}-{}", self.start, self.end)
+        }
+    }
+}
+
+/// A `.model` declaration found in the deck.
+#[derive(Debug, Clone)]
+pub struct ModelDecl {
+    /// Model name as declared (original case).
+    pub name: String,
+    /// Where it was declared.
+    pub span: Span,
+    /// How many MOS instances reference it.
+    pub references: usize,
+}
+
+/// Deck-level metadata the parser collects alongside the [`Circuit`]:
+/// the source span and joined card text of every instance, plus `.model`
+/// declaration bookkeeping. Consumed by the ERC linter to attach precise
+/// deck locations to diagnostics.
+#[derive(Debug, Clone, Default)]
+pub struct DeckMeta {
+    spans: HashMap<String, Span>,
+    cards: HashMap<String, String>,
+    /// All `.model` declarations in deck order.
+    pub models: Vec<ModelDecl>,
+}
+
+impl DeckMeta {
+    /// The deck span of an instance, if it came from a deck.
+    pub fn span_of(&self, instance: &str) -> Option<Span> {
+        self.spans.get(instance).copied()
+    }
+
+    /// The joined card text of an instance.
+    pub fn card_of(&self, instance: &str) -> Option<&str> {
+        self.cards.get(instance).map(String::as_str)
+    }
+}
+
+/// A circuit together with the deck metadata it was parsed from.
+#[derive(Debug, Clone)]
+pub struct ParsedDeck {
+    /// The parsed circuit.
+    pub circuit: Circuit,
+    /// Source spans and model bookkeeping.
+    pub meta: DeckMeta,
+}
+
+/// One joined card with its source span.
+struct Card {
+    span: Span,
+    text: String,
+}
+
 /// Parses a SPICE-like deck into a [`Circuit`].
 ///
 /// # Errors
 ///
-/// Returns [`NetlistError::Parse`] with a 1-based line number on malformed
-/// cards, and [`NetlistError::UnknownModel`] when a MOS instance references
-/// a model that was never declared.
+/// Returns [`NetlistError::Parse`] with a 1-based line number and the
+/// offending card text on malformed cards, and
+/// [`NetlistError::UnknownModel`] when a MOS instance references a model
+/// that was never declared.
 ///
 /// ```
 /// let ckt = ams_netlist::parse_deck("
@@ -45,11 +130,31 @@ use std::sync::Arc;
 /// assert_eq!(ckt.num_devices(), 3);
 /// ```
 pub fn parse_deck(deck: &str) -> Result<Circuit, NetlistError> {
-    let mut ckt = Circuit::new();
-    let mut models: HashMap<String, Arc<MosModel>> = HashMap::new();
+    parse_deck_full(deck).map(|p| p.circuit)
+}
 
-    // Join continuation lines while remembering original line numbers.
-    let mut cards: Vec<(usize, String)> = Vec::new();
+/// Parses a deck, also returning per-instance spans and model metadata.
+///
+/// # Errors
+///
+/// Same conditions as [`parse_deck`].
+///
+/// ```
+/// let parsed = ams_netlist::parse_deck_full(
+///     "R1 a 0 10k\n+ ; trailing continuation\nC1 a 0 1p",
+/// ).unwrap();
+/// let span = parsed.meta.span_of("R1").unwrap();
+/// assert_eq!((span.start, span.end), (1, 2));
+/// ```
+pub fn parse_deck_full(deck: &str) -> Result<ParsedDeck, NetlistError> {
+    let mut ckt = Circuit::new();
+    let mut meta = DeckMeta::default();
+    let mut models: HashMap<String, Arc<MosModel>> = HashMap::new();
+    // Lower-cased model name → index into meta.models, for reference counts.
+    let mut model_index: HashMap<String, usize> = HashMap::new();
+
+    // Join continuation lines while tracking the full span of each card.
+    let mut cards: Vec<Card> = Vec::new();
     for (i, raw) in deck.lines().enumerate() {
         let line = raw.split(';').next().unwrap_or("").trim();
         if line.is_empty() || line.starts_with('*') {
@@ -57,45 +162,62 @@ pub fn parse_deck(deck: &str) -> Result<Circuit, NetlistError> {
         }
         if let Some(rest) = line.strip_prefix('+') {
             if let Some(last) = cards.last_mut() {
-                last.1.push(' ');
-                last.1.push_str(rest.trim());
+                last.text.push(' ');
+                last.text.push_str(rest.trim());
+                // The card now extends through this continuation line.
+                last.span.end = i + 1;
                 continue;
             }
             return Err(NetlistError::Parse {
                 line: i + 1,
                 message: "continuation line with no preceding card".to_string(),
+                card: line.to_string(),
             });
         }
-        cards.push((i + 1, line.to_string()));
+        cards.push(Card {
+            span: Span::line(i + 1),
+            text: line.to_string(),
+        });
     }
 
     // First pass: model cards (so instances can reference models declared
     // later in the deck, as real decks often do).
-    for (line_no, card) in &cards {
-        let lower = card.to_ascii_lowercase();
+    for card in &cards {
+        let lower = card.text.to_ascii_lowercase();
         if lower.starts_with(".model") {
-            let (name, model) = parse_model(*line_no, card)?;
+            let (name, model) = parse_model(card.span, &card.text)?;
+            model_index.insert(name.to_ascii_lowercase(), meta.models.len());
+            meta.models.push(ModelDecl {
+                name: name.clone(),
+                span: card.span,
+                references: 0,
+            });
             models.insert(name.to_ascii_lowercase(), Arc::new(model));
         }
     }
 
-    for (line_no, card) in &cards {
-        let toks: Vec<&str> = card.split_whitespace().collect();
+    for card in &cards {
+        let span = card.span;
+        let toks: Vec<&str> = card.text.split_whitespace().collect();
         let head = toks[0];
         let lower_head = head.to_ascii_lowercase();
         if lower_head.starts_with(".model") {
             continue;
         }
-        if lower_head.starts_with(".end") || lower_head.starts_with(".") {
+        if lower_head.starts_with(".end") || lower_head.starts_with('.') {
             continue; // ignore other dot cards
         }
         let err = |message: String| NetlistError::Parse {
-            line: *line_no,
+            line: span.start,
             message,
+            card: card.text.clone(),
         };
         let need = |n: usize| -> Result<(), NetlistError> {
             if toks.len() < n {
-                Err(err(format!("expected at least {n} tokens, got {}", toks.len())))
+                Err(err(format!(
+                    "expected at least {n} tokens, got {}",
+                    toks.len()
+                )))
             } else {
                 Ok(())
             }
@@ -130,7 +252,7 @@ pub fn parse_deck(deck: &str) -> Result<Circuit, NetlistError> {
                 need(4)?;
                 let plus = ckt.node(toks[1]);
                 let minus = ckt.node(toks[2]);
-                let (waveform, ac_mag) = parse_source(&toks[3..], *line_no)?;
+                let (waveform, ac_mag) = parse_source(&toks[3..], span, &card.text)?;
                 let dev = if lower_head.starts_with('v') {
                     Device::Vsource {
                         plus,
@@ -195,6 +317,9 @@ pub fn parse_deck(deck: &str) -> Result<Circuit, NetlistError> {
                     .get(&model_name)
                     .cloned()
                     .ok_or_else(|| NetlistError::UnknownModel(toks[5].to_string()))?;
+                if let Some(&mi) = model_index.get(&model_name) {
+                    meta.models[mi].references += 1;
+                }
                 let mut w = 10e-6;
                 let mut l = 1e-6;
                 let mut mult = 1u32;
@@ -220,18 +345,22 @@ pub fn parse_deck(deck: &str) -> Result<Circuit, NetlistError> {
                 return Err(err(format!("unknown element type `{other}`")));
             }
         }
+        meta.spans.insert(head.to_string(), span);
+        meta.cards.insert(head.to_string(), card.text.clone());
     }
 
-    Ok(ckt)
+    Ok(ParsedDeck { circuit: ckt, meta })
 }
 
 fn parse_source(
     toks: &[&str],
-    line_no: usize,
+    span: Span,
+    card: &str,
 ) -> Result<(SourceWaveform, f64), NetlistError> {
     let err = |message: String| NetlistError::Parse {
-        line: line_no,
+        line: span.start,
         message,
+        card: card.to_string(),
     };
     let mut dc = 0.0;
     let mut ac_mag = 0.0;
@@ -281,7 +410,7 @@ fn parse_source(
             }
             _ if t.starts_with("pwl") => {
                 let args = collect_args(&toks[i..]);
-                if args.len() % 2 != 0 {
+                if !args.len().is_multiple_of(2) {
                     return Err(err("PWL needs an even number of values".into()));
                 }
                 let points = args.chunks(2).map(|p| (p[0], p[1])).collect();
@@ -290,7 +419,8 @@ fn parse_source(
             }
             _ => {
                 // A bare number is a DC value.
-                dc = parse_si(toks[i]).ok_or_else(|| err(format!("unexpected token `{}`", toks[i])))?;
+                dc = parse_si(toks[i])
+                    .ok_or_else(|| err(format!("unexpected token `{}`", toks[i])))?;
                 i += 1;
             }
         }
@@ -312,16 +442,14 @@ fn collect_args(toks: &[&str]) -> Vec<f64> {
             return after.iter().filter_map(|t| parse_si(t)).collect();
         }
     };
-    inner
-        .split_whitespace()
-        .filter_map(parse_si)
-        .collect()
+    inner.split_whitespace().filter_map(parse_si).collect()
 }
 
-fn parse_model(line_no: usize, card: &str) -> Result<(String, MosModel), NetlistError> {
+fn parse_model(span: Span, card: &str) -> Result<(String, MosModel), NetlistError> {
     let err = |message: String| NetlistError::Parse {
-        line: line_no,
+        line: span.start,
         message,
+        card: card.to_string(),
     };
     let toks: Vec<&str> = card.split_whitespace().collect();
     if toks.len() < 3 {
@@ -424,12 +552,16 @@ mod tests {
     }
 
     #[test]
-    fn parse_error_carries_line_number() {
+    fn parse_error_carries_line_number_and_card() {
         let e = parse_deck("R1 a 0 1k\nX9 bogus").unwrap_err();
         match e {
-            NetlistError::Parse { line, .. } => assert_eq!(line, 2),
-            other => panic!("unexpected {other:?}"),
+            NetlistError::Parse { line, ref card, .. } => {
+                assert_eq!(line, 2);
+                assert_eq!(card, "X9 bogus");
+            }
+            ref other => panic!("unexpected {other:?}"),
         }
+        assert!(e.to_string().contains("X9 bogus"));
     }
 
     #[test]
@@ -446,6 +578,59 @@ mod tests {
             Device::Mos(m) => assert!((m.w - 10e-6).abs() < 1e-18),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn continuation_error_reports_opening_line() {
+        // The bad token sits on line 3 (a continuation), but the card opens
+        // on line 2 — the error must point at the opening card.
+        let e = parse_deck("R1 a 0 1k\nM1 d g 0 0 nch\n+ W=oops\n.model nch nmos").unwrap_err();
+        match e {
+            NetlistError::Parse { line, ref card, .. } => {
+                assert_eq!(line, 2, "error should name the opening card line");
+                assert!(card.contains("M1") && card.contains("oops"), "card: {card}");
+            }
+            ref other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spans_cover_continuation_lines() {
+        let parsed = parse_deck_full(
+            "R1 a 0 1k
+M1 d g 0 0 nch
++ W=10u
++ L=1u
+.model nch nmos
+Vd d 0 DC 1
+Vg g 0 DC 1",
+        )
+        .unwrap();
+        let m1 = parsed.meta.span_of("M1").unwrap();
+        assert_eq!((m1.start, m1.end), (2, 4));
+        let r1 = parsed.meta.span_of("R1").unwrap();
+        assert_eq!((r1.start, r1.end), (1, 1));
+        assert_eq!(
+            parsed.meta.card_of("M1").unwrap(),
+            "M1 d g 0 0 nch W=10u L=1u"
+        );
+    }
+
+    #[test]
+    fn meta_counts_model_references() {
+        let parsed = parse_deck_full(
+            ".model nch nmos
+             .model pch pmos
+             Vd d 0 DC 1
+             Vg g 0 DC 1
+             M1 d g 0 0 nch W=10u L=1u
+             M2 d g 0 0 nch W=10u L=1u",
+        )
+        .unwrap();
+        let nch = parsed.meta.models.iter().find(|m| m.name == "nch").unwrap();
+        assert_eq!(nch.references, 2);
+        let pch = parsed.meta.models.iter().find(|m| m.name == "pch").unwrap();
+        assert_eq!(pch.references, 0);
     }
 
     #[test]

@@ -108,7 +108,11 @@ pub fn evaluate(grid: &PowerGrid, c: &RailConstraints) -> Result<GridEval, SimEr
         .filter_map(|t| t.spike.map(|s| s.3))
         .fold(0.0f64, f64::max);
     let tran = if max_period > 0.0 {
-        Some(transient(&ckt, 2.0 * max_period + 2e-9, max_period / 150.0)?)
+        Some(transient(
+            &ckt,
+            2.0 * max_period + 2e-9,
+            max_period / 150.0,
+        )?)
     } else {
         None
     };
@@ -258,14 +262,11 @@ pub fn synthesize(
         // widths cannot fix: synthesize decap at the offending tap. IR
         // drop and impedance respond to widening the supply path.
         if report.droop > constraints.max_droop
-            && report.droop / constraints.max_droop
-                >= report.dc_drop / constraints.max_dc_drop
+            && report.droop / constraints.max_droop >= report.dc_drop / constraints.max_dc_drop
         {
             // Charge budget of one spike, sized to keep droop in spec.
             let extra = match tap.spike {
-                Some((peak, _edge, width, _period)) => {
-                    2.0 * peak * width / constraints.max_droop
-                }
+                Some((peak, _edge, width, _period)) => 2.0 * peak * width / constraints.max_droop,
                 None => 1e-9,
             };
             grid.add_decap(tap.x, tap.y, extra.min(10e-9));

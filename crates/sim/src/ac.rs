@@ -29,10 +29,7 @@ impl AcSweep {
 
     /// Phases in degrees.
     pub fn phase_deg(&self) -> Vec<f64> {
-        self.values
-            .iter()
-            .map(|v| v.arg().to_degrees())
-            .collect()
+        self.values.iter().map(|v| v.arg().to_degrees()).collect()
     }
 
     /// DC (lowest-frequency) gain magnitude.

@@ -7,8 +7,8 @@ use ams_netlist::{Circuit, Device, MosOp};
 use std::collections::HashMap;
 
 use crate::error::SimError;
-use crate::mna::{indexed_devices, LinearNet, MnaLayout, Stamper};
 use crate::linalg::Matrix;
+use crate::mna::{indexed_devices, LinearNet, MnaLayout, Stamper};
 
 /// Maximum Newton iterations per homotopy stage.
 const MAX_ITER: usize = 150;
@@ -67,9 +67,18 @@ impl OpPoint {
 
 /// Computes the DC operating point of a circuit.
 ///
+/// Before assembling any matrix, the structural subset of the `ams-lint`
+/// ERC rules runs over the circuit; a predicted singularity (floating node,
+/// voltage loop, current cutset, zero-valued element) is reported as
+/// [`SimError::Erc`] naming the offending node or instance, instead of the
+/// bare pivot index a `SingularMatrix` failure would give.
+///
 /// # Errors
 ///
-/// * [`SimError::Singular`] — structurally singular system (floating node).
+/// * [`SimError::Erc`] — the ERC pre-pass predicted a structural
+///   singularity; the message names the offending node/instance/loop.
+/// * [`SimError::Singular`] / [`SimError::SingularNode`] — the system was
+///   numerically singular despite passing the structural checks.
 /// * [`SimError::NoConvergence`] — all homotopy ladders failed.
 ///
 /// ```
@@ -82,6 +91,7 @@ impl OpPoint {
 /// assert!((op.voltage(&ckt, "out").unwrap() - 1.0).abs() < 1e-9);
 /// ```
 pub fn dc_operating_point(ckt: &Circuit) -> Result<OpPoint, SimError> {
+    erc_gate(ckt)?;
     let layout = MnaLayout::new(ckt);
     let devices = indexed_devices(ckt);
     let mut x = vec![0.0; layout.dim()];
@@ -124,13 +134,41 @@ pub fn dc_operating_point(ckt: &Circuit) -> Result<OpPoint, SimError> {
     })
 }
 
+/// Runs the singularity-predicting ERC subset and converts the first error
+/// into a [`SimError::Erc`].
+fn erc_gate(ckt: &Circuit) -> Result<(), SimError> {
+    let report = ams_lint::lint_structural(ckt);
+    if let Some(diag) = report.errors().next() {
+        return Err(SimError::Erc {
+            code: diag.code.as_str().to_string(),
+            message: diag.message.clone(),
+        });
+    }
+    Ok(())
+}
+
+/// Upgrades a bare [`SingularMatrix`](crate::linalg::SingularMatrix) into a
+/// node-named error when the failing pivot belongs to a signal node row.
+fn resolve_singular(
+    ckt: &Circuit,
+    layout: &MnaLayout,
+    e: crate::linalg::SingularMatrix,
+) -> SimError {
+    if e.pivot < layout.n_signal_nodes() {
+        // Signal-node unknowns are ordered by node id, skipping ground.
+        let node = ams_netlist::NodeId::from_index(e.pivot + 1);
+        SimError::SingularNode {
+            pivot: e.pivot,
+            node: ckt.node_name(node).to_string(),
+        }
+    } else {
+        SimError::Singular(e)
+    }
+}
+
 fn finish(ckt: &Circuit, layout: MnaLayout, x: Vec<f64>) -> OpPoint {
     let mos_ops = evaluate_mos_ops(ckt, &layout, &x);
-    OpPoint {
-        x,
-        mos_ops,
-        layout,
-    }
+    OpPoint { x, mos_ops, layout }
 }
 
 fn evaluate_mos_ops(ckt: &Circuit, layout: &MnaLayout, x: &[f64]) -> HashMap<String, MosOp> {
@@ -142,9 +180,7 @@ fn evaluate_mos_ops(ckt: &Circuit, layout: &MnaLayout, x: &[f64]) -> HashMap<Str
             let vgs = v(m.gate) - s.1;
             let vds = d.1 - s.1;
             let vbs = v(m.bulk) - s.1;
-            let mut op = m
-                .model
-                .evaluate(vgs, vds, vbs, m.w * m.m as f64, m.l);
+            let mut op = m.model.evaluate(vgs, vds, vbs, m.w * m.m as f64, m.l);
             if flipped {
                 op.ids = -op.ids;
             }
@@ -171,7 +207,7 @@ fn orient(
 
 /// One Newton solve at a fixed (gmin, source-scale) homotopy point.
 fn newton(
-    _ckt: &Circuit,
+    ckt: &Circuit,
     layout: &MnaLayout,
     devices: &[(usize, String, Device)],
     x: &mut [f64],
@@ -181,7 +217,7 @@ fn newton(
     for _iter in 0..MAX_ITER {
         let mut st = Stamper::new(layout.dim());
         stamp_dc(layout, devices, x, gmin, source_scale, &mut st);
-        let lu = st.a.lu().map_err(SimError::Singular)?;
+        let lu = st.a.lu().map_err(|e| resolve_singular(ckt, layout, e))?;
         let new_x = lu.solve(&st.z);
         // Damped update and convergence check.
         let mut converged = true;
@@ -605,10 +641,7 @@ mod tests {
         let vd = op.voltage(&ckt, "d").unwrap();
         // Id ≈ 0.5·110µ·10·0.09 ≈ 49.5 µA → Vd ≈ 5 − 0.495 ≈ 4.5 V.
         assert!(vd > 4.0 && vd < 4.8, "vd = {vd}");
-        assert_eq!(
-            op.mos_ops["M1"].region,
-            ams_netlist::MosRegion::Saturation
-        );
+        assert_eq!(op.mos_ops["M1"].region, ams_netlist::MosRegion::Saturation);
     }
 
     #[test]
@@ -662,6 +695,64 @@ mod tests {
         let op = dc_operating_point(&ckt).unwrap();
         let vd = op.voltage(&ckt, "d").unwrap();
         assert!(vd > 0.5, "follower output should rise, vd = {vd}");
+    }
+
+    #[test]
+    fn floating_node_reports_erc_not_pivot() {
+        // `x` hangs off a capacitor only: the ERC gate must name it
+        // instead of letting LU fail with a bare pivot index.
+        let ckt = parse_deck(
+            "V1 in 0 DC 5
+             R1 in out 1k
+             C1 out x 1p",
+        )
+        .unwrap();
+        let err = dc_operating_point(&ckt).unwrap_err();
+        match err {
+            SimError::Erc {
+                ref code,
+                ref message,
+            } => {
+                assert_eq!(code, "E002");
+                assert!(message.contains("`x`"), "message: {message}");
+            }
+            other => panic!("expected Erc, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn voltage_loop_reports_erc() {
+        let ckt = parse_deck(
+            "V1 a 0 DC 1
+             V2 a 0 DC 2
+             R1 a 0 1k",
+        )
+        .unwrap();
+        let err = dc_operating_point(&ckt).unwrap_err();
+        match err {
+            SimError::Erc {
+                ref code,
+                ref message,
+            } => {
+                assert_eq!(code, "E003");
+                assert!(message.contains("V2"), "message: {message}");
+            }
+            other => panic!("expected Erc, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn current_cutset_reports_erc() {
+        let ckt = parse_deck(
+            "I1 0 x 1u
+             C1 x 0 1p",
+        )
+        .unwrap();
+        let err = dc_operating_point(&ckt).unwrap_err();
+        assert!(
+            matches!(err, SimError::Erc { ref code, .. } if code == "E004"),
+            "got {err:?}"
+        );
     }
 
     #[test]

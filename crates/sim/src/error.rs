@@ -10,6 +10,24 @@ pub enum SimError {
     Netlist(NetlistError),
     /// The MNA matrix was singular (floating node, loop of voltage sources…).
     Singular(SingularMatrix),
+    /// The MNA matrix was singular and the failing pivot resolved to a
+    /// named circuit node (its KCL row is linearly dependent or zero).
+    SingularNode {
+        /// Pivot column at which LU elimination failed.
+        pivot: usize,
+        /// Name of the node whose row caused the failure.
+        node: String,
+    },
+    /// The pre-simulation electrical-rule check predicted a structural
+    /// singularity (floating node, voltage loop, current cutset, bad
+    /// value), so no matrix was assembled. `code` is the stable `ams-lint`
+    /// rule code and `message` names the offending node, instance, or loop.
+    Erc {
+        /// Stable lint rule code, e.g. `"E002"`.
+        code: String,
+        /// Full diagnostic message.
+        message: String,
+    },
     /// Newton–Raphson failed to converge after all homotopy fallbacks.
     NoConvergence {
         /// Analysis that failed ("dc", "tran"…).
@@ -28,10 +46,21 @@ impl fmt::Display for SimError {
         match self {
             SimError::Netlist(e) => write!(f, "netlist error: {e}"),
             SimError::Singular(e) => write!(f, "singular MNA system: {e}"),
+            SimError::SingularNode { pivot, node } => write!(
+                f,
+                "singular MNA system: node `{node}` has no independent equation \
+                 (pivot {pivot})"
+            ),
+            SimError::Erc { code, message } => {
+                write!(f, "electrical rule check failed [{code}]: {message}")
+            }
             SimError::NoConvergence {
                 analysis,
                 iterations,
-            } => write!(f, "{analysis} analysis failed to converge after {iterations} iterations"),
+            } => write!(
+                f,
+                "{analysis} analysis failed to converge after {iterations} iterations"
+            ),
             SimError::UnknownNode(n) => write!(f, "unknown node `{n}`"),
             SimError::BadParameter(m) => write!(f, "bad analysis parameter: {m}"),
         }

@@ -144,6 +144,9 @@ impl Mul<f64> for Complex {
 
 impl Div for Complex {
     type Output = Complex;
+    // Division as multiplication by the reciprocal is the standard complex
+    // formulation, not a typo.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Complex) -> Complex {
         self * rhs.inv()
     }
@@ -201,9 +204,9 @@ impl Matrix {
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.n_cols, "dimension mismatch");
         let mut y = vec![0.0; self.n_rows];
-        for i in 0..self.n_rows {
+        for (i, yi) in y.iter_mut().enumerate() {
             let row = &self.data[i * self.n_cols..(i + 1) * self.n_cols];
-            y[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+            *yi = row.iter().zip(x).map(|(a, b)| a * b).sum();
         }
         y
     }
@@ -299,6 +302,9 @@ impl Lu {
     /// # Panics
     ///
     /// Panics if `b.len()` does not match the matrix dimension.
+    // The triangular solves read earlier/later entries of `x` while writing
+    // x[i]; index loops state that dependence more clearly than iterators.
+    #[allow(clippy::needless_range_loop)]
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
         let n = self.lu.n_rows;
         assert_eq!(b.len(), n, "dimension mismatch");

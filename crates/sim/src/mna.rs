@@ -26,8 +26,8 @@ impl MnaLayout {
     pub fn new(ckt: &Circuit) -> Self {
         let n_nodes = ckt.num_nodes();
         let mut node_index = vec![None; n_nodes];
-        for i in 1..n_nodes {
-            node_index[i] = Some(i - 1);
+        for (i, slot) in node_index.iter_mut().enumerate().skip(1) {
+            *slot = Some(i - 1);
         }
         let n_signal = n_nodes - 1;
         let mut branch_index = HashMap::new();
@@ -130,13 +130,7 @@ impl Stamper {
     /// Stamps the incidence of a voltage-defined branch `br` across `(p, m)`:
     /// KCL columns and the KVL row, with the branch voltage forced to
     /// `volts` (callers add controlled-source terms separately).
-    pub fn voltage_branch(
-        &mut self,
-        br: usize,
-        p: Option<usize>,
-        m: Option<usize>,
-        volts: f64,
-    ) {
+    pub fn voltage_branch(&mut self, br: usize, p: Option<usize>, m: Option<usize>, volts: f64) {
         if let Some(p) = p {
             self.a[(p, br)] += 1.0;
             self.a[(br, p)] += 1.0;

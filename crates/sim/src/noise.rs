@@ -106,8 +106,7 @@ pub fn noise_sources(
                     psd_flicker: 0.0,
                 });
                 // Flicker: KF·Id / (Cox·L²) / f, injected drain-source.
-                let kf_psd =
-                    m.model.kf * mos_op.ids.abs() / (m.model.cox * m.l * m.l);
+                let kf_psd = m.model.kf * mos_op.ids.abs() / (m.model.cox * m.l * m.l);
                 if kf_psd > 0.0 {
                     out.push(NoiseSource {
                         device: name.to_string(),
@@ -311,8 +310,7 @@ mod tests {
         let op = dc_operating_point(&ckt).unwrap();
         let net = linearize(&ckt, &op);
         let out = output_index(&ckt, &net.layout, "out").unwrap();
-        let res =
-            noise_analysis(&ckt, &op, &net, out, &[1e3, 1e4, 1e5], 300.0).unwrap();
+        let res = noise_analysis(&ckt, &op, &net, out, &[1e3, 1e4, 1e5], 300.0).unwrap();
         assert_eq!(res.contributions.len(), 2);
         // Sorted descending.
         assert!(res.contributions[0].1 >= res.contributions[1].1);

@@ -161,16 +161,7 @@ pub fn transient(ckt: &Circuit, tstop: f64, dt: f64) -> Result<TranResult, SimEr
     while t < tstop - 1e-15 {
         let step = dt.min(tstop - t);
         let (new_x, new_states, new_mos_caps, t_next) = advance(
-            ckt,
-            &layout,
-            &devices,
-            &x,
-            &states,
-            &mos_caps,
-            t,
-            step,
-            first_step,
-            0,
+            ckt, &layout, &devices, &x, &states, &mos_caps, t, step, first_step, 0,
         )?;
         x = new_x;
         states = new_states;
@@ -189,7 +180,7 @@ pub fn transient(ckt: &Circuit, tstop: f64, dt: f64) -> Result<TranResult, SimEr
 }
 
 /// Advances one (possibly recursively halved) timestep.
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments, clippy::type_complexity)]
 fn advance(
     ckt: &Circuit,
     layout: &MnaLayout,
@@ -264,7 +255,16 @@ fn advance(
         Err(_) if depth < MAX_HALVINGS => {
             // Halve: two sub-steps, BE on the first half for damping.
             let (x1, s1, c1, t1) = advance(
-                ckt, layout, devices, x, states, mos_caps, t, h / 2.0, true, depth + 1,
+                ckt,
+                layout,
+                devices,
+                x,
+                states,
+                mos_caps,
+                t,
+                h / 2.0,
+                true,
+                depth + 1,
             )?;
             advance(
                 ckt,
@@ -283,11 +283,7 @@ fn advance(
     }
 }
 
-fn mos_op_at(
-    m: &ams_netlist::MosInstance,
-    layout: &MnaLayout,
-    x: &[f64],
-) -> ams_netlist::MosOp {
+fn mos_op_at(m: &ams_netlist::MosInstance, layout: &MnaLayout, x: &[f64]) -> ams_netlist::MosOp {
     let xv = |id: NodeId| layout.node(id).map_or(0.0, |i| x[i]);
     let (vd, vs) = (xv(m.drain), xv(m.source));
     let sign = m.model.polarity.sign();
@@ -328,7 +324,9 @@ fn newton_step(
     let mut x = x0.to_vec();
     for _ in 0..MAX_ITER {
         let mut st = Stamper::new(layout.dim());
-        stamp_tran(layout, devices, &x, states, mos_caps, t_new, h, use_be, &mut st);
+        stamp_tran(
+            layout, devices, &x, states, mos_caps, t_new, h, use_be, &mut st,
+        );
         let lu = st.a.lu().map_err(SimError::Singular)?;
         let new_x = lu.solve(&st.z);
         let mut converged = true;

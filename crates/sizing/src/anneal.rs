@@ -6,8 +6,7 @@
 //! optimization loop") and OBLX ("numerically searches for a good minimum
 //! of this function via annealing") all share this engine shape.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use ams_prng::{Rng, SeedableRng, SmallRng};
 
 /// One optimization parameter: bounds and scale.
 #[derive(Debug, Clone)]
@@ -251,7 +250,9 @@ mod tests {
     #[test]
     fn log_parameters_stay_in_bounds() {
         let params = vec![ParamDef::log("w", 1e-6, 1e-3)];
-        let r = anneal(&params, &AnnealConfig::quick(), |v| (v[0].ln() + 10.0).abs());
+        let r = anneal(&params, &AnnealConfig::quick(), |v| {
+            (v[0].ln() + 10.0).abs()
+        });
         assert!(r.x[0] >= 1e-6 && r.x[0] <= 1e-3);
         // Optimum at w = e^-10 ≈ 4.5e-5.
         assert!((r.x[0].ln() + 10.0).abs() < 0.5, "w = {}", r.x[0]);

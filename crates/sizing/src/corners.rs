@@ -68,9 +68,7 @@ pub fn worst_case(spec: &Spec, per_corner: &[Perf]) -> Perf {
             continue;
         }
         let worst = match bound {
-            ams_topology::Bound::AtLeast(_) => {
-                values.iter().cloned().fold(f64::INFINITY, f64::min)
-            }
+            ams_topology::Bound::AtLeast(_) => values.iter().cloned().fold(f64::INFINITY, f64::min),
             ams_topology::Bound::AtMost(_) => {
                 values.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
             }
@@ -127,7 +125,10 @@ pub fn optimize_worst_case<M: CornerAware>(
         compiler.cost(&worst_case(compiler.spec(), &per))
     });
 
-    let per: Vec<Perf> = corner_models.iter().map(|m| m.evaluate(&result.x)).collect();
+    let per: Vec<Perf> = corner_models
+        .iter()
+        .map(|m| m.evaluate(&result.x))
+        .collect();
     let wc = worst_case(compiler.spec(), &per);
     let per_corner: HashMap<String, Perf> = corners
         .iter()

@@ -97,10 +97,10 @@ impl fmt::Display for DonaldError {
             DonaldError::UnderConstrained { unknown } => {
                 write!(f, "under-constrained: cannot derive {}", unknown.join(", "))
             }
-            DonaldError::Inconsistent {
-                equation,
-                residual,
-            } => write!(f, "equation `{equation}` inconsistent (residual {residual:.3e})"),
+            DonaldError::Inconsistent { equation, residual } => write!(
+                f,
+                "equation `{equation}` inconsistent (residual {residual:.3e})"
+            ),
             DonaldError::MissingInput(v) => write!(f, "missing input `{v}`"),
         }
     }
@@ -223,11 +223,7 @@ impl DeclarativeModel {
     /// * [`DonaldError::Inconsistent`] — a check equation's recomputed value
     ///   disagrees with the environment by more than 0.1% (over-constrained
     ///   inputs).
-    pub fn execute(
-        &self,
-        plan: &ComputationalPlan,
-        inputs: &Env,
-    ) -> Result<Env, DonaldError> {
+    pub fn execute(&self, plan: &ComputationalPlan, inputs: &Env) -> Result<Env, DonaldError> {
         let mut env = inputs.clone();
         for step in &plan.steps {
             let eq = &self.equations[step.equation_index];
@@ -334,9 +330,7 @@ mod tests {
         // Same declarative model, opposite direction: given sizes, derive
         // performance. A hand-written plan cannot do this.
         let model = two_stage_equations();
-        let plan = model
-            .plan(&["cc", "itail", "gm1", "gm6", "vov6"])
-            .unwrap();
+        let plan = model.plan(&["cc", "itail", "gm1", "gm6", "vov6"]).unwrap();
         let out = model
             .execute(
                 &plan,

@@ -11,9 +11,8 @@
 use crate::anneal::ParamDef;
 use crate::cost::CostCompiler;
 use crate::eqopt::{PerfModel, SizingResult};
+use ams_prng::{Rng, SeedableRng, SmallRng};
 use ams_topology::Spec;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// GA configuration.
 #[derive(Debug, Clone)]
@@ -97,41 +96,68 @@ pub fn evolve(models: &[&dyn PerfModel], spec: &Spec, config: &GaConfig) -> GaRe
         })
         .collect();
 
-    let mut best = pop
-        .iter()
-        .min_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap_or(std::cmp::Ordering::Equal))
-        .expect("non-empty population")
-        .clone();
+    // Per-species elitism: track the best chromosome of every topology
+    // species and re-seed it each generation. Without this, tournament
+    // selection can drive a species extinct before its parameters have been
+    // optimized, making the topology choice an accident of the random
+    // stream rather than a comparison of each species' optimum.
+    let mut species_best: Vec<Option<Chromosome>> = vec![None; models.len()];
+    for c in &pop {
+        let slot = &mut species_best[c.topology];
+        if slot.as_ref().is_none_or(|s| c.cost < s.cost) {
+            *slot = Some(c.clone());
+        }
+    }
 
     for _gen in 0..config.generations {
-        let mut next = Vec::with_capacity(pop.len());
-        // Elitism: carry the best forward.
-        next.push(best.clone());
+        let mut next: Vec<Chromosome> = species_best.iter().flatten().cloned().collect();
         while next.len() < pop.len() {
             let a = tournament(&pop, config.tournament, &mut rng);
             let b = tournament(&pop, config.tournament, &mut rng);
             let mut child = crossover(a, b, &mut rng);
-            mutate(
-                &mut child,
-                models.len(),
-                &param_defs,
-                config,
-                &mut rng,
-            );
+            mutate(&mut child, models.len(), &param_defs, config, &mut rng);
             child.cost = eval(child.topology, &child.genes);
-            if child.cost < best.cost {
-                best = child.clone();
+            let slot = &mut species_best[child.topology];
+            if slot.as_ref().is_none_or(|s| child.cost < s.cost) {
+                *slot = Some(child.clone());
             }
             next.push(child);
         }
         pop = next;
     }
 
-    let consensus = pop
+    // Polish each species' champion with a mutation-only hill climb.
+    // Tournament selection concentrates offspring on the currently-leading
+    // species, so a minority species' champion can be far from its own
+    // optimum; refining every champion makes the final topology choice a
+    // comparison of local optima, not of how many offspring each species
+    // happened to receive.
+    let polish_iters = config.population;
+    for (t, slot) in species_best.iter_mut().enumerate() {
+        let Some(champ) = slot else { continue };
+        for _ in 0..polish_iters {
+            let mut trial = champ.clone();
+            perturb_genes(&mut trial.genes, &param_defs[t], 0.5, &mut rng);
+            trial.cost = eval(t, &trial.genes);
+            if trial.cost < champ.cost {
+                *champ = trial;
+            }
+        }
+    }
+
+    let best = species_best
         .iter()
-        .filter(|c| c.topology == best.topology)
-        .count() as f64
-        / pop.len() as f64;
+        .flatten()
+        .min_by(|a, b| {
+            a.cost
+                .partial_cmp(&b.cost)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .expect("non-empty population")
+        .clone();
+
+    let consensus =
+        pop.iter().filter(|c| c.topology == best.topology).count() as f64 / pop.len() as f64;
     let model = models[best.topology];
     let perf = model.evaluate(&best.genes);
     GaResult {
@@ -146,7 +172,8 @@ pub fn evolve(models: &[&dyn PerfModel], spec: &Spec, config: &GaConfig) -> GaRe
             feasible: compiler.feasible(&perf),
             perf,
             cost: best.cost,
-            evaluations: config.population * (config.generations + 1),
+            evaluations: config.population * (config.generations + 1)
+                + species_best.iter().flatten().count() * polish_iters,
         },
     }
 }
@@ -204,9 +231,19 @@ fn mutate(
         c.genes = param_defs[t].iter().map(|p| p.sample(rng)).collect();
         return;
     }
-    for (gene, def) in c.genes.iter_mut().zip(&param_defs[c.topology]) {
-        if rng.gen::<f64>() < config.mutation_rate {
-            // Gaussian-ish perturbation via two uniforms, clamped by resample.
+    perturb_genes(
+        &mut c.genes,
+        &param_defs[c.topology],
+        config.mutation_rate,
+        rng,
+    );
+}
+
+/// Perturbs each gene with probability `rate` by a Gaussian-ish step (sum of
+/// two uniforms), clamped to the parameter bounds.
+fn perturb_genes(genes: &mut [f64], defs: &[ParamDef], rate: f64, rng: &mut SmallRng) {
+    for (gene, def) in genes.iter_mut().zip(defs) {
+        if rng.gen::<f64>() < rate {
             let scale = 0.2;
             let step = scale * (rng.gen::<f64>() + rng.gen::<f64>() - 1.0);
             let v = if def.log {

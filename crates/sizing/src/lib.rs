@@ -49,6 +49,6 @@ pub use donald::{ComputationalPlan, DeclarativeModel, DonaldError, Equation};
 pub use eqopt::{optimize, PerfModel, SizingResult, SymmetricalOtaModel, TwoStageModel};
 pub use genetic::{evolve, GaConfig, GaResult};
 pub use oblx::{synthesize_dc_free, CommonSourceDcFree, DcFreeResult, DcFreeTemplate};
-pub use redesign::{redesign, DesignDatabase, StoredDesign};
 pub use plan::{DesignPlan, HierarchicalPlan, PlanError, PlanResult, TwoStagePlan};
+pub use redesign::{redesign, DesignDatabase, StoredDesign};
 pub use simopt::{synthesize, AcEvaluator, SimulatedTemplate, TwoStageCircuit};

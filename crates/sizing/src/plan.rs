@@ -133,7 +133,10 @@ impl DesignPlan for TwoStagePlan {
         };
         let ugf = need("ugf_hz")?;
         let slew = need("slew_v_per_s")?;
-        let pm = spec.bound_for("phase_margin_deg").map(target).unwrap_or(60.0);
+        let pm = spec
+            .bound_for("phase_margin_deg")
+            .map(target)
+            .unwrap_or(60.0);
 
         let mut steps = Vec::new();
         let mut record = |variable: &str, value: f64, equation: &str| {
@@ -179,7 +182,11 @@ impl DesignPlan for TwoStagePlan {
             });
         }
         let l = record("l", 2.0 * tech.lmin, "L = 2*Lmin (gain heuristic)");
-        let w1 = record("w1", tech.nmos.width_for(id1, l, vov1), "W1 = 2*Id*L/(KPn*Vov1^2)");
+        let w1 = record(
+            "w1",
+            tech.nmos.width_for(id1, l, vov1),
+            "W1 = 2*Id*L/(KPn*Vov1^2)",
+        );
 
         // Step 5: second stage for the non-dominant pole: gm6 = 2.2·gm1·CL/Cc.
         let gm6 = record("gm6", 2.2 * gm1 * self.cl / cc, "gm6 = 2.2*gm1*CL/Cc");
@@ -244,7 +251,10 @@ impl fmt::Debug for HierarchicalPlan {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("HierarchicalPlan")
             .field("name", &self.name)
-            .field("children", &self.children.iter().map(|(n, _)| n).collect::<Vec<_>>())
+            .field(
+                "children",
+                &self.children.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+            )
             .finish()
     }
 }

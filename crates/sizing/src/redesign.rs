@@ -10,9 +10,8 @@
 use crate::anneal::{AnnealConfig, ParamDef};
 use crate::cost::CostCompiler;
 use crate::eqopt::{PerfModel, SizingResult};
+use ams_prng::{Rng, SeedableRng, SmallRng};
 use ams_topology::{Bound, Spec};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 
 /// One stored design: the spec it was sized for and the parameter vector.
@@ -120,7 +119,7 @@ pub fn redesign<M: PerfModel>(
             hit.params
                 .get(&p.name)
                 .copied()
-                .unwrap_or_else(|| 0.5 * (p.lo + p.hi))
+                .unwrap_or(0.5 * (p.lo + p.hi))
                 .clamp(p.lo, p.hi)
         })
         .collect();

@@ -14,9 +14,7 @@ use crate::cost::{CostCompiler, Perf};
 use crate::eqopt::SizingResult;
 use ams_awe::AweModel;
 use ams_netlist::{Circuit, Technology};
-use ams_sim::{
-    ac_sweep, dc_operating_point, linearize, log_frequencies, output_index, SimError,
-};
+use ams_sim::{ac_sweep, dc_operating_point, linearize, log_frequencies, output_index, SimError};
 use ams_topology::Spec;
 use std::collections::HashMap;
 
@@ -272,21 +270,17 @@ mod tests {
         ckt.validate().unwrap();
         let op = dc_operating_point(&ckt).unwrap();
         // Diff pair must be in saturation at this sizing.
-        assert_eq!(
-            op.mos_ops["M1"].region,
-            ams_netlist::MosRegion::Saturation
-        );
-        assert_eq!(
-            op.mos_ops["M2"].region,
-            ams_netlist::MosRegion::Saturation
-        );
+        assert_eq!(op.mos_ops["M1"].region, ams_netlist::MosRegion::Saturation);
+        assert_eq!(op.mos_ops["M2"].region, ams_netlist::MosRegion::Saturation);
     }
 
     #[test]
     fn measured_gain_is_opamp_like() {
         let t = template();
         let ckt = t.build(&good_point());
-        let perf = t.measure(&ckt, AcEvaluator::FullSweep { points: 121 }).unwrap();
+        let perf = t
+            .measure(&ckt, AcEvaluator::FullSweep { points: 121 })
+            .unwrap();
         assert!(
             perf["gain_db"] > 40.0,
             "gain = {} dB (biasing off?)",

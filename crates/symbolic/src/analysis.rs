@@ -33,7 +33,10 @@ impl fmt::Display for SymbolicError {
         match self {
             SymbolicError::UnknownOutput(n) => write!(f, "unknown output node `{n}`"),
             SymbolicError::NoExcitation => {
-                write!(f, "no AC excitation found (set an `AC` magnitude on a source)")
+                write!(
+                    f,
+                    "no AC excitation found (set an `AC` magnitude on a source)"
+                )
             }
             SymbolicError::TooLarge { unknowns } => {
                 write!(f, "circuit has {unknowns} unknowns; symbolic limit is 64")
@@ -151,7 +154,11 @@ impl SymbolicTf {
                 parts.join(" + ")
             }
         };
-        format!("H(s) = [{}] / [{}]", fmt_side(&self.num), fmt_side(&self.den))
+        format!(
+            "H(s) = [{}] / [{}]",
+            fmt_side(&self.num),
+            fmt_side(&self.den)
+        )
     }
 }
 
@@ -288,9 +295,7 @@ pub fn transfer_function(
                     continue;
                 };
                 // Orient drain/source the way the DC solution did.
-                let xv = |id: ams_netlist::NodeId| {
-                    op.layout().node(id).map_or(0.0, |i| op.x[i])
-                };
+                let xv = |id: ams_netlist::NodeId| op.layout().node(id).map_or(0.0, |i| op.x[i]);
                 let sign = m.model.polarity.sign();
                 let (dnode, snode) = if sign * (xv(m.drain) - xv(m.source)) >= 0.0 {
                     (m.drain, m.source)
@@ -333,11 +338,11 @@ pub fn transfer_function(
     // Cramer's rule: D(s) = det(A), N(s) = det(A with column out ← b).
     let den_entry = a.determinant();
     let mut a_num = a.clone();
-    for i in 0..dim {
+    for (i, &bi) in b.iter().enumerate().take(dim) {
         *a_num.entry_mut(i, out_idx) = {
             let mut e = SEntry::zero();
-            if b[i] != 0.0 {
-                e.add_at(0, &SymPoly::constant(b[i]));
+            if bi != 0.0 {
+                e.add_at(0, &SymPoly::constant(bi));
             }
             e
         };

@@ -123,13 +123,7 @@ impl SMatrix {
 
     /// Stamps a conductance-like symbol between two optional unknowns
     /// (`None` = ground) at the given power of `s`.
-    pub fn stamp_pair(
-        &mut self,
-        i: Option<usize>,
-        j: Option<usize>,
-        power: usize,
-        poly: &SymPoly,
-    ) {
+    pub fn stamp_pair(&mut self, i: Option<usize>, j: Option<usize>, power: usize, poly: &SymPoly) {
         if let Some(i) = i {
             self.add_at(i, i, power, poly);
         }

@@ -124,9 +124,9 @@ pub fn route_channel(nets: &[ChannelNet], options: &ChannelOptions) -> ChannelRe
             return 0;
         }
         match class {
-            NetClass::Noisy => 0,          // lower region
-            NetClass::Neutral => 0,        // lower region with the noisy
-            NetClass::Sensitive => 1,      // upper region
+            NetClass::Noisy => 0,     // lower region
+            NetClass::Neutral => 0,   // lower region with the noisy
+            NetClass::Sensitive => 1, // upper region
         }
     };
 
@@ -222,11 +222,7 @@ pub fn route_channel(nets: &[ChannelNet], options: &ChannelOptions) -> ChannelRe
     let height: u32 = tracks
         .iter()
         .map(|t| match t {
-            Track::Signal(members) => members
-                .iter()
-                .map(|&u| nets[u].width)
-                .max()
-                .unwrap_or(1),
+            Track::Signal(members) => members.iter().map(|&u| nets[u].width).max().unwrap_or(1),
             Track::Shield => 1,
         })
         .sum();

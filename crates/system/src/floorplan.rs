@@ -11,8 +11,7 @@
 
 use crate::substrate::FastCoupling;
 use ams_layout::geom::Rect;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use ams_prng::{Rng, SeedableRng, SmallRng};
 
 /// How strongly a block interacts with the substrate.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -94,10 +93,7 @@ fn evaluate_noise(blocks: &[Block], rects: &[Rect], coupling: &FastCoupling) -> 
 }
 
 fn summarize(blocks: &[Block], rects: Vec<Rect>, coupling: &FastCoupling) -> Floorplan {
-    let bbox = rects
-        .iter()
-        .skip(1)
-        .fold(rects[0], |a, r| a.union(r));
+    let bbox = rects.iter().skip(1).fold(rects[0], |a, r| a.union(r));
     let used: i64 = blocks.iter().map(|b| b.area).sum();
     let whitespace = 1.0 - used as f64 / bbox.area().max(1) as f64;
     let substrate_noise = evaluate_noise(blocks, &rects, coupling);
@@ -143,9 +139,13 @@ fn polish_is_valid(expr: &[PolishOp]) -> bool {
     depth == 1
 }
 
+/// One partially-evaluated subtree: width, height, and the relative
+/// placements (block index, rect) it contains.
+type ShapeFrame = (i64, i64, Vec<(usize, Rect)>);
+
 fn polish_shape(expr: &[PolishOp], blocks: &[Block]) -> Option<(i64, i64, Vec<Rect>)> {
     // Evaluate bottom-up: stack of (w, h, relative placements).
-    let mut stack: Vec<(i64, i64, Vec<(usize, Rect)>)> = Vec::new();
+    let mut stack: Vec<ShapeFrame> = Vec::new();
     for op in expr {
         match op {
             PolishOp::Block(i) => {
@@ -343,9 +343,7 @@ pub fn wright_floorplan(blocks: &[Block], config: &FloorplanConfig) -> Floorplan
             }
         }
         let noise = evaluate_noise(blocks, &rects, &config.coupling);
-        config.w_area * bbox.area() as f64 / 1e12
-            + 50.0 * overlap / 1e10
-            + config.w_noise * noise
+        config.w_area * bbox.area() as f64 / 1e12 + 50.0 * overlap / 1e10 + config.w_noise * noise
     };
 
     let mut cost = cost_of(&pos);
@@ -353,8 +351,8 @@ pub fn wright_floorplan(blocks: &[Block], config: &FloorplanConfig) -> Floorplan
     let mut best_cost = cost;
     let mut t = cost.max(1.0);
     for stage in 0..config.stages {
-        let reach = ((span as f64) * (1.0 - stage as f64 / config.stages as f64) * 0.4)
-            .max(1000.0) as i64;
+        let reach =
+            ((span as f64) * (1.0 - stage as f64 / config.stages as f64) * 0.4).max(1000.0) as i64;
         for _ in 0..config.moves_per_stage {
             let i = rng.gen_range(0..pos.len());
             let saved = pos[i];

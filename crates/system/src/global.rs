@@ -298,10 +298,7 @@ mod tests {
     fn sensitive_net_detours_around_noise() {
         let g = ladder_graph(5, 10.0, 8);
         // Noisy net occupies the bottom row 0→4.
-        let nets = vec![
-            noisy("clk", 0, 4, 5.0),
-            sensitive("vin", 0, 4, 1.0),
-        ];
+        let nets = vec![noisy("clk", 0, 4, 5.0), sensitive("vin", 0, 4, 1.0)];
         let r = global_route(&g, &nets);
         let clk = r.paths[0].as_ref().unwrap();
         let vin = r.paths[1].as_ref().unwrap();

@@ -42,9 +42,7 @@ pub use channel::{route_channel, ChannelNet, ChannelOptions, ChannelResult, Trac
 pub use floorplan::{
     slicing_floorplan, wright_floorplan, Block, BlockKind, Floorplan, FloorplanConfig,
 };
-pub use global::{
-    global_route, ladder_graph, ChannelEdge, ChannelGraph, GlobalNet, GlobalResult,
-};
+pub use global::{global_route, ladder_graph, ChannelEdge, ChannelGraph, GlobalNet, GlobalResult};
 pub use substrate::{FastCoupling, MeshModel};
 
 // Re-export the shared net-class vocabulary.

@@ -27,7 +27,9 @@ pub struct FastCoupling {
 
 impl Default for FastCoupling {
     fn default() -> Self {
-        FastCoupling { decay_nm: 100_000.0 }
+        FastCoupling {
+            decay_nm: 100_000.0,
+        }
     }
 }
 
@@ -90,13 +92,7 @@ impl MeshModel {
     /// # Panics
     ///
     /// Panics when either node is outside the mesh.
-    pub fn transfer_impedance(
-        &self,
-        ix: usize,
-        iy: usize,
-        sx: usize,
-        sy: usize,
-    ) -> f64 {
+    pub fn transfer_impedance(&self, ix: usize, iy: usize, sx: usize, sy: usize) -> f64 {
         assert!(ix < self.nx && iy < self.ny, "injector outside mesh");
         assert!(sx < self.nx && sy < self.ny, "sensor outside mesh");
         let n = self.nx * self.ny;
@@ -175,9 +171,7 @@ mod tests {
         // ordering must agree with the exact mesh (that's what makes it a
         // valid annealing surrogate).
         let mesh = MeshModel::new(10, 10, 100.0, 2000.0);
-        let k = FastCoupling {
-            decay_nm: 30_000.0,
-        };
+        let k = FastCoupling { decay_nm: 30_000.0 };
         let cell = 10_000i64; // 10 µm mesh pitch
         let victim = Rect::with_size(0, 0, cell, cell);
         let mut mesh_z = Vec::new();

@@ -83,10 +83,7 @@ impl Interval {
             self.hi * other.hi,
         ];
         let lo = candidates.iter().cloned().fold(f64::INFINITY, f64::min);
-        let hi = candidates
-            .iter()
-            .cloned()
-            .fold(f64::NEG_INFINITY, f64::max);
+        let hi = candidates.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         Interval::new(lo, hi)
     }
 

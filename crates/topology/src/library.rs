@@ -66,6 +66,11 @@ pub struct Topology {
     pub subblocks: Vec<String>,
     /// Approximate device count (complexity/area heuristic).
     pub device_count: usize,
+    /// Optional device-level exemplar deck (SPICE-like) showing a typical
+    /// instantiation. Library tests run the `ams-lint` ERC over every
+    /// exemplar, so templates are guaranteed structurally sound. Large
+    /// system-level topologies (the ADC architectures) have none.
+    pub exemplar_deck: Option<String>,
 }
 
 impl Topology {
@@ -77,6 +82,7 @@ impl Topology {
             capability: HashMap::new(),
             subblocks: Vec::new(),
             device_count: 0,
+            exemplar_deck: None,
         }
     }
 
@@ -95,6 +101,12 @@ impl Topology {
     /// Sets the device count (builder style).
     pub fn with_devices(mut self, n: usize) -> Self {
         self.device_count = n;
+        self
+    }
+
+    /// Attaches a device-level exemplar deck (builder style).
+    pub fn with_exemplar(mut self, deck: &str) -> Self {
+        self.exemplar_deck = Some(deck.to_string());
         self
     }
 
@@ -165,7 +177,24 @@ impl TopologyLibrary {
                 .with_subblock("diff_pair")
                 .with_subblock("cs_stage")
                 .with_subblock("miller_comp")
-                .with_devices(8),
+                .with_devices(8)
+                .with_exemplar(
+                    "* two-stage Miller opamp exemplar\n\
+                     .model nch nmos vt0=0.7 kp=110u lambda=0.04\n\
+                     .model pch pmos vt0=-0.8 kp=40u lambda=0.05\n\
+                     Vdd vdd 0 DC 5\n\
+                     Vinp inp 0 DC 2.5 AC 1\n\
+                     Vinn inn 0 DC 2.5\n\
+                     M1 d1 inp tail 0 nch W=50u L=2u\n\
+                     M2 d2 inn tail 0 nch W=50u L=2u\n\
+                     M3 d1 d1 vdd vdd pch W=25u L=2u\n\
+                     M4 d2 d1 vdd vdd pch W=25u L=2u\n\
+                     Itail tail 0 DC 20u\n\
+                     M6 out d2 vdd vdd pch W=100u L=1u\n\
+                     I2 out 0 DC 100u\n\
+                     Cc d2 out 2p\n\
+                     CL out 0 5p\n",
+                ),
         );
         lib.add(
             Topology::new("telescopic_cascode", BlockClass::Opamp)
@@ -176,7 +205,29 @@ impl TopologyLibrary {
                 .with_capability(PHASE_MARGIN_DEG, Interval::new(60.0, 89.0))
                 .with_subblock("cascode_pair")
                 .with_subblock("cascode_load")
-                .with_devices(9),
+                .with_devices(9)
+                .with_exemplar(
+                    "* telescopic cascode opamp exemplar\n\
+                     .model nch nmos vt0=0.7 kp=110u lambda=0.04\n\
+                     .model pch pmos vt0=-0.8 kp=40u lambda=0.05\n\
+                     Vdd vdd 0 DC 5\n\
+                     Vinp inp 0 DC 2.5 AC 1\n\
+                     Vinn inn 0 DC 2.5\n\
+                     Vbn casn 0 DC 3.5\n\
+                     Vbp casp 0 DC 1.5\n\
+                     Vbt bt 0 DC 1.2\n\
+                     Vpb pb 0 DC 3.8\n\
+                     M9 tail bt 0 0 nch W=80u L=2u\n\
+                     M1 s1 inp tail 0 nch W=40u L=1u\n\
+                     M2 s2 inn tail 0 nch W=40u L=1u\n\
+                     M3 outm casn s1 0 nch W=40u L=1u\n\
+                     M4 outp casn s2 0 nch W=40u L=1u\n\
+                     M5 outm casp c1 vdd pch W=60u L=1u\n\
+                     M6 outp casp c2 vdd pch W=60u L=1u\n\
+                     M7 c1 pb vdd vdd pch W=60u L=1u\n\
+                     M8 c2 pb vdd vdd pch W=60u L=1u\n\
+                     CL outp 0 2p\n",
+                ),
         );
         lib.add(
             Topology::new("folded_cascode", BlockClass::Opamp)
@@ -188,7 +239,28 @@ impl TopologyLibrary {
                 .with_subblock("diff_pair")
                 .with_subblock("folded_branch")
                 .with_subblock("cascode_load")
-                .with_devices(12),
+                .with_devices(12)
+                .with_exemplar(
+                    "* folded cascode opamp exemplar\n\
+                     .model nch nmos vt0=0.7 kp=110u lambda=0.04\n\
+                     .model pch pmos vt0=-0.8 kp=40u lambda=0.05\n\
+                     Vdd vdd 0 DC 5\n\
+                     Vinp inp 0 DC 2.5 AC 1\n\
+                     Vinn inn 0 DC 2.5\n\
+                     Vbt bt 0 DC 1.2\n\
+                     Vpb pb 0 DC 3.8\n\
+                     Vcp casp 0 DC 2.0\n\
+                     M9 tail bt 0 0 nch W=80u L=2u\n\
+                     M1 f1 inp tail 0 nch W=50u L=1u\n\
+                     M2 f2 inn tail 0 nch W=50u L=1u\n\
+                     M3 f1 pb vdd vdd pch W=80u L=1u\n\
+                     M4 f2 pb vdd vdd pch W=80u L=1u\n\
+                     M5 o1 casp f1 vdd pch W=60u L=1u\n\
+                     M6 out casp f2 vdd pch W=60u L=1u\n\
+                     M7 o1 o1 0 0 nch W=30u L=1u\n\
+                     M8 out o1 0 0 nch W=30u L=1u\n\
+                     CL out 0 3p\n",
+                ),
         );
         lib.add(
             Topology::new("symmetrical_ota", BlockClass::Opamp)
@@ -199,7 +271,26 @@ impl TopologyLibrary {
                 .with_capability(PHASE_MARGIN_DEG, Interval::new(50.0, 88.0))
                 .with_subblock("diff_pair")
                 .with_subblock("current_mirrors")
-                .with_devices(8),
+                .with_devices(8)
+                .with_exemplar(
+                    "* symmetrical OTA exemplar\n\
+                     .model nch nmos vt0=0.7 kp=110u lambda=0.04\n\
+                     .model pch pmos vt0=-0.8 kp=40u lambda=0.05\n\
+                     Vdd vdd 0 DC 5\n\
+                     Vinp inp 0 DC 2.5 AC 1\n\
+                     Vinn inn 0 DC 2.5\n\
+                     Vbt bt 0 DC 1.2\n\
+                     M9 tail bt 0 0 nch W=60u L=2u\n\
+                     M1 d1 inp tail 0 nch W=40u L=1u\n\
+                     M2 d2 inn tail 0 nch W=40u L=1u\n\
+                     M3 d1 d1 vdd vdd pch W=20u L=1u\n\
+                     M4 d2 d2 vdd vdd pch W=20u L=1u\n\
+                     M5 n1 d1 vdd vdd pch W=60u L=1u\n\
+                     M7 out d2 vdd vdd pch W=60u L=1u\n\
+                     M6 n1 n1 0 0 nch W=30u L=1u\n\
+                     M8 out n1 0 0 nch W=30u L=1u\n\
+                     CL out 0 2p\n",
+                ),
         );
 
         // ADC architectures from §2.1's example.
@@ -253,7 +344,26 @@ impl TopologyLibrary {
                 .with_capability(POWER_W, Interval::new(1e-5, 1e-2))
                 .with_subblock("preamp")
                 .with_subblock("latch")
-                .with_devices(10),
+                .with_devices(10)
+                .with_exemplar(
+                    "* latched comparator exemplar\n\
+                     .model nch nmos vt0=0.7 kp=110u lambda=0.04\n\
+                     .model pch pmos vt0=-0.8 kp=40u lambda=0.05\n\
+                     Vdd vdd 0 DC 5\n\
+                     Vinp inp 0 DC 2.6 AC 1\n\
+                     Vinn inn 0 DC 2.4\n\
+                     Vbt bt 0 DC 1.2\n\
+                     M9 tail bt 0 0 nch W=40u L=2u\n\
+                     M1 p1 inp tail 0 nch W=30u L=1u\n\
+                     M2 p2 inn tail 0 nch W=30u L=1u\n\
+                     M3 p1 p1 vdd vdd pch W=15u L=1u\n\
+                     M4 p2 p2 vdd vdd pch W=15u L=1u\n\
+                     M5 q qb 0 0 nch W=20u L=1u\n\
+                     M6 qb q 0 0 nch W=20u L=1u\n\
+                     M7 q p1 vdd vdd pch W=30u L=1u\n\
+                     M8 qb p2 vdd vdd pch W=30u L=1u\n\
+                     CL q 0 50f\n",
+                ),
         );
         lib.add(
             Topology::new("pulse_detector_frontend", BlockClass::PulseFrontend)
@@ -261,7 +371,21 @@ impl TopologyLibrary {
                 .with_capability(POWER_W, Interval::new(1e-3, 5e-2))
                 .with_subblock("charge_sensitive_amp")
                 .with_subblock("pulse_shaper")
-                .with_devices(30),
+                .with_devices(30)
+                .with_exemplar(
+                    "* pulse detector frontend exemplar (CSA + CR shaper)\n\
+                     .model nch nmos vt0=0.7 kp=110u lambda=0.04\n\
+                     Vdd vdd 0 DC 5\n\
+                     Iin 0 in DC 0 AC 1\n\
+                     Rf in csa 10meg\n\
+                     Cf in csa 0.5p\n\
+                     M1 csa in 0 0 nch W=100u L=1u\n\
+                     RL vdd csa 20k\n\
+                     Cd csa sh 1n\n\
+                     Rd sh 0 10k\n\
+                     E1 out 0 sh 0 1\n\
+                     Rout out 0 100k\n",
+                ),
         );
 
         lib
@@ -295,6 +419,44 @@ mod tests {
         let lib = TopologyLibrary::standard();
         let t = lib.find("sar_adc").unwrap();
         assert!(t.subblocks.iter().any(|s| s == "comparator"));
+    }
+
+    #[test]
+    fn every_exemplar_deck_lints_clean() {
+        // The acceptance bar for library templates: zero ERC diagnostics,
+        // warnings included, on every device-level exemplar.
+        let lib = TopologyLibrary::standard();
+        let mut checked = 0;
+        for t in lib.of_class(BlockClass::Opamp).into_iter().chain(
+            lib.of_class(BlockClass::Comparator)
+                .into_iter()
+                .chain(lib.of_class(BlockClass::Adc))
+                .chain(lib.of_class(BlockClass::PulseFrontend)),
+        ) {
+            let Some(deck) = &t.exemplar_deck else {
+                continue;
+            };
+            let report = ams_lint::lint_deck(deck)
+                .unwrap_or_else(|e| panic!("{} exemplar failed to parse: {e}", t.name));
+            assert!(
+                report.is_clean(),
+                "{} exemplar is not ERC-clean:\n{}",
+                t.name,
+                report.render_human()
+            );
+            checked += 1;
+        }
+        // All four opamps, the comparator, and the pulse frontend carry one.
+        assert_eq!(checked, 6);
+    }
+
+    #[test]
+    fn adc_architectures_have_no_exemplar() {
+        // System-level blocks are defined by their subblocks, not a deck.
+        let lib = TopologyLibrary::standard();
+        for t in lib.of_class(BlockClass::Adc) {
+            assert!(t.exemplar_deck.is_none(), "{}", t.name);
+        }
     }
 
     #[test]

@@ -85,10 +85,9 @@ impl Spec {
     /// Whether a measured performance point satisfies every bound.
     /// Metrics without a bound are ignored.
     pub fn satisfied_by(&self, perf: &HashMap<String, f64>) -> bool {
-        self.bounds.iter().all(|(metric, bound)| {
-            perf.get(metric)
-                .is_some_and(|&v| bound.satisfied_by(v))
-        })
+        self.bounds
+            .iter()
+            .all(|(metric, bound)| perf.get(metric).is_some_and(|&v| bound.satisfied_by(v)))
     }
 }
 
@@ -185,8 +184,8 @@ pub fn select<'a>(lib: &'a TopologyLibrary, class: BlockClass, spec: &Spec) -> S
         });
     }
 
-    candidates.sort_by(|a, b| {
-        match (a.objective_best_case, b.objective_best_case) {
+    candidates.sort_by(
+        |a, b| match (a.objective_best_case, b.objective_best_case) {
             (Some(x), Some(y)) => x
                 .partial_cmp(&y)
                 .unwrap_or(std::cmp::Ordering::Equal)
@@ -199,8 +198,8 @@ pub fn select<'a>(lib: &'a TopologyLibrary, class: BlockClass, spec: &Spec) -> S
                 .margin
                 .partial_cmp(&a.margin)
                 .unwrap_or(std::cmp::Ordering::Equal),
-        }
-    });
+        },
+    );
 
     Selection {
         candidates,

@@ -22,10 +22,14 @@ fn main() {
         Block::new("bias", 50_000_000_000, BlockKind::Quiet),
     ];
     println!("== floorplanning (WRIGHT vs ILAC-style slicing) ==");
-    let mut aware = FloorplanConfig::default();
-    aware.w_noise = 500.0;
-    let mut blind = FloorplanConfig::default();
-    blind.w_noise = 0.0;
+    let aware = FloorplanConfig {
+        w_noise: 500.0,
+        ..Default::default()
+    };
+    let blind = FloorplanConfig {
+        w_noise: 0.0,
+        ..Default::default()
+    };
     let fp_blind = wright_floorplan(&blocks, &blind);
     let fp_aware = wright_floorplan(&blocks, &aware);
     let fp_slice = slicing_floorplan(&blocks, &aware);

@@ -40,6 +40,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     format_eng(*power_w, "W")
                 );
             }
+            FlowEvent::LintChecked { errors, warnings } => {
+                println!(
+                    "[top-down] ERC lint on sized circuit: {errors} errors, {warnings} warnings"
+                );
+            }
             FlowEvent::LayoutDone { area_um2, complete } => {
                 println!("[bottom-up] layout: {area_um2:.0} um2, fully routed: {complete}");
             }

@@ -15,7 +15,10 @@ fn main() {
     let synth = optimize(&model, &spec, &AnnealConfig::default());
 
     println!("Table 1. Example of synthesis experiment (reproduced).");
-    println!("{:<16} {:>14} {:>12} {:>12}", "performance", "specification", "manual", "synthesis");
+    println!(
+        "{:<16} {:>14} {:>12} {:>12}",
+        "performance", "specification", "manual", "synthesis"
+    );
     println!("{}", "-".repeat(58));
     let row = |name: &str, spec: &str, m: String, s: String| {
         println!("{name:<16} {spec:>14} {m:>12} {s:>12}");

@@ -7,18 +7,26 @@ use ams::prelude::*;
 use ams_netlist::units::format_eng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // --- 1. Parse and simulate a SPICE-like deck. ------------------------
-    let ckt = parse_deck(
-        ".model nch nmos vt0=0.7 kp=110u lambda=0.04
+    // --- 1. Lint, parse, and simulate a SPICE-like deck. ------------------
+    let deck = ".model nch nmos vt0=0.7 kp=110u lambda=0.04
          Vdd vdd 0 DC 5
          Vin in  0 DC 1.0 AC 1
          RD  vdd out 10k
          M1  out in 0 0 nch W=20u L=2u
-         CL  out 0 1p",
-    )?;
+         CL  out 0 1p";
+    let report = lint_deck(deck)?;
+    assert!(
+        report.is_clean(),
+        "ERC diagnostics:\n{}",
+        report.render_human()
+    );
+    let ckt = parse_deck(deck)?;
     let op = dc_operating_point(&ckt)?;
     println!("== common-source amplifier ==");
-    println!("  V(out) operating point: {:.3} V", op.voltage(&ckt, "out")?);
+    println!(
+        "  V(out) operating point: {:.3} V",
+        op.voltage(&ckt, "out")?
+    );
 
     let net = linearize(&ckt, &op);
     let out = ams_sim::output_index(&ckt, &net.layout, "out").expect("node exists");

@@ -27,6 +27,8 @@
 //! The **substrates** everything rests on:
 //!
 //! * [`netlist`] — circuits, level-1 MOS models, technologies, parsing.
+//! * [`lint`] — static electrical-rule checks (ERC) with structured,
+//!   deck-located diagnostics; gates every simulation.
 //! * [`sim`] — MNA simulator (DC/AC/transient/noise).
 //! * [`awe`] — asymptotic waveform evaluation.
 //!
@@ -56,6 +58,7 @@
 pub use ams_awe as awe;
 pub use ams_core as core;
 pub use ams_layout as layout;
+pub use ams_lint as lint;
 pub use ams_netlist as netlist;
 pub use ams_rail as rail;
 pub use ams_sim as sim;
@@ -68,7 +71,8 @@ pub use ams_topology as topology;
 pub mod prelude {
     pub use ams_core::{synthesize_opamp, FlowConfig, PulseDetectorModel, RfFrontEndModel};
     pub use ams_layout::{layout_cell, CellOptions, DesignRules};
-    pub use ams_netlist::{parse_deck, Circuit, Device, Technology};
+    pub use ams_lint::{lint_circuit, lint_deck, Report, RuleCode, Severity};
+    pub use ams_netlist::{parse_deck, parse_deck_full, Circuit, Device, Technology};
     pub use ams_sim::{ac_sweep, dc_operating_point, linearize, transient};
     pub use ams_sizing::{
         optimize, synthesize, AcEvaluator, AnnealConfig, PerfModel, TwoStageModel, TwoStagePlan,

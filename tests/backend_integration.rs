@@ -2,9 +2,7 @@
 //! power-grid synthesis working from synthesized frontend results.
 
 use ams::prelude::*;
-use ams_layout::{
-    check_bounds, generate_bounds, two_stage_opamp_cell, NetClass, PerfSensitivity,
-};
+use ams_layout::{check_bounds, generate_bounds, two_stage_opamp_cell, NetClass, PerfSensitivity};
 use ams_rail::{evaluate, GridSpec, PowerGrid, RailConstraints};
 use ams_system::{wright_floorplan, Block, BlockKind, FloorplanConfig};
 use std::collections::HashMap;
@@ -74,8 +72,10 @@ fn floorplan_and_power_grid_complete_the_chip() {
         Block::new("adc", 200_000_000_000, BlockKind::Sensitive(1.5)),
         Block::new("sram", 250_000_000_000, BlockKind::Quiet),
     ];
-    let mut cfg = FloorplanConfig::default();
-    cfg.w_noise = 100.0;
+    let cfg = FloorplanConfig {
+        w_noise: 100.0,
+        ..Default::default()
+    };
     let fp = wright_floorplan(&blocks, &cfg);
     for i in 0..fp.rects.len() {
         for j in i + 1..fp.rects.len() {

@@ -77,7 +77,11 @@ fn sized_opamp_survives_simulation() {
     // it is a little optimistic — exactly why the §2.1 flow re-verifies
     // with full simulation before layout. Allow that modeling slack here.
     assert!(full["gain_db"] >= 60.0, "full-sim gain {}", full["gain_db"]);
-    assert!(full["ugf_hz"] >= 0.7 * 5e6, "full-sim ugf {}", full["ugf_hz"]);
+    assert!(
+        full["ugf_hz"] >= 0.7 * 5e6,
+        "full-sim ugf {}",
+        full["ugf_hz"]
+    );
 }
 
 /// The symbolic transfer function evaluated at the nominal point matches a
@@ -146,12 +150,9 @@ fn awe_tracks_full_ac_across_designs() {
             AcEvaluator::FullSweep { points: 181 },
         )
         .unwrap();
-        let awe = ams_sizing::SimulatedTemplate::measure(
-            &template,
-            &ckt,
-            AcEvaluator::Awe { order: 3 },
-        )
-        .unwrap();
+        let awe =
+            ams_sizing::SimulatedTemplate::measure(&template, &ckt, AcEvaluator::Awe { order: 3 })
+                .unwrap();
         assert!(
             (full["gain_db"] - awe["gain_db"]).abs() < 1.5,
             "gain: full {} vs awe {}",

@@ -1,0 +1,151 @@
+//! Pathological-deck corpus: every classic way to break an analog netlist,
+//! each pinned to a stable `ams-lint` rule code and a deck line span — and,
+//! where the defect makes the MNA system singular, to the matching
+//! `SimError::Erc` from the simulator's pre-assembly gate.
+
+use ams::prelude::*;
+use ams_lint::Severity;
+use ams_sim::SimError;
+
+/// Asserts that `deck` produces exactly one diagnostic with `code`, anchored
+/// at deck line `line`, and returns its message.
+fn expect_primary(deck: &str, code: &str, line: usize) -> String {
+    let report = lint_deck(deck).expect("corpus decks must parse");
+    let rule = RuleCode::from_code(code).expect("known code");
+    let diag = report
+        .find(rule)
+        .unwrap_or_else(|| panic!("expected {code}, got:\n{}", report.render_human()));
+    let span = diag
+        .span
+        .unwrap_or_else(|| panic!("{code} carries no span"));
+    assert_eq!(
+        span.start,
+        line,
+        "{code} anchored at wrong line:\n{}",
+        report.render_human()
+    );
+    diag.message.clone()
+}
+
+/// Asserts the simulator refuses `deck` with `SimError::Erc` carrying `code`.
+fn expect_sim_erc(deck: &str, code: &str) -> String {
+    let ckt = parse_deck(deck).expect("corpus decks must parse");
+    match dc_operating_point(&ckt) {
+        Err(SimError::Erc { code: c, message }) => {
+            assert_eq!(c, code, "simulator gate reported {c}: {message}");
+            message
+        }
+        Err(other) => panic!("expected SimError::Erc, got: {other}"),
+        Ok(_) => panic!("a structurally singular deck must not solve"),
+    }
+}
+
+#[test]
+fn floating_node_deck() {
+    // `mid` touches only capacitor plates: its KCL row is zero at DC.
+    let deck = "\
+V1 vdd 0 DC 5
+R1 vdd out 1k
+C1 out mid 1p
+C2 mid 0 1p";
+    let msg = expect_primary(deck, "E002", 3);
+    assert!(msg.contains("`mid`"), "message must name the node: {msg}");
+    let sim_msg = expect_sim_erc(deck, "E002");
+    assert!(
+        sim_msg.contains("`mid`"),
+        "sim must name the node: {sim_msg}"
+    );
+}
+
+#[test]
+fn voltage_loop_deck() {
+    // Two ideal sources in parallel fix the same node pair twice: the two
+    // branch rows are linearly dependent.
+    let deck = "\
+V1 vdd 0 DC 5
+V2 vdd 0 DC 5
+R1 vdd 0 1k";
+    let msg = expect_primary(deck, "E003", 2);
+    assert!(msg.contains("`V2`"), "message must name the source: {msg}");
+    let sim_msg = expect_sim_erc(deck, "E003");
+    assert!(
+        sim_msg.contains("V2"),
+        "sim must name the source: {sim_msg}"
+    );
+}
+
+#[test]
+fn current_cutset_deck() {
+    // I1 pushes current into a component that only a capacitor ties down:
+    // KCL at `x` cannot be satisfied at DC.
+    let deck = "\
+I1 0 x DC 1u
+C1 x 0 1p";
+    let msg = expect_primary(deck, "E004", 1);
+    assert!(msg.contains("`I1`"), "message must name the source: {msg}");
+    let sim_msg = expect_sim_erc(deck, "E004");
+    assert!(
+        sim_msg.contains("I1"),
+        "sim must name the source: {sim_msg}"
+    );
+}
+
+#[test]
+fn zero_value_resistor_deck() {
+    let deck = "\
+V1 vdd 0 DC 5
+R1 vdd out 0
+R2 out 0 1k";
+    let msg = expect_primary(deck, "E005", 2);
+    assert!(
+        msg.contains("`R1`"),
+        "message must name the instance: {msg}"
+    );
+    // A zero-ohm resistor stamps an infinite conductance; the gate rejects
+    // it before the matrix ever sees the non-finite entry.
+    expect_sim_erc(deck, "E005");
+}
+
+#[test]
+fn shorted_mos_deck() {
+    // All three channel terminals tied together: the device can never do
+    // anything, which is almost always a netlist typo.
+    let deck = "\
+.model nch nmos vt0=0.7 kp=110u lambda=0.04
+V1 vdd 0 DC 5
+R1 vdd a 1k
+M1 a a a 0 nch W=10u L=1u";
+    let msg = expect_primary(deck, "E006", 4);
+    assert!(
+        msg.contains("`M1`"),
+        "message must name the instance: {msg}"
+    );
+}
+
+#[test]
+fn corpus_codes_are_stable_and_severities_are_errors() {
+    // The five corpus codes are part of the public contract: tools and docs
+    // key off these exact strings.
+    for code in ["E002", "E003", "E004", "E005", "E006"] {
+        let rule = RuleCode::from_code(code).expect("corpus code must resolve");
+        assert_eq!(rule.as_str(), code);
+        assert_eq!(rule.severity(), Severity::Error);
+    }
+}
+
+#[test]
+fn continuation_lines_report_opening_card() {
+    // The zero-value card is split over a continuation; the span still
+    // points at the opening line and covers the continuation.
+    let deck = "\
+V1 vdd 0 DC 5
+R1 vdd out
++ 0
+R2 out 0 1k";
+    let report = lint_deck(deck).unwrap();
+    let diag = report
+        .find(RuleCode::from_code("E005").unwrap())
+        .expect("zero resistance");
+    let span = diag.span.unwrap();
+    assert_eq!((span.start, span.end), (2, 3));
+}

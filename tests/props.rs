@@ -1,113 +1,151 @@
-//! Property-based tests over the toolkit's core data structures and
-//! invariants (proptest).
+//! Randomized property tests over the toolkit's core data structures and
+//! invariants, driven by the in-workspace deterministic PRNG (`ams-prng`)
+//! so they run offline with no external test-framework dependency.
+//!
+//! Each property draws `CASES` random inputs from a fixed seed; failures
+//! print the case index so a reproduction is one seed away.
 
 use ams::prelude::*;
 use ams_layout::{DiffusionGraph, Orientation, Rect};
+use ams_prng::{Rng, SeedableRng, SmallRng};
 use ams_sim::{Complex, Matrix};
 use ams_topology::Interval;
-use proptest::prelude::*;
 
-proptest! {
-    /// SI parsing round-trips plain scientific notation.
-    #[test]
-    fn parse_si_round_trips_scientific(v in -1e12f64..1e12f64) {
+const CASES: usize = 64;
+
+fn rng_for(prop: u64) -> SmallRng {
+    // A distinct, stable stream per property.
+    SmallRng::seed_from_u64(0xa5a5_0000 ^ prop)
+}
+
+/// SI parsing round-trips plain scientific notation.
+#[test]
+fn parse_si_round_trips_scientific() {
+    let mut rng = rng_for(1);
+    for case in 0..CASES {
+        let v = rng.gen_range(-1e12..1e12);
         let text = format!("{v:e}");
         let parsed = ams_netlist::units::parse_si(&text).expect("parses");
         let tol = v.abs().max(1.0) * 1e-12;
-        prop_assert!((parsed - v).abs() <= tol);
+        assert!((parsed - v).abs() <= tol, "case {case}: {v}");
     }
+}
 
-    /// LU solve inverts well-conditioned diagonally dominant systems.
-    #[test]
-    fn lu_solves_diagonally_dominant(
-        vals in proptest::collection::vec(-1.0f64..1.0, 16),
-        b in proptest::collection::vec(-10.0f64..10.0, 4),
-    ) {
+/// LU solve inverts well-conditioned diagonally dominant systems.
+#[test]
+fn lu_solves_diagonally_dominant() {
+    let mut rng = rng_for(2);
+    for case in 0..CASES {
         let mut a = Matrix::zeros(4, 4);
         for i in 0..4 {
             for j in 0..4 {
-                a[(i, j)] = vals[i * 4 + j];
+                a[(i, j)] = rng.gen_range(-1.0..1.0);
             }
             a[(i, i)] += 5.0; // dominance
         }
+        let b: Vec<f64> = (0..4).map(|_| rng.gen_range(-10.0..10.0)).collect();
         let x = a.clone().lu().expect("nonsingular").solve(&b);
         let back = a.mul_vec(&x);
         for (u, v) in back.iter().zip(&b) {
-            prop_assert!((u - v).abs() < 1e-9);
+            assert!((u - v).abs() < 1e-9, "case {case}");
         }
     }
+}
 
-    /// Complex arithmetic satisfies field identities.
-    #[test]
-    fn complex_field_identities(re1 in -1e3f64..1e3, im1 in -1e3f64..1e3,
-                                re2 in -1e3f64..1e3, im2 in -1e3f64..1e3) {
-        let a = Complex::new(re1, im1);
-        let b = Complex::new(re2, im2);
-        // Commutativity.
-        prop_assert!(((a * b) - (b * a)).abs() < 1e-9);
-        prop_assert!(((a + b) - (b + a)).abs() < 1e-12);
-        // Division inverts multiplication away from zero.
+/// Complex arithmetic satisfies field identities.
+#[test]
+fn complex_field_identities() {
+    let mut rng = rng_for(3);
+    for case in 0..CASES {
+        let a = Complex::new(rng.gen_range(-1e3..1e3), rng.gen_range(-1e3..1e3));
+        let b = Complex::new(rng.gen_range(-1e3..1e3), rng.gen_range(-1e3..1e3));
+        assert!(((a * b) - (b * a)).abs() < 1e-9, "case {case}");
+        assert!(((a + b) - (b + a)).abs() < 1e-12, "case {case}");
         if b.abs() > 1e-6 {
-            prop_assert!(((a * b) / b - a).abs() < 1e-6 * a.abs().max(1.0));
+            assert!(
+                ((a * b) / b - a).abs() < 1e-6 * a.abs().max(1.0),
+                "case {case}"
+            );
         }
-        // |ab| = |a||b|.
-        prop_assert!(((a * b).abs() - a.abs() * b.abs()).abs() < 1e-6 * (a.abs() * b.abs()).max(1.0));
+        assert!(
+            ((a * b).abs() - a.abs() * b.abs()).abs() < 1e-6 * (a.abs() * b.abs()).max(1.0),
+            "case {case}"
+        );
     }
+}
 
-    /// Rect union contains both operands; overlap is symmetric and bounded.
-    #[test]
-    fn rect_union_and_overlap(
-        x0 in -1000i64..1000, y0 in -1000i64..1000, w0 in 1i64..500, h0 in 1i64..500,
-        x1 in -1000i64..1000, y1 in -1000i64..1000, w1 in 1i64..500, h1 in 1i64..500,
-    ) {
-        let a = Rect::with_size(x0, y0, w0, h0);
-        let b = Rect::with_size(x1, y1, w1, h1);
+/// Rect union contains both operands; overlap is symmetric and bounded.
+#[test]
+fn rect_union_and_overlap() {
+    let mut rng = rng_for(4);
+    let rect = |rng: &mut SmallRng| {
+        Rect::with_size(
+            rng.gen_range(-1000i64..1000),
+            rng.gen_range(-1000i64..1000),
+            rng.gen_range(1i64..500),
+            rng.gen_range(1i64..500),
+        )
+    };
+    for case in 0..CASES {
+        let a = rect(&mut rng);
+        let b = rect(&mut rng);
         let u = a.union(&b);
-        prop_assert!(u.x0 <= a.x0 && u.x1 >= a.x1);
-        prop_assert!(u.x0 <= b.x0 && u.x1 >= b.x1);
-        prop_assert!(u.area() >= a.area().max(b.area()));
-        prop_assert_eq!(a.overlap_area(&b), b.overlap_area(&a));
-        prop_assert!(a.overlap_area(&b) <= a.area().min(b.area()));
-        prop_assert_eq!(a.overlap_area(&b) > 0, a.intersects(&b));
-        // Spacing is zero iff touching or overlapping.
-        prop_assert_eq!(a.spacing_to(&b), b.spacing_to(&a));
+        assert!(u.x0 <= a.x0 && u.x1 >= a.x1, "case {case}");
+        assert!(u.x0 <= b.x0 && u.x1 >= b.x1, "case {case}");
+        assert!(u.area() >= a.area().max(b.area()), "case {case}");
+        assert_eq!(a.overlap_area(&b), b.overlap_area(&a), "case {case}");
+        assert!(a.overlap_area(&b) <= a.area().min(b.area()), "case {case}");
+        assert_eq!(a.overlap_area(&b) > 0, a.intersects(&b), "case {case}");
+        assert_eq!(a.spacing_to(&b), b.spacing_to(&a), "case {case}");
     }
+}
 
-    /// Orientation transforms preserve area and stay inside the cell box.
-    #[test]
-    fn orientation_preserves_area(
-        w in 2i64..200, h in 2i64..200,
-        rx in 0i64..100, ry in 0i64..100, rw in 1i64..100, rh in 1i64..100,
-    ) {
+/// Orientation transforms preserve area and stay inside the cell box.
+#[test]
+fn orientation_preserves_area() {
+    let mut rng = rng_for(5);
+    for case in 0..CASES {
+        let w = rng.gen_range(2i64..200);
+        let h = rng.gen_range(2i64..200);
+        let rx = rng.gen_range(0i64..100);
+        let ry = rng.gen_range(0i64..100);
+        let rw = rng.gen_range(1i64..100);
+        let rh = rng.gen_range(1i64..100);
         let bbox = Rect::with_size(0, 0, w + rx + rw, h + ry + rh);
         let r = Rect::with_size(rx, ry, rw, rh);
         for o in Orientation::ALL {
             let t = o.apply(&r, &bbox);
-            prop_assert_eq!(t.area(), r.area(), "orientation {:?}", o);
+            assert_eq!(t.area(), r.area(), "case {case} orientation {o:?}");
         }
         // Mirrors are involutions.
         for o in [Orientation::MirrorX, Orientation::MirrorY] {
             let twice = o.apply(&o.apply(&r, &bbox), &bbox);
-            prop_assert_eq!(twice, r);
+            assert_eq!(twice, r, "case {case}");
         }
     }
+}
 
-    /// Stacking always partitions the device set: every device appears in
-    /// exactly one stack, and merges = devices − stacks.
-    #[test]
-    fn stacking_partitions_devices(
-        edges in proptest::collection::vec((0usize..6, 0usize..6), 1..10)
-    ) {
+/// Stacking always partitions the device set: every device appears in
+/// exactly one stack, and merges = devices − stacks.
+#[test]
+fn stacking_partitions_devices() {
+    let mut rng = rng_for(6);
+    for case in 0..CASES {
+        let n_edges = rng.gen_range(1usize..10);
         let mut g = DiffusionGraph::new();
         let mut n_devices = 0;
-        for (k, (a, b)) in edges.iter().enumerate() {
+        for k in 0..n_edges {
+            let a = rng.gen_range(0usize..6);
+            let b = rng.gen_range(0usize..6);
             if a == b {
                 continue; // self-loop devices are electrically shorted; skip
             }
             g.add_device(&format!("M{k}"), &format!("n{a}"), &format!("n{b}"), "n");
             n_devices += 1;
         }
-        prop_assume!(n_devices > 0);
+        if n_devices == 0 {
+            continue;
+        }
         let s = g.stack_linear();
         let mut all: Vec<&str> = s
             .stacks
@@ -116,61 +154,105 @@ proptest! {
             .collect();
         all.sort_unstable();
         all.dedup();
-        prop_assert_eq!(all.len(), n_devices, "every device exactly once");
-        prop_assert_eq!(s.total_merges, n_devices - s.stacks.len());
-        // Each stack's junction chain is consistent.
+        assert_eq!(
+            all.len(),
+            n_devices,
+            "case {case}: every device exactly once"
+        );
+        assert_eq!(s.total_merges, n_devices - s.stacks.len(), "case {case}");
         for st in &s.stacks {
-            prop_assert_eq!(st.nets.len(), st.devices.len() + 1);
+            assert_eq!(st.nets.len(), st.devices.len() + 1, "case {case}");
         }
     }
+}
 
-    /// Interval arithmetic is containment-sound: x∈A, y∈B ⇒ x+y ∈ A+B and
-    /// x·y ∈ A·B.
-    #[test]
-    fn interval_containment(
-        alo in -100.0f64..100.0, aw in 0.0f64..50.0,
-        blo in -100.0f64..100.0, bw in 0.0f64..50.0,
-        t in 0.0f64..1.0, u in 0.0f64..1.0,
-    ) {
+/// Interval arithmetic is containment-sound: x∈A, y∈B ⇒ x+y ∈ A+B and
+/// x·y ∈ A·B.
+#[test]
+fn interval_containment() {
+    let mut rng = rng_for(7);
+    for case in 0..CASES {
+        let alo = rng.gen_range(-100.0..100.0);
+        let aw = rng.gen_range(0.0..50.0);
+        let blo = rng.gen_range(-100.0..100.0);
+        let bw = rng.gen_range(0.0..50.0);
+        let t: f64 = rng.gen();
+        let u: f64 = rng.gen();
         let a = Interval::new(alo, alo + aw);
         let b = Interval::new(blo, blo + bw);
         let x = alo + t * aw;
         let y = blo + u * bw;
-        prop_assert!(a.add(&b).contains(x + y));
+        assert!(a.add(&b).contains(x + y), "case {case}");
         let m = a.mul(&b);
         let eps = 1e-9 * (x * y).abs().max(1.0);
-        prop_assert!(m.lo - eps <= x * y && x * y <= m.hi + eps);
+        assert!(m.lo - eps <= x * y && x * y <= m.hi + eps, "case {case}");
     }
+}
 
-    /// The DC solver and the divider formula agree for arbitrary two-
-    /// resistor dividers.
-    #[test]
-    fn dc_divider_matches_formula(r1 in 1.0f64..1e6, r2 in 1.0f64..1e6, v in -10.0f64..10.0) {
-        let deck = format!(
-            "V1 in 0 DC {v}\nR1 in out {r1}\nR2 out 0 {r2}"
-        );
+/// The DC solver and the divider formula agree for arbitrary two-
+/// resistor dividers.
+#[test]
+fn dc_divider_matches_formula() {
+    let mut rng = rng_for(8);
+    for case in 0..CASES {
+        let r1 = rng.gen_range(1.0..1e6);
+        let r2 = rng.gen_range(1.0..1e6);
+        let v = rng.gen_range(-10.0..10.0);
+        let deck = format!("V1 in 0 DC {v}\nR1 in out {r1}\nR2 out 0 {r2}");
         let ckt = parse_deck(&deck).expect("parses");
         let op = dc_operating_point(&ckt).expect("converges");
         let expected = v * r2 / (r1 + r2);
         let got = op.voltage(&ckt, "out").expect("node");
-        prop_assert!((got - expected).abs() < 1e-6 * expected.abs().max(1.0));
-    }
-
-    /// AWE's single-pole model of an arbitrary RC is exact.
-    #[test]
-    fn awe_single_pole_exact(r in 10.0f64..1e6, c in 1e-13f64..1e-8) {
-        let deck = format!(
-            "Vin in 0 DC 0 AC 1\nR1 in out {r}\nC1 out 0 {c}"
+        assert!(
+            (got - expected).abs() < 1e-6 * expected.abs().max(1.0),
+            "case {case}: {got} vs {expected}"
         );
+    }
+}
+
+/// AWE's single-pole model of an arbitrary RC is exact.
+#[test]
+fn awe_single_pole_exact() {
+    let mut rng = rng_for(9);
+    for case in 0..CASES {
+        let r = rng.gen_range(10.0..1e6);
+        let c = rng.gen_range(1e-13..1e-8);
+        let deck = format!("Vin in 0 DC 0 AC 1\nR1 in out {r}\nC1 out 0 {c}");
         let ckt = parse_deck(&deck).expect("parses");
         let op = dc_operating_point(&ckt).expect("converges");
         let net = linearize(&ckt, &op);
         let out = ams_sim::output_index(&ckt, &net.layout, "out").expect("node");
         let model = ams_awe::AweModel::from_net(&net, out, 1).expect("awe");
         let expected = -1.0 / (r * c);
-        prop_assert!(
+        assert!(
             (model.poles[0].re - expected).abs() <= 1e-6 * expected.abs(),
-            "pole {} vs {}", model.poles[0].re, expected
+            "case {case}: pole {} vs {}",
+            model.poles[0].re,
+            expected
         );
+    }
+}
+
+/// Every ERC-clean randomized ladder network solves without a singular
+/// matrix — the lint-before-simulate contract, fuzz-tested.
+#[test]
+fn lint_clean_ladders_simulate() {
+    let mut rng = rng_for(10);
+    for case in 0..CASES {
+        let stages = rng.gen_range(1usize..6);
+        let mut deck = String::from("V1 n0 0 DC 1\n");
+        for s in 0..stages {
+            let r = rng.gen_range(10.0..1e5);
+            deck.push_str(&format!("R{s} n{s} n{} {r}\n", s + 1));
+        }
+        deck.push_str(&format!("Rload n{stages} 0 1k\n"));
+        let report = ams_lint::lint_deck(&deck).expect("parses");
+        assert!(
+            !report.has_errors(),
+            "case {case}:\n{}",
+            report.render_human()
+        );
+        let ckt = parse_deck(&deck).expect("parses");
+        dc_operating_point(&ckt).unwrap_or_else(|e| panic!("case {case}: {e}"));
     }
 }
