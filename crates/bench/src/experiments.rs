@@ -33,6 +33,7 @@ pub struct Table1 {
 
 /// Runs the Table 1 experiment.
 pub fn run_table1(budget: &AnnealConfig) -> Table1 {
+    let _span = ams_trace::span("bench.table1");
     let model = PulseDetectorModel::new(Technology::generic_1p2um());
     let manual = model.evaluate(&model.manual_design());
     let synth = optimize(&model, &table1_spec(), budget);

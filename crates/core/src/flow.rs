@@ -68,6 +68,31 @@ pub enum FlowEvent {
     Failed(String),
 }
 
+impl FlowEvent {
+    /// Short event-kind name (stable across payload changes), used for the
+    /// structured `flow.<kind>` trace instants mirrored into `ams-trace`.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FlowEvent::TopologySelected { .. } => "topology_selected",
+            FlowEvent::Sized { .. } => "sized",
+            FlowEvent::LintChecked { .. } => "lint_checked",
+            FlowEvent::LayoutDone { .. } => "layout_done",
+            FlowEvent::PostLayoutVerified { .. } => "post_layout_verified",
+            FlowEvent::Failed(_) => "failed",
+        }
+    }
+}
+
+/// Appends `event` to the flow log and mirrors it as a `flow.<kind>`
+/// instant in the global trace sink, so the ad-hoc event log and the
+/// flight recorder tell the same story.
+fn emit(events: &mut Vec<FlowEvent>, event: FlowEvent) {
+    if ams_trace::enabled() {
+        ams_trace::instant(&format!("flow.{}", event.kind()));
+    }
+    events.push(event);
+}
+
 /// Errors terminating the flow.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
@@ -174,20 +199,28 @@ pub fn synthesize_opamp(
     load_f: f64,
     config: &FlowConfig,
 ) -> Result<FlowReport, FlowError> {
+    let _flow_span = ams_trace::span("flow.synthesize_opamp");
+    ams_trace::counter_add("flow.runs", 1);
     let mut events = Vec::new();
 
     // --- Top-down: topology selection (§2.1 step 1). ---------------------
     let lib = TopologyLibrary::standard();
-    let selection = select(&lib, BlockClass::Opamp, spec);
+    let selection = {
+        let _g = ams_trace::span("flow.topology_select");
+        select(&lib, BlockClass::Opamp, spec)
+    };
     let topology = selection
         .best()
         .ok_or(FlowError::NoFeasibleTopology)?
         .name
         .clone();
-    events.push(FlowEvent::TopologySelected {
-        name: topology.clone(),
-        candidates: selection.candidates.len(),
-    });
+    emit(
+        &mut events,
+        FlowEvent::TopologySelected {
+            name: topology.clone(),
+            candidates: selection.candidates.len(),
+        },
+    );
 
     // Models we can size (both map onto supported layouts; unsupported
     // library topologies fall back to the two-stage).
@@ -197,20 +230,26 @@ pub fn synthesize_opamp(
     let mut iterations = 0;
     loop {
         // --- Top-down: specification translation / sizing. ----------------
-        let sizing = if use_ota {
-            let model = SymmetricalOtaModel::new(tech.clone(), load_f);
-            optimize(&model, &working_spec, &config.sizing)
-        } else {
-            let model = TwoStageModel::new(tech.clone(), load_f);
-            optimize(&model, &working_spec, &config.sizing)
+        let sizing = {
+            let _g = ams_trace::span("flow.sizing");
+            if use_ota {
+                let model = SymmetricalOtaModel::new(tech.clone(), load_f);
+                optimize(&model, &working_spec, &config.sizing)
+            } else {
+                let model = TwoStageModel::new(tech.clone(), load_f);
+                optimize(&model, &working_spec, &config.sizing)
+            }
         };
-        events.push(FlowEvent::Sized {
-            iteration: iterations,
-            feasible: sizing.feasible,
-            power_w: sizing.perf.get("power_w").copied().unwrap_or(f64::NAN),
-        });
+        emit(
+            &mut events,
+            FlowEvent::Sized {
+                iteration: iterations,
+                feasible: sizing.feasible,
+                power_w: sizing.perf.get("power_w").copied().unwrap_or(f64::NAN),
+            },
+        );
         if !sizing.feasible {
-            events.push(FlowEvent::Failed("sizing infeasible".into()));
+            emit(&mut events, FlowEvent::Failed("sizing infeasible".into()));
             return Err(FlowError::SizingInfeasible { iterations });
         }
 
@@ -221,17 +260,21 @@ pub fn synthesize_opamp(
         // would otherwise surface much later as an opaque singular-matrix
         // failure inside verification.
         if !use_ota {
+            let _g = ams_trace::span("flow.erc");
             let report = erc_check_two_stage(tech, load_f, &sizing.params);
-            events.push(FlowEvent::LintChecked {
-                errors: report.errors().count(),
-                warnings: report.warnings().count(),
-            });
+            emit(
+                &mut events,
+                FlowEvent::LintChecked {
+                    errors: report.errors().count(),
+                    warnings: report.warnings().count(),
+                },
+            );
             let first_error = report
                 .errors()
                 .next()
                 .map(|diag| format!("[{}] {}", diag.code, diag.message));
             if let Some(msg) = first_error {
-                events.push(FlowEvent::Failed(msg.clone()));
+                emit(&mut events, FlowEvent::Failed(msg.clone()));
                 return Err(FlowError::Erc(msg));
             }
         }
@@ -250,17 +293,24 @@ pub fn synthesize_opamp(
             l,
             cc,
         );
-        let layout = layout_cell(&devices, &config.rules, &config.layout)
-            .map_err(|e| FlowError::Layout(e.to_string()))?;
-        events.push(FlowEvent::LayoutDone {
-            area_um2: layout.area_um2,
-            complete: layout.is_complete(),
-        });
+        let layout = {
+            let _g = ams_trace::span("flow.layout");
+            layout_cell(&devices, &config.rules, &config.layout)
+                .map_err(|e| FlowError::Layout(e.to_string()))?
+        };
+        emit(
+            &mut events,
+            FlowEvent::LayoutDone {
+                area_um2: layout.area_um2,
+                complete: layout.is_complete(),
+            },
+        );
 
         // --- Bottom-up: extraction + detailed verification. ---------------
         // Layout parasitics load the internal and output nets: the output
         // net cap adds to CL, the d2 net cap adds to Cc's node. Re-evaluate
         // the sizing model with the degraded loads.
+        let _verify_span = ams_trace::span("flow.extract_verify");
         let c_out = layout.net_caps.get("out").copied().unwrap_or(0.0);
         let c_d2 = layout.net_caps.get("d2").copied().unwrap_or(0.0);
         let post_perf = if use_ota {
@@ -291,10 +341,14 @@ pub fn synthesize_opamp(
         let ugf_post = post_perf.get("ugf_hz").copied().unwrap_or(0.0);
         let degradation = ((ugf_pre - ugf_post) / ugf_pre).max(0.0);
         let passed = spec.satisfied_by(&post_perf) && layout.is_complete();
-        events.push(FlowEvent::PostLayoutVerified {
-            passed,
-            ugf_degradation: degradation,
-        });
+        drop(_verify_span);
+        emit(
+            &mut events,
+            FlowEvent::PostLayoutVerified {
+                passed,
+                ugf_degradation: degradation,
+            },
+        );
 
         if passed {
             return Ok(FlowReport {
@@ -309,10 +363,12 @@ pub fn synthesize_opamp(
         }
 
         iterations += 1;
+        ams_trace::counter_add("flow.redesign_iterations", 1);
         if iterations >= config.max_redesign {
-            events.push(FlowEvent::Failed(
-                "post-layout spec failure after redesign budget".into(),
-            ));
+            emit(
+                &mut events,
+                FlowEvent::Failed("post-layout spec failure after redesign budget".into()),
+            );
             return Err(FlowError::SizingInfeasible { iterations });
         }
         // Redesign: tighten the speed-related bounds by the observed

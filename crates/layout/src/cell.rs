@@ -142,6 +142,7 @@ pub fn layout_cell(
     if devices.is_empty() {
         return Err(CellError::Empty);
     }
+    let _span = ams_trace::span("layout.cell");
     let index_of: HashMap<&str, usize> = devices
         .iter()
         .enumerate()

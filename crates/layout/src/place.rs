@@ -264,6 +264,11 @@ pub fn place(
             assert!(*n < net_count, "pin net {n} out of range");
         }
     }
+    let _span = ams_trace::span("layout.place");
+    let mut moves_translate = 0u64;
+    let mut moves_orient = 0u64;
+    let mut moves_swap = 0u64;
+    let mut moves_accepted = 0u64;
     let mut rng = SmallRng::seed_from_u64(config.seed);
     let ev = Evaluator {
         items,
@@ -296,13 +301,16 @@ pub fn place(
             match rng.gen_range(0..10) {
                 0..=5 => {
                     // Translate.
+                    moves_translate += 1;
                     placed[i].at.x += rng.gen_range(-reach as i64..=reach as i64);
                     placed[i].at.y += rng.gen_range(-reach as i64..=reach as i64);
                 }
                 6 | 7 if config.orientation_moves => {
+                    moves_orient += 1;
                     placed[i].orient = Orientation::ALL[rng.gen_range(0..Orientation::ALL.len())];
                 }
                 _ => {
+                    moves_swap += 1;
                     // Swap positions with another item.
                     let j = rng.gen_range(0..items.len());
                     if i != j {
@@ -315,6 +323,7 @@ pub fn place(
             let new_cost = ev.cost(&placed);
             let d = new_cost - cost;
             if d < 0.0 || rng.gen::<f64>() < (-d / t).exp() {
+                moves_accepted += 1;
                 cost = new_cost;
                 if cost < best_cost {
                     best_cost = cost;
@@ -335,6 +344,16 @@ pub fn place(
         }
         t *= 0.88;
     }
+
+    ams_trace::counter_add("layout.place_runs", 1);
+    ams_trace::counter_add(
+        "layout.place_moves",
+        moves_translate + moves_orient + moves_swap,
+    );
+    ams_trace::counter_add("layout.place_moves_translate", moves_translate);
+    ams_trace::counter_add("layout.place_moves_orient", moves_orient);
+    ams_trace::counter_add("layout.place_moves_swap", moves_swap);
+    ams_trace::counter_add("layout.place_accepted", moves_accepted);
 
     // Legalize: remove residual overlaps by nudging along +x.
     let mut placed = best;

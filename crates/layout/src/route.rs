@@ -182,6 +182,10 @@ impl Router {
         sym_pairs: &[(usize, usize, u16)],
         config: &RouterConfig,
     ) -> RouteResult {
+        let _span = ams_trace::span("layout.route");
+        let mut expansions = 0u64;
+        let mut ripups = 0u64;
+        let mut mirrored_ok = 0u64;
         // Reserve every net's pin cells so other nets cannot wire over them.
         for (ni, net) in nets.iter().enumerate() {
             for &(x, y) in &net.terminals {
@@ -215,12 +219,13 @@ impl Router {
                 if let Some((ref_net, axis)) = mirrored[ni] {
                     if let Some(reference) = &paths[ref_net] {
                         if let Some(m) = self.try_mirror(ni as u16, reference, axis, nets, config) {
+                            mirrored_ok += 1;
                             paths[ni] = Some(m);
                             continue;
                         }
                     }
                 }
-                match self.route_one(ni as u16, &nets[ni], nets, config) {
+                match self.route_one(ni as u16, &nets[ni], nets, config, &mut expansions) {
                     Some(p) => paths[ni] = Some(p),
                     None => {
                         all_ok = false;
@@ -234,6 +239,7 @@ impl Router {
                                 .filter_map(|(k, p)| p.as_ref().map(|p| (k, p.path.len())))
                                 .max_by_key(|&(_, len)| len)
                             {
+                                ripups += 1;
                                 self.rip_up(paths[victim].take().expect("occupied victim"));
                             }
                         }
@@ -253,6 +259,12 @@ impl Router {
                 None => failed.push(nets[ni].name.clone()),
             }
         }
+        ams_trace::counter_add("layout.route_runs", 1);
+        ams_trace::counter_add("layout.route_expansions", expansions);
+        ams_trace::counter_add("layout.route_ripups", ripups);
+        ams_trace::counter_add("layout.route_mirrored", mirrored_ok);
+        ams_trace::counter_add("layout.route_nets_routed", routed.len() as u64);
+        ams_trace::counter_add("layout.route_nets_failed", failed.len() as u64);
         let wirelength = routed.iter().map(|r| r.path.len()).sum();
         let vias = routed.iter().map(|r| r.vias).sum();
         let crosstalk_adjacencies = self.count_crosstalk(nets);
@@ -322,6 +334,7 @@ impl Router {
         net: &RouteNet,
         nets: &[RouteNet],
         config: &RouterConfig,
+        expansions: &mut u64,
     ) -> Option<RoutedNet> {
         if net.terminals.is_empty() {
             return Some(RoutedNet {
@@ -347,7 +360,9 @@ impl Router {
             if all_cells.contains(&target) {
                 continue;
             }
-            let path = self.dijkstra(&all_cells, target, net_id, net.class, nets, config)?;
+            let path = self.dijkstra(
+                &all_cells, target, net_id, net.class, nets, config, expansions,
+            )?;
             for w in path.windows(2) {
                 if w[0].layer != w[1].layer {
                     vias += 1;
@@ -382,6 +397,7 @@ impl Router {
         class: NetClass,
         nets: &[RouteNet],
         config: &RouterConfig,
+        expansions: &mut u64,
     ) -> Option<Vec<Cell>> {
         let n = self.occupancy.len();
         let mut dist = vec![u32::MAX; n];
@@ -393,6 +409,7 @@ impl Router {
             heap.push(Reverse((0, s)));
         }
         while let Some(Reverse((d, c))) = heap.pop() {
+            *expansions += 1;
             let ci = self.idx(c);
             if d > dist[ci] {
                 continue;

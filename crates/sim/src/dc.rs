@@ -19,6 +19,32 @@ const RELTOL: f64 = 1e-6;
 /// Per-iteration clamp on any voltage update (volts), for damping.
 const MAX_STEP: f64 = 0.5;
 
+/// Which rung of the convergence ladder produced a DC solution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DcStrategy {
+    /// Plain Newton–Raphson from a zero start.
+    Newton,
+    /// The gmin-stepping homotopy (1e-2 → 1e-12, then gmin removed).
+    GminStepping,
+    /// Source stepping (all independent sources ramped 10% → 100%).
+    SourceStepping,
+    /// Not solved at all: linearized at an assumed solution vector
+    /// (see [`linearize_at`]).
+    Assumed,
+}
+
+impl DcStrategy {
+    /// Short lowercase name, e.g. for logs and trace events.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            DcStrategy::Newton => "newton",
+            DcStrategy::GminStepping => "gmin-stepping",
+            DcStrategy::SourceStepping => "source-stepping",
+            DcStrategy::Assumed => "assumed",
+        }
+    }
+}
+
 /// Converged DC operating point.
 #[derive(Debug, Clone)]
 pub struct OpPoint {
@@ -26,6 +52,11 @@ pub struct OpPoint {
     pub x: Vec<f64>,
     /// Per-MOS operating data, keyed by instance name.
     pub mos_ops: HashMap<String, MosOp>,
+    /// Total Newton iterations spent reaching this solution, summed over
+    /// every homotopy rung that ran (previously only reported on failure).
+    pub iterations: usize,
+    /// Which convergence strategy finally succeeded.
+    pub strategy: DcStrategy,
     layout: MnaLayout,
 }
 
@@ -91,41 +122,71 @@ impl OpPoint {
 /// assert!((op.voltage(&ckt, "out").unwrap() - 1.0).abs() < 1e-9);
 /// ```
 pub fn dc_operating_point(ckt: &Circuit) -> Result<OpPoint, SimError> {
+    let _span = ams_trace::span("sim.dc_op");
+    let mut iters = 0usize;
+    let result = dc_solve(ckt, &mut iters);
+    ams_trace::counter_add("sim.dc_solves", 1);
+    ams_trace::counter_add("sim.newton_iters", iters as u64);
+    // Each Newton iteration performs exactly one LU factor and one solve.
+    ams_trace::counter_add("sim.lu_factors", iters as u64);
+    ams_trace::counter_add("sim.lu_solves", iters as u64);
+    match &result {
+        Ok(op) => ams_trace::counter_add(
+            match op.strategy {
+                DcStrategy::Newton => "sim.dc_converged_newton",
+                DcStrategy::GminStepping => "sim.dc_converged_gmin",
+                DcStrategy::SourceStepping => "sim.dc_converged_source",
+                DcStrategy::Assumed => "sim.dc_converged_assumed",
+            },
+            1,
+        ),
+        Err(_) => ams_trace::counter_add("sim.dc_failures", 1),
+    }
+    result
+}
+
+fn dc_solve(ckt: &Circuit, iters: &mut usize) -> Result<OpPoint, SimError> {
     erc_gate(ckt)?;
     let layout = MnaLayout::new(ckt);
     let devices = indexed_devices(ckt);
     let mut x = vec![0.0; layout.dim()];
 
     // Plain Newton, then gmin ladder, then source stepping.
-    if newton(ckt, &layout, &devices, &mut x, 0.0, 1.0).is_ok() {
-        return Ok(finish(ckt, layout, x));
+    if newton(ckt, &layout, &devices, &mut x, 0.0, 1.0, iters).is_ok() {
+        return Ok(finish(ckt, layout, x, *iters, DcStrategy::Newton));
     }
     // gmin stepping: 1e-2 → 1e-12, warm-started.
     let mut gx = vec![0.0; layout.dim()];
     let mut ok = true;
+    let mut gmin_stages = 0u64;
     for k in 2..=12 {
         let gmin = 10f64.powi(-k);
-        if newton(ckt, &layout, &devices, &mut gx, gmin, 1.0).is_err() {
+        if newton(ckt, &layout, &devices, &mut gx, gmin, 1.0, iters).is_err() {
             ok = false;
             break;
         }
+        gmin_stages += 1;
     }
-    if ok && newton(ckt, &layout, &devices, &mut gx, 0.0, 1.0).is_ok() {
-        return Ok(finish(ckt, layout, gx));
+    ams_trace::counter_add("sim.dc_gmin_stages", gmin_stages);
+    if ok && newton(ckt, &layout, &devices, &mut gx, 0.0, 1.0, iters).is_ok() {
+        return Ok(finish(ckt, layout, gx, *iters, DcStrategy::GminStepping));
     }
 
     // Source stepping: ramp all independent sources from 10% to 100%.
     let mut sx = vec![0.0; layout.dim()];
     let mut ok = true;
+    let mut source_steps = 0u64;
     for k in 1..=10 {
         let alpha = k as f64 / 10.0;
-        if newton(ckt, &layout, &devices, &mut sx, 1e-9, alpha).is_err() {
+        if newton(ckt, &layout, &devices, &mut sx, 1e-9, alpha, iters).is_err() {
             ok = false;
             break;
         }
+        source_steps += 1;
     }
-    if ok && newton(ckt, &layout, &devices, &mut sx, 0.0, 1.0).is_ok() {
-        return Ok(finish(ckt, layout, sx));
+    ams_trace::counter_add("sim.dc_source_steps", source_steps);
+    if ok && newton(ckt, &layout, &devices, &mut sx, 0.0, 1.0, iters).is_ok() {
+        return Ok(finish(ckt, layout, sx, *iters, DcStrategy::SourceStepping));
     }
 
     Err(SimError::NoConvergence {
@@ -166,9 +227,21 @@ fn resolve_singular(
     }
 }
 
-fn finish(ckt: &Circuit, layout: MnaLayout, x: Vec<f64>) -> OpPoint {
+fn finish(
+    ckt: &Circuit,
+    layout: MnaLayout,
+    x: Vec<f64>,
+    iterations: usize,
+    strategy: DcStrategy,
+) -> OpPoint {
     let mos_ops = evaluate_mos_ops(ckt, &layout, &x);
-    OpPoint { x, mos_ops, layout }
+    OpPoint {
+        x,
+        mos_ops,
+        iterations,
+        strategy,
+        layout,
+    }
 }
 
 fn evaluate_mos_ops(ckt: &Circuit, layout: &MnaLayout, x: &[f64]) -> HashMap<String, MosOp> {
@@ -206,6 +279,7 @@ fn orient(
 }
 
 /// One Newton solve at a fixed (gmin, source-scale) homotopy point.
+/// `iters` accumulates the iterations spent across calls.
 fn newton(
     ckt: &Circuit,
     layout: &MnaLayout,
@@ -213,8 +287,10 @@ fn newton(
     x: &mut [f64],
     gmin: f64,
     source_scale: f64,
+    iters: &mut usize,
 ) -> Result<(), SimError> {
     for _iter in 0..MAX_ITER {
+        *iters += 1;
         let mut st = Stamper::new(layout.dim());
         stamp_dc(layout, devices, x, gmin, source_scale, &mut st);
         let lu = st.a.lu().map_err(|e| resolve_singular(ckt, layout, e))?;
@@ -395,7 +471,7 @@ pub fn linearize_at(ckt: &Circuit, x: &[f64]) -> (LinearNet, f64) {
         .map(|(a, z)| (a - z) * (a - z))
         .sum::<f64>()
         .sqrt();
-    let op = finish(ckt, layout, x.to_vec());
+    let op = finish(ckt, layout, x.to_vec(), 0, DcStrategy::Assumed);
     (linearize(ckt, &op), residual)
 }
 
@@ -537,6 +613,21 @@ mod tests {
         // Supply current = 10 V / 10 kΩ = 1 mA out of the + terminal.
         let i = op.supply_current(&ckt, "V1").unwrap();
         assert!((i - 1e-3).abs() < 1e-9, "i = {i}");
+    }
+
+    #[test]
+    fn success_path_reports_iterations_and_strategy() {
+        let ckt = parse_deck(
+            "V1 in 0 DC 10
+             R1 in out 9k
+             R2 out 0 1k",
+        )
+        .unwrap();
+        let op = dc_operating_point(&ckt).unwrap();
+        assert!(op.iterations >= 1, "iterations = {}", op.iterations);
+        assert!(op.iterations < MAX_ITER);
+        assert_eq!(op.strategy, DcStrategy::Newton);
+        assert_eq!(op.strategy.as_str(), "newton");
     }
 
     #[test]

@@ -46,7 +46,7 @@ mod noise;
 mod tran;
 
 pub use ac::{ac_sweep, log_frequencies, AcSweep};
-pub use dc::{dc_operating_point, linearize, linearize_at, OpPoint};
+pub use dc::{dc_operating_point, linearize, linearize_at, DcStrategy, OpPoint};
 pub use error::SimError;
 pub use linalg::{CMatrix, Complex, Lu, Matrix, SingularMatrix};
 pub use mna::{output_index, LinearNet, MnaLayout, Stamper};

@@ -84,6 +84,20 @@ impl TranResult {
     }
 }
 
+/// Tallies accumulated over one transient run, flushed to `ams-trace`
+/// counters when the analysis returns.
+#[derive(Debug, Clone, Copy, Default)]
+struct TranStats {
+    /// Committed (accepted) integration steps, including halved sub-steps.
+    accepted: u64,
+    /// Step halvings forced by a Newton failure (LTE-style retries).
+    halvings: u64,
+    /// Newton iterations summed over every attempted step.
+    newton_iters: u64,
+    /// Newton solves that failed and triggered a retry.
+    rejected: u64,
+}
+
 /// Per-reactive-element integration state.
 #[derive(Debug, Clone, Copy, Default)]
 struct ReactState {
@@ -121,6 +135,8 @@ pub fn transient(ckt: &Circuit, tstop: f64, dt: f64) -> Result<TranResult, SimEr
             "tstop and dt must be positive with dt <= tstop".into(),
         ));
     }
+    let _span = ams_trace::span("sim.transient");
+    let mut stats = TranStats::default();
     let op = dc_operating_point(ckt)?;
     let layout = MnaLayout::new(ckt);
     let devices = indexed_devices(ckt);
@@ -160,9 +176,15 @@ pub fn transient(ckt: &Circuit, tstop: f64, dt: f64) -> Result<TranResult, SimEr
 
     while t < tstop - 1e-15 {
         let step = dt.min(tstop - t);
-        let (new_x, new_states, new_mos_caps, t_next) = advance(
-            ckt, &layout, &devices, &x, &states, &mos_caps, t, step, first_step, 0,
-        )?;
+        let (new_x, new_states, new_mos_caps, t_next) = match advance(
+            ckt, &layout, &devices, &x, &states, &mos_caps, t, step, first_step, 0, &mut stats,
+        ) {
+            Ok(v) => v,
+            Err(e) => {
+                flush_stats(&stats);
+                return Err(e);
+            }
+        };
         x = new_x;
         states = new_states;
         mos_caps = new_mos_caps;
@@ -172,11 +194,22 @@ pub fn transient(ckt: &Circuit, tstop: f64, dt: f64) -> Result<TranResult, SimEr
         solutions.push(x.clone());
     }
 
+    flush_stats(&stats);
     Ok(TranResult {
         times,
         solutions,
         layout,
     })
+}
+
+fn flush_stats(stats: &TranStats) {
+    ams_trace::counter_add("sim.tran_steps_accepted", stats.accepted);
+    ams_trace::counter_add("sim.tran_step_halvings", stats.halvings);
+    ams_trace::counter_add("sim.tran_newton_iters", stats.newton_iters);
+    ams_trace::counter_add("sim.tran_newton_rejects", stats.rejected);
+    // Each transient Newton iteration is one LU factor plus one solve.
+    ams_trace::counter_add("sim.lu_factors", stats.newton_iters);
+    ams_trace::counter_add("sim.lu_solves", stats.newton_iters);
 }
 
 /// Advances one (possibly recursively halved) timestep.
@@ -192,6 +225,7 @@ fn advance(
     h: f64,
     use_be: bool,
     depth: usize,
+    stats: &mut TranStats,
 ) -> Result<
     (
         Vec<f64>,
@@ -219,8 +253,20 @@ fn advance(
         }
     }
 
-    match newton_step(ckt, layout, devices, x, states, &caps_now, t_new, h, use_be) {
+    match newton_step(
+        ckt,
+        layout,
+        devices,
+        x,
+        states,
+        &caps_now,
+        t_new,
+        h,
+        use_be,
+        &mut stats.newton_iters,
+    ) {
         Ok(new_x) => {
+            stats.accepted += 1;
             // Commit: update reactive states from the accepted solution.
             let mut new_states = states.clone();
             for (li, _name, dev) in devices {
@@ -253,6 +299,8 @@ fn advance(
             Ok((new_x, new_states, caps_now, t_new))
         }
         Err(_) if depth < MAX_HALVINGS => {
+            stats.rejected += 1;
+            stats.halvings += 1;
             // Halve: two sub-steps, BE on the first half for damping.
             let (x1, s1, c1, t1) = advance(
                 ckt,
@@ -265,6 +313,7 @@ fn advance(
                 h / 2.0,
                 true,
                 depth + 1,
+                stats,
             )?;
             advance(
                 ckt,
@@ -277,9 +326,13 @@ fn advance(
                 h / 2.0,
                 false,
                 depth + 1,
+                stats,
             )
         }
-        Err(e) => Err(e),
+        Err(e) => {
+            stats.rejected += 1;
+            Err(e)
+        }
     }
 }
 
@@ -319,10 +372,12 @@ fn newton_step(
     t_new: f64,
     h: f64,
     use_be: bool,
+    iters: &mut u64,
 ) -> Result<Vec<f64>, SimError> {
     let _ = ckt; // reserved for future per-device diagnostics
     let mut x = x0.to_vec();
     for _ in 0..MAX_ITER {
+        *iters += 1;
         let mut st = Stamper::new(layout.dim());
         stamp_tran(
             layout, devices, &x, states, mos_caps, t_new, h, use_be, &mut st,

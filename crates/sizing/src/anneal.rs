@@ -143,6 +143,7 @@ where
     F: FnMut(&[f64]) -> f64,
 {
     assert!(!params.is_empty(), "no parameters to optimize");
+    let _span = ams_trace::span("sizing.anneal");
     let mut rng = SmallRng::seed_from_u64(config.seed);
 
     // Multi-start initialization: best of a handful of random samples.
@@ -173,6 +174,7 @@ where
         // Move scale shrinks from coarse to fine over the schedule.
         let progress = stage as f64 / config.stages.max(1) as f64;
         let scale = 0.5 * (1.0 - progress) + 0.02;
+        let stage_accepted_before = accepted;
         for _ in 0..config.moves_per_stage {
             let k = rng.gen_range(0..params.len());
             let mut cand = x.clone();
@@ -194,8 +196,22 @@ where
             }
         }
         t *= config.cooling;
+        // Per-temperature acceptance ratio, for cooling-schedule tuning.
+        if config.moves_per_stage > 0 {
+            ams_trace::record(
+                "sizing.anneal_stage_accept_ratio",
+                (accepted - stage_accepted_before) as f64 / config.moves_per_stage as f64,
+            );
+        }
     }
 
+    ams_trace::counter_add("sizing.anneal_runs", 1);
+    ams_trace::counter_add(
+        "sizing.anneal_moves",
+        (config.moves_per_stage * config.stages) as u64,
+    );
+    ams_trace::counter_add("sizing.anneal_accepted", accepted as u64);
+    ams_trace::counter_add("sizing.anneal_evals", evaluations as u64);
     AnnealResult {
         x: best_x,
         cost: best_c,

@@ -71,6 +71,8 @@ pub struct GaResult {
 /// Panics if `models` is empty.
 pub fn evolve(models: &[&dyn PerfModel], spec: &Spec, config: &GaConfig) -> GaResult {
     assert!(!models.is_empty(), "no candidate topologies");
+    let _span = ams_trace::span("sizing.ga");
+    let mut elitism_updates = 0u64;
     let mut rng = SmallRng::seed_from_u64(config.seed);
     let compiler = CostCompiler::new(spec.clone());
     let param_defs: Vec<Vec<ParamDef>> = models.iter().map(|m| m.params()).collect();
@@ -106,6 +108,7 @@ pub fn evolve(models: &[&dyn PerfModel], spec: &Spec, config: &GaConfig) -> GaRe
         let slot = &mut species_best[c.topology];
         if slot.as_ref().is_none_or(|s| c.cost < s.cost) {
             *slot = Some(c.clone());
+            elitism_updates += 1;
         }
     }
 
@@ -120,6 +123,7 @@ pub fn evolve(models: &[&dyn PerfModel], spec: &Spec, config: &GaConfig) -> GaRe
             let slot = &mut species_best[child.topology];
             if slot.as_ref().is_none_or(|s| child.cost < s.cost) {
                 *slot = Some(child.clone());
+                elitism_updates += 1;
             }
             next.push(child);
         }
@@ -133,6 +137,7 @@ pub fn evolve(models: &[&dyn PerfModel], spec: &Spec, config: &GaConfig) -> GaRe
     // comparison of local optima, not of how many offspring each species
     // happened to receive.
     let polish_iters = config.population;
+    let mut polish_improvements = 0u64;
     for (t, slot) in species_best.iter_mut().enumerate() {
         let Some(champ) = slot else { continue };
         for _ in 0..polish_iters {
@@ -141,9 +146,14 @@ pub fn evolve(models: &[&dyn PerfModel], spec: &Spec, config: &GaConfig) -> GaRe
             trial.cost = eval(t, &trial.genes);
             if trial.cost < champ.cost {
                 *champ = trial;
+                polish_improvements += 1;
             }
         }
     }
+    ams_trace::counter_add("sizing.ga_runs", 1);
+    ams_trace::counter_add("sizing.ga_generations", config.generations as u64);
+    ams_trace::counter_add("sizing.ga_elitism_updates", elitism_updates);
+    ams_trace::counter_add("sizing.ga_polish_improvements", polish_improvements);
 
     let best = species_best
         .iter()

@@ -105,11 +105,14 @@ pub fn redesign<M: PerfModel>(
     db: &DesignDatabase,
     config: &AnnealConfig,
 ) -> (SizingResult, bool) {
+    let _span = ams_trace::span("sizing.redesign");
     let params = model.params();
     let compiler = CostCompiler::new(spec.clone());
     let Some(hit) = db.nearest(spec) else {
+        ams_trace::counter_add("sizing.redesign_db_misses", 1);
         return (crate::eqopt::optimize(model, spec, config), false);
     };
+    ams_trace::counter_add("sizing.redesign_db_hits", 1);
     // Warm start: local perturbation search around the stored solution
     // with a tiny budget (OAC's "redesign" rather than "design").
     let mut rng = SmallRng::seed_from_u64(config.seed);
@@ -139,6 +142,7 @@ pub fn redesign<M: PerfModel>(
         }
     }
     let perf = model.evaluate(&best);
+    ams_trace::counter_add("sizing.redesign_evals", evaluations as u64);
     (
         SizingResult {
             params: params

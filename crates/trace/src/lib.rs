@@ -1,0 +1,799 @@
+//! `ams-trace` — zero-dependency structured tracing for the synthesis flow.
+//!
+//! The DAC'96 methodology is a *performance-driven loop*, and its
+//! credibility rests on quantitative cost evidence (Table 1's CPU-time and
+//! iteration counts). This crate makes every solver in the workspace
+//! answerable to the question "where did the time and the iterations go?"
+//! without pulling in any external dependency, in the same hand-rolled
+//! spirit as `ams-prng` and the local criterion shim.
+//!
+//! # What it records
+//!
+//! * **Spans** — hierarchical wall-clock regions opened with [`span`] and
+//!   closed by RAII. Nesting is tracked per thread; a span's *path* is the
+//!   `/`-joined chain of open span names (e.g. `flow.sizing/sizing.anneal`).
+//! * **Counters** — named monotonic `u64` totals via [`counter_add`]. These
+//!   are the seed-deterministic backbone: two runs with the same seeds must
+//!   produce identical counter values.
+//! * **Histograms** — named `f64` distributions via [`record`], summarized
+//!   as count/min/max/mean and p50/p95 percentiles.
+//! * **Flight recorder** — a bounded ring buffer of the most recent raw
+//!   span and instant events, exported as Chrome trace-event JSON for
+//!   `chrome://tracing` / Perfetto.
+//!
+//! # Cost model
+//!
+//! A single global [`Collector`]-like store sits behind a `Mutex`, guarded
+//! by an `AtomicBool` fast path: when tracing is disabled (the default)
+//! every API call is one relaxed atomic load and an immediate return, so
+//! instrumented hot loops cost nothing measurable. Hot inner loops should
+//! still aggregate locally and call [`counter_add`] once per coarse
+//! operation rather than per iteration.
+//!
+//! # Example
+//!
+//! ```
+//! ams_trace::set_enabled(true);
+//! ams_trace::reset();
+//! {
+//!     let _outer = ams_trace::span("demo.outer");
+//!     let _inner = ams_trace::span("demo.inner");
+//!     ams_trace::counter_add("demo.iterations", 42);
+//!     ams_trace::record("demo.residual", 1e-9);
+//!     ams_trace::instant("demo.converged");
+//! }
+//! let snap = ams_trace::snapshot();
+//! assert_eq!(snap.counters["demo.iterations"], 42);
+//! assert!(snap.spans.contains_key("demo.outer/demo.inner"));
+//! let json = snap.to_chrome_json();
+//! let stats = ams_trace::validate_chrome_trace(&json).unwrap();
+//! assert!(stats.complete_events >= 2);
+//! ams_trace::set_enabled(false);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::thread::ThreadId;
+use std::time::{Duration, Instant};
+
+/// Default capacity of the flight-recorder ring buffer.
+pub const DEFAULT_RING_CAPACITY: usize = 16_384;
+
+/// Cap on stored per-histogram samples (aggregates stay exact beyond it).
+const HIST_SAMPLE_CAP: usize = 4_096;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn collector() -> MutexGuard<'static, Store> {
+    static STORE: OnceLock<Mutex<Store>> = OnceLock::new();
+    STORE
+        .get_or_init(|| Mutex::new(Store::new(DEFAULT_RING_CAPACITY)))
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Whether the global collector is currently recording.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns the global collector on or off. Off (the default) makes every
+/// tracing call a single atomic load.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Clears all counters, histograms, span statistics, and the flight ring,
+/// and restarts the trace clock. Does not change the enabled flag.
+pub fn reset() {
+    let mut c = collector();
+    let cap = c.ring_capacity;
+    *c = Store::new(cap);
+}
+
+/// Resizes the flight-recorder ring buffer (oldest events drop first once
+/// full). Takes effect immediately; excess queued events are discarded.
+pub fn set_ring_capacity(capacity: usize) {
+    let mut c = collector();
+    c.ring_capacity = capacity.max(1);
+    while c.ring.len() > c.ring_capacity {
+        c.ring.pop_front();
+        c.dropped += 1;
+    }
+}
+
+/// Opens a hierarchical timing span; the returned guard closes it on drop.
+///
+/// When tracing is disabled this is one atomic load and a no-op guard.
+#[must_use = "the span closes when the guard drops — bind it to a variable"]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { open: None };
+    }
+    SPAN_STACK.with(|s| s.borrow_mut().push(name));
+    SpanGuard {
+        open: Some(Instant::now()),
+    }
+}
+
+/// RAII guard returned by [`span`]; records the span when dropped.
+#[derive(Debug)]
+pub struct SpanGuard {
+    open: Option<Instant>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.open.take() else {
+            return;
+        };
+        let dur = start.elapsed();
+        let path = SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            let path = stack.join("/");
+            stack.pop();
+            path
+        });
+        let mut c = collector();
+        let ts_us = us_since(c.origin, start);
+        let tid = c.tid();
+        c.close_span(path, ts_us, dur, tid);
+    }
+}
+
+/// Adds `delta` to the named monotonic counter.
+#[inline]
+pub fn counter_add(name: &'static str, delta: u64) {
+    if !enabled() || delta == 0 {
+        return;
+    }
+    let mut c = collector();
+    *c.counters.entry(name).or_insert(0) += delta;
+}
+
+/// Records one sample into the named `f64` histogram.
+#[inline]
+pub fn record(name: &'static str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    let mut c = collector();
+    c.hists.entry(name).or_default().push(value);
+}
+
+/// Records an instant (point-in-time) event into the flight recorder.
+///
+/// Takes `&str` (not `&'static str`) so callers can format event names,
+/// but should check [`enabled`] before formatting anything expensive.
+pub fn instant(name: &str) {
+    if !enabled() {
+        return;
+    }
+    let mut c = collector();
+    let ts_us = us_since(c.origin, Instant::now());
+    let tid = c.tid();
+    c.push_ring(FlightEvent::Instant {
+        name: name.to_string(),
+        ts_us,
+        tid,
+    });
+}
+
+/// Takes a consistent copy of everything recorded so far.
+pub fn snapshot() -> Snapshot {
+    let c = collector();
+    Snapshot {
+        counters: c
+            .counters
+            .iter()
+            .map(|(&k, &v)| (k.to_string(), v))
+            .collect(),
+        histograms: c
+            .hists
+            .iter()
+            .map(|(&k, h)| (k.to_string(), h.summary()))
+            .collect(),
+        spans: c.spans.iter().map(|(k, a)| (k.clone(), a.stat())).collect(),
+        flight: c.ring.iter().cloned().collect(),
+        dropped_events: c.dropped,
+    }
+}
+
+/// Per-counter difference `after - before` (counters are monotonic, so
+/// counters absent from `before` count from zero). Sorted by name; zero
+/// deltas are omitted.
+pub fn counters_delta(
+    before: &BTreeMap<String, u64>,
+    after: &BTreeMap<String, u64>,
+) -> Vec<(String, u64)> {
+    after
+        .iter()
+        .filter_map(|(k, &v)| {
+            let d = v - before.get(k).copied().unwrap_or(0).min(v);
+            (d > 0).then(|| (k.clone(), d))
+        })
+        .collect()
+}
+
+fn us_since(origin: Instant, t: Instant) -> f64 {
+    t.saturating_duration_since(origin).as_secs_f64() * 1e6
+}
+
+/// One raw event in the flight-recorder ring.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlightEvent {
+    /// A closed span: full path, start timestamp, and duration.
+    Span {
+        /// `/`-joined chain of open span names.
+        path: String,
+        /// Start time in microseconds since collector reset.
+        ts_us: f64,
+        /// Duration in microseconds.
+        dur_us: f64,
+        /// Small per-thread integer id.
+        tid: u32,
+    },
+    /// A point-in-time event.
+    Instant {
+        /// Event name.
+        name: String,
+        /// Timestamp in microseconds since collector reset.
+        ts_us: f64,
+        /// Small per-thread integer id.
+        tid: u32,
+    },
+}
+
+/// Aggregated statistics for one span path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpanStat {
+    /// How many times the span closed.
+    pub count: u64,
+    /// Total wall-clock microseconds across all closings.
+    pub total_us: f64,
+    /// Shortest single closing, microseconds.
+    pub min_us: f64,
+    /// Longest single closing, microseconds.
+    pub max_us: f64,
+}
+
+/// Summary of one `f64` histogram.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistSummary {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Arithmetic mean (exact over all samples).
+    pub mean: f64,
+    /// Median, estimated from up to the first 4096 samples.
+    pub p50: f64,
+    /// 95th percentile, estimated from up to the first 4096 samples.
+    pub p95: f64,
+}
+
+/// A consistent copy of the collector state, ready for export.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistSummary>,
+    /// Span statistics by `/`-joined path.
+    pub spans: BTreeMap<String, SpanStat>,
+    /// The flight-recorder ring contents, oldest first.
+    pub flight: Vec<FlightEvent>,
+    /// Events evicted from the ring because it was full.
+    pub dropped_events: u64,
+}
+
+impl Snapshot {
+    /// Renders a human-readable summary: span tree (indented by nesting
+    /// depth), counters, and histogram percentiles.
+    pub fn render_summary(&self) -> String {
+        let mut out = String::new();
+        if !self.spans.is_empty() {
+            out.push_str("spans:\n");
+            for (path, s) in &self.spans {
+                let depth = path.matches('/').count();
+                let leaf = path.rsplit('/').next().unwrap_or(path);
+                let _ = writeln!(
+                    out,
+                    "{:indent$}{leaf:<28} x{:<6} total {:>10}  mean {:>10}",
+                    "",
+                    s.count,
+                    fmt_us(s.total_us),
+                    fmt_us(s.total_us / s.count.max(1) as f64),
+                    indent = 2 + 2 * depth,
+                );
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, v) in &self.counters {
+                let _ = writeln!(out, "  {name:<36} {v}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms:\n");
+            for (name, h) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {name:<36} n={} min={:.4} p50={:.4} p95={:.4} max={:.4}",
+                    h.count, h.min, h.p50, h.p95, h.max
+                );
+            }
+        }
+        if self.dropped_events > 0 {
+            let _ = writeln!(
+                out,
+                "(flight recorder dropped {} oldest events)",
+                self.dropped_events
+            );
+        }
+        out
+    }
+
+    /// Exports the snapshot as Chrome trace-event JSON (the
+    /// `chrome://tracing` / Perfetto "JSON Object Format").
+    ///
+    /// Flight-recorder spans become `ph:"X"` complete events, instants
+    /// become `ph:"i"` events, and final counter values become one
+    /// `ph:"C"` counter event each at the trailing timestamp.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        let mut first = true;
+        let mut push = |out: &mut String, ev: String| {
+            if !std::mem::take(&mut first) {
+                out.push(',');
+            }
+            out.push_str(&ev);
+        };
+        push(
+            &mut out,
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\"ts\":0,\
+             \"args\":{\"name\":\"ams-synth\"}}"
+                .to_string(),
+        );
+        let mut end_ts = 0.0_f64;
+        for ev in &self.flight {
+            match ev {
+                FlightEvent::Span {
+                    path,
+                    ts_us,
+                    dur_us,
+                    tid,
+                } => {
+                    end_ts = end_ts.max(ts_us + dur_us);
+                    let leaf = path.rsplit('/').next().unwrap_or(path);
+                    push(
+                        &mut out,
+                        format!(
+                            "{{\"name\":\"{}\",\"cat\":\"span\",\"ph\":\"X\",\"pid\":0,\
+                             \"tid\":{tid},\"ts\":{ts_us:.3},\"dur\":{dur_us:.3},\
+                             \"args\":{{\"path\":\"{}\"}}}}",
+                            json::escape_str(leaf),
+                            json::escape_str(path),
+                        ),
+                    );
+                }
+                FlightEvent::Instant { name, ts_us, tid } => {
+                    end_ts = end_ts.max(*ts_us);
+                    push(
+                        &mut out,
+                        format!(
+                            "{{\"name\":\"{}\",\"cat\":\"instant\",\"ph\":\"i\",\"s\":\"t\",\
+                             \"pid\":0,\"tid\":{tid},\"ts\":{ts_us:.3}}}",
+                            json::escape_str(name),
+                        ),
+                    );
+                }
+            }
+        }
+        for (name, v) in &self.counters {
+            push(
+                &mut out,
+                format!(
+                    "{{\"name\":\"{}\",\"cat\":\"counter\",\"ph\":\"C\",\"pid\":0,\"tid\":0,\
+                     \"ts\":{end_ts:.3},\"args\":{{\"value\":{v}}}}}",
+                    json::escape_str(name),
+                ),
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn fmt_us(us: f64) -> String {
+    if us >= 1e6 {
+        format!("{:.3}s", us / 1e6)
+    } else if us >= 1e3 {
+        format!("{:.3}ms", us / 1e3)
+    } else {
+        format!("{us:.1}us")
+    }
+}
+
+/// Counts of what [`validate_chrome_trace`] found in a trace file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceStats {
+    /// Total events in `traceEvents`.
+    pub total_events: usize,
+    /// `ph:"X"` complete (span) events.
+    pub complete_events: usize,
+    /// `ph:"i"` instant events.
+    pub instant_events: usize,
+    /// `ph:"C"` counter events.
+    pub counter_events: usize,
+}
+
+/// Validates that `text` is Chrome trace-event JSON of the exact shape
+/// this crate emits: a top-level object with a `traceEvents` array whose
+/// every element has `name`/`ph`/`pid`/`tid`/`ts`, where `ph:"X"` events
+/// carry a numeric `dur`, `ph:"i"` events a scope `s`, and `ph:"C"`
+/// events a numeric `args.value`.
+pub fn validate_chrome_trace(text: &str) -> Result<TraceStats, String> {
+    let root = json::parse(text)?;
+    let obj = root.as_object().ok_or("top level is not an object")?;
+    let events = obj
+        .iter()
+        .find(|(k, _)| k == "traceEvents")
+        .map(|(_, v)| v)
+        .ok_or("missing traceEvents key")?
+        .as_array()
+        .ok_or("traceEvents is not an array")?;
+    let mut stats = TraceStats::default();
+    for (i, ev) in events.iter().enumerate() {
+        let ev = ev
+            .as_object()
+            .ok_or_else(|| format!("event {i} is not an object"))?;
+        let field = |k: &str| ev.iter().find(|(name, _)| name == k).map(|(_, v)| v);
+        let ph = field("ph")
+            .and_then(json::Value::as_str)
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        for key in ["name", "pid", "tid", "ts"] {
+            if field(key).is_none() {
+                return Err(format!("event {i}: missing {key}"));
+            }
+        }
+        if field("ts").and_then(json::Value::as_f64).is_none() {
+            return Err(format!("event {i}: ts is not a number"));
+        }
+        stats.total_events += 1;
+        match ph {
+            "X" => {
+                if field("dur").and_then(json::Value::as_f64).is_none() {
+                    return Err(format!("event {i}: X event lacks numeric dur"));
+                }
+                stats.complete_events += 1;
+            }
+            "i" => {
+                if field("s").and_then(json::Value::as_str).is_none() {
+                    return Err(format!("event {i}: i event lacks scope s"));
+                }
+                stats.instant_events += 1;
+            }
+            "C" => {
+                let value = field("args")
+                    .and_then(json::Value::as_object)
+                    .and_then(|args| {
+                        args.iter()
+                            .find(|(k, _)| k == "value")
+                            .and_then(|(_, v)| v.as_f64())
+                    });
+                if value.is_none() {
+                    return Err(format!("event {i}: C event lacks numeric args.value"));
+                }
+                stats.counter_events += 1;
+            }
+            "M" => {}
+            other => return Err(format!("event {i}: unexpected phase {other:?}")),
+        }
+    }
+    Ok(stats)
+}
+
+// ---------------------------------------------------------------------------
+// Internal store
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct Hist {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    samples: Vec<f64>,
+}
+
+impl Hist {
+    fn push(&mut self, v: f64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+        if self.samples.len() < HIST_SAMPLE_CAP {
+            self.samples.push(v);
+        }
+    }
+
+    fn summary(&self) -> HistSummary {
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let pct = |q: f64| -> f64 {
+            if sorted.is_empty() {
+                return 0.0;
+            }
+            let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+            sorted[idx.min(sorted.len() - 1)]
+        };
+        HistSummary {
+            count: self.count,
+            min: self.min,
+            max: self.max,
+            mean: if self.count == 0 {
+                0.0
+            } else {
+                self.sum / self.count as f64
+            },
+            p50: pct(0.50),
+            p95: pct(0.95),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SpanAgg {
+    count: u64,
+    total: Duration,
+    min: Duration,
+    max: Duration,
+}
+
+impl SpanAgg {
+    fn stat(&self) -> SpanStat {
+        SpanStat {
+            count: self.count,
+            total_us: self.total.as_secs_f64() * 1e6,
+            min_us: self.min.as_secs_f64() * 1e6,
+            max_us: self.max.as_secs_f64() * 1e6,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Store {
+    origin: Instant,
+    counters: BTreeMap<&'static str, u64>,
+    hists: BTreeMap<&'static str, Hist>,
+    spans: HashMap<String, SpanAgg>,
+    ring: VecDeque<FlightEvent>,
+    ring_capacity: usize,
+    dropped: u64,
+    tids: HashMap<ThreadId, u32>,
+}
+
+impl Store {
+    fn new(ring_capacity: usize) -> Self {
+        Store {
+            origin: Instant::now(),
+            counters: BTreeMap::new(),
+            hists: BTreeMap::new(),
+            spans: HashMap::new(),
+            ring: VecDeque::new(),
+            ring_capacity,
+            dropped: 0,
+            tids: HashMap::new(),
+        }
+    }
+
+    fn tid(&mut self) -> u32 {
+        let next = self.tids.len() as u32;
+        *self.tids.entry(std::thread::current().id()).or_insert(next)
+    }
+
+    fn push_ring(&mut self, ev: FlightEvent) {
+        if self.ring.len() >= self.ring_capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(ev);
+    }
+
+    fn close_span(&mut self, path: String, ts_us: f64, dur: Duration, tid: u32) {
+        let dur_us = dur.as_secs_f64() * 1e6;
+        self.push_ring(FlightEvent::Span {
+            path: path.clone(),
+            ts_us,
+            dur_us,
+            tid,
+        });
+        self.spans
+            .entry(path)
+            .and_modify(|a| {
+                a.count += 1;
+                a.total += dur;
+                a.min = a.min.min(dur);
+                a.max = a.max.max(dur);
+            })
+            .or_insert(SpanAgg {
+                count: 1,
+                total: dur,
+                min: dur,
+                max: dur,
+            });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes tests that touch the process-global collector.
+    fn lock() -> MutexGuard<'static, ()> {
+        static TEST_LOCK: Mutex<()> = Mutex::new(());
+        TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn disabled_calls_are_noops() {
+        let _g = lock();
+        set_enabled(false);
+        reset();
+        counter_add("t.noop", 5);
+        record("t.noop_hist", 1.0);
+        instant("t.noop_instant");
+        let _s = span("t.noop_span");
+        drop(_s);
+        let snap = snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.histograms.is_empty());
+        assert!(snap.spans.is_empty());
+        assert!(snap.flight.is_empty());
+    }
+
+    #[test]
+    fn counters_accumulate_and_reset_clears() {
+        let _g = lock();
+        set_enabled(true);
+        reset();
+        counter_add("t.iters", 3);
+        counter_add("t.iters", 4);
+        counter_add("t.zero", 0);
+        let snap = snapshot();
+        assert_eq!(snap.counters["t.iters"], 7);
+        assert!(!snap.counters.contains_key("t.zero"));
+        reset();
+        assert!(snapshot().counters.is_empty());
+        set_enabled(false);
+    }
+
+    #[test]
+    fn spans_nest_into_paths() {
+        let _g = lock();
+        set_enabled(true);
+        reset();
+        {
+            let _a = span("t.outer");
+            for _ in 0..3 {
+                let _b = span("t.inner");
+            }
+        }
+        let snap = snapshot();
+        assert_eq!(snap.spans["t.outer"].count, 1);
+        assert_eq!(snap.spans["t.outer/t.inner"].count, 3);
+        assert!(snap.spans["t.outer"].total_us >= snap.spans["t.outer/t.inner"].total_us);
+        set_enabled(false);
+    }
+
+    #[test]
+    fn histogram_percentiles() {
+        let _g = lock();
+        set_enabled(true);
+        reset();
+        for i in 1..=100 {
+            record("t.h", i as f64);
+        }
+        let h = snapshot().histograms["t.h"];
+        assert_eq!(h.count, 100);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 100.0);
+        assert!((h.mean - 50.5).abs() < 1e-9);
+        assert!((49.0..=52.0).contains(&h.p50), "p50 = {}", h.p50);
+        assert!((94.0..=97.0).contains(&h.p95), "p95 = {}", h.p95);
+        set_enabled(false);
+    }
+
+    #[test]
+    fn flight_ring_is_bounded() {
+        let _g = lock();
+        set_enabled(true);
+        reset();
+        set_ring_capacity(8);
+        for i in 0..20 {
+            instant(&format!("t.ev{i}"));
+        }
+        let snap = snapshot();
+        assert_eq!(snap.flight.len(), 8);
+        assert_eq!(snap.dropped_events, 12);
+        // Oldest evicted first: the ring holds the 8 most recent events.
+        match &snap.flight[0] {
+            FlightEvent::Instant { name, .. } => assert_eq!(name, "t.ev12"),
+            other => panic!("unexpected event {other:?}"),
+        }
+        set_ring_capacity(DEFAULT_RING_CAPACITY);
+        set_enabled(false);
+    }
+
+    #[test]
+    fn chrome_export_validates() {
+        let _g = lock();
+        set_enabled(true);
+        reset();
+        {
+            let _a = span("t.phase \"quoted\"");
+            counter_add("t.count", 11);
+            instant("t.mark");
+        }
+        let snap = snapshot();
+        let json_text = snap.to_chrome_json();
+        let stats = validate_chrome_trace(&json_text).expect("schema");
+        assert_eq!(stats.complete_events, 1);
+        assert_eq!(stats.instant_events, 1);
+        assert_eq!(stats.counter_events, 1);
+        set_enabled(false);
+    }
+
+    #[test]
+    fn summary_lists_all_sections() {
+        let _g = lock();
+        set_enabled(true);
+        reset();
+        {
+            let _a = span("t.top");
+            let _b = span("t.leaf");
+            counter_add("t.n", 2);
+            record("t.v", 0.5);
+        }
+        let text = snapshot().render_summary();
+        assert!(text.contains("spans:"));
+        assert!(text.contains("t.leaf"));
+        assert!(text.contains("counters:"));
+        assert!(text.contains("t.n"));
+        assert!(text.contains("histograms:"));
+        set_enabled(false);
+    }
+
+    #[test]
+    fn counters_delta_subtracts() {
+        let mut before = BTreeMap::new();
+        before.insert("a".to_string(), 5u64);
+        let mut after = BTreeMap::new();
+        after.insert("a".to_string(), 9u64);
+        after.insert("b".to_string(), 2u64);
+        after.insert("c".to_string(), 0u64);
+        let d = counters_delta(&before, &after);
+        assert_eq!(d, vec![("a".to_string(), 4u64), ("b".to_string(), 2u64)]);
+    }
+}

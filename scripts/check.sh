@@ -13,4 +13,10 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "== cargo test (workspace) =="
 cargo test --workspace --offline -q
 
+echo "== trace schema golden test + disabled-path overhead smoke =="
+cargo test --offline -q --test trace_schema
+
+echo "== trace counter determinism =="
+cargo test --offline -q --release --test trace_determinism
+
 echo "All checks passed."

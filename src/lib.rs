@@ -31,6 +31,8 @@
 //!   deck-located diagnostics; gates every simulation.
 //! * [`sim`] — MNA simulator (DC/AC/transient/noise).
 //! * [`awe`] — asymptotic waveform evaluation.
+//! * [`trace`] — zero-dependency structured tracing: spans, counters,
+//!   histograms, a flight-recorder ring, and Chrome trace-event export.
 //!
 //! And the **flow** tying it together:
 //!
@@ -66,6 +68,7 @@ pub use ams_sizing as sizing;
 pub use ams_symbolic as symbolic;
 pub use ams_system as system;
 pub use ams_topology as topology;
+pub use ams_trace as trace;
 
 /// The most common imports in one place.
 pub mod prelude {

@@ -1,0 +1,91 @@
+//! Seeded-determinism contract for the observability layer: two flow runs
+//! with the same seeds must produce *identical* counter values. Counters
+//! track algorithmic work (Newton iterations, anneal moves, router
+//! expansions), all of which is driven by seeded PRNGs — only wall-clock
+//! span timings and histogram samples are exempt from this contract.
+
+use ams::prelude::*;
+use ams_sizing::{SimulatedTemplate, TwoStageCircuit};
+use std::collections::BTreeMap;
+
+fn quick_flow_config() -> FlowConfig {
+    let mut c = FlowConfig {
+        sizing: AnnealConfig {
+            moves_per_stage: 150,
+            stages: 40,
+            seed: 3,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    c.layout.placer.moves_per_stage = 80;
+    c.layout.placer.stages = 25;
+    c
+}
+
+fn run_once() -> BTreeMap<String, u64> {
+    ams::trace::reset();
+
+    let spec = Spec::new()
+        .require("gain_db", Bound::AtLeast(60.0))
+        .require("ugf_hz", Bound::AtLeast(5e6))
+        .require("phase_margin_deg", Bound::AtLeast(55.0))
+        .require("slew_v_per_s", Bound::AtLeast(4e6))
+        .require("swing_v", Bound::AtLeast(2.0))
+        .minimizing("power_w");
+    let report = synthesize_opamp(
+        &spec,
+        &Technology::generic_1p2um(),
+        5e-12,
+        &quick_flow_config(),
+    )
+    .expect("flow must succeed");
+    assert!(report.layout.is_complete());
+
+    // A device-level Newton solve, so sim.* counters participate too.
+    let template = TwoStageCircuit::new(Technology::generic_1p2um(), 5e-12);
+    let x: Vec<f64> = template
+        .params()
+        .iter()
+        .map(|pd| (pd.lo * pd.hi).sqrt())
+        .collect();
+    let op = dc_operating_point(&template.build(&x)).expect("two-stage DC");
+    assert!(op.iterations > 0);
+
+    ams::trace::snapshot().counters
+}
+
+#[test]
+fn same_seed_flows_produce_identical_counters() {
+    ams::trace::set_enabled(true);
+    let first = run_once();
+    let second = run_once();
+    ams::trace::set_enabled(false);
+
+    assert_eq!(
+        first, second,
+        "counter values must be seed-deterministic across identical runs"
+    );
+
+    // The run must actually exercise every instrumented subsystem.
+    for key in [
+        "flow.runs",
+        "sim.dc_solves",
+        "sim.newton_iters",
+        "sim.lu_factors",
+        "sizing.anneal_runs",
+        "sizing.anneal_moves",
+        "sizing.anneal_evals",
+        "layout.place_runs",
+        "layout.place_moves",
+        "layout.route_runs",
+        "layout.route_expansions",
+        "layout.route_nets_routed",
+    ] {
+        assert!(
+            first.get(key).copied().unwrap_or(0) > 0,
+            "expected nonzero counter {key}, got {:?}",
+            first.get(key)
+        );
+    }
+}
