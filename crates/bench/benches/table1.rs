@@ -158,11 +158,40 @@ fn bench(c: &mut Criterion) {
         assert!(op.iterations > 0);
     });
 
+    traced("fault_recovery", &mut phases, || {
+        // Recovery drill: periodic singular pivots injected into the
+        // retried DC ladder. The counter delta for this phase records how
+        // much recovery machinery engaged (guard.fault.*, sim.dc_retries,
+        // sim.dc_converged_assumed).
+        ams_guard::fault::arm(ams_guard::FaultPlan::new().fault(
+            ams_guard::FaultKind::LuPivot,
+            ams_guard::Trigger::Every {
+                period: 7,
+                offset: 3,
+            },
+        ));
+        let template = TwoStageCircuit::new(Technology::generic_1p2um(), 5e-12);
+        let x: Vec<f64> = template
+            .params()
+            .iter()
+            .map(|pd| (pd.lo * pd.hi).sqrt())
+            .collect();
+        let ckt = template.build(&x);
+        if ams_sim::dc_operating_point_retry(&ckt, &ams_guard::Retry::default()).is_err() {
+            // Even the retried ladder lost to the injection storm: take the
+            // assumed-bias last resort so the phase always completes.
+            let dim = ams_sim::MnaLayout::new(&ckt).dim();
+            let _ = ams_sim::assumed_op(&ckt, &vec![0.0; dim]);
+        }
+        ams_guard::fault::disarm();
+    });
+
     let snap = ams_trace::snapshot();
     for key in [
         "sim.newton_iters",
         "sizing.anneal_moves",
         "layout.route_expansions",
+        "guard.faults_injected",
     ] {
         assert!(
             snap.counters.get(key).copied().unwrap_or(0) > 0,

@@ -17,9 +17,14 @@
 //! tightened sizing margins ("closing the loop" between layout and
 //! synthesis, the open problem §3.1 highlights).
 
-use ams_layout::{layout_cell, two_stage_opamp_cell, CellLayout, CellOptions, DesignRules};
+use ams_guard::{budget, BudgetExhausted, Resource, Retry};
+use ams_layout::{
+    layout_cell, two_stage_opamp_cell, CellDevice, CellLayout, CellOptions, DesignRules,
+};
 use ams_netlist::Technology;
-use ams_sizing::{optimize, AnnealConfig, Perf, PerfModel, SymmetricalOtaModel, TwoStageModel};
+use ams_sizing::{
+    optimize, AnnealConfig, Perf, PerfModel, SizingResult, SymmetricalOtaModel, TwoStageModel,
+};
 use ams_topology::{select, BlockClass, Bound, Spec, TopologyLibrary};
 use std::fmt;
 
@@ -64,6 +69,11 @@ pub enum FlowEvent {
         /// UGF degradation fraction caused by parasitics.
         ugf_degradation: f64,
     },
+    /// A recovery policy accepted a degradation instead of failing.
+    Degraded {
+        /// Human-readable degradation reason.
+        reason: String,
+    },
     /// The loop gave up.
     Failed(String),
 }
@@ -78,6 +88,7 @@ impl FlowEvent {
             FlowEvent::LintChecked { .. } => "lint_checked",
             FlowEvent::LayoutDone { .. } => "layout_done",
             FlowEvent::PostLayoutVerified { .. } => "post_layout_verified",
+            FlowEvent::Degraded { .. } => "degraded",
             FlowEvent::Failed(_) => "failed",
         }
     }
@@ -109,6 +120,9 @@ pub enum FlowError {
     /// The sized circuit failed the static electrical-rule check; the
     /// message carries the first error diagnostic (rule code included).
     Erc(String),
+    /// A [`Budget`](ams_guard::Budget) limit was crossed and the recovery
+    /// policy forbids accepting a partial result.
+    Budget(BudgetExhausted),
 }
 
 impl fmt::Display for FlowError {
@@ -123,11 +137,136 @@ impl fmt::Display for FlowError {
             }
             FlowError::Layout(m) => write!(f, "layout failed: {m}"),
             FlowError::Erc(m) => write!(f, "electrical rule check failed: {m}"),
+            FlowError::Budget(e) => write!(f, "evaluation budget exhausted: {e}"),
         }
     }
 }
 
 impl std::error::Error for FlowError {}
+
+/// What the flow is allowed to do when a stage fails, instead of aborting.
+///
+/// The default policy enables the whole graceful-degradation ladder
+/// (§2.1's "redesign iterations", extended downward): fall back to the
+/// next-best topology when sizing is infeasible, relax the router when
+/// nets fail to route, and as a last resort accept a degraded design —
+/// reported honestly via [`FlowOutcome::Degraded`] — rather than return
+/// empty-handed. [`RecoveryPolicy::strict`] disables all three and
+/// restores fail-fast behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Try the next-ranked topology when sizing is infeasible.
+    pub topology_fallback: bool,
+    /// Re-run an incomplete layout with a relaxed router configuration.
+    pub relax_router: bool,
+    /// Accept (and report) a degraded result instead of erroring out.
+    pub accept_degraded: bool,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            topology_fallback: true,
+            relax_router: true,
+            accept_degraded: true,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// Fail-fast policy: every recovery mechanism disabled.
+    pub fn strict() -> Self {
+        RecoveryPolicy {
+            topology_fallback: false,
+            relax_router: false,
+            accept_degraded: false,
+        }
+    }
+}
+
+/// One rung of the degradation ladder that the flow had to take.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DegradeReason {
+    /// Sizing was infeasible on one topology; the flow moved to the next.
+    TopologyFallback {
+        /// Topology whose sizing failed.
+        from: String,
+        /// Topology tried next.
+        to: String,
+    },
+    /// No topology sized feasibly; the best infeasible point was kept.
+    SizingInfeasible {
+        /// Topology of the best infeasible sizing.
+        topology: String,
+    },
+    /// The router configuration was relaxed to complete routing.
+    RouterRelaxed,
+    /// Routing stayed incomplete even after relaxation.
+    RoutingIncomplete {
+        /// Nets left unrouted.
+        failed_nets: usize,
+    },
+    /// The post-layout performance misses the spec.
+    SpecMissedPostLayout,
+    /// Device-level bias verification fell back to an assumed operating
+    /// point (DC-free linearization) after the retried solve failed.
+    AssumedBias,
+    /// An evaluation budget ran out; remaining work was skipped.
+    BudgetExhausted {
+        /// Which budgeted resource was exhausted.
+        resource: Resource,
+    },
+}
+
+impl fmt::Display for DegradeReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DegradeReason::TopologyFallback { from, to } => {
+                write!(f, "sizing infeasible on `{from}`, falling back to `{to}`")
+            }
+            DegradeReason::SizingInfeasible { topology } => {
+                write!(
+                    f,
+                    "no feasible sizing; kept best infeasible point on `{topology}`"
+                )
+            }
+            DegradeReason::RouterRelaxed => write!(f, "router configuration relaxed"),
+            DegradeReason::RoutingIncomplete { failed_nets } => {
+                write!(f, "{failed_nets} net(s) unrouted after relaxation")
+            }
+            DegradeReason::SpecMissedPostLayout => {
+                write!(f, "post-layout performance misses the spec")
+            }
+            DegradeReason::AssumedBias => {
+                write!(f, "bias point assumed (DC solve failed after retries)")
+            }
+            DegradeReason::BudgetExhausted { resource } => {
+                write!(f, "evaluation budget exhausted ({resource})")
+            }
+        }
+    }
+}
+
+/// Whether a successful flow run is fully nominal or degraded.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum FlowOutcome {
+    /// Every stage succeeded as specified.
+    #[default]
+    Nominal,
+    /// The run completed only by taking recovery rungs; the reasons list
+    /// records each one, in the order taken.
+    Degraded {
+        /// Degradations accepted, in order.
+        reasons: Vec<DegradeReason>,
+    },
+}
+
+impl FlowOutcome {
+    /// True for [`FlowOutcome::Degraded`].
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, FlowOutcome::Degraded { .. })
+    }
+}
 
 /// Flow configuration.
 #[derive(Debug, Clone)]
@@ -140,6 +279,8 @@ pub struct FlowConfig {
     pub layout: CellOptions,
     /// Design rules.
     pub rules: DesignRules,
+    /// What the flow may do to recover from stage failures.
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for FlowConfig {
@@ -155,6 +296,7 @@ impl Default for FlowConfig {
                 ..Default::default()
             },
             rules: DesignRules::default(),
+            recovery: RecoveryPolicy::default(),
         }
     }
 }
@@ -176,6 +318,8 @@ pub struct FlowReport {
     pub iterations: usize,
     /// Event log.
     pub events: Vec<FlowEvent>,
+    /// Nominal or degraded, with the recovery rungs taken.
+    pub outcome: FlowOutcome,
 }
 
 impl FlowReport {
@@ -187,12 +331,24 @@ impl FlowReport {
 
 /// Runs the full §2.1 flow for an opamp specification.
 ///
+/// With the default [`RecoveryPolicy`], stage failures walk a degradation
+/// ladder (next-best topology, relaxed router, accept-and-report) and the
+/// run returns `Ok` with [`FlowOutcome::Degraded`] whenever *any* layout
+/// could be produced. Under [`RecoveryPolicy::strict`] the flow fails
+/// fast, exactly as it did before the recovery layer existed.
+///
 /// # Errors
 ///
 /// * [`FlowError::NoFeasibleTopology`] — boundary checking rejects
-///   everything in the standard library.
-/// * [`FlowError::SizingInfeasible`] — annealing cannot satisfy the spec.
-/// * [`FlowError::Layout`] — the macrocell flow fails structurally.
+///   everything in the standard library (no ladder below an empty list).
+/// * [`FlowError::SizingInfeasible`] — annealing cannot satisfy the spec
+///   (strict policy, or no infeasible point was ever produced to keep).
+/// * [`FlowError::Layout`] — the macrocell flow fails structurally
+///   (always a hard error: there is nothing to hand back).
+/// * [`FlowError::Erc`] — the sized circuit is structurally broken
+///   (always a hard error: laying it out would be meaningless).
+/// * [`FlowError::Budget`] — an [`ams_guard::Budget`] limit was crossed
+///   under a strict policy.
 pub fn synthesize_opamp(
     spec: &Spec,
     tech: &Technology,
@@ -202,6 +358,7 @@ pub fn synthesize_opamp(
     let _flow_span = ams_trace::span("flow.synthesize_opamp");
     ams_trace::counter_add("flow.runs", 1);
     let mut events = Vec::new();
+    let policy = config.recovery;
 
     // --- Top-down: topology selection (§2.1 step 1). ---------------------
     let lib = TopologyLibrary::standard();
@@ -209,179 +366,499 @@ pub fn synthesize_opamp(
         let _g = ams_trace::span("flow.topology_select");
         select(&lib, BlockClass::Opamp, spec)
     };
-    let topology = selection
-        .best()
-        .ok_or(FlowError::NoFeasibleTopology)?
-        .name
-        .clone();
+    // Ranked candidates, best first. With topology fallback enabled the
+    // degradation ladder walks down this list when sizing turns out
+    // infeasible on the leader.
+    let ranked: Vec<String> = selection
+        .candidates
+        .iter()
+        .map(|c| c.topology.name.clone())
+        .collect();
+    let Some(first) = ranked.first() else {
+        return Err(FlowError::NoFeasibleTopology);
+    };
     emit(
         &mut events,
         FlowEvent::TopologySelected {
-            name: topology.clone(),
+            name: first.clone(),
             candidates: selection.candidates.len(),
         },
     );
 
-    // Models we can size (both map onto supported layouts; unsupported
-    // library topologies fall back to the two-stage).
-    let use_ota = topology == "symmetrical_ota";
-
-    let mut working_spec = spec.clone();
+    let mut reasons: Vec<DegradeReason> = Vec::new();
+    // Lowest-cost infeasible sizing seen anywhere: the accept-degraded
+    // last resort lays this out if no topology ever sizes feasibly.
+    let mut fallback: Option<(String, SizingResult)> = None;
+    // The most recent fully-laid-out attempt (feasible sizing, layout,
+    // post-layout perf): accepted as-is if the budget runs out mid-ladder.
+    let mut last_attempt: Option<(String, SizingResult, CellLayout, Perf)> = None;
     let mut iterations = 0;
-    loop {
-        // --- Top-down: specification translation / sizing. ----------------
-        let sizing = {
-            let _g = ams_trace::span("flow.sizing");
-            if use_ota {
-                let model = SymmetricalOtaModel::new(tech.clone(), load_f);
-                optimize(&model, &working_spec, &config.sizing)
-            } else {
-                let model = TwoStageModel::new(tech.clone(), load_f);
-                optimize(&model, &working_spec, &config.sizing)
-            }
-        };
-        emit(
-            &mut events,
-            FlowEvent::Sized {
-                iteration: iterations,
-                feasible: sizing.feasible,
-                power_w: sizing.perf.get("power_w").copied().unwrap_or(f64::NAN),
-            },
-        );
-        if !sizing.feasible {
-            emit(&mut events, FlowEvent::Failed("sizing infeasible".into()));
-            return Err(FlowError::SizingInfeasible { iterations });
-        }
+    let topo_count = if policy.topology_fallback {
+        ranked.len()
+    } else {
+        1
+    };
 
-        // --- Top-down: design verification, static part (ERC). ------------
-        // Before spending simulation or layout effort, the sized device-
-        // level circuit passes through the ams-lint gate: a structurally
-        // broken netlist (floating node, voltage loop, current cutset)
-        // would otherwise surface much later as an opaque singular-matrix
-        // failure inside verification.
-        if !use_ota {
-            let _g = ams_trace::span("flow.erc");
-            let report = erc_check_two_stage(tech, load_f, &sizing.params);
+    'topologies: for (t_idx, topology) in ranked.iter().take(topo_count).enumerate() {
+        if t_idx > 0 {
+            let reason = DegradeReason::TopologyFallback {
+                from: ranked[t_idx - 1].clone(),
+                to: topology.clone(),
+            };
             emit(
                 &mut events,
-                FlowEvent::LintChecked {
-                    errors: report.errors().count(),
-                    warnings: report.warnings().count(),
+                FlowEvent::Degraded {
+                    reason: reason.to_string(),
                 },
             );
-            let first_error = report
-                .errors()
-                .next()
-                .map(|diag| format!("[{}] {}", diag.code, diag.message));
-            if let Some(msg) = first_error {
-                emit(&mut events, FlowEvent::Failed(msg.clone()));
-                return Err(FlowError::Erc(msg));
+            ams_trace::counter_add("flow.topology_fallbacks", 1);
+            reasons.push(reason);
+        }
+        // Models we can size (both map onto supported layouts; unsupported
+        // library topologies fall back to the two-stage).
+        let use_ota = topology == "symmetrical_ota";
+        let mut working_spec = spec.clone();
+        let mut redesigns = 0;
+        loop {
+            // Cooperative budget checkpoint: once a limit is crossed no new
+            // sizing or layout work is started; what exists is kept.
+            if let Some(e) = budget::exhausted() {
+                if !policy.accept_degraded {
+                    emit(&mut events, FlowEvent::Failed(e.to_string()));
+                    return Err(FlowError::Budget(e));
+                }
+                let reason = DegradeReason::BudgetExhausted {
+                    resource: e.resource,
+                };
+                emit(
+                    &mut events,
+                    FlowEvent::Degraded {
+                        reason: reason.to_string(),
+                    },
+                );
+                reasons.push(reason);
+                // A previous redesign iteration already produced a full
+                // (feasible-sizing) layout: hand that over rather than
+                // discarding it for the weaker infeasible-point resort.
+                if let Some((topo, sizing, layout, post_perf)) = last_attempt.take() {
+                    if !layout.is_complete() {
+                        let reason = DegradeReason::RoutingIncomplete {
+                            failed_nets: layout.failed_nets.len(),
+                        };
+                        emit(
+                            &mut events,
+                            FlowEvent::Degraded {
+                                reason: reason.to_string(),
+                            },
+                        );
+                        reasons.push(reason);
+                    }
+                    if !spec.satisfied_by(&post_perf) {
+                        let reason = DegradeReason::SpecMissedPostLayout;
+                        emit(
+                            &mut events,
+                            FlowEvent::Degraded {
+                                reason: reason.to_string(),
+                            },
+                        );
+                        reasons.push(reason);
+                    }
+                    ams_trace::counter_add("flow.degraded_accepts", 1);
+                    return Ok(FlowReport {
+                        topology: topo,
+                        params: sizing.params,
+                        pre_layout_perf: sizing.perf,
+                        layout,
+                        post_layout_perf: post_perf,
+                        iterations,
+                        events,
+                        outcome: FlowOutcome::Degraded { reasons },
+                    });
+                }
+                break 'topologies;
+            }
+
+            // --- Top-down: specification translation / sizing. ----------------
+            let sizing = {
+                let _g = ams_trace::span("flow.sizing");
+                if use_ota {
+                    let model = SymmetricalOtaModel::new(tech.clone(), load_f);
+                    optimize(&model, &working_spec, &config.sizing)
+                } else {
+                    let model = TwoStageModel::new(tech.clone(), load_f);
+                    optimize(&model, &working_spec, &config.sizing)
+                }
+            };
+            emit(
+                &mut events,
+                FlowEvent::Sized {
+                    iteration: iterations,
+                    feasible: sizing.feasible,
+                    power_w: sizing.perf.get("power_w").copied().unwrap_or(f64::NAN),
+                },
+            );
+            if !sizing.feasible {
+                if fallback.as_ref().is_none_or(|(_, s)| sizing.cost < s.cost) {
+                    fallback = Some((topology.clone(), sizing));
+                }
+                if !policy.topology_fallback && !policy.accept_degraded {
+                    emit(&mut events, FlowEvent::Failed("sizing infeasible".into()));
+                    return Err(FlowError::SizingInfeasible { iterations });
+                }
+                continue 'topologies;
+            }
+
+            // --- Top-down: design verification, static part (ERC). ------------
+            // Before spending simulation or layout effort, the sized device-
+            // level circuit passes through the ams-lint gate: a structurally
+            // broken netlist (floating node, voltage loop, current cutset)
+            // would otherwise surface much later as an opaque singular-matrix
+            // failure inside verification. A broken netlist is never worth
+            // laying out, so this stays a hard error under every policy.
+            if !use_ota {
+                let _g = ams_trace::span("flow.erc");
+                let report = erc_check_two_stage(tech, load_f, &sizing.params);
+                emit(
+                    &mut events,
+                    FlowEvent::LintChecked {
+                        errors: report.errors().count(),
+                        warnings: report.warnings().count(),
+                    },
+                );
+                let first_error = report
+                    .errors()
+                    .next()
+                    .map(|diag| format!("[{}] {}", diag.code, diag.message));
+                if let Some(msg) = first_error {
+                    emit(&mut events, FlowEvent::Failed(msg.clone()));
+                    return Err(FlowError::Erc(msg));
+                }
+            }
+
+            // --- Bottom-up: layout generation. --------------------------------
+            let devices = build_two_stage_devices(tech, &sizing);
+            let mut layout = {
+                let _g = ams_trace::span("flow.layout");
+                layout_cell(&devices, &config.rules, &config.layout)
+                    .map_err(|e| FlowError::Layout(e.to_string()))?
+            };
+            if !layout.is_complete() && policy.relax_router {
+                layout = relax_and_reroute(&devices, config, layout, &mut events, &mut reasons)?;
+            }
+            emit(
+                &mut events,
+                FlowEvent::LayoutDone {
+                    area_um2: layout.area_um2,
+                    complete: layout.is_complete(),
+                },
+            );
+
+            // --- Bottom-up: extraction + detailed verification. ---------------
+            let _verify_span = ams_trace::span("flow.extract_verify");
+            let post_perf = post_layout_perf_of(tech, load_f, use_ota, &sizing, &layout);
+            let ugf_pre = sizing.perf.get("ugf_hz").copied().unwrap_or(1.0);
+            let ugf_post = post_perf.get("ugf_hz").copied().unwrap_or(0.0);
+            let degradation = ((ugf_pre - ugf_post) / ugf_pre).max(0.0);
+            let passed = spec.satisfied_by(&post_perf) && layout.is_complete();
+            drop(_verify_span);
+            emit(
+                &mut events,
+                FlowEvent::PostLayoutVerified {
+                    passed,
+                    ugf_degradation: degradation,
+                },
+            );
+
+            if passed {
+                let outcome = if reasons.is_empty() {
+                    FlowOutcome::Nominal
+                } else {
+                    FlowOutcome::Degraded { reasons }
+                };
+                return Ok(FlowReport {
+                    topology: topology.clone(),
+                    params: sizing.params,
+                    pre_layout_perf: sizing.perf,
+                    layout,
+                    post_layout_perf: post_perf,
+                    iterations,
+                    events,
+                    outcome,
+                });
+            }
+
+            iterations += 1;
+            redesigns += 1;
+            ams_trace::counter_add("flow.redesign_iterations", 1);
+            if redesigns >= config.max_redesign {
+                if policy.accept_degraded {
+                    // The redesign budget is spent and a complete design
+                    // exists — hand it over, labelled with exactly what is
+                    // wrong with it, instead of discarding the work.
+                    if !layout.is_complete() {
+                        let reason = DegradeReason::RoutingIncomplete {
+                            failed_nets: layout.failed_nets.len(),
+                        };
+                        emit(
+                            &mut events,
+                            FlowEvent::Degraded {
+                                reason: reason.to_string(),
+                            },
+                        );
+                        reasons.push(reason);
+                    }
+                    if !spec.satisfied_by(&post_perf) {
+                        let reason = DegradeReason::SpecMissedPostLayout;
+                        emit(
+                            &mut events,
+                            FlowEvent::Degraded {
+                                reason: reason.to_string(),
+                            },
+                        );
+                        reasons.push(reason);
+                    }
+                    ams_trace::counter_add("flow.degraded_accepts", 1);
+                    return Ok(FlowReport {
+                        topology: topology.clone(),
+                        params: sizing.params,
+                        pre_layout_perf: sizing.perf,
+                        layout,
+                        post_layout_perf: post_perf,
+                        iterations,
+                        events,
+                        outcome: FlowOutcome::Degraded { reasons },
+                    });
+                }
+                emit(
+                    &mut events,
+                    FlowEvent::Failed("post-layout spec failure after redesign budget".into()),
+                );
+                return Err(FlowError::SizingInfeasible { iterations });
+            }
+            last_attempt = Some((topology.clone(), sizing, layout, post_perf));
+            // Redesign: tighten the speed-related bounds by the observed
+            // degradation plus margin, so the next sizing absorbs the
+            // parasitics (constraint pass-down, §2.1).
+            let margin = 1.0 + 1.5 * degradation + 0.1;
+            if let Some(Bound::AtLeast(v)) = spec.bound_for("ugf_hz").copied() {
+                working_spec = working_spec.require("ugf_hz", Bound::AtLeast(v * margin));
+            }
+            if let Some(Bound::AtLeast(v)) = spec.bound_for("slew_v_per_s").copied() {
+                working_spec = working_spec.require("slew_v_per_s", Bound::AtLeast(v * margin));
             }
         }
+    }
 
-        // --- Bottom-up: layout generation. --------------------------------
-        let p = &sizing.perf;
-        let get = |k: &str| p.get(k).copied().unwrap_or(20e-6);
-        let cc = sizing.params.get("cc").copied().unwrap_or(2e-12);
-        let l = sizing.params.get("l").copied().unwrap_or(2.0 * tech.lmin);
-        let devices = two_stage_opamp_cell(
-            get("w1_m").max(tech.wmin),
-            get("w3_m").max(tech.wmin),
-            get("w5_m").max(tech.wmin),
-            get("w6_m").max(tech.wmin),
-            get("w7_m").max(tech.wmin),
-            l,
-            cc,
-        );
-        let layout = {
-            let _g = ams_trace::span("flow.layout");
-            layout_cell(&devices, &config.rules, &config.layout)
-                .map_err(|e| FlowError::Layout(e.to_string()))?
-        };
-        emit(
-            &mut events,
-            FlowEvent::LayoutDone {
-                area_um2: layout.area_um2,
-                complete: layout.is_complete(),
-            },
-        );
-
-        // --- Bottom-up: extraction + detailed verification. ---------------
-        // Layout parasitics load the internal and output nets: the output
-        // net cap adds to CL, the d2 net cap adds to Cc's node. Re-evaluate
-        // the sizing model with the degraded loads.
-        let _verify_span = ams_trace::span("flow.extract_verify");
-        let c_out = layout.net_caps.get("out").copied().unwrap_or(0.0);
-        let c_d2 = layout.net_caps.get("d2").copied().unwrap_or(0.0);
-        let post_perf = if use_ota {
-            let degraded = SymmetricalOtaModel::new(tech.clone(), load_f + c_out);
-            let x: Vec<f64> = degraded
-                .params()
-                .iter()
-                .map(|pd| sizing.params[&pd.name])
-                .collect();
-            degraded.evaluate(&x)
-        } else {
-            let degraded = TwoStageModel::new(tech.clone(), load_f + c_out);
-            let mut x: Vec<f64> = degraded
-                .params()
-                .iter()
-                .map(|pd| sizing.params[&pd.name])
-                .collect();
-            // Cc node parasitic adds to the compensation cap position.
-            let cc_idx = degraded
-                .params()
-                .iter()
-                .position(|pd| pd.name == "cc")
-                .expect("cc param");
-            x[cc_idx] += c_d2;
-            degraded.evaluate(&x)
-        };
-        let ugf_pre = sizing.perf.get("ugf_hz").copied().unwrap_or(1.0);
-        let ugf_post = post_perf.get("ugf_hz").copied().unwrap_or(0.0);
-        let degradation = ((ugf_pre - ugf_post) / ugf_pre).max(0.0);
-        let passed = spec.satisfied_by(&post_perf) && layout.is_complete();
-        drop(_verify_span);
-        emit(
-            &mut events,
-            FlowEvent::PostLayoutVerified {
-                passed,
-                ugf_degradation: degradation,
-            },
-        );
-
-        if passed {
+    // --- Last resort: no topology sized feasibly (or the budget ran out
+    // first). Lay out the best infeasible point so the designer gets a
+    // concrete, honestly-labelled starting design instead of nothing.
+    if policy.accept_degraded {
+        if let Some((topo_name, sizing)) = fallback {
+            let reason = DegradeReason::SizingInfeasible {
+                topology: topo_name.clone(),
+            };
+            emit(
+                &mut events,
+                FlowEvent::Degraded {
+                    reason: reason.to_string(),
+                },
+            );
+            ams_trace::counter_add("flow.degraded_accepts", 1);
+            reasons.push(reason);
+            let use_ota = topo_name == "symmetrical_ota";
+            let devices = build_two_stage_devices(tech, &sizing);
+            let mut layout = {
+                let _g = ams_trace::span("flow.layout");
+                layout_cell(&devices, &config.rules, &config.layout)
+                    .map_err(|e| FlowError::Layout(e.to_string()))?
+            };
+            if !layout.is_complete() && policy.relax_router {
+                layout = relax_and_reroute(&devices, config, layout, &mut events, &mut reasons)?;
+            }
+            emit(
+                &mut events,
+                FlowEvent::LayoutDone {
+                    area_um2: layout.area_um2,
+                    complete: layout.is_complete(),
+                },
+            );
+            if !layout.is_complete() {
+                let reason = DegradeReason::RoutingIncomplete {
+                    failed_nets: layout.failed_nets.len(),
+                };
+                emit(
+                    &mut events,
+                    FlowEvent::Degraded {
+                        reason: reason.to_string(),
+                    },
+                );
+                reasons.push(reason);
+            }
+            // Device-level bias sanity check. Under fault injection even
+            // the retried DC ladder can fail; its very last rung is the
+            // ASTRX/OBLX-style assumed ("dc-free") operating point.
+            if !use_ota && assumed_bias_check(tech, load_f, &sizing.params) {
+                let reason = DegradeReason::AssumedBias;
+                emit(
+                    &mut events,
+                    FlowEvent::Degraded {
+                        reason: reason.to_string(),
+                    },
+                );
+                reasons.push(reason);
+            }
+            let _verify_span = ams_trace::span("flow.extract_verify");
+            let post_perf = post_layout_perf_of(tech, load_f, use_ota, &sizing, &layout);
+            let ugf_pre = sizing.perf.get("ugf_hz").copied().unwrap_or(1.0);
+            let ugf_post = post_perf.get("ugf_hz").copied().unwrap_or(0.0);
+            let degradation = ((ugf_pre - ugf_post) / ugf_pre).max(0.0);
+            drop(_verify_span);
+            emit(
+                &mut events,
+                FlowEvent::PostLayoutVerified {
+                    passed: false,
+                    ugf_degradation: degradation,
+                },
+            );
             return Ok(FlowReport {
-                topology,
+                topology: topo_name,
                 params: sizing.params,
                 pre_layout_perf: sizing.perf,
                 layout,
                 post_layout_perf: post_perf,
                 iterations,
                 events,
+                outcome: FlowOutcome::Degraded { reasons },
             });
         }
-
-        iterations += 1;
-        ams_trace::counter_add("flow.redesign_iterations", 1);
-        if iterations >= config.max_redesign {
-            emit(
-                &mut events,
-                FlowEvent::Failed("post-layout spec failure after redesign budget".into()),
-            );
-            return Err(FlowError::SizingInfeasible { iterations });
-        }
-        // Redesign: tighten the speed-related bounds by the observed
-        // degradation plus margin, so the next sizing absorbs the
-        // parasitics (constraint pass-down, §2.1).
-        let margin = 1.0 + 1.5 * degradation + 0.1;
-        if let Some(Bound::AtLeast(v)) = spec.bound_for("ugf_hz").copied() {
-            working_spec = working_spec.require("ugf_hz", Bound::AtLeast(v * margin));
-        }
-        if let Some(Bound::AtLeast(v)) = spec.bound_for("slew_v_per_s").copied() {
-            working_spec = working_spec.require("slew_v_per_s", Bound::AtLeast(v * margin));
+        // Budget exhausted before any sizing produced even an infeasible
+        // point: there is nothing to degrade to.
+        if let Some(e) = budget::exhausted() {
+            emit(&mut events, FlowEvent::Failed(e.to_string()));
+            return Err(FlowError::Budget(e));
         }
     }
+    emit(&mut events, FlowEvent::Failed("sizing infeasible".into()));
+    Err(FlowError::SizingInfeasible { iterations })
+}
+
+/// Builds the macrocell device list for a sized design (the symmetrical
+/// OTA maps onto the same transistor-pair template).
+fn build_two_stage_devices(tech: &Technology, sizing: &SizingResult) -> Vec<CellDevice> {
+    let p = &sizing.perf;
+    let get = |k: &str| p.get(k).copied().unwrap_or(20e-6);
+    let cc = sizing.params.get("cc").copied().unwrap_or(2e-12);
+    let l = sizing.params.get("l").copied().unwrap_or(2.0 * tech.lmin);
+    two_stage_opamp_cell(
+        get("w1_m").max(tech.wmin),
+        get("w3_m").max(tech.wmin),
+        get("w5_m").max(tech.wmin),
+        get("w6_m").max(tech.wmin),
+        get("w7_m").max(tech.wmin),
+        l,
+        cc,
+    )
+}
+
+/// Re-runs layout with [`relaxed`](ams_layout::RouterConfig::relaxed)
+/// router settings after an incomplete route, keeping whichever result
+/// routes more nets. Records the [`DegradeReason::RouterRelaxed`] rung
+/// (once per flow run).
+fn relax_and_reroute(
+    devices: &[CellDevice],
+    config: &FlowConfig,
+    layout: CellLayout,
+    events: &mut Vec<FlowEvent>,
+    reasons: &mut Vec<DegradeReason>,
+) -> Result<CellLayout, FlowError> {
+    let _g = ams_trace::span("flow.layout_relaxed");
+    if !reasons.contains(&DegradeReason::RouterRelaxed) {
+        emit(
+            events,
+            FlowEvent::Degraded {
+                reason: DegradeReason::RouterRelaxed.to_string(),
+            },
+        );
+        reasons.push(DegradeReason::RouterRelaxed);
+    }
+    ams_trace::counter_add("flow.router_relaxed", 1);
+    let mut opts = config.layout.clone();
+    opts.router = opts.router.relaxed();
+    let retry =
+        layout_cell(devices, &config.rules, &opts).map_err(|e| FlowError::Layout(e.to_string()))?;
+    Ok(if retry.failed_nets.len() < layout.failed_nets.len() {
+        retry
+    } else {
+        layout
+    })
+}
+
+/// Re-evaluates the sizing model with extracted layout parasitics folded
+/// into the loads: the output net cap adds to CL, the d2 net cap adds to
+/// Cc's node.
+fn post_layout_perf_of(
+    tech: &Technology,
+    load_f: f64,
+    use_ota: bool,
+    sizing: &SizingResult,
+    layout: &CellLayout,
+) -> Perf {
+    let c_out = layout.net_caps.get("out").copied().unwrap_or(0.0);
+    let c_d2 = layout.net_caps.get("d2").copied().unwrap_or(0.0);
+    if use_ota {
+        let degraded = SymmetricalOtaModel::new(tech.clone(), load_f + c_out);
+        let x: Vec<f64> = degraded
+            .params()
+            .iter()
+            .map(|pd| sizing.params[&pd.name])
+            .collect();
+        degraded.evaluate(&x)
+    } else {
+        let degraded = TwoStageModel::new(tech.clone(), load_f + c_out);
+        let mut x: Vec<f64> = degraded
+            .params()
+            .iter()
+            .map(|pd| sizing.params[&pd.name])
+            .collect();
+        // Cc node parasitic adds to the compensation cap position.
+        let cc_idx = degraded
+            .params()
+            .iter()
+            .position(|pd| pd.name == "cc")
+            .expect("cc param");
+        x[cc_idx] += c_d2;
+        degraded.evaluate(&x)
+    }
+}
+
+/// Exercises the device-level bias ladder at the sized point: the retried
+/// DC solve first, then — the flow's very last rung — an assumed operating
+/// point (linearize without solving, as ASTRX/OBLX's dc-free biasing
+/// formulation does). Returns `true` when the assumed fallback was needed
+/// and succeeded.
+fn assumed_bias_check(
+    tech: &Technology,
+    load_f: f64,
+    params: &std::collections::HashMap<String, f64>,
+) -> bool {
+    use ams_sizing::{SimulatedTemplate, TwoStageCircuit};
+    let template = TwoStageCircuit::new(tech.clone(), load_f);
+    let x: Vec<f64> = template
+        .params()
+        .iter()
+        .map(|pd| {
+            params
+                .get(&pd.name)
+                .copied()
+                .unwrap_or_else(|| (pd.lo * pd.hi).sqrt())
+        })
+        .collect();
+    let ckt = template.build(&x);
+    if ams_sim::dc_operating_point_retry(&ckt, &Retry::default()).is_ok() {
+        return false;
+    }
+    let dim = ams_sim::MnaLayout::new(&ckt).dim();
+    ams_sim::assumed_op(&ckt, &vec![0.0; dim]).is_ok()
 }
 
 /// Instantiates the two-stage device-level template at the sized parameter
@@ -451,6 +928,7 @@ mod tests {
         assert!(report.meets(&opamp_spec()), "{:?}", report.post_layout_perf);
         assert!(report.layout.is_complete());
         assert!(report.layout.area_um2 > 0.0);
+        assert_eq!(report.outcome, FlowOutcome::Nominal);
         // The event log tells the §2.1 story in order.
         assert!(matches!(
             report.events[0],
@@ -508,18 +986,61 @@ mod tests {
         assert_eq!(err, FlowError::NoFeasibleTopology);
     }
 
-    #[test]
-    fn infeasible_sizing_is_reported() {
-        // Feasible by library intervals but unreachable by the sizing
-        // model: giant UGF at tiny power.
-        let spec = Spec::new()
+    /// Feasible by library intervals but unreachable by the sizing model:
+    /// giant UGF at tiny power.
+    fn unreachable_spec() -> Spec {
+        Spec::new()
             .require("gain_db", Bound::AtLeast(60.0))
             .require("ugf_hz", Bound::AtLeast(4.9e7))
             .require("power_w", Bound::AtMost(6e-5))
-            .minimizing("power_w");
-        let err = synthesize_opamp(&spec, &Technology::generic_1p2um(), 5e-12, &quick_config())
-            .unwrap_err();
+            .minimizing("power_w")
+    }
+
+    #[test]
+    fn infeasible_sizing_is_reported_under_strict_policy() {
+        let mut config = quick_config();
+        config.recovery = RecoveryPolicy::strict();
+        let err = synthesize_opamp(
+            &unreachable_spec(),
+            &Technology::generic_1p2um(),
+            5e-12,
+            &config,
+        )
+        .unwrap_err();
         assert!(matches!(err, FlowError::SizingInfeasible { .. }));
+    }
+
+    #[test]
+    fn infeasible_sizing_degrades_gracefully_by_default() {
+        // The same unreachable spec under the default policy walks the
+        // degradation ladder: every topology's sizing fails, so the best
+        // infeasible point is laid out and handed back, honestly labelled.
+        let report = synthesize_opamp(
+            &unreachable_spec(),
+            &Technology::generic_1p2um(),
+            5e-12,
+            &quick_config(),
+        )
+        .unwrap();
+        let FlowOutcome::Degraded { reasons } = &report.outcome else {
+            panic!("expected a degraded outcome, got {:?}", report.outcome);
+        };
+        assert!(
+            reasons
+                .iter()
+                .any(|r| matches!(r, DegradeReason::SizingInfeasible { .. })),
+            "reasons: {reasons:?}"
+        );
+        assert!(report.layout.area_um2 > 0.0);
+        assert!(report
+            .events
+            .iter()
+            .any(|e| matches!(e, FlowEvent::Degraded { .. })));
+        // The degraded report still went through post-layout verification.
+        assert!(report
+            .events
+            .iter()
+            .any(|e| matches!(e, FlowEvent::PostLayoutVerified { passed: false, .. })));
     }
 
     #[test]

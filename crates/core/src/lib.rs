@@ -33,6 +33,9 @@ mod flow;
 mod pulse_detector;
 mod rf;
 
-pub use flow::{synthesize_opamp, FlowConfig, FlowError, FlowEvent, FlowReport};
+pub use flow::{
+    synthesize_opamp, DegradeReason, FlowConfig, FlowError, FlowEvent, FlowOutcome, FlowReport,
+    RecoveryPolicy,
+};
 pub use pulse_detector::{table1_spec, PulseDetectorModel};
 pub use rf::{rf_spec, RfFrontEndModel};

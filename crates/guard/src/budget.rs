@@ -1,0 +1,336 @@
+//! Evaluation budgets and wall-clock deadlines.
+//!
+//! A [`Budget`] bounds how much work a synthesis run may spend: candidate
+//! evaluations in the optimizers, Newton iterations in the solver, and
+//! real time overall. Metering is *cooperative*: inner loops charge the
+//! global meter ([`charge_evals`], [`charge_newton`]) and stop at their
+//! next checkpoint when a charge reports exhaustion; nothing is
+//! interrupted mid-evaluation. Callers then read the structured
+//! [`BudgetExhausted`] record via [`exhausted`].
+//!
+//! Eval and Newton budgets are fully deterministic (counters only); the
+//! wall-clock deadline is inherently not, and the determinism tests
+//! therefore avoid it.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Which budgeted resource ran out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Resource {
+    /// Candidate cost evaluations (anneal/GA/simopt inner loops).
+    Evals,
+    /// Newton-Raphson iterations across all solves.
+    NewtonIters,
+    /// The wall-clock deadline passed.
+    WallClock,
+}
+
+impl Resource {
+    /// Stable snake-case name for reports and trace counters.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Resource::Evals => "evals",
+            Resource::NewtonIters => "newton_iters",
+            Resource::WallClock => "wall_clock",
+        }
+    }
+}
+
+impl std::fmt::Display for Resource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Structured record of a crossed budget limit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BudgetExhausted {
+    /// The resource that ran out first.
+    pub resource: Resource,
+    /// The configured limit (milliseconds for [`Resource::WallClock`]).
+    pub limit: u64,
+    /// What had been spent when exhaustion was detected (milliseconds for
+    /// [`Resource::WallClock`]).
+    pub spent: u64,
+}
+
+impl std::fmt::Display for BudgetExhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let unit = if self.resource == Resource::WallClock {
+            " ms"
+        } else {
+            ""
+        };
+        write!(
+            f,
+            "budget exhausted: {} limit {}{} reached (spent {}{})",
+            self.resource, self.limit, unit, self.spent, unit
+        )
+    }
+}
+
+impl std::error::Error for BudgetExhausted {}
+
+/// Limits on how much work a run may spend. All limits are optional;
+/// `Budget::default()` is unlimited.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Budget {
+    /// Maximum candidate cost evaluations.
+    pub max_evals: Option<u64>,
+    /// Maximum Newton iterations summed over all solves.
+    pub max_newton_iters: Option<u64>,
+    /// Wall-clock deadline measured from [`install`].
+    pub deadline: Option<Duration>,
+}
+
+impl Budget {
+    /// Unlimited budget (same as `Default`).
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Cap candidate evaluations.
+    #[must_use]
+    pub fn evals(mut self, max: u64) -> Self {
+        self.max_evals = Some(max);
+        self
+    }
+
+    /// Cap total Newton iterations.
+    #[must_use]
+    pub fn newton_iters(mut self, max: u64) -> Self {
+        self.max_newton_iters = Some(max);
+        self
+    }
+
+    /// Set a wall-clock deadline relative to [`install`].
+    #[must_use]
+    pub fn deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// True if no limit is set at all.
+    pub fn is_unlimited(&self) -> bool {
+        self.max_evals.is_none() && self.max_newton_iters.is_none() && self.deadline.is_none()
+    }
+}
+
+struct Meter {
+    budget: Budget,
+    started: Instant,
+    evals: u64,
+    newton_iters: u64,
+    exhausted: Option<BudgetExhausted>,
+}
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static METER: OnceLock<Mutex<Meter>> = OnceLock::new();
+
+fn meter() -> MutexGuard<'static, Meter> {
+    METER
+        .get_or_init(|| {
+            Mutex::new(Meter {
+                budget: Budget::default(),
+                started: Instant::now(),
+                evals: 0,
+                newton_iters: 0,
+                exhausted: None,
+            })
+        })
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Install `budget` as the process-global meter, resetting all spend
+/// counters and starting the deadline clock. An unlimited budget still
+/// counts spend (readable via [`spent_evals`]/[`spent_newton_iters`]).
+pub fn install(budget: Budget) {
+    let mut m = meter();
+    m.budget = budget;
+    m.started = Instant::now();
+    m.evals = 0;
+    m.newton_iters = 0;
+    m.exhausted = None;
+    drop(m);
+    ACTIVE.store(true, Ordering::Release);
+}
+
+/// Remove the global budget. Charges return to the one-atomic fast path.
+pub fn clear() {
+    ACTIVE.store(false, Ordering::Release);
+    let mut m = meter();
+    m.budget = Budget::default();
+    m.exhausted = None;
+}
+
+/// True if a budget is installed (even an unlimited one).
+pub fn is_active() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+fn note_exhausted(m: &mut Meter, e: BudgetExhausted) {
+    if m.exhausted.is_none() {
+        m.exhausted = Some(e);
+        ams_trace::counter_add("guard.budget_exhausted", 1);
+    }
+}
+
+fn check(m: &mut Meter) -> bool {
+    if m.exhausted.is_some() {
+        return false;
+    }
+    if let Some(max) = m.budget.max_evals {
+        if m.evals > max {
+            let e = BudgetExhausted {
+                resource: Resource::Evals,
+                limit: max,
+                spent: m.evals,
+            };
+            note_exhausted(m, e);
+            return false;
+        }
+    }
+    if let Some(max) = m.budget.max_newton_iters {
+        if m.newton_iters > max {
+            let e = BudgetExhausted {
+                resource: Resource::NewtonIters,
+                limit: max,
+                spent: m.newton_iters,
+            };
+            note_exhausted(m, e);
+            return false;
+        }
+    }
+    if let Some(deadline) = m.budget.deadline {
+        let elapsed = m.started.elapsed();
+        if elapsed > deadline {
+            let e = BudgetExhausted {
+                resource: Resource::WallClock,
+                limit: deadline.as_millis() as u64,
+                spent: elapsed.as_millis() as u64,
+            };
+            note_exhausted(m, e);
+            return false;
+        }
+    }
+    true
+}
+
+/// Charge `n` candidate evaluations. Returns `false` once *any* budgeted
+/// resource (including the deadline) is exhausted — the caller should
+/// stop at its next safe checkpoint.
+pub fn charge_evals(n: u64) -> bool {
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return true;
+    }
+    let mut m = meter();
+    m.evals += n;
+    check(&mut m)
+}
+
+/// Charge `n` Newton iterations. Same contract as [`charge_evals`].
+pub fn charge_newton(n: u64) -> bool {
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return true;
+    }
+    let mut m = meter();
+    m.newton_iters += n;
+    check(&mut m)
+}
+
+/// Re-check the budget without charging anything (used by loops whose
+/// unit of work isn't an eval or a Newton iteration, e.g. the router
+/// checking the deadline per net). Returns `false` when exhausted.
+pub fn check_in() -> bool {
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return true;
+    }
+    let mut m = meter();
+    check(&mut m)
+}
+
+/// The first exhaustion event of the currently installed budget, if any.
+pub fn exhausted() -> Option<BudgetExhausted> {
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return None;
+    }
+    meter().exhausted.clone()
+}
+
+/// Candidate evaluations charged since [`install`].
+pub fn spent_evals() -> u64 {
+    meter().evals
+}
+
+/// Newton iterations charged since [`install`].
+pub fn spent_newton_iters() -> u64 {
+    meter().newton_iters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn no_budget_never_exhausts() {
+        let _l = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        clear();
+        assert!(charge_evals(1_000_000));
+        assert!(charge_newton(1_000_000));
+        assert!(exhausted().is_none());
+    }
+
+    #[test]
+    fn eval_budget_exhausts_at_limit() {
+        let _l = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        install(Budget::default().evals(3));
+        assert!(charge_evals(1));
+        assert!(charge_evals(1));
+        assert!(charge_evals(1)); // spent == limit: still fine
+        assert!(!charge_evals(1)); // crossed
+        let e = exhausted().expect("exhaustion recorded");
+        assert_eq!(e.resource, Resource::Evals);
+        assert_eq!(e.limit, 3);
+        assert_eq!(e.spent, 4);
+        // Sticky: further charges keep failing.
+        assert!(!charge_evals(1));
+        assert!(!check_in());
+        clear();
+    }
+
+    #[test]
+    fn newton_budget_is_independent_of_evals() {
+        let _l = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        install(Budget::default().newton_iters(10));
+        assert!(charge_evals(1_000));
+        assert!(charge_newton(10));
+        assert!(!charge_newton(1));
+        assert_eq!(exhausted().map(|e| e.resource), Some(Resource::NewtonIters));
+        clear();
+    }
+
+    #[test]
+    fn deadline_exhausts() {
+        let _l = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        install(Budget::default().deadline(Duration::from_millis(0)));
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(!check_in());
+        assert_eq!(exhausted().map(|e| e.resource), Some(Resource::WallClock));
+        clear();
+    }
+
+    #[test]
+    fn clear_resets_state() {
+        let _l = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        install(Budget::default().evals(0));
+        assert!(!charge_evals(1));
+        clear();
+        assert!(exhausted().is_none());
+        assert!(charge_evals(5));
+    }
+}

@@ -1,0 +1,92 @@
+//! Retry policies with deterministic perturbation.
+//!
+//! A failed DC solve often converges when restarted from a slightly
+//! different initial point — the classic escape from a bad basin. A
+//! [`Retry`] policy says how many extra attempts to make and supplies a
+//! seeded perturbation stream so every retry sequence is reproducible:
+//! the same `(seed, attempt, index)` always yields the same jitter.
+
+use crate::mix64;
+
+/// How to re-attempt a failed solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Retry {
+    /// Extra attempts after the first failure (0 disables retrying).
+    pub attempts: u32,
+    /// Magnitude of the initial-condition jitter applied on retries, in
+    /// the caller's units (volts for DC node voltages).
+    pub perturb: f64,
+    /// Seed for the deterministic perturbation stream.
+    pub seed: u64,
+}
+
+impl Default for Retry {
+    /// Two extra attempts with a ±0.1 (V) jitter — enough to step a DC
+    /// solve out of a locally bad basin without masking real failures.
+    fn default() -> Self {
+        Self {
+            attempts: 2,
+            perturb: 0.1,
+            seed: 0xA5A5_5A5A,
+        }
+    }
+}
+
+impl Retry {
+    /// No retries at all: fail on the first error.
+    pub fn none() -> Self {
+        Self {
+            attempts: 0,
+            perturb: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// Policy with `attempts` extra tries and the default jitter.
+    pub fn with_attempts(attempts: u32) -> Self {
+        Self {
+            attempts,
+            ..Self::default()
+        }
+    }
+
+    /// Deterministic jitter in `[-perturb, +perturb]` for unknown `i` on
+    /// retry `attempt` (attempt 1 is the first retry).
+    pub fn perturbation(&self, attempt: u32, i: usize) -> f64 {
+        if self.perturb == 0.0 {
+            return 0.0;
+        }
+        let bits = mix64(
+            self.seed ^ mix64(u64::from(attempt)) ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        // Map to [-1, 1) using the top 53 bits for a clean f64 mantissa.
+        let unit = (bits >> 11) as f64 / (1u64 << 52) as f64 - 1.0;
+        unit * self.perturb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perturbation_is_deterministic_and_bounded() {
+        let r = Retry::default();
+        for attempt in 1..=3 {
+            for i in 0..20 {
+                let p = r.perturbation(attempt, i);
+                assert_eq!(p, r.perturbation(attempt, i));
+                assert!(p.abs() <= r.perturb, "out of range: {p}");
+            }
+        }
+        // Different attempts move different directions somewhere.
+        assert_ne!(r.perturbation(1, 0), r.perturbation(2, 0));
+    }
+
+    #[test]
+    fn none_policy_is_inert() {
+        let r = Retry::none();
+        assert_eq!(r.attempts, 0);
+        assert_eq!(r.perturbation(1, 5), 0.0);
+    }
+}

@@ -13,6 +13,8 @@
 //!
 //! plus the rip-up-and-reroute loop every production maze router needs.
 
+use ams_guard::budget;
+use ams_guard::fault::{self, FaultKind};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -82,6 +84,21 @@ impl Default for RouterConfig {
             over_device_cost: Some(25),
             crosstalk_penalty: 40,
             rip_up_passes: 3,
+        }
+    }
+}
+
+impl RouterConfig {
+    /// A completion-over-quality configuration used as the degradation
+    /// fallback when routing with the nominal costs leaves failed nets:
+    /// more rip-up passes, cheap over-device routing, and a reduced
+    /// crosstalk penalty so congested channels can still close.
+    pub fn relaxed(&self) -> Self {
+        RouterConfig {
+            over_device_cost: Some(self.over_device_cost.unwrap_or(25).min(8)),
+            crosstalk_penalty: self.crosstalk_penalty / 4,
+            rip_up_passes: self.rip_up_passes.max(2) * 2,
+            ..self.clone()
         }
     }
 }
@@ -209,11 +226,18 @@ impl Router {
         }
 
         let mut paths: Vec<Option<RoutedNet>> = vec![None; nets.len()];
-        for pass in 0..=config.rip_up_passes {
+        let mut budget_stop = false;
+        'passes: for pass in 0..=config.rip_up_passes {
             let mut all_ok = true;
             for &ni in &order {
                 if paths[ni].is_some() {
                     continue;
+                }
+                // Deadline/budget checkpoint per net: stop routing and
+                // report the rest as failed instead of overrunning.
+                if !budget::check_in() {
+                    budget_stop = true;
+                    break 'passes;
                 }
                 // Mirrored attempt first.
                 if let Some((ref_net, axis)) = mirrored[ni] {
@@ -249,6 +273,9 @@ impl Router {
             if all_ok {
                 break;
             }
+        }
+        if budget_stop {
+            ams_trace::counter_add("layout.route_budget_stops", 1);
         }
 
         let mut routed = Vec::new();
@@ -336,6 +363,12 @@ impl Router {
         config: &RouterConfig,
         expansions: &mut u64,
     ) -> Option<RoutedNet> {
+        // Injection site: fail this routing attempt outright, driving the
+        // caller's rip-up loop (and, when injected persistently, leaving
+        // the net in `failed`).
+        if fault::trip(FaultKind::RouterRipup) {
+            return None;
+        }
         if net.terminals.is_empty() {
             return Some(RoutedNet {
                 name: net.name.clone(),

@@ -3,11 +3,13 @@
 //! The solver first tries plain Newton from a zero start, then gmin
 //! stepping, then source stepping — the classic SPICE convergence ladder.
 
+use ams_guard::fault::{self, FaultKind};
+use ams_guard::{budget, Retry};
 use ams_netlist::{Circuit, Device, MosOp};
 use std::collections::HashMap;
 
 use crate::error::SimError;
-use crate::linalg::Matrix;
+use crate::linalg::{Matrix, SingularMatrix};
 use crate::mna::{indexed_devices, LinearNet, MnaLayout, Stamper};
 
 /// Maximum Newton iterations per homotopy stage.
@@ -122,9 +124,78 @@ impl OpPoint {
 /// assert!((op.voltage(&ckt, "out").unwrap() - 1.0).abs() < 1e-9);
 /// ```
 pub fn dc_operating_point(ckt: &Circuit) -> Result<OpPoint, SimError> {
+    dc_op_from(ckt, None)
+}
+
+/// Computes the DC operating point like [`dc_operating_point`], but on a
+/// *retryable* failure (non-convergence or a numerically singular system)
+/// re-runs the whole convergence ladder up to `retry.attempts` more times
+/// from deterministically perturbed initial conditions. Structural errors
+/// ([`SimError::Erc`], [`SimError::Netlist`]…) are never retried — they
+/// cannot be fixed by a different starting point.
+///
+/// Retries are counted under the `sim.dc_retries` trace counter.
+///
+/// # Errors
+///
+/// Same as [`dc_operating_point`]; the error returned is from the last
+/// attempt made.
+pub fn dc_operating_point_retry(ckt: &Circuit, retry: &Retry) -> Result<OpPoint, SimError> {
+    let mut last = match dc_op_from(ckt, None) {
+        Ok(op) => return Ok(op),
+        Err(e) => e,
+    };
+    if retry.attempts == 0 || !retryable(&last) {
+        return Err(last);
+    }
+    let dim = MnaLayout::new(ckt).dim();
+    for attempt in 1..=retry.attempts {
+        ams_trace::counter_add("sim.dc_retries", 1);
+        let x0: Vec<f64> = (0..dim).map(|i| retry.perturbation(attempt, i)).collect();
+        match dc_op_from(ckt, Some(&x0)) {
+            Ok(op) => return Ok(op),
+            Err(e) if retryable(&e) => last = e,
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last)
+}
+
+/// True for failures that a perturbed restart can plausibly fix.
+fn retryable(e: &SimError) -> bool {
+    matches!(
+        e,
+        SimError::NoConvergence { .. } | SimError::Singular(_) | SimError::SingularNode { .. }
+    )
+}
+
+/// Builds an [`OpPoint`] from an *assumed* solution vector without solving
+/// anything — the `DcStrategy::Assumed` last resort of the degradation
+/// ladder (and the ASTRX/OBLX "dc-free biasing" primitive). MOS operating
+/// data is evaluated at the given voltages; `strategy` is
+/// [`DcStrategy::Assumed`] and `iterations` is 0.
+///
+/// # Errors
+///
+/// Returns [`SimError::BadParameter`] when `x.len()` does not match the
+/// circuit's MNA dimension.
+pub fn assumed_op(ckt: &Circuit, x: &[f64]) -> Result<OpPoint, SimError> {
+    let layout = MnaLayout::new(ckt);
+    if x.len() != layout.dim() {
+        return Err(SimError::BadParameter(format!(
+            "assumed solution has {} entries but the MNA system has {}",
+            x.len(),
+            layout.dim()
+        )));
+    }
+    ams_trace::counter_add("sim.dc_converged_assumed", 1);
+    Ok(finish(ckt, layout, x.to_vec(), 0, DcStrategy::Assumed))
+}
+
+fn dc_op_from(ckt: &Circuit, x0: Option<&[f64]>) -> Result<OpPoint, SimError> {
     let _span = ams_trace::span("sim.dc_op");
     let mut iters = 0usize;
-    let result = dc_solve(ckt, &mut iters);
+    let result = dc_solve(ckt, x0, &mut iters);
     ams_trace::counter_add("sim.dc_solves", 1);
     ams_trace::counter_add("sim.newton_iters", iters as u64);
     // Each Newton iteration performs exactly one LU factor and one solve.
@@ -145,18 +216,26 @@ pub fn dc_operating_point(ckt: &Circuit) -> Result<OpPoint, SimError> {
     result
 }
 
-fn dc_solve(ckt: &Circuit, iters: &mut usize) -> Result<OpPoint, SimError> {
+fn dc_solve(ckt: &Circuit, x0: Option<&[f64]>, iters: &mut usize) -> Result<OpPoint, SimError> {
     erc_gate(ckt)?;
     let layout = MnaLayout::new(ckt);
     let devices = indexed_devices(ckt);
-    let mut x = vec![0.0; layout.dim()];
+    // Every ladder rung starts from the caller's initial point (zeros by
+    // default; a perturbed restart under `dc_operating_point_retry`).
+    let start = |layout: &MnaLayout| -> Vec<f64> {
+        match x0 {
+            Some(v) if v.len() == layout.dim() => v.to_vec(),
+            _ => vec![0.0; layout.dim()],
+        }
+    };
+    let mut x = start(&layout);
 
     // Plain Newton, then gmin ladder, then source stepping.
     if newton(ckt, &layout, &devices, &mut x, 0.0, 1.0, iters).is_ok() {
         return Ok(finish(ckt, layout, x, *iters, DcStrategy::Newton));
     }
     // gmin stepping: 1e-2 → 1e-12, warm-started.
-    let mut gx = vec![0.0; layout.dim()];
+    let mut gx = start(&layout);
     let mut ok = true;
     let mut gmin_stages = 0u64;
     for k in 2..=12 {
@@ -173,7 +252,7 @@ fn dc_solve(ckt: &Circuit, iters: &mut usize) -> Result<OpPoint, SimError> {
     }
 
     // Source stepping: ramp all independent sources from 10% to 100%.
-    let mut sx = vec![0.0; layout.dim()];
+    let mut sx = start(&layout);
     let mut ok = true;
     let mut source_steps = 0u64;
     for k in 1..=10 {
@@ -289,11 +368,30 @@ fn newton(
     source_scale: f64,
     iters: &mut usize,
 ) -> Result<(), SimError> {
+    // Injection site: force this whole solve to report non-convergence, as
+    // if it burned its full iteration budget without settling.
+    if fault::trip(FaultKind::NewtonDiverge) {
+        *iters += MAX_ITER;
+        let _ = budget::charge_newton(MAX_ITER as u64);
+        return Err(SimError::NoConvergence {
+            analysis: "dc",
+            iterations: MAX_ITER,
+        });
+    }
     for _iter in 0..MAX_ITER {
         *iters += 1;
+        // Cooperative metering only: the optimizer loops observe exhaustion
+        // at their next checkpoint; an in-flight solve runs to completion.
+        let _ = budget::charge_newton(1);
         let mut st = Stamper::new(layout.dim());
         stamp_dc(layout, devices, x, gmin, source_scale, &mut st);
-        let lu = st.a.lu().map_err(|e| resolve_singular(ckt, layout, e))?;
+        // Injection site: pretend LU elimination hit a zero pivot.
+        let factored = if fault::trip(FaultKind::LuPivot) {
+            Err(SingularMatrix { pivot: 0 })
+        } else {
+            st.a.lu()
+        };
+        let lu = factored.map_err(|e| resolve_singular(ckt, layout, e))?;
         let new_x = lu.solve(&st.z);
         // Damped update and convergence check.
         let mut converged = true;
@@ -306,6 +404,13 @@ fn newton(
                 converged = false;
             }
             x[i] += dx;
+        }
+        // Injection site: poison the iterate so the finite-value check
+        // below rejects the solve exactly as a real NaN residual would.
+        if fault::trip(FaultKind::NanResidual) {
+            if let Some(v) = x.first_mut() {
+                *v = f64::NAN;
+            }
         }
         if x.iter().any(|v| !v.is_finite()) {
             return Err(SimError::NoConvergence {

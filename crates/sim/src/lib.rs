@@ -46,7 +46,10 @@ mod noise;
 mod tran;
 
 pub use ac::{ac_sweep, log_frequencies, AcSweep};
-pub use dc::{dc_operating_point, linearize, linearize_at, DcStrategy, OpPoint};
+pub use dc::{
+    assumed_op, dc_operating_point, dc_operating_point_retry, linearize, linearize_at, DcStrategy,
+    OpPoint,
+};
 pub use error::SimError;
 pub use linalg::{CMatrix, Complex, Lu, Matrix, SingularMatrix};
 pub use mna::{output_index, LinearNet, MnaLayout, Stamper};

@@ -5,6 +5,8 @@
 //! the artificial damping pure BE would add to ringing power-grid
 //! waveforms (experiment E4 relies on this).
 
+use ams_guard::budget;
+use ams_guard::fault::{self, FaultKind};
 use ams_netlist::{Circuit, Device, NodeId};
 use std::collections::HashMap;
 
@@ -375,9 +377,19 @@ fn newton_step(
     iters: &mut u64,
 ) -> Result<Vec<f64>, SimError> {
     let _ = ckt; // reserved for future per-device diagnostics
+                 // Injection site: fail this step's Newton solve so the caller enters
+                 // its step-halving recovery path (and, past MAX_HALVINGS, its error
+                 // path) exactly as a genuinely stiff point would.
+    if fault::trip(FaultKind::TranHalving) {
+        return Err(SimError::NoConvergence {
+            analysis: "tran",
+            iterations: MAX_ITER,
+        });
+    }
     let mut x = x0.to_vec();
     for _ in 0..MAX_ITER {
         *iters += 1;
+        let _ = budget::charge_newton(1);
         let mut st = Stamper::new(layout.dim());
         stamp_tran(
             layout, devices, &x, states, mos_caps, t_new, h, use_be, &mut st,

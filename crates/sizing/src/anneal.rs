@@ -146,15 +146,28 @@ where
     let _span = ams_trace::span("sizing.anneal");
     let mut rng = SmallRng::seed_from_u64(config.seed);
 
+    // Every candidate evaluation is panic-isolated: a poisoned candidate
+    // scores infeasible (infinite cost) instead of killing the run.
+    let mut eval = |v: &[f64]| ams_guard::guarded_eval(|| cost(v));
+
     // Multi-start initialization: best of a handful of random samples.
+    // The first evaluation always runs (the search needs a defined cost);
+    // after it, every evaluation is metered against the global budget and
+    // the loops stop cooperatively once it is exhausted.
     let mut evaluations = 0;
     let mut x: Vec<f64> = params.iter().map(|p| p.sample(&mut rng)).collect();
-    let mut c = cost(&x);
+    let _ = ams_guard::budget::charge_evals(1);
+    let mut c = eval(&x);
     evaluations += 1;
     let mut spread = 0.0f64;
+    let mut budget_ok = true;
     for _ in 0..20 {
+        if !ams_guard::budget::charge_evals(1) {
+            budget_ok = false;
+            break;
+        }
         let cand: Vec<f64> = params.iter().map(|p| p.sample(&mut rng)).collect();
-        let cc = cost(&cand);
+        let cc = eval(&cand);
         evaluations += 1;
         if cc.is_finite() && c.is_finite() {
             spread = spread.max((cc - c).abs());
@@ -169,17 +182,25 @@ where
     let mut best_c = c;
     let mut t = (spread.max(c.abs()).max(1e-9)) * config.t_initial_factor;
     let mut accepted = 0;
+    let mut moves_attempted = 0u64;
 
-    for stage in 0..config.stages {
+    'stages: for stage in 0..config.stages {
+        if !budget_ok {
+            break;
+        }
         // Move scale shrinks from coarse to fine over the schedule.
         let progress = stage as f64 / config.stages.max(1) as f64;
         let scale = 0.5 * (1.0 - progress) + 0.02;
         let stage_accepted_before = accepted;
         for _ in 0..config.moves_per_stage {
+            if !ams_guard::budget::charge_evals(1) {
+                break 'stages;
+            }
+            moves_attempted += 1;
             let k = rng.gen_range(0..params.len());
             let mut cand = x.clone();
             cand[k] = params[k].perturb(cand[k], scale, &mut rng);
-            let cc = cost(&cand);
+            let cc = eval(&cand);
             evaluations += 1;
             let accept = cc < c || {
                 let d = cc - c;
@@ -206,10 +227,7 @@ where
     }
 
     ams_trace::counter_add("sizing.anneal_runs", 1);
-    ams_trace::counter_add(
-        "sizing.anneal_moves",
-        (config.moves_per_stage * config.stages) as u64,
-    );
+    ams_trace::counter_add("sizing.anneal_moves", moves_attempted);
     ams_trace::counter_add("sizing.anneal_accepted", accepted as u64);
     ams_trace::counter_add("sizing.anneal_evals", evaluations as u64);
     AnnealResult {
@@ -296,6 +314,21 @@ mod tests {
         });
         assert!(r.x[0] >= 0.0);
         assert!(r.cost < 0.1);
+    }
+
+    #[test]
+    fn panicking_cost_is_scored_infeasible() {
+        // A candidate that panics must be isolated and treated exactly like
+        // an infinite-cost point, not abort the whole run.
+        let params = vec![ParamDef::linear("x", -1.0, 1.0)];
+        let r = anneal(&params, &AnnealConfig::quick(), |v| {
+            if v[0] < 0.0 {
+                panic!("poisoned candidate");
+            }
+            v[0]
+        });
+        assert!(r.x[0] >= 0.0);
+        assert!(r.cost.is_finite());
     }
 
     #[test]

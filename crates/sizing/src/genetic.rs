@@ -77,13 +77,18 @@ pub fn evolve(models: &[&dyn PerfModel], spec: &Spec, config: &GaConfig) -> GaRe
     let compiler = CostCompiler::new(spec.clone());
     let param_defs: Vec<Vec<ParamDef>> = models.iter().map(|m| m.params()).collect();
 
+    // Panic-isolated evaluation: a poisoned chromosome scores infeasible
+    // (infinite cost) instead of aborting the run.
     let eval = |topology: usize, genes: &[f64]| -> f64 {
-        compiler.cost(&models[topology].evaluate(genes))
+        ams_guard::guarded_eval(|| compiler.cost(&models[topology].evaluate(genes)))
     };
 
-    // Seed the population uniformly across species.
+    // Seed the population uniformly across species. Initialization always
+    // completes (the GA needs a full population to be well-defined); the
+    // evaluations are still metered so exhaustion stops the generation loop.
     let mut pop: Vec<Chromosome> = (0..config.population)
         .map(|i| {
+            let _ = ams_guard::budget::charge_evals(1);
             let topology = i % models.len();
             let genes: Vec<f64> = param_defs[topology]
                 .iter()
@@ -113,8 +118,15 @@ pub fn evolve(models: &[&dyn PerfModel], spec: &Spec, config: &GaConfig) -> GaRe
     }
 
     for _gen in 0..config.generations {
+        // Budget checkpoint at the generation boundary: a partially-built
+        // generation would shrink the population, so exhaustion mid-build
+        // finishes the current generation and stops here.
+        if !ams_guard::budget::check_in() {
+            break;
+        }
         let mut next: Vec<Chromosome> = species_best.iter().flatten().cloned().collect();
         while next.len() < pop.len() {
+            let _ = ams_guard::budget::charge_evals(1);
             let a = tournament(&pop, config.tournament, &mut rng);
             let b = tournament(&pop, config.tournament, &mut rng);
             let mut child = crossover(a, b, &mut rng);
@@ -138,9 +150,12 @@ pub fn evolve(models: &[&dyn PerfModel], spec: &Spec, config: &GaConfig) -> GaRe
     // happened to receive.
     let polish_iters = config.population;
     let mut polish_improvements = 0u64;
-    for (t, slot) in species_best.iter_mut().enumerate() {
+    'polish: for (t, slot) in species_best.iter_mut().enumerate() {
         let Some(champ) = slot else { continue };
         for _ in 0..polish_iters {
+            if !ams_guard::budget::charge_evals(1) {
+                break 'polish;
+            }
             let mut trial = champ.clone();
             perturb_genes(&mut trial.genes, &param_defs[t], 0.5, &mut rng);
             trial.cost = eval(t, &trial.genes);

@@ -13,8 +13,11 @@ use crate::anneal::{anneal, AnnealConfig, ParamDef};
 use crate::cost::{CostCompiler, Perf};
 use crate::eqopt::SizingResult;
 use ams_awe::AweModel;
+use ams_guard::Retry;
 use ams_netlist::{Circuit, Technology};
-use ams_sim::{ac_sweep, dc_operating_point, linearize, log_frequencies, output_index, SimError};
+use ams_sim::{
+    ac_sweep, dc_operating_point_retry, linearize, log_frequencies, output_index, SimError,
+};
 use ams_topology::Spec;
 use std::collections::HashMap;
 
@@ -179,7 +182,11 @@ impl SimulatedTemplate for TwoStageCircuit {
     }
 
     fn measure(&self, ckt: &Circuit, ac: AcEvaluator) -> Result<Perf, SimError> {
-        let op = dc_operating_point(ckt)?;
+        // Retry a failed bias solve from perturbed initial conditions
+        // before scoring the candidate infeasible: a marginal operating
+        // point that Newton misses from a zero start is often perfectly
+        // solvable, and discarding it would waste the candidate.
+        let op = dc_operating_point_retry(ckt, &Retry::default())?;
         let net = linearize(ckt, &op);
         let out = output_index(ckt, &net.layout, "out")
             .ok_or_else(|| SimError::UnknownNode("out".into()))?;
@@ -189,12 +196,20 @@ impl SimulatedTemplate for TwoStageCircuit {
         let idd = op.supply_current(ckt, "Vdd").unwrap_or(0.0).abs();
         perf.insert("power_w".into(), idd * self.tech.vdd);
 
-        // Slew rate limited by the tail current into Cc.
-        let itail = match ckt.device(ckt.device_named("Itail").expect("tail")) {
+        // Slew rate limited by the tail current into Cc. `measure` accepts
+        // arbitrary circuits, so a missing bias element is a caller error,
+        // not an invariant violation.
+        let itail_dev = ckt.device_named("Itail").ok_or_else(|| {
+            SimError::BadParameter("circuit is missing the `Itail` tail current source".into())
+        })?;
+        let itail = match ckt.device(itail_dev) {
             ams_netlist::Device::Isource { waveform, .. } => waveform.dc_value(),
             _ => 0.0,
         };
-        let cc = match ckt.device(ckt.device_named("Cc").expect("cc")) {
+        let cc_dev = ckt.device_named("Cc").ok_or_else(|| {
+            SimError::BadParameter("circuit is missing the `Cc` compensation capacitor".into())
+        })?;
+        let cc = match ckt.device(cc_dev) {
             ams_netlist::Device::Capacitor { farads, .. } => *farads,
             _ => 1e-12,
         };
@@ -251,6 +266,7 @@ impl SimulatedTemplate for TwoStageCircuit {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ams_sim::dc_operating_point;
     use ams_topology::Bound;
 
     fn template() -> TwoStageCircuit {

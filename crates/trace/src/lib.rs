@@ -23,7 +23,7 @@
 //!
 //! # Cost model
 //!
-//! A single global [`Collector`]-like store sits behind a `Mutex`, guarded
+//! A single global collector store sits behind a `Mutex`, guarded
 //! by an `AtomicBool` fast path: when tracing is disabled (the default)
 //! every API call is one relaxed atomic load and an immediate return, so
 //! instrumented hot loops cost nothing measurable. Hot inner loops should

@@ -57,6 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     ugf_degradation * 100.0
                 );
             }
+            FlowEvent::Degraded { reason } => println!("[recovery] degraded: {reason}"),
             FlowEvent::Failed(reason) => println!("[flow] FAILED: {reason}"),
         }
     }

@@ -19,4 +19,7 @@ cargo test --offline -q --test trace_schema
 echo "== trace counter determinism =="
 cargo test --offline -q --release --test trace_determinism
 
+echo "== fault-injection recovery matrix =="
+cargo test --offline -q --release --test fault_recovery
+
 echo "All checks passed."

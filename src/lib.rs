@@ -33,6 +33,9 @@
 //! * [`awe`] — asymptotic waveform evaluation.
 //! * [`trace`] — zero-dependency structured tracing: spans, counters,
 //!   histograms, a flight-recorder ring, and Chrome trace-event export.
+//! * [`guard`] — robustness layer: deterministic fault injection,
+//!   evaluation budgets/deadlines, panic isolation, and retry policies
+//!   backing the flow's graceful-degradation ladder.
 //!
 //! And the **flow** tying it together:
 //!
@@ -59,6 +62,7 @@
 
 pub use ams_awe as awe;
 pub use ams_core as core;
+pub use ams_guard as guard;
 pub use ams_layout as layout;
 pub use ams_lint as lint;
 pub use ams_netlist as netlist;
@@ -72,7 +76,11 @@ pub use ams_trace as trace;
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use ams_core::{synthesize_opamp, FlowConfig, PulseDetectorModel, RfFrontEndModel};
+    pub use ams_core::{
+        synthesize_opamp, FlowConfig, FlowOutcome, PulseDetectorModel, RecoveryPolicy,
+        RfFrontEndModel,
+    };
+    pub use ams_guard::{Budget, FaultKind, FaultPlan, Retry, Trigger};
     pub use ams_layout::{layout_cell, CellOptions, DesignRules};
     pub use ams_lint::{lint_circuit, lint_deck, Report, RuleCode, Severity};
     pub use ams_netlist::{parse_deck, parse_deck_full, Circuit, Device, Technology};
