@@ -10,9 +10,9 @@
 //! timing numbers measure the uninstrumented fast path.
 
 use ams_bench::run_table1;
-use ams_core::{synthesize_opamp, FlowConfig};
+use ams_core::{synthesize_opamp, table1_spec, FlowConfig, SimulatedPulseDetectorModel};
 use ams_netlist::Technology;
-use ams_sizing::{AnnealConfig, SimulatedTemplate, TwoStageCircuit};
+use ams_sizing::{evolve, AnnealConfig, GaConfig, PerfModel, SimulatedTemplate, TwoStageCircuit};
 use ams_topology::{Bound, Spec};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::collections::BTreeMap;
@@ -73,6 +73,7 @@ fn write_bench_json(
     wall_s: f64,
     feasible: bool,
     power_reduction: f64,
+    speedup: &SpeedupSample,
     totals: &BTreeMap<String, u64>,
     phases: &[Phase],
 ) {
@@ -80,6 +81,19 @@ fn write_bench_json(
     let _ = writeln!(json, "  \"wall_s_quick\": {wall_s:.6},");
     let _ = writeln!(json, "  \"feasible\": {feasible},");
     let _ = writeln!(json, "  \"power_reduction\": {power_reduction:.4},");
+    let _ = writeln!(json, "  \"parallel_serial_us\": {},", speedup.serial_us);
+    let _ = writeln!(json, "  \"parallel_4threads_us\": {},", speedup.par4_us);
+    let _ = writeln!(
+        json,
+        "  \"parallel_speedup_4t\": {:.4},",
+        speedup.serial_us as f64 / speedup.par4_us.max(1) as f64
+    );
+    let _ = writeln!(
+        json,
+        "  \"parallel_cache_hit_rate\": {:.4},",
+        speedup.cache_hit_rate
+    );
+    let _ = writeln!(json, "  \"hw_threads\": {},", speedup.hw_threads);
     json.push_str("  \"counters\": {");
     for (i, (k, v)) in totals.iter().enumerate() {
         if i > 0 {
@@ -112,6 +126,69 @@ fn write_bench_json(
     if let Err(e) = std::fs::write(&path, json) {
         eprintln!("warning: could not write {}: {e}", path.display());
     }
+}
+
+/// Wall times and cache behaviour of the `parallel_speedup` phase.
+struct SpeedupSample {
+    serial_us: u64,
+    par4_us: u64,
+    cache_hit_rate: f64,
+    hw_threads: usize,
+}
+
+/// The `parallel_speedup` phase: the same seeded GA topology-selection
+/// run on the simulation-backed Table 1 model, serial then at 4 workers.
+/// The model's per-candidate cost is a genuine DC-Newton + AC-sweep
+/// simulation, so the ratio measures the exec pool's scaling rather than
+/// closure overhead. `hw_threads` is recorded alongside: on a box with
+/// fewer than 4 hardware threads the extra workers time-slice one core
+/// and the measured ratio reflects that, not the engine.
+fn measure_parallel_speedup(phases: &mut Vec<Phase>) -> SpeedupSample {
+    traced("parallel_speedup", phases, || {
+        let model = SimulatedPulseDetectorModel::new(Technology::generic_1p2um());
+        let models: [&dyn PerfModel; 1] = [&model];
+        let ga = GaConfig {
+            population: 48,
+            generations: 6,
+            seed: 11,
+            ..Default::default()
+        };
+        let run = |threads: usize| {
+            ams_exec::set_threads(Some(threads));
+            let hits0 = ams_trace::snapshot().counters;
+            let t0 = Instant::now();
+            let r = evolve(&models, &table1_spec(), &ga);
+            let us = t0.elapsed().as_micros() as u64;
+            let hits1 = ams_trace::snapshot().counters;
+            let delta = ams_trace::counters_delta(&hits0, &hits1);
+            let get = |k: &str| {
+                delta
+                    .iter()
+                    .find(|(name, _)| name == k)
+                    .map_or(0, |&(_, v)| v)
+            };
+            let (h, m) = (get("exec.cache.hit"), get("exec.cache.miss"));
+            let hit_rate = h as f64 / (h + m).max(1) as f64;
+            (us, hit_rate, r)
+        };
+        let (serial_us, serial_hit_rate, r1) = run(1);
+        let (par4_us, par4_hit_rate, r4) = run(4);
+        ams_exec::set_threads(None);
+        // Determinism spot check: the champion must not depend on the
+        // worker count, nor may the cache behave differently.
+        assert_eq!(r1.topology, r4.topology);
+        assert_eq!(r1.sizing.cost.to_bits(), r4.sizing.cost.to_bits());
+        assert_eq!(r1.sizing.params, r4.sizing.params);
+        assert!((serial_hit_rate - par4_hit_rate).abs() < 1e-12);
+        ams_trace::counter_add("bench.parallel.serial_us", serial_us);
+        ams_trace::counter_add("bench.parallel.par4_us", par4_us);
+        SpeedupSample {
+            serial_us,
+            par4_us,
+            cache_hit_rate: par4_hit_rate,
+            hw_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        }
+    })
 }
 
 fn bench(c: &mut Criterion) {
@@ -186,12 +263,16 @@ fn bench(c: &mut Criterion) {
         ams_guard::fault::disarm();
     });
 
+    let speedup = measure_parallel_speedup(&mut phases);
+
     let snap = ams_trace::snapshot();
     for key in [
         "sim.newton_iters",
         "sizing.anneal_moves",
         "layout.route_expansions",
         "guard.faults_injected",
+        "exec.tasks",
+        "exec.cache.hit",
     ] {
         assert!(
             snap.counters.get(key).copied().unwrap_or(0) > 0,
@@ -202,6 +283,7 @@ fn bench(c: &mut Criterion) {
         wall_s,
         t.feasible,
         t.power_reduction,
+        &speedup,
         &snap.counters,
         &phases,
     );

@@ -37,5 +37,5 @@ pub use flow::{
     synthesize_opamp, DegradeReason, FlowConfig, FlowError, FlowEvent, FlowOutcome, FlowReport,
     RecoveryPolicy,
 };
-pub use pulse_detector::{table1_spec, PulseDetectorModel};
+pub use pulse_detector::{table1_spec, PulseDetectorModel, SimulatedPulseDetectorModel};
 pub use rf::{rf_spec, RfFrontEndModel};

@@ -1,0 +1,247 @@
+//! Memoizing evaluation cache keyed by quantized parameter vectors.
+//!
+//! Optimizer loops revisit (nearly) identical candidates constantly —
+//! elitist GA generations re-seed champions, annealers oscillate around
+//! accepted points, multi-start inits re-sample tight log ranges. Keying
+//! a cost cache on *quantized* parameter values turns those revisits into
+//! lookups instead of simulator calls.
+//!
+//! # Key quantization
+//!
+//! Each `f64` coordinate is mapped to its IEEE-754 bit pattern with the
+//! low [`QUANT_MANTISSA_BITS`] mantissa bits cleared (plus `-0.0 → +0.0`
+//! and NaN canonicalization). Clearing 20 of the 52 mantissa bits buckets
+//! values by ~2⁻³² relative spacing — far finer than any physical
+//! parameter tolerance in this flow, but coarse enough that re-derived
+//! values differing only in final-rounding noise share a bucket. Two
+//! vectors in the same bucket return the first-computed cost, so a cached
+//! cost can differ from a fresh evaluation by at most the cost function's
+//! variation over a 2⁻³² relative box. Quantization is a pure function of
+//! the value: cache behavior is deterministic and thread-count
+//! independent (see [`EvalCache::eval_batch`]).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::pool::par_map_indexed;
+
+/// Low mantissa bits cleared when quantizing a coordinate for cache
+/// lookup (52-bit mantissa ⇒ ~2⁻³² relative bucket spacing).
+pub const QUANT_MANTISSA_BITS: u32 = 20;
+
+/// Quantizes one coordinate to its cache-key bit pattern.
+pub fn quantize(v: f64) -> u64 {
+    if v.is_nan() {
+        return f64::NAN.to_bits(); // canonical NaN: all NaNs collide
+    }
+    if v == 0.0 {
+        return 0; // fold -0.0 into +0.0
+    }
+    v.to_bits() & !((1u64 << QUANT_MANTISSA_BITS) - 1)
+}
+
+/// A quantized parameter-vector key. `tag` namespaces heterogeneous
+/// evaluations sharing one cache (e.g. the GA's per-topology genomes).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    tag: u64,
+    coords: Vec<u64>,
+}
+
+impl CacheKey {
+    /// Builds the key for `(tag, x)`.
+    pub fn new(tag: u64, x: &[f64]) -> Self {
+        CacheKey {
+            tag,
+            coords: x.iter().copied().map(quantize).collect(),
+        }
+    }
+}
+
+/// Hit/miss totals for one cache instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Evaluations served from the cache (or deduplicated within a batch).
+    pub hits: u64,
+    /// Evaluations actually computed.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of all requests (0.0 when empty).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A memoizing cost cache shared by the workers of one optimization run.
+///
+/// Batch evaluation keeps the cache deterministic under parallelism:
+/// lookups and hit/miss accounting happen serially before the parallel
+/// compute of misses, and insertions happen serially after it, in item
+/// order. The cache's observable state therefore never depends on thread
+/// scheduling.
+#[derive(Debug, Default)]
+pub struct EvalCache {
+    map: Mutex<HashMap<CacheKey, f64>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl EvalCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Hit/miss totals so far.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of distinct cached points.
+    pub fn len(&self) -> usize {
+        lock(&self.map).len()
+    }
+
+    /// True if nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Evaluates a batch of parameter points, memoizing by quantized key.
+    ///
+    /// Convenience wrapper over [`EvalCache::eval_batch_keyed`] for
+    /// homogeneous batches sharing one `tag`.
+    pub fn eval_batch<F>(&self, tag: u64, points: &[Vec<f64>], f: F) -> Vec<f64>
+    where
+        F: Fn(usize, &[f64]) -> f64 + Sync,
+    {
+        self.eval_batch_keyed(points, |x| CacheKey::new(tag, x), |i, x| f(i, x))
+    }
+
+    /// Evaluates a batch of arbitrary items with a caller-supplied key.
+    ///
+    /// Phases: (1) serial — probe the cache for every item and decide the
+    /// hit/miss pattern (duplicates of an in-batch miss count as hits and
+    /// are computed once); (2) parallel — evaluate the distinct misses via
+    /// [`par_map_indexed`], with `f(batch_index, item)` receiving the
+    /// index of the first occurrence; (3) serial — insert results in item
+    /// order and assemble the output. Emits `exec.cache.hit` /
+    /// `exec.cache.miss`, both deterministic.
+    pub fn eval_batch_keyed<T, K, F>(&self, items: &[T], key: K, f: F) -> Vec<f64>
+    where
+        T: Sync,
+        K: Fn(&T) -> CacheKey,
+        F: Fn(usize, &T) -> f64 + Sync,
+    {
+        let mut out: Vec<Option<f64>> = vec![None; items.len()];
+        // first occurrence of an uncached key -> its slot in `compute`
+        let mut first: HashMap<CacheKey, usize> = HashMap::new();
+        let mut compute: Vec<usize> = Vec::new(); // batch indices to evaluate
+        let mut dup_of: Vec<(usize, usize)> = Vec::new(); // (batch idx, compute slot)
+        let (mut hits, mut misses) = (0u64, 0u64);
+        {
+            let map = lock(&self.map);
+            for (i, x) in items.iter().enumerate() {
+                let k = key(x);
+                if let Some(&v) = map.get(&k) {
+                    out[i] = Some(v);
+                    hits += 1;
+                } else if let Some(&slot) = first.get(&k) {
+                    dup_of.push((i, slot));
+                    hits += 1;
+                } else {
+                    first.insert(k, compute.len());
+                    compute.push(i);
+                    misses += 1;
+                }
+            }
+        }
+        self.hits.fetch_add(hits, Ordering::Relaxed);
+        self.misses.fetch_add(misses, Ordering::Relaxed);
+        ams_trace::counter_add("exec.cache.hit", hits);
+        ams_trace::counter_add("exec.cache.miss", misses);
+
+        let computed: Vec<f64> =
+            par_map_indexed(&compute, |_, &batch_idx| f(batch_idx, &items[batch_idx]));
+
+        {
+            let mut map = lock(&self.map);
+            for (slot, &batch_idx) in compute.iter().enumerate() {
+                map.insert(key(&items[batch_idx]), computed[slot]);
+                out[batch_idx] = Some(computed[slot]);
+            }
+        }
+        for (i, slot) in dup_of {
+            out[i] = Some(computed[slot]);
+        }
+        out.into_iter()
+            .map(|v| v.expect("every point resolved"))
+            .collect()
+    }
+}
+
+fn lock(m: &Mutex<HashMap<CacheKey, f64>>) -> std::sync::MutexGuard<'_, HashMap<CacheKey, f64>> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantization_buckets_rounding_noise_but_separates_parameters() {
+        // Final-rounding noise collides…
+        assert_eq!(quantize(0.1 + 0.2), quantize(0.3));
+        // …distinct physical parameters do not.
+        assert_ne!(quantize(1.0e-6), quantize(1.1e-6));
+        assert_eq!(quantize(-0.0), quantize(0.0));
+        assert_eq!(quantize(f64::NAN), quantize(-f64::NAN));
+    }
+
+    #[test]
+    fn repeat_batches_hit_the_cache() {
+        let cache = EvalCache::new();
+        let points: Vec<Vec<f64>> = (0..16).map(|i| vec![i as f64, 2.0]).collect();
+        let a = cache.eval_batch(0, &points, |_, x| x[0] * x[1]);
+        let b = cache.eval_batch(0, &points, |_, x| unreachable!("cached: {x:?}"));
+        assert_eq!(a, b);
+        let s = cache.stats();
+        assert_eq!(s.misses, 16);
+        assert_eq!(s.hits, 16);
+        assert_eq!(s.hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn in_batch_duplicates_compute_once() {
+        let cache = EvalCache::new();
+        let points = vec![vec![1.0], vec![2.0], vec![1.0], vec![1.0]];
+        let calls = AtomicU64::new(0);
+        let got = cache.eval_batch(7, &points, |_, x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            x[0] * 10.0
+        });
+        assert_eq!(got, vec![10.0, 20.0, 10.0, 10.0]);
+        assert_eq!(calls.load(Ordering::Relaxed), 2);
+        assert_eq!(cache.stats(), CacheStats { hits: 2, misses: 2 });
+    }
+
+    #[test]
+    fn tags_namespace_identical_vectors() {
+        let cache = EvalCache::new();
+        let points = vec![vec![3.0]];
+        let a = cache.eval_batch(0, &points, |_, _| 1.0);
+        let b = cache.eval_batch(1, &points, |_, _| 2.0);
+        assert_eq!((a[0], b[0]), (1.0, 2.0));
+    }
+}

@@ -1,0 +1,48 @@
+//! Deterministic parallel evaluation for the synthesis flow.
+//!
+//! The paper's frontend tools burn essentially all their time in repeated
+//! candidate-circuit evaluations — "thousands of candidate circuits" per
+//! sizing run (§2.2) — and those evaluations are independent of one
+//! another. This crate supplies the substrate that lets every optimizer
+//! loop fan candidate batches across cores **without giving up the
+//! repo-wide determinism contract**:
+//!
+//! * [`par_map_indexed`] — a scoped, work-stealing parallel map whose
+//!   results are assembled by item index, so the value returned for item
+//!   `i` and the order in which results are reduced never depend on thread
+//!   count or scheduling. Same seed ⇒ same result at 1, 2, or 64 threads.
+//! * [`EvalCache`] — a memoizing evaluation cache keyed by quantized
+//!   parameter vectors, so optimizers that revisit (nearly) identical
+//!   candidates skip the simulator call entirely.
+//!
+//! # Determinism contract
+//!
+//! Callers keep all random-number generation **serial** (candidate
+//! generation happens before the batch is submitted) and perform all
+//! reductions in item-index order. Under that discipline everything
+//! observable — results, cache hit/miss counts, budget exhaustion points
+//! checked at batch boundaries, `exec.tasks` — is identical at any thread
+//! count. The only scheduling-dependent observable is the `exec.steals`
+//! counter (and wall time), which is explicitly excluded from the
+//! contract and filtered by the determinism tests.
+//!
+//! Two situations force the pool down to a single worker regardless of
+//! configuration:
+//!
+//! * an armed [`ams_guard::fault`] plan — fault triggers fire by global
+//!   per-site call index, so evaluation *order* must match the serial
+//!   order exactly while a plan is armed;
+//! * batches too small to amortize thread spawn cost.
+//!
+//! Thread count is chosen by, in priority order: [`set_threads`] (runtime
+//! override, used by tests and benches), the `AMS_EXEC_THREADS`
+//! environment variable, and [`std::thread::available_parallelism`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod pool;
+
+pub use cache::{quantize, CacheKey, CacheStats, EvalCache, QUANT_MANTISSA_BITS};
+pub use pool::{configured_threads, effective_threads, par_map_indexed, set_threads};

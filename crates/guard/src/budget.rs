@@ -11,8 +11,22 @@
 //! Eval and Newton budgets are fully deterministic (counters only); the
 //! wall-clock deadline is inherently not, and the determinism tests
 //! therefore avoid it.
+//!
+//! # Cross-thread semantics
+//!
+//! Spend counters are shared atomics, so `ams-exec` workers charge the
+//! same meter concurrently without locking. The charge that *crosses* a
+//! limit is unique (its pre-add value is at or below the limit while its
+//! post-add value is above), and only that charge records the
+//! [`BudgetExhausted`] event — so with unit charges the recorded `spent`
+//! is always `limit + 1` regardless of how many workers raced past the
+//! limit. Exhaustion is sticky: once crossed, every subsequent charge
+//! reports `false` without advancing the counters, and evaluation sites
+//! check at batch boundaries so the set of *completed* work stays
+//! thread-count independent (a batch already in flight runs to
+//! completion — bounded overrun, nothing interrupted mid-evaluation).
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -121,12 +135,22 @@ impl Budget {
 struct Meter {
     budget: Budget,
     started: Instant,
-    evals: u64,
-    newton_iters: u64,
     exhausted: Option<BudgetExhausted>,
 }
 
 static ACTIVE: AtomicBool = AtomicBool::new(false);
+/// Sticky exhaustion flag: the lock-free fast path for "already over".
+static EXHAUSTED: AtomicBool = AtomicBool::new(false);
+/// Spend counters, charged concurrently by `ams-exec` workers.
+static EVALS: AtomicU64 = AtomicU64::new(0);
+static NEWTON: AtomicU64 = AtomicU64::new(0);
+/// Limits mirrored out of the budget so charges never take the mutex
+/// (`u64::MAX` = unlimited).
+static LIMIT_EVALS: AtomicU64 = AtomicU64::new(u64::MAX);
+static LIMIT_NEWTON: AtomicU64 = AtomicU64::new(u64::MAX);
+/// True when a wall-clock deadline is set; only then do charges pay for
+/// the mutex-guarded `Instant` comparison.
+static HAS_DEADLINE: AtomicBool = AtomicBool::new(false);
 static METER: OnceLock<Mutex<Meter>> = OnceLock::new();
 
 fn meter() -> MutexGuard<'static, Meter> {
@@ -135,8 +159,6 @@ fn meter() -> MutexGuard<'static, Meter> {
             Mutex::new(Meter {
                 budget: Budget::default(),
                 started: Instant::now(),
-                evals: 0,
-                newton_iters: 0,
                 exhausted: None,
             })
         })
@@ -151,9 +173,16 @@ pub fn install(budget: Budget) {
     let mut m = meter();
     m.budget = budget;
     m.started = Instant::now();
-    m.evals = 0;
-    m.newton_iters = 0;
     m.exhausted = None;
+    EVALS.store(0, Ordering::Relaxed);
+    NEWTON.store(0, Ordering::Relaxed);
+    LIMIT_EVALS.store(budget.max_evals.unwrap_or(u64::MAX), Ordering::Relaxed);
+    LIMIT_NEWTON.store(
+        budget.max_newton_iters.unwrap_or(u64::MAX),
+        Ordering::Relaxed,
+    );
+    HAS_DEADLINE.store(budget.deadline.is_some(), Ordering::Relaxed);
+    EXHAUSTED.store(false, Ordering::Release);
     drop(m);
     ACTIVE.store(true, Ordering::Release);
 }
@@ -164,6 +193,10 @@ pub fn clear() {
     let mut m = meter();
     m.budget = Budget::default();
     m.exhausted = None;
+    EXHAUSTED.store(false, Ordering::Release);
+    LIMIT_EVALS.store(u64::MAX, Ordering::Relaxed);
+    LIMIT_NEWTON.store(u64::MAX, Ordering::Relaxed);
+    HAS_DEADLINE.store(false, Ordering::Relaxed);
 }
 
 /// True if a budget is installed (even an unlimited one).
@@ -171,39 +204,20 @@ pub fn is_active() -> bool {
     ACTIVE.load(Ordering::Relaxed)
 }
 
-fn note_exhausted(m: &mut Meter, e: BudgetExhausted) {
+/// Records the first exhaustion event (later racers are ignored) and
+/// raises the sticky flag.
+fn note_exhausted(e: BudgetExhausted) {
+    let mut m = meter();
     if m.exhausted.is_none() {
         m.exhausted = Some(e);
         ams_trace::counter_add("guard.budget_exhausted", 1);
     }
+    EXHAUSTED.store(true, Ordering::Release);
 }
 
-fn check(m: &mut Meter) -> bool {
-    if m.exhausted.is_some() {
-        return false;
-    }
-    if let Some(max) = m.budget.max_evals {
-        if m.evals > max {
-            let e = BudgetExhausted {
-                resource: Resource::Evals,
-                limit: max,
-                spent: m.evals,
-            };
-            note_exhausted(m, e);
-            return false;
-        }
-    }
-    if let Some(max) = m.budget.max_newton_iters {
-        if m.newton_iters > max {
-            let e = BudgetExhausted {
-                resource: Resource::NewtonIters,
-                limit: max,
-                spent: m.newton_iters,
-            };
-            note_exhausted(m, e);
-            return false;
-        }
-    }
+/// Mutex-guarded deadline check; only reached when a deadline is set.
+fn deadline_ok() -> bool {
+    let m = meter();
     if let Some(deadline) = m.budget.deadline {
         let elapsed = m.started.elapsed();
         if elapsed > deadline {
@@ -212,9 +226,40 @@ fn check(m: &mut Meter) -> bool {
                 limit: deadline.as_millis() as u64,
                 spent: elapsed.as_millis() as u64,
             };
-            note_exhausted(m, e);
+            drop(m);
+            note_exhausted(e);
             return false;
         }
+    }
+    true
+}
+
+/// Adds `n` to `counter` and tests it against `limit`. Exactly one
+/// charge crosses the limit (pre ≤ limit < pre + n); that charge records
+/// the exhaustion event, so the recorded `spent` is deterministic under
+/// concurrent unit charges.
+fn charge(counter: &AtomicU64, limit: &AtomicU64, resource: Resource, n: u64) -> bool {
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return true;
+    }
+    if EXHAUSTED.load(Ordering::Acquire) {
+        return false;
+    }
+    let pre = counter.fetch_add(n, Ordering::Relaxed);
+    let spent = pre.saturating_add(n);
+    let max = limit.load(Ordering::Relaxed);
+    if spent > max {
+        if pre <= max {
+            note_exhausted(BudgetExhausted {
+                resource,
+                limit: max,
+                spent,
+            });
+        }
+        return false;
+    }
+    if HAS_DEADLINE.load(Ordering::Relaxed) {
+        return deadline_ok();
     }
     true
 }
@@ -223,33 +268,29 @@ fn check(m: &mut Meter) -> bool {
 /// resource (including the deadline) is exhausted — the caller should
 /// stop at its next safe checkpoint.
 pub fn charge_evals(n: u64) -> bool {
-    if !ACTIVE.load(Ordering::Relaxed) {
-        return true;
-    }
-    let mut m = meter();
-    m.evals += n;
-    check(&mut m)
+    charge(&EVALS, &LIMIT_EVALS, Resource::Evals, n)
 }
 
 /// Charge `n` Newton iterations. Same contract as [`charge_evals`].
 pub fn charge_newton(n: u64) -> bool {
-    if !ACTIVE.load(Ordering::Relaxed) {
-        return true;
-    }
-    let mut m = meter();
-    m.newton_iters += n;
-    check(&mut m)
+    charge(&NEWTON, &LIMIT_NEWTON, Resource::NewtonIters, n)
 }
 
 /// Re-check the budget without charging anything (used by loops whose
 /// unit of work isn't an eval or a Newton iteration, e.g. the router
-/// checking the deadline per net). Returns `false` when exhausted.
+/// checking the deadline per net, or a parallel batch boundary). Returns
+/// `false` when exhausted.
 pub fn check_in() -> bool {
     if !ACTIVE.load(Ordering::Relaxed) {
         return true;
     }
-    let mut m = meter();
-    check(&mut m)
+    if EXHAUSTED.load(Ordering::Acquire) {
+        return false;
+    }
+    if HAS_DEADLINE.load(Ordering::Relaxed) {
+        return deadline_ok();
+    }
+    true
 }
 
 /// The first exhaustion event of the currently installed budget, if any.
@@ -262,12 +303,12 @@ pub fn exhausted() -> Option<BudgetExhausted> {
 
 /// Candidate evaluations charged since [`install`].
 pub fn spent_evals() -> u64 {
-    meter().evals
+    EVALS.load(Ordering::Relaxed)
 }
 
 /// Newton iterations charged since [`install`].
 pub fn spent_newton_iters() -> u64 {
-    meter().newton_iters
+    NEWTON.load(Ordering::Relaxed)
 }
 
 #[cfg(test)]
@@ -321,6 +362,28 @@ mod tests {
         std::thread::sleep(Duration::from_millis(2));
         assert!(!check_in());
         assert_eq!(exhausted().map(|e| e.resource), Some(Resource::WallClock));
+        clear();
+    }
+
+    #[test]
+    fn concurrent_unit_charges_record_deterministic_crossing() {
+        let _l = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        install(Budget::default().evals(100));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..50 {
+                        let _ = charge_evals(1);
+                    }
+                });
+            }
+        });
+        let e = exhausted().expect("limit crossed");
+        assert_eq!(e.resource, Resource::Evals);
+        assert_eq!(e.limit, 100);
+        // Only the unique crossing charge records, so the recorded spend
+        // is limit + 1 no matter how the workers interleaved.
+        assert_eq!(e.spent, 101);
         clear();
     }
 

@@ -12,11 +12,16 @@
 //! * mirrored routing of differential pairs about a symmetry axis,
 //!
 //! plus the rip-up-and-reroute loop every production maze router needs.
+//!
+//! Per-pass candidate paths are planned speculatively in parallel through
+//! `ams-exec` against a snapshot of the fabric, then committed serially
+//! in net order (stale plans are recomputed), so the routing result is
+//! identical at any thread count.
 
 use ams_guard::budget;
 use ams_guard::fault::{self, FaultKind};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashSet};
 
 /// Signal compatibility class of a net.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -227,8 +232,51 @@ impl Router {
 
         let mut paths: Vec<Option<RoutedNet>> = vec![None; nets.len()];
         let mut budget_stop = false;
+        let mut spec_planned = 0u64;
+        let mut spec_committed = 0u64;
         'passes: for pass in 0..=config.rip_up_passes {
             let mut all_ok = true;
+            // Speculative parallel planning: compute a candidate path for
+            // every still-unrouted, non-mirror net against a snapshot of
+            // the current fabric (`&self` — no commits). Commits happen
+            // serially below in net order, so the result is identical at
+            // any thread count; a plan is discarded (and recomputed
+            // serially) when an earlier commit invalidated it. Disabled
+            // while a fault plan is armed: injected faults fire by global
+            // call index, so the `fault::trip` call sequence must match
+            // the serial loop exactly.
+            let wave: Vec<usize> = if fault::is_armed() {
+                Vec::new()
+            } else {
+                order
+                    .iter()
+                    .copied()
+                    .filter(|&ni| paths[ni].is_none() && mirrored[ni].is_none())
+                    .collect()
+            };
+            let mut plans: Vec<Option<Option<RoutedNet>>> = vec![None; nets.len()];
+            if wave.len() >= 2 {
+                if !budget::check_in() {
+                    budget_stop = true;
+                    break 'passes;
+                }
+                let snapshot = &*self;
+                let results = ams_exec::par_map_indexed(&wave, |_, &ni| {
+                    let mut exp = 0u64;
+                    let p = snapshot.route_one_plan(ni as u16, &nets[ni], nets, config, &mut exp);
+                    (exp, p)
+                });
+                spec_planned += wave.len() as u64;
+                for (&ni, (exp, p)) in wave.iter().zip(results) {
+                    expansions += exp;
+                    plans[ni] = Some(p);
+                }
+            }
+            // Cells committed since the snapshot: a speculative plan is
+            // only trusted while it neither overlaps these nor gains a
+            // same-layer adjacency to an incompatible net among them.
+            let mut wave_cells: HashSet<Cell> = HashSet::new();
+            let mut ripped_this_pass = false;
             for &ni in &order {
                 if paths[ni].is_some() {
                     continue;
@@ -244,13 +292,43 @@ impl Router {
                     if let Some(reference) = &paths[ref_net] {
                         if let Some(m) = self.try_mirror(ni as u16, reference, axis, nets, config) {
                             mirrored_ok += 1;
+                            wave_cells.extend(m.path.iter().copied());
                             paths[ni] = Some(m);
                             continue;
                         }
                     }
                 }
-                match self.route_one(ni as u16, &nets[ni], nets, config, &mut expansions) {
-                    Some(p) => paths[ni] = Some(p),
+                let routed = match plans[ni].take() {
+                    Some(Some(p))
+                        if self.plan_still_valid(&p, nets[ni].class, &wave_cells, nets) =>
+                    {
+                        spec_committed += 1;
+                        for c in &p.path {
+                            let i = self.idx(*c);
+                            self.occupancy[i] = Some(ni as u16);
+                        }
+                        Some(p)
+                    }
+                    // Stale plan: an earlier commit this pass conflicts
+                    // with it — recompute against the live fabric.
+                    Some(Some(_)) => {
+                        self.route_one(ni as u16, &nets[ni], nets, config, &mut expansions)
+                    }
+                    // The plan failed against the snapshot. Commits only
+                    // add occupancy, so the net is still unroutable —
+                    // unless a rip-up freed cells since the snapshot.
+                    Some(None) if !ripped_this_pass => None,
+                    Some(None) => {
+                        self.route_one(ni as u16, &nets[ni], nets, config, &mut expansions)
+                    }
+                    // Not speculated (mirror fallback, tiny wave, faults).
+                    None => self.route_one(ni as u16, &nets[ni], nets, config, &mut expansions),
+                };
+                match routed {
+                    Some(p) => {
+                        wave_cells.extend(p.path.iter().copied());
+                        paths[ni] = Some(p);
+                    }
                     None => {
                         all_ok = false;
                         if pass < config.rip_up_passes {
@@ -264,7 +342,12 @@ impl Router {
                                 .max_by_key(|&(_, len)| len)
                             {
                                 ripups += 1;
-                                self.rip_up(paths[victim].take().expect("occupied victim"));
+                                ripped_this_pass = true;
+                                let gone = paths[victim].take().expect("occupied victim");
+                                for c in &gone.path {
+                                    wave_cells.remove(c);
+                                }
+                                self.rip_up(gone);
                             }
                         }
                     }
@@ -290,6 +373,8 @@ impl Router {
         ams_trace::counter_add("layout.route_expansions", expansions);
         ams_trace::counter_add("layout.route_ripups", ripups);
         ams_trace::counter_add("layout.route_mirrored", mirrored_ok);
+        ams_trace::counter_add("layout.route_spec_planned", spec_planned);
+        ams_trace::counter_add("layout.route_spec_committed", spec_committed);
         ams_trace::counter_add("layout.route_nets_routed", routed.len() as u64);
         ams_trace::counter_add("layout.route_nets_failed", failed.len() as u64);
         let wirelength = routed.iter().map(|r| r.path.len()).sum();
@@ -354,9 +439,30 @@ impl Router {
     }
 
     /// Routes one multi-terminal net by growing a tree terminal by
-    /// terminal. Returns `None` when any terminal is unreachable.
+    /// terminal, committing its cells. Returns `None` when any terminal
+    /// is unreachable.
     fn route_one(
         &mut self,
+        net_id: u16,
+        net: &RouteNet,
+        nets: &[RouteNet],
+        config: &RouterConfig,
+        expansions: &mut u64,
+    ) -> Option<RoutedNet> {
+        let p = self.route_one_plan(net_id, net, nets, config, expansions)?;
+        for c in &p.path {
+            let i = self.idx(*c);
+            self.occupancy[i] = Some(net_id);
+        }
+        Some(p)
+    }
+
+    /// The planning half of [`Router::route_one`]: computes the path tree
+    /// against the current fabric without committing occupancy, so
+    /// speculative plans for several nets can run concurrently against
+    /// one snapshot.
+    fn route_one_plan(
+        &self,
         net_id: u16,
         net: &RouteNet,
         nets: &[RouteNet],
@@ -409,16 +515,50 @@ impl Router {
             tree.push(target);
         }
 
-        // Commit occupancy.
-        for c in &all_cells {
-            let i = self.idx(*c);
-            self.occupancy[i] = Some(net_id);
-        }
         Some(RoutedNet {
             name: net.name.clone(),
             path: all_cells,
             vias,
         })
+    }
+
+    /// Whether a speculative plan survives the commits made since its
+    /// snapshot: none of its cells were taken, and none gained a
+    /// same-layer adjacency to an incompatible-class net (which would
+    /// have changed the plan's cost, and possibly its shape).
+    fn plan_still_valid(
+        &self,
+        p: &RoutedNet,
+        class: NetClass,
+        wave_cells: &HashSet<Cell>,
+        nets: &[RouteNet],
+    ) -> bool {
+        for &c in &p.path {
+            if self.occupancy[self.idx(c)].is_some() {
+                return false;
+            }
+            for (dx, dy) in [(1i32, 0i32), (-1, 0), (0, 1), (0, -1)] {
+                let nx = c.x as i32 + dx;
+                let ny = c.y as i32 + dy;
+                if nx < 0 || ny < 0 || nx >= self.width as i32 || ny >= self.height as i32 {
+                    continue;
+                }
+                let nc = Cell {
+                    layer: c.layer,
+                    x: nx as u16,
+                    y: ny as u16,
+                };
+                if !wave_cells.contains(&nc) {
+                    continue;
+                }
+                if let Some(owner) = self.occupancy[self.idx(nc)] {
+                    if nets[owner as usize].class.incompatible(class) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -732,6 +872,42 @@ mod tests {
                 y: c.y,
             };
             assert!(b.contains(&mirrored), "missing mirror of {c:?}");
+        }
+    }
+
+    #[test]
+    fn routing_is_thread_count_independent() {
+        // Congested scenario with incompatible classes and a symmetric
+        // pair: plans go stale and rip-ups fire, exercising every commit
+        // path. The result must not depend on the worker count.
+        let run = |threads: usize| {
+            ams_exec::set_threads(Some(threads));
+            let mut r = Router::new(24, 10);
+            r.mark_device(10, 3, 13, 6);
+            let nets = vec![
+                net("clk", NetClass::Noisy, &[(0, 5), (23, 5)]),
+                net("in", NetClass::Sensitive, &[(0, 4), (23, 4)]),
+                net("a", NetClass::Neutral, &[(2, 1), (20, 8)]),
+                net("b", NetClass::Neutral, &[(2, 8), (20, 1)]),
+                net("inp", NetClass::Sensitive, &[(8, 0), (8, 9)]),
+                net("inn", NetClass::Sensitive, &[(16, 0), (16, 9)]),
+            ];
+            let res = r.route(&nets, &[(4, 5, 12)], &RouterConfig::default());
+            ams_exec::set_threads(None);
+            (
+                res.routed
+                    .iter()
+                    .map(|n| (n.name.clone(), n.path.clone(), n.vias))
+                    .collect::<Vec<_>>(),
+                res.failed.clone(),
+                res.wirelength,
+                res.vias,
+                res.crosstalk_adjacencies,
+            )
+        };
+        let serial = run(1);
+        for threads in [2, 8] {
+            assert_eq!(run(threads), serial, "threads = {threads}");
         }
     }
 

@@ -129,18 +129,27 @@ pub struct AnnealResult {
     pub accepted: usize,
 }
 
+/// Number of random samples in the multi-start initialization (the first
+/// sample plus [`MULTI_START_EXTRA`] more, evaluated as one batch).
+const MULTI_START_EXTRA: usize = 20;
+
 /// Minimizes `cost` over the box defined by `params` with simulated
 /// annealing (Metropolis acceptance, geometric cooling, shrinking moves).
 ///
 /// The cost function receives the full parameter vector in the order of
 /// `params`. Lower cost is better; `f64::INFINITY` marks invalid points.
+/// It must be `Sync`: the multi-start initialization evaluates its random
+/// samples as one parallel `ams-exec` batch (the Metropolis chain itself
+/// is inherently sequential and stays serial). Results are identical at
+/// any thread count — samples are drawn serially and reduced in index
+/// order.
 ///
 /// # Panics
 ///
 /// Panics if `params` is empty.
-pub fn anneal<F>(params: &[ParamDef], config: &AnnealConfig, mut cost: F) -> AnnealResult
+pub fn anneal<F>(params: &[ParamDef], config: &AnnealConfig, cost: F) -> AnnealResult
 where
-    F: FnMut(&[f64]) -> f64,
+    F: Fn(&[f64]) -> f64 + Sync,
 {
     assert!(!params.is_empty(), "no parameters to optimize");
     let _span = ams_trace::span("sizing.anneal");
@@ -148,35 +157,36 @@ where
 
     // Every candidate evaluation is panic-isolated: a poisoned candidate
     // scores infeasible (infinite cost) instead of killing the run.
-    let mut eval = |v: &[f64]| ams_guard::guarded_eval(|| cost(v));
+    let eval = |v: &[f64]| ams_guard::guarded_eval(|| cost(v));
 
-    // Multi-start initialization: best of a handful of random samples.
-    // The first evaluation always runs (the search needs a defined cost);
-    // after it, every evaluation is metered against the global budget and
-    // the loops stop cooperatively once it is exhausted.
-    let mut evaluations = 0;
-    let mut x: Vec<f64> = params.iter().map(|p| p.sample(&mut rng)).collect();
-    let _ = ams_guard::budget::charge_evals(1);
-    let mut c = eval(&x);
-    evaluations += 1;
+    // Multi-start initialization: best of a handful of random samples,
+    // drawn serially and evaluated as one parallel batch. Each sample is
+    // metered; the batch runs to completion even if the budget is crossed
+    // inside it (bounded overrun), and exhaustion is then observed at the
+    // batch boundary so the stages below stop deterministically.
+    let starts: Vec<Vec<f64>> = (0..1 + MULTI_START_EXTRA)
+        .map(|_| params.iter().map(|p| p.sample(&mut rng)).collect())
+        .collect();
+    let start_costs = ams_exec::par_map_indexed(&starts, |_, v| {
+        let _ = ams_guard::budget::charge_evals(1);
+        eval(v)
+    });
+    let mut evaluations = starts.len();
+    // Reduce in index order: running best plus the cost spread against the
+    // running best, exactly as the serial loop computed it.
+    let mut x = starts[0].clone();
+    let mut c = start_costs[0];
     let mut spread = 0.0f64;
-    let mut budget_ok = true;
-    for _ in 0..20 {
-        if !ams_guard::budget::charge_evals(1) {
-            budget_ok = false;
-            break;
-        }
-        let cand: Vec<f64> = params.iter().map(|p| p.sample(&mut rng)).collect();
-        let cc = eval(&cand);
-        evaluations += 1;
+    for (cand, &cc) in starts.iter().zip(&start_costs).skip(1) {
         if cc.is_finite() && c.is_finite() {
             spread = spread.max((cc - c).abs());
         }
         if cc < c {
-            x = cand;
+            x = cand.clone();
             c = cc;
         }
     }
+    let budget_ok = ams_guard::budget::check_in();
 
     let mut best_x = x.clone();
     let mut best_c = c;
@@ -233,6 +243,59 @@ where
     AnnealResult {
         x: best_x,
         cost: best_c,
+        evaluations,
+        accepted,
+    }
+}
+
+/// Runs `restarts` independent annealing chains with seeds derived from
+/// `config.seed` and returns the best result.
+///
+/// The chains are embarrassingly parallel and run across the `ams-exec`
+/// pool; each is internally the plain serial [`anneal`]. The reduction is
+/// deterministic: ties on cost are broken by the lowest restart index, so
+/// the winner never depends on completion order. `evaluations` and
+/// `accepted` are summed over all chains.
+///
+/// # Panics
+///
+/// Panics if `params` is empty or `restarts` is 0.
+pub fn anneal_restarts<F>(
+    params: &[ParamDef],
+    config: &AnnealConfig,
+    restarts: usize,
+    cost: F,
+) -> AnnealResult
+where
+    F: Fn(&[f64]) -> f64 + Sync,
+{
+    assert!(restarts > 0, "need at least one restart");
+    let _span = ams_trace::span("sizing.anneal_restarts");
+    let seeds: Vec<u64> = (0..restarts as u64)
+        .map(|i| {
+            config
+                .seed
+                .wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        })
+        .collect();
+    let runs = ams_exec::par_map_indexed(&seeds, |_, &seed| {
+        let chain = AnnealConfig {
+            seed,
+            ..config.clone()
+        };
+        anneal(params, &chain, &cost)
+    });
+    let (mut best_idx, mut evaluations, mut accepted) = (0usize, 0usize, 0usize);
+    for (i, r) in runs.iter().enumerate() {
+        evaluations += r.evaluations;
+        accepted += r.accepted;
+        if r.cost < runs[best_idx].cost {
+            best_idx = i;
+        }
+    }
+    AnnealResult {
+        x: runs[best_idx].x.clone(),
+        cost: runs[best_idx].cost,
         evaluations,
         accepted,
     }

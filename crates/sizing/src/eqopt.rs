@@ -13,7 +13,10 @@ use ams_topology::Spec;
 use std::collections::HashMap;
 
 /// An analytic performance model: design equations evaluated in closed form.
-pub trait PerfModel {
+///
+/// `Sync` is a supertrait: models are shared by reference across the
+/// `ams-exec` workers that evaluate candidate batches in parallel.
+pub trait PerfModel: Sync {
     /// Human-readable model name.
     fn name(&self) -> &str;
     /// The design parameters (independent variables).

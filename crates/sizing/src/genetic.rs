@@ -8,9 +8,18 @@
 //! parameter vector; crossover mixes parameters within a topology species
 //! and mutation occasionally jumps species.
 
+//!
+//! Population evaluation is parallel and memoized: children are bred
+//! serially (so the random stream is identical at any thread count), then
+//! each generation's costs are computed as one `ams-exec` batch through a
+//! per-run [`EvalCache`] keyed by (topology, quantized genes). Elitism
+//! updates and reductions run in index order, keeping the whole GA
+//! bit-reproducible regardless of worker count.
+
 use crate::anneal::ParamDef;
 use crate::cost::CostCompiler;
 use crate::eqopt::{PerfModel, SizingResult};
+use ams_exec::{CacheKey, EvalCache};
 use ams_prng::{Rng, SeedableRng, SmallRng};
 use ams_topology::Spec;
 
@@ -77,31 +86,45 @@ pub fn evolve(models: &[&dyn PerfModel], spec: &Spec, config: &GaConfig) -> GaRe
     let compiler = CostCompiler::new(spec.clone());
     let param_defs: Vec<Vec<ParamDef>> = models.iter().map(|m| m.params()).collect();
 
+    // Per-run memoizing cache; batches fan out across the exec pool.
     // Panic-isolated evaluation: a poisoned chromosome scores infeasible
-    // (infinite cost) instead of aborting the run.
-    let eval = |topology: usize, genes: &[f64]| -> f64 {
-        ams_guard::guarded_eval(|| compiler.cost(&models[topology].evaluate(genes)))
+    // (infinite cost) instead of aborting the run. Budget metering charges
+    // only computed (cache-miss) evaluations, from whichever worker runs
+    // them — the guard meter is shared atomics.
+    let cache = EvalCache::new();
+    let eval_batch = |cands: &[Chromosome]| -> Vec<f64> {
+        cache.eval_batch_keyed(
+            cands,
+            |c| CacheKey::new(c.topology as u64, &c.genes),
+            |_, c| {
+                let _ = ams_guard::budget::charge_evals(1);
+                ams_guard::guarded_eval(|| compiler.cost(&models[c.topology].evaluate(&c.genes)))
+            },
+        )
     };
 
-    // Seed the population uniformly across species. Initialization always
-    // completes (the GA needs a full population to be well-defined); the
-    // evaluations are still metered so exhaustion stops the generation loop.
+    // Seed the population uniformly across species, breeding serially and
+    // evaluating as one parallel batch. Initialization always completes
+    // (the GA needs a full population to be well-defined); the evaluations
+    // are still metered so exhaustion stops the generation loop.
     let mut pop: Vec<Chromosome> = (0..config.population)
         .map(|i| {
-            let _ = ams_guard::budget::charge_evals(1);
             let topology = i % models.len();
             let genes: Vec<f64> = param_defs[topology]
                 .iter()
                 .map(|p| p.sample(&mut rng))
                 .collect();
-            let cost = eval(topology, &genes);
             Chromosome {
                 topology,
                 genes,
-                cost,
+                cost: f64::INFINITY,
             }
         })
         .collect();
+    let costs = eval_batch(&pop);
+    for (c, cost) in pop.iter_mut().zip(costs) {
+        c.cost = cost;
+    }
 
     // Per-species elitism: track the best chromosome of every topology
     // species and re-seed it each generation. Without this, tournament
@@ -124,14 +147,22 @@ pub fn evolve(models: &[&dyn PerfModel], spec: &Spec, config: &GaConfig) -> GaRe
         if !ams_guard::budget::check_in() {
             break;
         }
+        // Breed all children serially (one shared random stream), then
+        // evaluate the generation as a single parallel batch and fold the
+        // costs back in index order — identical results at any thread
+        // count, since selection only reads the previous generation.
         let mut next: Vec<Chromosome> = species_best.iter().flatten().cloned().collect();
-        while next.len() < pop.len() {
-            let _ = ams_guard::budget::charge_evals(1);
+        let mut children: Vec<Chromosome> = Vec::new();
+        while next.len() + children.len() < pop.len() {
             let a = tournament(&pop, config.tournament, &mut rng);
             let b = tournament(&pop, config.tournament, &mut rng);
             let mut child = crossover(a, b, &mut rng);
             mutate(&mut child, models.len(), &param_defs, config, &mut rng);
-            child.cost = eval(child.topology, &child.genes);
+            children.push(child);
+        }
+        let costs = eval_batch(&children);
+        for (mut child, cost) in children.into_iter().zip(costs) {
+            child.cost = cost;
             let slot = &mut species_best[child.topology];
             if slot.as_ref().is_none_or(|s| child.cost < s.cost) {
                 *slot = Some(child.clone());
@@ -148,19 +179,34 @@ pub fn evolve(models: &[&dyn PerfModel], spec: &Spec, config: &GaConfig) -> GaRe
     // optimum; refining every champion makes the final topology choice a
     // comparison of local optima, not of how many offspring each species
     // happened to receive.
+    // Polish runs in rounds — one trial per surviving champion per round,
+    // bred serially and evaluated as one parallel batch — so the budget
+    // cutoff lands on a round boundary and the hill climb is reproducible
+    // at any thread count.
     let polish_iters = config.population;
     let mut polish_improvements = 0u64;
-    'polish: for (t, slot) in species_best.iter_mut().enumerate() {
-        let Some(champ) = slot else { continue };
-        for _ in 0..polish_iters {
-            if !ams_guard::budget::charge_evals(1) {
-                break 'polish;
-            }
-            let mut trial = champ.clone();
-            perturb_genes(&mut trial.genes, &param_defs[t], 0.5, &mut rng);
-            trial.cost = eval(t, &trial.genes);
-            if trial.cost < champ.cost {
-                *champ = trial;
+    for _round in 0..polish_iters {
+        if !ams_guard::budget::check_in() {
+            break;
+        }
+        let trials: Vec<Chromosome> = species_best
+            .iter()
+            .flatten()
+            .map(|champ| {
+                let mut trial = champ.clone();
+                perturb_genes(&mut trial.genes, &param_defs[trial.topology], 0.5, &mut rng);
+                trial
+            })
+            .collect();
+        if trials.is_empty() {
+            break;
+        }
+        let costs = eval_batch(&trials);
+        for (mut trial, cost) in trials.into_iter().zip(costs) {
+            trial.cost = cost;
+            let slot = &mut species_best[trial.topology];
+            if slot.as_ref().is_some_and(|champ| trial.cost < champ.cost) {
+                *slot = Some(trial);
                 polish_improvements += 1;
             }
         }

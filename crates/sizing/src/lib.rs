@@ -42,7 +42,7 @@ pub mod plan;
 pub mod redesign;
 pub mod simopt;
 
-pub use anneal::{anneal, AnnealConfig, AnnealResult, ParamDef};
+pub use anneal::{anneal, anneal_restarts, AnnealConfig, AnnealResult, ParamDef};
 pub use corners::{optimize_worst_case, worst_case, CornerAware, CornerResult};
 pub use cost::{CostCompiler, MetricReport, Perf};
 pub use donald::{ComputationalPlan, DeclarativeModel, DonaldError, Equation};
@@ -51,4 +51,6 @@ pub use genetic::{evolve, GaConfig, GaResult};
 pub use oblx::{synthesize_dc_free, CommonSourceDcFree, DcFreeResult, DcFreeTemplate};
 pub use plan::{DesignPlan, HierarchicalPlan, PlanError, PlanResult, TwoStagePlan};
 pub use redesign::{redesign, DesignDatabase, StoredDesign};
-pub use simopt::{synthesize, AcEvaluator, SimulatedTemplate, TwoStageCircuit};
+pub use simopt::{
+    synthesize, synthesize_restarts, AcEvaluator, SimulatedTemplate, TwoStageCircuit,
+};

@@ -19,7 +19,7 @@ use ams_topology::Spec;
 
 /// A circuit template for dc-free synthesis: besides sizes, it names the
 /// internal nodes whose bias voltages the optimizer owns.
-pub trait DcFreeTemplate {
+pub trait DcFreeTemplate: Sync {
     /// Template name.
     fn name(&self) -> &str;
     /// Size/value parameters.

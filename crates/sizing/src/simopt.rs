@@ -9,7 +9,7 @@
 //! strategies inside the same loop, so experiment E2/E7 can quantify the
 //! trade-off directly.
 
-use crate::anneal::{anneal, AnnealConfig, ParamDef};
+use crate::anneal::{anneal_restarts, AnnealConfig, ParamDef};
 use crate::cost::{CostCompiler, Perf};
 use crate::eqopt::SizingResult;
 use ams_awe::AweModel;
@@ -37,7 +37,10 @@ pub enum AcEvaluator {
 }
 
 /// A parameterized circuit whose performance is measured by simulation.
-pub trait SimulatedTemplate {
+///
+/// `Sync` is a supertrait: templates are shared by reference across the
+/// `ams-exec` workers evaluating candidates in parallel.
+pub trait SimulatedTemplate: Sync {
     /// Template name.
     fn name(&self) -> &str;
     /// Optimization parameters.
@@ -62,9 +65,29 @@ pub fn synthesize<T: SimulatedTemplate>(
     ac: AcEvaluator,
     config: &AnnealConfig,
 ) -> SizingResult {
+    synthesize_restarts(template, spec, ac, config, 1)
+}
+
+/// Multi-start variant of [`synthesize`]: runs `restarts` independent
+/// annealing chains (restart `i` anneals with a seed derived from
+/// `config.seed` and `i`; restart 0 uses `config.seed` unchanged, so one
+/// restart reproduces [`synthesize`] exactly) and keeps the best result.
+/// Chains are evaluated in parallel through `ams-exec`; the winner is
+/// chosen in restart order, so the outcome is thread-count independent.
+///
+/// # Panics
+///
+/// Panics if `restarts` is zero.
+pub fn synthesize_restarts<T: SimulatedTemplate>(
+    template: &T,
+    spec: &Spec,
+    ac: AcEvaluator,
+    config: &AnnealConfig,
+    restarts: usize,
+) -> SizingResult {
     let params = template.params();
     let compiler = CostCompiler::new(spec.clone());
-    let result = anneal(&params, config, |x| {
+    let result = anneal_restarts(&params, config, restarts, |x| {
         let ckt = template.build(x);
         match template.measure(&ckt, ac) {
             Ok(perf) => compiler.cost(&perf),

@@ -10,8 +10,17 @@ cargo fmt --all --check
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-echo "== cargo test (workspace) =="
+echo "== cargo test (workspace, default worker count) =="
 cargo test --workspace --offline -q
+
+echo "== cargo test (workspace, AMS_EXEC_THREADS=1) =="
+AMS_EXEC_THREADS=1 cargo test --workspace --offline -q
+
+echo "== analytic golden references =="
+cargo test --offline -q --test golden_analytic
+
+echo "== exec determinism across worker counts =="
+cargo test --offline -q --test exec_determinism
 
 echo "== trace schema golden test + disabled-path overhead smoke =="
 cargo test --offline -q --test trace_schema

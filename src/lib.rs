@@ -36,6 +36,10 @@
 //! * [`guard`] — robustness layer: deterministic fault injection,
 //!   evaluation budgets/deadlines, panic isolation, and retry policies
 //!   backing the flow's graceful-degradation ladder.
+//! * [`exec`] — deterministic parallel evaluation: a scoped
+//!   work-stealing pool (`par_map_indexed`) and a memoizing eval cache
+//!   keyed by quantized parameter vectors. Same seed ⇒ same result at
+//!   any thread count.
 //!
 //! And the **flow** tying it together:
 //!
@@ -62,6 +66,7 @@
 
 pub use ams_awe as awe;
 pub use ams_core as core;
+pub use ams_exec as exec;
 pub use ams_guard as guard;
 pub use ams_layout as layout;
 pub use ams_lint as lint;

@@ -1,0 +1,159 @@
+//! Golden-reference tests: the numerical engines checked against
+//! closed-form analytic solutions of textbook circuits.
+//!
+//! Each test states its tolerance and why it is what it is:
+//!
+//! * DC solves and single-frequency AC solves are direct LU solves of tiny
+//!   systems — they must match the closed form to near machine precision
+//!   (`1e-9` relative, far looser than the ~1e-15 observed).
+//! * Transient integration is trapezoidal with a backward-Euler start-up
+//!   step; with `dt = τ/100` the global error on an RC charging curve is
+//!   O((dt/τ)²) ≈ 1e-4, so the gate is `2e-3` absolute — tight enough to
+//!   catch an integrator regression (a pure-BE fallback shows up as ~5e-3
+//!   of artificial damping), loose enough to never flake.
+
+use ams::prelude::*;
+use ams::sim::{ac_sweep, linearize, output_index};
+
+/// |measured − expected| ≤ tol·max(|expected|, 1): absolute near zero,
+/// relative elsewhere.
+fn assert_close(measured: f64, expected: f64, tol: f64, what: &str) {
+    let scale = expected.abs().max(1.0);
+    assert!(
+        (measured - expected).abs() <= tol * scale,
+        "{what}: measured {measured:.9e}, analytic {expected:.9e}, tol {tol:.1e}"
+    );
+}
+
+/// Resistive divider: V·R2/(R1+R2) is the oldest closed form there is.
+/// One linear DC solve — tolerance 1e-9 relative (LU on a 3×3 system).
+#[test]
+fn dc_resistive_divider_matches_closed_form() {
+    let ckt = parse_deck(
+        "
+        V1 in 0 DC 5
+        R1 in out 3k
+        R2 out 0 2k
+        ",
+    )
+    .expect("divider deck parses");
+    let op = dc_operating_point(&ckt).expect("divider DC solves");
+    let expected = 5.0 * 2e3 / (3e3 + 2e3);
+    assert_close(
+        op.voltage(&ckt, "out").unwrap(),
+        expected,
+        1e-9,
+        "divider output",
+    );
+}
+
+/// RC step response: `v(t) = V·(1 − e^{−t/RC})`.
+///
+/// R = 1 kΩ, C = 1 µF ⇒ τ = 1 ms. The drive is a PULSE with 1 ns edges —
+/// 10⁻⁶ of τ, so treating it as an ideal step costs ~1e-6 of amplitude,
+/// well inside the 2e-3 integration-error gate (see module docs).
+#[test]
+fn rc_step_response_matches_exponential() {
+    let r = 1e3;
+    let c = 1e-6;
+    let tau = r * c;
+    let ckt = parse_deck(
+        "
+        V1 in 0 PULSE(0 1 0 1n 1n 1 2)
+        R1 in out 1k
+        C1 out 0 1u
+        ",
+    )
+    .expect("RC deck parses");
+    let dt = tau / 100.0;
+    let result = ams::sim::transient(&ckt, 5.0 * tau, dt).expect("RC transient runs");
+    let wave = result.voltage(&ckt, "out").expect("out exists");
+    let mut worst = 0.0f64;
+    for (&t, &v) in result.times.iter().zip(&wave) {
+        let expected = 1.0 - (-t / tau).exp();
+        worst = worst.max((v - expected).abs());
+    }
+    assert!(
+        worst <= 2e-3,
+        "RC step worst-case error {worst:.3e} exceeds 2e-3 gate"
+    );
+    // And the five-time-constant endpoint is within the same gate of
+    // 1 − e⁻⁵ = 0.99326.
+    assert_close(
+        *wave.last().unwrap(),
+        1.0 - (-5.0f64).exp(),
+        2e-3,
+        "RC endpoint",
+    );
+}
+
+/// Single-pole low-pass at its corner: |H(j·2πf_c)| = 1/√2 (−3.0103 dB)
+/// and ∠H = −45° exactly when f_c = 1/(2πRC).
+///
+/// The AC value is one complex LU solve, so the gate is 1e-9 relative on
+/// magnitude and 1e-9 degrees on phase.
+#[test]
+fn single_pole_corner_is_minus_3db_minus_45deg() {
+    let r = 10e3;
+    let c = 1e-9;
+    let fc = 1.0 / (2.0 * std::f64::consts::PI * r * c);
+    let ckt = parse_deck(
+        "
+        V1 in 0 DC 0 AC 1
+        R1 in out 10k
+        C1 out 0 1n
+        ",
+    )
+    .expect("low-pass deck parses");
+    let op = dc_operating_point(&ckt).expect("low-pass DC solves");
+    let net = linearize(&ckt, &op);
+    let out = output_index(&ckt, &net.layout, "out").expect("out is an unknown");
+    let sweep = ac_sweep(&net, out, &[fc]).expect("AC solve at corner");
+    assert_close(
+        sweep.values[0].abs(),
+        std::f64::consts::FRAC_1_SQRT_2,
+        1e-9,
+        "corner magnitude",
+    );
+    assert_close(sweep.magnitude_db()[0], -3.010_299_957, 1e-6, "corner dB");
+    assert_close(sweep.phase_deg()[0], -45.0, 1e-9, "corner phase");
+}
+
+/// Series RLC, output across the capacitor. At ω₀ = 1/√(LC) the inductive
+/// and capacitive reactances cancel, leaving
+/// `H_C(jω₀) = −j·Q` with `Q = (1/R)·√(L/C)` — magnitude exactly Q,
+/// phase exactly −90°.
+///
+/// R = 10 Ω, L = 1 mH, C = 1 µF ⇒ f₀ ≈ 5.033 kHz, Q = √10 ≈ 3.1623.
+/// One complex LU solve again: 1e-9 gates.
+#[test]
+fn rlc_resonance_peak_matches_quality_factor() {
+    let r: f64 = 10.0;
+    let l: f64 = 1e-3;
+    let c: f64 = 1e-6;
+    let f0 = 1.0 / (2.0 * std::f64::consts::PI * (l * c).sqrt());
+    let q = (1.0 / r) * (l / c).sqrt();
+    let ckt = parse_deck(
+        "
+        V1 in 0 DC 0 AC 1
+        R1 in n1 10
+        L1 n1 out 1m
+        C1 out 0 1u
+        ",
+    )
+    .expect("RLC deck parses");
+    let op = dc_operating_point(&ckt).expect("RLC DC solves");
+    let net = linearize(&ckt, &op);
+    let out = output_index(&ckt, &net.layout, "out").expect("out is an unknown");
+    let sweep = ac_sweep(&net, out, &[f0]).expect("AC solve at resonance");
+    assert_close(sweep.values[0].abs(), q, 1e-9, "resonance peak magnitude");
+    assert_close(sweep.phase_deg()[0], -90.0, 1e-9, "resonance phase");
+    // Sanity: off resonance by a decade the capacitor output is back near
+    // the 0 dB passband (low side) — the peak really is a peak.
+    let below = ac_sweep(&net, out, &[f0 / 10.0]).expect("AC solve below resonance");
+    assert!(
+        below.values[0].abs() < q / 2.0,
+        "response a decade below resonance ({:.3}) should sit well under the {q:.3} peak",
+        below.values[0].abs()
+    );
+}

@@ -1,0 +1,118 @@
+//! Deterministic parser fuzzing: seeded random mutations of the topology
+//! library's exemplar decks are fed to `parse_deck_full`, which must
+//! return either a structured error or a valid netlist — never panic.
+//!
+//! This is a fixed corpus, not a coverage-guided fuzzer: the PRNG seed is
+//! pinned, so every CI run explores exactly the same ~2,000 mutants and a
+//! failure reproduces from its printed case number alone.
+
+use ams::prelude::*;
+use ams_prng::{Rng, SeedableRng, SmallRng};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Every exemplar deck shipped with the standard topology library.
+fn corpus() -> Vec<(String, String)> {
+    let lib = TopologyLibrary::standard();
+    let mut decks = Vec::new();
+    for class in [
+        BlockClass::Opamp,
+        BlockClass::Comparator,
+        BlockClass::Adc,
+        BlockClass::Filter,
+        BlockClass::PulseFrontend,
+    ] {
+        for t in lib.of_class(class) {
+            if let Some(deck) = &t.exemplar_deck {
+                decks.push((t.name.clone(), deck.clone()));
+            }
+        }
+    }
+    assert!(
+        decks.len() >= 3,
+        "topology library should ship several exemplar decks"
+    );
+    decks
+}
+
+/// One random mutation, on `char` boundaries so the result stays valid
+/// UTF-8 (the parser takes `&str`; byte-level fuzzing belongs to the
+/// layer that produces strings, not here).
+fn mutate(deck: &mut Vec<char>, rng: &mut SmallRng) {
+    const GARBAGE: &[char] = &[
+        '0', '9', 'x', 'R', 'M', '.', '+', '-', '(', ')', '=', '*', ';', ' ', '\n', '\t', 'µ', '∞',
+        '\u{0}',
+    ];
+    if deck.is_empty() {
+        deck.push(GARBAGE[rng.gen_range(0usize..GARBAGE.len())]);
+        return;
+    }
+    match rng.gen_range(0u32..6) {
+        // Replace one character with garbage.
+        0 => {
+            let i = rng.gen_range(0usize..deck.len());
+            deck[i] = GARBAGE[rng.gen_range(0usize..GARBAGE.len())];
+        }
+        // Delete one character.
+        1 => {
+            let i = rng.gen_range(0usize..deck.len());
+            deck.remove(i);
+        }
+        // Insert garbage.
+        2 => {
+            let i = rng.gen_range(0usize..=deck.len());
+            deck.insert(i, GARBAGE[rng.gen_range(0usize..GARBAGE.len())]);
+        }
+        // Truncate mid-card.
+        3 => {
+            let i = rng.gen_range(0usize..deck.len());
+            deck.truncate(i);
+        }
+        // Duplicate a random slice (repeated device names, split tokens).
+        4 => {
+            let a = rng.gen_range(0usize..deck.len());
+            let b = (a + rng.gen_range(1usize..20)).min(deck.len());
+            let slice: Vec<char> = deck[a..b].to_vec();
+            let at = rng.gen_range(0usize..=deck.len());
+            for (k, c) in slice.into_iter().enumerate() {
+                deck.insert(at + k, c);
+            }
+        }
+        // Swap two characters (scrambles node/value order).
+        _ => {
+            let i = rng.gen_range(0usize..deck.len());
+            let j = rng.gen_range(0usize..deck.len());
+            deck.swap(i, j);
+        }
+    }
+}
+
+#[test]
+fn mutated_exemplar_decks_never_panic_the_parser() {
+    let corpus = corpus();
+    let mut rng = SmallRng::seed_from_u64(0xf422_0001);
+    for (name, deck) in &corpus {
+        for case in 0..400 {
+            let mut chars: Vec<char> = deck.chars().collect();
+            for _ in 0..rng.gen_range(1u32..6) {
+                mutate(&mut chars, &mut rng);
+            }
+            let mutant: String = chars.into_iter().collect();
+            let outcome = catch_unwind(AssertUnwindSafe(|| parse_deck_full(&mutant)));
+            match outcome {
+                Ok(Ok(parsed)) => {
+                    // A mutant that still parses must be a usable netlist:
+                    // device iteration and node lookup stay coherent.
+                    let n = parsed.circuit.devices().count();
+                    assert!(n <= mutant.lines().count().max(1));
+                }
+                Ok(Err(e)) => {
+                    // Structured error: it renders without panicking and
+                    // names a location or cause.
+                    let msg = e.to_string();
+                    assert!(!msg.is_empty(), "{name} case {case}: empty parse error");
+                }
+                Err(_) => panic!("{name} case {case}: parser panicked on mutant:\n{mutant}"),
+            }
+        }
+    }
+}

@@ -256,3 +256,106 @@ fn lint_clean_ladders_simulate() {
         dc_operating_point(&ckt).unwrap_or_else(|e| panic!("case {case}: {e}"));
     }
 }
+
+/// Random connected resistor network: a ground-anchored chain through
+/// `n_nodes` internal nodes (node 0 is ground) plus random chords.
+/// Returned as an edge list so the same network can be rebuilt under
+/// different source sets. Values are scaled (≤1 kΩ, ≤1 mA) so node
+/// voltages stay within what the DC solver's damped Newton (0.5 V max
+/// step per iteration) can reach well inside its iteration limit.
+fn random_r_network(rng: &mut SmallRng) -> (usize, Vec<(usize, usize, f64)>) {
+    let n_nodes = rng.gen_range(3usize..7);
+    let mut edges = Vec::new();
+    for u in 0..n_nodes {
+        edges.push((u, u + 1, rng.gen_range(10.0..1e3)));
+    }
+    for _ in 0..rng.gen_range(0usize..5) {
+        let a = rng.gen_range(0usize..=n_nodes);
+        let b = rng.gen_range(1usize..=n_nodes);
+        if a != b {
+            edges.push((a, b, rng.gen_range(10.0..1e3)));
+        }
+    }
+    (n_nodes, edges)
+}
+
+/// Builds the network with DC current sources injecting `amps` into the
+/// listed nodes (from ground), and solves it.
+fn solve_r_network(
+    edges: &[(usize, usize, f64)],
+    injections: &[(usize, f64)],
+) -> (Circuit, ams_sim::OpPoint) {
+    let mut ckt = Circuit::new();
+    fn nid(ckt: &mut Circuit, u: usize) -> ams_netlist::NodeId {
+        if u == 0 {
+            Circuit::GROUND
+        } else {
+            ckt.node(&format!("n{u}"))
+        }
+    }
+    for (i, &(a, b, ohms)) in edges.iter().enumerate() {
+        let na = nid(&mut ckt, a);
+        let nb = nid(&mut ckt, b);
+        ckt.add(&format!("R{i}"), Device::resistor(na, nb, ohms));
+    }
+    for (i, &(at, amps)) in injections.iter().enumerate() {
+        let n = nid(&mut ckt, at);
+        ckt.add(&format!("I{i}"), Device::idc(Circuit::GROUND, n, amps));
+    }
+    let op = ams_sim::dc_operating_point(&ckt).expect("linear R network solves");
+    (ckt, op)
+}
+
+/// Superposition: in a linear network the response to two sources acting
+/// together is the sum of the responses to each acting alone. Solved by
+/// LU each time, so the gate is 1e-9 relative.
+#[test]
+fn superposition_holds_on_random_r_networks() {
+    let mut rng = rng_for(11);
+    for case in 0..CASES {
+        let (n_nodes, edges) = random_r_network(&mut rng);
+        let a = rng.gen_range(1usize..=n_nodes);
+        let b = rng.gen_range(1usize..=n_nodes);
+        let ia = rng.gen_range(-1e-3..1e-3);
+        let ib = rng.gen_range(-1e-3..1e-3);
+        let (ckt_both, op_both) = solve_r_network(&edges, &[(a, ia), (b, ib)]);
+        let (ckt_a, op_a) = solve_r_network(&edges, &[(a, ia)]);
+        let (ckt_b, op_b) = solve_r_network(&edges, &[(b, ib)]);
+        for u in 1..=n_nodes {
+            let name = format!("n{u}");
+            let both = op_both.voltage(&ckt_both, &name).unwrap();
+            let sum = op_a.voltage(&ckt_a, &name).unwrap() + op_b.voltage(&ckt_b, &name).unwrap();
+            let tol = 1e-9 * both.abs().max(1.0);
+            assert!(
+                (both - sum).abs() <= tol,
+                "case {case} node {name}: both {both:.12e} vs sum {sum:.12e}"
+            );
+        }
+    }
+}
+
+/// Port reciprocity: a network of resistors is reciprocal, so the
+/// transfer resistance is symmetric — inject a test current at port `a`
+/// and read the voltage at `b`, and it equals the voltage at `a` when
+/// the same current is injected at `b`. Same LU-level 1e-9 gate.
+#[test]
+fn port_reciprocity_holds_on_random_r_networks() {
+    let mut rng = rng_for(12);
+    for case in 0..CASES {
+        let (n_nodes, edges) = random_r_network(&mut rng);
+        let a = rng.gen_range(1usize..=n_nodes);
+        let mut b = rng.gen_range(1usize..=n_nodes);
+        if b == a {
+            b = if a == n_nodes { 1 } else { a + 1 };
+        }
+        let (ckt_fwd, op_fwd) = solve_r_network(&edges, &[(a, 1e-3)]);
+        let (ckt_rev, op_rev) = solve_r_network(&edges, &[(b, 1e-3)]);
+        let v_fwd = op_fwd.voltage(&ckt_fwd, &format!("n{b}")).unwrap();
+        let v_rev = op_rev.voltage(&ckt_rev, &format!("n{a}")).unwrap();
+        let tol = 1e-9 * v_fwd.abs().max(1.0);
+        assert!(
+            (v_fwd - v_rev).abs() <= tol,
+            "case {case} ports ({a},{b}): {v_fwd:.12e} vs {v_rev:.12e}"
+        );
+    }
+}
