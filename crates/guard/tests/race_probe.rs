@@ -1,0 +1,24 @@
+use ams_guard::budget::{self, Budget};
+use std::sync::Barrier;
+
+#[test]
+fn spent_evals_is_deterministic_after_crossing() {
+    let mut seen = std::collections::BTreeSet::new();
+    for _round in 0..2000 {
+        budget::install(Budget::default().evals(100));
+        let barrier = Barrier::new(8);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    barrier.wait();
+                    for _ in 0..50 {
+                        let _ = budget::charge_evals(1);
+                    }
+                });
+            }
+        });
+        seen.insert(budget::spent_evals());
+        budget::clear();
+    }
+    assert_eq!(seen.iter().copied().collect::<Vec<_>>(), vec![101]);
+}
