@@ -18,7 +18,7 @@
 //!
 //! ```
 //! use ams_awe::AweModel;
-//! use ams_sim::{dc_operating_point, linearize, output_index};
+//! use ams_sim::{linearize, output_index, SimSession};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let ckt = ams_netlist::parse_deck("
@@ -26,7 +26,7 @@
 //!     R1 in out 1k
 //!     C1 out 0 1n
 //! ")?;
-//! let op = dc_operating_point(&ckt)?;
+//! let op = SimSession::new(&ckt).op()?;
 //! let net = linearize(&ckt, &op);
 //! let out = output_index(&ckt, &net.layout, "out").expect("node exists");
 //! let model = AweModel::from_net(&net, out, 1)?;

@@ -208,7 +208,7 @@ impl AweModel {
     }
 
     /// Frequency response over a grid, mirroring
-    /// [`ams_sim::ac_sweep`] output for comparison benches.
+    /// [`ams_sim::SimSession::ac`] output for comparison benches.
     pub fn frequency_response(&self, freqs: &[f64]) -> Vec<Complex> {
         freqs.iter().map(|&f| self.response_at(f)).collect()
     }
@@ -265,11 +265,11 @@ impl AweModel {
 mod tests {
     use super::*;
     use ams_netlist::parse_deck;
-    use ams_sim::{ac_sweep, dc_operating_point, linearize, log_frequencies, output_index};
+    use ams_sim::{linearize, log_frequencies, output_index, SimSession};
 
     fn make_net(deck: &str, out: &str) -> (LinearNet, usize) {
         let ckt = parse_deck(deck).unwrap();
-        let op = dc_operating_point(&ckt).unwrap();
+        let op = SimSession::new(&ckt).op().unwrap();
         let net = linearize(&ckt, &op);
         let idx = output_index(&ckt, &net.layout, out).unwrap();
         (net, idx)
@@ -305,9 +305,15 @@ mod tests {
         );
         let model = AweModel::from_net(&net, out, 2).unwrap();
         let freqs = log_frequencies(1e3, 1e9, 61);
-        let exact = ac_sweep(&net, out, &freqs).unwrap();
+        let exact: Vec<_> = freqs
+            .iter()
+            .map(|&f| {
+                let s = Complex::new(0.0, 2.0 * std::f64::consts::PI * f);
+                ams_sim::solve_at(&net, s).unwrap()[out]
+            })
+            .collect();
         let approx = model.frequency_response(&freqs);
-        for (e, a) in exact.values.iter().zip(&approx) {
+        for (e, a) in exact.iter().zip(&approx) {
             let err = (*e - *a).abs() / e.abs().max(1e-12);
             assert!(err < 0.01, "mismatch: exact {e}, awe {a}");
         }

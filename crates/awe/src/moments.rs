@@ -64,7 +64,7 @@ pub fn elmore_delay(scalar_moments: &[f64]) -> Option<f64> {
 mod tests {
     use super::*;
     use ams_netlist::parse_deck;
-    use ams_sim::{dc_operating_point, linearize, output_index};
+    use ams_sim::{linearize, output_index, SimSession};
 
     fn rc_net(r: f64, c: f64) -> (ams_netlist::Circuit, LinearNet, usize) {
         let deck = format!(
@@ -73,7 +73,7 @@ mod tests {
              C1 out 0 {c}"
         );
         let ckt = parse_deck(&deck).unwrap();
-        let op = dc_operating_point(&ckt).unwrap();
+        let op = SimSession::new(&ckt).op().unwrap();
         let net = linearize(&ckt, &op);
         let out = output_index(&ckt, &net.layout, "out").unwrap();
         (ckt, net, out)
@@ -111,7 +111,7 @@ mod tests {
              C2 out 0 1p",
         )
         .unwrap();
-        let op = dc_operating_point(&ckt).unwrap();
+        let op = SimSession::new(&ckt).op().unwrap();
         let net = linearize(&ckt, &op);
         let out = output_index(&ckt, &net.layout, "out").unwrap();
         let m = Moments::compute(&net, 2).unwrap().of_output(out);

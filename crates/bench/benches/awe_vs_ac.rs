@@ -3,7 +3,7 @@
 
 use ams_bench::run_awe_vs_ac;
 use ams_netlist::Technology;
-use ams_sim::{ac_sweep, dc_operating_point, linearize, log_frequencies, output_index};
+use ams_sim::{log_frequencies, SimSession};
 use ams_sizing::{SimulatedTemplate, TwoStageCircuit};
 use criterion::{criterion_group, criterion_main, Criterion};
 
@@ -23,9 +23,9 @@ fn bench(c: &mut Criterion) {
     let template = TwoStageCircuit::new(Technology::generic_1p2um(), 5e-12);
     let x = [60e-6, 30e-6, 150e-6, 50e-6, 150e-6, 2e-12, 2.4e-6];
     let ckt = template.build(&x);
-    let op = dc_operating_point(&ckt).unwrap();
-    let net = linearize(&ckt, &op);
-    let out = output_index(&ckt, &net.layout, "out").unwrap();
+    let ses = SimSession::new(&ckt);
+    let net = ses.linearize().unwrap();
+    let out = ses.output_index("out").unwrap();
     let freqs = log_frequencies(10.0, 1e10, 100);
 
     c.bench_function("awe_model_build_and_eval_100pts", |b| {
@@ -35,7 +35,7 @@ fn bench(c: &mut Criterion) {
         })
     });
     c.bench_function("full_ac_sweep_100pts", |b| {
-        b.iter(|| std::hint::black_box(ac_sweep(&net, out, &freqs).unwrap()))
+        b.iter(|| std::hint::black_box(ses.ac("out", &freqs).unwrap()))
     });
 }
 

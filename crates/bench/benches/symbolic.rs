@@ -2,7 +2,7 @@
 //! trades terms for bounded error.
 
 use ams_bench::run_symbolic;
-use ams_sim::dc_operating_point;
+use ams_sim::SimSession;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
@@ -23,7 +23,7 @@ fn bench(c: &mut Criterion) {
          CL out 0 1p",
     )
     .unwrap();
-    let op = dc_operating_point(&ckt).unwrap();
+    let op = SimSession::new(&ckt).op().unwrap();
     c.bench_function("symbolic_tf_cs_amplifier", |b| {
         b.iter(|| std::hint::black_box(ams_symbolic::transfer_function(&ckt, &op, "out").unwrap()))
     });

@@ -74,6 +74,7 @@ fn write_bench_json(
     feasible: bool,
     power_reduction: f64,
     speedup: &SpeedupSample,
+    grid: &GridScalingSample,
     totals: &BTreeMap<String, u64>,
     phases: &[Phase],
 ) {
@@ -94,6 +95,29 @@ fn write_bench_json(
         speedup.cache_hit_rate
     );
     let _ = writeln!(json, "  \"hw_threads\": {},", speedup.hw_threads);
+    json.push_str("  \"grid_scaling\": [");
+    for (i, r) in grid.rows.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let _ = write!(
+            json,
+            "\n    {{\"n\": {}, \"unknowns\": {}, \"dense_s\": {}, \"sparse_s\": {:.6}, \"fill_in\": {}}}",
+            r.n,
+            r.unknowns,
+            r.dense_s
+                .map_or("null".to_string(), |d| format!("{d:.6}")),
+            r.sparse_s,
+            r.fill_in
+        );
+    }
+    json.push_str("\n  ],\n");
+    let _ = writeln!(json, "  \"grid_common_n\": {},", grid.common_n);
+    let _ = writeln!(
+        json,
+        "  \"grid_speedup_dense_over_sparse\": {:.4},",
+        grid.speedup_common
+    );
     json.push_str("  \"counters\": {");
     for (i, (k, v)) in totals.iter().enumerate() {
         if i > 0 {
@@ -126,6 +150,83 @@ fn write_bench_json(
     if let Err(e) = std::fs::write(&path, json) {
         eprintln!("warning: could not write {}: {e}", path.display());
     }
+}
+
+/// One grid size of the `grid_scaling` phase.
+struct GridScalingRow {
+    /// Grid side length (the mesh is `n × n` nodes).
+    n: usize,
+    /// MNA unknowns of the instantiated circuit.
+    unknowns: usize,
+    /// Dense-LU DC wall time; `None` above the dense size cutoff.
+    dense_s: Option<f64>,
+    /// Sparse-LU DC wall time.
+    sparse_s: f64,
+    /// Sparse fill-in (entries created beyond the stamped pattern).
+    fill_in: u64,
+}
+
+/// Dense-vs-sparse scaling of the power-grid DC solve.
+struct GridScalingSample {
+    rows: Vec<GridScalingRow>,
+    /// `dense_s / sparse_s` at the largest grid both backends solved.
+    speedup_common: f64,
+    /// Side length of that common grid.
+    common_n: usize,
+}
+
+/// The `grid_scaling` phase: DC-solve `n × n` synthetic power grids on the
+/// forced-dense and forced-sparse backends and record the wall-time
+/// crossover. Dense stops at 24×24 (an O(n⁶) dense LU already takes
+/// seconds there); sparse continues to the 64×64 / ≈8k-unknown grid the
+/// RAIL-style analysis targets. Fill-in comes from the `sim.sparse.fill_in`
+/// counter delta of each solve.
+fn measure_grid_scaling(phases: &mut Vec<Phase>) -> GridScalingSample {
+    use ams_rail::{GridSpec, PowerGrid};
+    traced("grid_scaling", phases, || {
+        const DENSE_MAX_N: usize = 24;
+        let sizes = [8usize, 12, 16, 24, 32, 48, 64];
+        let solve = |n: usize, backend: ams_sim::Backend| -> (usize, f64, u64) {
+            let ckt = PowerGrid::uniform(GridSpec::synthetic(n), 10e-6).to_circuit();
+            let ses = ams_sim::SimSession::with_backend(&ckt, backend);
+            let before = ams_trace::snapshot().counters;
+            let t0 = Instant::now();
+            let op = ses.op().expect("grid DC solve");
+            let secs = t0.elapsed().as_secs_f64();
+            assert!(op.iterations > 0);
+            let after = ams_trace::snapshot().counters;
+            let fill = ams_trace::counters_delta(&before, &after)
+                .iter()
+                .find(|(k, _)| k == "sim.sparse.fill_in")
+                .map_or(0, |&(_, v)| v);
+            (ses.layout().dim(), secs, fill)
+        };
+        let mut rows = Vec::new();
+        let (mut speedup_common, mut common_n) = (0.0, 0);
+        for n in sizes {
+            let (unknowns, sparse_s, fill_in) = solve(n, ams_sim::Backend::Sparse);
+            let dense_s = (n <= DENSE_MAX_N).then(|| solve(n, ams_sim::Backend::Dense).1);
+            if let Some(d) = dense_s {
+                speedup_common = d / sparse_s.max(1e-12);
+                common_n = n;
+            }
+            rows.push(GridScalingRow {
+                n,
+                unknowns,
+                dense_s,
+                sparse_s,
+                fill_in,
+            });
+        }
+        ams_trace::counter_add("bench.grid.largest_unknowns", {
+            rows.last().map_or(0, |r| r.unknowns as u64)
+        });
+        GridScalingSample {
+            rows,
+            speedup_common,
+            common_n,
+        }
+    })
 }
 
 /// Wall times and cache behaviour of the `parallel_speedup` phase.
@@ -231,7 +332,7 @@ fn bench(c: &mut Criterion) {
             .map(|pd| (pd.lo * pd.hi).sqrt())
             .collect();
         let ckt = template.build(&x);
-        let op = ams_sim::dc_operating_point(&ckt).expect("two-stage DC");
+        let op = ams_sim::SimSession::new(&ckt).op().expect("two-stage DC");
         assert!(op.iterations > 0);
     });
 
@@ -254,7 +355,10 @@ fn bench(c: &mut Criterion) {
             .map(|pd| (pd.lo * pd.hi).sqrt())
             .collect();
         let ckt = template.build(&x);
-        if ams_sim::dc_operating_point_retry(&ckt, &ams_guard::Retry::default()).is_err() {
+        if ams_sim::SimSession::new(&ckt)
+            .op_retry(&ams_guard::Retry::default())
+            .is_err()
+        {
             // Even the retried ladder lost to the injection storm: take the
             // assumed-bias last resort so the phase always completes.
             let dim = ams_sim::MnaLayout::new(&ckt).dim();
@@ -264,6 +368,13 @@ fn bench(c: &mut Criterion) {
     });
 
     let speedup = measure_parallel_speedup(&mut phases);
+    let grid = measure_grid_scaling(&mut phases);
+    assert!(
+        grid.speedup_common >= 10.0,
+        "sparse must beat dense ≥10× at the {0}×{0} grid, got {1:.1}×",
+        grid.common_n,
+        grid.speedup_common
+    );
 
     let snap = ams_trace::snapshot();
     for key in [
@@ -284,6 +395,7 @@ fn bench(c: &mut Criterion) {
         t.feasible,
         t.power_reduction,
         &speedup,
+        &grid,
         &snap.counters,
         &phases,
     );

@@ -9,7 +9,7 @@ use ams_netlist::Technology;
 use ams_rail::{
     evaluate as rail_evaluate, synthesize as rail_synthesize, GridSpec, PowerGrid, RailConstraints,
 };
-use ams_sim::{ac_sweep, dc_operating_point, linearize, log_frequencies, output_index};
+use ams_sim::{log_frequencies, SimSession};
 use ams_sizing::{
     evolve, optimize, optimize_worst_case, synthesize as sim_synthesize, AcEvaluator, AnnealConfig,
     DesignPlan, GaConfig, Perf, PerfModel, SymmetricalOtaModel, TwoStageCircuit, TwoStageModel,
@@ -349,13 +349,13 @@ pub fn run_awe_vs_ac() -> AweVsAc {
     let template = TwoStageCircuit::new(tech, 5e-12);
     let x = [60e-6, 30e-6, 150e-6, 50e-6, 150e-6, 2e-12, 2.4e-6];
     let ckt = ams_sizing::SimulatedTemplate::build(&template, &x);
-    let op = dc_operating_point(&ckt).expect("op");
-    let net = linearize(&ckt, &op);
-    let out = output_index(&ckt, &net.layout, "out").expect("node");
+    let ses = SimSession::new(&ckt);
+    let net = ses.linearize().expect("linearize");
+    let out = ses.output_index("out").expect("node");
     let freqs = log_frequencies(10.0, 1e10, 100);
 
     let t0 = Instant::now();
-    let exact = ac_sweep(&net, out, &freqs).expect("sweep");
+    let exact = ses.ac("out", &freqs).expect("sweep");
     let full_seconds = t0.elapsed().as_secs_f64();
 
     let t0 = Instant::now();
@@ -470,7 +470,7 @@ pub fn run_symbolic() -> SymbolicStudy {
     let mut rows = Vec::new();
     for (name, deck) in &decks {
         let ckt = ams_netlist::parse_deck(deck).expect("deck");
-        let op = dc_operating_point(&ckt).expect("op");
+        let op = SimSession::new(&ckt).op().expect("op");
         let t0 = Instant::now();
         let tf = ams_symbolic::transfer_function(&ckt, &op, "out").expect("tf");
         let secs = t0.elapsed().as_secs_f64();
@@ -485,7 +485,7 @@ pub fn run_symbolic() -> SymbolicStudy {
     let template = TwoStageCircuit::new(tech, 5e-12);
     let x = [60e-6, 30e-6, 150e-6, 50e-6, 150e-6, 2e-12, 2.4e-6];
     let ckt = ams_sizing::SimulatedTemplate::build(&template, &x);
-    let op = dc_operating_point(&ckt).expect("op");
+    let op = SimSession::new(&ckt).op().expect("op");
     let t0 = Instant::now();
     let tf = ams_symbolic::transfer_function(&ckt, &op, "out").expect("tf");
     let secs = t0.elapsed().as_secs_f64();

@@ -854,7 +854,10 @@ fn assumed_bias_check(
         })
         .collect();
     let ckt = template.build(&x);
-    if ams_sim::dc_operating_point_retry(&ckt, &Retry::default()).is_ok() {
+    if ams_sim::SimSession::new(&ckt)
+        .op_retry(&Retry::default())
+        .is_ok()
+    {
         return false;
     }
     let dim = ams_sim::MnaLayout::new(&ckt).dim();

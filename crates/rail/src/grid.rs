@@ -106,6 +106,38 @@ impl GridSpec {
         }
     }
 
+    /// A synthetic uniform `n × n` mesh for scaling studies: four corner
+    /// pads and one quiet digital tap drawing `0.2 A` near the center. At
+    /// `n = 64` this compiles to ≈8k MNA unknowns — the grid-scale regime
+    /// where only the sparse simulator backend is practical.
+    ///
+    /// # Panics
+    ///
+    /// Panics for `n < 2`.
+    pub fn synthetic(n: usize) -> GridSpec {
+        assert!(n >= 2, "synthetic grid needs at least 2×2 nodes");
+        GridSpec {
+            nx: n,
+            ny: n,
+            pitch_m: 200e-6,
+            vdd: 5.0,
+            pads: vec![(0, 0), (n - 1, 0), (0, n - 1), (n - 1, n - 1)],
+            pad_l: 2e-9,
+            pad_r: 0.05,
+            sheet_ohms: 0.04,
+            cap_per_m2: 1e-4,
+            node_decap: 2e-12,
+            taps: vec![Tap {
+                name: "core".into(),
+                x: n / 2,
+                y: n / 2,
+                dc_amps: 0.2,
+                spike: None,
+                kind: TapKind::Digital,
+            }],
+        }
+    }
+
     /// A small synthetic data-channel-style chip: digital DSP / clock
     /// blocks on one side, analog read-channel blocks on the other —
     /// the shape of the Fig. 3 IBM redesign.
@@ -364,9 +396,25 @@ mod tests {
     fn dc_drop_appears_at_taps() {
         let grid = PowerGrid::uniform(GridSpec::data_channel_demo(), 5e-6);
         let ckt = grid.to_circuit();
-        let op = ams_sim::dc_operating_point(&ckt).unwrap();
+        let op = ams_sim::SimSession::new(&ckt).op().unwrap();
         let v_dsp = op.voltage(&ckt, &PowerGrid::node_name(1, 1)).unwrap();
         assert!(v_dsp < 5.0, "IR drop must lower the tap voltage");
         assert!(v_dsp > 4.0, "drop should be sane: {v_dsp}");
+    }
+
+    #[test]
+    fn synthetic_grid_scales_and_solves() {
+        let spec = GridSpec::synthetic(16);
+        assert_eq!(spec.num_segments(), 15 * 16 * 2);
+        let grid = PowerGrid::uniform(spec, 10e-6);
+        let ckt = grid.to_circuit();
+        ckt.validate().unwrap();
+        // 16×16 nodes + 4 pad midpoints + vdd_ideal unknowns put this well
+        // past the auto-sparse threshold.
+        let ses = ams_sim::SimSession::new(&ckt);
+        assert!(ses.layout().dim() >= ams_sim::Backend::AUTO_SPARSE_DIM);
+        let op = ses.op().unwrap();
+        let v_core = op.voltage(&ckt, &PowerGrid::node_name(8, 8)).unwrap();
+        assert!(v_core < 5.0 && v_core > 4.0, "core drop sane: {v_core}");
     }
 }

@@ -16,7 +16,7 @@
 use crate::grid::{PowerGrid, TapKind};
 use ams_awe::AweModel;
 use ams_netlist::{Circuit, Device};
-use ams_sim::{dc_operating_point, linearize, transient, SimError};
+use ams_sim::{SimError, SimSession};
 use std::collections::HashMap;
 
 /// The dc/ac/transient constraint set of a RAIL run.
@@ -96,7 +96,10 @@ impl GridEval {
 /// Propagates simulator failures.
 pub fn evaluate(grid: &PowerGrid, c: &RailConstraints) -> Result<GridEval, SimError> {
     let ckt = grid.to_circuit();
-    let op = dc_operating_point(&ckt)?;
+    // One session for both analyses: `tran` reuses the cached operating
+    // point, and grid-sized systems solve on the sparse backend.
+    let ses = SimSession::new(&ckt);
+    let op = ses.op()?;
     let vdd = grid.spec.vdd;
 
     let mut taps = Vec::new();
@@ -108,11 +111,7 @@ pub fn evaluate(grid: &PowerGrid, c: &RailConstraints) -> Result<GridEval, SimEr
         .filter_map(|t| t.spike.map(|s| s.3))
         .fold(0.0f64, f64::max);
     let tran = if max_period > 0.0 {
-        Some(transient(
-            &ckt,
-            2.0 * max_period + 2e-9,
-            max_period / 150.0,
-        )?)
+        Some(ses.tran(2.0 * max_period + 2e-9, max_period / 150.0)?)
     } else {
         None
     };
@@ -187,10 +186,12 @@ pub fn supply_impedance(
             ac_mag: 1.0,
         },
     );
-    let op = dc_operating_point(&ckt)?;
-    let net = linearize(&ckt, &op);
-    let out = ams_sim::output_index(&ckt, &net.layout, &PowerGrid::node_name(x, y))
-        .ok_or_else(|| SimError::UnknownNode(PowerGrid::node_name(x, y)))?;
+    let ses = SimSession::new(&ckt);
+    let net = ses.linearize()?;
+    let node = PowerGrid::node_name(x, y);
+    let out = ses
+        .output_index(&node)
+        .ok_or_else(|| SimError::UnknownNode(node.clone()))?;
     // AWE macromodel of the impedance response; fall back to lower orders
     // when the Padé system is degenerate for this grid.
     for order in [4usize, 3, 2, 1] {
@@ -199,7 +200,7 @@ pub fn supply_impedance(
         }
     }
     // Last resort: one exact complex solve.
-    let sweep = ams_sim::ac_sweep(&net, out, &[freq_hz])?;
+    let sweep = ses.ac(&node, &[freq_hz])?;
     Ok(sweep.values[0].abs())
 }
 
@@ -388,10 +389,8 @@ mod tests {
                 ac_mag: 1.0,
             },
         );
-        let op = dc_operating_point(&ckt).unwrap();
-        let net = linearize(&ckt, &op);
-        let out = ams_sim::output_index(&ckt, &net.layout, &PowerGrid::node_name(4, 1)).unwrap();
-        let exact = ams_sim::ac_sweep(&net, out, &[freq]).unwrap().values[0].abs();
+        let ses = SimSession::new(&ckt);
+        let exact = ses.ac(&PowerGrid::node_name(4, 1), &[freq]).unwrap().values[0].abs();
         let err = (z_awe - exact).abs() / exact.max(1e-12);
         assert!(err < 0.2, "AWE {z_awe} vs exact {exact}");
     }

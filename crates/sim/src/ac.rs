@@ -5,9 +5,11 @@
 //! point. This is the "full simulation" reference that the AWE macromodel
 //! in `ams-awe` is benchmarked against (experiment E7).
 
+use crate::backend::Backend;
 use crate::error::SimError;
 use crate::linalg::{CMatrix, Complex};
 use crate::mna::LinearNet;
+use crate::sparse::{solve_cached, SparseLu, Triplets};
 
 /// Result of an AC sweep at one output unknown.
 #[derive(Debug, Clone)]
@@ -109,12 +111,45 @@ pub fn log_frequencies(f_start: f64, f_stop: f64, n: usize) -> Vec<f64> {
         .collect()
 }
 
-/// Solves the linearized network at a single complex frequency `s`.
-///
-/// # Errors
-///
-/// Returns [`SimError::Singular`] if the system is singular at `s`.
-pub fn solve_at(net: &LinearNet, s: Complex) -> Result<Vec<Complex>, SimError> {
+/// The structural non-zero pattern of `G + sC` in fixed row-major order —
+/// the triplet *sequence* every frequency point of a sweep assembles, so
+/// the sparse backend only runs symbolic analysis on the first point.
+pub(crate) fn complex_pattern(net: &LinearNet) -> Vec<(usize, usize)> {
+    let n = net.dim();
+    let mut pattern = Vec::new();
+    for i in 0..n {
+        for j in 0..n {
+            if net.g[(i, j)] != 0.0 || net.c[(i, j)] != 0.0 {
+                pattern.push((i, j));
+            }
+        }
+    }
+    pattern
+}
+
+/// Assembles the `G + sC` triplets over a fixed pattern. When `transposed`,
+/// entry `(i, j)` is emitted at `(j, i)` — the adjoint-system form noise
+/// analysis solves.
+pub(crate) fn assemble_complex(
+    net: &LinearNet,
+    pattern: &[(usize, usize)],
+    s: Complex,
+    transposed: bool,
+) -> Triplets<Complex> {
+    let mut t = Triplets::new(net.dim());
+    for &(i, j) in pattern {
+        let v = Complex::real(net.g[(i, j)]) + s * net.c[(i, j)];
+        if transposed {
+            t.push(j, i, v);
+        } else {
+            t.push(i, j, v);
+        }
+    }
+    t
+}
+
+/// Dense single-point solve of `(G + sC)·x = b`.
+fn solve_dense(net: &LinearNet, s: Complex) -> Result<Vec<Complex>, SimError> {
     let n = net.dim();
     let mut a = CMatrix::zeros(n);
     for i in 0..n {
@@ -126,21 +161,57 @@ pub fn solve_at(net: &LinearNet, s: Complex) -> Result<Vec<Complex>, SimError> {
     Ok(a.solve(&b)?)
 }
 
-/// Runs an AC sweep and extracts one output unknown.
+/// Solves the linearized network at a single complex frequency `s`, on the
+/// backend [`Backend::auto_for`] selects for the system size.
 ///
 /// # Errors
 ///
-/// Returns [`SimError::BadParameter`] on an empty frequency list and
-/// [`SimError::Singular`] if any frequency point fails to solve.
-pub fn ac_sweep(net: &LinearNet, out_index: usize, freqs: &[f64]) -> Result<AcSweep, SimError> {
+/// Returns [`SimError::Singular`] if the system is singular at `s`.
+pub fn solve_at(net: &LinearNet, s: Complex) -> Result<Vec<Complex>, SimError> {
+    match Backend::auto_for(net.dim()) {
+        Backend::Dense => solve_dense(net, s),
+        Backend::Sparse => {
+            let pattern = complex_pattern(net);
+            let t = assemble_complex(net, &pattern, s, false);
+            let b: Vec<Complex> = net.b.iter().map(|&v| Complex::real(v)).collect();
+            Ok(SparseLu::factor(&t)?.solve_refined(&t, &b))
+        }
+    }
+}
+
+/// Runs an AC sweep and extracts one output unknown — the engine behind
+/// [`crate::SimSession::ac`]. On the sparse backend the pattern is factored
+/// symbolically at the first frequency and numerically refactored at every
+/// later one.
+pub(crate) fn sweep_net(
+    net: &LinearNet,
+    out_index: usize,
+    freqs: &[f64],
+    backend: Backend,
+) -> Result<AcSweep, SimError> {
     if freqs.is_empty() {
         return Err(SimError::BadParameter("empty frequency list".into()));
     }
     let mut values = Vec::with_capacity(freqs.len());
-    for &f in freqs {
-        let s = Complex::new(0.0, 2.0 * std::f64::consts::PI * f);
-        let x = solve_at(net, s)?;
-        values.push(x[out_index]);
+    match backend {
+        Backend::Dense => {
+            for &f in freqs {
+                let s = Complex::new(0.0, 2.0 * std::f64::consts::PI * f);
+                let x = solve_dense(net, s)?;
+                values.push(x[out_index]);
+            }
+        }
+        Backend::Sparse => {
+            let pattern = complex_pattern(net);
+            let b: Vec<Complex> = net.b.iter().map(|&v| Complex::real(v)).collect();
+            let mut lu: Option<SparseLu<Complex>> = None;
+            for &f in freqs {
+                let s = Complex::new(0.0, 2.0 * std::f64::consts::PI * f);
+                let t = assemble_complex(net, &pattern, s, false);
+                let x = solve_cached(&mut lu, &t, &b)?;
+                values.push(x[out_index]);
+            }
+        }
     }
     Ok(AcSweep {
         freqs: freqs.to_vec(),
@@ -148,31 +219,42 @@ pub fn ac_sweep(net: &LinearNet, out_index: usize, freqs: &[f64]) -> Result<AcSw
     })
 }
 
+/// Runs an AC sweep and extracts one output unknown.
+///
+/// # Errors
+///
+/// Returns [`SimError::BadParameter`] on an empty frequency list and
+/// [`SimError::Singular`] if any frequency point fails to solve.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `SimSession::new(&ckt).ac(node_name, freqs)` — it takes the \
+            output by node name and reuses the session's cached operating \
+            point and sparse symbolic factorization"
+)]
+pub fn ac_sweep(net: &LinearNet, out_index: usize, freqs: &[f64]) -> Result<AcSweep, SimError> {
+    sweep_net(net, out_index, freqs, Backend::auto_for(net.dim()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::dc::{dc_operating_point, linearize};
-    use crate::mna::output_index;
+    use crate::session::SimSession;
     use ams_netlist::parse_deck;
 
-    fn rc_lowpass() -> (ams_netlist::Circuit, LinearNet, usize) {
-        let ckt = parse_deck(
+    fn rc_lowpass() -> ams_netlist::Circuit {
+        parse_deck(
             "Vin in 0 DC 0 AC 1
              R1 in out 1k
              C1 out 0 159.154943n",
         )
-        .unwrap();
-        let op = dc_operating_point(&ckt).unwrap();
-        let net = linearize(&ckt, &op);
-        let out = output_index(&ckt, &net.layout, "out").unwrap();
-        (ckt, net, out)
+        .unwrap()
     }
 
     #[test]
     fn rc_pole_at_1khz() {
-        let (_ckt, net, out) = rc_lowpass();
+        let ckt = rc_lowpass();
         let freqs = log_frequencies(1.0, 1e6, 121);
-        let sweep = ac_sweep(&net, out, &freqs).unwrap();
+        let sweep = SimSession::new(&ckt).ac("out", &freqs).unwrap();
         assert!((sweep.dc_gain() - 1.0).abs() < 1e-6);
         let bw = sweep.bandwidth_3db().unwrap();
         assert!((bw - 1000.0).abs() / 1000.0 < 0.02, "bw = {bw}");
@@ -180,8 +262,8 @@ mod tests {
 
     #[test]
     fn rc_phase_approaches_minus_90() {
-        let (_ckt, net, out) = rc_lowpass();
-        let sweep = ac_sweep(&net, out, &[1e6]).unwrap();
+        let ckt = rc_lowpass();
+        let sweep = SimSession::new(&ckt).ac("out", &[1e6]).unwrap();
         let ph = sweep.phase_deg()[0];
         assert!(ph < -89.0, "phase = {ph}");
     }
@@ -206,11 +288,9 @@ mod tests {
              CL out 0 1p",
         )
         .unwrap();
-        let op = dc_operating_point(&ckt).unwrap();
-        let mop = op.mos_ops["M1"];
-        let net = linearize(&ckt, &op);
-        let out = output_index(&ckt, &net.layout, "out").unwrap();
-        let sweep = ac_sweep(&net, out, &[10.0]).unwrap();
+        let ses = SimSession::new(&ckt);
+        let mop = ses.op().unwrap().mos_ops["M1"];
+        let sweep = ses.ac("out", &[10.0]).unwrap();
         // |A| = gm·(RD ∥ ro)
         let ro = 1.0 / mop.gds;
         let expected = mop.gm * (10e3 * ro) / (10e3 + ro);
@@ -231,11 +311,9 @@ mod tests {
              C1 out 0 1u",
         )
         .unwrap();
-        let op = dc_operating_point(&ckt).unwrap();
-        let net = linearize(&ckt, &op);
-        let out = output_index(&ckt, &net.layout, "out").unwrap();
+        let ses = SimSession::new(&ckt);
         let f0 = 1.0 / (2.0 * std::f64::consts::PI * (1e-3f64 * 1e-6).sqrt());
-        let sweep = ac_sweep(&net, out, &[f0 / 10.0, f0, f0 * 10.0]).unwrap();
+        let sweep = ses.ac("out", &[f0 / 10.0, f0, f0 * 10.0]).unwrap();
         let mags = sweep.magnitude_db();
         assert!(mags[1] > mags[0] + 10.0, "resonance should peak: {mags:?}");
         assert!(mags[1] > mags[2] + 10.0);
@@ -243,10 +321,24 @@ mod tests {
 
     #[test]
     fn empty_sweep_is_error() {
-        let (_ckt, net, out) = rc_lowpass();
+        let ckt = rc_lowpass();
         assert!(matches!(
-            ac_sweep(&net, out, &[]),
+            SimSession::new(&ckt).ac("out", &[]),
             Err(SimError::BadParameter(_))
         ));
+    }
+
+    #[test]
+    fn sweep_backends_agree_on_rc_response() {
+        let ckt = rc_lowpass();
+        let ses = SimSession::new(&ckt);
+        let net = ses.linearize().unwrap();
+        let out = ses.output_index("out").unwrap();
+        let freqs = log_frequencies(1.0, 1e6, 31);
+        let d = sweep_net(&net, out, &freqs, Backend::Dense).unwrap();
+        let s = sweep_net(&net, out, &freqs, Backend::Sparse).unwrap();
+        for (a, b) in d.values.iter().zip(&s.values) {
+            assert!((*a - *b).abs() < 1e-9, "dense {a:?} vs sparse {b:?}");
+        }
     }
 }

@@ -11,6 +11,7 @@ use std::collections::HashMap;
 use crate::error::SimError;
 use crate::linalg::{Matrix, SingularMatrix};
 use crate::mna::{indexed_devices, LinearNet, MnaLayout, Stamper};
+use crate::session::{RealSlot, SimSession};
 
 /// Maximum Newton iterations per homotopy stage.
 const MAX_ITER: usize = 150;
@@ -120,14 +121,19 @@ impl OpPoint {
 ///     R1 in out 1k
 ///     R2 out 0 1k
 /// ").unwrap();
-/// let op = ams_sim::dc_operating_point(&ckt).unwrap();
+/// let op = ams_sim::SimSession::new(&ckt).op().unwrap();
 /// assert!((op.voltage(&ckt, "out").unwrap() - 1.0).abs() < 1e-9);
 /// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "use `SimSession::new(&ckt).op()` — the session caches the layout, \
+            backend choice, and sparse symbolic factorizations across analyses"
+)]
 pub fn dc_operating_point(ckt: &Circuit) -> Result<OpPoint, SimError> {
-    dc_op_from(ckt, None)
+    SimSession::new(ckt).op()
 }
 
-/// Computes the DC operating point like [`dc_operating_point`], but on a
+/// Computes the DC operating point like [`SimSession::op`], but on a
 /// *retryable* failure (non-convergence or a numerically singular system)
 /// re-runs the whole convergence ladder up to `retry.attempts` more times
 /// from deterministically perturbed initial conditions. Structural errors
@@ -138,21 +144,31 @@ pub fn dc_operating_point(ckt: &Circuit) -> Result<OpPoint, SimError> {
 ///
 /// # Errors
 ///
-/// Same as [`dc_operating_point`]; the error returned is from the last
+/// Same as [`SimSession::op`]; the error returned is from the last
 /// attempt made.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `SimSession::new(&ckt).op_retry(&retry)` — the session caches \
+            the layout, backend choice, and sparse symbolic factorizations"
+)]
 pub fn dc_operating_point_retry(ckt: &Circuit, retry: &Retry) -> Result<OpPoint, SimError> {
-    let mut last = match dc_op_from(ckt, None) {
+    SimSession::new(ckt).op_retry(retry)
+}
+
+/// The retried convergence ladder behind [`SimSession::op_retry`].
+pub(crate) fn dc_op_retry(ses: &SimSession<'_>, retry: &Retry) -> Result<OpPoint, SimError> {
+    let mut last = match dc_op_from(ses, None) {
         Ok(op) => return Ok(op),
         Err(e) => e,
     };
     if retry.attempts == 0 || !retryable(&last) {
         return Err(last);
     }
-    let dim = MnaLayout::new(ckt).dim();
+    let dim = ses.layout().dim();
     for attempt in 1..=retry.attempts {
         ams_trace::counter_add("sim.dc_retries", 1);
         let x0: Vec<f64> = (0..dim).map(|i| retry.perturbation(attempt, i)).collect();
-        match dc_op_from(ckt, Some(&x0)) {
+        match dc_op_from(ses, Some(&x0)) {
             Ok(op) => return Ok(op),
             Err(e) if retryable(&e) => last = e,
             Err(e) => return Err(e),
@@ -192,10 +208,12 @@ pub fn assumed_op(ckt: &Circuit, x: &[f64]) -> Result<OpPoint, SimError> {
     Ok(finish(ckt, layout, x.to_vec(), 0, DcStrategy::Assumed))
 }
 
-fn dc_op_from(ckt: &Circuit, x0: Option<&[f64]>) -> Result<OpPoint, SimError> {
+/// The convergence ladder behind [`SimSession::op`], optionally starting
+/// from a caller-provided iterate (the perturbed-restart path).
+pub(crate) fn dc_op_from(ses: &SimSession<'_>, x0: Option<&[f64]>) -> Result<OpPoint, SimError> {
     let _span = ams_trace::span("sim.dc_op");
     let mut iters = 0usize;
-    let result = dc_solve(ckt, x0, &mut iters);
+    let result = dc_solve(ses, x0, &mut iters);
     ams_trace::counter_add("sim.dc_solves", 1);
     ams_trace::counter_add("sim.newton_iters", iters as u64);
     // Each Newton iteration performs exactly one LU factor and one solve.
@@ -216,12 +234,17 @@ fn dc_op_from(ckt: &Circuit, x0: Option<&[f64]>) -> Result<OpPoint, SimError> {
     result
 }
 
-fn dc_solve(ckt: &Circuit, x0: Option<&[f64]>, iters: &mut usize) -> Result<OpPoint, SimError> {
+fn dc_solve(
+    ses: &SimSession<'_>,
+    x0: Option<&[f64]>,
+    iters: &mut usize,
+) -> Result<OpPoint, SimError> {
+    let ckt = ses.circuit();
     erc_gate(ckt)?;
-    let layout = MnaLayout::new(ckt);
+    let layout = ses.layout().clone();
     let devices = indexed_devices(ckt);
     // Every ladder rung starts from the caller's initial point (zeros by
-    // default; a perturbed restart under `dc_operating_point_retry`).
+    // default; a perturbed restart under `SimSession::op_retry`).
     let start = |layout: &MnaLayout| -> Vec<f64> {
         match x0 {
             Some(v) if v.len() == layout.dim() => v.to_vec(),
@@ -231,7 +254,7 @@ fn dc_solve(ckt: &Circuit, x0: Option<&[f64]>, iters: &mut usize) -> Result<OpPo
     let mut x = start(&layout);
 
     // Plain Newton, then gmin ladder, then source stepping.
-    if newton(ckt, &layout, &devices, &mut x, 0.0, 1.0, iters).is_ok() {
+    if newton(ses, &devices, &mut x, 0.0, 1.0, iters).is_ok() {
         return Ok(finish(ckt, layout, x, *iters, DcStrategy::Newton));
     }
     // gmin stepping: 1e-2 → 1e-12, warm-started.
@@ -240,14 +263,14 @@ fn dc_solve(ckt: &Circuit, x0: Option<&[f64]>, iters: &mut usize) -> Result<OpPo
     let mut gmin_stages = 0u64;
     for k in 2..=12 {
         let gmin = 10f64.powi(-k);
-        if newton(ckt, &layout, &devices, &mut gx, gmin, 1.0, iters).is_err() {
+        if newton(ses, &devices, &mut gx, gmin, 1.0, iters).is_err() {
             ok = false;
             break;
         }
         gmin_stages += 1;
     }
     ams_trace::counter_add("sim.dc_gmin_stages", gmin_stages);
-    if ok && newton(ckt, &layout, &devices, &mut gx, 0.0, 1.0, iters).is_ok() {
+    if ok && newton(ses, &devices, &mut gx, 0.0, 1.0, iters).is_ok() {
         return Ok(finish(ckt, layout, gx, *iters, DcStrategy::GminStepping));
     }
 
@@ -257,14 +280,14 @@ fn dc_solve(ckt: &Circuit, x0: Option<&[f64]>, iters: &mut usize) -> Result<OpPo
     let mut source_steps = 0u64;
     for k in 1..=10 {
         let alpha = k as f64 / 10.0;
-        if newton(ckt, &layout, &devices, &mut sx, 1e-9, alpha, iters).is_err() {
+        if newton(ses, &devices, &mut sx, 1e-9, alpha, iters).is_err() {
             ok = false;
             break;
         }
         source_steps += 1;
     }
     ams_trace::counter_add("sim.dc_source_steps", source_steps);
-    if ok && newton(ckt, &layout, &devices, &mut sx, 0.0, 1.0, iters).is_ok() {
+    if ok && newton(ses, &devices, &mut sx, 0.0, 1.0, iters).is_ok() {
         return Ok(finish(ckt, layout, sx, *iters, DcStrategy::SourceStepping));
     }
 
@@ -360,14 +383,15 @@ fn orient(
 /// One Newton solve at a fixed (gmin, source-scale) homotopy point.
 /// `iters` accumulates the iterations spent across calls.
 fn newton(
-    ckt: &Circuit,
-    layout: &MnaLayout,
+    ses: &SimSession<'_>,
     devices: &[(usize, String, Device)],
     x: &mut [f64],
     gmin: f64,
     source_scale: f64,
     iters: &mut usize,
 ) -> Result<(), SimError> {
+    let ckt = ses.circuit();
+    let layout = ses.layout();
     // Injection site: force this whole solve to report non-convergence, as
     // if it burned its full iteration budget without settling.
     if fault::trip(FaultKind::NewtonDiverge) {
@@ -383,16 +407,15 @@ fn newton(
         // Cooperative metering only: the optimizer loops observe exhaustion
         // at their next checkpoint; an in-flight solve runs to completion.
         let _ = budget::charge_newton(1);
-        let mut st = Stamper::new(layout.dim());
+        let mut st = Stamper::with_backend(layout.dim(), ses.backend());
         stamp_dc(layout, devices, x, gmin, source_scale, &mut st);
         // Injection site: pretend LU elimination hit a zero pivot.
-        let factored = if fault::trip(FaultKind::LuPivot) {
+        let solved = if fault::trip(FaultKind::LuPivot) {
             Err(SingularMatrix { pivot: 0 })
         } else {
-            st.a.lu()
+            ses.solve_stamped(st, RealSlot::Dc)
         };
-        let lu = factored.map_err(|e| resolve_singular(ckt, layout, e))?;
-        let new_x = lu.solve(&st.z);
+        let new_x = solved.map_err(|e| resolve_singular(ckt, layout, e))?;
         // Damped update and convergence check.
         let mut converged = true;
         for i in 0..x.len() {
@@ -438,11 +461,11 @@ fn stamp_dc(
     st: &mut Stamper,
 ) {
     let v = |idx: Option<usize>| idx.map_or(0.0, |i| x[i]);
-    // gmin to ground on every signal node.
-    if gmin > 0.0 {
-        for i in 0..layout.n_signal_nodes() {
-            st.conductance(Some(i), None, gmin);
-        }
+    // gmin to ground on every signal node. Stamped unconditionally (as 0.0
+    // when off) so every homotopy rung produces the same triplet sequence
+    // and the sparse backend can refactor instead of re-analyzing.
+    for i in 0..layout.n_signal_nodes() {
+        st.conductance(Some(i), None, gmin);
     }
     for (list_idx, _name, dev) in devices {
         match dev {
@@ -490,10 +513,10 @@ fn stamp_dc(
                 st.voltage_branch(br, layout.node(*plus), layout.node(*minus), 0.0);
                 // KVL row gains: V(p)−V(m) − gain·(V(cp)−V(cm)) = 0.
                 if let Some(cp) = layout.node(*ctrl_plus) {
-                    st.a[(br, cp)] -= gain;
+                    st.add(br, cp, -gain);
                 }
                 if let Some(cm) = layout.node(*ctrl_minus) {
-                    st.a[(br, cm)] += gain;
+                    st.add(br, cm, *gain);
                 }
             }
             Device::Vccs {
@@ -569,7 +592,7 @@ pub fn linearize_at(ckt: &Circuit, x: &[f64]) -> (LinearNet, f64) {
     // measure A·x − z.
     let mut st = Stamper::new(layout.dim());
     stamp_dc(&layout, &devices, x, 0.0, 1.0, &mut st);
-    let ax = st.a.mul_vec(x);
+    let ax = st.mul_vec(x);
     let residual = ax
         .iter()
         .zip(&st.z)
@@ -633,10 +656,10 @@ pub fn linearize(ckt: &Circuit, op: &OpPoint) -> LinearNet {
                 let br = layout.branch(*list_idx).expect("vcvs branch");
                 g.voltage_branch(br, layout.node(*plus), layout.node(*minus), 0.0);
                 if let Some(cp) = layout.node(*ctrl_plus) {
-                    g.a[(br, cp)] -= gain;
+                    g.add(br, cp, -gain);
                 }
                 if let Some(cm) = layout.node(*ctrl_minus) {
-                    g.a[(br, cm)] += gain;
+                    g.add(br, cm, *gain);
                 }
             }
             Device::Vccs {
@@ -679,10 +702,11 @@ pub fn linearize(ckt: &Circuit, op: &OpPoint) -> LinearNet {
         }
     }
 
+    let (gm, gz) = g.into_dense();
     LinearNet {
-        g: g.a,
+        g: gm,
         c,
-        b: g.z,
+        b: gz,
         layout,
     }
 }
@@ -713,7 +737,7 @@ mod tests {
              R2 out 0 1k",
         )
         .unwrap();
-        let op = dc_operating_point(&ckt).unwrap();
+        let op = SimSession::new(&ckt).op().unwrap();
         assert!((op.voltage(&ckt, "out").unwrap() - 1.0).abs() < 1e-9);
         // Supply current = 10 V / 10 kΩ = 1 mA out of the + terminal.
         let i = op.supply_current(&ckt, "V1").unwrap();
@@ -728,7 +752,7 @@ mod tests {
              R2 out 0 1k",
         )
         .unwrap();
-        let op = dc_operating_point(&ckt).unwrap();
+        let op = SimSession::new(&ckt).op().unwrap();
         assert!(op.iterations >= 1, "iterations = {}", op.iterations);
         assert!(op.iterations < MAX_ITER);
         assert_eq!(op.strategy, DcStrategy::Newton);
@@ -742,7 +766,7 @@ mod tests {
              R1 out 0 1k",
         )
         .unwrap();
-        let op = dc_operating_point(&ckt).unwrap();
+        let op = SimSession::new(&ckt).op().unwrap();
         // 1 mA into 1 kΩ = 1 V.
         assert!((op.voltage(&ckt, "out").unwrap() - 1.0).abs() < 1e-9);
     }
@@ -756,7 +780,7 @@ mod tests {
              R2 out 0 1k",
         )
         .unwrap();
-        let op = dc_operating_point(&ckt).unwrap();
+        let op = SimSession::new(&ckt).op().unwrap();
         let vm = op.voltage(&ckt, "mid").unwrap();
         let vo = op.voltage(&ckt, "out").unwrap();
         assert!((vm - vo).abs() < 1e-9);
@@ -771,7 +795,7 @@ mod tests {
              C1 out 0 1p",
         )
         .unwrap();
-        let op = dc_operating_point(&ckt).unwrap();
+        let op = SimSession::new(&ckt).op().unwrap();
         assert!((op.voltage(&ckt, "out").unwrap() - 5.0).abs() < 1e-6);
     }
 
@@ -784,7 +808,7 @@ mod tests {
              RL out 0 1k",
         )
         .unwrap();
-        let op = dc_operating_point(&ckt).unwrap();
+        let op = SimSession::new(&ckt).op().unwrap();
         assert!((op.voltage(&ckt, "out").unwrap() - 1.0).abs() < 1e-9);
     }
 
@@ -797,7 +821,7 @@ mod tests {
              RL out 0 2k",
         )
         .unwrap();
-        let op = dc_operating_point(&ckt).unwrap();
+        let op = SimSession::new(&ckt).op().unwrap();
         // 1 mS × 1 V into 2 kΩ = 2 V.
         assert!((op.voltage(&ckt, "out").unwrap() - 2.0).abs() < 1e-9);
     }
@@ -813,7 +837,7 @@ mod tests {
              M1 d d 0 0 nch W=10u L=1u",
         )
         .unwrap();
-        let op = dc_operating_point(&ckt).unwrap();
+        let op = SimSession::new(&ckt).op().unwrap();
         let vd = op.voltage(&ckt, "d").unwrap();
         assert!(vd > 0.7 && vd < 1.5, "vd = {vd}");
         let m_op = &op.mos_ops["M1"];
@@ -833,7 +857,7 @@ mod tests {
              M1  d g 0 0 nch W=20u L=2u",
         )
         .unwrap();
-        let op = dc_operating_point(&ckt).unwrap();
+        let op = SimSession::new(&ckt).op().unwrap();
         let vd = op.voltage(&ckt, "d").unwrap();
         // Id ≈ 0.5·110µ·10·0.09 ≈ 49.5 µA → Vd ≈ 5 − 0.495 ≈ 4.5 V.
         assert!(vd > 4.0 && vd < 4.8, "vd = {vd}");
@@ -850,7 +874,7 @@ mod tests {
              M1  0 g out vdd pch W=50u L=2u",
         )
         .unwrap();
-        let op = dc_operating_point(&ckt).unwrap();
+        let op = SimSession::new(&ckt).op().unwrap();
         let vout = op.voltage(&ckt, "out").unwrap();
         // Source sits roughly |Vtp| + Vov above the gate.
         assert!(vout > 3.2 && vout < 4.5, "vout = {vout}");
@@ -869,10 +893,10 @@ mod tests {
             )
         };
         let low = parse_deck(&deck(0.0)).unwrap();
-        let op = dc_operating_point(&low).unwrap();
+        let op = SimSession::new(&low).op().unwrap();
         assert!(op.voltage(&low, "out").unwrap() > 4.9);
         let high = parse_deck(&deck(5.0)).unwrap();
-        let op = dc_operating_point(&high).unwrap();
+        let op = SimSession::new(&high).op().unwrap();
         assert!(op.voltage(&high, "out").unwrap() < 0.1);
     }
 
@@ -888,7 +912,7 @@ mod tests {
              M1  d g s 0 nch W=10u L=1u",
         )
         .unwrap();
-        let op = dc_operating_point(&ckt).unwrap();
+        let op = SimSession::new(&ckt).op().unwrap();
         let vd = op.voltage(&ckt, "d").unwrap();
         assert!(vd > 0.5, "follower output should rise, vd = {vd}");
     }
@@ -903,7 +927,7 @@ mod tests {
              C1 out x 1p",
         )
         .unwrap();
-        let err = dc_operating_point(&ckt).unwrap_err();
+        let err = SimSession::new(&ckt).op().unwrap_err();
         match err {
             SimError::Erc {
                 ref code,
@@ -924,7 +948,7 @@ mod tests {
              R1 a 0 1k",
         )
         .unwrap();
-        let err = dc_operating_point(&ckt).unwrap_err();
+        let err = SimSession::new(&ckt).op().unwrap_err();
         match err {
             SimError::Erc {
                 ref code,
@@ -944,7 +968,7 @@ mod tests {
              C1 x 0 1p",
         )
         .unwrap();
-        let err = dc_operating_point(&ckt).unwrap_err();
+        let err = SimSession::new(&ckt).op().unwrap_err();
         assert!(
             matches!(err, SimError::Erc { ref code, .. } if code == "E004"),
             "got {err:?}"
@@ -962,7 +986,7 @@ mod tests {
              CL out 0 1p",
         )
         .unwrap();
-        let op = dc_operating_point(&ckt).unwrap();
+        let op = SimSession::new(&ckt).op().unwrap();
         let net = linearize(&ckt, &op);
         assert_eq!(net.g.n_rows(), net.dim());
         assert_eq!(net.c.n_rows(), net.dim());

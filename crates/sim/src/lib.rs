@@ -9,15 +9,27 @@
 //!
 //! # Analyses
 //!
-//! * [`dc_operating_point`] — Newton–Raphson with gmin and source stepping.
-//! * [`ac_sweep`] — small-signal frequency response from a [`LinearNet`].
-//! * [`transient`] — trapezoidal integration with local step halving.
-//! * [`noise_analysis`] — output-referred noise PSD and integrated rms.
+//! All analyses run through a [`SimSession`], which binds a circuit to one
+//! unknown layout and one linear-solver [`Backend`] and caches everything
+//! repeated analyses share (operating point, linearization, sparse symbolic
+//! factorizations):
+//!
+//! * [`SimSession::op`] / [`SimSession::op_retry`] — Newton–Raphson DC with
+//!   gmin and source stepping, plus perturbed restarts.
+//! * [`SimSession::ac`] — small-signal frequency response by node name.
+//! * [`SimSession::tran`] — trapezoidal integration with step halving.
+//! * [`SimSession::noise`] — output-referred noise PSD and integrated rms.
+//!
+//! Small systems solve on the dense LU in [`linalg`]; grid-scale systems
+//! (see `ams-rail`) automatically switch to the Markowitz sparse LU in
+//! [`sparse`] at [`Backend::AUTO_SPARSE_DIM`] unknowns, overridable with
+//! the `AMS_SIM_BACKEND` environment variable or
+//! [`SimSession::with_backend`].
 //!
 //! # Example
 //!
 //! ```
-//! use ams_sim::{dc_operating_point, linearize, ac_sweep, log_frequencies, output_index};
+//! use ams_sim::{log_frequencies, SimSession};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let ckt = ams_netlist::parse_deck("
@@ -25,10 +37,9 @@
 //!     R1 in out 1k
 //!     C1 out 0 1n
 //! ")?;
-//! let op = dc_operating_point(&ckt)?;
-//! let net = linearize(&ckt, &op);
-//! let out = output_index(&ckt, &net.layout, "out").expect("node exists");
-//! let sweep = ac_sweep(&net, out, &log_frequencies(1.0, 1e9, 61))?;
+//! let ses = SimSession::new(&ckt);
+//! let op = ses.op()?;
+//! let sweep = ses.ac("out", &log_frequencies(1.0, 1e9, 61))?;
 //! assert!(sweep.bandwidth_3db().is_some());
 //! # Ok(())
 //! # }
@@ -38,20 +49,31 @@
 #![warn(missing_docs)]
 
 mod ac;
+mod backend;
 mod dc;
 mod error;
 pub mod linalg;
 mod mna;
 mod noise;
+mod session;
+pub mod sparse;
 mod tran;
 
-pub use ac::{ac_sweep, log_frequencies, AcSweep};
-pub use dc::{
-    assumed_op, dc_operating_point, dc_operating_point_retry, linearize, linearize_at, DcStrategy,
-    OpPoint,
-};
+#[allow(deprecated)]
+pub use ac::ac_sweep;
+pub use ac::{log_frequencies, solve_at, AcSweep};
+pub use backend::Backend;
+pub use dc::{assumed_op, linearize, linearize_at, DcStrategy, OpPoint};
+#[allow(deprecated)]
+pub use dc::{dc_operating_point, dc_operating_point_retry};
 pub use error::SimError;
 pub use linalg::{CMatrix, Complex, Lu, Matrix, SingularMatrix};
 pub use mna::{output_index, LinearNet, MnaLayout, Stamper};
-pub use noise::{noise_analysis, noise_sources, NoiseKind, NoiseResult, NoiseSource};
-pub use tran::{transient, TranResult};
+#[allow(deprecated)]
+pub use noise::noise_analysis;
+pub use noise::{noise_sources, NoiseKind, NoiseResult, NoiseSource};
+pub use session::SimSession;
+pub use sparse::{RefactorError, Scalar, SparseLu, Triplets};
+#[allow(deprecated)]
+pub use tran::transient;
+pub use tran::TranResult;

@@ -8,7 +8,9 @@
 use ams_netlist::{Circuit, Device, NodeId};
 use std::collections::HashMap;
 
-use crate::linalg::Matrix;
+use crate::backend::Backend;
+use crate::linalg::{Matrix, SingularMatrix};
+use crate::sparse::{SparseLu, Triplets};
 
 /// Maps circuit nodes and voltage-defined branches to MNA unknown indices.
 #[derive(Debug, Clone)]
@@ -67,21 +69,59 @@ impl MnaLayout {
     }
 }
 
-/// A dense MNA system under construction: `A·x = z`.
+/// Backend-specific matrix storage of a [`Stamper`].
+#[derive(Debug, Clone)]
+pub(crate) enum StamperMatrix {
+    /// Dense storage for small systems.
+    Dense(Matrix),
+    /// Triplet list for the sparse backend; the push *sequence* is the
+    /// pattern key that lets [`SparseLu::refactor`] skip symbolic analysis.
+    Sparse(Triplets<f64>),
+}
+
+/// An MNA system under construction: `A·x = z`.
+///
+/// The matrix half is backend-polymorphic: device stamps go through
+/// [`Stamper::add`], which either accumulates into a dense matrix or
+/// appends a triplet. Stamping the same circuit twice therefore produces
+/// the same triplet sequence, which is what makes sparse numeric
+/// refactorization possible across Newton iterations and timesteps.
 #[derive(Debug, Clone)]
 pub struct Stamper {
-    /// System matrix.
-    pub a: Matrix,
+    pub(crate) a: StamperMatrix,
     /// Right-hand side.
     pub z: Vec<f64>,
 }
 
 impl Stamper {
-    /// Fresh zeroed system of dimension `dim`.
+    /// Fresh zeroed dense system of dimension `dim`.
     pub fn new(dim: usize) -> Self {
+        Stamper::with_backend(dim, Backend::Dense)
+    }
+
+    /// Fresh zeroed system of dimension `dim` on the given backend.
+    pub fn with_backend(dim: usize, backend: Backend) -> Self {
+        let a = match backend {
+            Backend::Dense => StamperMatrix::Dense(Matrix::zeros(dim, dim)),
+            Backend::Sparse => StamperMatrix::Sparse(Triplets::new(dim)),
+        };
         Stamper {
-            a: Matrix::zeros(dim, dim),
+            a,
             z: vec![0.0; dim],
+        }
+    }
+
+    /// System dimension.
+    pub fn dim(&self) -> usize {
+        self.z.len()
+    }
+
+    /// Adds `v` to matrix entry `(i, j)` — the primitive every stamp is
+    /// built from.
+    pub fn add(&mut self, i: usize, j: usize, v: f64) {
+        match &mut self.a {
+            StamperMatrix::Dense(m) => m[(i, j)] += v,
+            StamperMatrix::Sparse(t) => t.push(i, j, v),
         }
     }
 
@@ -89,14 +129,14 @@ impl Stamper {
     /// (either may be `None` = ground).
     pub fn conductance(&mut self, i: Option<usize>, j: Option<usize>, g: f64) {
         if let Some(i) = i {
-            self.a[(i, i)] += g;
+            self.add(i, i, g);
         }
         if let Some(j) = j {
-            self.a[(j, j)] += g;
+            self.add(j, j, g);
         }
         if let (Some(i), Some(j)) = (i, j) {
-            self.a[(i, j)] -= g;
-            self.a[(j, i)] -= g;
+            self.add(i, j, -g);
+            self.add(j, i, -g);
         }
     }
 
@@ -114,7 +154,7 @@ impl Stamper {
             let Some(row) = out else { continue };
             for (ctrl, sign_c) in [(cp, 1.0), (cm, -1.0)] {
                 if let Some(col) = ctrl {
-                    self.a[(row, col)] += sign_out * sign_c * gm;
+                    self.add(row, col, sign_out * sign_c * gm);
                 }
             }
         }
@@ -132,14 +172,52 @@ impl Stamper {
     /// `volts` (callers add controlled-source terms separately).
     pub fn voltage_branch(&mut self, br: usize, p: Option<usize>, m: Option<usize>, volts: f64) {
         if let Some(p) = p {
-            self.a[(p, br)] += 1.0;
-            self.a[(br, p)] += 1.0;
+            self.add(p, br, 1.0);
+            self.add(br, p, 1.0);
         }
         if let Some(m) = m {
-            self.a[(m, br)] -= 1.0;
-            self.a[(br, m)] -= 1.0;
+            self.add(m, br, -1.0);
+            self.add(br, m, -1.0);
         }
         self.z[br] += volts;
+    }
+
+    /// Matrix-vector product `A·x`, used for residual checks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` does not match the dimension.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        match &self.a {
+            StamperMatrix::Dense(m) => m.mul_vec(x),
+            StamperMatrix::Sparse(t) => t.mul_vec(x),
+        }
+    }
+
+    /// Consumes a *dense* stamper into its matrix and right-hand side —
+    /// the path [`crate::linearize`] uses to build a [`LinearNet`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a sparse-backed stamper.
+    pub fn into_dense(self) -> (Matrix, Vec<f64>) {
+        match self.a {
+            StamperMatrix::Dense(m) => (m, self.z),
+            StamperMatrix::Sparse(_) => panic!("into_dense on a sparse stamper"),
+        }
+    }
+
+    /// One-shot factor-and-solve of `A·x = z` on whichever backend this
+    /// stamper was built for, without any factorization caching.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrix`] when elimination fails.
+    pub fn solve(self) -> Result<Vec<f64>, SingularMatrix> {
+        match self.a {
+            StamperMatrix::Dense(m) => Ok(m.lu()?.solve(&self.z)),
+            StamperMatrix::Sparse(t) => Ok(SparseLu::factor(&t)?.solve_refined(&t, &self.z)),
+        }
     }
 }
 
@@ -213,22 +291,24 @@ mod tests {
     fn conductance_stamp_is_symmetric() {
         let mut st = Stamper::new(2);
         st.conductance(Some(0), Some(1), 0.5);
-        assert_eq!(st.a[(0, 0)], 0.5);
-        assert_eq!(st.a[(1, 1)], 0.5);
-        assert_eq!(st.a[(0, 1)], -0.5);
-        assert_eq!(st.a[(1, 0)], -0.5);
+        let (a, _) = st.into_dense();
+        assert_eq!(a[(0, 0)], 0.5);
+        assert_eq!(a[(1, 1)], 0.5);
+        assert_eq!(a[(0, 1)], -0.5);
+        assert_eq!(a[(1, 0)], -0.5);
     }
 
     #[test]
     fn grounded_conductance_stamps_diagonal_only() {
         let mut st = Stamper::new(2);
         st.conductance(Some(1), None, 2.0);
-        assert_eq!(st.a[(1, 1)], 2.0);
-        assert_eq!(st.a[(0, 0)], 0.0);
+        let (a, _) = st.into_dense();
+        assert_eq!(a[(1, 1)], 2.0);
+        assert_eq!(a[(0, 0)], 0.0);
     }
 
     #[test]
-    fn voltage_branch_solves_divider() {
+    fn voltage_branch_solves_divider_on_both_backends() {
         // V(1V) — R(1Ω) — R(1Ω) — gnd; middle node must sit at 0.5 V.
         let mut ckt = Circuit::new();
         let top = ckt.node("top");
@@ -237,12 +317,14 @@ mod tests {
         ckt.add("R1", Device::resistor(top, mid, 1.0));
         ckt.add("R2", Device::resistor(mid, Circuit::GROUND, 1.0));
         let layout = MnaLayout::new(&ckt);
-        let mut st = Stamper::new(layout.dim());
-        st.conductance(layout.node(top), layout.node(mid), 1.0);
-        st.conductance(layout.node(mid), None, 1.0);
-        st.voltage_branch(layout.branch(0).unwrap(), layout.node(top), None, 1.0);
-        let x = st.a.lu().unwrap().solve(&st.z);
-        assert!((x[layout.node(mid).unwrap()] - 0.5).abs() < 1e-12);
-        assert!((x[layout.node(top).unwrap()] - 1.0).abs() < 1e-12);
+        for backend in [Backend::Dense, Backend::Sparse] {
+            let mut st = Stamper::with_backend(layout.dim(), backend);
+            st.conductance(layout.node(top), layout.node(mid), 1.0);
+            st.conductance(layout.node(mid), None, 1.0);
+            st.voltage_branch(layout.branch(0).unwrap(), layout.node(top), None, 1.0);
+            let x = st.solve().unwrap();
+            assert!((x[layout.node(mid).unwrap()] - 0.5).abs() < 1e-12);
+            assert!((x[layout.node(top).unwrap()] - 1.0).abs() < 1e-12);
+        }
     }
 }

@@ -10,10 +10,13 @@
 
 use ams_netlist::{units, Circuit, Device};
 
+use crate::ac::{assemble_complex, complex_pattern};
+use crate::backend::Backend;
 use crate::dc::OpPoint;
 use crate::error::SimError;
 use crate::linalg::{CMatrix, Complex};
 use crate::mna::{LinearNet, MnaLayout};
+use crate::sparse::{solve_cached, SparseLu};
 
 /// MOS channel thermal noise excess factor (long-channel value 2/3).
 const GAMMA_CHANNEL: f64 = 2.0 / 3.0;
@@ -131,6 +134,12 @@ pub fn noise_sources(
 ///
 /// * [`SimError::BadParameter`] — fewer than two frequencies.
 /// * [`SimError::Singular`] — the linearized system fails to solve.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `SimSession::new(&ckt).noise(node_name, freqs, temp_k)` — it \
+            resolves the output by node name and reuses the session's cached \
+            operating point, linearization, and sparse factorization"
+)]
 pub fn noise_analysis(
     ckt: &Circuit,
     op: &OpPoint,
@@ -138,6 +147,29 @@ pub fn noise_analysis(
     out_index: usize,
     freqs: &[f64],
     temp_k: f64,
+) -> Result<NoiseResult, SimError> {
+    analyze(
+        ckt,
+        op,
+        net,
+        out_index,
+        freqs,
+        temp_k,
+        Backend::auto_for(net.dim()),
+    )
+}
+
+/// The noise engine behind [`crate::SimSession::noise`]. On the sparse
+/// backend the transposed `(G + sC)ᵀ` pattern is factored symbolically once
+/// and refactored numerically at every later frequency point.
+pub(crate) fn analyze(
+    ckt: &Circuit,
+    op: &OpPoint,
+    net: &LinearNet,
+    out_index: usize,
+    freqs: &[f64],
+    temp_k: f64,
+    backend: Backend,
 ) -> Result<NoiseResult, SimError> {
     if freqs.len() < 2 {
         return Err(SimError::BadParameter(
@@ -149,20 +181,34 @@ pub fn noise_analysis(
     let mut output_psd = vec![0.0; freqs.len()];
     let mut per_device_psd: Vec<Vec<f64>> = vec![vec![0.0; freqs.len()]; sources.len()];
 
+    let mut e = vec![Complex::ZERO; n];
+    e[out_index] = Complex::ONE;
+    let pattern = match backend {
+        Backend::Dense => Vec::new(),
+        Backend::Sparse => complex_pattern(net),
+    };
+    let mut cached: Option<SparseLu<Complex>> = None;
+
     for (fi, &f) in freqs.iter().enumerate() {
         let s = Complex::new(0.0, 2.0 * std::f64::consts::PI * f);
         // Factor once per frequency via the adjoint trick: solve Aᵀ y = e_out,
         // then |H_k|² = |y·inj_k|² for every source k.
-        let mut at = CMatrix::zeros(n);
-        for i in 0..n {
-            for j in 0..n {
-                // Transpose while building.
-                at[(j, i)] = Complex::new(net.g[(i, j)], 0.0) + s * net.c[(i, j)];
+        let y = match backend {
+            Backend::Dense => {
+                let mut at = CMatrix::zeros(n);
+                for i in 0..n {
+                    for j in 0..n {
+                        // Transpose while building.
+                        at[(j, i)] = Complex::new(net.g[(i, j)], 0.0) + s * net.c[(i, j)];
+                    }
+                }
+                at.solve(&e)?
             }
-        }
-        let mut e = vec![Complex::ZERO; n];
-        e[out_index] = Complex::ONE;
-        let y = at.solve(&e)?;
+            Backend::Sparse => {
+                let t = assemble_complex(net, &pattern, s, true);
+                solve_cached(&mut cached, &t, &e)?
+            }
+        };
         for (k, src) in sources.iter().enumerate() {
             // Unit current injected from `from` to `to`.
             let mut h = Complex::ZERO;
@@ -218,8 +264,7 @@ pub fn noise_analysis(
 mod tests {
     use super::*;
     use crate::ac::log_frequencies;
-    use crate::dc::{dc_operating_point, linearize};
-    use crate::mna::output_index;
+    use crate::session::SimSession;
     use ams_netlist::parse_deck;
 
     #[test]
@@ -232,11 +277,8 @@ mod tests {
              R2 out 0 1k",
         )
         .unwrap();
-        let op = dc_operating_point(&ckt).unwrap();
-        let net = linearize(&ckt, &op);
-        let out = output_index(&ckt, &net.layout, "out").unwrap();
         let freqs = [1e3, 1e4];
-        let res = noise_analysis(&ckt, &op, &net, out, &freqs, 300.0).unwrap();
+        let res = SimSession::new(&ckt).noise("out", &freqs, 300.0).unwrap();
         // Each resistor contributes 4kT/R·|Rpar|²; total = 4kT·Rpar.
         let four_kt = 4.0 * units::BOLTZMANN * 300.0;
         let expected = four_kt * 500.0;
@@ -258,12 +300,9 @@ mod tests {
              C1 out 0 1p",
         )
         .unwrap();
-        let op = dc_operating_point(&ckt).unwrap();
-        let net = linearize(&ckt, &op);
-        let out = output_index(&ckt, &net.layout, "out").unwrap();
         // Must integrate far past the pole (159 MHz) to capture the tail.
         let freqs = log_frequencies(1.0, 1e12, 600);
-        let res = noise_analysis(&ckt, &op, &net, out, &freqs, 300.0).unwrap();
+        let res = SimSession::new(&ckt).noise("out", &freqs, 300.0).unwrap();
         let expected = (units::BOLTZMANN * 300.0 / 1e-12f64).sqrt();
         assert!(
             (res.output_rms - expected).abs() / expected < 0.02,
@@ -283,10 +322,9 @@ mod tests {
              M1 out in 0 0 nch W=20u L=2u",
         )
         .unwrap();
-        let op = dc_operating_point(&ckt).unwrap();
-        let net = linearize(&ckt, &op);
-        let layout = &net.layout;
-        let sources = noise_sources(&ckt, &op, layout, 300.0);
+        let ses = SimSession::new(&ckt);
+        let op = ses.op().unwrap();
+        let sources = noise_sources(&ckt, &op, ses.layout(), 300.0);
         let kinds: Vec<NoiseKind> = sources.iter().map(|s| s.kind).collect();
         assert!(kinds.contains(&NoiseKind::Thermal));
         assert!(kinds.contains(&NoiseKind::ChannelThermal));
@@ -307,10 +345,9 @@ mod tests {
              R2 out 0 10",
         )
         .unwrap();
-        let op = dc_operating_point(&ckt).unwrap();
-        let net = linearize(&ckt, &op);
-        let out = output_index(&ckt, &net.layout, "out").unwrap();
-        let res = noise_analysis(&ckt, &op, &net, out, &[1e3, 1e4, 1e5], 300.0).unwrap();
+        let res = SimSession::new(&ckt)
+            .noise("out", &[1e3, 1e4, 1e5], 300.0)
+            .unwrap();
         assert_eq!(res.contributions.len(), 2);
         // Sorted descending.
         assert!(res.contributions[0].1 >= res.contributions[1].1);
@@ -319,9 +356,28 @@ mod tests {
     #[test]
     fn too_few_frequencies_rejected() {
         let ckt = parse_deck("V1 a 0 DC 0\nR1 a 0 1k").unwrap();
-        let op = dc_operating_point(&ckt).unwrap();
-        let net = linearize(&ckt, &op);
-        let out = output_index(&ckt, &net.layout, "a").unwrap();
-        assert!(noise_analysis(&ckt, &op, &net, out, &[1.0], 300.0).is_err());
+        assert!(SimSession::new(&ckt).noise("a", &[1.0], 300.0).is_err());
+    }
+
+    #[test]
+    fn noise_backends_agree() {
+        let ckt = parse_deck(
+            "V1 in 0 DC 0
+             R1 in out 1k
+             C1 out 0 1p",
+        )
+        .unwrap();
+        let ses = SimSession::new(&ckt);
+        let op = ses.op().unwrap();
+        let net = ses.linearize().unwrap();
+        let out = ses.output_index("out").unwrap();
+        let freqs = log_frequencies(1.0, 1e10, 40);
+        let d = analyze(&ckt, &op, &net, out, &freqs, 300.0, Backend::Dense).unwrap();
+        let s = analyze(&ckt, &op, &net, out, &freqs, 300.0, Backend::Sparse).unwrap();
+        for (a, b) in d.output_psd.iter().zip(&s.output_psd) {
+            let scale = a.abs().max(1e-300);
+            assert!((a - b).abs() / scale < 1e-9, "dense {a} vs sparse {b}");
+        }
+        assert!((d.output_rms - s.output_rms).abs() / d.output_rms < 1e-9);
     }
 }

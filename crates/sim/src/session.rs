@@ -1,0 +1,349 @@
+//! `SimSession`: the single entry point for all circuit analyses.
+//!
+//! A session binds a circuit to one [`MnaLayout`] and one [`Backend`]
+//! choice, and carries every cache that makes repeated analyses cheap: the
+//! DC operating point, the linearized small-signal network, and — on the
+//! sparse backend — the symbolic LU factorizations that turn each Newton
+//! iteration, transient timestep, and AC frequency point into a numeric
+//! refactorization instead of a full factorization.
+//!
+//! ```
+//! use ams_sim::SimSession;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let ckt = ams_netlist::parse_deck("
+//!     Vin in 0 DC 0 AC 1
+//!     R1 in out 1k
+//!     C1 out 0 1n
+//! ")?;
+//! let ses = SimSession::new(&ckt);
+//! let op = ses.op()?;
+//! assert!((op.voltage(&ckt, "out")? - 0.0).abs() < 1e-9);
+//! let sweep = ses.ac("out", &ams_sim::log_frequencies(1.0, 1e9, 61))?;
+//! assert!(sweep.bandwidth_3db().is_some());
+//! # Ok(())
+//! # }
+//! ```
+
+use std::sync::{Arc, Mutex};
+
+use ams_guard::Retry;
+use ams_netlist::Circuit;
+
+use crate::ac::{sweep_net, AcSweep};
+use crate::backend::Backend;
+use crate::dc::{self, OpPoint};
+use crate::error::SimError;
+use crate::linalg::SingularMatrix;
+use crate::mna::{output_index, LinearNet, MnaLayout, Stamper, StamperMatrix};
+use crate::noise::{self, NoiseResult};
+use crate::sparse::SparseLu;
+use crate::tran::{self, TranResult};
+
+/// Which cached real factorization slot a solve belongs to. DC and
+/// transient stamps have different patterns (companion models add entries),
+/// so they reuse symbolic analyses independently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RealSlot {
+    /// DC Newton iterations (all homotopy rungs share one pattern).
+    Dc,
+    /// Transient companion-model solves.
+    Tran,
+}
+
+/// One circuit bound to a layout, a solver backend, and analysis caches.
+///
+/// Create with [`SimSession::new`] (backend auto-selected by unknown count,
+/// overridable via `AMS_SIM_BACKEND`) or [`SimSession::with_backend`], then
+/// call [`op`](SimSession::op), [`op_retry`](SimSession::op_retry),
+/// [`ac`](SimSession::ac), [`tran`](SimSession::tran) and
+/// [`noise`](SimSession::noise). Analyses share state: `ac` reuses the
+/// operating point `op` computed, and on the sparse backend every repeated
+/// solve against an unchanged matrix pattern skips symbolic analysis.
+#[derive(Debug)]
+pub struct SimSession<'c> {
+    ckt: &'c Circuit,
+    layout: MnaLayout,
+    backend: Backend,
+    op_cache: Mutex<Option<OpPoint>>,
+    net_cache: Mutex<Option<Arc<LinearNet>>>,
+    dc_lu: Mutex<Option<SparseLu<f64>>>,
+    tran_lu: Mutex<Option<SparseLu<f64>>>,
+}
+
+impl<'c> SimSession<'c> {
+    /// Binds a session to `ckt` with the backend chosen by
+    /// [`Backend::auto_for`] from the MNA unknown count.
+    pub fn new(ckt: &'c Circuit) -> Self {
+        let layout = MnaLayout::new(ckt);
+        let backend = Backend::auto_for(layout.dim());
+        Self::build(ckt, layout, backend)
+    }
+
+    /// Binds a session with an explicit backend, bypassing auto-selection.
+    pub fn with_backend(ckt: &'c Circuit, backend: Backend) -> Self {
+        let layout = MnaLayout::new(ckt);
+        Self::build(ckt, layout, backend)
+    }
+
+    fn build(ckt: &'c Circuit, layout: MnaLayout, backend: Backend) -> Self {
+        SimSession {
+            ckt,
+            layout,
+            backend,
+            op_cache: Mutex::new(None),
+            net_cache: Mutex::new(None),
+            dc_lu: Mutex::new(None),
+            tran_lu: Mutex::new(None),
+        }
+    }
+
+    /// The circuit this session analyzes.
+    pub fn circuit(&self) -> &'c Circuit {
+        self.ckt
+    }
+
+    /// The shared unknown layout.
+    pub fn layout(&self) -> &MnaLayout {
+        &self.layout
+    }
+
+    /// The linear-solver backend in use.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Unknown index of a named node, `None` for ground or unknown names.
+    pub fn output_index(&self, node: &str) -> Option<usize> {
+        output_index(self.ckt, &self.layout, node)
+    }
+
+    /// DC operating point (cached: repeated calls return the first result).
+    ///
+    /// # Errors
+    ///
+    /// Same as the DC ladder: [`SimError::Erc`], [`SimError::Singular`] /
+    /// [`SimError::SingularNode`], or [`SimError::NoConvergence`].
+    pub fn op(&self) -> Result<OpPoint, SimError> {
+        if let Some(op) = self.op_cache.lock().unwrap().as_ref() {
+            return Ok(op.clone());
+        }
+        let op = dc::dc_op_from(self, None)?;
+        *self.op_cache.lock().unwrap() = Some(op.clone());
+        Ok(op)
+    }
+
+    /// DC operating point with deterministic perturbed restarts on
+    /// retryable failures (non-convergence, numeric singularity); counted
+    /// under the `sim.dc_retries` trace counter. Cached like
+    /// [`op`](SimSession::op).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`op`](SimSession::op); the error is from the last attempt.
+    pub fn op_retry(&self, retry: &Retry) -> Result<OpPoint, SimError> {
+        if let Some(op) = self.op_cache.lock().unwrap().as_ref() {
+            return Ok(op.clone());
+        }
+        let op = dc::dc_op_retry(self, retry)?;
+        *self.op_cache.lock().unwrap() = Some(op.clone());
+        Ok(op)
+    }
+
+    /// Linearized small-signal network at the DC operating point (cached).
+    /// The returned [`LinearNet`] is dense — AWE and symbolic analysis read
+    /// it as matrices — so this is for cell-sized circuits, not grids.
+    ///
+    /// # Errors
+    ///
+    /// Any error from [`op`](SimSession::op).
+    pub fn linearize(&self) -> Result<Arc<LinearNet>, SimError> {
+        if let Some(net) = self.net_cache.lock().unwrap().as_ref() {
+            return Ok(Arc::clone(net));
+        }
+        let op = self.op()?;
+        let net = Arc::new(dc::linearize(self.ckt, &op));
+        *self.net_cache.lock().unwrap() = Some(Arc::clone(&net));
+        Ok(net)
+    }
+
+    /// AC sweep of the named output node over `freqs`. On the sparse
+    /// backend the `G + jωC` pattern is factored symbolically once and
+    /// refactored numerically at each subsequent frequency point.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::UnknownNode`] — `out` does not name a non-ground node.
+    /// * [`SimError::BadParameter`] — empty frequency list.
+    /// * Any error from [`op`](SimSession::op), or
+    ///   [`SimError::Singular`] at a frequency point.
+    pub fn ac(&self, out: &str, freqs: &[f64]) -> Result<AcSweep, SimError> {
+        let net = self.linearize()?;
+        let idx = self
+            .output_index(out)
+            .ok_or_else(|| SimError::UnknownNode(out.to_string()))?;
+        sweep_net(&net, idx, freqs, self.backend)
+    }
+
+    /// Transient analysis from the (cached) DC operating point: trapezoidal
+    /// integration with a backward-Euler start-up step and local step
+    /// halving, exactly as the standalone analysis ran it.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::BadParameter`] for non-positive `tstop`/`dt`.
+    /// * Any DC error from the initial operating point.
+    /// * [`SimError::NoConvergence`] when a step fails at the minimum step.
+    pub fn tran(&self, tstop: f64, dt: f64) -> Result<TranResult, SimError> {
+        tran::run(self, tstop, dt)
+    }
+
+    /// Noise analysis at the named output node: output PSD and integrated
+    /// rms over `freqs` at temperature `temp_k`, via the adjoint method.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::UnknownNode`] — `out` does not name a non-ground node.
+    /// * [`SimError::BadParameter`] — fewer than two frequencies.
+    /// * Any error from [`op`](SimSession::op), or
+    ///   [`SimError::Singular`] at a frequency point.
+    pub fn noise(&self, out: &str, freqs: &[f64], temp_k: f64) -> Result<NoiseResult, SimError> {
+        let op = self.op()?;
+        let net = self.linearize()?;
+        let idx = self
+            .output_index(out)
+            .ok_or_else(|| SimError::UnknownNode(out.to_string()))?;
+        noise::analyze(self.ckt, &op, &net, idx, freqs, temp_k, self.backend)
+    }
+
+    /// Solves the stamped system `A·x = z`, routing through the cached
+    /// sparse factorization slot when on the sparse backend.
+    pub(crate) fn solve_stamped(
+        &self,
+        st: Stamper,
+        slot: RealSlot,
+    ) -> Result<Vec<f64>, SingularMatrix> {
+        let (a, z) = (st.a, st.z);
+        match a {
+            StamperMatrix::Dense(m) => Ok(m.lu()?.solve(&z)),
+            StamperMatrix::Sparse(t) => {
+                let cache = match slot {
+                    RealSlot::Dc => &self.dc_lu,
+                    RealSlot::Tran => &self.tran_lu,
+                };
+                let mut guard = cache.lock().unwrap();
+                crate::sparse::solve_cached(&mut guard, &t, &z)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ams_netlist::parse_deck;
+
+    #[test]
+    fn session_caches_operating_point() {
+        let ckt = parse_deck(
+            "V1 in 0 DC 10
+             R1 in out 9k
+             R2 out 0 1k",
+        )
+        .unwrap();
+        let ses = SimSession::new(&ckt);
+        let op1 = ses.op().unwrap();
+        let op2 = ses.op().unwrap();
+        assert_eq!(op1.x, op2.x);
+        assert!((op1.voltage(&ckt, "out").unwrap() - 1.0).abs() < 1e-9);
+        // op_retry must serve the cache rather than re-solving.
+        let op3 = ses.op_retry(&Retry::default()).unwrap();
+        assert_eq!(op1.x, op3.x);
+    }
+
+    #[test]
+    fn ac_takes_node_names() {
+        let ckt = parse_deck(
+            "Vin in 0 DC 0 AC 1
+             R1 in out 1k
+             C1 out 0 159.154943n",
+        )
+        .unwrap();
+        let ses = SimSession::new(&ckt);
+        let sweep = ses
+            .ac("out", &crate::ac::log_frequencies(1.0, 1e6, 121))
+            .unwrap();
+        assert!((sweep.dc_gain() - 1.0).abs() < 1e-6);
+        let bw = sweep.bandwidth_3db().unwrap();
+        assert!((bw - 1000.0).abs() / 1000.0 < 0.02, "bw = {bw}");
+        assert!(matches!(
+            ses.ac("no_such_node", &[1.0]),
+            Err(SimError::UnknownNode(_))
+        ));
+    }
+
+    #[test]
+    fn forced_backends_agree() {
+        let ckt = parse_deck(
+            ".model nch nmos vt0=0.7 kp=110u lambda=0.04
+             Vdd vdd 0 DC 5
+             Vg  g   0 DC 1.0
+             RD  vdd d 10k
+             M1  d g 0 0 nch W=20u L=2u",
+        )
+        .unwrap();
+        let dense = SimSession::with_backend(&ckt, Backend::Dense);
+        let sparse = SimSession::with_backend(&ckt, Backend::Sparse);
+        let xd = dense.op().unwrap().x;
+        let xs = sparse.op().unwrap().x;
+        for (a, b) in xd.iter().zip(&xs) {
+            assert!((a - b).abs() < 1e-9, "dense {a} vs sparse {b}");
+        }
+    }
+
+    #[test]
+    fn sparse_session_reuses_symbolic_factorization() {
+        let ckt = parse_deck(
+            "V1 in 0 DC 10
+             R1 in out 9k
+             R2 out 0 1k",
+        )
+        .unwrap();
+        ams_trace::set_enabled(true);
+        let before = ams_trace::snapshot().counters;
+        let ses = SimSession::with_backend(&ckt, Backend::Sparse);
+        ses.op().unwrap();
+        let after = ams_trace::snapshot().counters;
+        ams_trace::set_enabled(false);
+        let delta =
+            |k: &str| after.get(k).copied().unwrap_or(0) - before.get(k).copied().unwrap_or(0);
+        // Counters are process-global, so stay robust to concurrently
+        // running tests: at least one symbolic analysis ran, and later
+        // Newton iterations reused it instead of re-analyzing.
+        assert!(delta("sim.sparse.symbolic") >= 1, "symbolic analysis ran");
+        assert!(
+            delta("sim.sparse.symbolic_reuse") >= 1,
+            "later Newton iterations must reuse the pattern"
+        );
+        assert!(delta("sim.sparse.refactor") >= 1, "numeric refactor ran");
+    }
+
+    #[test]
+    fn session_noise_matches_kt_over_c() {
+        let ckt = parse_deck(
+            "V1 in 0 DC 0
+             R1 in out 1k
+             C1 out 0 1p",
+        )
+        .unwrap();
+        let ses = SimSession::new(&ckt);
+        let freqs = crate::ac::log_frequencies(1.0, 1e12, 600);
+        let res = ses.noise("out", &freqs, 300.0).unwrap();
+        let expected = (ams_netlist::units::BOLTZMANN * 300.0 / 1e-12f64).sqrt();
+        assert!(
+            (res.output_rms - expected).abs() / expected < 0.02,
+            "rms {} vs kT/C {expected}",
+            res.output_rms
+        );
+    }
+}

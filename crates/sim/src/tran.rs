@@ -10,9 +10,9 @@ use ams_guard::fault::{self, FaultKind};
 use ams_netlist::{Circuit, Device, NodeId};
 use std::collections::HashMap;
 
-use crate::dc::dc_operating_point;
 use crate::error::SimError;
 use crate::mna::{indexed_devices, MnaLayout, Stamper};
+use crate::session::{RealSlot, SimSession};
 
 const MAX_ITER: usize = 60;
 const VNTOL: f64 = 1e-6;
@@ -126,12 +126,22 @@ struct ReactState {
 ///     R1 in out 1k
 ///     C1 out 0 1u
 /// ").unwrap();
-/// let result = ams_sim::transient(&ckt, 5e-3, 10e-6).unwrap();
+/// let result = ams_sim::SimSession::new(&ckt).tran(5e-3, 10e-6).unwrap();
 /// let out = result.voltage(&ckt, "out").unwrap();
 /// // After 5 RC time constants the output has settled near 1 V.
 /// assert!(out.last().copied().unwrap() > 0.95);
 /// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "use `SimSession::new(&ckt).tran(tstop, dt)` — the session reuses \
+            its cached DC operating point and sparse symbolic factorization"
+)]
 pub fn transient(ckt: &Circuit, tstop: f64, dt: f64) -> Result<TranResult, SimError> {
+    SimSession::new(ckt).tran(tstop, dt)
+}
+
+/// The transient engine behind [`SimSession::tran`].
+pub(crate) fn run(ses: &SimSession<'_>, tstop: f64, dt: f64) -> Result<TranResult, SimError> {
     if tstop <= 0.0 || dt <= 0.0 || dt > tstop {
         return Err(SimError::BadParameter(
             "tstop and dt must be positive with dt <= tstop".into(),
@@ -139,8 +149,9 @@ pub fn transient(ckt: &Circuit, tstop: f64, dt: f64) -> Result<TranResult, SimEr
     }
     let _span = ams_trace::span("sim.transient");
     let mut stats = TranStats::default();
-    let op = dc_operating_point(ckt)?;
-    let layout = MnaLayout::new(ckt);
+    let ckt = ses.circuit();
+    let op = ses.op()?;
+    let layout = ses.layout().clone();
     let devices = indexed_devices(ckt);
 
     let mut x = op.x.clone();
@@ -179,7 +190,7 @@ pub fn transient(ckt: &Circuit, tstop: f64, dt: f64) -> Result<TranResult, SimEr
     while t < tstop - 1e-15 {
         let step = dt.min(tstop - t);
         let (new_x, new_states, new_mos_caps, t_next) = match advance(
-            ckt, &layout, &devices, &x, &states, &mos_caps, t, step, first_step, 0, &mut stats,
+            ses, &layout, &devices, &x, &states, &mos_caps, t, step, first_step, 0, &mut stats,
         ) {
             Ok(v) => v,
             Err(e) => {
@@ -217,7 +228,7 @@ fn flush_stats(stats: &TranStats) {
 /// Advances one (possibly recursively halved) timestep.
 #[allow(clippy::too_many_arguments, clippy::type_complexity)]
 fn advance(
-    ckt: &Circuit,
+    ses: &SimSession<'_>,
     layout: &MnaLayout,
     devices: &[(usize, String, Device)],
     x: &[f64],
@@ -256,7 +267,7 @@ fn advance(
     }
 
     match newton_step(
-        ckt,
+        ses,
         layout,
         devices,
         x,
@@ -305,7 +316,7 @@ fn advance(
             stats.halvings += 1;
             // Halve: two sub-steps, BE on the first half for damping.
             let (x1, s1, c1, t1) = advance(
-                ckt,
+                ses,
                 layout,
                 devices,
                 x,
@@ -318,7 +329,7 @@ fn advance(
                 stats,
             )?;
             advance(
-                ckt,
+                ses,
                 layout,
                 devices,
                 &x1,
@@ -365,7 +376,7 @@ fn mos_cap_pairs(m: &ams_netlist::MosInstance) -> [(NodeId, NodeId); 4] {
 /// Newton solve at one time point with companion models.
 #[allow(clippy::too_many_arguments)]
 fn newton_step(
-    ckt: &Circuit,
+    ses: &SimSession<'_>,
     layout: &MnaLayout,
     devices: &[(usize, String, Device)],
     x0: &[f64],
@@ -376,10 +387,9 @@ fn newton_step(
     use_be: bool,
     iters: &mut u64,
 ) -> Result<Vec<f64>, SimError> {
-    let _ = ckt; // reserved for future per-device diagnostics
-                 // Injection site: fail this step's Newton solve so the caller enters
-                 // its step-halving recovery path (and, past MAX_HALVINGS, its error
-                 // path) exactly as a genuinely stiff point would.
+    // Injection site: fail this step's Newton solve so the caller enters
+    // its step-halving recovery path (and, past MAX_HALVINGS, its error
+    // path) exactly as a genuinely stiff point would.
     if fault::trip(FaultKind::TranHalving) {
         return Err(SimError::NoConvergence {
             analysis: "tran",
@@ -390,12 +400,13 @@ fn newton_step(
     for _ in 0..MAX_ITER {
         *iters += 1;
         let _ = budget::charge_newton(1);
-        let mut st = Stamper::new(layout.dim());
+        let mut st = Stamper::with_backend(layout.dim(), ses.backend());
         stamp_tran(
             layout, devices, &x, states, mos_caps, t_new, h, use_be, &mut st,
         );
-        let lu = st.a.lu().map_err(SimError::Singular)?;
-        let new_x = lu.solve(&st.z);
+        let new_x = ses
+            .solve_stamped(st, RealSlot::Tran)
+            .map_err(SimError::Singular)?;
         let mut converged = true;
         for i in 0..x.len() {
             let mut dx = new_x[i] - x[i];
@@ -455,7 +466,7 @@ fn stamp_tran(
                 } else {
                     (2.0 * henries / h, -(2.0 * henries / h) * s.v - s.i)
                 };
-                st.a[(br, br)] -= req;
+                st.add(br, br, -req);
                 st.z[br] += veq;
             }
             Device::Vsource {
@@ -492,10 +503,10 @@ fn stamp_tran(
                 let br = layout.branch(*li).expect("vcvs branch");
                 st.voltage_branch(br, layout.node(*plus), layout.node(*minus), 0.0);
                 if let Some(cp) = layout.node(*ctrl_plus) {
-                    st.a[(br, cp)] -= gain;
+                    st.add(br, cp, -gain);
                 }
                 if let Some(cm) = layout.node(*ctrl_minus) {
-                    st.a[(br, cm)] += gain;
+                    st.add(br, cm, *gain);
                 }
             }
             Device::Vccs {
@@ -586,7 +597,7 @@ mod tests {
         )
         .unwrap();
         // τ = 1 ms; simulate 5 ms.
-        let res = transient(&ckt, 5e-3, 20e-6).unwrap();
+        let res = SimSession::new(&ckt).tran(5e-3, 20e-6).unwrap();
         let out = res.voltage(&ckt, "out").unwrap();
         // Compare a mid-trace point to the analytic exponential.
         let idx = res.times.iter().position(|&t| t >= 1e-3).unwrap();
@@ -611,7 +622,9 @@ mod tests {
         .unwrap();
         let f0 = 1.0 / (2.0 * std::f64::consts::PI * (1e-3f64 * 1e-9).sqrt());
         let period = 1.0 / f0;
-        let res = transient(&ckt, 10.0 * period, period / 200.0).unwrap();
+        let res = SimSession::new(&ckt)
+            .tran(10.0 * period, period / 200.0)
+            .unwrap();
         let out = res.voltage(&ckt, "out").unwrap();
         // Peak in the final 2 periods should be close to the early peak.
         let n = out.len();
@@ -632,7 +645,7 @@ mod tests {
              R2 out 0 1meg",
         )
         .unwrap();
-        let res = transient(&ckt, 1e-3, 1e-6).unwrap();
+        let res = SimSession::new(&ckt).tran(1e-3, 1e-6).unwrap();
         let out = res.voltage(&ckt, "out").unwrap();
         let max = out.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let min = out.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -652,7 +665,7 @@ mod tests {
              CL out 0 50f",
         )
         .unwrap();
-        let res = transient(&ckt, 100e-9, 0.25e-9).unwrap();
+        let res = SimSession::new(&ckt).tran(100e-9, 0.25e-9).unwrap();
         let out = res.voltage(&ckt, "out").unwrap();
         // Output starts high, dips low during the input pulse.
         assert!(out[0] > 4.9);
@@ -663,8 +676,8 @@ mod tests {
     #[test]
     fn bad_parameters_rejected() {
         let ckt = parse_deck("R1 a 0 1k\nV1 a 0 DC 1").unwrap();
-        assert!(transient(&ckt, -1.0, 1e-9).is_err());
-        assert!(transient(&ckt, 1e-9, 1e-6).is_err());
+        assert!(SimSession::new(&ckt).tran(-1.0, 1e-9).is_err());
+        assert!(SimSession::new(&ckt).tran(1e-9, 1e-6).is_err());
     }
 
     #[test]
@@ -675,7 +688,7 @@ mod tests {
              R2 out 0 1meg",
         )
         .unwrap();
-        let res = transient(&ckt, 1e-3, 1e-6).unwrap();
+        let res = SimSession::new(&ckt).tran(1e-3, 1e-6).unwrap();
         let pk = res.peak(&ckt, "out").unwrap();
         assert!((pk - 1.0).abs() < 0.01);
         let tp = res.peak_time(&ckt, "out").unwrap();

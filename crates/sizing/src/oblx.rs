@@ -231,7 +231,7 @@ impl DcFreeTemplate for CommonSourceDcFree {
 mod tests {
     use super::*;
     use ams_netlist::Technology;
-    use ams_sim::dc_operating_point;
+    use ams_sim::SimSession;
     use ams_topology::Bound;
 
     fn template() -> CommonSourceDcFree {
@@ -286,10 +286,8 @@ mod tests {
         let relaxed_gain = r.sizing.perf["gain_db"];
         let sizes = [r.sizing.params["w"], r.sizing.params["rd"]];
         let ckt = t.build(&sizes);
-        let op = dc_operating_point(&ckt).unwrap();
-        let net = ams_sim::linearize(&ckt, &op);
-        let out = ams_sim::output_index(&ckt, &net.layout, "out").unwrap();
-        let exact = ams_sim::ac_sweep(&net, out, &[100.0]).unwrap().dc_gain();
+        let ses = SimSession::new(&ckt);
+        let exact = ses.ac("out", &[100.0]).unwrap().dc_gain();
         let exact_db = 20.0 * exact.max(1e-12).log10();
         assert!(
             (relaxed_gain - exact_db).abs() < 3.0,

@@ -15,9 +15,7 @@ use crate::eqopt::SizingResult;
 use ams_awe::AweModel;
 use ams_guard::Retry;
 use ams_netlist::{Circuit, Technology};
-use ams_sim::{
-    ac_sweep, dc_operating_point_retry, linearize, log_frequencies, output_index, SimError,
-};
+use ams_sim::{log_frequencies, SimError, SimSession};
 use ams_topology::Spec;
 use std::collections::HashMap;
 
@@ -209,9 +207,11 @@ impl SimulatedTemplate for TwoStageCircuit {
         // before scoring the candidate infeasible: a marginal operating
         // point that Newton misses from a zero start is often perfectly
         // solvable, and discarding it would waste the candidate.
-        let op = dc_operating_point_retry(ckt, &Retry::default())?;
-        let net = linearize(ckt, &op);
-        let out = output_index(ckt, &net.layout, "out")
+        let ses = SimSession::new(ckt);
+        let op = ses.op_retry(&Retry::default())?;
+        let net = ses.linearize()?;
+        let out = ses
+            .output_index("out")
             .ok_or_else(|| SimError::UnknownNode("out".into()))?;
         let mut perf: Perf = HashMap::new();
 
@@ -243,7 +243,7 @@ impl SimulatedTemplate for TwoStageCircuit {
         let (gain, ugf, pm) = match ac {
             AcEvaluator::FullSweep { points } => {
                 let freqs = log_frequencies(10.0, 1e10, points.max(16));
-                let sweep = ac_sweep(&net, out, &freqs)?;
+                let sweep = ses.ac("out", &freqs)?;
                 (
                     sweep.dc_gain(),
                     sweep.unity_gain_freq().unwrap_or(0.0),
@@ -289,7 +289,6 @@ impl SimulatedTemplate for TwoStageCircuit {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ams_sim::dc_operating_point;
     use ams_topology::Bound;
 
     fn template() -> TwoStageCircuit {
@@ -307,7 +306,7 @@ mod tests {
         let t = template();
         let ckt = t.build(&good_point());
         ckt.validate().unwrap();
-        let op = dc_operating_point(&ckt).unwrap();
+        let op = SimSession::new(&ckt).op().unwrap();
         // Diff pair must be in saturation at this sizing.
         assert_eq!(op.mos_ops["M1"].region, ams_netlist::MosRegion::Saturation);
         assert_eq!(op.mos_ops["M2"].region, ams_netlist::MosRegion::Saturation);

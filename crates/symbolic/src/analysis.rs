@@ -373,7 +373,7 @@ fn stamp_branch_incidence(a: &mut SMatrix, br: usize, p: Option<usize>, m: Optio
 mod tests {
     use super::*;
     use ams_netlist::parse_deck;
-    use ams_sim::{ac_sweep, dc_operating_point, linearize, log_frequencies, output_index};
+    use ams_sim::{log_frequencies, SimSession};
 
     #[test]
     fn rc_lowpass_symbolic_form() {
@@ -383,7 +383,7 @@ mod tests {
              C1 out 0 1n",
         )
         .unwrap();
-        let op = dc_operating_point(&ckt).unwrap();
+        let op = SimSession::new(&ckt).op().unwrap();
         let tf = transfer_function(&ckt, &op, "out").unwrap();
         // H = g_R1 / (g_R1 + s·c_C1) up to a shared constant factor.
         assert!((tf.dc_gain() - 1.0).abs() < 1e-9);
@@ -403,12 +403,10 @@ mod tests {
              CL out 0 1p",
         )
         .unwrap();
-        let op = dc_operating_point(&ckt).unwrap();
+        let op = SimSession::new(&ckt).op().unwrap();
         let tf = transfer_function(&ckt, &op, "out").unwrap();
-        let net = linearize(&ckt, &op);
-        let out = output_index(&ckt, &net.layout, "out").unwrap();
         let freqs = log_frequencies(10.0, 1e9, 31);
-        let sweep = ac_sweep(&net, out, &freqs).unwrap();
+        let sweep = SimSession::new(&ckt).ac("out", &freqs).unwrap();
         for (f, exact) in freqs.iter().zip(&sweep.values) {
             let sym = tf.evaluate_at(*f);
             let err = (sym - *exact).abs() / exact.abs().max(1e-12);
@@ -426,7 +424,7 @@ mod tests {
              M1 out in 0 0 nch W=20u L=2u",
         )
         .unwrap();
-        let op = dc_operating_point(&ckt).unwrap();
+        let op = SimSession::new(&ckt).op().unwrap();
         let tf = transfer_function(&ckt, &op, "out").unwrap();
         // DC gain must equal −gm/(gds + g_RD).
         let mop = op.mos_ops["M1"];
@@ -451,7 +449,7 @@ mod tests {
              CL out 0 1p",
         )
         .unwrap();
-        let op = dc_operating_point(&ckt).unwrap();
+        let op = SimSession::new(&ckt).op().unwrap();
         let tf = transfer_function(&ckt, &op, "out").unwrap();
         let simple = tf.simplified(0.05);
         assert!(simple.num_terms() <= tf.num_terms());
@@ -463,7 +461,7 @@ mod tests {
     #[test]
     fn missing_output_is_reported() {
         let ckt = parse_deck("Vin in 0 DC 0 AC 1\nR1 in 0 1k").unwrap();
-        let op = dc_operating_point(&ckt).unwrap();
+        let op = SimSession::new(&ckt).op().unwrap();
         assert!(matches!(
             transfer_function(&ckt, &op, "nope"),
             Err(SymbolicError::UnknownOutput(_))
@@ -478,7 +476,7 @@ mod tests {
              R2 out 0 1k",
         )
         .unwrap();
-        let op = dc_operating_point(&ckt).unwrap();
+        let op = SimSession::new(&ckt).op().unwrap();
         assert!(matches!(
             transfer_function(&ckt, &op, "out"),
             Err(SymbolicError::NoExcitation)
@@ -495,7 +493,7 @@ mod tests {
              C2 out 0 1p",
         )
         .unwrap();
-        let op = dc_operating_point(&ckt).unwrap();
+        let op = SimSession::new(&ckt).op().unwrap();
         let tf = transfer_function(&ckt, &op, "out").unwrap();
         // Denominator reaches s².
         let deg = tf.den.iter().rposition(|p| !p.is_zero()).unwrap();

@@ -26,7 +26,7 @@
 //!     R1 in out 1k
 //!     C1 out 0 1n
 //! ")?;
-//! let op = ams_sim::dc_operating_point(&ckt)?;
+//! let op = ams_sim::SimSession::new(&ckt).op()?;
 //! let tf = ams_symbolic::transfer_function(&ckt, &op, "out")?;
 //! assert!((tf.dc_gain() - 1.0).abs() < 1e-9);
 //! println!("{}", tf.render()); // H(s) = [(g_R1)] / [(g_R1) + (c_C1)*s]

@@ -34,7 +34,7 @@ R2 out 0 0";
     // The simulator runs the structural subset of these checks as a gate,
     // so the DC solve fails with a named diagnosis, not a bare pivot index.
     let ckt = parse_deck(broken)?;
-    match dc_operating_point(&ckt) {
+    match SimSession::new(&ckt).op() {
         Err(e) => println!("== simulator says ==\n\n{e}\n"),
         Ok(_) => unreachable!("a singular circuit must not solve"),
     }
@@ -50,7 +50,7 @@ R3 mid 0 1meg";
     let report = lint_deck(fixed)?;
     assert!(report.is_clean());
     let ckt = parse_deck(fixed)?;
-    let op = dc_operating_point(&ckt)?;
+    let op = SimSession::new(&ckt).op()?;
     println!("== after repairs ==\n");
     println!("clean deck, V(out) = {:.3} V", op.voltage(&ckt, "out")?);
     Ok(())

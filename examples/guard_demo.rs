@@ -87,7 +87,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     let ckt = template.build(&x);
     println!("\n== device-level DC under injected singular pivots ==");
-    match ams::sim::dc_operating_point_retry(&ckt, &Retry::default()) {
+    match SimSession::new(&ckt).op_retry(&Retry::default()) {
         Ok(op) => println!(
             "  recovered: strategy {:?}, {} Newton iterations",
             op.strategy, op.iterations

@@ -21,16 +21,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.render_human()
     );
     let ckt = parse_deck(deck)?;
-    let op = dc_operating_point(&ckt)?;
+    let ses = SimSession::new(&ckt);
+    let op = ses.op()?;
     println!("== common-source amplifier ==");
     println!(
         "  V(out) operating point: {:.3} V",
         op.voltage(&ckt, "out")?
     );
 
-    let net = linearize(&ckt, &op);
-    let out = ams_sim::output_index(&ckt, &net.layout, "out").expect("node exists");
-    let sweep = ac_sweep(&net, out, &ams_sim::log_frequencies(10.0, 1e9, 121))?;
+    let sweep = ses.ac("out", &log_frequencies(10.0, 1e9, 121))?;
     println!("  dc gain: {:.1} dB", 20.0 * sweep.dc_gain().log10());
     if let Some(bw) = sweep.bandwidth_3db() {
         println!("  bandwidth: {}", format_eng(bw, "Hz"));

@@ -19,6 +19,15 @@ AMS_EXEC_THREADS=1 cargo test --workspace --offline -q
 echo "== analytic golden references =="
 cargo test --offline -q --test golden_analytic
 
+echo "== forced linear-solver backend matrix (sim + rail) =="
+for backend in dense sparse; do
+    echo "--  AMS_SIM_BACKEND=$backend"
+    AMS_SIM_BACKEND=$backend cargo test --offline -q -p ams-sim -p ams-rail
+done
+
+echo "== dense/sparse backend equivalence =="
+cargo test --offline -q --test sparse_equivalence
+
 echo "== exec determinism across worker counts =="
 cargo test --offline -q --test exec_determinism
 

@@ -115,7 +115,7 @@ fn run_faulted(kind: FaultKind, seed: u64) -> (String, BTreeMap<String, u64>) {
             Err(e) => out.push_str(&format!("flow err {e}\n")),
         }
         let ckt = two_stage_circuit();
-        match ams::sim::dc_operating_point_retry(&ckt, &Retry::default()) {
+        match SimSession::new(&ckt).op_retry(&Retry::default()) {
             Ok(op) => out.push_str(&format!(
                 "dc ok strategy={:?} iters={}\n",
                 op.strategy, op.iterations
@@ -128,7 +128,7 @@ fn run_faulted(kind: FaultKind, seed: u64) -> (String, BTreeMap<String, u64>) {
              C1 out 0 1u",
         )
         .expect("rc deck parses");
-        match transient(&rc, 2e-3, 20e-6) {
+        match SimSession::new(&rc).tran(2e-3, 20e-6) {
             Ok(res) => out.push_str(&format!("tran ok points={}\n", res.times.len())),
             Err(e) => out.push_str(&format!("tran err {e}\n")),
         }
@@ -241,7 +241,7 @@ fn dc_retry_recovers_from_injected_divergence() {
     // start — must recover.
     fault::arm(FaultPlan::new().fault(FaultKind::NewtonDiverge, Trigger::At(vec![0, 1, 2])));
     let ckt = two_stage_circuit();
-    let op = ams::sim::dc_operating_point_retry(&ckt, &Retry::default());
+    let op = SimSession::new(&ckt).op_retry(&Retry::default());
     fault::disarm();
     ams::trace::set_enabled(false);
     let counters = ams::trace::snapshot().counters;

@@ -93,12 +93,11 @@ fn symbolic_matches_simulation_on_synthesized_netlist() {
     let template = TwoStageCircuit::new(tech, 5e-12);
     let x = [60e-6, 30e-6, 150e-6, 50e-6, 150e-6, 2e-12, 2.4e-6];
     let ckt = ams_sizing::SimulatedTemplate::build(&template, &x);
-    let op = dc_operating_point(&ckt).unwrap();
+    let ses = SimSession::new(&ckt);
+    let op = ses.op().unwrap();
     let tf = ams_symbolic::transfer_function(&ckt, &op, "out").unwrap();
-    let net = linearize(&ckt, &op);
-    let out = ams_sim::output_index(&ckt, &net.layout, "out").unwrap();
     let freqs = ams_sim::log_frequencies(100.0, 1e8, 17);
-    let sweep = ac_sweep(&net, out, &freqs).unwrap();
+    let sweep = ses.ac("out", &freqs).unwrap();
     for (f, exact) in freqs.iter().zip(&sweep.values) {
         let sym = tf.evaluate_at(*f);
         let err = (sym - *exact).abs() / exact.abs().max(1e-12);

@@ -13,7 +13,6 @@
 //!   of artificial damping), loose enough to never flake.
 
 use ams::prelude::*;
-use ams::sim::{ac_sweep, linearize, output_index};
 
 /// |measured − expected| ≤ tol·max(|expected|, 1): absolute near zero,
 /// relative elsewhere.
@@ -37,7 +36,7 @@ fn dc_resistive_divider_matches_closed_form() {
         ",
     )
     .expect("divider deck parses");
-    let op = dc_operating_point(&ckt).expect("divider DC solves");
+    let op = SimSession::new(&ckt).op().expect("divider DC solves");
     let expected = 5.0 * 2e3 / (3e3 + 2e3);
     assert_close(
         op.voltage(&ckt, "out").unwrap(),
@@ -66,7 +65,9 @@ fn rc_step_response_matches_exponential() {
     )
     .expect("RC deck parses");
     let dt = tau / 100.0;
-    let result = ams::sim::transient(&ckt, 5.0 * tau, dt).expect("RC transient runs");
+    let result = SimSession::new(&ckt)
+        .tran(5.0 * tau, dt)
+        .expect("RC transient runs");
     let wave = result.voltage(&ckt, "out").expect("out exists");
     let mut worst = 0.0f64;
     for (&t, &v) in result.times.iter().zip(&wave) {
@@ -105,10 +106,9 @@ fn single_pole_corner_is_minus_3db_minus_45deg() {
         ",
     )
     .expect("low-pass deck parses");
-    let op = dc_operating_point(&ckt).expect("low-pass DC solves");
-    let net = linearize(&ckt, &op);
-    let out = output_index(&ckt, &net.layout, "out").expect("out is an unknown");
-    let sweep = ac_sweep(&net, out, &[fc]).expect("AC solve at corner");
+    let sweep = SimSession::new(&ckt)
+        .ac("out", &[fc])
+        .expect("AC solve at corner");
     assert_close(
         sweep.values[0].abs(),
         std::f64::consts::FRAC_1_SQRT_2,
@@ -142,15 +142,15 @@ fn rlc_resonance_peak_matches_quality_factor() {
         ",
     )
     .expect("RLC deck parses");
-    let op = dc_operating_point(&ckt).expect("RLC DC solves");
-    let net = linearize(&ckt, &op);
-    let out = output_index(&ckt, &net.layout, "out").expect("out is an unknown");
-    let sweep = ac_sweep(&net, out, &[f0]).expect("AC solve at resonance");
+    let ses = SimSession::new(&ckt);
+    let sweep = ses.ac("out", &[f0]).expect("AC solve at resonance");
     assert_close(sweep.values[0].abs(), q, 1e-9, "resonance peak magnitude");
     assert_close(sweep.phase_deg()[0], -90.0, 1e-9, "resonance phase");
     // Sanity: off resonance by a decade the capacitor output is back near
     // the 0 dB passband (low side) — the peak really is a peak.
-    let below = ac_sweep(&net, out, &[f0 / 10.0]).expect("AC solve below resonance");
+    let below = ses
+        .ac("out", &[f0 / 10.0])
+        .expect("AC solve below resonance");
     assert!(
         below.values[0].abs() < q / 2.0,
         "response a decade below resonance ({:.3}) should sit well under the {q:.3} peak",

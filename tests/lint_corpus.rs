@@ -30,7 +30,7 @@ fn expect_primary(deck: &str, code: &str, line: usize) -> String {
 /// Asserts the simulator refuses `deck` with `SimError::Erc` carrying `code`.
 fn expect_sim_erc(deck: &str, code: &str) -> String {
     let ckt = parse_deck(deck).expect("corpus decks must parse");
-    match dc_operating_point(&ckt) {
+    match SimSession::new(&ckt).op() {
         Err(SimError::Erc { code: c, message }) => {
             assert_eq!(c, code, "simulator gate reported {c}: {message}");
             message

@@ -200,7 +200,7 @@ fn dc_divider_matches_formula() {
         let v = rng.gen_range(-10.0..10.0);
         let deck = format!("V1 in 0 DC {v}\nR1 in out {r1}\nR2 out 0 {r2}");
         let ckt = parse_deck(&deck).expect("parses");
-        let op = dc_operating_point(&ckt).expect("converges");
+        let op = SimSession::new(&ckt).op().expect("converges");
         let expected = v * r2 / (r1 + r2);
         let got = op.voltage(&ckt, "out").expect("node");
         assert!(
@@ -219,7 +219,7 @@ fn awe_single_pole_exact() {
         let c = rng.gen_range(1e-13..1e-8);
         let deck = format!("Vin in 0 DC 0 AC 1\nR1 in out {r}\nC1 out 0 {c}");
         let ckt = parse_deck(&deck).expect("parses");
-        let op = dc_operating_point(&ckt).expect("converges");
+        let op = SimSession::new(&ckt).op().expect("converges");
         let net = linearize(&ckt, &op);
         let out = ams_sim::output_index(&ckt, &net.layout, "out").expect("node");
         let model = ams_awe::AweModel::from_net(&net, out, 1).expect("awe");
@@ -253,7 +253,9 @@ fn lint_clean_ladders_simulate() {
             report.render_human()
         );
         let ckt = parse_deck(&deck).expect("parses");
-        dc_operating_point(&ckt).unwrap_or_else(|e| panic!("case {case}: {e}"));
+        SimSession::new(&ckt)
+            .op()
+            .unwrap_or_else(|e| panic!("case {case}: {e}"));
     }
 }
 
@@ -302,7 +304,7 @@ fn solve_r_network(
         let n = nid(&mut ckt, at);
         ckt.add(&format!("I{i}"), Device::idc(Circuit::GROUND, n, amps));
     }
-    let op = ams_sim::dc_operating_point(&ckt).expect("linear R network solves");
+    let op = SimSession::new(&ckt).op().expect("linear R network solves");
     (ckt, op)
 }
 

@@ -51,7 +51,8 @@ fn run_once() -> BTreeMap<String, u64> {
         .iter()
         .map(|pd| (pd.lo * pd.hi).sqrt())
         .collect();
-    let op = dc_operating_point(&template.build(&x)).expect("two-stage DC");
+    let ckt = template.build(&x);
+    let op = SimSession::new(&ckt).op().expect("two-stage DC");
     assert!(op.iterations > 0);
 
     let mut counters = ams::trace::snapshot().counters;
