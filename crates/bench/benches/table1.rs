@@ -95,6 +95,9 @@ fn write_bench_json(
         speedup.cache_hit_rate
     );
     let _ = writeln!(json, "  \"hw_threads\": {},", speedup.hw_threads);
+    // Honest hardware reporting: a 4-worker "speedup" measured on a single
+    // hardware thread is time-slicing, not scaling — flag it invalid.
+    let _ = writeln!(json, "  \"speedup_valid\": {},", speedup.hw_threads > 1);
     json.push_str("  \"grid_scaling\": [");
     for (i, r) in grid.rows.iter().enumerate() {
         if i > 0 {
@@ -102,13 +105,15 @@ fn write_bench_json(
         }
         let _ = write!(
             json,
-            "\n    {{\"n\": {}, \"unknowns\": {}, \"dense_s\": {}, \"sparse_s\": {:.6}, \"fill_in\": {}}}",
+            "\n    {{\"n\": {}, \"unknowns\": {}, \"dense_s\": {}, \"sparse_s\": {:.6}, \
+             \"fill_in\": {}, \"predicted_fill\": {}, \"btf_blocks\": {}}}",
             r.n,
             r.unknowns,
-            r.dense_s
-                .map_or("null".to_string(), |d| format!("{d:.6}")),
+            r.dense_s.map_or("null".to_string(), |d| format!("{d:.6}")),
             r.sparse_s,
-            r.fill_in
+            r.fill_in,
+            r.predicted_fill,
+            r.btf_blocks
         );
     }
     json.push_str("\n  ],\n");
@@ -164,6 +169,12 @@ struct GridScalingRow {
     sparse_s: f64,
     /// Sparse fill-in (entries created beyond the stamped pattern).
     fill_in: u64,
+    /// Minimum-degree fill-in forecast from the structural analyzer,
+    /// recorded next to the actual `fill_in` so the prediction quality is
+    /// a tracked trajectory.
+    predicted_fill: u64,
+    /// Coarse BTF block count the analyzer found (1 = fully coupled).
+    btf_blocks: usize,
 }
 
 /// Dense-vs-sparse scaling of the power-grid DC solve.
@@ -210,12 +221,22 @@ fn measure_grid_scaling(phases: &mut Vec<Phase>) -> GridScalingSample {
                 speedup_common = d / sparse_s.max(1e-12);
                 common_n = n;
             }
+            // Static pattern analysis on the same grid: the forecast is
+            // backend-independent, so one pass per size suffices.
+            let ckt = PowerGrid::uniform(GridSpec::synthetic(n), 10e-6).to_circuit();
+            let structural = ams_lint::analyze_circuit_structure(&ckt);
+            assert!(
+                structural.is_structurally_nonsingular(),
+                "{n}×{n} power grid must have a perfect MNA matching"
+            );
             rows.push(GridScalingRow {
                 n,
                 unknowns,
                 dense_s,
                 sparse_s,
                 fill_in,
+                predicted_fill: structural.predicted_fill,
+                btf_blocks: structural.btf.as_ref().map_or(0, |b| b.num_blocks()),
             });
         }
         ams_trace::counter_add("bench.grid.largest_unknowns", {

@@ -54,6 +54,9 @@ pub enum FlowEvent {
         errors: usize,
         /// Warning-severity ERC diagnostics.
         warnings: usize,
+        /// Whether the structural analyzer proved the MNA pattern
+        /// nonsingular (maximum-transversal perfect matching).
+        structurally_sound: bool,
     },
     /// Layout was generated.
     LayoutDone {
@@ -182,6 +185,23 @@ impl RecoveryPolicy {
             accept_degraded: false,
         }
     }
+
+    /// Whether `error` is worth another attempt under this policy.
+    ///
+    /// Structural failures — [`FlowError::Erc`], which covers both the
+    /// heuristic rules and the analyzer's E008 singularity proof — are
+    /// never retryable: a netlist whose MNA pattern is proven singular
+    /// stays singular no matter how the flow perturbs or retries, so every
+    /// policy classifies it as a hard stop. The remaining errors map to
+    /// the recovery mechanism that could plausibly absorb them.
+    pub fn is_retryable(&self, error: &FlowError) -> bool {
+        match error {
+            FlowError::Erc(_) | FlowError::NoFeasibleTopology => false,
+            FlowError::SizingInfeasible { .. } => self.topology_fallback || self.accept_degraded,
+            FlowError::Layout(_) => self.relax_router,
+            FlowError::Budget(_) => self.accept_degraded,
+        }
+    }
 }
 
 /// One rung of the degradation ladder that the flow had to take.
@@ -307,6 +327,7 @@ pub struct FlowReport {
     /// Selected topology name.
     pub topology: String,
     /// Final sized parameters.
+    // det-lint: allow(hash-collection): mirrors ams-sizing's param map; read by key only
     pub params: std::collections::HashMap<String, f64>,
     /// Pre-layout performance.
     pub pre_layout_perf: Perf,
@@ -517,12 +538,14 @@ pub fn synthesize_opamp(
             // laying out, so this stays a hard error under every policy.
             if !use_ota {
                 let _g = ams_trace::span("flow.erc");
-                let report = erc_check_two_stage(tech, load_f, &sizing.params);
+                let (report, structurally_sound) =
+                    erc_check_two_stage(tech, load_f, &sizing.params);
                 emit(
                     &mut events,
                     FlowEvent::LintChecked {
                         errors: report.errors().count(),
                         warnings: report.warnings().count(),
+                        structurally_sound,
                     },
                 );
                 let first_error = report
@@ -839,6 +862,7 @@ fn post_layout_perf_of(
 fn assumed_bias_check(
     tech: &Technology,
     load_f: f64,
+    // det-lint: allow(hash-collection): sizing param map, read by key only
     params: &std::collections::HashMap<String, f64>,
 ) -> bool {
     use ams_sizing::{SimulatedTemplate, TwoStageCircuit};
@@ -865,12 +889,16 @@ fn assumed_bias_check(
 }
 
 /// Instantiates the two-stage device-level template at the sized parameter
-/// point and runs the full ERC rule set over it.
+/// point and runs the full ERC rule set plus the structural MNA analyzer
+/// over it. Returns the merged report (heuristic E/W codes together with
+/// any E008/W005/W006 from the pattern analysis) and whether the
+/// maximum-transversal pass proved the pattern nonsingular.
 fn erc_check_two_stage(
     tech: &Technology,
     load_f: f64,
+    // det-lint: allow(hash-collection): sizing param map, read by key only
     params: &std::collections::HashMap<String, f64>,
-) -> ams_lint::Report {
+) -> (ams_lint::Report, bool) {
     use ams_sizing::{SimulatedTemplate, TwoStageCircuit};
     let template = TwoStageCircuit::new(tech.clone(), load_f);
     // Equation-model parameters that the circuit template also uses are
@@ -887,7 +915,14 @@ fn erc_check_two_stage(
         })
         .collect();
     let ckt = template.build(&x);
-    ams_lint::lint_circuit(&ckt)
+    let heuristic = ams_lint::lint_circuit(&ckt);
+    let structural = ams_lint::analyze_circuit_structure(&ckt);
+    let mut diags = heuristic.diagnostics().to_vec();
+    diags.extend(structural.report().diagnostics().iter().cloned());
+    (
+        ams_lint::Report::new(diags),
+        structural.is_structurally_nonsingular(),
+    )
 }
 
 #[cfg(test)]
@@ -952,12 +987,33 @@ mod tests {
         // Any parameter point inside the template's ranges must produce an
         // ERC-clean circuit: the template is structurally sound by
         // construction, so an error here would mean the gate misfires.
-        let report = erc_check_two_stage(
+        let (report, structurally_sound) = erc_check_two_stage(
             &Technology::generic_1p2um(),
             5e-12,
+            // det-lint: allow(hash-collection): empty map in a test
             &std::collections::HashMap::new(),
         );
         assert_eq!(report.errors().count(), 0, "{}", report.render_human());
+        assert!(
+            structurally_sound,
+            "two-stage template must have a perfect MNA matching"
+        );
+    }
+
+    #[test]
+    fn structural_failures_are_never_retryable() {
+        // Even the most permissive policy must treat an ERC / structural
+        // error as a hard stop: the netlist itself is broken, and no
+        // recovery mechanism changes its sparsity pattern.
+        let permissive = RecoveryPolicy::default();
+        let erc = FlowError::Erc("E008 structurally singular".into());
+        assert!(!permissive.is_retryable(&erc));
+        assert!(!RecoveryPolicy::strict().is_retryable(&erc));
+        // Sanity: the same permissive policy does retry a sizing failure.
+        assert!(permissive.is_retryable(&FlowError::SizingInfeasible { iterations: 3 }));
+        assert!(
+            !RecoveryPolicy::strict().is_retryable(&FlowError::SizingInfeasible { iterations: 3 })
+        );
     }
 
     #[test]

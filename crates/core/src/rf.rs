@@ -14,6 +14,7 @@
 //! gain/noise/linearity across the blocks for minimum power.
 
 use ams_sizing::{ParamDef, Perf, PerfModel};
+// det-lint: allow(hash-collection): Perf maps are built keyed and read by key; ordered walks go through Spec bounds
 use std::collections::HashMap;
 
 /// Behavioral receiver chain model.

@@ -20,6 +20,7 @@
 //! the value: cache behavior is deterministic and thread-count
 //! independent (see [`EvalCache::eval_batch`]).
 
+// det-lint: allow(hash-collection): keyed memoization, never iterated; results reduce in task order
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;

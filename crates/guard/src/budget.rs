@@ -28,6 +28,7 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};
+// det-lint: allow(wall-clock): wall-clock CPU budgets are this module's contract
 use std::time::{Duration, Instant};
 
 /// Which budgeted resource ran out.
@@ -158,6 +159,7 @@ fn meter() -> MutexGuard<'static, Meter> {
         .get_or_init(|| {
             Mutex::new(Meter {
                 budget: Budget::default(),
+                // det-lint: allow(wall-clock): budget epoch, never feeds a result
                 started: Instant::now(),
                 exhausted: None,
             })
@@ -172,6 +174,7 @@ fn meter() -> MutexGuard<'static, Meter> {
 pub fn install(budget: Budget) {
     let mut m = meter();
     m.budget = budget;
+    // det-lint: allow(wall-clock): budget epoch reset, never feeds a result
     m.started = Instant::now();
     m.exhausted = None;
     EVALS.store(0, Ordering::Relaxed);

@@ -13,6 +13,7 @@ use crate::place::{place, AbutPair, PlaceItem, PlacerConfig, SymmetryPair};
 use crate::route::{NetClass, RouteNet, Router, RouterConfig};
 use crate::rules::DesignRules;
 use crate::stack::DiffusionGraph;
+// det-lint: allow(hash-collection): name-to-index lookups; ordered data lives in parallel Vecs
 use std::collections::HashMap;
 use std::fmt;
 

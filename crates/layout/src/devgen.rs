@@ -8,6 +8,7 @@
 
 use crate::geom::{Layer, Point, Rect};
 use crate::rules::DesignRules;
+// det-lint: allow(hash-collection): port rects are read by pin name only, never iterated
 use std::collections::HashMap;
 
 /// A generated device layout: shapes plus named ports.

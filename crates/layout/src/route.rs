@@ -21,6 +21,7 @@
 use ams_guard::budget;
 use ams_guard::fault::{self, FaultKind};
 use std::cmp::Reverse;
+// det-lint: allow(hash-collection): wavefront membership test; expansion order comes from the BinaryHeap
 use std::collections::{BinaryHeap, HashSet};
 
 /// Signal compatibility class of a net.

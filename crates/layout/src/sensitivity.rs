@@ -12,6 +12,7 @@
 //! the bounds into router cost weights (ROAD/ANAGRAM III style
 //! parasitic-bounded routing \[39,40\]).
 
+// det-lint: allow(hash-collection): per-net bounds are read by net name; router consumes them keyed
 use std::collections::HashMap;
 
 /// Sensitivity of one performance metric to parasitic capacitance per net.

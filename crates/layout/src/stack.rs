@@ -17,6 +17,7 @@
 //! decompositions (the \[43\] approach) — exponential, but it certifies
 //! optimality and counts the alternatives a placer could choose from.
 
+// det-lint: allow(hash-collection): class keys are collected and sorted before every walk
 use std::collections::HashMap;
 
 /// A chain of devices sharing source/drain diffusions.

@@ -35,11 +35,21 @@ pub enum RuleCode {
     W003BulkSanity,
     /// MOS with drain and source on the same node (zero Vds forever).
     W004MosDrainSourceShort,
+    /// The DC MNA pattern admits no perfect row/column matching: every
+    /// numeric matrix with this sparsity structure is singular. Carries a
+    /// Hall-violator witness naming the deficient equations and unknowns.
+    E008StructurallySingular,
+    /// The pattern decomposes into two or more independent diagonal blocks
+    /// that the solver factors as one system instead of exploiting.
+    W005BlockStructure,
+    /// Symbolic minimum-degree elimination forecasts fill-in far beyond the
+    /// stamped non-zero count: factorization cost will blow up.
+    W006FillInBlowup,
 }
 
 impl RuleCode {
     /// Every rule, in code order. Handy for building documentation tables.
-    pub const ALL: [RuleCode; 11] = [
+    pub const ALL: [RuleCode; 14] = [
         RuleCode::E001FloatingIsland,
         RuleCode::E002NoDcPath,
         RuleCode::E003VoltageLoop,
@@ -47,10 +57,13 @@ impl RuleCode {
         RuleCode::E005BadValue,
         RuleCode::E006MosShorted,
         RuleCode::E007DanglingDevice,
+        RuleCode::E008StructurallySingular,
         RuleCode::W001UnusedModel,
         RuleCode::W002ImplausibleValue,
         RuleCode::W003BulkSanity,
         RuleCode::W004MosDrainSourceShort,
+        RuleCode::W005BlockStructure,
+        RuleCode::W006FillInBlowup,
     ];
 
     /// Looks a rule up by its stable textual code (`"E001"`…).
@@ -72,6 +85,9 @@ impl RuleCode {
             RuleCode::W002ImplausibleValue => "W002",
             RuleCode::W003BulkSanity => "W003",
             RuleCode::W004MosDrainSourceShort => "W004",
+            RuleCode::E008StructurallySingular => "E008",
+            RuleCode::W005BlockStructure => "W005",
+            RuleCode::W006FillInBlowup => "W006",
         }
     }
 
@@ -98,6 +114,13 @@ impl RuleCode {
             RuleCode::W002ImplausibleValue => "element value outside plausible bounds",
             RuleCode::W003BulkSanity => "MOS bulk not tied to source, ground, or a rail",
             RuleCode::W004MosDrainSourceShort => "MOS drain and source on the same node",
+            RuleCode::E008StructurallySingular => {
+                "MNA pattern has no perfect matching: structurally singular"
+            }
+            RuleCode::W005BlockStructure => {
+                "MNA pattern splits into independent blocks the solver factors as one"
+            }
+            RuleCode::W006FillInBlowup => "forecast LU fill-in far exceeds the stamped non-zeros",
         }
     }
 
@@ -123,6 +146,15 @@ impl RuleCode {
             RuleCode::W002ImplausibleValue => "check the SI suffix (e.g. `m` vs `meg`)",
             RuleCode::W003BulkSanity => "tie NMOS bulks to ground/VSS and PMOS bulks to VDD",
             RuleCode::W004MosDrainSourceShort => "check the terminal order: drain gate source bulk",
+            RuleCode::E008StructurallySingular => {
+                "rewire the listed equations so every unknown appears in some pivot position"
+            }
+            RuleCode::W005BlockStructure => {
+                "simulate the independent sub-circuits separately, or tie them together"
+            }
+            RuleCode::W006FillInBlowup => {
+                "reorder or restructure the deck; expect superlinear factorization cost"
+            }
         }
     }
 }

@@ -8,11 +8,18 @@
 //! set of plausibility warnings (implausible element values, suspicious MOS
 //! bulk connections, unreferenced `.model` cards).
 //!
-//! Every rule has a stable code (`E001`…`E007`, `W001`…`W004`); diagnostics
+//! Every rule has a stable code (`E001`…`E008`, `W001`…`W006`); diagnostics
 //! carry the offending instance and node names, and — when the circuit came
 //! from a deck via [`ams_netlist::parse_deck_full`] — 1-based line spans
 //! that cover `+` continuation lines. Reports render both human-readable
 //! (rustc-style) and machine-readable (JSON) output.
+//!
+//! Alongside the heuristic rules, the [`structural`] module analyzes the
+//! assembled MNA sparsity pattern itself: maximum-transversal matching
+//! *proves* structural nonsingularity (or emits `E008` with a concrete
+//! witness), Dulmage–Mendelsohn/BTF decomposition exposes block structure
+//! (`W005`), and a symbolic minimum-degree pass forecasts LU fill-in
+//! (`W006`).
 //!
 //! # Entry points
 //!
@@ -21,6 +28,8 @@
 //! * [`lint_circuit`] — lint an in-memory [`ams_netlist::Circuit`].
 //! * [`lint_structural`] — only the singularity-predicting subset
 //!   (E001–E005); this is what `ams-sim` runs before matrix assembly.
+//! * [`analyze_deck_structure`] / [`analyze_circuit_structure`] — the
+//!   pattern-level structural pass (E008/W005/W006).
 //!
 //! # Example
 //!
@@ -43,9 +52,15 @@
 
 mod diag;
 mod rules;
+pub mod structural;
 
 pub use diag::{Diagnostic, Report, RuleCode, Severity};
 pub use rules::{lint_circuit, lint_deck, lint_parsed, lint_structural};
+pub use structural::{
+    analyze_circuit_structure, analyze_circuit_structure_with, analyze_deck_structure,
+    analyze_parsed_structure, BtfDecomposition, SingularWitness, StructuralAnalysis,
+    StructuralConfig,
+};
 
 #[cfg(test)]
 mod tests {

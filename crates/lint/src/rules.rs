@@ -163,7 +163,7 @@ impl<'a> Linter<'a> {
 
         // Group non-ground nodes by their all-edges component and flag the
         // components that never reach ground (E001).
-        let mut island_of_root: std::collections::HashMap<usize, Vec<NodeId>> = Default::default();
+        let mut island_of_root: std::collections::BTreeMap<usize, Vec<NodeId>> = Default::default();
         for i in 1..n {
             if !all.connected(i, 0) {
                 island_of_root
@@ -184,7 +184,8 @@ impl<'a> Linter<'a> {
 
         // Among ground-connected nodes, flag the DC-disconnected components:
         // E004 when a current source feeds the component, E002 otherwise.
-        let mut dc_comp_of_root: std::collections::HashMap<usize, Vec<NodeId>> = Default::default();
+        let mut dc_comp_of_root: std::collections::BTreeMap<usize, Vec<NodeId>> =
+            Default::default();
         for i in 1..n {
             let node = NodeId::from_index(i);
             if island_members.contains(&node) {

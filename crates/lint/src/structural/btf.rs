@@ -1,0 +1,205 @@
+//! Block-triangular form: the fine (Dulmage–Mendelsohn) decomposition of a
+//! perfectly matched pattern, plus coarse independent-block detection.
+//!
+//! With a perfect matching in hand, permute rows so the matched entries sit
+//! on the diagonal and read the matrix as a directed graph on columns:
+//! `c → c'` whenever the row matched to `c` has an entry in column `c'`.
+//! The strongly connected components of that graph are exactly the
+//! irreducible diagonal blocks of the block-triangular form; listing them
+//! dependencies-first gives a block **lower** triangular permutation under
+//! which LU factorization never fills outside the diagonal blocks — the
+//! classic BTF/DM result (Duff, Erisman & Reid §6; SuiteSparse `btf`).
+//!
+//! Two distinct granularities matter to the linter:
+//!
+//! * the **fine** SCC block count feeds the `lint.structural.blocks`
+//!   counter and the solver's permutation hand-off. Even a healthy deck
+//!   decomposes finely (every voltage source peels off singleton blocks),
+//!   so this count is *data*, not a warning;
+//! * **independent blocks** — connected components of the symmetrized
+//!   pattern — mean the deck contains electrically separate sub-circuits
+//!   factored as one system. That is the W005 condition.
+//!
+//! Tarjan's algorithm is run iteratively (grid decks blow the stack
+//! otherwise) and scans vertices and edges in index order, so block order
+//! is deterministic.
+
+use super::matching::Matching;
+
+/// The fine block-triangular decomposition of a matched pattern.
+#[derive(Debug, Clone)]
+pub(crate) struct BtfFine {
+    /// Columns listed block by block, blocks in topological order.
+    pub order: Vec<u32>,
+    /// `order[block_ptr[b] as usize .. block_ptr[b + 1] as usize]` is
+    /// block `b`; length = number of blocks + 1.
+    pub block_ptr: Vec<u32>,
+}
+
+/// Computes the fine BTF (SCCs of the matched column graph, topologically
+/// ordered) for a pattern with a perfect matching.
+pub(crate) fn btf_fine(rows: &[Vec<u32>], m: &Matching) -> BtfFine {
+    let n = rows.len();
+    debug_assert!(m.is_perfect(), "BTF requires a perfect matching");
+
+    // Tarjan, iterative. Column graph: successors of column c are the
+    // entries of the row matched to c (minus the diagonal, harmless to keep).
+    let succs = |c: usize| -> &[u32] { &rows[m.col_match[c] as usize] };
+
+    const UNSEEN: u32 = u32::MAX;
+    let mut index = vec![UNSEEN; n];
+    let mut low = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut scc_stack: Vec<u32> = Vec::new();
+    let mut call: Vec<(u32, usize)> = Vec::new(); // (vertex, next succ index)
+    let mut next_index = 0u32;
+    let mut order: Vec<u32> = Vec::new();
+    let mut block_ptr: Vec<u32> = vec![0];
+
+    for c0 in 0..n {
+        if index[c0] != UNSEEN {
+            continue;
+        }
+        call.push((c0 as u32, 0));
+        index[c0] = next_index;
+        low[c0] = next_index;
+        next_index += 1;
+        scc_stack.push(c0 as u32);
+        on_stack[c0] = true;
+        while let Some(top) = call.last_mut() {
+            let v = top.0 as usize;
+            if let Some(&w) = succs(v).get(top.1) {
+                top.1 += 1;
+                let w = w as usize;
+                if index[w] == UNSEEN {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    scc_stack.push(w as u32);
+                    on_stack[w] = true;
+                    call.push((w as u32, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                if low[v] == index[v] {
+                    // Root of an SCC: pop it off. Sort members so the
+                    // permutation is independent of DFS traversal detail.
+                    let start = order.len();
+                    loop {
+                        let w = scc_stack.pop().expect("scc stack underflow");
+                        on_stack[w as usize] = false;
+                        order.push(w);
+                        if w as usize == v {
+                            break;
+                        }
+                    }
+                    order[start..].sort_unstable();
+                    block_ptr.push(order.len() as u32);
+                }
+                call.pop();
+                if let Some(parent) = call.last() {
+                    let p = parent.0 as usize;
+                    low[p] = low[p].min(low[v]);
+                }
+            }
+        }
+    }
+
+    // Tarjan emits an SCC only after every SCC it points to: with the edge
+    // `c → c'` meaning "the equation of c involves c'", dependencies come
+    // first and the permuted matrix is block lower triangular as-is.
+    BtfFine { order, block_ptr }
+}
+
+/// Groups unknowns into independent diagonal blocks: connected components
+/// of the symmetrized pattern, with each row identified with its matched
+/// column. Returns the components as sorted unknown lists, largest first
+/// (ties by first member), or a single component for a coupled system.
+pub(crate) fn independent_blocks(rows: &[Vec<u32>], m: &Matching) -> Vec<Vec<u32>> {
+    let n = rows.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            parent[x as usize] = parent[parent[x as usize] as usize];
+            x = parent[x as usize];
+        }
+        x
+    }
+    let union = |parent: &mut [u32], a: u32, b: u32| {
+        let (ra, rb) = (find(parent, a), find(parent, b));
+        if ra != rb {
+            parent[ra as usize] = rb;
+        }
+    };
+    for (r, cols) in rows.iter().enumerate() {
+        // Tie the row's own unknown (its matched column) to every column it
+        // touches: an equation couples all unknowns it mentions.
+        let anchor = if m.row_match[r] != u32::MAX {
+            m.row_match[r]
+        } else if let Some(&c) = cols.first() {
+            c
+        } else {
+            continue;
+        };
+        for &c in cols {
+            union(&mut parent, anchor, c);
+        }
+    }
+    let mut groups: std::collections::BTreeMap<u32, Vec<u32>> = Default::default();
+    for u in 0..n as u32 {
+        groups.entry(find(&mut parent, u)).or_default().push(u);
+    }
+    let mut blocks: Vec<Vec<u32>> = groups.into_values().collect();
+    blocks.sort_by(|a, b| b.len().cmp(&a.len()).then(a[0].cmp(&b[0])));
+    blocks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::matching::maximum_transversal;
+    use super::*;
+
+    #[test]
+    fn lower_triangular_pattern_gives_singleton_blocks_in_order() {
+        // Strictly lower-triangular coupling: x0 feeds x1 feeds x2.
+        let rows = vec![vec![0], vec![0, 1], vec![1, 2]];
+        let m = maximum_transversal(&rows);
+        let btf = btf_fine(&rows, &m);
+        assert_eq!(btf.block_ptr.len() - 1, 3);
+        // Topological order: block containing 0 first.
+        assert_eq!(btf.order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn cycle_collapses_into_one_block() {
+        // 0 ↔ 1 strongly connected, 2 downstream.
+        let rows = vec![vec![0, 1], vec![0, 1], vec![1, 2]];
+        let m = maximum_transversal(&rows);
+        let btf = btf_fine(&rows, &m);
+        assert_eq!(btf.block_ptr.len() - 1, 2);
+        assert_eq!(&btf.order[..2], &[0, 1]);
+        assert_eq!(btf.order[2], 2);
+    }
+
+    #[test]
+    fn disjoint_patterns_are_independent_blocks() {
+        // {0,1} and {2} never share an equation.
+        let rows = vec![vec![0, 1], vec![0, 1], vec![2]];
+        let m = maximum_transversal(&rows);
+        let blocks = independent_blocks(&rows, &m);
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks[0], vec![0, 1]);
+        assert_eq!(blocks[1], vec![2]);
+    }
+
+    #[test]
+    fn coupled_pattern_is_one_block() {
+        let rows = vec![vec![0, 1], vec![1, 2], vec![2, 0]];
+        let m = maximum_transversal(&rows);
+        assert_eq!(independent_blocks(&rows, &m).len(), 1);
+    }
+}

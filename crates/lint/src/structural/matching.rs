@@ -1,0 +1,202 @@
+//! Maximum-transversal matching on the MNA bipartite pattern (MC21).
+//!
+//! A square sparse matrix is **structurally nonsingular** iff its bipartite
+//! row/column graph admits a perfect matching — some permutation puts a
+//! (potentially) non-zero entry on every diagonal position. The converse is
+//! the useful direction for linting: if the maximum matching is deficient,
+//! *every* numeric matrix with this sparsity pattern is singular, so the
+//! solver is guaranteed to hit a zero pivot no matter what the element
+//! values are. That guarantee is what lets E008 reject a deck before any
+//! Newton iteration without risking a false positive.
+//!
+//! The algorithm is Duff's MC21: a cheap greedy assignment followed by one
+//! augmenting-path depth-first search per unmatched row. The DFS is
+//! iterative (power-grid patterns reach thousands of unknowns) and visits
+//! columns in sorted order, so the matching — and therefore every witness
+//! and rendered diagnostic — is byte-identical across runs.
+
+/// Sentinel for "unmatched" in the match vectors.
+const NONE: u32 = u32::MAX;
+
+/// A maximum row/column matching of a square pattern.
+#[derive(Debug, Clone)]
+pub(crate) struct Matching {
+    /// `row_match[r]` = column matched to row `r`, `u32::MAX` if unmatched.
+    pub row_match: Vec<u32>,
+    /// `col_match[c]` = row matched to column `c`, `u32::MAX` if unmatched.
+    pub col_match: Vec<u32>,
+    /// Number of matched pairs; equals `rows.len()` iff the pattern is
+    /// structurally nonsingular.
+    pub size: usize,
+}
+
+impl Matching {
+    /// Whether the matching is perfect (proves structural nonsingularity).
+    pub(crate) fn is_perfect(&self) -> bool {
+        self.size == self.row_match.len()
+    }
+}
+
+/// Computes a maximum transversal of `rows` (row → sorted column lists).
+pub(crate) fn maximum_transversal(rows: &[Vec<u32>]) -> Matching {
+    let n = rows.len();
+    let mut row_match = vec![NONE; n];
+    let mut col_match = vec![NONE; n];
+    let mut size = 0usize;
+
+    // Cheap assignment: first free column in each row.
+    for (r, cols) in rows.iter().enumerate() {
+        for &c in cols {
+            if col_match[c as usize] == NONE {
+                row_match[r] = c;
+                col_match[c as usize] = r as u32;
+                size += 1;
+                break;
+            }
+        }
+    }
+
+    // Augmenting-path phase. `visited[c] == stamp` marks column `c` seen in
+    // the current search; the stack carries (row, next-edge index, column
+    // through which the row was entered) so augmentation can walk back.
+    let mut visited = vec![NONE; n];
+    let mut stack: Vec<(u32, usize, u32)> = Vec::new();
+    'rows: for r0 in 0..n {
+        if row_match[r0] != NONE {
+            continue;
+        }
+        let stamp = r0 as u32;
+        stack.clear();
+        stack.push((r0 as u32, 0, NONE));
+        while let Some(top) = stack.last_mut() {
+            let r = top.0 as usize;
+            if top.1 >= rows[r].len() {
+                stack.pop();
+                continue;
+            }
+            let c = rows[r][top.1];
+            top.1 += 1;
+            if visited[c as usize] == stamp {
+                continue;
+            }
+            visited[c as usize] = stamp;
+            let owner = col_match[c as usize];
+            if owner == NONE {
+                // Free column: flip the alternating path r0 … r — c.
+                let mut col = c;
+                while let Some((row, _, via)) = stack.pop() {
+                    row_match[row as usize] = col;
+                    col_match[col as usize] = row;
+                    col = via;
+                }
+                size += 1;
+                continue 'rows;
+            }
+            stack.push((owner, 0, c));
+        }
+        // No augmenting path: r0 stays deficient (and always will — a
+        // maximum matching never shrinks a vertex's reachability).
+    }
+
+    Matching {
+        row_match,
+        col_match,
+        size,
+    }
+}
+
+/// A Hall-condition violator: a set of equations (rows) that collectively
+/// involve strictly fewer unknowns (columns) — the concrete, checkable
+/// certificate of structural singularity handed to the E008 diagnostic.
+#[derive(Debug, Clone)]
+pub(crate) struct HallWitness {
+    /// Deficient equation rows, ascending.
+    pub rows: Vec<u32>,
+    /// The only columns those rows touch, ascending; always shorter than
+    /// `rows`.
+    pub cols: Vec<u32>,
+}
+
+/// Extracts a Hall violator from the first unmatched row of a deficient
+/// matching, by alternating-path reachability: every row reachable from an
+/// unmatched row via (row → adjacent column → that column's matched row)
+/// is in the violator, and all their columns are matched within the set.
+pub(crate) fn hall_witness(rows: &[Vec<u32>], m: &Matching) -> Option<HallWitness> {
+    let start = m.row_match.iter().position(|&c| c == NONE)?;
+    let n = rows.len();
+    let mut in_rows = vec![false; n];
+    let mut in_cols = vec![false; n];
+    let mut queue = vec![start as u32];
+    in_rows[start] = true;
+    let mut head = 0;
+    while head < queue.len() {
+        let r = queue[head] as usize;
+        head += 1;
+        for &c in &rows[r] {
+            if in_cols[c as usize] {
+                continue;
+            }
+            in_cols[c as usize] = true;
+            let owner = m.col_match[c as usize];
+            // Every reached column is matched: were it free, the matching
+            // would have an augmenting path from `start`, contradicting
+            // maximality.
+            debug_assert_ne!(owner, NONE, "free column reachable from unmatched row");
+            if owner != NONE && !in_rows[owner as usize] {
+                in_rows[owner as usize] = true;
+                queue.push(owner);
+            }
+        }
+    }
+    let witness_rows: Vec<u32> = (0..n as u32).filter(|&r| in_rows[r as usize]).collect();
+    let witness_cols: Vec<u32> = (0..n as u32).filter(|&c| in_cols[c as usize]).collect();
+    debug_assert!(witness_cols.len() < witness_rows.len(), "not a violator");
+    Some(HallWitness {
+        rows: witness_rows,
+        cols: witness_cols,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_pattern_is_perfectly_matched() {
+        let rows: Vec<Vec<u32>> = (0..5).map(|r| vec![r]).collect();
+        let m = maximum_transversal(&rows);
+        assert!(m.is_perfect());
+        assert_eq!(m.row_match, vec![0, 1, 2, 3, 4]);
+        assert!(hall_witness(&rows, &m).is_none());
+    }
+
+    #[test]
+    fn augmenting_path_is_found_after_greedy_misassignment() {
+        // Greedy gives row0→col0; row1 needs col0, pushing row0 to col1.
+        let rows = vec![vec![0, 1], vec![0]];
+        let m = maximum_transversal(&rows);
+        assert!(m.is_perfect());
+        assert_eq!(m.row_match, vec![1, 0]);
+    }
+
+    #[test]
+    fn empty_row_yields_minimal_witness() {
+        let rows = vec![vec![0, 1], vec![], vec![1, 2]];
+        let m = maximum_transversal(&rows);
+        assert_eq!(m.size, 2);
+        let w = hall_witness(&rows, &m).unwrap();
+        assert_eq!(w.rows, vec![1]);
+        assert!(w.cols.is_empty());
+    }
+
+    #[test]
+    fn two_rows_sharing_one_column_violate_hall() {
+        // Rows 0 and 1 both touch only column 0: deficiency 1.
+        let rows = vec![vec![0], vec![0], vec![1, 2]];
+        let m = maximum_transversal(&rows);
+        assert_eq!(m.size, 2);
+        let w = hall_witness(&rows, &m).unwrap();
+        assert_eq!(w.rows, vec![0, 1]);
+        assert_eq!(w.cols, vec![0]);
+    }
+}

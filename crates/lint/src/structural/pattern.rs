@@ -1,0 +1,290 @@
+//! DC MNA sparsity-pattern extraction.
+//!
+//! Rebuilds, from the circuit alone, exactly the set of matrix positions
+//! `ams-sim`'s DC stamps can make non-zero — without stamping a single
+//! number. The unknown layout mirrors `ams_sim::MnaLayout`: one unknown per
+//! non-ground node (in node-creation order) followed by one branch-current
+//! unknown per voltage-defined element (in device order), so every row and
+//! column index maps back to a node or instance name for witness rendering.
+//!
+//! Two deliberate deviations from the numeric stamps, both in the direction
+//! that keeps E008 *sound* (a deficient matching must imply a singular
+//! matrix for **every** value assignment with this structure):
+//!
+//! * **gmin is excluded.** The solver's per-node `gmin` leak is a
+//!   convergence aid that is driven to zero in the accepted solution; a
+//!   pattern that leaned on it would "prove" cap-only nodes nonsingular
+//!   when the physical system is not.
+//! * **Structurally cancelling stamps are dropped.** A self-looped
+//!   conductance, a voltage branch with both terminals on one node, or a
+//!   controlled source whose control (or output) pair coincides stamps
+//!   entries that sum to exactly zero at every operating point; including
+//!   them would mask real singularities such as a short-circuited source.
+//!
+//! Entries whose value merely *can* be zero at some operating point (MOS
+//! `gm`/`gds`) are included: dropping them could produce a false E008.
+//! Fixed parameters that are exactly zero (`gain = 0` VCVS control entries,
+//! `gm = 0` VCCS) are excluded — they can never contribute a pivot.
+
+use ams_netlist::{Circuit, Device, NodeId};
+
+/// The structural skeleton of the DC MNA system for one circuit.
+#[derive(Debug, Clone)]
+pub(crate) struct MnaPattern {
+    /// Number of non-ground node-voltage unknowns (the first `n_signal`
+    /// rows are KCL equations, the first `n_signal` columns node voltages).
+    pub n_signal: usize,
+    /// `rows[r]` = sorted, deduplicated column indices structurally
+    /// non-zero in row `r`.
+    pub rows: Vec<Vec<u32>>,
+    /// Names of the node unknowns, indexed by unknown (0..n_signal).
+    pub node_names: Vec<String>,
+    /// Instance names of the branch unknowns, indexed by `u - n_signal`.
+    pub branch_names: Vec<String>,
+    /// Total structurally non-zero entry count.
+    pub nnz: usize,
+}
+
+impl MnaPattern {
+    /// Builds the pattern for a circuit by replaying the DC stamp schema.
+    pub(crate) fn build(ckt: &Circuit) -> Self {
+        let n_signal = ckt.num_nodes().saturating_sub(1);
+        let node_names: Vec<String> = (1..ckt.num_nodes())
+            .map(|i| ckt.node_name(NodeId::from_index(i)).to_string())
+            .collect();
+        let mut branch_names = Vec::new();
+        for (name, dev) in ckt.devices() {
+            if dev.needs_branch_current() {
+                branch_names.push(name.to_string());
+            }
+        }
+        let dim = n_signal + branch_names.len();
+        let mut b = PatternBuilder {
+            rows: vec![Vec::new(); dim],
+        };
+
+        // Unknown index of a node, `None` for ground — the MnaLayout rule.
+        let idx = |n: NodeId| -> Option<usize> {
+            if n.is_ground() {
+                None
+            } else {
+                Some(n.index() - 1)
+            }
+        };
+
+        let mut next_branch = n_signal;
+        for (_, dev) in ckt.devices() {
+            let br = if dev.needs_branch_current() {
+                let b = next_branch;
+                next_branch += 1;
+                Some(b)
+            } else {
+                None
+            };
+            match dev {
+                Device::Resistor { a, b: n2, .. } => b.conductance(idx(*a), idx(*n2)),
+                Device::Capacitor { .. } | Device::Isource { .. } => {}
+                Device::Inductor { a, b: n2, .. } => {
+                    b.voltage_branch(br.unwrap(), idx(*a), idx(*n2));
+                }
+                Device::Vsource { plus, minus, .. } => {
+                    b.voltage_branch(br.unwrap(), idx(*plus), idx(*minus));
+                }
+                Device::Vcvs {
+                    plus,
+                    minus,
+                    ctrl_plus,
+                    ctrl_minus,
+                    gain,
+                } => {
+                    let br = br.unwrap();
+                    b.voltage_branch(br, idx(*plus), idx(*minus));
+                    // Control entries `(br, cp) -= gain`, `(br, cm) += gain`
+                    // cancel when the control pair coincides or gain is the
+                    // fixed value zero.
+                    if ctrl_plus != ctrl_minus && *gain != 0.0 {
+                        b.entry(Some(br), idx(*ctrl_plus));
+                        b.entry(Some(br), idx(*ctrl_minus));
+                    }
+                }
+                Device::Vccs {
+                    plus,
+                    minus,
+                    ctrl_plus,
+                    ctrl_minus,
+                    gm,
+                } => {
+                    if *gm != 0.0 {
+                        b.transconductance(
+                            idx(*plus),
+                            idx(*minus),
+                            idx(*ctrl_plus),
+                            idx(*ctrl_minus),
+                        );
+                    }
+                }
+                Device::Mos(m) => {
+                    // gds between drain and source, gm/gmbs controlled by
+                    // gate/bulk relative to source. The derivative values
+                    // vary with bias, so all entries are kept liberally.
+                    b.conductance(idx(m.drain), idx(m.source));
+                    b.transconductance(idx(m.drain), idx(m.source), idx(m.gate), idx(m.source));
+                    b.transconductance(idx(m.drain), idx(m.source), idx(m.bulk), idx(m.source));
+                }
+            }
+        }
+
+        let mut rows = b.rows;
+        let mut nnz = 0;
+        for r in &mut rows {
+            r.sort_unstable();
+            r.dedup();
+            nnz += r.len();
+        }
+        MnaPattern {
+            n_signal,
+            rows,
+            node_names,
+            branch_names,
+            nnz,
+        }
+    }
+
+    /// Total number of unknowns (nodes plus branch currents).
+    pub(crate) fn dim(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Human description of equation (row) `r`, e.g. ``KCL at node `x` ``.
+    pub(crate) fn equation_desc(&self, r: usize) -> String {
+        if r < self.n_signal {
+            format!("KCL at node `{}`", self.node_names[r])
+        } else {
+            format!("KVL row of `{}`", self.branch_names[r - self.n_signal])
+        }
+    }
+
+    /// Human description of unknown (column) `u`.
+    pub(crate) fn unknown_desc(&self, u: usize) -> String {
+        if u < self.n_signal {
+            format!("voltage of node `{}`", self.node_names[u])
+        } else {
+            format!(
+                "branch current of `{}`",
+                self.branch_names[u - self.n_signal]
+            )
+        }
+    }
+
+    /// Node name behind row or column `u`, when it is a node unknown; the
+    /// instance name of the branch otherwise is *not* a node.
+    pub(crate) fn node_name_of(&self, u: usize) -> Option<&str> {
+        (u < self.n_signal).then(|| self.node_names[u].as_str())
+    }
+}
+
+/// Accumulates structurally non-zero positions, mirroring the numeric
+/// `Stamper` primitives but with cancellation-aware skips.
+struct PatternBuilder {
+    rows: Vec<Vec<u32>>,
+}
+
+impl PatternBuilder {
+    fn entry(&mut self, r: Option<usize>, c: Option<usize>) {
+        if let (Some(r), Some(c)) = (r, c) {
+            self.rows[r].push(c as u32);
+        }
+    }
+
+    /// Two-terminal conductance: four entries unless self-looped (the four
+    /// contributions then land on one position and sum to zero).
+    fn conductance(&mut self, i: Option<usize>, j: Option<usize>) {
+        if i == j {
+            return;
+        }
+        self.entry(i, i);
+        self.entry(j, j);
+        self.entry(i, j);
+        self.entry(j, i);
+    }
+
+    /// Branch incidence of a voltage-defined element. A `p == m` branch
+    /// cancels its incidence completely, leaving the branch row and column
+    /// structurally empty — precisely the short-circuited-source failure.
+    fn voltage_branch(&mut self, br: usize, p: Option<usize>, m: Option<usize>) {
+        if p == m {
+            return;
+        }
+        self.entry(p, Some(br));
+        self.entry(Some(br), p);
+        self.entry(m, Some(br));
+        self.entry(Some(br), m);
+    }
+
+    /// Transconductance block: rows `p`/`m`, columns `cp`/`cm`; cancels
+    /// when either pair coincides.
+    fn transconductance(
+        &mut self,
+        p: Option<usize>,
+        m: Option<usize>,
+        cp: Option<usize>,
+        cm: Option<usize>,
+    ) {
+        if p == m || cp == cm {
+            return;
+        }
+        for row in [p, m] {
+            for col in [cp, cm] {
+                self.entry(row, col);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ams_netlist::{Circuit, Device};
+
+    #[test]
+    fn divider_pattern_matches_hand_stamp() {
+        // V(top,gnd) + R(top,mid) + R(mid,gnd): unknowns top=0, mid=1, br=2.
+        let mut ckt = Circuit::new();
+        let top = ckt.node("top");
+        let mid = ckt.node("mid");
+        ckt.add("V1", Device::vdc(top, Circuit::GROUND, 1.0));
+        ckt.add("R1", Device::resistor(top, mid, 1.0));
+        ckt.add("R2", Device::resistor(mid, Circuit::GROUND, 1.0));
+        let p = MnaPattern::build(&ckt);
+        assert_eq!(p.dim(), 3);
+        assert_eq!(p.n_signal, 2);
+        assert_eq!(p.rows[0], vec![0, 1, 2]); // KCL(top): R1 + V incidence
+        assert_eq!(p.rows[1], vec![0, 1]); // KCL(mid): R1 + R2
+        assert_eq!(p.rows[2], vec![0]); // KVL(V1): top only (minus = gnd)
+        assert_eq!(p.nnz, 6);
+    }
+
+    #[test]
+    fn self_loop_and_short_stamps_cancel() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add("R1", Device::resistor(a, a, 1.0));
+        ckt.add("V1", Device::vdc(a, a, 1.0));
+        let p = MnaPattern::build(&ckt);
+        // KCL(a) empty, KVL(V1) empty: a structurally singular skeleton.
+        assert!(p.rows.iter().all(|r| r.is_empty()));
+    }
+
+    #[test]
+    fn cap_and_isource_contribute_nothing_at_dc() {
+        let mut ckt = Circuit::new();
+        let x = ckt.node("x");
+        ckt.add("I1", Device::idc(Circuit::GROUND, x, 1e-6));
+        ckt.add("C1", Device::capacitor(x, Circuit::GROUND, 1e-12));
+        let p = MnaPattern::build(&ckt);
+        assert_eq!(p.dim(), 1);
+        assert!(p.rows[0].is_empty(), "cutset node row must be empty");
+        assert_eq!(p.equation_desc(0), "KCL at node `x`");
+        assert_eq!(p.unknown_desc(0), "voltage of node `x`");
+    }
+}

@@ -2,6 +2,7 @@
 
 use crate::device::Device;
 use crate::error::NetlistError;
+// det-lint: allow(hash-collection): name lookups only; device and node order live in Vecs
 use std::collections::HashMap;
 use std::fmt;
 

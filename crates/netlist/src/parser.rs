@@ -29,6 +29,7 @@ use crate::device::{Device, MosType, SourceWaveform};
 use crate::error::NetlistError;
 use crate::mos::MosModel;
 use crate::units::parse_si;
+// det-lint: allow(hash-collection): span/card/model lookups by name; deck order lives in the device Vec
 use std::collections::HashMap;
 use std::sync::Arc;
 

@@ -17,6 +17,7 @@ use crate::grid::{PowerGrid, TapKind};
 use ams_awe::AweModel;
 use ams_netlist::{Circuit, Device};
 use ams_sim::{SimError, SimSession};
+// det-lint: allow(hash-collection): shortest-path predecessor map, read by node id only
 use std::collections::HashMap;
 
 /// The dc/ac/transient constraint set of a RAIL run.

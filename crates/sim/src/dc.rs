@@ -6,6 +6,7 @@
 use ams_guard::fault::{self, FaultKind};
 use ams_guard::{budget, Retry};
 use ams_netlist::{Circuit, Device, MosOp};
+// det-lint: allow(hash-collection): public OpPoint API; per-device operating points are read by instance name
 use std::collections::HashMap;
 
 use crate::error::SimError;
@@ -241,6 +242,10 @@ fn dc_solve(
 ) -> Result<OpPoint, SimError> {
     let ckt = ses.circuit();
     erc_gate(ckt)?;
+    // Heuristics first (specific codes for known causes), then the
+    // pattern-level proof: anything the rules missed that still admits no
+    // perfect matching fails here instead of as a mid-Newton zero pivot.
+    ses.structural_gate()?;
     let layout = ses.layout().clone();
     let devices = indexed_devices(ckt);
     // Every ladder rung starts from the caller's initial point (zeros by
@@ -757,6 +762,18 @@ mod tests {
         assert!(op.iterations < MAX_ITER);
         assert_eq!(op.strategy, DcStrategy::Newton);
         assert_eq!(op.strategy.as_str(), "newton");
+    }
+
+    #[test]
+    fn structural_singularity_is_not_retryable() {
+        // A proven-singular pattern can't be fixed by a perturbed restart:
+        // the retry ladder must not burn attempts on it.
+        let e = SimError::StructurallySingular {
+            equation: "KCL at node `x`".to_string(),
+            message: "MNA system is structurally singular".to_string(),
+        };
+        assert!(!retryable(&e));
+        assert!(e.to_string().contains("KCL at node `x`"), "{e}");
     }
 
     #[test]

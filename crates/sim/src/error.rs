@@ -28,6 +28,18 @@ pub enum SimError {
         /// Full diagnostic message.
         message: String,
     },
+    /// The structural analyzer proved the MNA sparsity pattern admits no
+    /// perfect matching: every value assignment is singular, so no Newton
+    /// iteration was attempted. Unlike [`SimError::Erc`] — which fires on
+    /// heuristically recognized failure causes — this is a matching-based
+    /// proof over the assembled pattern (lint rule `E008`).
+    StructurallySingular {
+        /// Human description of the first deficient equation, e.g.
+        /// ``KCL at node `x` ``.
+        equation: String,
+        /// Full E008 diagnostic message with the Hall-violator witness.
+        message: String,
+    },
     /// Newton–Raphson failed to converge after all homotopy fallbacks.
     NoConvergence {
         /// Analysis that failed ("dc", "tran"…).
@@ -53,6 +65,12 @@ impl fmt::Display for SimError {
             ),
             SimError::Erc { code, message } => {
                 write!(f, "electrical rule check failed [{code}]: {message}")
+            }
+            SimError::StructurallySingular { equation, message } => {
+                write!(
+                    f,
+                    "structurally singular MNA system ({equation}): {message}"
+                )
             }
             SimError::NoConvergence {
                 analysis,

@@ -73,7 +73,7 @@ pub use mna::{output_index, LinearNet, MnaLayout, Stamper};
 pub use noise::noise_analysis;
 pub use noise::{noise_sources, NoiseKind, NoiseResult, NoiseSource};
 pub use session::SimSession;
-pub use sparse::{RefactorError, Scalar, SparseLu, Triplets};
+pub use sparse::{BlockStructure, RefactorError, Scalar, SparseLu, Triplets};
 #[allow(deprecated)]
 pub use tran::transient;
 pub use tran::TranResult;

@@ -6,7 +6,7 @@
 //! noise and AWE so results can be cross-referenced by index.
 
 use ams_netlist::{Circuit, Device, NodeId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::backend::Backend;
 use crate::linalg::{Matrix, SingularMatrix};
@@ -18,7 +18,7 @@ pub struct MnaLayout {
     /// `node_index[node.index()]` = unknown index, `None` for ground.
     node_index: Vec<Option<usize>>,
     /// Device list index → branch-current unknown index.
-    branch_index: HashMap<usize, usize>,
+    branch_index: BTreeMap<usize, usize>,
     n_signal_nodes: usize,
     dim: usize,
 }
@@ -32,7 +32,7 @@ impl MnaLayout {
             *slot = Some(i - 1);
         }
         let n_signal = n_nodes - 1;
-        let mut branch_index = HashMap::new();
+        let mut branch_index = BTreeMap::new();
         let mut next = n_signal;
         for (i, (_, dev)) in ckt.devices().enumerate() {
             if dev.needs_branch_current() {

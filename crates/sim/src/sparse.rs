@@ -26,6 +26,7 @@
 //! factored one.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use crate::linalg::{Complex, SingularMatrix};
 
@@ -191,6 +192,28 @@ impl std::fmt::Display for RefactorError {
     }
 }
 
+/// Block-triangular structure of a matrix pattern, as computed by the
+/// structural analyzer (`ams_lint::structural`): unknowns listed block by
+/// block in a dependencies-first (block lower triangular) order. Attached
+/// to a [`SparseLu`] by the session so downstream consumers — block-wise
+/// solves, partitioned refactorization — can exploit it without re-running
+/// the decomposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockStructure {
+    /// Column permutation, blocks concatenated in topological order.
+    pub perm: Vec<u32>,
+    /// `perm[block_ptr[b] as usize..block_ptr[b + 1] as usize]` is block
+    /// `b`.
+    pub block_ptr: Vec<u32>,
+}
+
+impl BlockStructure {
+    /// Number of irreducible diagonal blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.block_ptr.len().saturating_sub(1)
+    }
+}
+
 /// Sparse LU factorization `P·A·Q = L·U` with Markowitz-chosen permutations
 /// and a frozen fill pattern for cheap numeric refactorization.
 #[derive(Debug, Clone)]
@@ -214,6 +237,9 @@ pub struct SparseLu<T> {
     /// U by pivot step: `(original col, value)` right of the pivot.
     urows: Vec<Vec<(u32, T)>>,
     fill_in: u64,
+    /// Block-triangular permutation from the structural analyzer, when the
+    /// owning session ran it; purely advisory metadata.
+    btf: Option<Arc<BlockStructure>>,
 }
 
 impl<T: Scalar> SparseLu<T> {
@@ -338,6 +364,7 @@ impl<T: Scalar> SparseLu<T> {
             lrows,
             urows,
             fill_in,
+            btf: None,
         })
     }
 
@@ -350,6 +377,17 @@ impl<T: Scalar> SparseLu<T> {
     /// `nnz(L+U) − nnz(A)`.
     pub fn fill_in(&self) -> u64 {
         self.fill_in
+    }
+
+    /// Attaches the structural analyzer's block-triangular permutation.
+    pub fn set_block_structure(&mut self, btf: Arc<BlockStructure>) {
+        self.btf = Some(btf);
+    }
+
+    /// The attached block-triangular structure, if the session computed
+    /// one for this pattern.
+    pub fn block_structure(&self) -> Option<&Arc<BlockStructure>> {
+        self.btf.as_ref()
     }
 
     /// Numeric refactorization over the frozen pattern and pivot order.

@@ -8,6 +8,7 @@
 use ams_guard::budget;
 use ams_guard::fault::{self, FaultKind};
 use ams_netlist::{Circuit, Device, NodeId};
+// det-lint: allow(hash-collection): reactive state keyed by device list index; stamping order comes from the device Vec
 use std::collections::HashMap;
 
 use crate::error::SimError;

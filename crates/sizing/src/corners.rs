@@ -13,6 +13,7 @@ use crate::cost::{CostCompiler, Perf};
 use crate::eqopt::{PerfModel, SizingResult};
 use ams_netlist::{Corner, Technology};
 use ams_topology::Spec;
+// det-lint: allow(hash-collection): Perf/param maps read by key; ordered walks go through Spec bounds
 use std::collections::HashMap;
 
 /// A performance model that can be re-targeted to a process corner.

@@ -7,6 +7,7 @@
 //! on performance vectors.
 
 use ams_topology::{Bound, Spec};
+// det-lint: allow(hash-collection): Perf is keyed storage; cost sums iterate the BTreeMap-backed Spec bounds
 use std::collections::HashMap;
 
 /// Performance vector: metric name → measured value.

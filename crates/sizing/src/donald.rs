@@ -13,6 +13,7 @@
 //! without rewriting equations — the flexibility hand-written design plans
 //! lack.
 
+// det-lint: allow(hash-collection): Perf/param maps read by key; ordered walks go through Spec bounds
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 

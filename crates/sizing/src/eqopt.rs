@@ -10,6 +10,7 @@ use crate::anneal::{anneal, AnnealConfig, AnnealResult, ParamDef};
 use crate::cost::{CostCompiler, Perf};
 use ams_netlist::Technology;
 use ams_topology::Spec;
+// det-lint: allow(hash-collection): Perf/param maps read by key; ordered walks go through Spec bounds
 use std::collections::HashMap;
 
 /// An analytic performance model: design equations evaluated in closed form.

@@ -14,6 +14,7 @@
 use crate::cost::Perf;
 use ams_netlist::Technology;
 use ams_topology::{Bound, Spec};
+// det-lint: allow(hash-collection): Perf/param maps read by key; ordered walks go through Spec bounds
 use std::collections::HashMap;
 use std::fmt;
 
@@ -389,6 +390,7 @@ mod tests {
         let plan = TwoStagePlan::new(5e-12);
         let tech = Technology::generic_1p2um();
         let s = spec();
+        // det-lint: allow(wall-clock): this test asserts the plan is fast; timing IS the assertion
         let t0 = std::time::Instant::now();
         for _ in 0..1000 {
             let _ = plan.execute(&s, &tech).unwrap();

@@ -12,6 +12,7 @@ use crate::cost::CostCompiler;
 use crate::eqopt::{PerfModel, SizingResult};
 use ams_prng::{Rng, SeedableRng, SmallRng};
 use ams_topology::{Bound, Spec};
+// det-lint: allow(hash-collection): Perf/param maps read by key; ordered walks go through Spec bounds
 use std::collections::HashMap;
 
 /// One stored design: the spec it was sized for and the parameter vector.

@@ -17,6 +17,7 @@ use ams_guard::Retry;
 use ams_netlist::{Circuit, Technology};
 use ams_sim::{log_frequencies, SimError, SimSession};
 use ams_topology::Spec;
+// det-lint: allow(hash-collection): Perf/param maps read by key; ordered walks go through Spec bounds
 use std::collections::HashMap;
 
 /// How the AC characteristics are evaluated at each optimization iteration.

@@ -1,6 +1,7 @@
 //! Symbolic MNA matrices and determinant expansion.
 
 use crate::poly::SymPoly;
+// det-lint: allow(hash-collection): expansion memo keyed by column bitmask, never iterated
 use std::collections::HashMap;
 
 /// A polynomial in the Laplace variable `s` whose coefficients are

@@ -5,6 +5,7 @@
 //! [`SymPoly`] is that canonical sum-of-products form; terms carry numeric
 //! coefficients so cancellations (`+x − x`) collapse exactly.
 
+// det-lint: allow(hash-collection): term accumulators; from_map sorts terms before any result is built
 use std::collections::HashMap;
 use std::fmt;
 

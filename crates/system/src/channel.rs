@@ -16,6 +16,7 @@
 //! neighbors.
 
 use ams_layout::NetClass;
+// det-lint: allow(hash-collection): constraint-set membership only; assignment order comes from sorted ready lists
 use std::collections::HashSet;
 
 /// One net crossing the channel.

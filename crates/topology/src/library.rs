@@ -6,6 +6,7 @@
 //! the feasibility intervals the selector screens against.
 
 use crate::interval::Interval;
+// det-lint: allow(hash-collection): capability intervals are read by metric name only
 use std::collections::HashMap;
 
 /// Well-known performance metric keys used across the toolkit.

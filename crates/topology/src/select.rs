@@ -6,7 +6,8 @@
 
 use crate::interval::Interval;
 use crate::library::{BlockClass, Topology, TopologyLibrary};
-use std::collections::HashMap;
+// det-lint: allow(hash-collection): Perf vectors are read by key only; ordered walks go through the BTreeMap-backed bounds
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
 /// One specification bound on a metric.
@@ -49,7 +50,10 @@ impl fmt::Display for Bound {
 /// A specification: named metric bounds plus an optional optimization goal.
 #[derive(Debug, Clone, Default)]
 pub struct Spec {
-    bounds: HashMap<String, Bound>,
+    /// Sorted so [`Spec::bounds`] iterates in metric order: downstream cost
+    /// compilation sums violations in iteration order, and float addition
+    /// order must not vary between runs.
+    bounds: BTreeMap<String, Bound>,
     /// Metric to minimize among feasible candidates (e.g. `power_w`).
     pub minimize: Option<String>,
 }

@@ -57,6 +57,7 @@
 pub mod json;
 
 use std::cell::RefCell;
+// det-lint: allow(hash-collection): hot-path aggregation keyed by name; snapshots sort into BTreeMaps
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};

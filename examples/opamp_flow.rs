@@ -40,9 +40,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     format_eng(*power_w, "W")
                 );
             }
-            FlowEvent::LintChecked { errors, warnings } => {
+            FlowEvent::LintChecked {
+                errors,
+                warnings,
+                structurally_sound,
+            } => {
                 println!(
-                    "[top-down] ERC lint on sized circuit: {errors} errors, {warnings} warnings"
+                    "[top-down] ERC lint on sized circuit: {errors} errors, {warnings} warnings, \
+                     structurally nonsingular: {structurally_sound}"
                 );
             }
             FlowEvent::LayoutDone { area_um2, complete } => {

@@ -40,4 +40,11 @@ cargo test --offline -q --release --test trace_determinism
 echo "== fault-injection recovery matrix =="
 cargo test --offline -q --release --test fault_recovery
 
+echo "== structural analysis: singularity proofs, fill forecast, lint corpus =="
+cargo test --offline -q --test structural_props
+cargo test --offline -q --test lint_corpus
+
+echo "== workspace determinism lint (det-lint) =="
+cargo run --offline -q -p ams-detlint
+
 echo "All checks passed."

@@ -124,13 +124,65 @@ M1 a a a 0 nch W=10u L=1u";
 
 #[test]
 fn corpus_codes_are_stable_and_severities_are_errors() {
-    // The five corpus codes are part of the public contract: tools and docs
+    // The corpus codes are part of the public contract: tools and docs
     // key off these exact strings.
-    for code in ["E002", "E003", "E004", "E005", "E006"] {
+    for code in ["E002", "E003", "E004", "E005", "E006", "E008"] {
         let rule = RuleCode::from_code(code).expect("corpus code must resolve");
         assert_eq!(rule.as_str(), code);
         assert_eq!(rule.severity(), Severity::Error);
     }
+    for code in ["W005", "W006"] {
+        let rule = RuleCode::from_code(code).expect("structural warning must resolve");
+        assert_eq!(rule.as_str(), code);
+        assert_eq!(rule.severity(), Severity::Warning);
+    }
+}
+
+#[test]
+fn structurally_singular_deck_gets_e008_proof_with_witness() {
+    // The heuristic rules (E002/E004) see this deck too; the structural
+    // analyzer's verdict is the *proof*: no perfect matching exists on the
+    // DC pattern, so every numeric matrix with this pattern is singular.
+    let deck = "\
+I1 0 x DC 1u
+C1 x 0 1p
+V1 y 0 DC 1
+R1 y 0 1k";
+    let analysis = ams_lint::analyze_deck_structure(deck).expect("parse");
+    assert!(!analysis.is_structurally_nonsingular());
+    let diag = analysis
+        .report()
+        .find(RuleCode::from_code("E008").unwrap())
+        .expect("E008");
+    assert!(
+        diag.nodes.iter().any(|n| n == "x"),
+        "witness must name `x`: {:?}",
+        diag.nodes
+    );
+    let span = diag.span.expect("deck-anchored E008 carries a span");
+    assert_eq!(span.start, 1, "anchored at the cutset source card");
+    // The rendered witness is byte-stable: rerunning the analysis on the
+    // same deck must reproduce the report exactly.
+    let reference = analysis.report().render_human();
+    for _ in 0..4 {
+        let again = ams_lint::analyze_deck_structure(deck).expect("parse");
+        assert_eq!(again.report().render_human(), reference);
+    }
+}
+
+#[test]
+fn clean_deck_is_proven_structurally_nonsingular() {
+    // The healthy counterpart: a perfect matching exists, no E008, and the
+    // analysis records a fully-matched pattern.
+    let deck = "\
+V1 in 0 DC 1
+R1 in out 1k
+R2 out 0 1k
+C1 out 0 1p";
+    let analysis = ams_lint::analyze_deck_structure(deck).expect("parse");
+    assert!(analysis.is_structurally_nonsingular());
+    assert_eq!(analysis.matched, analysis.dim);
+    assert!(analysis.report().errors().count() == 0);
 }
 
 #[test]
