@@ -5,18 +5,21 @@
 //! with the `ams-trace` collector enabled it runs the Table 1 sizing, a
 //! quick two-stage opamp flow (placer + router), and a device-level DC
 //! solve, then writes the headline counters (Newton iterations, anneal
-//! moves, router expansions, …) to `BENCH_table1.json` at the workspace
-//! root. The collector is disabled again before the timed loop, so the
-//! timing numbers measure the uninstrumented fast path.
+//! moves, router expansions, …), histogram summaries and throughput
+//! headline to `BENCH_table1.json` at the workspace root via the shared
+//! `ams_bench::table1_report` emitter (also used by `ams-report
+//! quick-bench`). The collector is disabled again before the timed loop,
+//! so the timing numbers measure the uninstrumented fast path.
 
 use ams_bench::run_table1;
-use ams_core::{synthesize_opamp, table1_spec, FlowConfig, SimulatedPulseDetectorModel};
+use ams_bench::table1_report::{
+    measure_grid_scaling, measure_parallel_speedup, traced, Table1Report,
+};
+use ams_core::{synthesize_opamp, FlowConfig};
 use ams_netlist::Technology;
-use ams_sizing::{evolve, AnnealConfig, GaConfig, PerfModel, SimulatedTemplate, TwoStageCircuit};
+use ams_sizing::{AnnealConfig, GaConfig, SimulatedTemplate, TwoStageCircuit};
 use ams_topology::{Bound, Spec};
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::collections::BTreeMap;
-use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -45,272 +48,11 @@ fn quick_flow_config() -> FlowConfig {
     c
 }
 
-/// One named phase of the trajectory: the counters it contributed.
-struct Phase {
-    name: &'static str,
-    counters: Vec<(String, u64)>,
-}
-
-fn traced<T>(name: &'static str, phases: &mut Vec<Phase>, f: impl FnOnce() -> T) -> T {
-    let before = ams_trace::snapshot().counters;
-    let out = f();
-    let after = ams_trace::snapshot().counters;
-    phases.push(Phase {
-        name,
-        counters: ams_trace::counters_delta(&before, &after),
-    });
-    out
-}
-
 fn workspace_root() -> PathBuf {
     match std::env::var_os("CARGO_MANIFEST_DIR") {
         Some(dir) => PathBuf::from(dir).join("../.."),
         None => PathBuf::from("."),
     }
-}
-
-fn write_bench_json(
-    wall_s: f64,
-    feasible: bool,
-    power_reduction: f64,
-    speedup: &SpeedupSample,
-    grid: &GridScalingSample,
-    totals: &BTreeMap<String, u64>,
-    phases: &[Phase],
-) {
-    let mut json = String::from("{\n  \"bench\": \"table1_pulse_detector_synthesis\",\n");
-    let _ = writeln!(json, "  \"wall_s_quick\": {wall_s:.6},");
-    let _ = writeln!(json, "  \"feasible\": {feasible},");
-    let _ = writeln!(json, "  \"power_reduction\": {power_reduction:.4},");
-    let _ = writeln!(json, "  \"parallel_serial_us\": {},", speedup.serial_us);
-    let _ = writeln!(json, "  \"parallel_4threads_us\": {},", speedup.par4_us);
-    let _ = writeln!(
-        json,
-        "  \"parallel_speedup_4t\": {:.4},",
-        speedup.serial_us as f64 / speedup.par4_us.max(1) as f64
-    );
-    let _ = writeln!(
-        json,
-        "  \"parallel_cache_hit_rate\": {:.4},",
-        speedup.cache_hit_rate
-    );
-    let _ = writeln!(json, "  \"hw_threads\": {},", speedup.hw_threads);
-    // Honest hardware reporting: a 4-worker "speedup" measured on a single
-    // hardware thread is time-slicing, not scaling — flag it invalid.
-    let _ = writeln!(json, "  \"speedup_valid\": {},", speedup.hw_threads > 1);
-    json.push_str("  \"grid_scaling\": [");
-    for (i, r) in grid.rows.iter().enumerate() {
-        if i > 0 {
-            json.push(',');
-        }
-        let _ = write!(
-            json,
-            "\n    {{\"n\": {}, \"unknowns\": {}, \"dense_s\": {}, \"sparse_s\": {:.6}, \
-             \"fill_in\": {}, \"predicted_fill\": {}, \"btf_blocks\": {}}}",
-            r.n,
-            r.unknowns,
-            r.dense_s.map_or("null".to_string(), |d| format!("{d:.6}")),
-            r.sparse_s,
-            r.fill_in,
-            r.predicted_fill,
-            r.btf_blocks
-        );
-    }
-    json.push_str("\n  ],\n");
-    let _ = writeln!(json, "  \"grid_common_n\": {},", grid.common_n);
-    let _ = writeln!(
-        json,
-        "  \"grid_speedup_dense_over_sparse\": {:.4},",
-        grid.speedup_common
-    );
-    json.push_str("  \"counters\": {");
-    for (i, (k, v)) in totals.iter().enumerate() {
-        if i > 0 {
-            json.push(',');
-        }
-        let _ = write!(json, "\n    \"{}\": {v}", ams_trace::json::escape_str(k));
-    }
-    json.push_str("\n  },\n  \"phases\": [");
-    for (pi, phase) in phases.iter().enumerate() {
-        if pi > 0 {
-            json.push(',');
-        }
-        let _ = write!(
-            json,
-            "\n    {{\"name\": \"{}\", \"counters\": {{",
-            phase.name
-        );
-        for (i, (k, v)) in phase.counters.iter().enumerate() {
-            if i > 0 {
-                json.push(',');
-            }
-            let _ = write!(json, "\"{}\": {v}", ams_trace::json::escape_str(k));
-        }
-        json.push_str("}}");
-    }
-    json.push_str("\n  ]\n}\n");
-    // Fail loudly on a malformed emitter rather than shipping bad JSON.
-    ams_trace::json::parse(&json).expect("BENCH_table1.json must be valid JSON");
-    let path = workspace_root().join("BENCH_table1.json");
-    if let Err(e) = std::fs::write(&path, json) {
-        eprintln!("warning: could not write {}: {e}", path.display());
-    }
-}
-
-/// One grid size of the `grid_scaling` phase.
-struct GridScalingRow {
-    /// Grid side length (the mesh is `n × n` nodes).
-    n: usize,
-    /// MNA unknowns of the instantiated circuit.
-    unknowns: usize,
-    /// Dense-LU DC wall time; `None` above the dense size cutoff.
-    dense_s: Option<f64>,
-    /// Sparse-LU DC wall time.
-    sparse_s: f64,
-    /// Sparse fill-in (entries created beyond the stamped pattern).
-    fill_in: u64,
-    /// Minimum-degree fill-in forecast from the structural analyzer,
-    /// recorded next to the actual `fill_in` so the prediction quality is
-    /// a tracked trajectory.
-    predicted_fill: u64,
-    /// Coarse BTF block count the analyzer found (1 = fully coupled).
-    btf_blocks: usize,
-}
-
-/// Dense-vs-sparse scaling of the power-grid DC solve.
-struct GridScalingSample {
-    rows: Vec<GridScalingRow>,
-    /// `dense_s / sparse_s` at the largest grid both backends solved.
-    speedup_common: f64,
-    /// Side length of that common grid.
-    common_n: usize,
-}
-
-/// The `grid_scaling` phase: DC-solve `n × n` synthetic power grids on the
-/// forced-dense and forced-sparse backends and record the wall-time
-/// crossover. Dense stops at 24×24 (an O(n⁶) dense LU already takes
-/// seconds there); sparse continues to the 64×64 / ≈8k-unknown grid the
-/// RAIL-style analysis targets. Fill-in comes from the `sim.sparse.fill_in`
-/// counter delta of each solve.
-fn measure_grid_scaling(phases: &mut Vec<Phase>) -> GridScalingSample {
-    use ams_rail::{GridSpec, PowerGrid};
-    traced("grid_scaling", phases, || {
-        const DENSE_MAX_N: usize = 24;
-        let sizes = [8usize, 12, 16, 24, 32, 48, 64];
-        let solve = |n: usize, backend: ams_sim::Backend| -> (usize, f64, u64) {
-            let ckt = PowerGrid::uniform(GridSpec::synthetic(n), 10e-6).to_circuit();
-            let ses = ams_sim::SimSession::with_backend(&ckt, backend);
-            let before = ams_trace::snapshot().counters;
-            let t0 = Instant::now();
-            let op = ses.op().expect("grid DC solve");
-            let secs = t0.elapsed().as_secs_f64();
-            assert!(op.iterations > 0);
-            let after = ams_trace::snapshot().counters;
-            let fill = ams_trace::counters_delta(&before, &after)
-                .iter()
-                .find(|(k, _)| k == "sim.sparse.fill_in")
-                .map_or(0, |&(_, v)| v);
-            (ses.layout().dim(), secs, fill)
-        };
-        let mut rows = Vec::new();
-        let (mut speedup_common, mut common_n) = (0.0, 0);
-        for n in sizes {
-            let (unknowns, sparse_s, fill_in) = solve(n, ams_sim::Backend::Sparse);
-            let dense_s = (n <= DENSE_MAX_N).then(|| solve(n, ams_sim::Backend::Dense).1);
-            if let Some(d) = dense_s {
-                speedup_common = d / sparse_s.max(1e-12);
-                common_n = n;
-            }
-            // Static pattern analysis on the same grid: the forecast is
-            // backend-independent, so one pass per size suffices.
-            let ckt = PowerGrid::uniform(GridSpec::synthetic(n), 10e-6).to_circuit();
-            let structural = ams_lint::analyze_circuit_structure(&ckt);
-            assert!(
-                structural.is_structurally_nonsingular(),
-                "{n}×{n} power grid must have a perfect MNA matching"
-            );
-            rows.push(GridScalingRow {
-                n,
-                unknowns,
-                dense_s,
-                sparse_s,
-                fill_in,
-                predicted_fill: structural.predicted_fill,
-                btf_blocks: structural.btf.as_ref().map_or(0, |b| b.num_blocks()),
-            });
-        }
-        ams_trace::counter_add("bench.grid.largest_unknowns", {
-            rows.last().map_or(0, |r| r.unknowns as u64)
-        });
-        GridScalingSample {
-            rows,
-            speedup_common,
-            common_n,
-        }
-    })
-}
-
-/// Wall times and cache behaviour of the `parallel_speedup` phase.
-struct SpeedupSample {
-    serial_us: u64,
-    par4_us: u64,
-    cache_hit_rate: f64,
-    hw_threads: usize,
-}
-
-/// The `parallel_speedup` phase: the same seeded GA topology-selection
-/// run on the simulation-backed Table 1 model, serial then at 4 workers.
-/// The model's per-candidate cost is a genuine DC-Newton + AC-sweep
-/// simulation, so the ratio measures the exec pool's scaling rather than
-/// closure overhead. `hw_threads` is recorded alongside: on a box with
-/// fewer than 4 hardware threads the extra workers time-slice one core
-/// and the measured ratio reflects that, not the engine.
-fn measure_parallel_speedup(phases: &mut Vec<Phase>) -> SpeedupSample {
-    traced("parallel_speedup", phases, || {
-        let model = SimulatedPulseDetectorModel::new(Technology::generic_1p2um());
-        let models: [&dyn PerfModel; 1] = [&model];
-        let ga = GaConfig {
-            population: 48,
-            generations: 6,
-            seed: 11,
-            ..Default::default()
-        };
-        let run = |threads: usize| {
-            ams_exec::set_threads(Some(threads));
-            let hits0 = ams_trace::snapshot().counters;
-            let t0 = Instant::now();
-            let r = evolve(&models, &table1_spec(), &ga);
-            let us = t0.elapsed().as_micros() as u64;
-            let hits1 = ams_trace::snapshot().counters;
-            let delta = ams_trace::counters_delta(&hits0, &hits1);
-            let get = |k: &str| {
-                delta
-                    .iter()
-                    .find(|(name, _)| name == k)
-                    .map_or(0, |&(_, v)| v)
-            };
-            let (h, m) = (get("exec.cache.hit"), get("exec.cache.miss"));
-            let hit_rate = h as f64 / (h + m).max(1) as f64;
-            (us, hit_rate, r)
-        };
-        let (serial_us, serial_hit_rate, r1) = run(1);
-        let (par4_us, par4_hit_rate, r4) = run(4);
-        ams_exec::set_threads(None);
-        // Determinism spot check: the champion must not depend on the
-        // worker count, nor may the cache behave differently.
-        assert_eq!(r1.topology, r4.topology);
-        assert_eq!(r1.sizing.cost.to_bits(), r4.sizing.cost.to_bits());
-        assert_eq!(r1.sizing.params, r4.sizing.params);
-        assert!((serial_hit_rate - par4_hit_rate).abs() < 1e-12);
-        ams_trace::counter_add("bench.parallel.serial_us", serial_us);
-        ams_trace::counter_add("bench.parallel.par4_us", par4_us);
-        SpeedupSample {
-            serial_us,
-            par4_us,
-            cache_hit_rate: par4_hit_rate,
-            hw_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
-        }
-    })
 }
 
 fn bench(c: &mut Criterion) {
@@ -333,6 +75,10 @@ fn bench(c: &mut Criterion) {
         "power reduction {}",
         t.power_reduction
     );
+    let sizing_evals = phases
+        .last()
+        .and_then(|p| p.counters.iter().find(|(k, _)| k == "sizing.anneal_evals"))
+        .map_or(0, |&(_, v)| v);
 
     traced("opamp_flow_place_route", &mut phases, || {
         let report = synthesize_opamp(
@@ -388,8 +134,17 @@ fn bench(c: &mut Criterion) {
         ams_guard::fault::disarm();
     });
 
-    let speedup = measure_parallel_speedup(&mut phases);
-    let grid = measure_grid_scaling(&mut phases);
+    let ga = GaConfig {
+        population: 48,
+        generations: 6,
+        seed: 11,
+        ..Default::default()
+    };
+    let speedup = measure_parallel_speedup(&mut phases, &ga);
+    // Dense stops at 24×24 (an O(n⁶) dense LU already takes seconds
+    // there); sparse continues to the 64×64 / ≈8k-unknown grid the
+    // RAIL-style analysis targets.
+    let grid = measure_grid_scaling(&mut phases, &[8, 12, 16, 24, 32, 48, 64], 24);
     assert!(
         grid.speedup_common >= 10.0,
         "sparse must beat dense ≥10× at the {0}×{0} grid, got {1:.1}×",
@@ -411,15 +166,21 @@ fn bench(c: &mut Criterion) {
             "headline counter {key} missing from instrumented run"
         );
     }
-    write_bench_json(
+    let report = Table1Report {
         wall_s,
-        t.feasible,
-        t.power_reduction,
-        &speedup,
-        &grid,
-        &snap.counters,
-        &phases,
-    );
+        feasible: t.feasible,
+        power_reduction: t.power_reduction,
+        sizing_evals,
+        evals_per_sec: sizing_evals as f64 / wall_s.max(1e-9),
+        speedup,
+        grid,
+        counters: snap.counters,
+        histograms: snap.histograms,
+        phases,
+    };
+    if let Err(e) = report.write(&workspace_root().join("BENCH_table1.json")) {
+        eprintln!("warning: {e}");
+    }
 
     // Timed loop runs with the collector off: the disabled fast path is the
     // configuration the ≤2% overhead acceptance bound is judged against.

@@ -6,5 +6,6 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod table1_report;
 
 pub use experiments::*;

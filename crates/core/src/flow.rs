@@ -100,9 +100,54 @@ impl FlowEvent {
 /// Appends `event` to the flow log and mirrors it as a `flow.<kind>`
 /// instant in the global trace sink, so the ad-hoc event log and the
 /// flight recorder tell the same story.
+/// Builds the forensics snapshot attached to a degraded report: prefers
+/// the deepest failure stashed by the sim layer (via
+/// `ams_trace::record_failure`), falling back to a fresh capture at the
+/// accept site. `None` while tracing and the event stream are both off.
+fn degraded_forensics(reasons: &[DegradeReason]) -> Option<ams_trace::ForensicsSnapshot> {
+    if !ams_trace::enabled() && !ams_trace::stream_enabled() {
+        return None;
+    }
+    let ctx = format!(
+        "degraded: {}",
+        reasons
+            .iter()
+            .map(|r| r.to_string())
+            .collect::<Vec<_>>()
+            .join("; ")
+    );
+    Some(match ams_trace::take_last_failure() {
+        Some(mut f) => {
+            f.context = format!("{ctx} [{}]", f.context);
+            f
+        }
+        None => ams_trace::forensics(&ctx),
+    })
+}
+
+/// Stashes a terminal flow error in the global forensics slot so callers
+/// that only see the `Err` can still pull the flight recorder.
+fn note_flow_failure(e: &FlowError) -> FlowError {
+    if ams_trace::enabled() || ams_trace::stream_enabled() {
+        ams_trace::record_failure(&format!("FlowError: {e}"));
+    }
+    e.clone()
+}
+
 fn emit(events: &mut Vec<FlowEvent>, event: FlowEvent) {
     if ams_trace::enabled() {
         ams_trace::instant(&format!("flow.{}", event.kind()));
+    }
+    if ams_trace::stream_enabled() {
+        ams_trace::emit(ams_trace::TelemetryEvent::FlowPhase {
+            phase: event.kind().to_string(),
+            detail: format!("{event:?}"),
+        });
+        if let FlowEvent::Degraded { reason } = &event {
+            ams_trace::emit(ams_trace::TelemetryEvent::Degraded {
+                reason: reason.clone(),
+            });
+        }
     }
     events.push(event);
 }
@@ -341,6 +386,11 @@ pub struct FlowReport {
     pub events: Vec<FlowEvent>,
     /// Nominal or degraded, with the recovery rungs taken.
     pub outcome: FlowOutcome,
+    /// Flight-recorder snapshot attached when the outcome is degraded
+    /// (and tracing or the event stream is on): the deepest recorded
+    /// failure context, last-K structured events, span stack, and counter
+    /// totals at capture time. `None` for nominal runs.
+    pub forensics: Option<ams_trace::ForensicsSnapshot>,
 }
 
 impl FlowReport {
@@ -444,9 +494,10 @@ pub fn synthesize_opamp(
             // Cooperative budget checkpoint: once a limit is crossed no new
             // sizing or layout work is started; what exists is kept.
             if let Some(e) = budget::exhausted() {
+                budget::emit_exhaustion_event();
                 if !policy.accept_degraded {
                     emit(&mut events, FlowEvent::Failed(e.to_string()));
-                    return Err(FlowError::Budget(e));
+                    return Err(note_flow_failure(&FlowError::Budget(e)));
                 }
                 let reason = DegradeReason::BudgetExhausted {
                     resource: e.resource,
@@ -493,6 +544,7 @@ pub fn synthesize_opamp(
                         post_layout_perf: post_perf,
                         iterations,
                         events,
+                        forensics: degraded_forensics(&reasons),
                         outcome: FlowOutcome::Degraded { reasons },
                     });
                 }
@@ -593,6 +645,11 @@ pub fn synthesize_opamp(
             );
 
             if passed {
+                let forensics = if reasons.is_empty() {
+                    None
+                } else {
+                    degraded_forensics(&reasons)
+                };
                 let outcome = if reasons.is_empty() {
                     FlowOutcome::Nominal
                 } else {
@@ -606,6 +663,7 @@ pub fn synthesize_opamp(
                     post_layout_perf: post_perf,
                     iterations,
                     events,
+                    forensics,
                     outcome,
                 });
             }
@@ -649,6 +707,7 @@ pub fn synthesize_opamp(
                         post_layout_perf: post_perf,
                         iterations,
                         events,
+                        forensics: degraded_forensics(&reasons),
                         outcome: FlowOutcome::Degraded { reasons },
                     });
                 }
@@ -656,7 +715,9 @@ pub fn synthesize_opamp(
                     &mut events,
                     FlowEvent::Failed("post-layout spec failure after redesign budget".into()),
                 );
-                return Err(FlowError::SizingInfeasible { iterations });
+                return Err(note_flow_failure(&FlowError::SizingInfeasible {
+                    iterations,
+                }));
             }
             last_attempt = Some((topology.clone(), sizing, layout, post_perf));
             // Redesign: tighten the speed-related bounds by the observed
@@ -751,18 +812,22 @@ pub fn synthesize_opamp(
                 post_layout_perf: post_perf,
                 iterations,
                 events,
+                forensics: degraded_forensics(&reasons),
                 outcome: FlowOutcome::Degraded { reasons },
             });
         }
         // Budget exhausted before any sizing produced even an infeasible
         // point: there is nothing to degrade to.
         if let Some(e) = budget::exhausted() {
+            budget::emit_exhaustion_event();
             emit(&mut events, FlowEvent::Failed(e.to_string()));
-            return Err(FlowError::Budget(e));
+            return Err(note_flow_failure(&FlowError::Budget(e)));
         }
     }
     emit(&mut events, FlowEvent::Failed("sizing infeasible".into()));
-    Err(FlowError::SizingInfeasible { iterations })
+    Err(note_flow_failure(&FlowError::SizingInfeasible {
+        iterations,
+    }))
 }
 
 /// Builds the macrocell device list for a sized design (the symmetrical

@@ -172,6 +172,10 @@ impl EvalCache {
         self.misses.fetch_add(misses, Ordering::Relaxed);
         ams_trace::counter_add("exec.cache.hit", hits);
         ams_trace::counter_add("exec.cache.miss", misses);
+        if hits + misses > 0 {
+            // Per-batch hit rate; deterministic (probe order is item order).
+            ams_trace::record("exec.cache.hit_rate", hits as f64 / (hits + misses) as f64);
+        }
 
         let computed: Vec<f64> =
             par_map_indexed(&compute, |_, &batch_idx| f(batch_idx, &items[batch_idx]));

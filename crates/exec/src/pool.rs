@@ -82,6 +82,11 @@ struct Range {
 ///
 /// Emits `exec.tasks` (item count — deterministic) and `exec.steals`
 /// (scheduling-dependent, excluded from the determinism contract).
+///
+/// Structured telemetry emitted inside `f` is captured per item on the
+/// worker thread and replayed on the calling thread in item-index order,
+/// so the event stream is byte-identical at any worker count (see
+/// `ams_trace::telemetry`).
 pub fn par_map_indexed<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -92,6 +97,7 @@ where
     ams_trace::counter_add("exec.tasks", n as u64);
     let workers = effective_threads().min(n.max(1));
     if workers <= 1 || n < MIN_PARALLEL_ITEMS {
+        // Serial path: events emit directly, already in item order.
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
 
@@ -109,12 +115,13 @@ where
     let steals = AtomicU64::new(0);
 
     let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let mut events: Vec<Vec<ams_trace::TelemetryEvent>> = (0..n).map(|_| Vec::new()).collect();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
                 let (ranges, steals, f) = (&ranges, &steals, &f);
                 scope.spawn(move || {
-                    let mut local: Vec<(usize, R)> = Vec::new();
+                    let mut local: Vec<(usize, R, Vec<ams_trace::TelemetryEvent>)> = Vec::new();
                     loop {
                         // Claim a chunk from the front of our own range.
                         let claimed = {
@@ -129,7 +136,8 @@ where
                         };
                         if let Some((lo, hi)) = claimed {
                             for (i, item) in items.iter().enumerate().take(hi).skip(lo) {
-                                local.push((i, f(i, item)));
+                                let (r, evs) = ams_trace::capture(|| f(i, item));
+                                local.push((i, r, evs));
                             }
                             continue;
                         }
@@ -169,11 +177,17 @@ where
             .collect();
         for h in handles {
             // A panic inside `f` surfaces here, on the calling thread.
-            for (i, r) in h.join().expect("exec worker panicked") {
+            for (i, r, evs) in h.join().expect("exec worker panicked") {
                 out[i] = Some(r);
+                events[i] = evs;
             }
         }
     });
+    // Deliver captured events in item-index order — the same order the
+    // serial inline path would have emitted them in.
+    for evs in events {
+        ams_trace::replay(evs);
+    }
     ams_trace::counter_add("exec.steals", steals.load(Ordering::Relaxed));
     out.into_iter()
         .map(|r| r.expect("every index evaluated exactly once"))

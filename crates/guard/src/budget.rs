@@ -296,6 +296,27 @@ pub fn check_in() -> bool {
     true
 }
 
+/// Emits the structured `budget` telemetry event for the current
+/// exhaustion, if any.
+///
+/// Deliberately *not* emitted from the crossing charge: that runs on
+/// whichever worker thread happens to cross, so its stream position would
+/// depend on scheduling. Call this from a serial checkpoint (the flow's
+/// budget observation sites) instead — one relaxed atomic load when the
+/// stream is disarmed.
+pub fn emit_exhaustion_event() {
+    if !ams_trace::stream_enabled() {
+        return;
+    }
+    if let Some(e) = exhausted() {
+        ams_trace::emit(ams_trace::TelemetryEvent::Budget {
+            resource: e.resource.as_str().to_string(),
+            limit: e.limit,
+            spent: e.spent,
+        });
+    }
+}
+
 /// The first exhaustion event of the currently installed budget, if any.
 pub fn exhausted() -> Option<BudgetExhausted> {
     if !ACTIVE.load(Ordering::Relaxed) {

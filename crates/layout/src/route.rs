@@ -232,6 +232,9 @@ impl Router {
         }
 
         let mut paths: Vec<Option<RoutedNet>> = vec![None; nets.len()];
+        // Maze expansions attributable to each net (speculative planning
+        // plus serial recomputes), for the per-net telemetry events.
+        let mut net_expansions: Vec<u64> = vec![0; nets.len()];
         let mut budget_stop = false;
         let mut spec_planned = 0u64;
         let mut spec_committed = 0u64;
@@ -270,6 +273,7 @@ impl Router {
                 spec_planned += wave.len() as u64;
                 for (&ni, (exp, p)) in wave.iter().zip(results) {
                     expansions += exp;
+                    net_expansions[ni] += exp;
                     plans[ni] = Some(p);
                 }
             }
@@ -299,6 +303,7 @@ impl Router {
                         }
                     }
                 }
+                let serial_exp_before = expansions;
                 let routed = match plans[ni].take() {
                     Some(Some(p))
                         if self.plan_still_valid(&p, nets[ni].class, &wave_cells, nets) =>
@@ -325,6 +330,7 @@ impl Router {
                     // Not speculated (mirror fallback, tiny wave, faults).
                     None => self.route_one(ni as u16, &nets[ni], nets, config, &mut expansions),
                 };
+                net_expansions[ni] += expansions - serial_exp_before;
                 match routed {
                     Some(p) => {
                         wave_cells.extend(p.path.iter().copied());
@@ -365,6 +371,15 @@ impl Router {
         let mut routed = Vec::new();
         let mut failed = Vec::new();
         for (ni, p) in paths.into_iter().enumerate() {
+            if ams_trace::stream_enabled() {
+                // Serial summary point in net order — deterministic at any
+                // thread count and across rip-up passes.
+                ams_trace::emit(ams_trace::TelemetryEvent::RouteNet {
+                    net: nets[ni].name.clone(),
+                    routed: p.is_some(),
+                    expansions: net_expansions[ni],
+                });
+            }
             match p {
                 Some(p) => routed.push(p),
                 None => failed.push(nets[ni].name.clone()),

@@ -397,17 +397,30 @@ fn newton(
 ) -> Result<(), SimError> {
     let ckt = ses.circuit();
     let layout = ses.layout();
+    if ams_trace::enabled() {
+        ams_trace::series_begin("sim.newton.residual");
+        ams_trace::series_begin("sim.newton.damping");
+    }
+    if ams_trace::stream_enabled() {
+        ams_trace::emit(ams_trace::TelemetryEvent::NewtonStart {
+            analysis: "dc".to_string(),
+            unknowns: layout.dim() as u64,
+        });
+    }
     // Injection site: force this whole solve to report non-convergence, as
     // if it burned its full iteration budget without settling.
     if fault::trip(FaultKind::NewtonDiverge) {
         *iters += MAX_ITER;
         let _ = budget::charge_newton(MAX_ITER as u64);
+        newton_end(MAX_ITER, false, f64::INFINITY);
         return Err(SimError::NoConvergence {
             analysis: "dc",
             iterations: MAX_ITER,
         });
     }
+    let mut solve_iters = 0usize;
     for _iter in 0..MAX_ITER {
+        solve_iters += 1;
         *iters += 1;
         // Cooperative metering only: the optimizer loops observe exhaustion
         // at their next checkpoint; an in-flight solve runs to completion.
@@ -420,18 +433,39 @@ fn newton(
         } else {
             ses.solve_stamped(st, RealSlot::Dc)
         };
-        let new_x = solved.map_err(|e| resolve_singular(ckt, layout, e))?;
+        let new_x = match solved.map_err(|e| resolve_singular(ckt, layout, e)) {
+            Ok(v) => v,
+            Err(e) => {
+                newton_end(solve_iters, false, f64::INFINITY);
+                return Err(e);
+            }
+        };
         // Damped update and convergence check.
         let mut converged = true;
+        let mut max_raw_dx = 0.0_f64;
+        let mut max_dx = 0.0_f64;
         for i in 0..x.len() {
             let mut dx = new_x[i] - x[i];
+            max_raw_dx = max_raw_dx.max(dx.abs());
             if i < layout.n_signal_nodes() {
                 dx = dx.clamp(-MAX_STEP, MAX_STEP);
             }
+            max_dx = max_dx.max(dx.abs());
             if dx.abs() > VNTOL + RELTOL * x[i].abs().max(new_x[i].abs()) {
                 converged = false;
             }
             x[i] += dx;
+        }
+        if ams_trace::enabled() {
+            ams_trace::series_push("sim.newton.residual", max_dx);
+            ams_trace::series_push(
+                "sim.newton.damping",
+                if max_raw_dx > 0.0 {
+                    max_dx / max_raw_dx
+                } else {
+                    1.0
+                },
+            );
         }
         // Injection site: poison the iterate so the finite-value check
         // below rejects the solve exactly as a real NaN residual would.
@@ -441,19 +475,34 @@ fn newton(
             }
         }
         if x.iter().any(|v| !v.is_finite()) {
+            newton_end(solve_iters, false, f64::NAN);
             return Err(SimError::NoConvergence {
                 analysis: "dc",
                 iterations: MAX_ITER,
             });
         }
         if converged {
+            newton_end(solve_iters, true, max_dx);
             return Ok(());
         }
     }
+    newton_end(MAX_ITER, false, f64::INFINITY);
     Err(SimError::NoConvergence {
         analysis: "dc",
         iterations: MAX_ITER,
     })
+}
+
+/// Emits the `newton_end` stream event (one atomic load when disarmed).
+fn newton_end(iterations: usize, converged: bool, residual: f64) {
+    if ams_trace::stream_enabled() {
+        ams_trace::emit(ams_trace::TelemetryEvent::NewtonEnd {
+            analysis: "dc".to_string(),
+            iterations: iterations as u64,
+            converged,
+            residual,
+        });
+    }
 }
 
 /// Stamps all devices for a DC Newton iteration linearized at `x`.

@@ -171,7 +171,7 @@ impl<'c> SimSession<'c> {
         if let Some(op) = self.op_cache.lock().unwrap().as_ref() {
             return Ok(op.clone());
         }
-        let op = dc::dc_op_from(self, None)?;
+        let op = note_failure(dc::dc_op_from(self, None))?;
         *self.op_cache.lock().unwrap() = Some(op.clone());
         Ok(op)
     }
@@ -188,7 +188,7 @@ impl<'c> SimSession<'c> {
         if let Some(op) = self.op_cache.lock().unwrap().as_ref() {
             return Ok(op.clone());
         }
-        let op = dc::dc_op_retry(self, retry)?;
+        let op = note_failure(dc::dc_op_retry(self, retry))?;
         *self.op_cache.lock().unwrap() = Some(op.clone());
         Ok(op)
     }
@@ -225,7 +225,7 @@ impl<'c> SimSession<'c> {
         let idx = self
             .output_index(out)
             .ok_or_else(|| SimError::UnknownNode(out.to_string()))?;
-        sweep_net(&net, idx, freqs, self.backend)
+        note_failure(sweep_net(&net, idx, freqs, self.backend))
     }
 
     /// Transient analysis from the (cached) DC operating point: trapezoidal
@@ -238,7 +238,7 @@ impl<'c> SimSession<'c> {
     /// * Any DC error from the initial operating point.
     /// * [`SimError::NoConvergence`] when a step fails at the minimum step.
     pub fn tran(&self, tstop: f64, dt: f64) -> Result<TranResult, SimError> {
-        tran::run(self, tstop, dt)
+        note_failure(tran::run(self, tstop, dt))
     }
 
     /// Noise analysis at the named output node: output PSD and integrated
@@ -256,7 +256,15 @@ impl<'c> SimSession<'c> {
         let idx = self
             .output_index(out)
             .ok_or_else(|| SimError::UnknownNode(out.to_string()))?;
-        noise::analyze(self.ckt, &op, &net, idx, freqs, temp_k, self.backend)
+        note_failure(noise::analyze(
+            self.ckt,
+            &op,
+            &net,
+            idx,
+            freqs,
+            temp_k,
+            self.backend,
+        ))
     }
 
     /// Solves the stamped system `A·x = z`, routing through the cached
@@ -296,6 +304,18 @@ impl<'c> SimSession<'c> {
             }
         }
     }
+}
+
+/// Stamps a failing analysis into the global forensics slot so flow-level
+/// reports can attach the flight recorder. No cost on the Ok path; no-op
+/// while both the collector and the event stream are off.
+fn note_failure<T>(r: Result<T, SimError>) -> Result<T, SimError> {
+    if let Err(e) = &r {
+        if ams_trace::enabled() || ams_trace::stream_enabled() {
+            ams_trace::record_failure(&format!("SimError: {e}"));
+        }
+    }
+    r
 }
 
 #[cfg(test)]

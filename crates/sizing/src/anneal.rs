@@ -153,6 +153,11 @@ where
 {
     assert!(!params.is_empty(), "no parameters to optimize");
     let _span = ams_trace::span("sizing.anneal");
+    if ams_trace::enabled() {
+        // Fitness-vs-evals curve: one trajectory per chain, one point per
+        // cooling stage.
+        ams_trace::series_begin("sizing.anneal.best_cost");
+    }
     let mut rng = SmallRng::seed_from_u64(config.seed);
 
     // Every candidate evaluation is panic-isolated: a poisoned candidate
@@ -234,6 +239,17 @@ where
                 (accepted - stage_accepted_before) as f64 / config.moves_per_stage as f64,
             );
         }
+        if ams_trace::enabled() {
+            ams_trace::series_push("sizing.anneal.best_cost", best_c);
+        }
+        if ams_trace::stream_enabled() {
+            ams_trace::emit(ams_trace::TelemetryEvent::OptimizerGeneration {
+                algorithm: "anneal".to_string(),
+                generation: stage as u64,
+                evals: evaluations as u64,
+                best_cost: best_c,
+            });
+        }
     }
 
     ams_trace::counter_add("sizing.anneal_runs", 1);
@@ -278,7 +294,14 @@ where
                 .wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
         })
         .collect();
-    let runs = ams_exec::par_map_indexed(&seeds, |_, &seed| {
+    let runs = ams_exec::par_map_indexed(&seeds, |i, &seed| {
+        if ams_trace::stream_enabled() {
+            ams_trace::emit(ams_trace::TelemetryEvent::OptimizerRestart {
+                algorithm: "anneal".to_string(),
+                restart: i as u64,
+                seed,
+            });
+        }
         let chain = AnnealConfig {
             seed,
             ..config.clone()

@@ -81,6 +81,18 @@ pub struct GaResult {
 pub fn evolve(models: &[&dyn PerfModel], spec: &Spec, config: &GaConfig) -> GaResult {
     assert!(!models.is_empty(), "no candidate topologies");
     let _span = ams_trace::span("sizing.ga");
+    if ams_trace::enabled() {
+        // Fitness-vs-evals curve: one trajectory per run, one point per
+        // generation.
+        ams_trace::series_begin("sizing.ga.best_cost");
+    }
+    if ams_trace::stream_enabled() {
+        ams_trace::emit(ams_trace::TelemetryEvent::OptimizerRestart {
+            algorithm: "ga".to_string(),
+            restart: 0,
+            seed: config.seed,
+        });
+    }
     let mut elitism_updates = 0u64;
     let mut rng = SmallRng::seed_from_u64(config.seed);
     let compiler = CostCompiler::new(spec.clone());
@@ -140,7 +152,8 @@ pub fn evolve(models: &[&dyn PerfModel], spec: &Spec, config: &GaConfig) -> GaRe
         }
     }
 
-    for _gen in 0..config.generations {
+    let mut evals_requested = pop.len() as u64;
+    for gen in 0..config.generations {
         // Budget checkpoint at the generation boundary: a partially-built
         // generation would shrink the population, so exhaustion mid-build
         // finishes the current generation and stops here.
@@ -160,6 +173,7 @@ pub fn evolve(models: &[&dyn PerfModel], spec: &Spec, config: &GaConfig) -> GaRe
             mutate(&mut child, models.len(), &param_defs, config, &mut rng);
             children.push(child);
         }
+        evals_requested += children.len() as u64;
         let costs = eval_batch(&children);
         for (mut child, cost) in children.into_iter().zip(costs) {
             child.cost = cost;
@@ -171,6 +185,22 @@ pub fn evolve(models: &[&dyn PerfModel], spec: &Spec, config: &GaConfig) -> GaRe
             next.push(child);
         }
         pop = next;
+        let best_cost = species_best
+            .iter()
+            .flatten()
+            .map(|c| c.cost)
+            .fold(f64::INFINITY, f64::min);
+        if ams_trace::enabled() {
+            ams_trace::series_push("sizing.ga.best_cost", best_cost);
+        }
+        if ams_trace::stream_enabled() {
+            ams_trace::emit(ams_trace::TelemetryEvent::OptimizerGeneration {
+                algorithm: "ga".to_string(),
+                generation: gen as u64,
+                evals: evals_requested,
+                best_cost,
+            });
+        }
     }
 
     // Polish each species' champion with a mutation-only hill climb.

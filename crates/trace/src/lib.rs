@@ -55,6 +55,12 @@
 #![warn(missing_docs)]
 
 pub mod json;
+pub mod telemetry;
+
+pub use telemetry::{
+    capture, emit, recent_events, replay, reset_stream, set_stream_enabled, stream_enabled,
+    subscribe, unsubscribe, JsonlSink, Subscriber, SubscriberId, TelemetryEvent,
+};
 
 use std::cell::RefCell;
 // det-lint: allow(hash-collection): hot-path aggregation keyed by name; snapshots sort into BTreeMaps
@@ -70,6 +76,12 @@ pub const DEFAULT_RING_CAPACITY: usize = 16_384;
 
 /// Cap on stored per-histogram samples (aggregates stay exact beyond it).
 const HIST_SAMPLE_CAP: usize = 4_096;
+
+/// Trajectories retained per convergence-series name (oldest drop first).
+pub const SERIES_RING_CAPACITY: usize = 32;
+
+/// Points retained per trajectory (later points drop, count stays exact).
+pub const SERIES_POINT_CAP: usize = 512;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 
@@ -175,6 +187,47 @@ pub fn record(name: &'static str, value: f64) {
     c.hists.entry(name).or_default().push(value);
 }
 
+/// Starts a new trajectory for the named convergence series.
+///
+/// A *series* is a family of per-solve trajectories — e.g. the Newton
+/// residual per iteration, recorded once per solve. Each `series_begin`
+/// opens a fresh trajectory; subsequent [`series_push`]es append to it.
+/// The last [`SERIES_RING_CAPACITY`] trajectories per name are retained.
+///
+/// Like span timings, series are diagnostic and **outside** the
+/// byte-determinism contract: parallel evaluations may interleave
+/// trajectories of the same name in scheduling order.
+#[inline]
+pub fn series_begin(name: &'static str) {
+    if !enabled() {
+        return;
+    }
+    let mut c = collector();
+    c.series.entry(name).or_default().begin();
+}
+
+/// Appends one point to the named series' current trajectory.
+///
+/// A push with no preceding [`series_begin`] opens a trajectory
+/// implicitly.
+#[inline]
+pub fn series_push(name: &'static str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    let mut c = collector();
+    c.series.entry(name).or_default().push(value);
+}
+
+/// The calling thread's currently-open span names, outermost first.
+///
+/// Used by failure forensics to record *where* in the flow an error
+/// surfaced. Cheap (one thread-local borrow); empty when tracing is
+/// disabled or no spans are open.
+pub fn current_span_stack() -> Vec<String> {
+    SPAN_STACK.with(|s| s.borrow().iter().map(|n| n.to_string()).collect())
+}
+
 /// Records an instant (point-in-time) event into the flight recorder.
 ///
 /// Takes `&str` (not `&'static str`) so callers can format event names,
@@ -208,6 +261,11 @@ pub fn snapshot() -> Snapshot {
             .map(|(&k, h)| (k.to_string(), h.summary()))
             .collect(),
         spans: c.spans.iter().map(|(k, a)| (k.clone(), a.stat())).collect(),
+        series: c
+            .series
+            .iter()
+            .map(|(&k, r)| (k.to_string(), r.export()))
+            .collect(),
         flight: c.ring.iter().cloned().collect(),
         dropped_events: c.dropped,
     }
@@ -288,6 +346,16 @@ pub struct HistSummary {
     pub p95: f64,
 }
 
+/// Exported state of one convergence series: the retained trajectories
+/// plus how many were begun in total (ring evictions included).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SeriesExport {
+    /// Trajectories begun since reset (including ring-evicted ones).
+    pub total_trajectories: u64,
+    /// The retained trajectories, oldest first.
+    pub trajectories: Vec<Vec<f64>>,
+}
+
 /// A consistent copy of the collector state, ready for export.
 #[derive(Debug, Clone, Default)]
 pub struct Snapshot {
@@ -297,6 +365,9 @@ pub struct Snapshot {
     pub histograms: BTreeMap<String, HistSummary>,
     /// Span statistics by `/`-joined path.
     pub spans: BTreeMap<String, SpanStat>,
+    /// Convergence series by name: the retained trajectories, oldest
+    /// first, each a vector of pushed points.
+    pub series: BTreeMap<String, SeriesExport>,
     /// The flight-recorder ring contents, oldest first.
     pub flight: Vec<FlightEvent>,
     /// Events evicted from the ring because it was full.
@@ -419,6 +490,128 @@ impl Snapshot {
         out.push_str("]}");
         out
     }
+
+    /// Exports the convergence series as JSON, suitable for writing
+    /// alongside the Chrome trace:
+    /// `{"series":{"<name>":{"total":N,"trajectories":[[...],...]}}}`.
+    pub fn to_series_json(&self) -> String {
+        let mut out = String::from("{\"series\":{");
+        for (i, (name, s)) in self.series.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{}\":{{\"total\":{},\"trajectories\":[",
+                json::escape_str(name),
+                s.total_trajectories
+            );
+            for (j, traj) in s.trajectories.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push('[');
+                for (k, v) in traj.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    if v.is_finite() {
+                        let _ = write!(out, "{v}");
+                    } else {
+                        out.push_str("null");
+                    }
+                }
+                out.push(']');
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Renders the snapshot in Prometheus text exposition format
+    /// (offline string/file — no HTTP endpoint, no dependency).
+    ///
+    /// Counters become `ams_<name>_total` counters, histograms become
+    /// summaries (`quantile` labels plus `_sum`/`_count`), and span
+    /// aggregates become `ams_span_seconds_sum` / `ams_span_count`
+    /// families labeled by path.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let m = prom_name(name);
+            let _ = writeln!(out, "# TYPE ams_{m}_total counter");
+            let _ = writeln!(out, "ams_{m}_total {v}");
+        }
+        for (name, h) in &self.histograms {
+            let m = prom_name(name);
+            let _ = writeln!(out, "# TYPE ams_{m} summary");
+            let _ = writeln!(out, "ams_{m}{{quantile=\"0.5\"}} {}", prom_f64(h.p50));
+            let _ = writeln!(out, "ams_{m}{{quantile=\"0.95\"}} {}", prom_f64(h.p95));
+            let _ = writeln!(out, "ams_{m}_sum {}", prom_f64(h.mean * h.count as f64));
+            let _ = writeln!(out, "ams_{m}_count {}", h.count);
+        }
+        if !self.spans.is_empty() {
+            out.push_str("# TYPE ams_span_seconds_sum gauge\n");
+            for (path, s) in &self.spans {
+                let _ = writeln!(
+                    out,
+                    "ams_span_seconds_sum{{path=\"{}\"}} {}",
+                    prom_label(path),
+                    prom_f64(s.total_us / 1e6)
+                );
+            }
+            out.push_str("# TYPE ams_span_count counter\n");
+            for (path, s) in &self.spans {
+                let _ = writeln!(
+                    out,
+                    "ams_span_count{{path=\"{}\"}} {}",
+                    prom_label(path),
+                    s.count
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Sanitizes a metric name for Prometheus: `[a-zA-Z0-9_:]` pass through,
+/// everything else becomes `_`.
+fn prom_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Escapes a Prometheus label value (backslash, quote, newline).
+fn prom_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a sample value for Prometheus exposition.
+fn prom_f64(x: f64) -> String {
+    if x.is_nan() {
+        "NaN".to_string()
+    } else if x.is_infinite() {
+        if x > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else {
+        format!("{x}")
+    }
 }
 
 fn fmt_us(us: f64) -> String {
@@ -511,6 +704,142 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceStats, String> {
 }
 
 // ---------------------------------------------------------------------------
+// Failure forensics
+// ---------------------------------------------------------------------------
+
+/// A flight-recorder snapshot captured at a failure site: what failed,
+/// where in the span tree the thread was, the counter totals at that
+/// moment, and the last-K structured telemetry events.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ForensicsSnapshot {
+    /// What failed — typically the rendered error or degrade reason.
+    pub context: String,
+    /// The failing thread's open span names, outermost first.
+    pub span_stack: Vec<String>,
+    /// Counter totals at capture time.
+    pub counters: BTreeMap<String, u64>,
+    /// The most recent telemetry events (oldest first) with sequence
+    /// numbers, from the built-in stream ring.
+    pub recent_events: Vec<(u64, TelemetryEvent)>,
+}
+
+impl ForensicsSnapshot {
+    /// Renders a human-readable forensics report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "forensics: {}", self.context);
+        if self.span_stack.is_empty() {
+            out.push_str("  span stack: (none open)\n");
+        } else {
+            let _ = writeln!(out, "  span stack: {}", self.span_stack.join(" / "));
+        }
+        if !self.recent_events.is_empty() {
+            // Keep the rendering one-screen: the full ring stays in the
+            // snapshot (and in to_json), only the display is capped.
+            const RENDER_CAP: usize = 20;
+            let skip = self.recent_events.len().saturating_sub(RENDER_CAP);
+            let _ = writeln!(
+                out,
+                "  last {} of {} events:",
+                self.recent_events.len() - skip,
+                self.recent_events.len()
+            );
+            if skip > 0 {
+                let _ = writeln!(out, "    … {skip} earlier events elided");
+            }
+            for (seq, ev) in self.recent_events.iter().skip(skip) {
+                let _ = writeln!(out, "    {}", ev.to_json_line(*seq));
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str("  counters:\n");
+            for (name, v) in &self.counters {
+                let _ = writeln!(out, "    {name:<36} {v}");
+            }
+        }
+        out
+    }
+
+    /// Serializes the snapshot as one JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = format!("{{\"context\":\"{}\"", json::escape_str(&self.context));
+        out.push_str(",\"span_stack\":[");
+        for (i, s) in self.span_stack.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\"", json::escape_str(s));
+        }
+        out.push_str("],\"recent_events\":[");
+        for (i, (seq, ev)) in self.recent_events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&ev.to_json_line(*seq));
+        }
+        out.push_str("],\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{v}", json::escape_str(name));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+fn last_failure_slot() -> MutexGuard<'static, Option<ForensicsSnapshot>> {
+    static SLOT: OnceLock<Mutex<Option<ForensicsSnapshot>>> = OnceLock::new();
+    SLOT.get_or_init(|| Mutex::new(None))
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+}
+
+/// Captures a forensics snapshot right now, tagged with `context`.
+///
+/// Works whenever either the base collector or the event stream is on;
+/// with both off it returns an empty snapshot carrying only `context`.
+pub fn forensics(context: &str) -> ForensicsSnapshot {
+    let mut snap = ForensicsSnapshot {
+        context: context.to_string(),
+        span_stack: current_span_stack(),
+        ..ForensicsSnapshot::default()
+    };
+    if enabled() {
+        let c = collector();
+        snap.counters = c
+            .counters
+            .iter()
+            .map(|(&k, &v)| (k.to_string(), v))
+            .collect();
+    }
+    if stream_enabled() {
+        snap.recent_events = recent_events();
+    }
+    snap
+}
+
+/// Captures a forensics snapshot and stashes it in the process-global
+/// last-failure slot (overwriting any previous one), for callers — like
+/// `FlowReport` assembly — that see the error only after it propagated.
+///
+/// No-op (two relaxed atomic loads) when both the collector and the
+/// stream are off.
+pub fn record_failure(context: &str) {
+    if !enabled() && !stream_enabled() {
+        return;
+    }
+    let snap = forensics(context);
+    *last_failure_slot() = Some(snap);
+}
+
+/// Takes the most recent [`record_failure`] snapshot, clearing the slot.
+pub fn take_last_failure() -> Option<ForensicsSnapshot> {
+    last_failure_slot().take()
+}
+
+// ---------------------------------------------------------------------------
 // Internal store
 // ---------------------------------------------------------------------------
 
@@ -564,6 +893,41 @@ impl Hist {
     }
 }
 
+/// Ring of per-solve trajectories for one series name.
+#[derive(Debug, Default)]
+struct SeriesRing {
+    ring: VecDeque<Vec<f64>>,
+    total_begun: u64,
+}
+
+impl SeriesRing {
+    fn begin(&mut self) {
+        if self.ring.len() >= SERIES_RING_CAPACITY {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(Vec::new());
+        self.total_begun += 1;
+    }
+
+    fn push(&mut self, v: f64) {
+        if self.ring.is_empty() {
+            self.begin();
+        }
+        if let Some(t) = self.ring.back_mut() {
+            if t.len() < SERIES_POINT_CAP {
+                t.push(v);
+            }
+        }
+    }
+
+    fn export(&self) -> SeriesExport {
+        SeriesExport {
+            total_trajectories: self.total_begun,
+            trajectories: self.ring.iter().cloned().collect(),
+        }
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct SpanAgg {
     count: u64,
@@ -588,6 +952,7 @@ struct Store {
     origin: Instant,
     counters: BTreeMap<&'static str, u64>,
     hists: BTreeMap<&'static str, Hist>,
+    series: BTreeMap<&'static str, SeriesRing>,
     spans: HashMap<String, SpanAgg>,
     ring: VecDeque<FlightEvent>,
     ring_capacity: usize,
@@ -601,6 +966,7 @@ impl Store {
             origin: Instant::now(),
             counters: BTreeMap::new(),
             hists: BTreeMap::new(),
+            series: BTreeMap::new(),
             spans: HashMap::new(),
             ring: VecDeque::new(),
             ring_capacity,
@@ -784,6 +1150,95 @@ mod tests {
         assert!(text.contains("t.n"));
         assert!(text.contains("histograms:"));
         set_enabled(false);
+    }
+
+    #[test]
+    fn series_ring_and_export() {
+        let _g = lock();
+        set_enabled(true);
+        reset();
+        for t in 0..(SERIES_RING_CAPACITY + 2) {
+            series_begin("t.newton_residual");
+            for i in 0..4 {
+                series_push("t.newton_residual", 1.0 / (t * 4 + i + 1) as f64);
+            }
+        }
+        // Implicit begin on bare push.
+        series_push("t.orphan", 7.0);
+        let snap = snapshot();
+        let s = &snap.series["t.newton_residual"];
+        assert_eq!(s.total_trajectories, (SERIES_RING_CAPACITY + 2) as u64);
+        assert_eq!(s.trajectories.len(), SERIES_RING_CAPACITY);
+        assert_eq!(s.trajectories.last().unwrap().len(), 4);
+        assert_eq!(snap.series["t.orphan"].trajectories, vec![vec![7.0]]);
+        let json_text = snap.to_series_json();
+        let v = json::parse(&json_text).expect("series json parses");
+        let series = v.get("series").unwrap();
+        assert!(series.get("t.newton_residual").is_some());
+        set_enabled(false);
+        reset();
+    }
+
+    #[test]
+    fn prometheus_exposition_renders_all_families() {
+        let _g = lock();
+        set_enabled(true);
+        reset();
+        {
+            let _a = span("t.phase");
+            counter_add("t.iters", 42);
+            for i in 1..=10 {
+                record("t.residual", i as f64);
+            }
+        }
+        let text = snapshot().to_prometheus();
+        assert!(text.contains("# TYPE ams_t_iters_total counter"));
+        assert!(text.contains("ams_t_iters_total 42"));
+        assert!(text.contains("# TYPE ams_t_residual summary"));
+        assert!(text.contains("ams_t_residual{quantile=\"0.5\"}"));
+        assert!(text.contains("ams_t_residual_count 10"));
+        assert!(text.contains("ams_t_residual_sum 55"));
+        assert!(text.contains("ams_span_seconds_sum{path=\"t.phase\"}"));
+        assert!(text.contains("ams_span_count{path=\"t.phase\"} 1"));
+        set_enabled(false);
+        reset();
+    }
+
+    #[test]
+    fn forensics_snapshot_captures_context() {
+        let _g = lock();
+        set_enabled(true);
+        telemetry::reset_stream();
+        set_stream_enabled(true);
+        reset();
+        counter_add("t.fail_iters", 9);
+        emit(TelemetryEvent::Degraded {
+            reason: "t_forensics".into(),
+        });
+        let snap;
+        {
+            let _a = span("t.failing_phase");
+            record_failure("SimError::NoConvergence after 150 iterations");
+            snap = take_last_failure().expect("failure recorded");
+        }
+        assert!(snap.context.contains("NoConvergence"));
+        assert_eq!(snap.span_stack, vec!["t.failing_phase".to_string()]);
+        assert_eq!(snap.counters["t.fail_iters"], 9);
+        assert!(snap.recent_events.iter().any(
+            |(_, e)| matches!(e, TelemetryEvent::Degraded { reason } if reason == "t_forensics")
+        ));
+        assert!(take_last_failure().is_none());
+        let rendered = snap.render();
+        assert!(rendered.contains("span stack: t.failing_phase"));
+        let parsed = json::parse(&snap.to_json()).expect("forensics json parses");
+        assert_eq!(
+            parsed.get("context").and_then(json::Value::as_str),
+            Some("SimError::NoConvergence after 150 iterations")
+        );
+        set_stream_enabled(false);
+        telemetry::reset_stream();
+        set_enabled(false);
+        reset();
     }
 
     #[test]

@@ -13,6 +13,9 @@ use ams_sizing::{SimulatedTemplate, TwoStageCircuit};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     ams::trace::set_enabled(true);
+    // Arm the structured event stream too: the flight-recorder ring it
+    // feeds is what the forensics snapshot below replays.
+    ams::trace::set_stream_enabled(true);
 
     let spec = Spec::new()
         .require("gain_db", Bound::AtLeast(60.0))
@@ -76,6 +79,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.layout.area_um2,
         report.layout.is_complete()
     );
+
+    println!("\n== failure forensics (flight-recorder snapshot) ==");
+    match &report.forensics {
+        Some(f) => print!("{}", f.render()),
+        None => println!("  (nominal run: no forensics attached)"),
+    }
 
     // Device-level verification under the same plan: the retried DC ladder
     // keeps absorbing the injected singular pivots.

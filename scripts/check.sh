@@ -34,6 +34,9 @@ cargo test --offline -q --test exec_determinism
 echo "== trace schema golden test + disabled-path overhead smoke =="
 cargo test --offline -q --test trace_schema
 
+echo "== telemetry stream: JSONL round-trip + thread-count byte-identity =="
+cargo test --offline -q --test telemetry_stream
+
 echo "== trace counter determinism =="
 cargo test --offline -q --release --test trace_determinism
 
@@ -46,5 +49,19 @@ cargo test --offline -q --test lint_corpus
 
 echo "== workspace determinism lint (det-lint) =="
 cargo run --offline -q -p ams-detlint
+
+echo "== ams-report regression-diff self-check =="
+report_tmp="$(mktemp -d)"
+trap 'rm -rf "$report_tmp"' EXIT
+# Positive gate: two same-seed quick benches must diff clean.
+cargo run --offline -q --release -p ams-report -- quick-bench -o "$report_tmp/a.json"
+cargo run --offline -q --release -p ams-report -- quick-bench -o "$report_tmp/b.json"
+cargo run --offline -q --release -p ams-report -- diff "$report_tmp/a.json" "$report_tmp/b.json"
+# Negative gate: an injected counter regression must be caught.
+cargo run --offline -q --release -p ams-report -- inject "$report_tmp/a.json" -o "$report_tmp/bad.json"
+if cargo run --offline -q --release -p ams-report -- diff "$report_tmp/a.json" "$report_tmp/bad.json" > /dev/null; then
+    echo "ERROR: ams-report diff missed an injected regression" >&2
+    exit 1
+fi
 
 echo "All checks passed."
