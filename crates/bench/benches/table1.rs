@@ -13,7 +13,7 @@
 
 use ams_bench::run_table1;
 use ams_bench::table1_report::{
-    measure_grid_scaling, measure_parallel_speedup, traced, Table1Report,
+    measure_crash_resume, measure_grid_scaling, measure_parallel_speedup, traced, Table1Report,
 };
 use ams_core::{synthesize_opamp, FlowConfig};
 use ams_netlist::Technology;
@@ -141,6 +141,15 @@ fn bench(c: &mut Criterion) {
         ..Default::default()
     };
     let speedup = measure_parallel_speedup(&mut phases, &ga);
+    let crash = measure_crash_resume(
+        &mut phases,
+        &GaConfig {
+            population: 24,
+            generations: 8,
+            seed: 5,
+            ..Default::default()
+        },
+    );
     // Dense stops at 24×24 (an O(n⁶) dense LU already takes seconds
     // there); sparse continues to the 64×64 / ≈8k-unknown grid the
     // RAIL-style analysis targets.
@@ -173,6 +182,7 @@ fn bench(c: &mut Criterion) {
         sizing_evals,
         evals_per_sec: sizing_evals as f64 / wall_s.max(1e-9),
         speedup,
+        crash,
         grid,
         counters: snap.counters,
         histograms: snap.histograms,

@@ -8,10 +8,14 @@
 //! (`*_s`, `*_us`, `*per_sec*`, speedups) vary run to run and are treated
 //! as informational by the diff.
 
+use ams_ckpt::CkptStore;
 use ams_core::{table1_spec, SimulatedPulseDetectorModel};
 use ams_netlist::Technology;
 use ams_rail::{GridSpec, PowerGrid};
-use ams_sizing::{evolve, AnnealConfig, GaConfig, PerfModel};
+use ams_sizing::{
+    evolve, evolve_ckpt, AnnealConfig, CkptRun, GaConfig, PerfModel, SizingCkptError, TwoStageModel,
+};
+use ams_topology::{Bound, Spec};
 use ams_trace::HistSummary;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -108,6 +112,87 @@ pub struct SpeedupSample {
     pub cache_hit_rate: f64,
     /// Hardware threads available on this host.
     pub hw_threads: usize,
+}
+
+/// Wall times and journal footprint of the `crash_resume` phase.
+pub struct CrashResumeSample {
+    /// Uninterrupted checkpointed GA wall time, microseconds.
+    pub fresh_us: u64,
+    /// Wall time of resuming the same run from a mid-run journal,
+    /// microseconds. Replayed generations come from the journal, so this
+    /// should be well under `fresh_us`.
+    pub resume_us: u64,
+    /// Journal bytes written by the uninterrupted run (whole-journal
+    /// rewrites, cumulative). Wall-clock-free but schedule-sensitive via
+    /// the committed counter deltas, so the diff treats it as
+    /// informational.
+    pub ckpt_bytes: u64,
+    /// Boundary commits of the uninterrupted run. Deterministic for a
+    /// fixed config; compared exactly by the diff.
+    pub ckpt_commits: u64,
+}
+
+/// The `crash_resume` phase: run a checkpointed GA to completion (journal
+/// footprint + overhead baseline), crash an identical run at the midpoint
+/// boundary, and time the resume. The resumed champion must be bit-exact
+/// against the uninterrupted one — this is the bench-side pin of the
+/// crash-safety contract the `kill_resume` integration test proves with
+/// real signals. The journals are real files so every commit's fsync-path
+/// latency lands in the `ckpt.write_us` histogram.
+pub fn measure_crash_resume(phases: &mut Vec<Phase>, ga: &GaConfig) -> CrashResumeSample {
+    traced("crash_resume", phases, || {
+        let two = TwoStageModel::new(Technology::generic_1p2um(), 5e-12);
+        let models: [&dyn PerfModel; 1] = [&two];
+        let spec = Spec::new()
+            .require("gain_db", Bound::AtLeast(60.0))
+            .require("ugf_hz", Bound::AtLeast(5e6))
+            .minimizing("power_w");
+        let tmp = |leg: &str| {
+            std::env::temp_dir().join(format!("ams_bench_crash_{leg}_{}.ckpt", std::process::id()))
+        };
+
+        let fresh_path = tmp("fresh");
+        let mut fresh_store = CkptStore::create(&fresh_path);
+        let t0 = Instant::now();
+        let fresh = evolve_ckpt(&models, &spec, ga, CkptRun::new(&mut fresh_store))
+            .expect("fresh checkpointed GA");
+        let fresh_us = t0.elapsed().as_micros() as u64;
+        let stats = fresh_store.stats();
+        let _ = std::fs::remove_file(&fresh_path);
+
+        let crash_path = tmp("crash");
+        let mut store = CkptStore::create(&crash_path);
+        let crash_gen = (ga.generations / 2).max(1);
+        match evolve_ckpt(
+            &models,
+            &spec,
+            ga,
+            CkptRun::halting_after(&mut store, crash_gen),
+        ) {
+            Err(SizingCkptError::Halted { .. }) => {}
+            other => panic!("expected a mid-run halt, got {other:?}"),
+        }
+        // Re-open from disk, exactly as a restarted process would.
+        drop(store);
+        let mut store = CkptStore::open(&crash_path).expect("reopen journal after crash");
+        let t1 = Instant::now();
+        let resumed = evolve_ckpt(&models, &spec, ga, CkptRun::new(&mut store))
+            .expect("resumed checkpointed GA");
+        let resume_us = t1.elapsed().as_micros() as u64;
+        let _ = std::fs::remove_file(&crash_path);
+
+        assert_eq!(fresh.topology, resumed.topology);
+        assert_eq!(fresh.sizing.cost.to_bits(), resumed.sizing.cost.to_bits());
+        assert_eq!(fresh.sizing.params, resumed.sizing.params);
+
+        ams_trace::counter_add("ckpt.commits", stats.commits);
+        CrashResumeSample {
+            fresh_us,
+            resume_us,
+            ckpt_bytes: stats.bytes_written,
+            ckpt_commits: stats.commits,
+        }
+    })
 }
 
 /// The `grid_scaling` phase: DC-solve `n × n` synthetic power grids on
@@ -237,6 +322,8 @@ pub struct Table1Report {
     pub evals_per_sec: f64,
     /// Parallel-speedup phase sample.
     pub speedup: SpeedupSample,
+    /// Crash/resume phase sample.
+    pub crash: CrashResumeSample,
     /// Grid-scaling phase sample.
     pub grid: GridScalingSample,
     /// Counter totals of the whole instrumented run.
@@ -297,6 +384,19 @@ impl Table1Report {
             json,
             "  \"speedup_valid\": {},",
             self.speedup.hw_threads > 1
+        );
+        // Crash/resume: wall times informational (`_us`), `ckpt_bytes`
+        // informational (schedule-sensitive via committed counter deltas),
+        // `ckpt_commits` deterministic-exact.
+        let _ = writeln!(
+            json,
+            "  \"crash_resume\": {{\"fresh_us\": {}, \"resume_us\": {}, \
+             \"resume_speedup\": {}, \"ckpt_bytes\": {}, \"ckpt_commits\": {}}},",
+            self.crash.fresh_us,
+            self.crash.resume_us,
+            json_f64(self.crash.fresh_us as f64 / self.crash.resume_us.max(1) as f64),
+            self.crash.ckpt_bytes,
+            self.crash.ckpt_commits
         );
         json.push_str("  \"grid_scaling\": [");
         for (i, r) in self.grid.rows.iter().enumerate() {
@@ -414,6 +514,15 @@ pub fn collect_quick() -> Table1Report {
         ..Default::default()
     };
     let speedup = measure_parallel_speedup(&mut phases, &ga);
+    let crash = measure_crash_resume(
+        &mut phases,
+        &GaConfig {
+            population: 12,
+            generations: 4,
+            seed: 5,
+            ..Default::default()
+        },
+    );
     let grid = measure_grid_scaling(&mut phases, &[8, 12, 16], 16);
 
     let snap = ams_trace::snapshot();
@@ -425,6 +534,7 @@ pub fn collect_quick() -> Table1Report {
         sizing_evals,
         evals_per_sec: sizing_evals as f64 / wall_s.max(1e-9),
         speedup,
+        crash,
         grid,
         counters: snap.counters,
         histograms: snap.histograms,

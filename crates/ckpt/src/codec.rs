@@ -1,0 +1,418 @@
+//! Minimal deterministic binary codec for checkpoint payloads.
+//!
+//! Encoding is byte-exact and order-stable: integers are little-endian,
+//! floats are stored as raw IEEE-754 bits (so NaN payloads and signed zeros
+//! survive), and map helpers require pre-sorted keys. Decoding is fully
+//! checked — every failure is a structured [`DecodeError`], never a panic —
+//! because payloads may arrive from corrupted or adversarial journals.
+
+use std::fmt;
+
+/// Structured payload-decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DecodeError {
+    /// Read past the end of the payload.
+    UnexpectedEof {
+        /// Bytes the read needed.
+        need: usize,
+        /// Bytes remaining.
+        have: usize,
+    },
+    /// A string field is not valid UTF-8.
+    BadUtf8,
+    /// A boolean byte was neither 0 nor 1.
+    BadBool(u8),
+    /// A length prefix exceeds the remaining payload (corrupt length).
+    BadLen {
+        /// Declared length.
+        len: usize,
+        /// Bytes remaining.
+        have: usize,
+    },
+    /// Decoding finished but bytes remain (layout mismatch).
+    Trailing {
+        /// Unconsumed byte count.
+        remaining: usize,
+    },
+    /// An enum discriminant byte had no matching variant.
+    BadDiscriminant(u8),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEof { need, have } => {
+                write!(f, "unexpected eof (need {need} bytes, have {have})")
+            }
+            DecodeError::BadUtf8 => write!(f, "string field is not utf-8"),
+            DecodeError::BadBool(b) => write!(f, "bad bool byte {b:#x}"),
+            DecodeError::BadLen { len, have } => {
+                write!(f, "length prefix {len} exceeds remaining {have} bytes")
+            }
+            DecodeError::Trailing { remaining } => {
+                write!(f, "{remaining} trailing bytes after decode")
+            }
+            DecodeError::BadDiscriminant(d) => write!(f, "bad enum discriminant {d:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// A [`DecodeError`] annotated with the record tag it came from, for
+/// conversion into `CkptError::Decode`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaggedDecodeError {
+    /// Tag of the record whose payload failed to decode.
+    pub tag: String,
+    /// Underlying decoder error.
+    pub detail: DecodeError,
+}
+
+impl DecodeError {
+    /// Attaches a record tag, producing the error shape `CkptError` wants.
+    pub fn tagged(self, tag: &str) -> TaggedDecodeError {
+        TaggedDecodeError {
+            tag: tag.to_string(),
+            detail: self,
+        }
+    }
+}
+
+/// Append-only payload encoder.
+#[derive(Debug, Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// New empty encoder.
+    pub fn new() -> Self {
+        Enc::default()
+    }
+
+    /// Finishes encoding and returns the payload bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Current encoded length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been encoded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends a raw byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian u16.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian u32.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian u64.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian i64.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a usize as u64.
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Appends an f64 as raw IEEE-754 bits.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Appends a bool as one byte.
+    pub fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) {
+        self.usize(v.len());
+        self.buf.extend_from_slice(v.as_bytes());
+    }
+
+    /// Appends a length-prefixed byte blob.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.usize(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a length-prefixed vector of f64 bit patterns.
+    pub fn f64_slice(&mut self, v: &[f64]) {
+        self.usize(v.len());
+        for &x in v {
+            self.f64(x);
+        }
+    }
+
+    /// Appends a length-prefixed vector of u64s.
+    pub fn u64_slice(&mut self, v: &[u64]) {
+        self.usize(v.len());
+        for &x in v {
+            self.u64(x);
+        }
+    }
+
+    /// Appends a counter-delta list as length-prefixed (name, value) pairs.
+    /// Callers pass deltas in a deterministic (sorted) order.
+    pub fn counter_delta(&mut self, delta: &[(String, u64)]) {
+        self.usize(delta.len());
+        for (name, v) in delta {
+            self.str(name);
+            self.u64(*v);
+        }
+    }
+}
+
+/// Checked payload decoder over a byte slice.
+#[derive(Debug)]
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// New decoder positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Asserts the payload was fully consumed.
+    pub fn finish(self) -> Result<(), DecodeError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(DecodeError::Trailing {
+                remaining: self.remaining(),
+            })
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::UnexpectedEof {
+                need: n,
+                have: self.remaining(),
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian u16.
+    pub fn u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian u32.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian u64.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian i64.
+    pub fn i64(&mut self) -> Result<i64, DecodeError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a u64 and checks it fits a usize length.
+    pub fn usize(&mut self) -> Result<usize, DecodeError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| DecodeError::BadLen {
+            len: usize::MAX,
+            have: self.remaining(),
+        })
+    }
+
+    /// Reads a usize length prefix and sanity-checks it against the
+    /// remaining payload assuming each element needs >= `min_elem` bytes.
+    pub fn len_prefix(&mut self, min_elem: usize) -> Result<usize, DecodeError> {
+        let len = self.usize()?;
+        let need = len.saturating_mul(min_elem.max(1));
+        if need > self.remaining() {
+            return Err(DecodeError::BadLen {
+                len,
+                have: self.remaining(),
+            });
+        }
+        Ok(len)
+    }
+
+    /// Reads an f64 from raw bits.
+    pub fn f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a bool byte (0 or 1).
+    pub fn bool(&mut self) -> Result<bool, DecodeError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(DecodeError::BadBool(b)),
+        }
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, DecodeError> {
+        let len = self.len_prefix(1)?;
+        let bytes = self.take(len)?;
+        std::str::from_utf8(bytes)
+            .map(|s| s.to_string())
+            .map_err(|_| DecodeError::BadUtf8)
+    }
+
+    /// Reads a length-prefixed byte blob.
+    pub fn bytes(&mut self) -> Result<Vec<u8>, DecodeError> {
+        let len = self.len_prefix(1)?;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    /// Reads a length-prefixed f64 vector.
+    pub fn f64_vec(&mut self) -> Result<Vec<f64>, DecodeError> {
+        let len = self.len_prefix(8)?;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(self.f64()?);
+        }
+        Ok(out)
+    }
+
+    /// Reads a length-prefixed u64 vector.
+    pub fn u64_vec(&mut self) -> Result<Vec<u64>, DecodeError> {
+        let len = self.len_prefix(8)?;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(self.u64()?);
+        }
+        Ok(out)
+    }
+
+    /// Reads a counter-delta list written by [`Enc::counter_delta`].
+    pub fn counter_delta(&mut self) -> Result<Vec<(String, u64)>, DecodeError> {
+        let len = self.len_prefix(16)?;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            let name = self.str()?;
+            let v = self.u64()?;
+            out.push((name, v));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trip() {
+        let mut e = Enc::new();
+        e.u8(7);
+        e.u16(1234);
+        e.u32(7_000_000);
+        e.u64(u64::MAX - 3);
+        e.i64(-42);
+        e.f64(-0.0);
+        e.f64(f64::NAN);
+        e.bool(true);
+        e.str("σ-anneal");
+        e.bytes(&[1, 2, 3]);
+        e.f64_slice(&[1.5, -2.5]);
+        e.u64_slice(&[9, 8]);
+        let buf = e.finish();
+
+        let mut d = Dec::new(&buf);
+        assert_eq!(d.u8().unwrap(), 7);
+        assert_eq!(d.u16().unwrap(), 1234);
+        assert_eq!(d.u32().unwrap(), 7_000_000);
+        assert_eq!(d.u64().unwrap(), u64::MAX - 3);
+        assert_eq!(d.i64().unwrap(), -42);
+        let z = d.f64().unwrap();
+        assert_eq!(z.to_bits(), (-0.0f64).to_bits());
+        assert!(d.f64().unwrap().is_nan());
+        assert!(d.bool().unwrap());
+        assert_eq!(d.str().unwrap(), "σ-anneal");
+        assert_eq!(d.bytes().unwrap(), vec![1, 2, 3]);
+        assert_eq!(d.f64_vec().unwrap(), vec![1.5, -2.5]);
+        assert_eq!(d.u64_vec().unwrap(), vec![9, 8]);
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn counter_delta_round_trip() {
+        let delta = vec![
+            ("flow.events".to_string(), 12u64),
+            ("sizing.anneal_moves".to_string(), 900),
+        ];
+        let mut e = Enc::new();
+        e.counter_delta(&delta);
+        let buf = e.finish();
+        let mut d = Dec::new(&buf);
+        assert_eq!(d.counter_delta().unwrap(), delta);
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn structured_errors_not_panics() {
+        // eof
+        assert!(matches!(
+            Dec::new(&[1]).u64(),
+            Err(DecodeError::UnexpectedEof { .. })
+        ));
+        // bad bool
+        assert_eq!(Dec::new(&[7]).bool(), Err(DecodeError::BadBool(7)));
+        // absurd length prefix
+        let mut e = Enc::new();
+        e.u64(u64::MAX / 2);
+        let buf = e.finish();
+        assert!(matches!(
+            Dec::new(&buf).str(),
+            Err(DecodeError::BadLen { .. })
+        ));
+        // trailing bytes
+        let d = Dec::new(&[0, 0]);
+        assert_eq!(d.finish(), Err(DecodeError::Trailing { remaining: 2 }));
+        // bad utf-8
+        let mut e = Enc::new();
+        e.bytes(&[0xFF, 0xFE]);
+        let buf = e.finish();
+        assert_eq!(Dec::new(&buf).str(), Err(DecodeError::BadUtf8));
+    }
+}

@@ -171,6 +171,17 @@ pub enum FlowError {
     /// A [`Budget`](ams_guard::Budget) limit was crossed and the recovery
     /// policy forbids accepting a partial result.
     Budget(BudgetExhausted),
+    /// The checkpoint journal failed (i/o, corruption) or disagrees with
+    /// the live run (re-captured simulation pattern mismatch on resume).
+    Checkpoint(String),
+    /// A resumable run interrupted itself right after committing `stage`
+    /// — the deterministic crash hook
+    /// ([`FlowCkpt::interrupting_after`](crate::FlowCkpt::interrupting_after));
+    /// resume by running again with the same store.
+    Interrupted {
+        /// Stage tag committed before the interrupt.
+        stage: String,
+    },
 }
 
 impl fmt::Display for FlowError {
@@ -186,6 +197,10 @@ impl fmt::Display for FlowError {
             FlowError::Layout(m) => write!(f, "layout failed: {m}"),
             FlowError::Erc(m) => write!(f, "electrical rule check failed: {m}"),
             FlowError::Budget(e) => write!(f, "evaluation budget exhausted: {e}"),
+            FlowError::Checkpoint(m) => write!(f, "checkpoint failure: {m}"),
+            FlowError::Interrupted { stage } => {
+                write!(f, "interrupted after checkpointing stage `{stage}`")
+            }
         }
     }
 }
@@ -245,6 +260,33 @@ impl RecoveryPolicy {
             FlowError::SizingInfeasible { .. } => self.topology_fallback || self.accept_degraded,
             FlowError::Layout(_) => self.relax_router,
             FlowError::Budget(_) => self.accept_degraded,
+            // An interrupted checkpointed run is the canonical retry: the
+            // journal holds everything committed so far and resuming is
+            // pure upside under every policy.
+            FlowError::Interrupted { .. } => true,
+            // A broken or mismatched journal will stay broken; callers
+            // must intervene (discard or repair the store), not retry.
+            FlowError::Checkpoint(_) => false,
+        }
+    }
+
+    /// The ladder a supervised run escalates through: attempt 0 runs this
+    /// policy unchanged, attempt 1 additionally relaxes the router,
+    /// attempt 2 additionally enables topology fallback, and every later
+    /// attempt runs the full default ladder (accept-degraded included).
+    pub fn escalated(self, attempt: u32) -> Self {
+        match attempt {
+            0 => self,
+            1 => RecoveryPolicy {
+                relax_router: true,
+                ..self
+            },
+            2 => RecoveryPolicy {
+                relax_router: true,
+                topology_fallback: true,
+                ..self
+            },
+            _ => RecoveryPolicy::default(),
         }
     }
 }
@@ -281,6 +323,12 @@ pub enum DegradeReason {
         /// Which budgeted resource was exhausted.
         resource: Resource,
     },
+    /// The run only completed after supervised retries resumed it from
+    /// its checkpoint journal.
+    SupervisedRetry {
+        /// Total attempts consumed (first try included).
+        attempts: usize,
+    },
 }
 
 impl fmt::Display for DegradeReason {
@@ -307,6 +355,12 @@ impl fmt::Display for DegradeReason {
             }
             DegradeReason::BudgetExhausted { resource } => {
                 write!(f, "evaluation budget exhausted ({resource})")
+            }
+            DegradeReason::SupervisedRetry { attempts } => {
+                write!(
+                    f,
+                    "completed after {attempts} supervised attempt(s) resumed from checkpoint"
+                )
             }
         }
     }
@@ -426,25 +480,44 @@ pub fn synthesize_opamp(
     load_f: f64,
     config: &FlowConfig,
 ) -> Result<FlowReport, FlowError> {
+    synthesize_opamp_inner(spec, tech, load_f, config, &mut None)
+}
+
+/// The flow body shared by [`synthesize_opamp`] (no checkpointing) and
+/// [`synthesize_opamp_resumable`](crate::synthesize_opamp_resumable)
+/// (every phase boundary journaled through [`crate::ckpt::stage`]).
+pub(crate) fn synthesize_opamp_inner(
+    spec: &Spec,
+    tech: &Technology,
+    load_f: f64,
+    config: &FlowConfig,
+    ck: &mut Option<&mut crate::ckpt::FlowCkpt<'_>>,
+) -> Result<FlowReport, FlowError> {
     let _flow_span = ams_trace::span("flow.synthesize_opamp");
     ams_trace::counter_add("flow.runs", 1);
     let mut events = Vec::new();
     let policy = config.recovery;
 
     // --- Top-down: topology selection (§2.1 step 1). ---------------------
-    let lib = TopologyLibrary::standard();
-    let selection = {
-        let _g = ams_trace::span("flow.topology_select");
-        select(&lib, BlockClass::Opamp, spec)
-    };
     // Ranked candidates, best first. With topology fallback enabled the
     // degradation ladder walks down this list when sizing turns out
     // infeasible on the leader.
-    let ranked: Vec<String> = selection
-        .candidates
-        .iter()
-        .map(|c| c.topology.name.clone())
-        .collect();
+    let ranked: Vec<String> = crate::ckpt::stage(
+        ck,
+        "topology",
+        crate::ckpt::dec_ranked,
+        crate::ckpt::enc_ranked,
+        || {
+            let lib = TopologyLibrary::standard();
+            let _g = ams_trace::span("flow.topology_select");
+            let selection = select(&lib, BlockClass::Opamp, spec);
+            Ok(selection
+                .candidates
+                .iter()
+                .map(|c| c.topology.name.clone())
+                .collect())
+        },
+    )?;
     let Some(first) = ranked.first() else {
         return Err(FlowError::NoFeasibleTopology);
     };
@@ -452,7 +525,7 @@ pub fn synthesize_opamp(
         &mut events,
         FlowEvent::TopologySelected {
             name: first.clone(),
-            candidates: selection.candidates.len(),
+            candidates: ranked.len(),
         },
     );
 
@@ -552,16 +625,22 @@ pub fn synthesize_opamp(
             }
 
             // --- Top-down: specification translation / sizing. ----------------
-            let sizing = {
-                let _g = ams_trace::span("flow.sizing");
-                if use_ota {
-                    let model = SymmetricalOtaModel::new(tech.clone(), load_f);
-                    optimize(&model, &working_spec, &config.sizing)
-                } else {
-                    let model = TwoStageModel::new(tech.clone(), load_f);
-                    optimize(&model, &working_spec, &config.sizing)
-                }
-            };
+            let sizing = crate::ckpt::stage(
+                ck,
+                &format!("sizing.{t_idx}.{redesigns}"),
+                crate::ckpt::dec_sizing,
+                crate::ckpt::enc_sizing,
+                || {
+                    let _g = ams_trace::span("flow.sizing");
+                    Ok(if use_ota {
+                        let model = SymmetricalOtaModel::new(tech.clone(), load_f);
+                        optimize(&model, &working_spec, &config.sizing)
+                    } else {
+                        let model = TwoStageModel::new(tech.clone(), load_f);
+                        optimize(&model, &working_spec, &config.sizing)
+                    })
+                },
+            )?;
             emit(
                 &mut events,
                 FlowEvent::Sized {
@@ -611,14 +690,40 @@ pub fn synthesize_opamp(
             }
 
             // --- Bottom-up: layout generation. --------------------------------
+            // The stage tag carries the relax-router policy bit: an
+            // escalated supervised retry must recompute layouts the new
+            // policy would relax instead of replaying the strict attempt.
             let devices = build_two_stage_devices(tech, &sizing);
-            let mut layout = {
-                let _g = ams_trace::span("flow.layout");
-                layout_cell(&devices, &config.rules, &config.layout)
-                    .map_err(|e| FlowError::Layout(e.to_string()))?
-            };
-            if !layout.is_complete() && policy.relax_router {
-                layout = relax_and_reroute(&devices, config, layout, &mut events, &mut reasons)?;
+            let (layout, relaxed) = crate::ckpt::stage(
+                ck,
+                &format!("layout.{t_idx}.{redesigns}.rx{}", policy.relax_router as u8),
+                crate::ckpt::dec_layout_stage,
+                crate::ckpt::enc_layout_stage,
+                || {
+                    let mut layout = {
+                        let _g = ams_trace::span("flow.layout");
+                        layout_cell(&devices, &config.rules, &config.layout)
+                            .map_err(|e| FlowError::Layout(e.to_string()))?
+                    };
+                    let mut relaxed = false;
+                    if !layout.is_complete() && policy.relax_router {
+                        layout = relax_and_reroute(&devices, config, layout)?;
+                        relaxed = true;
+                    }
+                    Ok((layout, relaxed))
+                },
+            )?;
+            if relaxed {
+                ams_trace::counter_add("flow.router_relaxed", 1);
+                if !reasons.contains(&DegradeReason::RouterRelaxed) {
+                    emit(
+                        &mut events,
+                        FlowEvent::Degraded {
+                            reason: DegradeReason::RouterRelaxed.to_string(),
+                        },
+                    );
+                    reasons.push(DegradeReason::RouterRelaxed);
+                }
             }
             emit(
                 &mut events,
@@ -751,13 +856,36 @@ pub fn synthesize_opamp(
             reasons.push(reason);
             let use_ota = topo_name == "symmetrical_ota";
             let devices = build_two_stage_devices(tech, &sizing);
-            let mut layout = {
-                let _g = ams_trace::span("flow.layout");
-                layout_cell(&devices, &config.rules, &config.layout)
-                    .map_err(|e| FlowError::Layout(e.to_string()))?
-            };
-            if !layout.is_complete() && policy.relax_router {
-                layout = relax_and_reroute(&devices, config, layout, &mut events, &mut reasons)?;
+            let (layout, relaxed) = crate::ckpt::stage(
+                ck,
+                &format!("layout.fallback.rx{}", policy.relax_router as u8),
+                crate::ckpt::dec_layout_stage,
+                crate::ckpt::enc_layout_stage,
+                || {
+                    let mut layout = {
+                        let _g = ams_trace::span("flow.layout");
+                        layout_cell(&devices, &config.rules, &config.layout)
+                            .map_err(|e| FlowError::Layout(e.to_string()))?
+                    };
+                    let mut relaxed = false;
+                    if !layout.is_complete() && policy.relax_router {
+                        layout = relax_and_reroute(&devices, config, layout)?;
+                        relaxed = true;
+                    }
+                    Ok((layout, relaxed))
+                },
+            )?;
+            if relaxed {
+                ams_trace::counter_add("flow.router_relaxed", 1);
+                if !reasons.contains(&DegradeReason::RouterRelaxed) {
+                    emit(
+                        &mut events,
+                        FlowEvent::Degraded {
+                            reason: DegradeReason::RouterRelaxed.to_string(),
+                        },
+                    );
+                    reasons.push(DegradeReason::RouterRelaxed);
+                }
             }
             emit(
                 &mut events,
@@ -781,7 +909,7 @@ pub fn synthesize_opamp(
             // Device-level bias sanity check. Under fault injection even
             // the retried DC ladder can fail; its very last rung is the
             // ASTRX/OBLX-style assumed ("dc-free") operating point.
-            if !use_ota && assumed_bias_check(tech, load_f, &sizing.params) {
+            if !use_ota && crate::ckpt::bias_stage(ck, tech, load_f, &sizing.params)? {
                 let reason = DegradeReason::AssumedBias;
                 emit(
                     &mut events,
@@ -850,26 +978,15 @@ fn build_two_stage_devices(tech: &Technology, sizing: &SizingResult) -> Vec<Cell
 
 /// Re-runs layout with [`relaxed`](ams_layout::RouterConfig::relaxed)
 /// router settings after an incomplete route, keeping whichever result
-/// routes more nets. Records the [`DegradeReason::RouterRelaxed`] rung
-/// (once per flow run).
+/// routes more nets. Pure with respect to the flow log: the caller
+/// records the [`DegradeReason::RouterRelaxed`] rung and counter, so a
+/// checkpoint replay of the layout stage re-emits them identically.
 fn relax_and_reroute(
     devices: &[CellDevice],
     config: &FlowConfig,
     layout: CellLayout,
-    events: &mut Vec<FlowEvent>,
-    reasons: &mut Vec<DegradeReason>,
 ) -> Result<CellLayout, FlowError> {
     let _g = ams_trace::span("flow.layout_relaxed");
-    if !reasons.contains(&DegradeReason::RouterRelaxed) {
-        emit(
-            events,
-            FlowEvent::Degraded {
-                reason: DegradeReason::RouterRelaxed.to_string(),
-            },
-        );
-        reasons.push(DegradeReason::RouterRelaxed);
-    }
-    ams_trace::counter_add("flow.router_relaxed", 1);
     let mut opts = config.layout.clone();
     opts.router = opts.router.relaxed();
     let retry =
@@ -924,7 +1041,7 @@ fn post_layout_perf_of(
 /// point (linearize without solving, as ASTRX/OBLX's dc-free biasing
 /// formulation does). Returns `true` when the assumed fallback was needed
 /// and succeeded.
-fn assumed_bias_check(
+pub(crate) fn assumed_bias_check(
     tech: &Technology,
     load_f: f64,
     // det-lint: allow(hash-collection): sizing param map, read by key only
@@ -951,6 +1068,34 @@ fn assumed_bias_check(
     }
     let dim = ams_sim::MnaLayout::new(&ckt).dim();
     ams_sim::assumed_op(&ckt, &vec![0.0; dim]).is_ok()
+}
+
+/// Binds a fresh [`ams_sim::SimSession`] over the same device-level
+/// template the bias ladder solves and returns its structural
+/// [`pattern_fingerprint`](ams_sim::SimSession::pattern_fingerprint).
+/// Counter-free end to end, so a resumed flow can re-capture and verify
+/// the symbolic pattern without perturbing byte-identical counter
+/// comparisons.
+pub(crate) fn bias_pattern_fingerprint(
+    tech: &Technology,
+    load_f: f64,
+    // det-lint: allow(hash-collection): sizing param map, read by key only
+    params: &std::collections::HashMap<String, f64>,
+) -> u64 {
+    use ams_sizing::{SimulatedTemplate, TwoStageCircuit};
+    let template = TwoStageCircuit::new(tech.clone(), load_f);
+    let x: Vec<f64> = template
+        .params()
+        .iter()
+        .map(|pd| {
+            params
+                .get(&pd.name)
+                .copied()
+                .unwrap_or_else(|| (pd.lo * pd.hi).sqrt())
+        })
+        .collect();
+    let ckt = template.build(&x);
+    ams_sim::SimSession::new(&ckt).pattern_fingerprint()
 }
 
 /// Instantiates the two-stage device-level template at the sized parameter

@@ -8,6 +8,10 @@
 //! * [`synthesize_opamp`] — the §2.1 flow: topology selection →
 //!   specification translation/sizing → verification → layout →
 //!   extraction → detailed verification, with redesign iterations.
+//! * [`synthesize_opamp_resumable`] / [`supervised_synthesize`] — the same
+//!   flow with crash-safe phase-boundary checkpointing (`ams-ckpt`
+//!   journal) and bounded supervised retry that resumes from the journal
+//!   under an escalating [`RecoveryPolicy`] ladder.
 //! * [`PulseDetectorModel`] / [`table1_spec`] — the Table 1 synthesis
 //!   experiment (charge-sensitive amplifier + 4-stage pulse shaper).
 //! * [`RfFrontEndModel`] — the high-level RF receiver front-end
@@ -29,10 +33,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod ckpt;
 mod flow;
 mod pulse_detector;
 mod rf;
 
+pub use ckpt::{supervised_synthesize, synthesize_opamp_resumable, FlowCkpt, SIM_PATTERN_TAG};
 pub use flow::{
     synthesize_opamp, DegradeReason, FlowConfig, FlowError, FlowEvent, FlowOutcome, FlowReport,
     RecoveryPolicy,

@@ -44,7 +44,7 @@ pub fn quantize(v: f64) -> u64 {
 
 /// A quantized parameter-vector key. `tag` namespaces heterogeneous
 /// evaluations sharing one cache (e.g. the GA's per-topology genomes).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CacheKey {
     tag: u64,
     coords: Vec<u64>,
@@ -57,6 +57,21 @@ impl CacheKey {
             tag,
             coords: x.iter().copied().map(quantize).collect(),
         }
+    }
+
+    /// Rebuilds a key from its raw parts (checkpoint import).
+    pub fn from_parts(tag: u64, coords: Vec<u64>) -> Self {
+        CacheKey { tag, coords }
+    }
+
+    /// The namespace tag.
+    pub fn tag(&self) -> u64 {
+        self.tag
+    }
+
+    /// The quantized coordinate bit patterns.
+    pub fn coords(&self) -> &[u64] {
+        &self.coords
     }
 }
 
@@ -117,6 +132,29 @@ impl EvalCache {
     /// True if nothing has been cached yet.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Exports every cached entry in sorted key order (deterministic, for
+    /// checkpoint serialization). Costs are returned as raw IEEE-754 bit
+    /// patterns so an export/import round trip is byte-exact.
+    pub fn export_entries(&self) -> Vec<(CacheKey, u64)> {
+        let map = lock(&self.map);
+        let mut out: Vec<(CacheKey, u64)> =
+            map.iter().map(|(k, v)| (k.clone(), v.to_bits())).collect();
+        out.sort();
+        out
+    }
+
+    /// Re-inserts entries previously produced by
+    /// [`EvalCache::export_entries`]. Existing entries with the same key
+    /// are overwritten; hit/miss statistics are untouched, so a resumed
+    /// optimizer's cache counters evolve exactly as the uninterrupted
+    /// run's did from this point on.
+    pub fn import_entries(&self, entries: &[(CacheKey, u64)]) {
+        let mut map = lock(&self.map);
+        for (k, bits) in entries {
+            map.insert(k.clone(), f64::from_bits(*bits));
+        }
     }
 
     /// Evaluates a batch of parameter points, memoizing by quantized key.

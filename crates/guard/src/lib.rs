@@ -55,11 +55,15 @@ pub mod budget;
 pub mod fault;
 pub mod isolate;
 pub mod retry;
+pub mod supervise;
 
 pub use budget::{Budget, BudgetExhausted, Resource};
 pub use fault::{FaultKind, FaultPlan, Trigger};
 pub use isolate::guarded_eval;
 pub use retry::Retry;
+pub use supervise::{
+    AttemptOutcome, AttemptRecord, BackoffPolicy, SuperviseConfig, SupervisionReport, Supervisor,
+};
 
 /// SplitMix64 finalizer: the shared bit mixer behind seeded fault plans and
 /// retry perturbation streams. Kept here so both modules derive decisions

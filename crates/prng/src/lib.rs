@@ -52,6 +52,31 @@ pub struct SmallRng {
     s: [u64; 4],
 }
 
+impl SmallRng {
+    /// The raw 256-bit generator state, for checkpoint serialization. A
+    /// generator rebuilt via [`SmallRng::from_state`] continues the exact
+    /// output stream, which is what makes resumed optimizer runs
+    /// byte-identical to uninterrupted ones.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a previously captured [`state`].
+    ///
+    /// The all-zero state is the one fixed point xoshiro256++ can never
+    /// escape; it cannot be produced by [`state`] on a seeded generator, so
+    /// encountering it means the checkpoint bytes are corrupt and we
+    /// substitute a freshly seeded generator rather than emit zeros forever.
+    ///
+    /// [`state`]: SmallRng::state
+    pub fn from_state(s: [u64; 4]) -> Self {
+        if s == [0; 4] {
+            return Self::seed_from_u64(0);
+        }
+        SmallRng { s }
+    }
+}
+
 impl SeedableRng for SmallRng {
     fn seed_from_u64(seed: u64) -> Self {
         let mut sm = seed;

@@ -95,19 +95,28 @@ fn flatten_into(prefix: &str, v: &Value, out: &mut BTreeMap<String, Metric>) {
     }
 }
 
-/// Whether a flattened metric path is wall-clock derived and therefore
-/// never a regression. Matches on the leaf segment so counter names like
-/// `bench.parallel.serial_us` classify the same way as top-level fields.
+/// Whether a flattened metric path is wall-clock derived (or otherwise
+/// schedule-sensitive) and therefore never a regression. Every `/`-path
+/// segment is tested, so a counter leaf like `bench.parallel.serial_us`
+/// classifies the same way as a top-level field, and an entire subtree
+/// under a wall-clock name — e.g. the `histograms/ckpt.write_us/{count,
+/// mean,p95,…}` summary of checkpoint commit latencies — is informational
+/// as a unit. `ckpt_bytes` is exempted explicitly: journal size is
+/// wall-clock-free but schedule-sensitive through the counter deltas the
+/// journal embeds. Checkpoint *counters* (`ckpt.commits`, …) carry none
+/// of these suffixes and stay deterministic-exact.
 pub fn is_informational(path: &str) -> bool {
-    let leaf = path.rsplit('/').next().unwrap_or(path);
-    leaf.ends_with("_s")
-        || leaf.ends_with("_us")
-        || leaf.ends_with("_seconds")
-        || leaf.contains("wall")
-        || leaf.contains("per_sec")
-        || leaf.contains("speedup")
-        || leaf.contains("steals")
-        || leaf == "hw_threads"
+    path.split('/').any(|seg| {
+        seg.ends_with("_s")
+            || seg.ends_with("_us")
+            || seg.ends_with("_seconds")
+            || seg.contains("wall")
+            || seg.contains("per_sec")
+            || seg.contains("speedup")
+            || seg.contains("steals")
+            || seg == "hw_threads"
+            || seg == "ckpt_bytes"
+    })
 }
 
 /// Tolerances for the checked comparison.
@@ -472,6 +481,21 @@ mod tests {
         assert_eq!(hit, vec!["sim.newton_iters".to_string()]);
         let d = diff(&a, &b, &DiffOptions::default());
         assert!(!d.regressions.is_empty());
+    }
+
+    #[test]
+    fn ckpt_metrics_classify_per_the_crash_safety_contract() {
+        // Counters are deterministic-exact…
+        assert!(!is_informational("counters/ckpt.commits"));
+        assert!(!is_informational("crash_resume/ckpt_commits"));
+        // …while commit latency (a histogram subtree: the wall-clock name
+        // is the parent segment, not the leaf) and journal size are
+        // informational.
+        assert!(is_informational("histograms/ckpt.write_us/count"));
+        assert!(is_informational("histograms/ckpt.write_us/p95"));
+        assert!(is_informational("crash_resume/fresh_us"));
+        assert!(is_informational("crash_resume/resume_speedup"));
+        assert!(is_informational("crash_resume/ckpt_bytes"));
     }
 
     #[test]

@@ -116,6 +116,52 @@ impl<'c> SimSession<'c> {
         self.backend
     }
 
+    /// Structural fingerprint of the session's factorization pattern: the
+    /// MNA dimension, the signal-node count, and every device's name,
+    /// terminal unknown indices, and branch index, folded through FNV-1a.
+    /// Two sessions bound to structurally identical circuits agree, so a
+    /// resumed flow can prove its freshly re-captured symbolic pattern
+    /// matches the one an interrupted run checkpointed. Deliberately
+    /// counter-free: reading it never touches the trace sink, so a
+    /// resume-side verification cannot perturb byte-identical counter
+    /// comparisons between interrupted and uninterrupted runs.
+    pub fn pattern_fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mix = |h: &mut u64, v: u64| {
+            *h ^= v;
+            *h = h.wrapping_mul(PRIME);
+        };
+        mix(&mut h, self.layout.dim() as u64);
+        mix(&mut h, self.layout.n_signal_nodes() as u64);
+        for (idx, (name, dev)) in self.ckt.devices().enumerate() {
+            for &b in name.as_bytes() {
+                mix(&mut h, u64::from(b));
+            }
+            // Branch and node unknowns are offset so "absent" (ground /
+            // no branch) hashes differently from unknown index 0.
+            mix(
+                &mut h,
+                match self.layout.branch(idx) {
+                    Some(b) => b as u64 + 2,
+                    None => 1,
+                },
+            );
+            for nid in dev.nodes() {
+                mix(
+                    &mut h,
+                    match self.layout.node(nid) {
+                        Some(u) => u as u64 + 2,
+                        None => 1,
+                    },
+                );
+            }
+            mix(&mut h, u64::MAX);
+        }
+        h
+    }
+
     /// Unknown index of a named node, `None` for ground or unknown names.
     pub fn output_index(&self, node: &str) -> Option<usize> {
         output_index(self.ckt, &self.layout, node)

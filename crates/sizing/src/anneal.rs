@@ -6,7 +6,10 @@
 //! optimization loop") and OBLX ("numerically searches for a good minimum
 //! of this function via annealing") all share this engine shape.
 
+use ams_ckpt::codec::{Dec, DecodeError, Enc};
 use ams_prng::{Rng, SeedableRng, SmallRng};
+
+use crate::ckpt::{CkptRun, SizingCkptError};
 
 /// One optimization parameter: bounds and scale.
 #[derive(Debug, Clone)]
@@ -151,6 +154,110 @@ pub fn anneal<F>(params: &[ParamDef], config: &AnnealConfig, cost: F) -> AnnealR
 where
     F: Fn(&[f64]) -> f64 + Sync,
 {
+    match anneal_inner(params, config, None, &cost) {
+        Ok(r) => r,
+        // Without a checkpoint run there is nothing that can fail.
+        Err(e) => unreachable!("un-checkpointed anneal cannot fail: {e}"),
+    }
+}
+
+/// [`anneal`] with durable checkpointing at temperature-stage boundaries.
+///
+/// The multi-start initialization and every completed stage commit the full
+/// chain state (incumbent, best, temperature, loop counters, serialized
+/// xoshiro256++ RNG state, and the trace-counter delta accrued so far) to
+/// `ck.store`. Calling again with the same store resumes after the last
+/// committed stage, continuing the exact RNG stream — the resumed run's
+/// result and final trace counters are byte-identical to an uninterrupted
+/// same-seed run. With an empty store this behaves exactly like [`anneal`].
+///
+/// # Panics
+///
+/// Panics if `params` is empty.
+pub fn anneal_ckpt<F>(
+    params: &[ParamDef],
+    config: &AnnealConfig,
+    ck: CkptRun<'_>,
+    cost: F,
+) -> Result<AnnealResult, SizingCkptError>
+where
+    F: Fn(&[f64]) -> f64 + Sync,
+{
+    anneal_inner(params, config, Some(ck), &cost)
+}
+
+/// Journal tag for the annealer's chain-state record.
+const ANNEAL_TAG: &str = "anneal.state";
+
+/// Complete annealer chain state at a stage boundary.
+struct ChainState {
+    rng: [u64; 4],
+    x: Vec<f64>,
+    c: f64,
+    best_x: Vec<f64>,
+    best_c: f64,
+    t: f64,
+    accepted: usize,
+    evaluations: usize,
+    moves_attempted: u64,
+    next_stage: usize,
+    budget_ok: bool,
+}
+
+fn encode_chain(st: &ChainState, delta: &[(String, u64)]) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.counter_delta(delta);
+    e.u64_slice(&st.rng);
+    e.f64_slice(&st.x);
+    e.f64(st.c);
+    e.f64_slice(&st.best_x);
+    e.f64(st.best_c);
+    e.f64(st.t);
+    e.u64(st.accepted as u64);
+    e.u64(st.evaluations as u64);
+    e.u64(st.moves_attempted);
+    e.u64(st.next_stage as u64);
+    e.bool(st.budget_ok);
+    e.finish()
+}
+
+fn decode_chain(payload: &[u8]) -> Result<(Vec<(String, u64)>, ChainState), DecodeError> {
+    let mut d = Dec::new(payload);
+    let delta = d.counter_delta()?;
+    let rng_v = d.u64_vec()?;
+    let rng: [u64; 4] = rng_v
+        .try_into()
+        .map_err(|_| DecodeError::BadLen { len: 4, have: 0 })?;
+    let st = ChainState {
+        rng,
+        x: d.f64_vec()?,
+        c: d.f64()?,
+        best_x: d.f64_vec()?,
+        best_c: d.f64()?,
+        t: d.f64()?,
+        accepted: d.usize()?,
+        evaluations: d.usize()?,
+        moves_attempted: d.u64()?,
+        next_stage: d.usize()?,
+        budget_ok: d.bool()?,
+    };
+    d.finish()?;
+    Ok((delta, st))
+}
+
+fn store_err(e: DecodeError) -> SizingCkptError {
+    SizingCkptError::Store(e.tagged(ANNEAL_TAG).into())
+}
+
+fn anneal_inner<F>(
+    params: &[ParamDef],
+    config: &AnnealConfig,
+    mut ck: Option<CkptRun<'_>>,
+    cost: &F,
+) -> Result<AnnealResult, SizingCkptError>
+where
+    F: Fn(&[f64]) -> f64 + Sync,
+{
     assert!(!params.is_empty(), "no parameters to optimize");
     let _span = ams_trace::span("sizing.anneal");
     if ams_trace::enabled() {
@@ -158,110 +265,159 @@ where
         // cooling stage.
         ams_trace::series_begin("sizing.anneal.best_cost");
     }
-    let mut rng = SmallRng::seed_from_u64(config.seed);
+    // Counter base for checkpoint deltas: everything accrued from here on
+    // is journaled with each boundary, so a resumed process can re-apply
+    // the work it skips.
+    let counter_base = if ck.is_some() {
+        ams_ckpt::counters_now()
+    } else {
+        Default::default()
+    };
 
     // Every candidate evaluation is panic-isolated: a poisoned candidate
     // scores infeasible (infinite cost) instead of killing the run.
     let eval = |v: &[f64]| ams_guard::guarded_eval(|| cost(v));
 
-    // Multi-start initialization: best of a handful of random samples,
-    // drawn serially and evaluated as one parallel batch. Each sample is
-    // metered; the batch runs to completion even if the budget is crossed
-    // inside it (bounded overrun), and exhaustion is then observed at the
-    // batch boundary so the stages below stop deterministically.
-    let starts: Vec<Vec<f64>> = (0..1 + MULTI_START_EXTRA)
-        .map(|_| params.iter().map(|p| p.sample(&mut rng)).collect())
-        .collect();
-    let start_costs = ams_exec::par_map_indexed(&starts, |_, v| {
-        let _ = ams_guard::budget::charge_evals(1);
-        eval(v)
-    });
-    let mut evaluations = starts.len();
-    // Reduce in index order: running best plus the cost spread against the
-    // running best, exactly as the serial loop computed it.
-    let mut x = starts[0].clone();
-    let mut c = start_costs[0];
-    let mut spread = 0.0f64;
-    for (cand, &cc) in starts.iter().zip(&start_costs).skip(1) {
-        if cc.is_finite() && c.is_finite() {
-            spread = spread.max((cc - c).abs());
+    let resumed: Option<ChainState> = match ck.as_ref().and_then(|c| c.store.find(ANNEAL_TAG)) {
+        Some(payload) => {
+            let (delta, st) = decode_chain(payload).map_err(store_err)?;
+            ams_ckpt::restore_delta(&delta);
+            Some(st)
         }
-        if cc < c {
-            x = cand.clone();
-            c = cc;
+        None => None,
+    };
+
+    let mut st = match resumed {
+        Some(st) => st,
+        None => {
+            let mut rng = SmallRng::seed_from_u64(config.seed);
+            // Multi-start initialization: best of a handful of random
+            // samples, drawn serially and evaluated as one parallel batch.
+            // Each sample is metered; the batch runs to completion even if
+            // the budget is crossed inside it (bounded overrun), and
+            // exhaustion is then observed at the batch boundary so the
+            // stages below stop deterministically.
+            let starts: Vec<Vec<f64>> = (0..1 + MULTI_START_EXTRA)
+                .map(|_| params.iter().map(|p| p.sample(&mut rng)).collect())
+                .collect();
+            let start_costs = ams_exec::par_map_indexed(&starts, |_, v| {
+                let _ = ams_guard::budget::charge_evals(1);
+                eval(v)
+            });
+            let evaluations = starts.len();
+            // Reduce in index order: running best plus the cost spread
+            // against the running best, exactly as the serial loop
+            // computed it.
+            let mut x = starts[0].clone();
+            let mut c = start_costs[0];
+            let mut spread = 0.0f64;
+            for (cand, &cc) in starts.iter().zip(&start_costs).skip(1) {
+                if cc.is_finite() && c.is_finite() {
+                    spread = spread.max((cc - c).abs());
+                }
+                if cc < c {
+                    x = cand.clone();
+                    c = cc;
+                }
+            }
+            let budget_ok = ams_guard::budget::check_in();
+            let st = ChainState {
+                rng: rng.state(),
+                best_x: x.clone(),
+                best_c: c,
+                t: (spread.max(c.abs()).max(1e-9)) * config.t_initial_factor,
+                x,
+                c,
+                accepted: 0,
+                evaluations,
+                moves_attempted: 0,
+                next_stage: 0,
+                budget_ok,
+            };
+            // Commit the post-init state so a crash during stage 0 does
+            // not repeat the multi-start batch.
+            if let Some(ck) = ck.as_mut() {
+                let delta = ams_ckpt::delta_since(&counter_base);
+                ck.store.commit(ANNEAL_TAG, encode_chain(&st, &delta))?;
+            }
+            st
         }
-    }
-    let budget_ok = ams_guard::budget::check_in();
+    };
 
-    let mut best_x = x.clone();
-    let mut best_c = c;
-    let mut t = (spread.max(c.abs()).max(1e-9)) * config.t_initial_factor;
-    let mut accepted = 0;
-    let mut moves_attempted = 0u64;
-
-    'stages: for stage in 0..config.stages {
-        if !budget_ok {
+    let mut rng = SmallRng::from_state(st.rng);
+    let start_stage = st.next_stage;
+    'stages: for stage in start_stage..config.stages {
+        if !st.budget_ok {
             break;
         }
         // Move scale shrinks from coarse to fine over the schedule.
         let progress = stage as f64 / config.stages.max(1) as f64;
         let scale = 0.5 * (1.0 - progress) + 0.02;
-        let stage_accepted_before = accepted;
+        let stage_accepted_before = st.accepted;
         for _ in 0..config.moves_per_stage {
             if !ams_guard::budget::charge_evals(1) {
                 break 'stages;
             }
-            moves_attempted += 1;
+            st.moves_attempted += 1;
             let k = rng.gen_range(0..params.len());
-            let mut cand = x.clone();
+            let mut cand = st.x.clone();
             cand[k] = params[k].perturb(cand[k], scale, &mut rng);
             let cc = eval(&cand);
-            evaluations += 1;
-            let accept = cc < c || {
-                let d = cc - c;
-                d.is_finite() && rng.gen::<f64>() < (-d / t.max(1e-300)).exp()
+            st.evaluations += 1;
+            let accept = cc < st.c || {
+                let d = cc - st.c;
+                d.is_finite() && rng.gen::<f64>() < (-d / st.t.max(1e-300)).exp()
             };
             if accept {
-                x = cand;
-                c = cc;
-                accepted += 1;
-                if c < best_c {
-                    best_c = c;
-                    best_x = x.clone();
+                st.x = cand;
+                st.c = cc;
+                st.accepted += 1;
+                if st.c < st.best_c {
+                    st.best_c = st.c;
+                    st.best_x = st.x.clone();
                 }
             }
         }
-        t *= config.cooling;
+        st.t *= config.cooling;
         // Per-temperature acceptance ratio, for cooling-schedule tuning.
         if config.moves_per_stage > 0 {
             ams_trace::record(
                 "sizing.anneal_stage_accept_ratio",
-                (accepted - stage_accepted_before) as f64 / config.moves_per_stage as f64,
+                (st.accepted - stage_accepted_before) as f64 / config.moves_per_stage as f64,
             );
         }
         if ams_trace::enabled() {
-            ams_trace::series_push("sizing.anneal.best_cost", best_c);
+            ams_trace::series_push("sizing.anneal.best_cost", st.best_c);
         }
         if ams_trace::stream_enabled() {
             ams_trace::emit(ams_trace::TelemetryEvent::OptimizerGeneration {
                 algorithm: "anneal".to_string(),
                 generation: stage as u64,
-                evals: evaluations as u64,
-                best_cost: best_c,
+                evals: st.evaluations as u64,
+                best_cost: st.best_c,
             });
+        }
+        if let Some(ck) = ck.as_mut() {
+            st.rng = rng.state();
+            st.next_stage = stage + 1;
+            let delta = ams_ckpt::delta_since(&counter_base);
+            ck.store.commit(ANNEAL_TAG, encode_chain(&st, &delta))?;
+            if ck.halt_after == Some(stage) {
+                return Err(SizingCkptError::Halted { boundary: stage });
+            }
         }
     }
 
     ams_trace::counter_add("sizing.anneal_runs", 1);
-    ams_trace::counter_add("sizing.anneal_moves", moves_attempted);
-    ams_trace::counter_add("sizing.anneal_accepted", accepted as u64);
-    ams_trace::counter_add("sizing.anneal_evals", evaluations as u64);
-    AnnealResult {
-        x: best_x,
-        cost: best_c,
-        evaluations,
-        accepted,
-    }
+    ams_trace::counter_add("sizing.anneal_moves", st.moves_attempted);
+    ams_trace::counter_add("sizing.anneal_accepted", st.accepted as u64);
+    ams_trace::counter_add("sizing.anneal_evals", st.evaluations as u64);
+    Ok(AnnealResult {
+        x: st.best_x,
+        cost: st.best_c,
+        evaluations: st.evaluations,
+        accepted: st.accepted,
+    })
 }
 
 /// Runs `restarts` independent annealing chains with seeds derived from
@@ -322,6 +478,111 @@ where
         evaluations,
         accepted,
     }
+}
+
+/// Journal tag for the restart wrapper's progress record.
+const RESTARTS_TAG: &str = "anneal.restarts.state";
+
+/// [`anneal_restarts`] with durable checkpointing at chain boundaries.
+///
+/// Chains run **serially** here (unlike the parallel [`anneal_restarts`])
+/// so that each completed chain commits a well-ordered progress record:
+/// chains done, running best, summed totals, and the counter delta so far.
+/// A resumed call skips completed chains entirely. Seeds, per-chain
+/// results, and the final reduction are identical to [`anneal_restarts`] —
+/// only the execution order differs, which the deterministic index-order
+/// reduction already makes unobservable.
+///
+/// `ck.halt_after` counts chain indices.
+///
+/// # Panics
+///
+/// Panics if `params` is empty or `restarts` is 0.
+pub fn anneal_restarts_ckpt<F>(
+    params: &[ParamDef],
+    config: &AnnealConfig,
+    restarts: usize,
+    ck: CkptRun<'_>,
+    cost: F,
+) -> Result<AnnealResult, SizingCkptError>
+where
+    F: Fn(&[f64]) -> f64 + Sync,
+{
+    assert!(restarts > 0, "need at least one restart");
+    let _span = ams_trace::span("sizing.anneal_restarts");
+    let counter_base = ams_ckpt::counters_now();
+
+    // (counter_delta, chains_done, best_x, best_cost, evaluations, accepted)
+    type RestartsState = (Vec<(String, u64)>, usize, Vec<f64>, f64, usize, usize);
+    let decode = |payload: &[u8]| -> Result<RestartsState, DecodeError> {
+        let mut d = Dec::new(payload);
+        let delta = d.counter_delta()?;
+        let done = d.usize()?;
+        let best_x = d.f64_vec()?;
+        let best_c = d.f64()?;
+        let evaluations = d.usize()?;
+        let accepted = d.usize()?;
+        d.finish()?;
+        Ok((delta, done, best_x, best_c, evaluations, accepted))
+    };
+
+    let (done, mut best_x, mut best_c, mut evaluations, mut accepted) =
+        match ck.store.find(RESTARTS_TAG) {
+            Some(payload) => {
+                let (delta, done, bx, bc, ev, acc) = decode(payload)
+                    .map_err(|e| SizingCkptError::Store(e.tagged(RESTARTS_TAG).into()))?;
+                ams_ckpt::restore_delta(&delta);
+                (done, bx, bc, ev, acc)
+            }
+            None => (0, Vec::new(), f64::INFINITY, 0, 0),
+        };
+
+    let store = ck.store;
+    for i in done..restarts {
+        let seed = config
+            .seed
+            .wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        if ams_trace::stream_enabled() {
+            ams_trace::emit(ams_trace::TelemetryEvent::OptimizerRestart {
+                algorithm: "anneal".to_string(),
+                restart: i as u64,
+                seed,
+            });
+        }
+        let chain = AnnealConfig {
+            seed,
+            ..config.clone()
+        };
+        let r = anneal(params, &chain, &cost);
+        evaluations += r.evaluations;
+        accepted += r.accepted;
+        // Strict `<` keeps the lowest-index winner on ties, matching the
+        // parallel reduction (whose running best starts at chain 0 even
+        // when every chain is infeasible — hence the `i == 0` arm).
+        if i == 0 || r.cost < best_c {
+            best_c = r.cost;
+            best_x = r.x;
+        }
+        let delta = ams_ckpt::delta_since(&counter_base);
+        let mut e = Enc::new();
+        e.counter_delta(&delta);
+        e.usize(i + 1);
+        e.f64_slice(&best_x);
+        e.f64(best_c);
+        e.usize(evaluations);
+        e.usize(accepted);
+        store.commit(RESTARTS_TAG, e.finish())?;
+        if ck.halt_after == Some(i) {
+            return Err(SizingCkptError::Halted { boundary: i });
+        }
+    }
+
+    Ok(AnnealResult {
+        x: best_x,
+        cost: best_c,
+        evaluations,
+        accepted,
+    })
 }
 
 #[cfg(test)]
@@ -433,5 +694,102 @@ mod tests {
     #[should_panic(expected = "bad bounds")]
     fn bad_bounds_panic() {
         ParamDef::linear("x", 1.0, 0.0);
+    }
+
+    fn bowl(v: &[f64]) -> f64 {
+        (v[0] - 3.0).powi(2) + (v[1] + 2.0).powi(2)
+    }
+
+    fn bowl_params() -> Vec<ParamDef> {
+        vec![
+            ParamDef::linear("x", -10.0, 10.0),
+            ParamDef::linear("y", -10.0, 10.0),
+        ]
+    }
+
+    #[test]
+    fn ckpt_fresh_run_matches_plain_anneal() {
+        let cfg = AnnealConfig::quick();
+        let plain = anneal(&bowl_params(), &cfg, bowl);
+        let mut store = ams_ckpt::CkptStore::in_memory();
+        let ck = anneal_ckpt(&bowl_params(), &cfg, CkptRun::new(&mut store), bowl).unwrap();
+        assert_eq!(plain.x, ck.x);
+        assert_eq!(plain.cost, ck.cost);
+        assert_eq!(plain.evaluations, ck.evaluations);
+        assert_eq!(plain.accepted, ck.accepted);
+        // init + one record per stage
+        assert_eq!(store.len(), cfg.stages + 1);
+    }
+
+    #[test]
+    fn halted_and_resumed_run_is_byte_identical() {
+        let cfg = AnnealConfig::quick();
+        let uninterrupted = anneal(&bowl_params(), &cfg, bowl);
+        for halt_at in [0usize, 7, cfg.stages - 2] {
+            let mut store = ams_ckpt::CkptStore::in_memory();
+            let err = anneal_ckpt(
+                &bowl_params(),
+                &cfg,
+                CkptRun::halting_after(&mut store, halt_at),
+                bowl,
+            )
+            .unwrap_err();
+            assert_eq!(err, SizingCkptError::Halted { boundary: halt_at });
+            let resumed =
+                anneal_ckpt(&bowl_params(), &cfg, CkptRun::new(&mut store), bowl).unwrap();
+            assert_eq!(uninterrupted.x, resumed.x, "halt at {halt_at}");
+            assert_eq!(uninterrupted.cost.to_bits(), resumed.cost.to_bits());
+            assert_eq!(uninterrupted.evaluations, resumed.evaluations);
+            assert_eq!(uninterrupted.accepted, resumed.accepted);
+        }
+    }
+
+    #[test]
+    fn resume_of_completed_run_returns_same_result() {
+        let cfg = AnnealConfig::quick();
+        let mut store = ams_ckpt::CkptStore::in_memory();
+        let first = anneal_ckpt(&bowl_params(), &cfg, CkptRun::new(&mut store), bowl).unwrap();
+        let again = anneal_ckpt(&bowl_params(), &cfg, CkptRun::new(&mut store), bowl).unwrap();
+        assert_eq!(first.x, again.x);
+        assert_eq!(first.evaluations, again.evaluations);
+    }
+
+    #[test]
+    fn restarts_ckpt_matches_parallel_restarts_across_halts() {
+        let cfg = AnnealConfig::quick();
+        let reference = anneal_restarts(&bowl_params(), &cfg, 3, bowl);
+        let mut store = ams_ckpt::CkptStore::in_memory();
+        let err = anneal_restarts_ckpt(
+            &bowl_params(),
+            &cfg,
+            3,
+            CkptRun::halting_after(&mut store, 1),
+            bowl,
+        )
+        .unwrap_err();
+        assert_eq!(err, SizingCkptError::Halted { boundary: 1 });
+        let resumed =
+            anneal_restarts_ckpt(&bowl_params(), &cfg, 3, CkptRun::new(&mut store), bowl).unwrap();
+        assert_eq!(reference.x, resumed.x);
+        assert_eq!(reference.cost.to_bits(), resumed.cost.to_bits());
+        assert_eq!(reference.evaluations, resumed.evaluations);
+        assert_eq!(reference.accepted, resumed.accepted);
+    }
+
+    #[test]
+    fn corrupt_chain_record_is_a_structured_error() {
+        let mut store = ams_ckpt::CkptStore::in_memory();
+        store.commit(super::ANNEAL_TAG, vec![0xFF; 7]).unwrap();
+        let err = anneal_ckpt(
+            &bowl_params(),
+            &AnnealConfig::quick(),
+            CkptRun::new(&mut store),
+            bowl,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            SizingCkptError::Store(ams_ckpt::CkptError::Decode { .. })
+        ));
     }
 }

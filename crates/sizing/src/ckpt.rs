@@ -1,0 +1,92 @@
+//! Shared vocabulary for checkpointed optimizer runs.
+//!
+//! The annealer checkpoints at temperature-stage boundaries
+//! ([`anneal_ckpt`](crate::anneal::anneal_ckpt)), the multi-start wrapper
+//! at chain boundaries
+//! ([`anneal_restarts_ckpt`](crate::anneal::anneal_restarts_ckpt)), and the
+//! GA at generation boundaries ([`evolve_ckpt`](crate::genetic::evolve_ckpt)).
+//! All three share the same contract:
+//!
+//! * Every boundary commits the complete optimizer state — parameter
+//!   vectors, incumbent/best costs, loop counters, the serialized
+//!   xoshiro256++ RNG state, and the trace-counter delta accrued since the
+//!   run began — to the caller's [`CkptStore`].
+//! * A resumed run restores that state, re-applies the counter delta, and
+//!   continues the exact RNG stream, so its final result **and** its final
+//!   trace counters are byte-identical to an uninterrupted same-seed run
+//!   (modulo `exec.steals`, which is scheduling-dependent and exempted
+//!   repo-wide).
+//! * A run started with a checkpoint store but no prior records behaves
+//!   exactly like the plain un-checkpointed function.
+//!
+//! [`CkptRun::halt_after`] is the deterministic in-process crash hook: the
+//! run commits boundary `n` and then returns
+//! [`SizingCkptError::Halted`] instead of continuing, simulating a process
+//! death at the worst moment (state committed, successor work lost). The
+//! kill/resume harness layers real `SIGKILL`/`SIGABRT` on top of this.
+
+use std::fmt;
+
+use ams_ckpt::{CkptError, CkptStore};
+
+/// Checkpointing options threaded through a resumable optimizer run.
+#[derive(Debug)]
+pub struct CkptRun<'a> {
+    /// Journal to resume from and commit to.
+    pub store: &'a mut CkptStore,
+    /// If set, halt (deterministically) right after committing this
+    /// boundary index — stage for the annealer, chain for the restart
+    /// wrapper, generation for the GA.
+    pub halt_after: Option<usize>,
+}
+
+impl<'a> CkptRun<'a> {
+    /// A run that checkpoints every boundary and never self-halts.
+    pub fn new(store: &'a mut CkptStore) -> Self {
+        CkptRun {
+            store,
+            halt_after: None,
+        }
+    }
+
+    /// A run that halts after committing boundary `n` (crash simulation).
+    pub fn halting_after(store: &'a mut CkptStore, n: usize) -> Self {
+        CkptRun {
+            store,
+            halt_after: Some(n),
+        }
+    }
+}
+
+/// Why a checkpointed optimizer run did not return a result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SizingCkptError {
+    /// The checkpoint store failed (i/o or corruption).
+    Store(CkptError),
+    /// The run halted after committing the requested boundary
+    /// ([`CkptRun::halt_after`]); resume by calling again with the same
+    /// store.
+    Halted {
+        /// Boundary index that was committed before halting.
+        boundary: usize,
+    },
+}
+
+impl fmt::Display for SizingCkptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SizingCkptError::Store(e) => write!(f, "checkpoint store: {e}"),
+            SizingCkptError::Halted { boundary } => {
+                write!(f, "halted after committing boundary {boundary}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SizingCkptError {}
+
+impl From<CkptError> for SizingCkptError {
+    fn from(e: CkptError) -> Self {
+        SizingCkptError::Store(e)
+    }
+}

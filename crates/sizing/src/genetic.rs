@@ -17,8 +17,10 @@
 //! bit-reproducible regardless of worker count.
 
 use crate::anneal::ParamDef;
+use crate::ckpt::{CkptRun, SizingCkptError};
 use crate::cost::CostCompiler;
 use crate::eqopt::{PerfModel, SizingResult};
+use ams_ckpt::codec::{Dec, DecodeError, Enc};
 use ams_exec::{CacheKey, EvalCache};
 use ams_prng::{Rng, SeedableRng, SmallRng};
 use ams_topology::Spec;
@@ -79,6 +81,166 @@ pub struct GaResult {
 ///
 /// Panics if `models` is empty.
 pub fn evolve(models: &[&dyn PerfModel], spec: &Spec, config: &GaConfig) -> GaResult {
+    match evolve_inner(models, spec, config, None) {
+        Ok(r) => r,
+        // Without a checkpoint run there is nothing that can fail.
+        Err(e) => unreachable!("un-checkpointed evolve cannot fail: {e}"),
+    }
+}
+
+/// [`evolve`] with durable checkpointing at generation (and polish-round)
+/// boundaries.
+///
+/// Each boundary commits the population, per-species elitism state, loop
+/// counters, serialized RNG state, the memoized evaluation cache, and the
+/// trace-counter delta accrued since the run began. Resuming with the same
+/// store continues the exact random stream with a warm cache, so the
+/// resumed run's `GaResult` and final trace counters are byte-identical to
+/// an uninterrupted same-seed run. `ck.halt_after` counts generation
+/// boundaries.
+///
+/// # Panics
+///
+/// Panics if `models` is empty.
+pub fn evolve_ckpt(
+    models: &[&dyn PerfModel],
+    spec: &Spec,
+    config: &GaConfig,
+    ck: CkptRun<'_>,
+) -> Result<GaResult, SizingCkptError> {
+    evolve_inner(models, spec, config, Some(ck))
+}
+
+/// Journal tag for the GA's state record.
+const GA_TAG: &str = "ga.state";
+
+/// Where a checkpointed GA run stopped: generation loop or polish loop.
+const PHASE_GENERATIONS: u8 = 0;
+const PHASE_POLISH: u8 = 1;
+
+struct GaState {
+    rng: [u64; 4],
+    phase: u8,
+    /// Next generation (phase 0) or next polish round (phase 1) to run.
+    next: usize,
+    pop: Vec<Chromosome>,
+    species_best: Vec<Option<Chromosome>>,
+    elitism_updates: u64,
+    polish_improvements: u64,
+    evals_requested: u64,
+}
+
+fn encode_chromosome(e: &mut Enc, c: &Chromosome) {
+    e.usize(c.topology);
+    e.f64_slice(&c.genes);
+    e.f64(c.cost);
+}
+
+fn decode_chromosome(d: &mut Dec<'_>) -> Result<Chromosome, DecodeError> {
+    Ok(Chromosome {
+        topology: d.usize()?,
+        genes: d.f64_vec()?,
+        cost: d.f64()?,
+    })
+}
+
+fn encode_ga(st: &GaState, cache: &EvalCache, delta: &[(String, u64)]) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.counter_delta(delta);
+    e.u64_slice(&st.rng);
+    e.u8(st.phase);
+    e.usize(st.next);
+    e.usize(st.pop.len());
+    for c in &st.pop {
+        encode_chromosome(&mut e, c);
+    }
+    e.usize(st.species_best.len());
+    for slot in &st.species_best {
+        match slot {
+            Some(c) => {
+                e.bool(true);
+                encode_chromosome(&mut e, c);
+            }
+            None => e.bool(false),
+        }
+    }
+    e.u64(st.elitism_updates);
+    e.u64(st.polish_improvements);
+    e.u64(st.evals_requested);
+    // The memo cache travels with the state: a resumed run re-sees every
+    // hit the uninterrupted run would have, keeping exec.cache.* counters
+    // (and the budget meter, which only charges misses) byte-identical.
+    let entries = cache.export_entries();
+    e.usize(entries.len());
+    for (k, cost_bits) in &entries {
+        e.u64(k.tag());
+        e.u64_slice(k.coords());
+        e.u64(*cost_bits);
+    }
+    e.finish()
+}
+
+/// Decoded GA journal record: counter delta, optimizer state, and the
+/// exported eval-cache entries.
+type GaCkptState = (Vec<(String, u64)>, GaState, Vec<(CacheKey, u64)>);
+
+fn decode_ga(payload: &[u8]) -> Result<GaCkptState, DecodeError> {
+    let mut d = Dec::new(payload);
+    let delta = d.counter_delta()?;
+    let rng: [u64; 4] = d
+        .u64_vec()?
+        .try_into()
+        .map_err(|_| DecodeError::BadLen { len: 4, have: 0 })?;
+    let phase = d.u8()?;
+    if phase > PHASE_POLISH {
+        return Err(DecodeError::BadDiscriminant(phase));
+    }
+    let next = d.usize()?;
+    let n_pop = d.len_prefix(17)?;
+    let mut pop = Vec::with_capacity(n_pop);
+    for _ in 0..n_pop {
+        pop.push(decode_chromosome(&mut d)?);
+    }
+    let n_species = d.len_prefix(1)?;
+    let mut species_best = Vec::with_capacity(n_species);
+    for _ in 0..n_species {
+        species_best.push(if d.bool()? {
+            Some(decode_chromosome(&mut d)?)
+        } else {
+            None
+        });
+    }
+    let elitism_updates = d.u64()?;
+    let polish_improvements = d.u64()?;
+    let evals_requested = d.u64()?;
+    let n_cache = d.len_prefix(24)?;
+    let mut entries = Vec::with_capacity(n_cache);
+    for _ in 0..n_cache {
+        let tag = d.u64()?;
+        let coords = d.u64_vec()?;
+        let cost_bits = d.u64()?;
+        entries.push((CacheKey::from_parts(tag, coords), cost_bits));
+    }
+    d.finish()?;
+    let st = GaState {
+        rng,
+        phase,
+        next,
+        pop,
+        species_best,
+        elitism_updates,
+        polish_improvements,
+        evals_requested,
+    };
+    Ok((delta, st, entries))
+}
+
+fn evolve_inner(
+    models: &[&dyn PerfModel],
+    spec: &Spec,
+    config: &GaConfig,
+    mut ck: Option<CkptRun<'_>>,
+) -> Result<GaResult, SizingCkptError> {
     assert!(!models.is_empty(), "no candidate topologies");
     let _span = ams_trace::span("sizing.ga");
     if ams_trace::enabled() {
@@ -93,8 +255,11 @@ pub fn evolve(models: &[&dyn PerfModel], spec: &Spec, config: &GaConfig) -> GaRe
             seed: config.seed,
         });
     }
-    let mut elitism_updates = 0u64;
-    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let counter_base = if ck.is_some() {
+        ams_ckpt::counters_now()
+    } else {
+        Default::default()
+    };
     let compiler = CostCompiler::new(spec.clone());
     let param_defs: Vec<Vec<ParamDef>> = models.iter().map(|m| m.params()).collect();
 
@@ -115,45 +280,94 @@ pub fn evolve(models: &[&dyn PerfModel], spec: &Spec, config: &GaConfig) -> GaRe
         )
     };
 
-    // Seed the population uniformly across species, breeding serially and
-    // evaluating as one parallel batch. Initialization always completes
-    // (the GA needs a full population to be well-defined); the evaluations
-    // are still metered so exhaustion stops the generation loop.
-    let mut pop: Vec<Chromosome> = (0..config.population)
-        .map(|i| {
-            let topology = i % models.len();
-            let genes: Vec<f64> = param_defs[topology]
-                .iter()
-                .map(|p| p.sample(&mut rng))
-                .collect();
-            Chromosome {
-                topology,
-                genes,
-                cost: f64::INFINITY,
-            }
-        })
-        .collect();
-    let costs = eval_batch(&pop);
-    for (c, cost) in pop.iter_mut().zip(costs) {
-        c.cost = cost;
-    }
-
-    // Per-species elitism: track the best chromosome of every topology
-    // species and re-seed it each generation. Without this, tournament
-    // selection can drive a species extinct before its parameters have been
-    // optimized, making the topology choice an accident of the random
-    // stream rather than a comparison of each species' optimum.
-    let mut species_best: Vec<Option<Chromosome>> = vec![None; models.len()];
-    for c in &pop {
-        let slot = &mut species_best[c.topology];
-        if slot.as_ref().is_none_or(|s| c.cost < s.cost) {
-            *slot = Some(c.clone());
-            elitism_updates += 1;
+    let resumed: Option<GaState> = match ck.as_ref().and_then(|c| c.store.find(GA_TAG)) {
+        Some(payload) => {
+            let (delta, st, entries) =
+                decode_ga(payload).map_err(|e| SizingCkptError::Store(e.tagged(GA_TAG).into()))?;
+            ams_ckpt::restore_delta(&delta);
+            cache.import_entries(&entries);
+            Some(st)
         }
-    }
+        None => None,
+    };
 
-    let mut evals_requested = pop.len() as u64;
-    for gen in 0..config.generations {
+    let mut st = match resumed {
+        Some(st) => st,
+        None => {
+            let mut rng = SmallRng::seed_from_u64(config.seed);
+            // Seed the population uniformly across species, breeding
+            // serially and evaluating as one parallel batch.
+            // Initialization always completes (the GA needs a full
+            // population to be well-defined); the evaluations are still
+            // metered so exhaustion stops the generation loop.
+            let mut pop: Vec<Chromosome> = (0..config.population)
+                .map(|i| {
+                    let topology = i % models.len();
+                    let genes: Vec<f64> = param_defs[topology]
+                        .iter()
+                        .map(|p| p.sample(&mut rng))
+                        .collect();
+                    Chromosome {
+                        topology,
+                        genes,
+                        cost: f64::INFINITY,
+                    }
+                })
+                .collect();
+            let costs = eval_batch(&pop);
+            for (c, cost) in pop.iter_mut().zip(costs) {
+                c.cost = cost;
+            }
+
+            // Per-species elitism: track the best chromosome of every
+            // topology species and re-seed it each generation. Without
+            // this, tournament selection can drive a species extinct
+            // before its parameters have been optimized, making the
+            // topology choice an accident of the random stream rather
+            // than a comparison of each species' optimum.
+            let mut elitism_updates = 0u64;
+            let mut species_best: Vec<Option<Chromosome>> = vec![None; models.len()];
+            for c in &pop {
+                let slot = &mut species_best[c.topology];
+                if slot.as_ref().is_none_or(|s| c.cost < s.cost) {
+                    *slot = Some(c.clone());
+                    elitism_updates += 1;
+                }
+            }
+            let evals_requested = pop.len() as u64;
+            let st = GaState {
+                rng: rng.state(),
+                phase: PHASE_GENERATIONS,
+                next: 0,
+                pop,
+                species_best,
+                elitism_updates,
+                polish_improvements: 0,
+                evals_requested,
+            };
+            // Commit the post-init state so a crash during generation 0
+            // does not repeat the seeding batch.
+            if let Some(ck) = ck.as_mut() {
+                let delta = ams_ckpt::delta_since(&counter_base);
+                ck.store.commit(GA_TAG, encode_ga(&st, &cache, &delta))?;
+            }
+            st
+        }
+    };
+
+    let mut rng = SmallRng::from_state(st.rng);
+    let mut pop = std::mem::take(&mut st.pop);
+    let mut species_best = std::mem::take(&mut st.species_best);
+    let mut elitism_updates = st.elitism_updates;
+    let mut polish_improvements = st.polish_improvements;
+    let mut evals_requested = st.evals_requested;
+
+    let start_gen = if st.phase == PHASE_GENERATIONS {
+        st.next
+    } else {
+        config.generations
+    };
+    for gen in start_gen..config.generations {
         // Budget checkpoint at the generation boundary: a partially-built
         // generation would shrink the population, so exhaustion mid-build
         // finishes the current generation and stops here.
@@ -201,6 +415,22 @@ pub fn evolve(models: &[&dyn PerfModel], spec: &Spec, config: &GaConfig) -> GaRe
                 best_cost,
             });
         }
+        if let Some(ck) = ck.as_mut() {
+            st.rng = rng.state();
+            st.phase = PHASE_GENERATIONS;
+            st.next = gen + 1;
+            st.pop = pop;
+            st.species_best = species_best;
+            st.elitism_updates = elitism_updates;
+            st.evals_requested = evals_requested;
+            let delta = ams_ckpt::delta_since(&counter_base);
+            ck.store.commit(GA_TAG, encode_ga(&st, &cache, &delta))?;
+            pop = std::mem::take(&mut st.pop);
+            species_best = std::mem::take(&mut st.species_best);
+            if ck.halt_after == Some(gen) {
+                return Err(SizingCkptError::Halted { boundary: gen });
+            }
+        }
     }
 
     // Polish each species' champion with a mutation-only hill climb.
@@ -214,8 +444,8 @@ pub fn evolve(models: &[&dyn PerfModel], spec: &Spec, config: &GaConfig) -> GaRe
     // cutoff lands on a round boundary and the hill climb is reproducible
     // at any thread count.
     let polish_iters = config.population;
-    let mut polish_improvements = 0u64;
-    for _round in 0..polish_iters {
+    let start_round = if st.phase == PHASE_POLISH { st.next } else { 0 };
+    for round in start_round..polish_iters {
         if !ams_guard::budget::check_in() {
             break;
         }
@@ -240,6 +470,20 @@ pub fn evolve(models: &[&dyn PerfModel], spec: &Spec, config: &GaConfig) -> GaRe
                 polish_improvements += 1;
             }
         }
+        if let Some(ck) = ck.as_mut() {
+            st.rng = rng.state();
+            st.phase = PHASE_POLISH;
+            st.next = round + 1;
+            st.pop = pop;
+            st.species_best = species_best;
+            st.elitism_updates = elitism_updates;
+            st.polish_improvements = polish_improvements;
+            st.evals_requested = evals_requested;
+            let delta = ams_ckpt::delta_since(&counter_base);
+            ck.store.commit(GA_TAG, encode_ga(&st, &cache, &delta))?;
+            pop = std::mem::take(&mut st.pop);
+            species_best = std::mem::take(&mut st.species_best);
+        }
     }
     ams_trace::counter_add("sizing.ga_runs", 1);
     ams_trace::counter_add("sizing.ga_generations", config.generations as u64);
@@ -261,7 +505,7 @@ pub fn evolve(models: &[&dyn PerfModel], spec: &Spec, config: &GaConfig) -> GaRe
         pop.iter().filter(|c| c.topology == best.topology).count() as f64 / pop.len() as f64;
     let model = models[best.topology];
     let perf = model.evaluate(&best.genes);
-    GaResult {
+    Ok(GaResult {
         topology: model.name().to_string(),
         consensus,
         sizing: SizingResult {
@@ -276,7 +520,7 @@ pub fn evolve(models: &[&dyn PerfModel], spec: &Spec, config: &GaConfig) -> GaRe
             evaluations: config.population * (config.generations + 1)
                 + species_best.iter().flatten().count() * polish_iters,
         },
-    }
+    })
 }
 
 fn tournament<'a>(pop: &'a [Chromosome], k: usize, rng: &mut SmallRng) -> &'a Chromosome {
@@ -426,6 +670,76 @@ mod tests {
         assert_eq!(r.topology, "two_stage_miller");
         assert!((r.consensus - 1.0).abs() < 1e-12);
         assert!(r.sizing.feasible);
+    }
+
+    fn ga_canon(r: &GaResult) -> String {
+        let mut params: Vec<_> = r.sizing.params.iter().collect();
+        params.sort_by(|a, b| a.0.cmp(b.0));
+        format!(
+            "{} consensus={:016x} cost={:016x} evals={} params={:?}",
+            r.topology,
+            r.consensus.to_bits(),
+            r.sizing.cost.to_bits(),
+            r.sizing.evaluations,
+            params
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.to_bits()))
+                .collect::<Vec<_>>()
+        )
+    }
+
+    #[test]
+    fn ckpt_fresh_run_matches_plain_evolve() {
+        let (two, ota) = models();
+        let spec = Spec::new()
+            .require("gain_db", Bound::AtLeast(60.0))
+            .minimizing("power_w");
+        let cfg = GaConfig {
+            population: 16,
+            generations: 6,
+            ..Default::default()
+        };
+        let plain = evolve(&[&two, &ota], &spec, &cfg);
+        let mut store = ams_ckpt::CkptStore::in_memory();
+        let ck = evolve_ckpt(&[&two, &ota], &spec, &cfg, CkptRun::new(&mut store)).unwrap();
+        assert_eq!(ga_canon(&plain), ga_canon(&ck));
+        // init + per-generation + per-polish-round records
+        assert_eq!(store.len(), 1 + cfg.generations + cfg.population);
+    }
+
+    #[test]
+    fn halted_and_resumed_ga_is_byte_identical() {
+        let (two, ota) = models();
+        let spec = Spec::new()
+            .require("gain_db", Bound::AtLeast(60.0))
+            .minimizing("power_w");
+        let cfg = GaConfig {
+            population: 16,
+            generations: 6,
+            ..Default::default()
+        };
+        let uninterrupted = evolve(&[&two, &ota], &spec, &cfg);
+        for halt_at in [0usize, 3, cfg.generations - 1] {
+            let mut store = ams_ckpt::CkptStore::in_memory();
+            let err = evolve_ckpt(
+                &[&two, &ota],
+                &spec,
+                &cfg,
+                CkptRun::halting_after(&mut store, halt_at),
+            )
+            .unwrap_err();
+            assert_eq!(
+                err,
+                crate::ckpt::SizingCkptError::Halted { boundary: halt_at }
+            );
+            let resumed =
+                evolve_ckpt(&[&two, &ota], &spec, &cfg, CkptRun::new(&mut store)).unwrap();
+            assert_eq!(
+                ga_canon(&uninterrupted),
+                ga_canon(&resumed),
+                "halt at {halt_at}"
+            );
+        }
     }
 
     #[test]

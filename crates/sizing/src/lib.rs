@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod anneal;
+pub mod ckpt;
 pub mod corners;
 pub mod cost;
 pub mod donald;
@@ -42,12 +43,16 @@ pub mod plan;
 pub mod redesign;
 pub mod simopt;
 
-pub use anneal::{anneal, anneal_restarts, AnnealConfig, AnnealResult, ParamDef};
+pub use anneal::{
+    anneal, anneal_ckpt, anneal_restarts, anneal_restarts_ckpt, AnnealConfig, AnnealResult,
+    ParamDef,
+};
+pub use ckpt::{CkptRun, SizingCkptError};
 pub use corners::{optimize_worst_case, worst_case, CornerAware, CornerResult};
 pub use cost::{CostCompiler, MetricReport, Perf};
 pub use donald::{ComputationalPlan, DeclarativeModel, DonaldError, Equation};
 pub use eqopt::{optimize, PerfModel, SizingResult, SymmetricalOtaModel, TwoStageModel};
-pub use genetic::{evolve, GaConfig, GaResult};
+pub use genetic::{evolve, evolve_ckpt, GaConfig, GaResult};
 pub use oblx::{synthesize_dc_free, CommonSourceDcFree, DcFreeResult, DcFreeTemplate};
 pub use plan::{DesignPlan, HierarchicalPlan, PlanError, PlanResult, TwoStagePlan};
 pub use redesign::{redesign, DesignDatabase, StoredDesign};

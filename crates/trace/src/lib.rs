@@ -177,6 +177,27 @@ pub fn counter_add(name: &'static str, delta: u64) {
     *c.counters.entry(name).or_insert(0) += delta;
 }
 
+/// Adds `delta` to a counter whose name is only known at run time.
+///
+/// Exists for checkpoint/resume: `ams-ckpt` journals the counter deltas a
+/// completed stage produced, and a resumed process re-applies them here so
+/// its final counter totals are byte-identical to an uninterrupted run.
+/// First-seen names are interned once per process (a bounded, deliberate
+/// leak — restored counter names are the same small set the live code
+/// would have registered as `&'static str` literals anyway).
+pub fn counter_restore(name: &str, delta: u64) {
+    if !enabled() || delta == 0 {
+        return;
+    }
+    let mut c = collector();
+    if let Some(v) = c.counters.get_mut(name) {
+        *v += delta;
+        return;
+    }
+    let interned: &'static str = Box::leak(name.to_owned().into_boxed_str());
+    c.counters.insert(interned, delta);
+}
+
 /// Records one sample into the named `f64` histogram.
 #[inline]
 pub fn record(name: &'static str, value: f64) {

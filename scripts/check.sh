@@ -40,8 +40,14 @@ cargo test --offline -q --test telemetry_stream
 echo "== trace counter determinism =="
 cargo test --offline -q --release --test trace_determinism
 
-echo "== fault-injection recovery matrix =="
+echo "== fault-injection recovery matrix (incl. interrupt/resume leg) =="
 cargo test --offline -q --release --test fault_recovery
+
+echo "== checkpoint journal corruption fuzz (truncation / bit-flip / stomp) =="
+cargo test --offline -q --release --test ckpt_fuzz
+
+echo "== kill/resume crash-safety smoke (SIGABRT + SIGKILL, byte-identical resume) =="
+cargo test --offline -q --release --test kill_resume
 
 echo "== structural analysis: singularity proofs, fill forecast, lint corpus =="
 cargo test --offline -q --test structural_props

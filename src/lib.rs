@@ -34,8 +34,12 @@
 //! * [`trace`] — zero-dependency structured tracing: spans, counters,
 //!   histograms, a flight-recorder ring, and Chrome trace-event export.
 //! * [`guard`] — robustness layer: deterministic fault injection,
-//!   evaluation budgets/deadlines, panic isolation, and retry policies
-//!   backing the flow's graceful-degradation ladder.
+//!   evaluation budgets/deadlines, panic isolation, retry policies
+//!   backing the flow's graceful-degradation ladder, and the supervised
+//!   retry/backoff executor.
+//! * [`ckpt`] — zero-dependency journaled checkpoint store: atomic
+//!   commits, per-record checksums, structured corruption errors; the
+//!   durability substrate behind crash-safe synthesis.
 //! * [`exec`] — deterministic parallel evaluation: a scoped
 //!   work-stealing pool (`par_map_indexed`) and a memoizing eval cache
 //!   keyed by quantized parameter vectors. Same seed ⇒ same result at
@@ -65,6 +69,7 @@
 #![warn(missing_docs)]
 
 pub use ams_awe as awe;
+pub use ams_ckpt as ckpt;
 pub use ams_core as core;
 pub use ams_exec as exec;
 pub use ams_guard as guard;
@@ -81,11 +86,14 @@ pub use ams_trace as trace;
 
 /// The most common imports in one place.
 pub mod prelude {
+    pub use ams_ckpt::{CkptError, CkptStore};
     pub use ams_core::{
-        synthesize_opamp, FlowConfig, FlowOutcome, PulseDetectorModel, RecoveryPolicy,
-        RfFrontEndModel,
+        supervised_synthesize, synthesize_opamp, synthesize_opamp_resumable, FlowCkpt, FlowConfig,
+        FlowOutcome, PulseDetectorModel, RecoveryPolicy, RfFrontEndModel,
     };
-    pub use ams_guard::{Budget, FaultKind, FaultPlan, Retry, Trigger};
+    pub use ams_guard::{
+        Budget, FaultKind, FaultPlan, Retry, SuperviseConfig, Supervisor, Trigger,
+    };
     pub use ams_layout::{layout_cell, CellOptions, DesignRules};
     pub use ams_lint::{lint_circuit, lint_deck, Report, RuleCode, Severity};
     pub use ams_netlist::{parse_deck, parse_deck_full, Circuit, Device, Technology};

@@ -143,6 +143,115 @@ fn run_faulted(kind: FaultKind, seed: u64) -> (String, BTreeMap<String, u64>) {
     }
 }
 
+/// The same workload as [`run_faulted`], but the flow is checkpointed,
+/// interrupted right after the first sizing stage commits, and resumed —
+/// with the trace state reset and a *fresh* identical fault plan re-armed
+/// in between, exactly as a process that died and restarted would see.
+///
+/// Topology selection and the equation-based sizing stage make zero
+/// faultable simulator calls, so interrupting at `sizing.0.0` leaves the
+/// resumed process's fault-trigger call sequence aligned with an
+/// uninterrupted run's.
+fn run_faulted_resumed(kind: FaultKind, seed: u64) -> (String, BTreeMap<String, u64>) {
+    // First life: run checkpointed until the sizing boundary is durable.
+    ams::trace::reset();
+    ams::trace::set_enabled(true);
+    fault::arm(FaultPlan::seeded(seed, kind, 8, 64));
+    let mut store = CkptStore::in_memory();
+    let first = catch_unwind(AssertUnwindSafe(|| {
+        synthesize_opamp_resumable(
+            &opamp_spec(),
+            &Technology::generic_1p2um(),
+            5e-12,
+            &quick_config(),
+            FlowCkpt::interrupting_after(&mut store, "sizing.0.0"),
+        )
+    }));
+    fault::disarm();
+    match first {
+        Ok(Err(FlowError::Interrupted { ref stage })) if stage == "sizing.0.0" => {}
+        Ok(other) => panic!("expected interruption at sizing.0.0, got {other:?}"),
+        Err(_) => panic!("a panic escaped the interrupted first half: {kind} seed {seed}"),
+    }
+
+    // Process death: all volatile state is gone. Only the journal survives.
+    ams::trace::reset();
+    ams::trace::set_enabled(true);
+    fault::arm(FaultPlan::seeded(seed, kind, 8, 64));
+
+    // Second life: identical workload, resuming against the journal.
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let mut out = String::new();
+        match synthesize_opamp_resumable(
+            &opamp_spec(),
+            &Technology::generic_1p2um(),
+            5e-12,
+            &quick_config(),
+            FlowCkpt::new(&mut store),
+        ) {
+            Ok(r) => {
+                out.push_str("flow ok\n");
+                out.push_str(&canon(&r));
+            }
+            Err(e) => out.push_str(&format!("flow err {e}\n")),
+        }
+        let ckt = two_stage_circuit();
+        match SimSession::new(&ckt).op_retry(&Retry::default()) {
+            Ok(op) => out.push_str(&format!(
+                "dc ok strategy={:?} iters={}\n",
+                op.strategy, op.iterations
+            )),
+            Err(e) => out.push_str(&format!("dc err {e}\n")),
+        }
+        let rc = parse_deck(
+            "V1 in 0 PULSE(0 1 0 1n 1n 1 2)
+             R1 in out 1k
+             C1 out 0 1u",
+        )
+        .expect("rc deck parses");
+        match SimSession::new(&rc).tran(2e-3, 20e-6) {
+            Ok(res) => out.push_str(&format!("tran ok points={}\n", res.times.len())),
+            Err(e) => out.push_str(&format!("tran err {e}\n")),
+        }
+        out
+    }));
+    fault::disarm();
+    ams::trace::set_enabled(false);
+    let counters = ams::trace::snapshot().counters;
+    match result {
+        Ok(s) => (s, counters),
+        Err(_) => panic!("a panic escaped the resumed workload under {kind} seed {seed}"),
+    }
+}
+
+/// `exec.steals` is scheduling-dependent and the journal's restored delta
+/// reflects the first life's schedule, not the second's — it is the one
+/// counter exempt from byte-comparison repo-wide.
+fn drop_steals(mut c: BTreeMap<String, u64>) -> BTreeMap<String, u64> {
+    c.remove("exec.steals");
+    c
+}
+
+#[test]
+fn interrupted_resumed_fault_runs_match_uninterrupted() {
+    let _l = lock();
+    for kind in FaultKind::ALL {
+        for seed in [11u64, 33] {
+            let (plain, counters_plain) = run_faulted(kind, seed);
+            let (resumed, counters_resumed) = run_faulted_resumed(kind, seed);
+            assert_eq!(
+                resumed, plain,
+                "interrupted+resumed transcript diverged: {kind} seed {seed}"
+            );
+            assert_eq!(
+                drop_steals(counters_resumed),
+                drop_steals(counters_plain),
+                "interrupted+resumed counters diverged: {kind} seed {seed}"
+            );
+        }
+    }
+}
+
 #[test]
 fn fault_matrix_never_panics_and_is_deterministic() {
     let _l = lock();
