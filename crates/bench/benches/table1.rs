@@ -151,15 +151,67 @@ fn bench(c: &mut Criterion) {
         },
     );
     // Dense stops at 24×24 (an O(n⁶) dense LU already takes seconds
-    // there); sparse continues to the 64×64 / ≈8k-unknown grid the
-    // RAIL-style analysis targets.
-    let grid = measure_grid_scaling(&mut phases, &[8, 12, 16, 24, 32, 48, 64], 24);
+    // there); sparse continues through the BTF∘AMD + CSC kernel's range
+    // to the 256×256 / ≈66k-unknown grid the RAIL-style analysis targets.
+    let grid = measure_grid_scaling(
+        &mut phases,
+        &[8, 12, 16, 24, 32, 48, 64, 96, 128, 192, 256],
+        24,
+    );
     assert!(
         grid.speedup_common >= 10.0,
         "sparse must beat dense ≥10× at the {0}×{0} grid, got {1:.1}×",
         grid.common_n,
         grid.speedup_common
     );
+    let row = |n: usize| {
+        grid.rows
+            .iter()
+            .find(|r| r.n == n)
+            .unwrap_or_else(|| panic!("{n}×{n} row missing from grid scaling"))
+    };
+    // The ordering/CSC acceptance gates. The Markowitz-era record for the
+    // 64×64 grid was 5.15 s; the CSC kernel must beat it by ≥10×.
+    let r64 = row(64);
+    assert!(
+        r64.sparse_s < 0.515,
+        "64×64 DC took {:.3} s — the AMD+CSC path must be ≥10× under the \
+         5.15 s Markowitz-era record",
+        r64.sparse_s
+    );
+    let r256 = row(256);
+    assert!(
+        r256.unknowns > 65_000,
+        "256×256 grid should stamp ≈66k unknowns, got {}",
+        r256.unknowns
+    );
+    assert!(
+        r256.sparse_s < 5.0,
+        "256×256 first DC solve (analyze + factor + damped-Newton \
+         refactors) took {:.3} s (budget 5 s)",
+        r256.sparse_s
+    );
+    assert!(
+        r256.refactor_s < 1.0,
+        "256×256 cached-pattern refactor+solve took {:.3} s per \
+         linearization (budget 1 s)",
+        r256.refactor_s
+    );
+    // Fill must stay near-linear in unknowns across the CSC range: for a
+    // 2-D mesh the AMD order's fill-per-unknown grows ~logarithmically,
+    // so the 256×256 density may not even double the 96×96 one.
+    let density =
+        |r: &ams_bench::table1_report::GridScalingRow| r.fill_in as f64 / r.unknowns as f64;
+    assert!(
+        density(r256) <= 2.0 * density(row(96)),
+        "fill density grew super-linearly: {:.1} per unknown at 256×256 \
+         vs {:.1} at 96×96",
+        density(r256),
+        density(row(96))
+    );
+    // The forecast band is a hard gate here, not just a report warning.
+    let warnings = grid.fill_warnings();
+    assert!(warnings.is_empty(), "fill forecast drifted: {warnings:?}");
 
     let snap = ams_trace::snapshot();
     for key in [

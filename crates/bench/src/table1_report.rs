@@ -52,11 +52,20 @@ pub struct GridScalingRow {
     pub unknowns: usize,
     /// Dense-LU DC wall time; `None` above the dense size cutoff.
     pub dense_s: Option<f64>,
-    /// Sparse-LU DC wall time.
+    /// Sparse-LU DC wall time for the first (symbolic + numeric) solve.
     pub sparse_s: f64,
+    /// Mean wall time of one numeric refactor + solve on the cached
+    /// symbolic structure: replayed-DC wall divided by Newton
+    /// linearizations, the per-iteration cost every analysis pays once the
+    /// pattern is frozen.
+    pub refactor_s: f64,
+    /// Cached-pattern *full DC evaluations* per second — the steady-state
+    /// throughput a sizing loop sees (one evaluation spans all Newton
+    /// iterations of a replayed solve).
+    pub evals_per_sec: f64,
     /// Sparse fill-in (entries created beyond the stamped pattern).
     pub fill_in: u64,
-    /// Minimum-degree fill-in forecast from the structural analyzer.
+    /// Symbolic BTF∘AMD fill forecast from the structural analyzer.
     pub predicted_fill: u64,
     /// Coarse BTF block count the analyzer found (1 = fully coupled).
     pub btf_blocks: usize,
@@ -81,18 +90,22 @@ pub struct GridScalingSample {
 }
 
 impl GridScalingSample {
-    /// Loud per-row warnings for fill forecasts off by more than the 4×
-    /// band in either direction: a drifting forecast silently degrades
-    /// the ordering heuristics that consume it, so the miss is surfaced
-    /// at every report emission, not just in a test.
+    /// Loud per-row warnings for fill forecasts off by more than the
+    /// documented 2.5× band in either direction: a drifting forecast
+    /// silently degrades the ordering pipeline that consumes it, so the
+    /// miss is surfaced at every report emission, not just in a test.
+    /// (The band was 4× in the Markowitz-forecast era, and the 64×64 grid
+    /// still blew it at 24×; the BTF∘AMD forecast is exact for the order
+    /// the CSC kernel factors with, and Markowitz-kerneled small grids
+    /// stay within ~2.4×.)
     pub fn fill_warnings(&self) -> Vec<String> {
         let mut out = Vec::new();
         for r in &self.rows {
             if let Some(ratio) = r.fill_ratio() {
-                if !(0.25..=4.0).contains(&ratio) {
+                if !(0.4..=2.5).contains(&ratio) {
                     out.push(format!(
                         "WARNING: {0}x{0} grid fill forecast off {1:.2}x \
-                         (actual {2}, predicted {3}) — outside the 4x band",
+                         (actual {2}, predicted {3}) — outside the 2.5x band",
                         r.n, ratio, r.fill_in, r.predicted_fill
                     ));
                 }
@@ -206,7 +219,7 @@ pub fn measure_grid_scaling(
     dense_max_n: usize,
 ) -> GridScalingSample {
     traced("grid_scaling", phases, || {
-        let solve = |n: usize, backend: ams_sim::Backend| -> (usize, f64, u64) {
+        let solve = |n: usize, backend: ams_sim::Backend| -> (usize, f64, u64, f64, f64) {
             let ckt = PowerGrid::uniform(GridSpec::synthetic(n), 10e-6).to_circuit();
             let ses = ams_sim::SimSession::with_backend(&ckt, backend);
             let before = ams_trace::snapshot().counters;
@@ -219,12 +232,36 @@ pub fn measure_grid_scaling(
                 .iter()
                 .find(|(k, _)| k == "sim.sparse.fill_in")
                 .map_or(0, |&(_, v)| v);
-            (ses.layout().dim(), secs, fill)
+            // Steady-state evaluation cost: further solves on the same
+            // session replay the frozen symbolic structure (numeric
+            // refactor only), which is what every sizing-loop iteration
+            // pays after the first. Dense has no refactor path, so the
+            // replay loop (and its cost) is sparse-only.
+            let (refactor_s, evals_per_sec) = if matches!(backend, ams_sim::Backend::Sparse) {
+                const REPLAY_EVALS: u32 = 3;
+                let mut linearizations = 0u64;
+                let t1 = Instant::now();
+                for _ in 0..REPLAY_EVALS {
+                    ses.invalidate_op();
+                    let replay = ses.op().expect("grid DC replay");
+                    assert!(replay.iterations > 0);
+                    linearizations += replay.iterations as u64;
+                }
+                let wall = t1.elapsed().as_secs_f64();
+                (
+                    wall / linearizations.max(1) as f64,
+                    f64::from(REPLAY_EVALS) / wall.max(1e-12),
+                )
+            } else {
+                (secs / (op.iterations.max(1) as f64), 1.0 / secs.max(1e-12))
+            };
+            (ses.layout().dim(), secs, fill, refactor_s, evals_per_sec)
         };
         let mut rows = Vec::new();
         let (mut speedup_common, mut common_n) = (0.0, 0);
         for &n in sizes {
-            let (unknowns, sparse_s, fill_in) = solve(n, ams_sim::Backend::Sparse);
+            let (unknowns, sparse_s, fill_in, refactor_s, evals_per_sec) =
+                solve(n, ams_sim::Backend::Sparse);
             let dense_s = (n <= dense_max_n).then(|| solve(n, ams_sim::Backend::Dense).1);
             if let Some(d) = dense_s {
                 speedup_common = d / sparse_s.max(1e-12);
@@ -243,6 +280,8 @@ pub fn measure_grid_scaling(
                 unknowns,
                 dense_s,
                 sparse_s,
+                refactor_s,
+                evals_per_sec,
                 fill_in,
                 predicted_fill: structural.predicted_fill,
                 btf_blocks: structural.btf.as_ref().map_or(0, |b| b.num_blocks()),
@@ -406,12 +445,15 @@ impl Table1Report {
             let _ = write!(
                 json,
                 "\n    {{\"n\": {}, \"unknowns\": {}, \"dense_s\": {}, \"sparse_s\": {:.6}, \
+                 \"refactor_s\": {:.6}, \"evals_per_sec\": {:.2}, \
                  \"fill_in\": {}, \"predicted_fill\": {}, \"fill_ratio\": {}, \
                  \"btf_blocks\": {}}}",
                 r.n,
                 r.unknowns,
                 r.dense_s.map_or("null".to_string(), |d| format!("{d:.6}")),
                 r.sparse_s,
+                r.refactor_s,
+                r.evals_per_sec,
                 r.fill_in,
                 r.predicted_fill,
                 r.fill_ratio()
@@ -488,9 +530,10 @@ impl Table1Report {
 }
 
 /// Collects a reduced ("quick") Table 1 report: the quick anneal budget,
-/// a small GA speedup sample, and grids up to 16×16. Runs in well under a
-/// second and produces deterministic counters for a fixed build, which is
-/// what the `ams-report diff` self-check gate compares.
+/// a small GA speedup sample, and grids up to 24×24 — the smallest size
+/// past `CSC_MIN_DIM`, so the quick gate exercises both sparse kernels.
+/// Runs in a few seconds and produces deterministic counters for a fixed
+/// build, which is what the `ams-report diff` self-check gate compares.
 pub fn collect_quick() -> Table1Report {
     let trace_was_on = ams_trace::enabled();
     ams_trace::set_enabled(true);
@@ -523,7 +566,7 @@ pub fn collect_quick() -> Table1Report {
             ..Default::default()
         },
     );
-    let grid = measure_grid_scaling(&mut phases, &[8, 12, 16], 16);
+    let grid = measure_grid_scaling(&mut phases, &[8, 12, 16, 24], 16);
 
     let snap = ams_trace::snapshot();
     ams_trace::set_enabled(trace_was_on);

@@ -239,8 +239,12 @@ fn deadline_ok() -> bool {
 
 /// Adds `n` to `counter` and tests it against `limit`. Exactly one
 /// charge crosses the limit (pre ≤ limit < pre + n); that charge records
-/// the exhaustion event, so the recorded `spent` is deterministic under
-/// concurrent unit charges.
+/// the exhaustion event, and later charges are refused *without
+/// incrementing*, so both the recorded `spent` and the final counter are
+/// deterministic under concurrent unit charges. The refusal must be part
+/// of the increment itself (a compare-exchange loop, not a fetch-add):
+/// the `EXHAUSTED` flag is published after the crossing, so racing
+/// threads can slip past it while the crossing charge is still recording.
 fn charge(counter: &AtomicU64, limit: &AtomicU64, resource: Resource, n: u64) -> bool {
     if !ACTIVE.load(Ordering::Relaxed) {
         return true;
@@ -248,17 +252,29 @@ fn charge(counter: &AtomicU64, limit: &AtomicU64, resource: Resource, n: u64) ->
     if EXHAUSTED.load(Ordering::Acquire) {
         return false;
     }
-    let pre = counter.fetch_add(n, Ordering::Relaxed);
-    let spent = pre.saturating_add(n);
     let max = limit.load(Ordering::Relaxed);
-    if spent > max {
-        if pre <= max {
-            note_exhausted(BudgetExhausted {
-                resource,
-                limit: max,
-                spent,
-            });
+    let mut pre = counter.load(Ordering::Relaxed);
+    loop {
+        if pre > max {
+            return false; // another charge already crossed; add nothing
         }
+        match counter.compare_exchange_weak(
+            pre,
+            pre.saturating_add(n),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => break,
+            Err(cur) => pre = cur,
+        }
+    }
+    let spent = pre.saturating_add(n);
+    if spent > max {
+        note_exhausted(BudgetExhausted {
+            resource,
+            limit: max,
+            spent,
+        });
         return false;
     }
     if HAS_DEADLINE.load(Ordering::Relaxed) {

@@ -18,8 +18,11 @@
 //! assembled MNA sparsity pattern itself: maximum-transversal matching
 //! *proves* structural nonsingularity (or emits `E008` with a concrete
 //! witness), Dulmage–Mendelsohn/BTF decomposition exposes block structure
-//! (`W005`), and a symbolic minimum-degree pass forecasts LU fill-in
-//! (`W006`).
+//! (`W005`), and symbolic elimination replayed on the composed BTF∘AMD
+//! order — the order the sparse CSC solver factors with — forecasts LU
+//! fill-in (`W006`). The ordering machinery itself ([`amd_order`],
+//! [`compose_block_order`], [`elimination_fill`]) is exported for the
+//! simulator's sparse backend and for property tests.
 //!
 //! # Entry points
 //!
@@ -56,6 +59,7 @@ pub mod structural;
 
 pub use diag::{Diagnostic, Report, RuleCode, Severity};
 pub use rules::{lint_circuit, lint_deck, lint_parsed, lint_structural};
+pub use structural::order::{amd_order, compose_block_order, elimination_fill, symmetrize_pattern};
 pub use structural::{
     analyze_circuit_structure, analyze_circuit_structure_with, analyze_deck_structure,
     analyze_parsed_structure, BtfDecomposition, SingularWitness, StructuralAnalysis,

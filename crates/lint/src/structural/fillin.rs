@@ -1,75 +1,30 @@
-//! Symbolic minimum-degree elimination: fill-in forecasting without numbers.
+//! Fill-in forecasting without numbers, for patterns with no BTF.
 //!
 //! Gaussian elimination on a sparse matrix creates entries where none were
 //! stamped — eliminating unknown `v` couples every pair of its remaining
-//! neighbors. Running that game purely on the pattern, always eliminating
-//! a vertex of minimum current degree (the classic Tinney–Walker scheme
-//! behind AMD), yields a *forecast* of the fill-in a well-ordered LU would
-//! create. The linter uses it two ways: as the `lint.structural.
-//! predicted_fill` counter recorded per bench grid size next to the actual
-//! Markowitz fill, and as the W006 trigger when the forecast says
-//! factorization cost will blow up regardless of pivot order.
+//! neighbors. The forecast here symmetrizes the pattern (`A + Aᵀ`, standard
+//! practice for unsymmetric matrices — MNA is symmetric except for
+//! controlled-source blocks), picks an AMD elimination order ([`order`]),
+//! and replays symbolic elimination on that order exactly. Fill is counted
+//! as **two** per new undirected edge so the number is directly comparable
+//! to the sparse kernels' `fill_in`, which counts vacant positions created.
 //!
-//! The elimination graph is the pattern of `A + Aᵀ` (standard practice for
-//! unsymmetric matrices — MNA is symmetric except for controlled-source
-//! blocks), and fill is counted as **two** per new undirected edge so the
-//! number is directly comparable to `SparseLu::fill_in`, which counts
-//! vacant positions created.
+//! Structurally *nonsingular* patterns never come through here: the
+//! analyzer forecasts those on the composed BTF∘AMD order instead (see
+//! `structural::analyze`), which is the order the CSC factor actually uses.
+//! This module covers the singular fallback, where no BTF exists.
 //!
-//! Ties in degree break toward the lowest vertex index and adjacency sets
-//! are ordered (`BTreeSet`), so the forecast is bit-identical across runs.
+//! The underlying AMD ties break toward the lowest vertex index and every
+//! container is ordered, so the forecast is bit-identical across runs.
 
-use std::collections::BTreeSet;
+use super::order;
 
-/// Forecasts LU fill-in for `rows` under minimum-degree elimination.
-/// Returns the number of matrix positions created beyond the stamped
-/// pattern.
+/// Forecasts LU fill-in for `rows` under AMD elimination. Returns the
+/// number of matrix positions created beyond the stamped pattern.
 pub(crate) fn forecast_fill(rows: &[Vec<u32>]) -> u64 {
-    let n = rows.len();
-    let mut adj: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); n];
-    for (r, cols) in rows.iter().enumerate() {
-        for &c in cols {
-            if c as usize != r {
-                adj[r].insert(c);
-                adj[c as usize].insert(r as u32);
-            }
-        }
-    }
-
-    // Lazy priority queue of (degree, vertex): stale entries — whose stored
-    // degree no longer matches — are skipped on pop; a fresh entry is
-    // pushed whenever a vertex's degree changes.
-    let mut queue: BTreeSet<(u32, u32)> = (0..n as u32)
-        .map(|v| (adj[v as usize].len() as u32, v))
-        .collect();
-    let mut eliminated = vec![false; n];
-    let mut fill: u64 = 0;
-    while let Some(&(d, v)) = queue.iter().next() {
-        queue.remove(&(d, v));
-        let vu = v as usize;
-        if eliminated[vu] || d as usize != adj[vu].len() {
-            continue;
-        }
-        eliminated[vu] = true;
-        let neigh: Vec<u32> = adj[vu].iter().copied().collect();
-        for &u in &neigh {
-            adj[u as usize].remove(&v);
-        }
-        for i in 0..neigh.len() {
-            for j in (i + 1)..neigh.len() {
-                let (a, b) = (neigh[i] as usize, neigh[j] as usize);
-                if adj[a].insert(neigh[j]) {
-                    adj[b].insert(neigh[i]);
-                    fill += 2;
-                }
-            }
-        }
-        for &u in &neigh {
-            queue.insert((adj[u as usize].len() as u32, u));
-        }
-        adj[vu].clear();
-    }
-    fill
+    let adj = order::symmetrize_pattern(rows);
+    let ord = order::amd_order(&adj);
+    order::elimination_fill(&adj, &ord)
 }
 
 #[cfg(test)]

@@ -14,9 +14,11 @@
 //! 2. **Block-triangular decomposition** ([`btf`], Dulmage–Mendelsohn via
 //!    Tarjan SCC) — the fine block count and permutation are recorded for
 //!    the solver; electrically independent sub-circuits surface as `W005`.
-//! 3. **Minimum-degree fill forecast** ([`fillin`]) — predicts LU fill-in
-//!    symbolically, firing `W006` when factorization cost will blow up and
-//!    feeding the predicted-vs-actual fill trajectory in the bench tables.
+//! 3. **Fill forecast on the solver's own order** ([`order`]) — computes
+//!    the composed BTF∘AMD elimination order the sparse CSC kernel will
+//!    use and replays symbolic elimination on it exactly, firing `W006`
+//!    when factorization cost will blow up and feeding the
+//!    predicted-vs-actual fill trajectory in the bench tables.
 //!
 //! Results are deterministic: byte-identical diagnostics across runs,
 //! seeds, and thread counts. When tracing is enabled the pass records the
@@ -38,6 +40,7 @@
 mod btf;
 mod fillin;
 mod matching;
+pub mod order;
 mod pattern;
 
 use crate::diag::{Diagnostic, Report, RuleCode};
@@ -116,8 +119,11 @@ pub struct StructuralAnalysis {
     /// Number of electrically independent diagonal blocks (connected
     /// components of the symmetrized pattern); `1` for a coupled system.
     pub independent_blocks: usize,
-    /// Minimum-degree fill-in forecast (matrix positions created by LU
-    /// beyond the stamped pattern).
+    /// Fill-in forecast (matrix positions created by LU beyond the stamped
+    /// pattern) replayed symbolically on the composed BTF∘AMD elimination
+    /// order — the same order the sparse CSC kernel factors with, so this
+    /// number tracks `sim.sparse.fill_in` instead of drifting from it. For
+    /// singular patterns (no BTF) it falls back to a plain AMD forecast.
     pub predicted_fill: u64,
     report: Report,
 }
@@ -188,15 +194,17 @@ fn analyze(ckt: &Circuit, meta: Option<&DeckMeta>, cfg: &StructuralConfig) -> St
     let pat = MnaPattern::build(ckt);
     let dim = pat.dim();
     let m = matching::maximum_transversal(&pat.rows);
-    let predicted_fill = fillin::forecast_fill(&pat.rows);
     let blocks = btf::independent_blocks(&pat.rows, &m);
     let independent_blocks = blocks.len().max(usize::from(dim > 0));
 
     let mut diags = Vec::new();
     let mut singular = None;
     let mut btf_out = None;
+    let predicted_fill;
 
     if let Some(w) = matching::hall_witness(&pat.rows, &m) {
+        // No BTF exists for a singular pattern; forecast on plain AMD.
+        predicted_fill = fillin::forecast_fill(&pat.rows);
         let deficiency = dim - m.size;
         let equations: Vec<String> = w
             .rows
@@ -276,6 +284,11 @@ fn analyze(ckt: &Circuit, meta: Option<&DeckMeta>, cfg: &StructuralConfig) -> St
         });
     } else if dim > 0 {
         let fine = btf::btf_fine(&pat.rows, &m);
+        // Forecast fill on the exact order the CSC kernel factors with:
+        // AMD nested inside the BTF block partition, replayed symbolically.
+        let adj = order::symmetrize_pattern(&pat.rows);
+        let composed = order::compose_block_order(&adj, &fine.order, &fine.block_ptr);
+        predicted_fill = order::elimination_fill(&adj, &composed);
         btf_out = Some(BtfDecomposition {
             perm: fine.order,
             block_ptr: fine.block_ptr,
@@ -321,6 +334,8 @@ fn analyze(ckt: &Circuit, meta: Option<&DeckMeta>, cfg: &StructuralConfig) -> St
                 ),
             ));
         }
+    } else {
+        predicted_fill = 0;
     }
 
     ams_trace::counter_add("lint.structural.matched", m.size as u64);

@@ -131,9 +131,17 @@ pub struct DiffOptions {
 
 impl Default for DiffOptions {
     fn default() -> Self {
+        let mut tolerances = BTreeMap::new();
+        // `fill_ratio` is actual-over-forecast fill of the sparse DC
+        // factorization. Both sides are deterministic for a fixed build,
+        // but the ratio legitimately moves when either the AMD ordering
+        // or a kernel's pivot tie-breaks are retuned; the hard accuracy
+        // gate is the 2.5× band asserted by the bench and the test
+        // battery, so report diffs only flag drift beyond 5%.
+        tolerances.insert("fill_ratio".to_string(), 0.05);
         DiffOptions {
             default_tol: 0.0,
-            tolerances: BTreeMap::new(),
+            tolerances,
         }
     }
 }
@@ -349,8 +357,16 @@ pub fn summary(v: &Value) -> String {
     if let Some(rows) = v.get("grid_scaling").and_then(Value::as_array) {
         let _ = writeln!(
             out,
-            "\n{:>5} {:>9} {:>10} {:>10} {:>9} {:>10} {:>11}",
-            "n", "unknowns", "sparse_s", "fill_in", "predicted", "fill_ratio", "btf_blocks"
+            "\n{:>5} {:>9} {:>10} {:>11} {:>10} {:>10} {:>9} {:>10} {:>11}",
+            "n",
+            "unknowns",
+            "sparse_s",
+            "refactor_s",
+            "evals/s",
+            "fill_in",
+            "predicted",
+            "fill_ratio",
+            "btf_blocks"
         );
         for r in rows {
             let g = |k: &str| {
@@ -359,20 +375,22 @@ pub fn summary(v: &Value) -> String {
             };
             let _ = writeln!(
                 out,
-                "{:>5} {:>9} {:>10} {:>10} {:>9} {:>10} {:>11}",
+                "{:>5} {:>9} {:>10} {:>11} {:>10} {:>10} {:>9} {:>10} {:>11}",
                 g("n"),
                 g("unknowns"),
                 g("sparse_s"),
+                g("refactor_s"),
+                g("evals_per_sec"),
                 g("fill_in"),
                 g("predicted_fill"),
                 g("fill_ratio"),
                 g("btf_blocks")
             );
             if let Some(ratio) = r.get("fill_ratio").and_then(Value::as_f64) {
-                if !(0.25..=4.0).contains(&ratio) {
+                if !(0.4..=2.5).contains(&ratio) {
                     let _ = writeln!(
                         out,
-                        "      ^ WARNING: fill forecast off {ratio:.2}x — outside the 4x band"
+                        "      ^ WARNING: fill forecast off {ratio:.2}x — outside the 2.5x band"
                     );
                 }
             }

@@ -1,0 +1,107 @@
+//! Ordering adapter: assembled CSC patterns onto the `ams-lint` AMD
+//! machinery.
+//!
+//! The fill-reducing analysis itself — approximate minimum degree on the
+//! symmetrized pattern, optionally nested inside a BTF block partition —
+//! lives in `ams_lint::structural::order`, where the W006 forecast uses the
+//! *same* code (that is the point: forecast and factor share one order).
+//! This module converts the solver's compressed-column pattern into the
+//! analyzer's row-major form, validates any BTF hint before trusting it,
+//! and records the `sim.sparse.amd_*` trace counters.
+
+use crate::sparse::BlockStructure;
+
+/// Fill-reducing column elimination order for an `n × n` CSC pattern.
+///
+/// With a valid BTF hint the order is AMD composed inside the block
+/// partition (blocks keep their topological position); otherwise plain AMD
+/// over the whole symmetrized pattern. Always returns a permutation of
+/// `0..n`, computed serially from ordered containers — byte-deterministic
+/// at any thread count.
+pub(crate) fn fill_reducing_order(
+    n: usize,
+    col_ptr: &[u32],
+    row_idx: &[u32],
+    btf: Option<&BlockStructure>,
+) -> Vec<u32> {
+    let mut rows: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for j in 0..n {
+        for s in col_ptr[j] as usize..col_ptr[j + 1] as usize {
+            rows[row_idx[s] as usize].push(j as u32);
+        }
+    }
+    let adj = ams_lint::symmetrize_pattern(&rows);
+    let order = match btf.filter(|b| valid_partition(b, n)) {
+        Some(b) => {
+            ams_trace::counter_add("sim.sparse.amd_blocks", b.num_blocks() as u64);
+            ams_lint::compose_block_order(&adj, &b.perm, &b.block_ptr)
+        }
+        None => ams_lint::amd_order(&adj),
+    };
+    debug_assert!(is_permutation(&order, n));
+    ams_trace::counter_add("sim.sparse.amd_orders", 1);
+    order
+}
+
+/// A BTF hint is only trusted when it is a genuine partition of `0..n`:
+/// the analyzer models the DC pattern, which can disagree with the stamped
+/// system it is being attached to (e.g. transient companion stamps).
+fn valid_partition(b: &BlockStructure, n: usize) -> bool {
+    b.block_ptr.first() == Some(&0)
+        && b.block_ptr.last() == Some(&(n as u32))
+        && b.block_ptr.windows(2).all(|w| w[0] <= w[1])
+        && is_permutation(&b.perm, n)
+}
+
+fn is_permutation(p: &[u32], n: usize) -> bool {
+    if p.len() != n {
+        return false;
+    }
+    let mut seen = vec![false; n];
+    p.iter().all(|&v| {
+        let v = v as usize;
+        v < n && !std::mem::replace(&mut seen[v], true)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_order_is_a_permutation() {
+        // 4×4 tridiagonal CSC pattern.
+        let col_ptr = [0u32, 2, 5, 8, 10];
+        let row_idx = [0u32, 1, 0, 1, 2, 1, 2, 3, 2, 3];
+        let ord = fill_reducing_order(4, &col_ptr, &row_idx, None);
+        assert!(is_permutation(&ord, 4));
+    }
+
+    #[test]
+    fn mismatched_btf_hint_is_rejected() {
+        let col_ptr = [0u32, 1, 2];
+        let row_idx = [0u32, 1];
+        // A 3-unknown partition attached to a 2-unknown pattern.
+        let stale = BlockStructure {
+            perm: vec![0, 1, 2],
+            block_ptr: vec![0, 3],
+        };
+        let ord = fill_reducing_order(2, &col_ptr, &row_idx, Some(&stale));
+        assert!(is_permutation(&ord, 2));
+    }
+
+    #[test]
+    fn valid_btf_hint_keeps_block_boundaries() {
+        // Two decoupled 2×2 diagonal blocks, BTF listing {2,3} before {0,1}.
+        let col_ptr = [0u32, 2, 4, 6, 8];
+        let row_idx = [0u32, 1, 0, 1, 2, 3, 2, 3];
+        let btf = BlockStructure {
+            perm: vec![2, 3, 0, 1],
+            block_ptr: vec![0, 2, 4],
+        };
+        let ord = fill_reducing_order(4, &col_ptr, &row_idx, Some(&btf));
+        assert!(is_permutation(&ord, 4));
+        assert!(ord[..2].iter().all(|&c| c >= 2), "first block first");
+        assert!(ord[2..].iter().all(|&c| c < 2), "second block second");
+    }
+}

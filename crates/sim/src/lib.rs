@@ -21,10 +21,13 @@
 //! * [`SimSession::noise`] — output-referred noise PSD and integrated rms.
 //!
 //! Small systems solve on the dense LU in [`linalg`]; grid-scale systems
-//! (see `ams-rail`) automatically switch to the Markowitz sparse LU in
-//! [`sparse`] at [`Backend::AUTO_SPARSE_DIM`] unknowns, overridable with
-//! the `AMS_SIM_BACKEND` environment variable or
-//! [`SimSession::with_backend`].
+//! (see `ams-rail`) automatically switch to the sparse backend at
+//! [`Backend::AUTO_SPARSE_DIM`] unknowns, overridable with the
+//! `AMS_SIM_BACKEND` environment variable or [`SimSession::with_backend`].
+//! Within the sparse backend, device-sized systems factor on the Markowitz
+//! kernel in [`sparse`] and grid-scale ones on the KLU-style BTF∘AMD + CSC
+//! kernel in [`csc`] (threshold [`sparse::CSC_MIN_DIM`]; override with
+//! `AMS_SPARSE_KERNEL=markowitz|csc`).
 //!
 //! # Example
 //!
@@ -49,12 +52,15 @@
 #![warn(missing_docs)]
 
 mod ac;
+mod amd;
 mod backend;
+pub mod csc;
 mod dc;
 mod error;
 pub mod linalg;
 mod mna;
 mod noise;
+mod scale;
 mod session;
 pub mod sparse;
 mod tran;
@@ -63,6 +69,7 @@ mod tran;
 pub use ac::ac_sweep;
 pub use ac::{log_frequencies, solve_at, AcSweep};
 pub use backend::Backend;
+pub use csc::CscLu;
 pub use dc::{assumed_op, linearize, linearize_at, DcStrategy, OpPoint};
 #[allow(deprecated)]
 pub use dc::{dc_operating_point, dc_operating_point_retry};
@@ -73,7 +80,9 @@ pub use mna::{output_index, LinearNet, MnaLayout, Stamper};
 pub use noise::noise_analysis;
 pub use noise::{noise_sources, NoiseKind, NoiseResult, NoiseSource};
 pub use session::SimSession;
-pub use sparse::{BlockStructure, RefactorError, Scalar, SparseLu, Triplets};
+pub use sparse::{
+    BlockStructure, RefactorError, Scalar, SparseFactor, SparseKernel, SparseLu, Triplets,
+};
 #[allow(deprecated)]
 pub use tran::transient;
 pub use tran::TranResult;

@@ -10,7 +10,7 @@ use std::collections::BTreeMap;
 
 use crate::backend::Backend;
 use crate::linalg::{Matrix, SingularMatrix};
-use crate::sparse::{SparseLu, Triplets};
+use crate::sparse::Triplets;
 
 /// Maps circuit nodes and voltage-defined branches to MNA unknown indices.
 #[derive(Debug, Clone)]
@@ -216,7 +216,9 @@ impl Stamper {
     pub fn solve(self) -> Result<Vec<f64>, SingularMatrix> {
         match self.a {
             StamperMatrix::Dense(m) => Ok(m.lu()?.solve(&self.z)),
-            StamperMatrix::Sparse(t) => Ok(SparseLu::factor(&t)?.solve_refined(&t, &self.z)),
+            StamperMatrix::Sparse(t) => {
+                Ok(crate::sparse::SparseFactor::factor(&t, None)?.solve_refined(&t, &self.z))
+            }
         }
     }
 }

@@ -16,7 +16,7 @@ use crate::dc::OpPoint;
 use crate::error::SimError;
 use crate::linalg::{CMatrix, Complex};
 use crate::mna::{LinearNet, MnaLayout};
-use crate::sparse::{solve_cached, SparseLu};
+use crate::sparse::{solve_cached, SparseFactor};
 
 /// MOS channel thermal noise excess factor (long-channel value 2/3).
 const GAMMA_CHANNEL: f64 = 2.0 / 3.0;
@@ -187,7 +187,7 @@ pub(crate) fn analyze(
         Backend::Dense => Vec::new(),
         Backend::Sparse => complex_pattern(net),
     };
-    let mut cached: Option<SparseLu<Complex>> = None;
+    let mut cached: Option<SparseFactor<Complex>> = None;
 
     for (fi, &f) in freqs.iter().enumerate() {
         let s = Complex::new(0.0, 2.0 * std::f64::consts::PI * f);
@@ -206,7 +206,7 @@ pub(crate) fn analyze(
             }
             Backend::Sparse => {
                 let t = assemble_complex(net, &pattern, s, true);
-                solve_cached(&mut cached, &t, &e)?
+                solve_cached(&mut cached, &t, &e, None)?
             }
         };
         for (k, src) in sources.iter().enumerate() {

@@ -38,7 +38,7 @@ use crate::error::SimError;
 use crate::linalg::SingularMatrix;
 use crate::mna::{output_index, LinearNet, MnaLayout, Stamper, StamperMatrix};
 use crate::noise::{self, NoiseResult};
-use crate::sparse::{BlockStructure, SparseLu};
+use crate::sparse::{BlockStructure, SparseFactor};
 use crate::tran::{self, TranResult};
 
 /// Which cached real factorization slot a solve belongs to. DC and
@@ -68,8 +68,8 @@ pub struct SimSession<'c> {
     backend: Backend,
     op_cache: Mutex<Option<OpPoint>>,
     net_cache: Mutex<Option<Arc<LinearNet>>>,
-    dc_lu: Mutex<Option<SparseLu<f64>>>,
-    tran_lu: Mutex<Option<SparseLu<f64>>>,
+    dc_lu: Mutex<Option<SparseFactor<f64>>>,
+    tran_lu: Mutex<Option<SparseFactor<f64>>>,
     structural: Mutex<Option<Arc<StructuralAnalysis>>>,
 }
 
@@ -222,6 +222,17 @@ impl<'c> SimSession<'c> {
         Ok(op)
     }
 
+    /// Drops the cached operating point while keeping the factorization
+    /// caches, so the next [`op`](SimSession::op) re-runs the Newton
+    /// ladder replaying the frozen symbolic structure (numeric refactor
+    /// only — `sim.sparse.refactor` bumps, `sim.sparse.symbolic` does
+    /// not). This is the steady-state cost a sizing loop pays per
+    /// evaluation; the scaling bench measures it directly.
+    pub fn invalidate_op(&self) {
+        *self.op_cache.lock().unwrap() = None;
+        *self.net_cache.lock().unwrap() = None;
+    }
+
     /// DC operating point with deterministic perturbed restarts on
     /// retryable failures (non-convergence, numeric singularity); counted
     /// under the `sim.dc_retries` trace counter. Cached like
@@ -329,24 +340,26 @@ impl<'c> SimSession<'c> {
                     RealSlot::Tran => &self.tran_lu,
                 };
                 let mut guard = cache.lock().unwrap();
-                let x = crate::sparse::solve_cached(&mut guard, &t, &z)?;
-                // Hand the analyzer's BTF permutation to the DC
-                // factorization (the analyzer models the DC pattern only).
-                // Cheap: only when the structural pass already ran.
-                if slot == RealSlot::Dc {
-                    if let Some(lu) = guard.as_mut() {
-                        if lu.block_structure().is_none() {
-                            let structural = self.structural.lock().unwrap();
-                            if let Some(btf) = structural.as_ref().and_then(|a| a.btf.as_ref()) {
-                                lu.set_block_structure(Arc::new(BlockStructure {
-                                    perm: btf.perm.clone(),
-                                    block_ptr: btf.block_ptr.clone(),
-                                }));
-                            }
-                        }
-                    }
-                }
-                Ok(x)
+                // Hand the analyzer's BTF permutation to a fresh DC
+                // factorization: the CSC kernel nests its AMD order inside
+                // the block partition, and either kernel carries it as
+                // metadata. Cheap: cloned only when no factorization is
+                // cached yet, and only when the structural pass already
+                // ran (the DC gate runs it before the first solve). The
+                // analyzer models the DC pattern, so the transient slot
+                // gets no hint.
+                let btf = if slot == RealSlot::Dc && guard.is_none() {
+                    let structural = self.structural.lock().unwrap();
+                    structural.as_ref().and_then(|a| a.btf.as_ref()).map(|b| {
+                        Arc::new(BlockStructure {
+                            perm: b.perm.clone(),
+                            block_ptr: b.block_ptr.clone(),
+                        })
+                    })
+                } else {
+                    None
+                };
+                crate::sparse::solve_cached(&mut guard, &t, &z, btf)
             }
         }
     }

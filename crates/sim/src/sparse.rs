@@ -30,16 +30,22 @@ use std::sync::Arc;
 
 use crate::linalg::{Complex, SingularMatrix};
 
-/// Relative magnitude threshold for Markowitz pivot acceptance: a candidate
-/// must be at least this fraction of the largest magnitude in its column.
-const PIVOT_THRESHOLD: f64 = 1e-3;
+/// Relative magnitude threshold for pivot acceptance (shared by the
+/// Markowitz and CSC kernels): a candidate must be at least this fraction
+/// of the largest magnitude in its column.
+pub(crate) const PIVOT_THRESHOLD: f64 = 1e-3;
 /// Absolute pivot underflow guard, matching the dense LU.
-const PIVOT_MIN: f64 = 1e-300;
+pub(crate) const PIVOT_MIN: f64 = 1e-300;
 /// A refactorization pivot that has decayed below this fraction of its row's
 /// largest entry signals that the frozen pivot order went numerically stale.
-const REFACTOR_DECAY: f64 = 1e-12;
+pub(crate) const REFACTOR_DECAY: f64 = 1e-12;
 /// How many lowest-count candidate columns the Markowitz search examines.
 const PIVOT_SEARCH_COLS: usize = 8;
+/// Systems at or above this dimension factor on the CSC kernel
+/// ([`crate::csc::CscLu`]) by default; smaller ones keep the Markowitz
+/// path, whose adaptive two-sided pivoting wins on device-sized matrices.
+/// Overridable either way with `AMS_SPARSE_KERNEL=markowitz|csc`.
+pub(crate) const CSC_MIN_DIM: usize = 512;
 
 /// Field element the sparse LU is generic over: `f64` for DC/transient,
 /// [`Complex`] for AC/noise.
@@ -58,6 +64,9 @@ pub trait Scalar: Copy + PartialEq + std::fmt::Debug + Send + Sync + 'static {
     fn mul(self, rhs: Self) -> Self;
     /// `self / rhs`.
     fn div(self, rhs: Self) -> Self;
+    /// Componentwise scaling by a real factor. The CSC kernels only call
+    /// this with exact powers of two (equilibration), where it is exact.
+    fn scale(self, f: f64) -> Self;
 }
 
 impl Scalar for f64 {
@@ -80,6 +89,9 @@ impl Scalar for f64 {
     fn div(self, rhs: Self) -> Self {
         self / rhs
     }
+    fn scale(self, f: f64) -> Self {
+        self * f
+    }
 }
 
 impl Scalar for Complex {
@@ -101,6 +113,12 @@ impl Scalar for Complex {
     }
     fn div(self, rhs: Self) -> Self {
         self * rhs.inv()
+    }
+    fn scale(self, f: f64) -> Self {
+        Complex {
+            re: self.re * f,
+            im: self.im * f,
+        }
     }
 }
 
@@ -153,6 +171,11 @@ impl<T: Scalar> Triplets<T> {
         self.rows.push(i as u32);
         self.cols.push(j as u32);
         self.vals.push(v);
+    }
+
+    /// Raw `(rows, cols, vals)` views for the sibling kernels.
+    pub(crate) fn parts(&self) -> (&[u32], &[u32], &[T]) {
+        (&self.rows, &self.cols, &self.vals)
     }
 
     /// Dense `A·x` for residual checks and tests.
@@ -510,17 +533,161 @@ impl<T: Scalar> SparseLu<T> {
     }
 }
 
+/// Which numeric kernel a sparse factorization runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SparseKernel {
+    /// Right-looking elimination with adaptive two-sided Markowitz
+    /// pivoting; wins on device-sized systems.
+    Markowitz,
+    /// KLU-style analyze/factor/refactor: BTF∘AMD column pre-ordering,
+    /// equilibration, left-looking CSC elimination with threshold row
+    /// pivoting; wins on grid-scale systems.
+    Csc,
+}
+
+impl SparseKernel {
+    /// Kernel for a system of dimension `dim`: [`SparseKernel::Csc`] at or
+    /// above [`CSC_MIN_DIM`], overridable either way with
+    /// `AMS_SPARSE_KERNEL=markowitz|csc`.
+    pub fn auto_for(dim: usize) -> SparseKernel {
+        match std::env::var("AMS_SPARSE_KERNEL").as_deref() {
+            Ok("markowitz") => SparseKernel::Markowitz,
+            Ok("csc") => SparseKernel::Csc,
+            _ if dim >= CSC_MIN_DIM => SparseKernel::Csc,
+            _ => SparseKernel::Markowitz,
+        }
+    }
+
+    /// Stable lowercase name, for logs and tests.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SparseKernel::Markowitz => "markowitz",
+            SparseKernel::Csc => "csc",
+        }
+    }
+}
+
+/// A factorization on either sparse kernel, dispatching the shared
+/// analyze-once / refactor-many contract. Which kernel a fresh
+/// factorization lands on is decided by [`SparseKernel::auto_for`]; once
+/// cached, refactorization always stays on the kernel that did the
+/// symbolic analysis.
+// One instance lives per analysis slot, so the header-size gap between
+// the two kernels (both dominated by their heap arrays anyway) is not
+// worth a Box indirection on every dispatch.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum SparseFactor<T> {
+    /// Markowitz right-looking kernel.
+    Markowitz(SparseLu<T>),
+    /// CSC left-looking kernel with BTF∘AMD pre-ordering.
+    Csc(crate::csc::CscLu<T>),
+}
+
+impl<T: Scalar> SparseFactor<T> {
+    /// Full factorization on the kernel [`SparseKernel::auto_for`] picks.
+    /// `btf` (the structural analyzer's block partition, when the caller
+    /// has one) seeds the CSC column ordering and is attached to either
+    /// kernel as metadata.
+    ///
+    /// # Errors
+    ///
+    /// [`SingularMatrix`] as from the underlying kernel.
+    pub fn factor(
+        t: &Triplets<T>,
+        btf: Option<Arc<BlockStructure>>,
+    ) -> Result<Self, SingularMatrix> {
+        match SparseKernel::auto_for(t.dim()) {
+            SparseKernel::Csc => Ok(SparseFactor::Csc(crate::csc::CscLu::factor(t, btf)?)),
+            SparseKernel::Markowitz => {
+                let mut f = SparseLu::factor(t)?;
+                if let Some(b) = btf {
+                    f.set_block_structure(b);
+                }
+                Ok(SparseFactor::Markowitz(f))
+            }
+        }
+    }
+
+    /// The kernel this factorization runs on.
+    pub fn kernel(&self) -> SparseKernel {
+        match self {
+            SparseFactor::Markowitz(_) => SparseKernel::Markowitz,
+            SparseFactor::Csc(_) => SparseKernel::Csc,
+        }
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        match self {
+            SparseFactor::Markowitz(f) => f.dim(),
+            SparseFactor::Csc(f) => f.dim(),
+        }
+    }
+
+    /// Entries created by elimination beyond the assembled pattern.
+    pub fn fill_in(&self) -> u64 {
+        match self {
+            SparseFactor::Markowitz(f) => f.fill_in(),
+            SparseFactor::Csc(f) => f.fill_in(),
+        }
+    }
+
+    /// Attaches block-structure metadata (see the kernels' own docs).
+    pub fn set_block_structure(&mut self, btf: Arc<BlockStructure>) {
+        match self {
+            SparseFactor::Markowitz(f) => f.set_block_structure(btf),
+            SparseFactor::Csc(f) => f.set_block_structure(btf),
+        }
+    }
+
+    /// The attached block-triangular structure, if any.
+    pub fn block_structure(&self) -> Option<&Arc<BlockStructure>> {
+        match self {
+            SparseFactor::Markowitz(f) => f.block_structure(),
+            SparseFactor::Csc(f) => f.block_structure(),
+        }
+    }
+
+    /// Numeric refactorization over the frozen pattern; see the kernels.
+    ///
+    /// # Errors
+    ///
+    /// [`RefactorError`] as from the underlying kernel.
+    pub fn refactor(&mut self, t: &Triplets<T>) -> Result<(), RefactorError> {
+        match self {
+            SparseFactor::Markowitz(f) => f.refactor(t),
+            SparseFactor::Csc(f) => f.refactor(t),
+        }
+    }
+
+    /// Solve with two fixed iterative-refinement steps; see the kernels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` or the triplet dimension does not match.
+    pub fn solve_refined(&self, t: &Triplets<T>, b: &[T]) -> Vec<T> {
+        match self {
+            SparseFactor::Markowitz(f) => f.solve_refined(t, b),
+            SparseFactor::Csc(f) => f.solve_refined(t, b),
+        }
+    }
+}
+
 /// Factor-or-refactor solve against a cached factorization slot: tries a
 /// numeric refactorization of `*lu` first and falls back to a fresh
 /// symbolic+numeric factorization (updating the cache) when the pattern
-/// changed or the refactorization went unstable. Bumps the
+/// changed or the refactorization went unstable. `btf` is the structural
+/// analyzer's block partition when the caller has one; it seeds the CSC
+/// ordering on fresh factorizations. Bumps the
 /// `sim.sparse.{symbolic,symbolic_reuse,refactor,fill_in}` trace counters
 /// accordingly; every caching sparse solve in the crate funnels through
 /// here so the counters stay consistent.
 pub(crate) fn solve_cached<T: Scalar>(
-    lu: &mut Option<SparseLu<T>>,
+    lu: &mut Option<SparseFactor<T>>,
     t: &Triplets<T>,
     b: &[T],
+    btf: Option<Arc<BlockStructure>>,
 ) -> Result<Vec<T>, SingularMatrix> {
     if let Some(f) = lu.as_mut() {
         if f.refactor(t).is_ok() {
@@ -532,7 +699,7 @@ pub(crate) fn solve_cached<T: Scalar>(
         // the symbolic analysis from scratch.
         *lu = None;
     }
-    let f = SparseLu::factor(t)?;
+    let f = SparseFactor::factor(t, btf)?;
     ams_trace::counter_add("sim.sparse.symbolic", 1);
     ams_trace::counter_add("sim.sparse.fill_in", f.fill_in());
     let x = f.solve_refined(t, b);

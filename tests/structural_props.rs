@@ -10,7 +10,8 @@
 //! M-matrix, so there the verdicts must agree exactly in both directions.
 //!
 //! The fill-in forecast is held to a documented accuracy band against the
-//! Markowitz sparse LU on the same grids the `grid_scaling` bench runs.
+//! sparse LU kernels (Markowitz below the CSC size threshold, BTF∘AMD +
+//! CSC above it) on the same grids the `grid_scaling` bench runs.
 
 use ams::prelude::*;
 use ams_lint::{analyze_circuit_structure, analyze_deck_structure, RuleCode};
@@ -230,13 +231,20 @@ fn e008_rendering_is_byte_identical_across_repeats() {
 
 /// Predicted vs actual fill-in on the bench's power grids, sizes 8..48.
 ///
-/// The minimum-degree forecast and the threshold-pivoted Markowitz LU
-/// choose different elimination orders, so exact agreement is impossible;
-/// the documented accuracy band is a factor of 4 either way, with the
-/// forecast additionally required to be nonzero whenever the actual solve
-/// filled in (a forecast of zero on a filling matrix would be useless).
+/// The forecast is the *exact* symbolic fill of the composed BTF∘AMD
+/// elimination order — the same order the CSC kernel factors with — so
+/// the old 4x band (which the 64x64 grid violated at 24x under the
+/// Markowitz-era minimum-degree game) tightens to 2.5x, and in practice
+/// the forecast now errs mildly conservative instead of 24x optimistic.
+/// The residual slack covers the kernels' numeric deviations from the
+/// symbolic order: grids below the `CSC_MIN_DIM` threshold factor on
+/// threshold-pivoted Markowitz, whose greedy order beats AMD by up to
+/// ~2.4x on the smallest grid (measured ratios: 2.37 at 8x8, 1.63 at
+/// 16x16, ≤1.13 from 24x24 up); the larger grids factor on CSC, which
+/// follows the forecast order to within ~10%. The CSC-forced band is
+/// pinned tighter (2x) in `ordering_props.rs`.
 #[test]
-fn grid_fill_forecast_tracks_actual_markowitz_fill() {
+fn grid_fill_forecast_tracks_actual_sparse_fill() {
     use ams::rail::{GridSpec, PowerGrid};
     for n in [8usize, 16, 24, 32, 48] {
         let ckt = PowerGrid::uniform(GridSpec::synthetic(n), 10e-6).to_circuit();
@@ -263,9 +271,9 @@ fn grid_fill_forecast_tracks_actual_markowitz_fill() {
         let predicted = analysis.predicted_fill.max(1);
         let ratio = predicted as f64 / actual as f64;
         assert!(
-            (0.25..=4.0).contains(&ratio),
+            (0.4..=2.5).contains(&ratio),
             "{n}x{n}: predicted {predicted} vs actual {actual} (ratio {ratio:.3}) \
-             outside the documented 4x band"
+             outside the documented 2.5x band"
         );
     }
 }
