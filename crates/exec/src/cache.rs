@@ -50,12 +50,46 @@ pub struct CacheKey {
     coords: Vec<u64>,
 }
 
+/// Derives the canonical namespace tag for an evaluator from its stable
+/// name (FNV-1a over the UTF-8 bytes).
+///
+/// Every optimizer front end — GA, annealer, simopt templates, equation
+/// models, polish — must derive its cache tag through this one function
+/// so that probes for the *same* cost function collide across
+/// generations, restarts, optimizers, and (with the persistent cache)
+/// across process runs. Ad-hoc per-callsite tag constants defeat the
+/// cache: two sites evaluating the same model under different tags never
+/// share an entry.
+pub fn cache_tag(name: &str) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
 impl CacheKey {
     /// Builds the key for `(tag, x)`.
+    #[deprecated(
+        since = "0.3.0",
+        note = "derive the tag with `cache_tag(name)` and build keys via \
+                `CacheKey::for_candidate` so probes collide across optimizers"
+    )]
     pub fn new(tag: u64, x: &[f64]) -> Self {
+        Self::for_candidate(tag, x)
+    }
+
+    /// The canonical key-construction path: quantizes every coordinate of
+    /// a candidate's parameter vector under a [`cache_tag`]-derived
+    /// namespace tag. All optimizers build keys here so identical
+    /// `(evaluator, params)` pairs collide regardless of which loop asks.
+    pub fn for_candidate(tag: u64, params: &[f64]) -> Self {
         CacheKey {
             tag,
-            coords: x.iter().copied().map(quantize).collect(),
+            coords: params.iter().copied().map(quantize).collect(),
         }
     }
 
@@ -108,12 +142,31 @@ pub struct EvalCache {
     map: Mutex<HashMap<CacheKey, f64>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// `AMS_EVAL_CACHE=off`: every request computes, nothing is stored.
+    disabled: bool,
 }
 
 impl EvalCache {
     /// An empty cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A pass-through cache: every request is a miss, nothing is stored,
+    /// in-batch duplicates are computed individually. Used for the
+    /// `AMS_EVAL_CACHE=off` leg of the cache-mode matrix; results are
+    /// bit-identical to the memoizing modes because cached costs are the
+    /// exact bits a fresh evaluation would produce.
+    pub fn disabled() -> Self {
+        EvalCache {
+            disabled: true,
+            ..Self::default()
+        }
+    }
+
+    /// True when this instance is a pass-through (`AMS_EVAL_CACHE=off`).
+    pub fn is_disabled(&self) -> bool {
+        self.disabled
     }
 
     /// Hit/miss totals so far.
@@ -165,18 +218,21 @@ impl EvalCache {
     where
         F: Fn(usize, &[f64]) -> f64 + Sync,
     {
-        self.eval_batch_keyed(points, |x| CacheKey::new(tag, x), |i, x| f(i, x))
+        self.eval_batch_keyed(points, |x| CacheKey::for_candidate(tag, x), |i, x| f(i, x))
     }
 
     /// Evaluates a batch of arbitrary items with a caller-supplied key.
     ///
     /// Phases: (1) serial — probe the cache for every item and decide the
     /// hit/miss pattern (duplicates of an in-batch miss count as hits and
-    /// are computed once); (2) parallel — evaluate the distinct misses via
-    /// [`par_map_indexed`], with `f(batch_index, item)` receiving the
-    /// index of the first occurrence; (3) serial — insert results in item
-    /// order and assemble the output. Emits `exec.cache.hit` /
-    /// `exec.cache.miss`, both deterministic.
+    /// are computed once); (2) serial — charge the whole batch's computed
+    /// evaluations to the active [`ams_guard::budget`] in one metered
+    /// step, so budget spend is decided before any worker runs and is
+    /// identical at every thread count; (3) parallel — evaluate the
+    /// distinct misses via [`par_map_indexed`], with `f(batch_index,
+    /// item)` receiving the index of the first occurrence; (4) serial —
+    /// insert results in item order and assemble the output. Emits
+    /// `exec.cache.hit` / `exec.cache.miss`, both deterministic.
     pub fn eval_batch_keyed<T, K, F>(&self, items: &[T], key: K, f: F) -> Vec<f64>
     where
         T: Sync,
@@ -189,7 +245,10 @@ impl EvalCache {
         let mut compute: Vec<usize> = Vec::new(); // batch indices to evaluate
         let mut dup_of: Vec<(usize, usize)> = Vec::new(); // (batch idx, compute slot)
         let (mut hits, mut misses) = (0u64, 0u64);
-        {
+        if self.disabled {
+            compute.extend(0..items.len());
+            misses = items.len() as u64;
+        } else {
             let map = lock(&self.map);
             for (i, x) in items.iter().enumerate() {
                 let k = key(x);
@@ -214,16 +273,22 @@ impl EvalCache {
             // Per-batch hit rate; deterministic (probe order is item order).
             ams_trace::record("exec.cache.hit_rate", hits as f64 / (hits + misses) as f64);
         }
+        // Batch-level budget metering: the whole batch's computed-eval
+        // count is charged here, serially, so exhaustion (observed by the
+        // caller at batch boundaries) never depends on worker scheduling.
+        let _ = ams_guard::budget::charge_evals(misses);
 
         let computed: Vec<f64> =
             par_map_indexed(&compute, |_, &batch_idx| f(batch_idx, &items[batch_idx]));
 
-        {
+        if !self.disabled {
             let mut map = lock(&self.map);
             for (slot, &batch_idx) in compute.iter().enumerate() {
                 map.insert(key(&items[batch_idx]), computed[slot]);
-                out[batch_idx] = Some(computed[slot]);
             }
+        }
+        for (slot, &batch_idx) in compute.iter().enumerate() {
+            out[batch_idx] = Some(computed[slot]);
         }
         for (i, slot) in dup_of {
             out[i] = Some(computed[slot]);
@@ -231,6 +296,31 @@ impl EvalCache {
         out.into_iter()
             .map(|v| v.expect("every point resolved"))
             .collect()
+    }
+
+    /// Evaluates a single point through the cache, serially: probe, and
+    /// on a miss compute with `f` and insert. No parallel dispatch and
+    /// **no budget charge** — serial chains (the annealer's Metropolis
+    /// loop) meter their own moves. Emits the same `exec.cache.hit` /
+    /// `exec.cache.miss` counters as the batch path.
+    pub fn eval_with<F>(&self, key: CacheKey, f: F) -> f64
+    where
+        F: FnOnce() -> f64,
+    {
+        if !self.disabled {
+            if let Some(&v) = lock(&self.map).get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                ams_trace::counter_add("exec.cache.hit", 1);
+                return v;
+            }
+        }
+        let v = f();
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        ams_trace::counter_add("exec.cache.miss", 1);
+        if !self.disabled {
+            lock(&self.map).insert(key, v);
+        }
+        v
     }
 }
 
@@ -241,6 +331,14 @@ fn lock(m: &Mutex<HashMap<CacheKey, f64>>) -> std::sync::MutexGuard<'_, HashMap<
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The guard budget is process-global; serialize every test that
+    /// triggers a `charge_evals` so spend assertions are exact.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
 
     #[test]
     fn quantization_buckets_rounding_noise_but_separates_parameters() {
@@ -254,6 +352,7 @@ mod tests {
 
     #[test]
     fn repeat_batches_hit_the_cache() {
+        let _serial = serial();
         let cache = EvalCache::new();
         let points: Vec<Vec<f64>> = (0..16).map(|i| vec![i as f64, 2.0]).collect();
         let a = cache.eval_batch(0, &points, |_, x| x[0] * x[1]);
@@ -267,6 +366,7 @@ mod tests {
 
     #[test]
     fn in_batch_duplicates_compute_once() {
+        let _serial = serial();
         let cache = EvalCache::new();
         let points = vec![vec![1.0], vec![2.0], vec![1.0], vec![1.0]];
         let calls = AtomicU64::new(0);
@@ -281,10 +381,73 @@ mod tests {
 
     #[test]
     fn tags_namespace_identical_vectors() {
+        let _serial = serial();
         let cache = EvalCache::new();
         let points = vec![vec![3.0]];
         let a = cache.eval_batch(0, &points, |_, _| 1.0);
         let b = cache.eval_batch(1, &points, |_, _| 2.0);
         assert_eq!((a[0], b[0]), (1.0, 2.0));
+    }
+
+    #[test]
+    fn cache_tag_is_stable_and_separates_names() {
+        // FNV-1a reference vector: empty string hashes to the offset basis.
+        assert_eq!(cache_tag(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(cache_tag("two-stage-miller"), cache_tag("two-stage-miller"));
+        assert_ne!(cache_tag("two-stage-miller"), cache_tag("symmetrical-ota"));
+        // Canonical keys under the derived tag equal the raw-tag path.
+        let tag = cache_tag("m");
+        let k = CacheKey::for_candidate(tag, &[0.1 + 0.2]);
+        assert_eq!(k.tag(), tag);
+        assert_eq!(k.coords(), &[quantize(0.3)]);
+    }
+
+    #[test]
+    fn eval_with_memoizes_serially() {
+        let _serial = serial();
+        let cache = EvalCache::new();
+        let tag = cache_tag("eval-with");
+        let a = cache.eval_with(CacheKey::for_candidate(tag, &[1.0, 2.0]), || 42.0);
+        let b = cache.eval_with(CacheKey::for_candidate(tag, &[1.0, 2.0]), || {
+            unreachable!("cached")
+        });
+        assert_eq!((a, b), (42.0, 42.0));
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn disabled_cache_computes_everything_and_stores_nothing() {
+        let _serial = serial();
+        let cache = EvalCache::disabled();
+        assert!(cache.is_disabled());
+        let points = vec![vec![1.0], vec![1.0]];
+        let calls = AtomicU64::new(0);
+        let got = cache.eval_batch(0, &points, |_, x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            x[0] * 2.0
+        });
+        assert_eq!(got, vec![2.0, 2.0]);
+        // No dedup, no memoization: both occurrences computed.
+        assert_eq!(calls.load(Ordering::Relaxed), 2);
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 2 });
+        let v = cache.eval_with(CacheKey::for_candidate(0, &[1.0]), || 9.0);
+        assert_eq!(v, 9.0);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn batch_misses_are_charged_to_the_active_budget() {
+        let _serial = serial();
+        ams_guard::budget::install(ams_guard::budget::Budget::unlimited().evals(100));
+        let before = ams_guard::budget::spent_evals();
+        let cache = EvalCache::new();
+        let points: Vec<Vec<f64>> = (0..6).map(|i| vec![i as f64]).collect();
+        cache.eval_batch(3, &points, |_, x| x[0]);
+        // Second batch is all hits: nothing further charged.
+        cache.eval_batch(3, &points, |_, x| x[0]);
+        let spent = ams_guard::budget::spent_evals() - before;
+        ams_guard::budget::clear();
+        assert_eq!(spent, 6);
     }
 }

@@ -42,7 +42,13 @@
 #![warn(missing_docs)]
 
 mod cache;
+mod persist;
 mod pool;
 
-pub use cache::{quantize, CacheKey, CacheStats, EvalCache, QUANT_MANTISSA_BITS};
+pub use cache::{cache_tag, quantize, CacheKey, CacheStats, EvalCache, QUANT_MANTISSA_BITS};
+pub use persist::{
+    decode_entries_from, encode_entries_into, mode_from_env, read_entries, workload_fingerprint,
+    EvalCacheHandle, EvalCacheMode, EvalCachePolicy, EVAL_CACHE_ENV, EVAL_CACHE_PATH_ENV,
+    EVAL_CACHE_RECORD_TAG,
+};
 pub use pool::{configured_threads, effective_threads, par_map_indexed, set_threads};

@@ -139,6 +139,12 @@ impl Default for DiffOptions {
         // gate is the 2.5× band asserted by the bench and the test
         // battery, so report diffs only flag drift beyond 5%.
         tolerances.insert("fill_ratio".to_string(), 0.05);
+        // `evals_per_sec` is throughput (work over wall time) and is
+        // already classified informational by `is_informational` via its
+        // `per_sec` segment; the explicit entry documents the intent and
+        // keeps the metric out of the regression set even if the leaf is
+        // ever renamed into a checked subtree.
+        tolerances.insert("evals_per_sec".to_string(), f64::INFINITY);
         DiffOptions {
             default_tol: 0.0,
             tolerances,
@@ -514,6 +520,22 @@ mod tests {
         assert!(is_informational("crash_resume/fresh_us"));
         assert!(is_informational("crash_resume/resume_speedup"));
         assert!(is_informational("crash_resume/ckpt_bytes"));
+    }
+
+    #[test]
+    fn evals_per_sec_is_informational_throughput() {
+        // The headline throughput metric is wall-clock derived: never a
+        // regression, at any nesting depth.
+        assert!(is_informational("evals_per_sec"));
+        assert!(is_informational("grid_scaling/3/evals_per_sec"));
+        assert!(is_informational("parallel_serial_evals_per_sec"));
+        // Belt and braces: the default tolerance table also carries an
+        // explicit unbounded entry for it.
+        let opts = DiffOptions::default();
+        assert_eq!(
+            opts.tolerances.get("evals_per_sec").copied(),
+            Some(f64::INFINITY)
+        );
     }
 
     #[test]

@@ -219,22 +219,6 @@ pub(crate) fn sweep_net(
     })
 }
 
-/// Runs an AC sweep and extracts one output unknown.
-///
-/// # Errors
-///
-/// Returns [`SimError::BadParameter`] on an empty frequency list and
-/// [`SimError::Singular`] if any frequency point fails to solve.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `SimSession::new(&ckt).ac(node_name, freqs)` — it takes the \
-            output by node name and reuses the session's cached operating \
-            point and sparse symbolic factorization"
-)]
-pub fn ac_sweep(net: &LinearNet, out_index: usize, freqs: &[f64]) -> Result<AcSweep, SimError> {
-    sweep_net(net, out_index, freqs, Backend::auto_for(net.dim()))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -100,62 +100,6 @@ impl OpPoint {
     }
 }
 
-/// Computes the DC operating point of a circuit.
-///
-/// Before assembling any matrix, the structural subset of the `ams-lint`
-/// ERC rules runs over the circuit; a predicted singularity (floating node,
-/// voltage loop, current cutset, zero-valued element) is reported as
-/// [`SimError::Erc`] naming the offending node or instance, instead of the
-/// bare pivot index a `SingularMatrix` failure would give.
-///
-/// # Errors
-///
-/// * [`SimError::Erc`] — the ERC pre-pass predicted a structural
-///   singularity; the message names the offending node/instance/loop.
-/// * [`SimError::Singular`] / [`SimError::SingularNode`] — the system was
-///   numerically singular despite passing the structural checks.
-/// * [`SimError::NoConvergence`] — all homotopy ladders failed.
-///
-/// ```
-/// let ckt = ams_netlist::parse_deck("
-///     V1 in 0 DC 2
-///     R1 in out 1k
-///     R2 out 0 1k
-/// ").unwrap();
-/// let op = ams_sim::SimSession::new(&ckt).op().unwrap();
-/// assert!((op.voltage(&ckt, "out").unwrap() - 1.0).abs() < 1e-9);
-/// ```
-#[deprecated(
-    since = "0.2.0",
-    note = "use `SimSession::new(&ckt).op()` — the session caches the layout, \
-            backend choice, and sparse symbolic factorizations across analyses"
-)]
-pub fn dc_operating_point(ckt: &Circuit) -> Result<OpPoint, SimError> {
-    SimSession::new(ckt).op()
-}
-
-/// Computes the DC operating point like [`SimSession::op`], but on a
-/// *retryable* failure (non-convergence or a numerically singular system)
-/// re-runs the whole convergence ladder up to `retry.attempts` more times
-/// from deterministically perturbed initial conditions. Structural errors
-/// ([`SimError::Erc`], [`SimError::Netlist`]…) are never retried — they
-/// cannot be fixed by a different starting point.
-///
-/// Retries are counted under the `sim.dc_retries` trace counter.
-///
-/// # Errors
-///
-/// Same as [`SimSession::op`]; the error returned is from the last
-/// attempt made.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `SimSession::new(&ckt).op_retry(&retry)` — the session caches \
-            the layout, backend choice, and sparse symbolic factorizations"
-)]
-pub fn dc_operating_point_retry(ckt: &Circuit, retry: &Retry) -> Result<OpPoint, SimError> {
-    SimSession::new(ckt).op_retry(retry)
-}
-
 /// The retried convergence ladder behind [`SimSession::op_retry`].
 pub(crate) fn dc_op_retry(ses: &SimSession<'_>, retry: &Retry) -> Result<OpPoint, SimError> {
     let mut last = match dc_op_from(ses, None) {

@@ -54,6 +54,7 @@
 mod ac;
 mod amd;
 mod backend;
+mod batch;
 pub mod csc;
 mod dc;
 mod error;
@@ -65,24 +66,17 @@ mod session;
 pub mod sparse;
 mod tran;
 
-#[allow(deprecated)]
-pub use ac::ac_sweep;
 pub use ac::{log_frequencies, solve_at, AcSweep};
 pub use backend::Backend;
+pub use batch::{BatchBindError, BatchSession};
 pub use csc::CscLu;
 pub use dc::{assumed_op, linearize, linearize_at, DcStrategy, OpPoint};
-#[allow(deprecated)]
-pub use dc::{dc_operating_point, dc_operating_point_retry};
 pub use error::SimError;
 pub use linalg::{CMatrix, Complex, Lu, Matrix, SingularMatrix};
 pub use mna::{output_index, LinearNet, MnaLayout, Stamper};
-#[allow(deprecated)]
-pub use noise::noise_analysis;
 pub use noise::{noise_sources, NoiseKind, NoiseResult, NoiseSource};
 pub use session::SimSession;
 pub use sparse::{
     BlockStructure, RefactorError, Scalar, SparseFactor, SparseKernel, SparseLu, Triplets,
 };
-#[allow(deprecated)]
-pub use tran::transient;
 pub use tran::TranResult;

@@ -127,38 +127,6 @@ pub fn noise_sources(
     out
 }
 
-/// Runs a noise analysis: output node PSD and integrated rms over the given
-/// log-spaced frequency grid.
-///
-/// # Errors
-///
-/// * [`SimError::BadParameter`] — fewer than two frequencies.
-/// * [`SimError::Singular`] — the linearized system fails to solve.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `SimSession::new(&ckt).noise(node_name, freqs, temp_k)` — it \
-            resolves the output by node name and reuses the session's cached \
-            operating point, linearization, and sparse factorization"
-)]
-pub fn noise_analysis(
-    ckt: &Circuit,
-    op: &OpPoint,
-    net: &LinearNet,
-    out_index: usize,
-    freqs: &[f64],
-    temp_k: f64,
-) -> Result<NoiseResult, SimError> {
-    analyze(
-        ckt,
-        op,
-        net,
-        out_index,
-        freqs,
-        temp_k,
-        Backend::auto_for(net.dim()),
-    )
-}
-
 /// The noise engine behind [`crate::SimSession::noise`]. On the sparse
 /// backend the transposed `(G + sC)ᵀ` pattern is factored symbolically once
 /// and refactored numerically at every later frequency point.

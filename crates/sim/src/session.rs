@@ -180,6 +180,15 @@ impl<'c> SimSession<'c> {
         analysis
     }
 
+    /// Pre-seeds the structural-analysis cache with a verdict computed
+    /// from a pattern-identical prototype (see `BatchSession::bind`). The
+    /// analysis is value-independent, so a seeded session behaves — bit
+    /// for bit — like one that computed the verdict itself; it just skips
+    /// the per-candidate analysis cost.
+    pub(crate) fn seed_structural(&self, analysis: Arc<StructuralAnalysis>) {
+        *self.structural.lock().unwrap() = Some(analysis);
+    }
+
     /// Fails fast with [`SimError::StructurallySingular`] when the static
     /// analyzer proves the pattern singular — instead of letting Newton
     /// discover a zero pivot mid-iteration. Runs after the heuristic ERC

@@ -110,37 +110,6 @@ struct ReactState {
     i: f64,
 }
 
-/// Runs a transient analysis from the DC operating point.
-///
-/// `tstop` is the final time, `dt` the nominal timestep. The solver halves
-/// the step locally (up to 8 times) when Newton fails to converge.
-///
-/// # Errors
-///
-/// * [`SimError::BadParameter`] for non-positive `tstop`/`dt`.
-/// * Any DC error from the initial operating point.
-/// * [`SimError::NoConvergence`] when a step fails at the minimum step size.
-///
-/// ```
-/// let ckt = ams_netlist::parse_deck("
-///     V1 in 0 PULSE(0 1 0 1n 1n 1 2)
-///     R1 in out 1k
-///     C1 out 0 1u
-/// ").unwrap();
-/// let result = ams_sim::SimSession::new(&ckt).tran(5e-3, 10e-6).unwrap();
-/// let out = result.voltage(&ckt, "out").unwrap();
-/// // After 5 RC time constants the output has settled near 1 V.
-/// assert!(out.last().copied().unwrap() > 0.95);
-/// ```
-#[deprecated(
-    since = "0.2.0",
-    note = "use `SimSession::new(&ckt).tran(tstop, dt)` — the session reuses \
-            its cached DC operating point and sparse symbolic factorization"
-)]
-pub fn transient(ckt: &Circuit, tstop: f64, dt: f64) -> Result<TranResult, SimError> {
-    SimSession::new(ckt).tran(tstop, dt)
-}
-
 /// The transient engine behind [`SimSession::tran`].
 pub(crate) fn run(ses: &SimSession<'_>, tstop: f64, dt: f64) -> Result<TranResult, SimError> {
     if tstop <= 0.0 || dt <= 0.0 || dt > tstop {

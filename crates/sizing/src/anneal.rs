@@ -7,6 +7,7 @@
 //! of this function via annealing") all share this engine shape.
 
 use ams_ckpt::codec::{Dec, DecodeError, Enc};
+use ams_exec::{CacheKey, EvalCache};
 use ams_prng::{Rng, SeedableRng, SmallRng};
 
 use crate::ckpt::{CkptRun, SizingCkptError};
@@ -154,7 +155,42 @@ pub fn anneal<F>(params: &[ParamDef], config: &AnnealConfig, cost: F) -> AnnealR
 where
     F: Fn(&[f64]) -> f64 + Sync,
 {
-    match anneal_inner(params, config, None, &cost) {
+    match anneal_inner(params, config, None, None, &cost) {
+        Ok(r) => r,
+        // Without a checkpoint run there is nothing that can fail.
+        Err(e) => unreachable!("un-checkpointed anneal cannot fail: {e}"),
+    }
+}
+
+/// [`anneal`] with evaluation memoization through an [`EvalCache`].
+///
+/// Every candidate is keyed by `CacheKey::for_candidate(tag, x)` — derive
+/// `tag` with [`crate::cost::eval_tag`] so keys are canonical across all
+/// optimizer loops. The multi-start batch probes the cache serially before
+/// fanning the misses out in parallel, and the Metropolis chain memoizes
+/// each move through [`EvalCache::eval_with`]; cached costs are the exact
+/// bits a fresh evaluation would have produced, so the trajectory (and the
+/// result) is byte-identical to an uncached same-seed run against the same
+/// cache warmth.
+///
+/// Budget metering moves with the cache: the init batch charges only its
+/// computed misses (hits are free), while chain moves stay charged per
+/// move exactly as [`anneal`] charges them.
+///
+/// # Panics
+///
+/// Panics if `params` is empty.
+pub fn anneal_cached<F>(
+    params: &[ParamDef],
+    config: &AnnealConfig,
+    tag: u64,
+    cache: &EvalCache,
+    cost: F,
+) -> AnnealResult
+where
+    F: Fn(&[f64]) -> f64 + Sync,
+{
+    match anneal_inner(params, config, None, Some((tag, cache)), &cost) {
         Ok(r) => r,
         // Without a checkpoint run there is nothing that can fail.
         Err(e) => unreachable!("un-checkpointed anneal cannot fail: {e}"),
@@ -183,7 +219,7 @@ pub fn anneal_ckpt<F>(
 where
     F: Fn(&[f64]) -> f64 + Sync,
 {
-    anneal_inner(params, config, Some(ck), &cost)
+    anneal_inner(params, config, Some(ck), None, &cost)
 }
 
 /// Journal tag for the annealer's chain-state record.
@@ -253,6 +289,7 @@ fn anneal_inner<F>(
     params: &[ParamDef],
     config: &AnnealConfig,
     mut ck: Option<CkptRun<'_>>,
+    memo: Option<(u64, &EvalCache)>,
     cost: &F,
 ) -> Result<AnnealResult, SizingCkptError>
 where
@@ -300,10 +337,20 @@ where
             let starts: Vec<Vec<f64>> = (0..1 + MULTI_START_EXTRA)
                 .map(|_| params.iter().map(|p| p.sample(&mut rng)).collect())
                 .collect();
-            let start_costs = ams_exec::par_map_indexed(&starts, |_, v| {
-                let _ = ams_guard::budget::charge_evals(1);
-                eval(v)
-            });
+            let start_costs = match memo {
+                // Memoized path: the cache probes serially, charges the
+                // computed misses to the budget itself, and fans only the
+                // misses out in parallel.
+                Some((tag, cache)) => cache.eval_batch_keyed(
+                    &starts,
+                    |v| CacheKey::for_candidate(tag, v),
+                    |_, v| eval(v),
+                ),
+                None => ams_exec::par_map_indexed(&starts, |_, v| {
+                    let _ = ams_guard::budget::charge_evals(1);
+                    eval(v)
+                }),
+            };
             let evaluations = starts.len();
             // Reduce in index order: running best plus the cost spread
             // against the running best, exactly as the serial loop
@@ -362,7 +409,12 @@ where
             let k = rng.gen_range(0..params.len());
             let mut cand = st.x.clone();
             cand[k] = params[k].perturb(cand[k], scale, &mut rng);
-            let cc = eval(&cand);
+            let cc = match memo {
+                Some((tag, cache)) => {
+                    cache.eval_with(CacheKey::for_candidate(tag, &cand), || eval(&cand))
+                }
+                None => eval(&cand),
+            };
             st.evaluations += 1;
             let accept = cc < st.c || {
                 let d = cc - st.c;
@@ -478,6 +530,88 @@ where
         evaluations,
         accepted,
     }
+}
+
+/// [`anneal_restarts`] with per-chain evaluation memoization.
+///
+/// Sharing one mutable cache across parallel chains would make hit/miss
+/// totals depend on which chain computes a duplicate key first — a
+/// scheduling race. Instead every chain gets a **private** cache seeded
+/// from the immutable `seed_entries` snapshot, so each chain's trajectory
+/// and counters are fully determined by its seed and the snapshot. The
+/// chains' exports are merged in restart-index order (first writer wins;
+/// duplicate keys carry identical bits anyway, because a cached cost is
+/// the exact result of a fresh evaluation) and returned alongside the
+/// winning result so callers can commit the union at a restart boundary.
+///
+/// # Panics
+///
+/// Panics if `params` is empty or `restarts` is 0.
+pub fn anneal_restarts_cached<F>(
+    params: &[ParamDef],
+    config: &AnnealConfig,
+    restarts: usize,
+    tag: u64,
+    seed_entries: &[(CacheKey, u64)],
+    cost: F,
+) -> (AnnealResult, Vec<(CacheKey, u64)>)
+where
+    F: Fn(&[f64]) -> f64 + Sync,
+{
+    assert!(restarts > 0, "need at least one restart");
+    let _span = ams_trace::span("sizing.anneal_restarts");
+    let seeds: Vec<u64> = (0..restarts as u64)
+        .map(|i| {
+            config
+                .seed
+                .wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        })
+        .collect();
+    let runs = ams_exec::par_map_indexed(&seeds, |i, &seed| {
+        if ams_trace::stream_enabled() {
+            ams_trace::emit(ams_trace::TelemetryEvent::OptimizerRestart {
+                algorithm: "anneal".to_string(),
+                restart: i as u64,
+                seed,
+            });
+        }
+        let chain = AnnealConfig {
+            seed,
+            ..config.clone()
+        };
+        let local = EvalCache::new();
+        local.import_entries(seed_entries);
+        let r = anneal_cached(params, &chain, tag, &local, &cost);
+        (r, local.export_entries())
+    });
+    let (mut best_idx, mut evaluations, mut accepted) = (0usize, 0usize, 0usize);
+    for (i, (r, _)) in runs.iter().enumerate() {
+        evaluations += r.evaluations;
+        accepted += r.accepted;
+        if r.cost < runs[best_idx].0.cost {
+            best_idx = i;
+        }
+    }
+    // Merge exports in index order, deduplicating on the key so the
+    // caller commits each entry once.
+    let mut seen: std::collections::BTreeSet<&CacheKey> = std::collections::BTreeSet::new();
+    let mut merged: Vec<(CacheKey, u64)> = Vec::new();
+    for (_, entries) in &runs {
+        for (k, bits) in entries {
+            if seen.insert(k) {
+                merged.push((k.clone(), *bits));
+            }
+        }
+    }
+    (
+        AnnealResult {
+            x: runs[best_idx].0.x.clone(),
+            cost: runs[best_idx].0.cost,
+            evaluations,
+            accepted,
+        },
+        merged,
+    )
 }
 
 /// Journal tag for the restart wrapper's progress record.

@@ -13,6 +13,21 @@ use std::collections::HashMap;
 /// Performance vector: metric name → measured value.
 pub type Perf = HashMap<String, f64>;
 
+/// Derives the canonical [`ams_exec::CacheKey`] tag for one evaluator
+/// working against one specification.
+///
+/// Every optimizer loop (GA, anneal, simulation-based, polish) must build
+/// its cache tags through this one function so that identical work hashes
+/// identically — and, just as important, so that *different* work never
+/// collides: the tag folds in the evaluator's full
+/// [`cache_identity`](crate::PerfModel::cache_identity) (model name plus
+/// every configuration knob that shapes the cost surface) and the complete
+/// `Debug` rendering of the spec. A persistent cache entry is only
+/// reusable when both match.
+pub fn eval_tag(identity: &str, spec: &Spec) -> u64 {
+    ams_exec::cache_tag(&format!("{identity}|{spec:?}"))
+}
+
 /// Per-metric report produced by [`CostCompiler::report`].
 #[derive(Debug, Clone)]
 pub struct MetricReport {

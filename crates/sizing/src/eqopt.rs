@@ -6,8 +6,9 @@
 //! optimization". A [`PerfModel`] is such an equation set; [`optimize`]
 //! couples it to the shared annealing engine.
 
-use crate::anneal::{anneal, AnnealConfig, AnnealResult, ParamDef};
-use crate::cost::{CostCompiler, Perf};
+use crate::anneal::{anneal_cached, AnnealConfig, AnnealResult, ParamDef};
+use crate::cost::{eval_tag, CostCompiler, Perf};
+use ams_exec::{EvalCacheHandle, EvalCachePolicy};
 use ams_netlist::Technology;
 use ams_topology::Spec;
 // det-lint: allow(hash-collection): Perf/param maps read by key; ordered walks go through Spec bounds
@@ -24,6 +25,19 @@ pub trait PerfModel: Sync {
     fn params(&self) -> Vec<ParamDef>;
     /// Evaluates all performance metrics at a parameter point.
     fn evaluate(&self, x: &[f64]) -> Perf;
+    /// Full evaluator identity for cache keys.
+    ///
+    /// This string, folded with the spec through
+    /// [`crate::cost::eval_tag`], namespaces every cached cost — including
+    /// entries persisted on disk across processes. It must therefore cover
+    /// **every** configuration input that shapes [`evaluate`](Self::evaluate):
+    /// the default (the bare [`name`](Self::name)) is only sound for
+    /// models with no knobs, and any model carrying a technology, load
+    /// capacitance, or similar state must override it, or two differently
+    /// configured instances will poison each other's cache entries.
+    fn cache_identity(&self) -> String {
+        self.name().to_string()
+    }
 }
 
 /// Result of an equation-based sizing run.
@@ -42,10 +56,29 @@ pub struct SizingResult {
 }
 
 /// Sizes a model against a spec by simulated annealing over its equations.
+///
+/// Evaluations are memoized through the process eval cache under the
+/// canonical `(cache_identity, spec)` tag, with persistence governed by
+/// the `AMS_EVAL_CACHE` environment variable (`off`, `memory` — the
+/// default — or `disk`). In disk mode the accumulated entries are
+/// committed when the run completes, so a repeated run warm-starts.
 pub fn optimize<M: PerfModel>(model: &M, spec: &Spec, config: &AnnealConfig) -> SizingResult {
     let params = model.params();
     let compiler = CostCompiler::new(spec.clone());
-    let result: AnnealResult = anneal(&params, config, |x| compiler.cost(&model.evaluate(x)));
+    let identity = model.cache_identity();
+    let spec_repr = format!("{spec:?}");
+    let handle = EvalCacheHandle::open(
+        &EvalCachePolicy::FromEnv,
+        ams_exec::workload_fingerprint(&[identity.as_str(), spec_repr.as_str()]),
+    );
+    let result: AnnealResult = anneal_cached(
+        &params,
+        config,
+        eval_tag(&identity, spec),
+        handle.cache(),
+        |x| compiler.cost(&model.evaluate(x)),
+    );
+    handle.commit();
     let perf = model.evaluate(&result.x);
     SizingResult {
         params: params
@@ -88,6 +121,10 @@ impl TwoStageModel {
 impl PerfModel for TwoStageModel {
     fn name(&self) -> &str {
         "two_stage_miller"
+    }
+
+    fn cache_identity(&self) -> String {
+        format!("{}|tech={:?}|cl={}", self.name(), self.tech, self.cl)
     }
 
     fn params(&self) -> Vec<ParamDef> {
@@ -200,6 +237,10 @@ impl SymmetricalOtaModel {
 impl PerfModel for SymmetricalOtaModel {
     fn name(&self) -> &str {
         "symmetrical_ota"
+    }
+
+    fn cache_identity(&self) -> String {
+        format!("{}|tech={:?}|cl={}", self.name(), self.tech, self.cl)
     }
 
     fn params(&self) -> Vec<ParamDef> {

@@ -18,10 +18,10 @@
 
 use crate::anneal::ParamDef;
 use crate::ckpt::{CkptRun, SizingCkptError};
-use crate::cost::CostCompiler;
+use crate::cost::{eval_tag, CostCompiler};
 use crate::eqopt::{PerfModel, SizingResult};
 use ams_ckpt::codec::{Dec, DecodeError, Enc};
-use ams_exec::{CacheKey, EvalCache};
+use ams_exec::{CacheKey, EvalCache, EvalCacheHandle, EvalCachePolicy};
 use ams_prng::{Rng, SeedableRng, SmallRng};
 use ams_topology::Spec;
 
@@ -40,6 +40,11 @@ pub struct GaConfig {
     pub tournament: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Eval-cache mode: off / in-memory / persistent disk. The default
+    /// defers to the `AMS_EVAL_CACHE` environment variable (unset ⇒
+    /// in-memory). Results are bit-identical across modes; only wall
+    /// time, cache counters, and budget spend differ.
+    pub eval_cache: EvalCachePolicy,
 }
 
 impl Default for GaConfig {
@@ -51,6 +56,7 @@ impl Default for GaConfig {
             species_jump_rate: 0.08,
             tournament: 3,
             seed: 1,
+            eval_cache: EvalCachePolicy::FromEnv,
         }
     }
 }
@@ -170,13 +176,7 @@ fn encode_ga(st: &GaState, cache: &EvalCache, delta: &[(String, u64)]) -> Vec<u8
     // The memo cache travels with the state: a resumed run re-sees every
     // hit the uninterrupted run would have, keeping exec.cache.* counters
     // (and the budget meter, which only charges misses) byte-identical.
-    let entries = cache.export_entries();
-    e.usize(entries.len());
-    for (k, cost_bits) in &entries {
-        e.u64(k.tag());
-        e.u64_slice(k.coords());
-        e.u64(*cost_bits);
-    }
+    ams_exec::encode_entries_into(&mut e, &cache.export_entries());
     e.finish()
 }
 
@@ -213,14 +213,7 @@ fn decode_ga(payload: &[u8]) -> Result<GaCkptState, DecodeError> {
     let elitism_updates = d.u64()?;
     let polish_improvements = d.u64()?;
     let evals_requested = d.u64()?;
-    let n_cache = d.len_prefix(24)?;
-    let mut entries = Vec::with_capacity(n_cache);
-    for _ in 0..n_cache {
-        let tag = d.u64()?;
-        let coords = d.u64_vec()?;
-        let cost_bits = d.u64()?;
-        entries.push((CacheKey::from_parts(tag, coords), cost_bits));
-    }
+    let entries = ams_exec::decode_entries_from(&mut d)?;
     d.finish()?;
     let st = GaState {
         rng,
@@ -263,18 +256,33 @@ fn evolve_inner(
     let compiler = CostCompiler::new(spec.clone());
     let param_defs: Vec<Vec<ParamDef>> = models.iter().map(|m| m.params()).collect();
 
-    // Per-run memoizing cache; batches fan out across the exec pool.
-    // Panic-isolated evaluation: a poisoned chromosome scores infeasible
-    // (infinite cost) instead of aborting the run. Budget metering charges
-    // only computed (cache-miss) evaluations, from whichever worker runs
-    // them — the guard meter is shared atomics.
-    let cache = EvalCache::new();
+    // Canonical per-topology cache tags: (evaluator identity, spec) under
+    // the one shared `cache_tag` derivation, so GA probes collide with
+    // anneal / simopt / polish probes for the same cost function — within
+    // this run, and across process runs once the cache persists.
+    let tags: Vec<u64> = models
+        .iter()
+        .map(|m| eval_tag(&m.cache_identity(), spec))
+        .collect();
+    // Memoizing cache; warm-loaded from disk when the policy says so, and
+    // committed back at generation/round boundaries. Batches fan out
+    // across the exec pool. Panic-isolated evaluation: a poisoned
+    // chromosome scores infeasible (infinite cost) instead of aborting
+    // the run. Budget metering is per batch: `eval_batch_keyed` charges
+    // the batch's computed (cache-miss) evaluations serially before the
+    // parallel fan-out.
+    let mut fp_parts: Vec<String> = models.iter().map(|m| m.cache_identity()).collect();
+    fp_parts.push(format!("{spec:?}"));
+    let handle = EvalCacheHandle::open(
+        &config.eval_cache,
+        ams_exec::workload_fingerprint(&fp_parts),
+    );
+    let cache = handle.cache();
     let eval_batch = |cands: &[Chromosome]| -> Vec<f64> {
         cache.eval_batch_keyed(
             cands,
-            |c| CacheKey::new(c.topology as u64, &c.genes),
+            |c| CacheKey::for_candidate(tags[c.topology], &c.genes),
             |_, c| {
-                let _ = ams_guard::budget::charge_evals(1);
                 ams_guard::guarded_eval(|| compiler.cost(&models[c.topology].evaluate(&c.genes)))
             },
         )
@@ -347,9 +355,10 @@ fn evolve_inner(
             };
             // Commit the post-init state so a crash during generation 0
             // does not repeat the seeding batch.
+            handle.commit();
             if let Some(ck) = ck.as_mut() {
                 let delta = ams_ckpt::delta_since(&counter_base);
-                ck.store.commit(GA_TAG, encode_ga(&st, &cache, &delta))?;
+                ck.store.commit(GA_TAG, encode_ga(&st, cache, &delta))?;
             }
             st
         }
@@ -415,6 +424,9 @@ fn evolve_inner(
                 best_cost,
             });
         }
+        // Generation boundary: persist the accumulated cache (no-op
+        // outside disk mode).
+        handle.commit();
         if let Some(ck) = ck.as_mut() {
             st.rng = rng.state();
             st.phase = PHASE_GENERATIONS;
@@ -424,7 +436,7 @@ fn evolve_inner(
             st.elitism_updates = elitism_updates;
             st.evals_requested = evals_requested;
             let delta = ams_ckpt::delta_since(&counter_base);
-            ck.store.commit(GA_TAG, encode_ga(&st, &cache, &delta))?;
+            ck.store.commit(GA_TAG, encode_ga(&st, cache, &delta))?;
             pop = std::mem::take(&mut st.pop);
             species_best = std::mem::take(&mut st.species_best);
             if ck.halt_after == Some(gen) {
@@ -470,6 +482,7 @@ fn evolve_inner(
                 polish_improvements += 1;
             }
         }
+        handle.commit();
         if let Some(ck) = ck.as_mut() {
             st.rng = rng.state();
             st.phase = PHASE_POLISH;
@@ -480,11 +493,12 @@ fn evolve_inner(
             st.polish_improvements = polish_improvements;
             st.evals_requested = evals_requested;
             let delta = ams_ckpt::delta_since(&counter_base);
-            ck.store.commit(GA_TAG, encode_ga(&st, &cache, &delta))?;
+            ck.store.commit(GA_TAG, encode_ga(&st, cache, &delta))?;
             pop = std::mem::take(&mut st.pop);
             species_best = std::mem::take(&mut st.species_best);
         }
     }
+    handle.commit();
     ams_trace::counter_add("sizing.ga_runs", 1);
     ams_trace::counter_add("sizing.ga_generations", config.generations as u64);
     ams_trace::counter_add("sizing.ga_elitism_updates", elitism_updates);

@@ -44,12 +44,12 @@ pub mod redesign;
 pub mod simopt;
 
 pub use anneal::{
-    anneal, anneal_ckpt, anneal_restarts, anneal_restarts_ckpt, AnnealConfig, AnnealResult,
-    ParamDef,
+    anneal, anneal_cached, anneal_ckpt, anneal_restarts, anneal_restarts_cached,
+    anneal_restarts_ckpt, AnnealConfig, AnnealResult, ParamDef,
 };
 pub use ckpt::{CkptRun, SizingCkptError};
 pub use corners::{optimize_worst_case, worst_case, CornerAware, CornerResult};
-pub use cost::{CostCompiler, MetricReport, Perf};
+pub use cost::{eval_tag, CostCompiler, MetricReport, Perf};
 pub use donald::{ComputationalPlan, DeclarativeModel, DonaldError, Equation};
 pub use eqopt::{optimize, PerfModel, SizingResult, SymmetricalOtaModel, TwoStageModel};
 pub use genetic::{evolve, evolve_ckpt, GaConfig, GaResult};

@@ -9,16 +9,18 @@
 //! strategies inside the same loop, so experiment E2/E7 can quantify the
 //! trade-off directly.
 
-use crate::anneal::{anneal_restarts, AnnealConfig, ParamDef};
-use crate::cost::{CostCompiler, Perf};
+use crate::anneal::{anneal_restarts_cached, AnnealConfig, ParamDef};
+use crate::cost::{eval_tag, CostCompiler, Perf};
 use crate::eqopt::SizingResult;
 use ams_awe::AweModel;
+use ams_exec::{EvalCacheHandle, EvalCachePolicy};
 use ams_guard::Retry;
 use ams_netlist::{Circuit, Technology};
-use ams_sim::{log_frequencies, SimError, SimSession};
+use ams_sim::{log_frequencies, BatchSession, SimError, SimSession};
 use ams_topology::Spec;
 // det-lint: allow(hash-collection): Perf/param maps read by key; ordered walks go through Spec bounds
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
 /// How the AC characteristics are evaluated at each optimization iteration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -53,6 +55,13 @@ pub trait SimulatedTemplate: Sync {
     ///
     /// Propagates simulator failures (non-convergence, singular systems).
     fn measure(&self, ckt: &Circuit, ac: AcEvaluator) -> Result<Perf, SimError>;
+    /// Full evaluator identity for cache keys (see
+    /// [`crate::PerfModel::cache_identity`]): must cover every
+    /// configuration input that shapes [`measure`](Self::measure). The
+    /// bare-name default is only sound for templates with no knobs.
+    fn cache_identity(&self) -> String {
+        self.name().to_string()
+    }
 }
 
 /// Sizes a simulated template against a spec by annealing, calling the
@@ -86,13 +95,35 @@ pub fn synthesize_restarts<T: SimulatedTemplate>(
 ) -> SizingResult {
     let params = template.params();
     let compiler = CostCompiler::new(spec.clone());
-    let result = anneal_restarts(&params, config, restarts, |x| {
-        let ckt = template.build(x);
-        match template.measure(&ckt, ac) {
-            Ok(perf) => compiler.cost(&perf),
-            Err(_) => f64::INFINITY,
-        }
-    });
+    // The AC evaluator changes what `measure` reports, so it is part of
+    // the evaluator identity alongside the template's own knobs.
+    let identity = format!("{}|ac={:?}", template.cache_identity(), ac);
+    let spec_repr = format!("{spec:?}");
+    let handle = EvalCacheHandle::open(
+        &EvalCachePolicy::FromEnv,
+        ams_exec::workload_fingerprint(&[identity.as_str(), spec_repr.as_str()]),
+    );
+    // Chains memoize against private caches seeded from the persistent
+    // snapshot (never a shared mutable cache — that would make hit/miss
+    // splits scheduling-dependent); the merged exports come back for the
+    // restart-boundary commit below.
+    let seed_entries = handle.cache().export_entries();
+    let (result, exports) = anneal_restarts_cached(
+        &params,
+        config,
+        restarts,
+        eval_tag(&identity, spec),
+        &seed_entries,
+        |x| {
+            let ckt = template.build(x);
+            match template.measure(&ckt, ac) {
+                Ok(perf) => compiler.cost(&perf),
+                Err(_) => f64::INFINITY,
+            }
+        },
+    );
+    handle.absorb(&exports);
+    handle.commit();
     let ckt = template.build(&result.x);
     let perf = template.measure(&ckt, ac).unwrap_or_default();
     SizingResult {
@@ -119,18 +150,42 @@ pub struct TwoStageCircuit {
     pub tech: Technology,
     /// Load capacitance in farads.
     pub cl: f64,
+    /// Symbolic analysis captured from the first measured candidate and
+    /// shared by every later one — all candidates of this template have
+    /// the same MNA pattern, only their device values differ.
+    batch: OnceLock<BatchSession>,
 }
 
 impl TwoStageCircuit {
     /// Creates the template.
     pub fn new(tech: Technology, cl: f64) -> Self {
-        TwoStageCircuit { tech, cl }
+        TwoStageCircuit {
+            tech,
+            cl,
+            batch: OnceLock::new(),
+        }
+    }
+
+    /// Binds `ckt` against the captured batch analysis, falling back to a
+    /// fresh session when the pattern ever disagrees (it never should for
+    /// circuits built by this template, but a bind error must degrade to
+    /// the unbatched path, not fail the candidate).
+    fn session<'c>(&self, ckt: &'c Circuit) -> SimSession<'c> {
+        let batch = self.batch.get_or_init(|| BatchSession::capture(ckt));
+        match batch.bind(ckt) {
+            Ok(ses) => ses,
+            Err(_) => SimSession::new(ckt),
+        }
     }
 }
 
 impl SimulatedTemplate for TwoStageCircuit {
     fn name(&self) -> &str {
         "two_stage_miller_circuit"
+    }
+
+    fn cache_identity(&self) -> String {
+        format!("{}|tech={:?}|cl={}", self.name(), self.tech, self.cl)
     }
 
     fn params(&self) -> Vec<ParamDef> {
@@ -208,7 +263,7 @@ impl SimulatedTemplate for TwoStageCircuit {
         // before scoring the candidate infeasible: a marginal operating
         // point that Newton misses from a zero start is often perfectly
         // solvable, and discarding it would waste the candidate.
-        let ses = SimSession::new(ckt);
+        let ses = self.session(ckt);
         let op = ses.op_retry(&Retry::default())?;
         let net = ses.linearize()?;
         let out = ses

@@ -42,6 +42,20 @@ done
 echo "== exec determinism across worker counts =="
 cargo test --offline -q --test exec_determinism
 
+echo "== eval-cache mode matrix (sizing suite under off/memory/disk) =="
+# Directory form of AMS_EVAL_CACHE_PATH: each workload fingerprint gets
+# its own small journal, so per-boundary commits stay cheap.
+evalcache_tmp="$(mktemp -d)"
+for mode in off memory disk; do
+    echo "--  AMS_EVAL_CACHE=$mode"
+    AMS_EVAL_CACHE=$mode AMS_EVAL_CACHE_PATH="$evalcache_tmp" \
+        cargo test --offline -q -p ams-sizing
+done
+rm -rf "$evalcache_tmp"
+
+echo "== batched evaluation + persistent cache contracts =="
+cargo test --offline -q --test batched_eval
+
 echo "== trace schema golden test + disabled-path overhead smoke =="
 cargo test --offline -q --test trace_schema
 

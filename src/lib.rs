@@ -97,7 +97,7 @@ pub mod prelude {
     pub use ams_layout::{layout_cell, CellOptions, DesignRules};
     pub use ams_lint::{lint_circuit, lint_deck, Report, RuleCode, Severity};
     pub use ams_netlist::{parse_deck, parse_deck_full, Circuit, Device, Technology};
-    pub use ams_sim::{linearize, log_frequencies, Backend, SimSession};
+    pub use ams_sim::{linearize, log_frequencies, Backend, BatchSession, SimSession};
     pub use ams_sizing::{
         optimize, synthesize, AcEvaluator, AnnealConfig, PerfModel, TwoStageModel, TwoStagePlan,
     };
